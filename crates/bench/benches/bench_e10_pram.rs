@@ -1,0 +1,32 @@
+//! Criterion bench for E10: the PRAM/XMT machinery — Blelloch scan
+//! steps and XMT BFS spawn blocks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use fm_kernels::bfs::{bfs_serial, bfs_xmt, random_graph};
+use fm_kernels::scan::pram_blelloch_scan;
+use fm_kernels::util::XorShift;
+
+fn bench(c: &mut Criterion) {
+    let mut rng = XorShift::new(8);
+    let x: Vec<i64> = (0..4096).map(|_| rng.below(100) as i64).collect();
+    c.bench_function("e10/pram_blelloch_scan_4096", |b| {
+        b.iter(|| pram_blelloch_scan(black_box(&x)).unwrap().0)
+    });
+
+    let g = random_graph(5_000, 8, 5);
+    c.bench_function("e10/bfs_serial_5k", |b| {
+        b.iter(|| bfs_serial(black_box(&g), 0).0)
+    });
+    c.bench_function("e10/bfs_xmt_5k", |b| {
+        b.iter(|| bfs_xmt(black_box(&g), 0).unwrap().0)
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

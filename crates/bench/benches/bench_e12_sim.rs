@@ -1,0 +1,42 @@
+//! Criterion bench for E12: grid-simulator throughput on the stencil
+//! scaling workload (elements simulated per run).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use fm_core::machine::MachineConfig;
+use fm_core::mapping::InputPlacement;
+use fm_grid::Simulator;
+use fm_kernels::stencil::{blocked_mapping, stencil_inputs, stencil_recurrence};
+use fm_kernels::util::XorShift;
+
+fn bench(c: &mut Criterion) {
+    let (t, n) = (16, 128);
+    let rec = stencil_recurrence(t, n);
+    let graph = rec.elaborate().unwrap();
+    let mut rng = XorShift::new(4);
+    let f: Vec<f64> = (0..n).map(|_| rng.unit_f64()).collect();
+    let inputs = stencil_inputs(&f);
+
+    let mut group = c.benchmark_group("e12");
+    for p in [2i64, 8, 32] {
+        let machine = MachineConfig::linear(p as u32);
+        let rm = blocked_mapping(n, p).resolve(&graph, &machine).unwrap();
+        group.bench_with_input(BenchmarkId::new("sim_stencil_16x128", p), &p, |b, _| {
+            let sim = Simulator::new(machine.clone());
+            b.iter(|| {
+                sim.run(black_box(&graph), &rm, &inputs, &[InputPlacement::AtUse])
+                    .unwrap()
+                    .cycles_actual
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

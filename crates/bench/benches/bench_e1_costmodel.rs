@@ -1,0 +1,31 @@
+//! Criterion bench for E1: deriving the technology ratios and the
+//! energy primitives they rest on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use fm_costmodel::{ClaimedRatios, Millimeters, OpKind, Technology};
+
+fn bench(c: &mut Criterion) {
+    let tech = Technology::n5();
+    c.bench_function("e1/derive_claimed_ratios", |b| {
+        b.iter(|| ClaimedRatios::derive(black_box(&tech)))
+    });
+    c.bench_function("e1/wire_energy", |b| {
+        b.iter(|| tech.wire_energy(black_box(32), Millimeters::new(black_box(3.7))))
+    });
+    c.bench_function("e1/op_energy_mix", |b| {
+        b.iter(|| {
+            tech.op_energy(black_box(OpKind::add32()))
+                + tech.op_energy(black_box(OpKind::mul(32)))
+                + tech.op_energy(black_box(OpKind::sram(32)))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

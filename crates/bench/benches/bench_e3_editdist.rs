@@ -1,0 +1,54 @@
+//! Criterion bench for E3: elaboration, analytic evaluation, legality
+//! checking, and full grid simulation of the paper's edit-distance
+//! mapping.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use fm_core::cost::Evaluator;
+use fm_core::legality;
+use fm_core::machine::MachineConfig;
+use fm_grid::Simulator;
+use fm_kernels::editdist::{
+    edit_inputs, edit_recurrence, paper_input_placements, skewed_mapping, Scoring,
+};
+use fm_kernels::util::{random_sequence, DNA};
+
+fn bench(c: &mut Criterion) {
+    let n = 64;
+    let rec = edit_recurrence(n, n, Scoring::paper_local());
+
+    c.bench_function("e3/elaborate_64x64", |b| {
+        b.iter(|| black_box(&rec).elaborate().unwrap())
+    });
+
+    let graph = rec.elaborate().unwrap();
+    for p in [4i64, 16] {
+        let machine = MachineConfig::linear(p as u32);
+        let rm = skewed_mapping(p, n).resolve(&graph, &machine).unwrap();
+        c.bench_with_input(BenchmarkId::new("e3/legality_check", p), &p, |b, _| {
+            b.iter(|| legality::check(black_box(&graph), black_box(&rm), &machine))
+        });
+        c.bench_with_input(BenchmarkId::new("e3/analytic_evaluate", p), &p, |b, _| {
+            let ev = Evaluator::new(&graph, &machine);
+            b.iter(|| ev.evaluate(black_box(&rm)))
+        });
+    }
+
+    let p = 8i64;
+    let machine = MachineConfig::linear(p as u32);
+    let rm = skewed_mapping(p, n).resolve(&graph, &machine).unwrap();
+    let inputs = edit_inputs(&random_sequence(n, DNA, 1), &random_sequence(n, DNA, 2));
+    let placements = paper_input_placements(p);
+    c.bench_function("e3/grid_simulate_64x64_p8", |b| {
+        let sim = Simulator::new(machine.clone());
+        b.iter(|| sim.run(black_box(&graph), &rm, &inputs, &placements).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench for E4: the mapping search itself (graph build +
+//! retime + evaluate across the family).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use fm_core::cost::Evaluator;
+use fm_core::machine::MachineConfig;
+use fm_core::mapping::InputPlacement;
+use fm_core::search::{search, FigureOfMerit};
+use fm_kernels::fft::{fft_graph, FftFamily, FftVariant};
+
+fn bench(c: &mut Criterion) {
+    let n = 128;
+    c.bench_function("e4/build_fft128_dit_graph", |b| {
+        b.iter(|| fft_graph(black_box(n), FftVariant::Dit))
+    });
+
+    let machine = MachineConfig::linear(16);
+    let family = FftFamily {
+        n,
+        p_values: vec![4, 8, 16],
+    };
+    let graph = fft_graph(n, FftVariant::Dit);
+    c.bench_function("e4/enumerate_family", |b| {
+        b.iter(|| family.candidates_for(black_box(&graph), &machine))
+    });
+
+    let cands = family.candidates_for(&graph, &machine);
+    let ev = Evaluator::new(&graph, &machine).with_all_inputs(InputPlacement::AtUse);
+    c.bench_function("e4/search_6_candidates", |b| {
+        b.iter(|| search(&ev, &graph, &machine, black_box(&cands), FigureOfMerit::Edp))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

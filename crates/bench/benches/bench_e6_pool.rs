@@ -1,0 +1,53 @@
+//! Criterion bench for E6: the work-stealing pool on instrumented
+//! kernels, across worker counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use fm_kernels::scan::par_scan;
+use fm_kernels::sortalg::par_mergesort;
+use fm_kernels::util::XorShift;
+use fm_workspan::ThreadPool;
+
+fn bench(c: &mut Criterion) {
+    let n = 500_000;
+    let mut rng = XorShift::new(3);
+    let sort_data: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
+    let scan_data: Vec<i64> = (0..n).map(|_| rng.below(1000) as i64).collect();
+    let hw = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
+
+    let mut group = c.benchmark_group("e6");
+    for p in [1usize, 2, 4, 8] {
+        if p > hw {
+            break;
+        }
+        let pool = ThreadPool::with_threads(p);
+        group.bench_with_input(BenchmarkId::new("mergesort_500k", p), &p, |b, _| {
+            b.iter(|| black_box(par_mergesort(&pool, &sort_data, 8192).0))
+        });
+        group.bench_with_input(BenchmarkId::new("scan_500k", p), &p, |b, _| {
+            b.iter(|| black_box(par_scan(&pool, &scan_data, 8192).0))
+        });
+    }
+    group.finish();
+
+    // join overhead microbenchmark: a balanced tree of trivial tasks.
+    let pool = ThreadPool::with_threads(hw.min(4));
+    c.bench_function("e6/join_tree_depth10", |b| {
+        fn go(pool: &ThreadPool, d: u32) -> u64 {
+            if d == 0 {
+                return 1;
+            }
+            let (a, b) = pool.join(|| go(pool, d - 1), || go(pool, d - 1));
+            a + b
+        }
+        b.iter(|| pool.run(|| go(&pool, black_box(10))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

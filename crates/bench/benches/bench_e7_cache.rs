@@ -1,0 +1,39 @@
+//! Criterion bench for E7: ideal-cache trace replay throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use fm_kernels::matmul::{trace_matmul_blocked, trace_matmul_naive, trace_matmul_oblivious};
+use fm_workspan::IdealCache;
+
+fn bench(c: &mut Criterion) {
+    let n = 48;
+    c.bench_function("e7/trace_naive_48", |b| {
+        b.iter(|| {
+            let mut cache = IdealCache::new(2048, 16);
+            trace_matmul_naive(black_box(n), &mut cache);
+            cache.stats().misses
+        })
+    });
+    c.bench_function("e7/trace_blocked_48", |b| {
+        b.iter(|| {
+            let mut cache = IdealCache::new(2048, 16);
+            trace_matmul_blocked(black_box(n), 16, &mut cache);
+            cache.stats().misses
+        })
+    });
+    c.bench_function("e7/trace_oblivious_48", |b| {
+        b.iter(|| {
+            let mut cache = IdealCache::new(2048, 16);
+            trace_matmul_oblivious(black_box(n), 8, &mut cache);
+            cache.stats().misses
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

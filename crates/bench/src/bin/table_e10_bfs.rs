@@ -1,0 +1,5 @@
+//! Regenerates the E10 table (queue BFS vs XMT BFS).
+fn main() {
+    let rows = fm_bench::e10_bfs::run(&[(1_000, 4), (10_000, 4), (10_000, 16), (100_000, 8)], 7);
+    print!("{}", fm_bench::e10_bfs::print(&rows));
+}

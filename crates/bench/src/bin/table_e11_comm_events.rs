@@ -1,0 +1,6 @@
+//! Regenerates the E11 tables (communication volume and events).
+fn main() {
+    let rows = fm_bench::e11_comm_events::run(&[2, 4, 8, 16]);
+    let agg = fm_bench::e11_comm_events::run_aggregation(64, &[1, 2, 4, 8, 16]);
+    print!("{}", fm_bench::e11_comm_events::print(&rows, &agg));
+}

@@ -1,0 +1,10 @@
+//! Regenerates the E12 table (many-core scaling).
+fn main() {
+    let n = 128;
+    let rows = fm_bench::e12_scaling::run(n, &[1, 2, 4, 8, 16, 32, 64, 128]);
+    print!("{}", fm_bench::e12_scaling::print(n, &rows));
+    println!();
+    let rows = fm_bench::e12_scaling::run_stencil(16, n, &[1, 2, 4, 8, 16, 32, 64, 128]);
+    println!("(stencil 16x{n} series — boundary-only communication)\n");
+    print!("{}", fm_bench::e12_scaling::print(n, &rows));
+}

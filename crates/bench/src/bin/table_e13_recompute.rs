@@ -1,0 +1,5 @@
+//! Regenerates the E13 ablation table (recompute vs communicate).
+fn main() {
+    let rows = fm_bench::e13_recompute::run(6, &[1, 10, 100, 1000, 20_000], 8);
+    print!("{}", fm_bench::e13_recompute::print(&rows));
+}

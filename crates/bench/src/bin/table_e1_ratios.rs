@@ -1,0 +1,5 @@
+//! Regenerates the E1/E2 table (technology cost ratios).
+fn main() {
+    let rows = fm_bench::e01_ratios::run();
+    print!("{}", fm_bench::e01_ratios::print(&rows));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the E3 table (edit-distance mapping sweep).
+fn main() {
+    let n = 128;
+    let rows = fm_bench::e03_editdist::run(n, &[1, 2, 4, 8, 16, 32, 64, 128], 16);
+    print!("{}", fm_bench::e03_editdist::print(n, &rows));
+}

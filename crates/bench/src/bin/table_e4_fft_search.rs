@@ -1,0 +1,6 @@
+//! Regenerates the E4 table (FFT mapping search).
+fn main() {
+    let n = 256;
+    let rows = fm_bench::e04_fft_search::run(n, &[4, 8, 16], 16);
+    print!("{}", fm_bench::e04_fft_search::print(n, &rows));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the E5 table (unit-cost vs physical ranking).
+fn main() {
+    let rows = fm_bench::e05_inversion::run(256, 16);
+    print!("{}", fm_bench::e05_inversion::print(&rows));
+}

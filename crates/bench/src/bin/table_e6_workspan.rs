@@ -1,0 +1,5 @@
+//! Regenerates the E6 table (greedy bound on the work-stealing pool).
+fn main() {
+    let rows = fm_bench::e06_workspan::run(2_000_000, &[1, 2, 4, 8, 16], 3);
+    print!("{}", fm_bench::e06_workspan::print(&rows));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the E7 table (ideal-cache matmul misses).
+fn main() {
+    let (n, l, tile) = (64, 16, 16);
+    let rows = fm_bench::e07_cache::run(n, &[512, 2048, 8192, 32768], l, tile);
+    print!("{}", fm_bench::e07_cache::print(n, l, tile, &rows));
+}

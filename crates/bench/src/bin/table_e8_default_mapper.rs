@@ -1,0 +1,5 @@
+//! Regenerates the E8 table (default mapper vs serial vs expert).
+fn main() {
+    let rows = fm_bench::e08_default_mapper::run(8, 1);
+    print!("{}", fm_bench::e08_default_mapper::print(&rows));
+}

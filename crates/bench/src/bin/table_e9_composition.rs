@@ -1,0 +1,6 @@
+//! Regenerates the E9 table (composition and remapping).
+fn main() {
+    let (n, p) = (256, 16);
+    let rows = fm_bench::e09_composition::run(n, p);
+    print!("{}", fm_bench::e09_composition::print(n, p, &rows));
+}

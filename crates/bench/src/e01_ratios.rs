@@ -1,0 +1,172 @@
+//! **E1/E2 — the technology cost ratios** (paper §3).
+//!
+//! Claims: transporting an add result 1 mm costs 160× the add; across
+//! the span of an 800 mm² GPU ≈ 4500×; off-chip ≈ 50,000×; the
+//! instruction-processing overhead of an OoO core is 10,000×; fetching
+//! two distant operands costs 1,000×+ the add.
+
+use fm_costmodel::{ClaimedRatios, Technology};
+
+use crate::table;
+
+/// One table row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Claim id.
+    pub id: String,
+    /// Abridged claim text.
+    pub claim: String,
+    /// The paper's number.
+    pub claimed: f64,
+    /// The model's number.
+    pub derived: f64,
+    /// Relative error.
+    pub rel_err: f64,
+}
+
+/// Derive every ratio from the 5 nm model.
+pub fn run() -> Vec<Row> {
+    let tech = Technology::n5();
+    ClaimedRatios::derive(&tech)
+        .claims
+        .iter()
+        .map(|c| Row {
+            id: c.id.to_string(),
+            claim: c.claim.to_string(),
+            claimed: c.claimed,
+            derived: c.derived,
+            rel_err: c.relative_error(),
+        })
+        .collect()
+}
+
+/// A scaling-trend row: how the 1 mm transport-vs-add ratio moves as
+/// compute keeps scaling and wires do not.
+#[derive(Debug, Clone)]
+pub struct TrendRow {
+    /// Node label.
+    pub node: String,
+    /// Compute energy relative to 5 nm.
+    pub compute_scale: f64,
+    /// Wire energy relative to 5 nm.
+    pub wire_scale: f64,
+    /// Transport-1mm-vs-add ratio at this node.
+    pub transport_ratio: f64,
+}
+
+/// Synthetic scaling trend: the 5 nm point is the paper's; the later
+/// nodes assume compute halves per generation while wire energy/mm
+/// improves only ~10% ("wires don't scale").
+pub fn run_trend() -> Vec<TrendRow> {
+    let n5 = Technology::n5();
+    let points = [
+        ("5nm (paper)", 1.0, 1.0),
+        ("3nm-ish", 0.5, 0.9),
+        ("2nm-ish", 0.25, 0.81),
+    ];
+    points
+        .iter()
+        .map(|&(node, cs, ws)| {
+            let t = n5.scaled(node, cs, ws);
+            let ratio = t
+                .wire_energy(32, fm_costmodel::Millimeters::new(1.0))
+                .ratio(t.add32_energy());
+            TrendRow {
+                node: node.to_string(),
+                compute_scale: cs,
+                wire_scale: ws,
+                transport_ratio: ratio,
+            }
+        })
+        .collect()
+}
+
+/// Render the table plus the derived auxiliary quantities.
+pub fn print(rows: &[Row]) -> String {
+    let tech = Technology::n5();
+    let mut out = String::from("E1/E2 — technology cost ratios, paper vs. 5 nm model\n\n");
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.id.clone(),
+                table::f(r.claimed),
+                table::f(r.derived),
+                format!("{:.1}%", r.rel_err * 100.0),
+            ]
+        })
+        .collect();
+    out.push_str(&table::render(
+        &["claim", "paper", "model", "rel err"],
+        &table_rows,
+    ));
+    let d = ClaimedRatios::remote_claim_min_distance(&tech, 2, 32, 1000.0);
+    out.push_str(&format!(
+        "\nminimum distance for the 1,000x remote-operand claim: {:.2} mm\n",
+        d.raw()
+    ));
+    out.push_str(&format!(
+        "clock-relevant constants: add32 = {} / {}, wire = {} fJ/bit-mm, {} ps/mm\n",
+        tech.add32_energy(),
+        tech.op_latency(fm_costmodel::OpKind::add32()),
+        tech.wire_energy_fj_per_bit_mm,
+        tech.wire_delay_ps_per_mm
+    ));
+    out.push_str("\nscaling trend (synthetic beyond 5 nm: compute halves, wires \u{2212}10%/gen):\n\n");
+    let trend_rows: Vec<Vec<String>> = run_trend()
+        .iter()
+        .map(|r| {
+            vec![
+                r.node.clone(),
+                format!("{:.2}", r.compute_scale),
+                format!("{:.2}", r.wire_scale),
+                format!("{:.0}x", r.transport_ratio),
+            ]
+        })
+        .collect();
+    out.push_str(&table::render(
+        &["node", "compute", "wire", "1mm transport vs add"],
+        &trend_rows,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_five_claims_present() {
+        let rows = run();
+        assert_eq!(rows.len(), 5);
+    }
+
+    #[test]
+    fn every_claim_reproduced_within_paper_rounding() {
+        for r in run() {
+            if r.id == "remote_operands_10mm" {
+                assert!(r.derived >= r.claimed, "{}", r.id);
+            } else {
+                assert!(r.rel_err <= 0.15, "{}: rel err {}", r.id, r.rel_err);
+            }
+        }
+    }
+
+    #[test]
+    fn trend_ratio_grows_every_generation() {
+        let rows = run_trend();
+        assert_eq!(rows[0].transport_ratio.round(), 160.0);
+        for w in rows.windows(2) {
+            assert!(w[1].transport_ratio > w[0].transport_ratio);
+        }
+    }
+
+    #[test]
+    fn print_contains_all_ids() {
+        let rows = run();
+        let s = print(&rows);
+        for r in &rows {
+            assert!(s.contains(&r.id));
+        }
+    }
+}

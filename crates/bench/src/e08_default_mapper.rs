@@ -1,0 +1,189 @@
+//! **E8 — the default mapper** (§3).
+//!
+//! "Programmers that don't want to bother with mapping can use a
+//! default mapper — with results no worse than with today's
+//! abstractions."
+//!
+//! For each kernel we compare: the fully serial mapping (one PE, one
+//! element per cycle — "today's abstraction" at its simplest), the
+//! default mapper (greedy list scheduling, no user input), and the
+//! kernel's hand-written/searched mapping.
+
+use fm_core::cost::Evaluator;
+use fm_core::legality::check;
+use fm_core::machine::MachineConfig;
+use fm_core::mapping::{InputPlacement, Mapping};
+use fm_core::search::{anneal, default_mapper, FigureOfMerit};
+use fm_kernels::editdist::{edit_recurrence, skewed_mapping, Scoring};
+use fm_kernels::fft::{fft_graph, fft_mapping, FftVariant, LanePlacement};
+use fm_kernels::stencil::{blocked_mapping, stencil_recurrence};
+
+use crate::table;
+
+/// One (kernel, mapper) point.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Kernel name.
+    pub kernel: String,
+    /// Mapper name.
+    pub mapper: String,
+    /// Cycles.
+    pub cycles: i64,
+    /// Energy in pJ.
+    pub energy_pj: f64,
+}
+
+/// Run the three mappers over three kernels on a `cols×rows` machine.
+pub fn run(cols: u32, rows_m: u32) -> Vec<Row> {
+    let machine = MachineConfig::n5(cols, rows_m);
+    let p = i64::from(cols * rows_m);
+
+    let mut out = Vec::new();
+    let mut push = |kernel: &str,
+                    mapper: &str,
+                    graph: &fm_core::dataflow::DataflowGraph,
+                    rm: fm_core::mapping::ResolvedMapping,
+                    machine: &MachineConfig| {
+        let rep = check(graph, &rm, machine);
+        assert!(rep.is_legal(), "{kernel}/{mapper}");
+        let report = Evaluator::new(graph, machine)
+            .with_all_inputs(InputPlacement::AtUse)
+            .evaluate(&rm);
+        out.push(Row {
+            kernel: kernel.to_string(),
+            mapper: mapper.to_string(),
+            cycles: report.cycles,
+            energy_pj: report.energy().raw() / 1e3,
+        });
+    };
+
+    // Edit distance on a linear sub-array.
+    {
+        let n = 48;
+        let g = edit_recurrence(n, n, Scoring::paper_local()).elaborate().unwrap();
+        let lin = MachineConfig::linear(cols);
+        push("editdist48", "serial", &g, Mapping::serial(&g).resolve(&g, &lin).unwrap(), &lin);
+        let dflt = default_mapper(&g, &lin);
+        push("editdist48", "default", &g, dflt.clone(), &lin);
+        let ev = Evaluator::new(&g, &lin).with_all_inputs(InputPlacement::AtUse);
+        let (annealed, _) = anneal(&ev, &g, &lin, &dflt, FigureOfMerit::Energy, 400, 11);
+        push("editdist48", "annealed", &g, annealed, &lin);
+        push(
+            "editdist48",
+            "expert",
+            &g,
+            skewed_mapping(i64::from(cols), n).resolve(&g, &lin).unwrap(),
+            &lin,
+        );
+    }
+
+    // FFT.
+    {
+        let n = 64;
+        let g = fft_graph(n, FftVariant::Dit);
+        push("fft64-dit", "serial", &g, Mapping::serial(&g).resolve(&g, &machine).unwrap(), &machine);
+        push("fft64-dit", "default", &g, default_mapper(&g, &machine), &machine);
+        let lin = MachineConfig::linear(cols);
+        push(
+            "fft64-dit",
+            "expert",
+            &g,
+            fft_mapping(&g, n, cols, LanePlacement::Block, &lin),
+            &lin,
+        );
+    }
+
+    // Stencil.
+    {
+        let (t, n) = (8, 64);
+        let g = stencil_recurrence(t, n).elaborate().unwrap();
+        let lin = MachineConfig::linear(cols);
+        push("stencil8x64", "serial", &g, Mapping::serial(&g).resolve(&g, &lin).unwrap(), &lin);
+        push("stencil8x64", "default", &g, default_mapper(&g, &lin), &lin);
+        push(
+            "stencil8x64",
+            "expert",
+            &g,
+            blocked_mapping(n, p.min(i64::from(cols))).resolve(&g, &lin).unwrap(),
+            &lin,
+        );
+    }
+
+    out
+}
+
+/// Render.
+pub fn print(rows: &[Row]) -> String {
+    let mut out = String::from("E8 — default mapper vs serial vs expert mapping\n\n");
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.kernel.clone(),
+                r.mapper.clone(),
+                r.cycles.to_string(),
+                table::f(r.energy_pj),
+            ]
+        })
+        .collect();
+    out.push_str(&table::render(&["kernel", "mapper", "cycles", "energy pJ"], &table_rows));
+    out.push_str("\nthe claim under test: default ≤ serial in time, for every kernel.\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn annealed_never_worse_than_default_on_energy() {
+        let rows = run(8, 1);
+        let get = |mapper: &str| {
+            rows.iter()
+                .find(|r| r.kernel == "editdist48" && r.mapper == mapper)
+                .unwrap()
+                .energy_pj
+        };
+        assert!(get("annealed") <= get("default") + 1e-9);
+    }
+
+    #[test]
+    fn default_never_slower_than_serial() {
+        let rows = run(8, 1);
+        for kernel in ["editdist48", "fft64-dit", "stencil8x64"] {
+            let get = |mapper: &str| {
+                rows.iter()
+                    .find(|r| r.kernel == kernel && r.mapper == mapper)
+                    .unwrap()
+                    .cycles
+            };
+            assert!(
+                get("default") <= get("serial"),
+                "{kernel}: default {} vs serial {}",
+                get("default"),
+                get("serial")
+            );
+        }
+    }
+
+    #[test]
+    fn expert_beats_default_somewhere() {
+        // The default mapper is "no worse than today's abstractions",
+        // not optimal: the expert systolic mappings should win on at
+        // least one kernel (typically all).
+        let rows = run(8, 1);
+        let wins = ["editdist48", "fft64-dit", "stencil8x64"]
+            .iter()
+            .filter(|&&kernel| {
+                let get = |mapper: &str| {
+                    rows.iter()
+                        .find(|r| r.kernel == kernel && r.mapper == mapper)
+                        .unwrap()
+                        .cycles
+                };
+                get("expert") <= get("default")
+            })
+            .count();
+        assert!(wins >= 1, "expert mappings should win at least once");
+    }
+}

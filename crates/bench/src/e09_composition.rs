@@ -1,0 +1,153 @@
+//! **E9 — modular composition and remapping cost** (§3).
+//!
+//! "The output of module A must have the same mapping as the input of
+//! module B for the two to be composed in series, or a remapping module
+//! must be inserted between the two to shuffle the data."
+//!
+//! We compose map-stage pipelines with aligned and misaligned layouts,
+//! measure the inserted remap's cost, and sweep the shuffle idiom's
+//! cost with permutation distance.
+
+use fm_core::compose::{idiom_map, remap_cost, shuffle_cost, DataLayout, Module, Pipeline};
+use fm_core::cost::Evaluator;
+use fm_core::machine::MachineConfig;
+use fm_core::mapping::InputPlacement;
+
+use crate::table;
+
+/// One pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Configuration name.
+    pub config: String,
+    /// Remaps inserted.
+    pub remaps: u32,
+    /// Total cycles.
+    pub cycles: i64,
+    /// Total energy in pJ.
+    pub energy_pj: f64,
+    /// On-chip messages.
+    pub messages: u64,
+}
+
+/// Build two-stage pipelines over `n` elements on `p` PEs: aligned
+/// (cyclic→cyclic), misaligned (cyclic→block), and a shuffle (reversal).
+pub fn run(n: usize, p: i64) -> Vec<Row> {
+    let machine = MachineConfig::linear(p as u32);
+    let (g, rm) = idiom_map(n, p, 32);
+    let report = Evaluator::new(&g, &machine)
+        .with_all_inputs(InputPlacement::AtUse)
+        .evaluate(&rm);
+
+    let cyclic = DataLayout::cyclic(n, p);
+    let block = DataLayout::block(n, p);
+
+    let stage = |name: &str, input: &DataLayout, output: &DataLayout| Module {
+        name: name.to_string(),
+        report: report.clone(),
+        input_layout: input.clone(),
+        output_layout: output.clone(),
+    };
+
+    let mut rows = Vec::new();
+
+    let mut aligned = Pipeline::new();
+    aligned.push(&stage("map-a", &cyclic, &cyclic), &machine, 32);
+    aligned.push(&stage("map-b", &cyclic, &cyclic), &machine, 32);
+    rows.push(Row {
+        config: "aligned (cyclic→cyclic)".into(),
+        remaps: aligned.remaps_inserted,
+        cycles: aligned.cycles,
+        energy_pj: aligned.energy().raw() / 1e3,
+        messages: aligned.ledger.onchip_messages,
+    });
+
+    let mut misaligned = Pipeline::new();
+    misaligned.push(&stage("map-a", &cyclic, &cyclic), &machine, 32);
+    misaligned.push(&stage("map-b", &block, &block), &machine, 32);
+    rows.push(Row {
+        config: "misaligned (cyclic→block)".into(),
+        remaps: misaligned.remaps_inserted,
+        cycles: misaligned.cycles,
+        energy_pj: misaligned.energy().raw() / 1e3,
+        messages: misaligned.ledger.onchip_messages,
+    });
+
+    // Pure movement idioms for scale.
+    let remap = remap_cost(&cyclic, &block, 32, &machine);
+    rows.push(Row {
+        config: "remap alone (cyclic→block)".into(),
+        remaps: 1,
+        cycles: remap.cycles,
+        energy_pj: remap.energy().raw() / 1e3,
+        messages: remap.ledger.onchip_messages,
+    });
+
+    let perm: Vec<usize> = (0..n).rev().collect();
+    let rev = shuffle_cost(&cyclic, &cyclic, &perm, 32, &machine);
+    rows.push(Row {
+        config: "shuffle (full reversal)".into(),
+        remaps: 1,
+        cycles: rev.cycles,
+        energy_pj: rev.energy().raw() / 1e3,
+        messages: rev.ledger.onchip_messages,
+    });
+
+    rows
+}
+
+/// Render.
+pub fn print(n: usize, p: i64, rows: &[Row]) -> String {
+    let mut out = format!("E9 — composition and remapping, n = {n}, P = {p}\n\n");
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.config.clone(),
+                r.remaps.to_string(),
+                r.cycles.to_string(),
+                table::f(r.energy_pj),
+                r.messages.to_string(),
+            ]
+        })
+        .collect();
+    out.push_str(&table::render(
+        &["pipeline", "remaps", "cycles", "energy pJ", "messages"],
+        &table_rows,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn misalignment_costs_a_remap() {
+        let rows = run(64, 8);
+        let aligned = &rows[0];
+        let misaligned = &rows[1];
+        assert_eq!(aligned.remaps, 0);
+        assert_eq!(misaligned.remaps, 1);
+        assert!(misaligned.energy_pj > aligned.energy_pj);
+        assert!(misaligned.cycles > aligned.cycles);
+    }
+
+    #[test]
+    fn pipeline_overhead_equals_standalone_remap() {
+        let rows = run(64, 8);
+        let delta = rows[1].energy_pj - rows[0].energy_pj;
+        assert!((delta - rows[2].energy_pj).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reversal_shuffle_moves_everything() {
+        let n = 64;
+        let rows = run(n, 8);
+        let rev = &rows[3];
+        // Cyclic layout: element i and its reversed partner share a PE
+        // only when i % p == (n-1-i) % p; for n=64, p=8 that never
+        // happens (i + (63-i) = 63 ≡ 7 mod 8 ≠ 2i mod 8 ⇒ moved = all).
+        assert_eq!(rev.messages, n as u64);
+    }
+}

@@ -1,0 +1,121 @@
+//! **E10 — BFS without the queue** (§5).
+//!
+//! Vishkin: BFS "had been tied to a first-in first-out queue for no
+//! good reason other than enforcing serialization, even where
+//! parallelism exists." The level-synchronous XMT BFS (prefix-sum
+//! frontier compaction) exposes that parallelism: work stays linear,
+//! depth drops from Θ(V) queue operations to Θ(diameter) spawn blocks.
+
+use fm_kernels::bfs::{bfs_serial, bfs_xmt, random_graph};
+
+use crate::table;
+
+/// One graph instance.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Vertices.
+    pub v: usize,
+    /// Edges.
+    pub e: usize,
+    /// Serial queue operations (the serialized chain).
+    pub serial_ops: u64,
+    /// XMT work (thread activations).
+    pub xmt_work: u64,
+    /// XMT depth (spawn blocks).
+    pub xmt_depth: u64,
+    /// BFS levels (graph eccentricity from the source).
+    pub levels: i64,
+    /// Available parallelism (work / depth).
+    pub parallelism: f64,
+    /// Brent time on 64 TCUs.
+    pub t64: u64,
+}
+
+/// Sweep graph sizes/densities.
+pub fn run(configs: &[(usize, usize)], seed: u64) -> Vec<Row> {
+    configs
+        .iter()
+        .map(|&(v, deg)| {
+            let g = random_graph(v, deg, seed);
+            let (d1, serial_ops) = bfs_serial(&g, 0);
+            let (d2, work, depth) = bfs_xmt(&g, 0).expect("XMT BFS runs");
+            assert_eq!(d1, d2, "V={v} deg={deg}");
+            let levels = d1.iter().max().copied().unwrap_or(0);
+            Row {
+                v,
+                e: g.edge_count(),
+                serial_ops,
+                xmt_work: work,
+                xmt_depth: depth,
+                levels,
+                parallelism: work as f64 / depth as f64,
+                t64: {
+                    // Brent bound with the measured work/depth.
+                    work.div_ceil(64) + depth
+                },
+            }
+        })
+        .collect()
+}
+
+/// Render.
+pub fn print(rows: &[Row]) -> String {
+    let mut out = String::from("E10 — serial queue BFS vs level-synchronous XMT BFS\n\n");
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.v.to_string(),
+                r.e.to_string(),
+                r.serial_ops.to_string(),
+                r.xmt_work.to_string(),
+                r.xmt_depth.to_string(),
+                r.levels.to_string(),
+                table::f(r.parallelism),
+                r.t64.to_string(),
+            ]
+        })
+        .collect();
+    out.push_str(&table::render(
+        &["V", "E", "serial ops", "XMT work", "XMT depth", "levels", "par", "T(64)"],
+        &table_rows,
+    ));
+    out.push_str("\nserial ops form a chain; XMT work is the same order but its depth\nis two spawn blocks per BFS level — the queue was the only obstacle.\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xmt_depth_scales_with_levels_not_vertices() {
+        let rows = run(&[(500, 8), (5000, 8)], 9);
+        for r in &rows {
+            // Two spawn blocks per nonempty frontier; frontiers exist at
+            // distances 0..=levels.
+            assert_eq!(r.xmt_depth, 2 * (r.levels as u64 + 1), "{r:?}");
+            assert!(r.xmt_depth < r.v as u64 / 10);
+        }
+    }
+
+    #[test]
+    fn work_within_constant_of_serial() {
+        let rows = run(&[(1000, 4)], 11);
+        let r = &rows[0];
+        assert!(r.xmt_work <= 2 * r.serial_ops);
+    }
+
+    #[test]
+    fn denser_graphs_have_more_parallelism() {
+        let rows = run(&[(2000, 2), (2000, 16)], 13);
+        assert!(rows[1].parallelism > rows[0].parallelism);
+    }
+
+    #[test]
+    fn brent_time_beats_serial_chain() {
+        let rows = run(&[(5000, 8)], 17);
+        let r = &rows[0];
+        assert!(r.t64 < r.serial_ops / 8);
+    }
+}

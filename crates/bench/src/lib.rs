@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # fm-bench — the experiment harness
+//!
+//! The panel paper has no tables or figures, so the reproduction target
+//! is the set of *quantitative claims* in the text (see `DESIGN.md` for
+//! the index). Each `eXX_*` module turns one claim into a reproducible
+//! experiment: a `run(…)` function that returns structured rows, a
+//! `print` that renders the table the paper never drew, and unit tests
+//! that assert the claim's *shape* (who wins, by roughly what factor,
+//! where the crossover falls).
+//!
+//! Regenerate any table with its binary, e.g.:
+//!
+//! ```text
+//! cargo run --release -p fm-bench --bin table_e1_ratios
+//! cargo run --release -p fm-bench --bin table_e3_editdist
+//! …
+//! ```
+//!
+//! Criterion micro-benchmarks for the heavy machinery (elaboration,
+//! evaluation, simulation, search, the thread pool, the cache model)
+//! live in `benches/`.
+
+pub mod table;
+
+pub mod e01_ratios;
+pub mod e03_editdist;
+pub mod e04_fft_search;
+pub mod e05_inversion;
+pub mod e06_workspan;
+pub mod e07_cache;
+pub mod e08_default_mapper;
+pub mod e09_composition;
+pub mod e10_bfs;
+pub mod e11_comm_events;
+pub mod e12_scaling;
+pub mod e13_recompute;

@@ -1,0 +1,486 @@
+//! Analytic cost evaluation of a mapped function.
+//!
+//! "This model makes it possible to write algorithms (function +
+//! mapping) with predictable execution time and energy because
+//! communication — the major source of delay and energy consumption —
+//! is made explicit."
+//!
+//! The [`Evaluator`] walks a dataflow graph under a resolved mapping and
+//! charges, against an [`EnergyLedger`]:
+//!
+//! * **compute** — each expression op at the technology's op energy,
+//!   plus one tile write for the produced value;
+//! * **on-chip communication** — one message per distinct
+//!   (producer, remote consumer PE) pair, at `bits × Manhattan-mm ×
+//!   wire energy`; every operand read (local or delivered) is a tile
+//!   access. A value consumed twice on one remote PE moves once — the
+//!   mapping's job is to place consumers so values need not move at
+//!   all;
+//! * **input movement** — per [`InputPlacement`]: DRAM fetches (each
+//!   distinct element once), on-chip distribution from a home PE, or
+//!   nothing for the idealized `AtUse`;
+//! * **output writeback** — optionally, one off-chip transfer per output
+//!   element.
+//!
+//! Execution time is simply the mapping's makespan times the clock
+//! period — legal mappings have already accounted for transit. The grid
+//! simulator (`fm-grid`) executes the same program and must agree with
+//! this evaluator on energy exactly and on time up to NoC contention;
+//! integration tests assert both.
+
+use std::collections::HashSet;
+
+use serde::Serialize;
+
+use fm_costmodel::{EnergyLedger, Femtojoules, OpKind, Picoseconds};
+
+use crate::dataflow::{DataflowGraph, InputSpec};
+use crate::legality::tile_peaks;
+use crate::machine::MachineConfig;
+use crate::mapping::{InputPlacement, ResolvedMapping};
+
+/// Unflatten a row-major flat index against a tensor's dims.
+fn unflatten(spec: &InputSpec, flat: u32) -> Vec<i64> {
+    let mut idx = vec![0i64; spec.dims.len()];
+    let mut rem = flat as usize;
+    for (k, &d) in spec.dims.iter().enumerate().rev() {
+        idx[k] = (rem % d) as i64;
+        rem /= d;
+    }
+    idx
+}
+
+/// The outcome of evaluating one mapped function.
+#[derive(Debug, Clone, Serialize)]
+pub struct CostReport {
+    /// Graph name.
+    pub name: String,
+    /// Makespan in cycles.
+    pub cycles: i64,
+    /// Makespan in picoseconds (cycles × clock period).
+    pub time_ps: Picoseconds,
+    /// Energy and traffic, by category.
+    pub ledger: EnergyLedger,
+    /// Peak live bits in any one tile.
+    pub peak_tile_bits: u64,
+    /// Distinct PEs used.
+    pub pes_used: usize,
+    /// Elements per (PE used × cycle): 1.0 is a perfectly dense systolic
+    /// schedule.
+    pub utilization: f64,
+    /// Total element count (the function's work at element granularity).
+    pub elements: u64,
+}
+
+impl CostReport {
+    /// Total energy.
+    pub fn energy(&self) -> Femtojoules {
+        self.ledger.energy.total()
+    }
+
+    /// Energy-delay product in fJ·ps.
+    pub fn edp(&self) -> f64 {
+        self.energy().raw() * self.time_ps.raw()
+    }
+}
+
+/// Analytic evaluator for a graph on a machine.
+#[derive(Debug, Clone)]
+pub struct Evaluator<'a> {
+    graph: &'a DataflowGraph,
+    machine: &'a MachineConfig,
+    input_placements: Vec<InputPlacement>,
+    writeback_outputs: bool,
+    multicast: bool,
+}
+
+impl<'a> Evaluator<'a> {
+    /// New evaluator. Inputs default to [`InputPlacement::Dram`] (the
+    /// honest default: data starts off chip) and outputs are not written
+    /// back.
+    pub fn new(graph: &'a DataflowGraph, machine: &'a MachineConfig) -> Self {
+        Evaluator {
+            graph,
+            machine,
+            input_placements: vec![InputPlacement::Dram; graph.inputs.len()],
+            writeback_outputs: false,
+            multicast: false,
+        }
+    }
+
+    /// Route def→use traffic as multicast trees (union of X-Y paths,
+    /// shared prefixes paid once) instead of per-destination unicasts.
+    /// **Analytic what-if only**: the grid simulator models unicast, so
+    /// the sim-agreement invariant applies to the default (unicast)
+    /// evaluator.
+    pub fn with_multicast(mut self, on: bool) -> Self {
+        self.multicast = on;
+        self
+    }
+
+    /// Set the placement of one input.
+    pub fn with_input_placement(mut self, input: usize, p: InputPlacement) -> Self {
+        self.input_placements[input] = p;
+        self
+    }
+
+    /// Set every input's placement at once.
+    pub fn with_all_inputs(mut self, p: InputPlacement) -> Self {
+        for slot in &mut self.input_placements {
+            *slot = p.clone();
+        }
+        self
+    }
+
+    /// Charge one off-chip transfer per output element.
+    pub fn with_writeback(mut self, on: bool) -> Self {
+        self.writeback_outputs = on;
+        self
+    }
+
+    /// Evaluate the mapped function. The mapping is assumed legal; run
+    /// [`crate::legality::check`] first.
+    pub fn evaluate(&self, rm: &ResolvedMapping) -> CostReport {
+        let g = self.graph;
+        let m = self.machine;
+        let width = u64::from(g.width_bits);
+        let mut ledger = EnergyLedger::new();
+        let mut dram_elements: HashSet<(u32, u32)> = HashSet::new();
+
+        for (id, n) in g.nodes.iter().enumerate() {
+            // Compute: expression ops + one tile write for the result.
+            for op in n.expr.op_kinds(g.width_bits) {
+                ledger.charge_compute(m.tech.op_energy(op));
+            }
+            ledger.charge_compute(m.tile_access_energy(width));
+
+            let cons = rm.place[id];
+            // Operand reads: one tile access per dependency (the value
+            // is local by then — produced here or delivered here).
+            for _ in &n.deps {
+                ledger.charge_compute(m.tile_access_energy(width));
+            }
+
+            // Input reads.
+            for (input, flat) in n.expr.input_reads() {
+                match &self.input_placements[input as usize] {
+                    InputPlacement::Dram => {
+                        dram_elements.insert((input, flat));
+                    }
+                    InputPlacement::Local(pexpr) => {
+                        let spec = &g.inputs[input as usize];
+                        let idx = unflatten(spec, flat);
+                        let home = pexpr.eval(&idx, m.cols);
+                        if home == cons {
+                            ledger.charge_compute(m.tile_access_energy(width));
+                        } else {
+                            let a = (home.0 as u32, home.1 as u32);
+                            let b = (cons.0 as u32, cons.1 as u32);
+                            let e = m.route_energy(width, a, b);
+                            ledger.charge_onchip(width, m.distance_mm(a, b), e);
+                        }
+                    }
+                    InputPlacement::AtUse => {
+                        ledger.charge_compute(m.tile_access_energy(width));
+                    }
+                }
+            }
+        }
+
+        // Def→use movement: one message per distinct remote consumer PE
+        // of each producer.
+        for (id, cons) in g.consumers().iter().enumerate() {
+            let prod = rm.place[id];
+            let mut pes: Vec<(i64, i64)> = cons
+                .iter()
+                .map(|&c| rm.place[c as usize])
+                .filter(|&p| p != prod)
+                .collect();
+            pes.sort_unstable();
+            pes.dedup();
+            let a = (prod.0 as u32, prod.1 as u32);
+            if self.multicast {
+                if !pes.is_empty() {
+                    let dests: Vec<(u32, u32)> =
+                        pes.iter().map(|p| (p.0 as u32, p.1 as u32)).collect();
+                    let (mm, _links) = m.multicast_route(a, &dests);
+                    let e = m.tech.wire_energy(width, fm_costmodel::Millimeters::new(mm));
+                    ledger.charge_onchip(width, mm, e);
+                }
+            } else {
+                for pe in pes {
+                    let b = (pe.0 as u32, pe.1 as u32);
+                    let e = m.route_energy(width, a, b);
+                    ledger.charge_onchip(width, m.distance_mm(a, b), e);
+                }
+            }
+        }
+
+        // DRAM inputs: each distinct element once.
+        for _ in &dram_elements {
+            ledger.charge_offchip(width, m.tech.offchip_energy(width));
+        }
+
+        // Output writeback.
+        if self.writeback_outputs {
+            for _ in g.outputs() {
+                ledger.charge_offchip(width, m.tech.offchip_energy(width));
+            }
+        }
+
+        let cycles = rm.makespan();
+        let pes_used = rm.pes_used();
+        let utilization = if cycles > 0 && pes_used > 0 {
+            g.len() as f64 / (pes_used as f64 * cycles as f64)
+        } else {
+            0.0
+        };
+        let peak_tile_bits = tile_peaks(g, rm, cycles)
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(0);
+
+        CostReport {
+            name: g.name.clone(),
+            cycles,
+            time_ps: m.clock_period() * cycles as f64,
+            ledger,
+            peak_tile_bits,
+            pes_used,
+            utilization,
+            elements: g.len() as u64,
+        }
+    }
+}
+
+/// Cost of running the same function on a conventional out-of-order
+/// core: every op pays the instruction-overhead factor, every distinct
+/// input element is a DRAM access, and execution is serial (one element
+/// per add-latency). This is the paper's "10,000× loss of efficiency"
+/// comparator for experiments E2 and E5.
+pub fn conventional_core_report(graph: &DataflowGraph, machine: &MachineConfig) -> CostReport {
+    let width = u64::from(graph.width_bits);
+    let mut ledger = EnergyLedger::new();
+    let mut dram: HashSet<(u32, u32)> = HashSet::new();
+    for n in &graph.nodes {
+        for op in n.expr.op_kinds(graph.width_bits) {
+            let raw = machine.tech.op_energy(op);
+            ledger.charge_compute(raw);
+            ledger.charge_overhead(machine.tech.instruction_energy(op) - raw);
+        }
+        for read in n.expr.input_reads() {
+            dram.insert(read);
+        }
+    }
+    for _ in &dram {
+        ledger.charge_offchip(width, machine.tech.offchip_energy(width));
+    }
+    let cycles = graph.len() as i64;
+    CostReport {
+        name: format!("{} (conventional core)", graph.name),
+        cycles,
+        time_ps: machine.tech.op_latency(OpKind::add32()) * cycles as f64,
+        ledger,
+        peak_tile_bits: 0,
+        pes_used: 1,
+        utilization: 1.0,
+        elements: graph.len() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affine::IdxExpr;
+    use crate::dataflow::CExpr;
+    use crate::mapping::{Mapping, PlaceExpr, ResolvedMapping};
+    use crate::value::Value;
+
+    fn two_pe_edge() -> (DataflowGraph, ResolvedMapping, MachineConfig) {
+        let mut g = DataflowGraph::new("edge", 32);
+        let a = g.add_node(CExpr::konst(Value::real(1.0)), vec![], vec![0]);
+        let b = g.add_node(
+            CExpr::dep(0).add(CExpr::konst(Value::real(1.0))),
+            vec![a],
+            vec![1],
+        );
+        g.mark_output(b);
+        let m = MachineConfig::linear(4);
+        let rm = ResolvedMapping {
+            place: vec![(0, 0), (1, 0)],
+            time: vec![0, 1],
+        };
+        (g, rm, m)
+    }
+
+    #[test]
+    fn cross_pe_edge_charged_as_onchip_message() {
+        let (g, rm, m) = two_pe_edge();
+        let rep = Evaluator::new(&g, &m).evaluate(&rm);
+        assert_eq!(rep.ledger.onchip_messages, 1);
+        assert_eq!(rep.ledger.onchip_bits, 32);
+        let expected = m.route_energy(32, (0, 0), (1, 0));
+        assert!((rep.ledger.energy.onchip_comm.raw() - expected.raw()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_pe_edge_is_not_a_message() {
+        let (g, _, m) = two_pe_edge();
+        let rm = ResolvedMapping {
+            place: vec![(0, 0), (0, 0)],
+            time: vec![0, 1],
+        };
+        let rep = Evaluator::new(&g, &m).evaluate(&rm);
+        assert_eq!(rep.ledger.onchip_messages, 0);
+        assert_eq!(rep.ledger.energy.onchip_comm.raw(), 0.0);
+    }
+
+    #[test]
+    fn dram_inputs_charged_once_per_distinct_element() {
+        let mut g = DataflowGraph::new("reads", 32);
+        let x = g.add_input("X", vec![4]);
+        // Two nodes read element 0; one reads element 1.
+        g.add_node(CExpr::input(x, 0).add(CExpr::input(x, 1)), vec![], vec![0]);
+        g.add_node(CExpr::input(x, 0), vec![], vec![1]);
+        let m = MachineConfig::linear(2);
+        let rm = ResolvedMapping {
+            place: vec![(0, 0), (1, 0)],
+            time: vec![0, 1],
+        };
+        let rep = Evaluator::new(&g, &m).evaluate(&rm);
+        assert_eq!(rep.ledger.offchip_transfers, 2); // elements 0 and 1
+    }
+
+    #[test]
+    fn local_input_home_vs_remote() {
+        let mut g = DataflowGraph::new("local", 32);
+        let x = g.add_input("X", vec![2]);
+        g.add_node(CExpr::input(x, 0), vec![], vec![0]);
+        g.add_node(CExpr::input(x, 1), vec![], vec![1]);
+        let m = MachineConfig::linear(4);
+        let rm = ResolvedMapping {
+            place: vec![(0, 0), (1, 0)],
+            time: vec![0, 1],
+        };
+        // Homed by index: element i at PE i → both reads are local.
+        let rep = Evaluator::new(&g, &m)
+            .with_input_placement(0, InputPlacement::Local(PlaceExpr::row0(IdxExpr::i())))
+            .evaluate(&rm);
+        assert_eq!(rep.ledger.onchip_messages, 0);
+        assert_eq!(rep.ledger.offchip_transfers, 0);
+
+        // Homed all at PE 3 → both reads are remote messages.
+        let rep2 = Evaluator::new(&g, &m)
+            .with_input_placement(0, InputPlacement::Local(PlaceExpr::row0(IdxExpr::c(3))))
+            .evaluate(&rm);
+        assert_eq!(rep2.ledger.onchip_messages, 2);
+    }
+
+    #[test]
+    fn writeback_charges_outputs() {
+        let (g, rm, m) = two_pe_edge();
+        let rep = Evaluator::new(&g, &m).with_writeback(true).evaluate(&rm);
+        assert_eq!(rep.ledger.offchip_transfers, 1);
+    }
+
+    #[test]
+    fn utilization_and_makespan() {
+        let (g, rm, m) = two_pe_edge();
+        let rep = Evaluator::new(&g, &m).evaluate(&rm);
+        assert_eq!(rep.cycles, 2);
+        assert_eq!(rep.pes_used, 2);
+        assert!((rep.utilization - 2.0 / 4.0).abs() < 1e-12);
+        assert!((rep.time_ps.raw() - 2.0 * m.clock_period().raw()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conventional_core_pays_overhead() {
+        let (g, _, m) = two_pe_edge();
+        let conv = conventional_core_report(&g, &m);
+        // One add op in the graph → overhead ≈ (10000-1) × its energy.
+        let compute = conv.ledger.energy.compute.raw();
+        let overhead = conv.ledger.energy.overhead.raw();
+        assert!(overhead > 9000.0 * compute / 2.0);
+        assert!(conv.ledger.energy.overhead.raw() > 0.0);
+    }
+
+    #[test]
+    fn mapped_beats_conventional_on_energy() {
+        // The paper's headline: mapped spatial execution is orders of
+        // magnitude more energy-efficient than a conventional core.
+        // On a dense grid (short hops) the gap is ~70×; on a sparse
+        // 4-PE grid one hop spans 7 mm of die and the gap narrows —
+        // also the paper's point (distance is what costs).
+        let (g, _, _) = two_pe_edge();
+        let m = MachineConfig::n5(32, 32);
+        let rm = ResolvedMapping {
+            place: vec![(0, 0), (1, 0)],
+            time: vec![0, 1],
+        };
+        let mapped = Evaluator::new(&g, &m).evaluate(&rm);
+        let conv = conventional_core_report(&g, &m);
+        assert!(conv.energy().raw() > 10.0 * mapped.energy().raw());
+    }
+
+    #[test]
+    fn serial_mapping_of_chain_cost_is_linear() {
+        let mut g = DataflowGraph::new("chain", 32);
+        let mut prev: Option<u32> = None;
+        for i in 0..10 {
+            let id = match prev {
+                None => g.add_node(CExpr::konst(Value::ZERO), vec![], vec![i]),
+                Some(p) => g.add_node(CExpr::dep(0), vec![p], vec![i]),
+            };
+            prev = Some(id);
+        }
+        let m = MachineConfig::linear(1);
+        let rm = Mapping::serial(&g).resolve(&g, &m).unwrap();
+        let rep = Evaluator::new(&g, &m).evaluate(&rm);
+        assert_eq!(rep.cycles, 10);
+        assert_eq!(rep.ledger.onchip_messages, 0);
+    }
+
+    #[test]
+    fn multicast_never_costs_more_than_unicast() {
+        // A producer with consumers strung down a line: multicast pays
+        // the longest path once, unicast pays every prefix again.
+        let mut g = DataflowGraph::new("bcast", 32);
+        let src = g.add_node(CExpr::konst(Value::real(1.0)), vec![], vec![0]);
+        for i in 1..=5i64 {
+            g.add_node(CExpr::dep(0), vec![src], vec![i]);
+        }
+        let m = MachineConfig::linear(8);
+        let rm = ResolvedMapping {
+            place: (0..6).map(|i| (i, 0)).collect(),
+            time: (0..6).map(|i| i.max(1)).collect(),
+        };
+        let uni = Evaluator::new(&g, &m).evaluate(&rm);
+        let multi = Evaluator::new(&g, &m).with_multicast(true).evaluate(&rm);
+        assert!(multi.ledger.energy.onchip_comm.raw() < uni.ledger.energy.onchip_comm.raw());
+        // The line multicast costs exactly the longest unicast.
+        let longest = m.route_energy(32, (0, 0), (5, 0)).raw();
+        assert!((multi.ledger.energy.onchip_comm.raw() - longest).abs() < 1e-9);
+        // Events: one multicast vs five unicasts.
+        assert_eq!(multi.ledger.onchip_messages, 1);
+        assert_eq!(uni.ledger.onchip_messages, 5);
+    }
+
+    #[test]
+    fn unflatten_row_major() {
+        let spec = InputSpec {
+            name: "A".into(),
+            dims: vec![3, 4],
+        };
+        assert_eq!(unflatten(&spec, 0), vec![0, 0]);
+        assert_eq!(unflatten(&spec, 6), vec![1, 2]);
+        assert_eq!(unflatten(&spec, 11), vec![2, 3]);
+    }
+
+    #[test]
+    fn edp_positive() {
+        let (g, rm, m) = two_pe_edge();
+        let rep = Evaluator::new(&g, &m).evaluate(&rm);
+        assert!(rep.edp() > 0.0);
+    }
+}

@@ -1,0 +1,510 @@
+//! The elaborated element-level dataflow graph.
+//!
+//! This is the concrete form of the paper's "function": one node per
+//! element computation, edges from each definition to each use, and
+//! nothing else — "no ordering, other than that imposed by data
+//! dependencies, is specified. By its nature, a definition exposes all
+//! available parallelism."
+//!
+//! Nodes carry a *compiled* expression ([`CExpr`]) whose leaves are
+//! dependency slots (`Dep(k)` = the node's `k`-th incoming edge), input
+//! element reads (`In{input, flat}`) or constants. Regular computations
+//! are elaborated from a [`crate::recurrence::Recurrence`]; irregular
+//! ones (FFT butterflies, BFS rounds) build graphs directly through
+//! [`DataflowGraph::add_node`].
+//!
+//! Construction enforces topological order (`deps[k] < id`), so the
+//! graph is acyclic by construction and node id order is a valid
+//! evaluation order.
+
+use serde::{Deserialize, Serialize};
+
+use fm_costmodel::OpKind;
+
+use crate::expr::BinOp;
+use crate::value::Value;
+
+/// Identifies a node in a [`DataflowGraph`] (index into `nodes`).
+pub type NodeId = u32;
+
+/// A leaf of a compiled expression.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Leaf {
+    /// The value of the node's `k`-th dependency edge.
+    Dep(u32),
+    /// An element of an input tensor, by flat index.
+    In {
+        /// Input tensor id.
+        input: u32,
+        /// Flattened element index (row-major).
+        flat: u32,
+    },
+    /// A constant.
+    Const(Value),
+}
+
+/// A compiled element expression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CExpr {
+    /// A leaf.
+    Leaf(Leaf),
+    /// Negation.
+    Neg(Box<CExpr>),
+    /// A binary operation.
+    Bin(BinOp, Box<CExpr>, Box<CExpr>),
+}
+
+#[allow(clippy::should_implement_trait)] // add/sub/mul are builder combinators, deliberately named
+impl CExpr {
+    /// Dependency-slot leaf.
+    pub fn dep(k: u32) -> CExpr {
+        CExpr::Leaf(Leaf::Dep(k))
+    }
+
+    /// Input-element leaf.
+    pub fn input(input: u32, flat: u32) -> CExpr {
+        CExpr::Leaf(Leaf::In { input, flat })
+    }
+
+    /// Constant leaf.
+    pub fn konst(v: Value) -> CExpr {
+        CExpr::Leaf(Leaf::Const(v))
+    }
+
+    /// `self + rhs`.
+    pub fn add(self, rhs: CExpr) -> CExpr {
+        CExpr::Bin(BinOp::Add, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self - rhs`.
+    pub fn sub(self, rhs: CExpr) -> CExpr {
+        CExpr::Bin(BinOp::Sub, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self * rhs`.
+    pub fn mul(self, rhs: CExpr) -> CExpr {
+        CExpr::Bin(BinOp::Mul, Box::new(self), Box::new(rhs))
+    }
+
+    /// `min(self, rhs)`.
+    pub fn min(self, rhs: CExpr) -> CExpr {
+        CExpr::Bin(BinOp::Min, Box::new(self), Box::new(rhs))
+    }
+
+    /// `max(self, rhs)`.
+    pub fn max(self, rhs: CExpr) -> CExpr {
+        CExpr::Bin(BinOp::Max, Box::new(self), Box::new(rhs))
+    }
+
+    /// Number of `Dep` slots referenced (max slot + 1; 0 if none).
+    pub fn dep_slots(&self) -> u32 {
+        let mut max: Option<u32> = None;
+        self.walk(&mut |e| {
+            if let CExpr::Leaf(Leaf::Dep(k)) = e {
+                max = Some(max.map_or(*k, |m: u32| m.max(*k)));
+            }
+        });
+        max.map_or(0, |m| m + 1)
+    }
+
+    /// Input reads `(input, flat)` in left-to-right order.
+    pub fn input_reads(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| {
+            if let CExpr::Leaf(Leaf::In { input, flat }) = e {
+                out.push((*input, *flat));
+            }
+        });
+        out
+    }
+
+    /// Hardware ops charged when this expression evaluates.
+    pub fn op_kinds(&self, width: u32) -> Vec<OpKind> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| match e {
+            CExpr::Bin(op, _, _) => out.push(op.op_kind(width)),
+            CExpr::Neg(_) => out.push(OpKind::logic(width)),
+            _ => {}
+        });
+        out
+    }
+
+    /// Evaluate given dependency-slot values and an input resolver.
+    pub fn eval(
+        &self,
+        dep_vals: &[Value],
+        input_at: &mut impl FnMut(u32, u32) -> Value,
+    ) -> Value {
+        match self {
+            CExpr::Leaf(Leaf::Dep(k)) => dep_vals[*k as usize],
+            CExpr::Leaf(Leaf::In { input, flat }) => input_at(*input, *flat),
+            CExpr::Leaf(Leaf::Const(v)) => *v,
+            CExpr::Neg(a) => -a.eval(dep_vals, input_at),
+            CExpr::Bin(op, a, b) => {
+                op.apply(a.eval(dep_vals, input_at), b.eval(dep_vals, input_at))
+            }
+        }
+    }
+
+    fn walk<'a>(&'a self, f: &mut impl FnMut(&'a CExpr)) {
+        f(self);
+        match self {
+            CExpr::Neg(a) => a.walk(f),
+            CExpr::Bin(_, a, b) => {
+                a.walk(f);
+                b.walk(f);
+            }
+            CExpr::Leaf(_) => {}
+        }
+    }
+}
+
+/// One element computation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// The compiled expression.
+    pub expr: CExpr,
+    /// Producer nodes, aligned with the expression's `Dep` slots.
+    pub deps: Vec<NodeId>,
+    /// The domain point this node was elaborated from (empty for
+    /// irregular graphs; used by affine mappings).
+    pub index: Vec<i64>,
+    /// Whether this element is part of the function's output.
+    pub output: bool,
+}
+
+/// An input tensor declaration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InputSpec {
+    /// Human-readable name (e.g. `"R"`, `"Q"`).
+    pub name: String,
+    /// Extent per dimension.
+    pub dims: Vec<usize>,
+}
+
+impl InputSpec {
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Whether the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row-major flat index for a multi-index; `None` if out of range.
+    pub fn flatten(&self, idx: &[i64]) -> Option<usize> {
+        if idx.len() != self.dims.len() {
+            return None;
+        }
+        let mut flat: usize = 0;
+        for (&i, &d) in idx.iter().zip(&self.dims) {
+            if i < 0 || i as usize >= d {
+                return None;
+            }
+            flat = flat * d + i as usize;
+        }
+        Some(flat)
+    }
+}
+
+/// The element-level dataflow graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataflowGraph {
+    /// Name for reports.
+    pub name: String,
+    /// Datapath width in bits (cost model granularity for every edge and
+    /// op in this graph).
+    pub width_bits: u32,
+    /// Input tensors.
+    pub inputs: Vec<InputSpec>,
+    /// Nodes in topological (construction) order.
+    pub nodes: Vec<Node>,
+}
+
+impl DataflowGraph {
+    /// New empty graph.
+    pub fn new(name: impl Into<String>, width_bits: u32) -> Self {
+        DataflowGraph {
+            name: name.into(),
+            width_bits,
+            inputs: Vec::new(),
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Declare an input tensor; returns its id.
+    pub fn add_input(&mut self, name: impl Into<String>, dims: Vec<usize>) -> u32 {
+        self.inputs.push(InputSpec {
+            name: name.into(),
+            dims,
+        });
+        (self.inputs.len() - 1) as u32
+    }
+
+    /// Add a node. `deps` must reference earlier nodes and match the
+    /// expression's `Dep` slot count; violations panic (construction
+    /// bugs).
+    pub fn add_node(&mut self, expr: CExpr, deps: Vec<NodeId>, index: Vec<i64>) -> NodeId {
+        let id = self.nodes.len() as NodeId;
+        assert_eq!(
+            expr.dep_slots() as usize,
+            deps.len(),
+            "node {id}: expression references {} dep slots but {} deps supplied",
+            expr.dep_slots(),
+            deps.len()
+        );
+        for &d in &deps {
+            assert!(d < id, "node {id}: dependency {d} is not an earlier node");
+        }
+        for (input, flat) in expr.input_reads() {
+            let spec = self
+                .inputs
+                .get(input as usize)
+                .unwrap_or_else(|| panic!("node {id}: unknown input {input}"));
+            assert!(
+                (flat as usize) < spec.len(),
+                "node {id}: input {input} read at {flat} out of range {}",
+                spec.len()
+            );
+        }
+        self.nodes.push(Node {
+            expr,
+            deps,
+            index,
+            output: false,
+        });
+        id
+    }
+
+    /// Mark a node as an output element.
+    pub fn mark_output(&mut self, id: NodeId) {
+        self.nodes[id as usize].output = true;
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Ids of output nodes. If none were marked, nodes with no consumers
+    /// are treated as outputs.
+    pub fn outputs(&self) -> Vec<NodeId> {
+        let marked: Vec<NodeId> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.output)
+            .map(|(i, _)| i as NodeId)
+            .collect();
+        if !marked.is_empty() {
+            return marked;
+        }
+        let mut has_consumer = vec![false; self.nodes.len()];
+        for n in &self.nodes {
+            for &d in &n.deps {
+                has_consumer[d as usize] = true;
+            }
+        }
+        has_consumer
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| !c)
+            .map(|(i, _)| i as NodeId)
+            .collect()
+    }
+
+    /// Consumer lists: for each node, which later nodes read it.
+    pub fn consumers(&self) -> Vec<Vec<NodeId>> {
+        let mut cons = vec![Vec::new(); self.nodes.len()];
+        for (id, n) in self.nodes.iter().enumerate() {
+            for &d in &n.deps {
+                cons[d as usize].push(id as NodeId);
+            }
+        }
+        cons
+    }
+
+    /// Functional evaluation: compute every node's value given input
+    /// tensors (flattened row-major).
+    ///
+    /// Panics if an input tensor is missing or short — the shapes are
+    /// part of the function's signature.
+    pub fn eval(&self, inputs: &[Vec<Value>]) -> Vec<Value> {
+        assert_eq!(
+            inputs.len(),
+            self.inputs.len(),
+            "graph {} expects {} inputs, got {}",
+            self.name,
+            self.inputs.len(),
+            inputs.len()
+        );
+        for (spec, data) in self.inputs.iter().zip(inputs) {
+            assert_eq!(
+                spec.len(),
+                data.len(),
+                "input {} expects {} elements, got {}",
+                spec.name,
+                spec.len(),
+                data.len()
+            );
+        }
+        let mut vals: Vec<Value> = Vec::with_capacity(self.nodes.len());
+        let mut dep_buf: Vec<Value> = Vec::new();
+        for n in &self.nodes {
+            dep_buf.clear();
+            dep_buf.extend(n.deps.iter().map(|&d| vals[d as usize]));
+            let mut input_at =
+                |input: u32, flat: u32| inputs[input as usize][flat as usize];
+            vals.push(n.expr.eval(&dep_buf, &mut input_at));
+        }
+        vals
+    }
+
+    /// Total hardware-op count across all nodes (unit "work" at op
+    /// granularity).
+    pub fn op_count(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| n.expr.op_kinds(self.width_bits).len() as u64)
+            .sum()
+    }
+
+    /// Longest dependency chain measured in *nodes* (the function's
+    /// intrinsic critical path, i.e. its minimum-depth parallel time).
+    pub fn depth(&self) -> u64 {
+        let mut d = vec![0u64; self.nodes.len()];
+        let mut max = 0;
+        for (id, n) in self.nodes.iter().enumerate() {
+            let dep_max = n.deps.iter().map(|&p| d[p as usize]).max().unwrap_or(0);
+            d[id] = dep_max + 1;
+            max = max.max(d[id]);
+        }
+        max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Diamond: d = (a+b) with a,b from one constant source.
+    fn diamond() -> DataflowGraph {
+        let mut g = DataflowGraph::new("diamond", 32);
+        let s = g.add_node(CExpr::konst(Value::real(1.0)), vec![], vec![]);
+        let a = g.add_node(CExpr::dep(0).add(CExpr::konst(Value::real(2.0))), vec![s], vec![]);
+        let b = g.add_node(CExpr::dep(0).mul(CExpr::konst(Value::real(3.0))), vec![s], vec![]);
+        let d = g.add_node(CExpr::dep(0).add(CExpr::dep(1)), vec![a, b], vec![]);
+        g.mark_output(d);
+        g
+    }
+
+    #[test]
+    fn eval_diamond() {
+        let g = diamond();
+        let vals = g.eval(&[]);
+        assert_eq!(vals[3].re, 6.0); // (1+2) + (1*3)
+    }
+
+    #[test]
+    fn depth_and_outputs() {
+        let g = diamond();
+        assert_eq!(g.depth(), 3);
+        assert_eq!(g.outputs(), vec![3]);
+    }
+
+    #[test]
+    fn outputs_default_to_sinks() {
+        let mut g = DataflowGraph::new("sinks", 32);
+        let a = g.add_node(CExpr::konst(Value::ZERO), vec![], vec![]);
+        let _b = g.add_node(CExpr::dep(0), vec![a], vec![]);
+        let _c = g.add_node(CExpr::dep(0), vec![a], vec![]);
+        assert_eq!(g.outputs(), vec![1, 2]);
+    }
+
+    #[test]
+    fn consumers_computed() {
+        let g = diamond();
+        let cons = g.consumers();
+        assert_eq!(cons[0], vec![1, 2]);
+        assert_eq!(cons[1], vec![3]);
+        assert_eq!(cons[3], Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn input_reads_resolved() {
+        let mut g = DataflowGraph::new("inp", 32);
+        let r = g.add_input("R", vec![4]);
+        let n = g.add_node(CExpr::input(r, 2).add(CExpr::input(r, 3)), vec![], vec![]);
+        let vals = g.eval(&[vec![
+            Value::real(10.0),
+            Value::real(20.0),
+            Value::real(30.0),
+            Value::real(40.0),
+        ]]);
+        assert_eq!(vals[n as usize].re, 70.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not an earlier node")]
+    fn forward_dep_rejected() {
+        let mut g = DataflowGraph::new("bad", 32);
+        g.add_node(CExpr::dep(0), vec![5], vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dep slots")]
+    fn slot_count_mismatch_rejected() {
+        let mut g = DataflowGraph::new("bad", 32);
+        g.add_node(CExpr::dep(1), vec![], vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn input_read_out_of_range_rejected() {
+        let mut g = DataflowGraph::new("bad", 32);
+        let r = g.add_input("R", vec![2]);
+        g.add_node(CExpr::input(r, 5), vec![], vec![]);
+    }
+
+    #[test]
+    fn flatten_row_major() {
+        let spec = InputSpec {
+            name: "A".into(),
+            dims: vec![3, 4],
+        };
+        assert_eq!(spec.flatten(&[0, 0]), Some(0));
+        assert_eq!(spec.flatten(&[1, 2]), Some(6));
+        assert_eq!(spec.flatten(&[2, 3]), Some(11));
+        assert_eq!(spec.flatten(&[3, 0]), None);
+        assert_eq!(spec.flatten(&[0, -1]), None);
+        assert_eq!(spec.flatten(&[0]), None);
+    }
+
+    #[test]
+    fn op_count_counts_expression_ops() {
+        let g = diamond();
+        // Nodes: const (0 ops), add (1), mul (1), add (1).
+        assert_eq!(g.op_count(), 3);
+    }
+
+    #[test]
+    fn dep_slots_counts_max_plus_one() {
+        assert_eq!(CExpr::dep(0).add(CExpr::dep(2)).dep_slots(), 3);
+        assert_eq!(CExpr::konst(Value::ZERO).dep_slots(), 0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let g = diamond();
+        let s = serde_json::to_string(&g).unwrap();
+        let back: DataflowGraph = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, g);
+    }
+}

@@ -1,0 +1,407 @@
+//! Surface element expressions: the right-hand side of a recurrence.
+//!
+//! An [`ElemExpr`] describes how one tensor element is computed from
+//! *earlier* elements of the same tensor (at constant offsets), from
+//! input tensors (at affine indices), and from constants — exactly the
+//! shape of the paper's worked example:
+//!
+//! ```text
+//! H(i,j) = min(H(i-1,j-1) + f(R[i],Q[j]),  H(i-1,j) + D,  H(i,j-1) + I,  0)
+//! ```
+//!
+//! The expression is *functional*: "no ordering — other than that imposed
+//! by data dependencies — is specified". Elaboration (see
+//! [`crate::recurrence`]) turns each domain point's expression into one
+//! dataflow node whose incoming edges are the `SelfRef` leaves.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use fm_costmodel::OpKind;
+
+use crate::affine::IdxExpr;
+use crate::value::Value;
+
+/// A reference to an input tensor at an affine index.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InputRef {
+    /// Which input tensor (position in the recurrence's input list).
+    pub input: usize,
+    /// One affine index expression per input dimension, evaluated at the
+    /// consuming element's domain point.
+    pub index: Vec<IdxExpr>,
+}
+
+/// Binary operators on [`Value`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BinOp {
+    /// Complex addition.
+    Add,
+    /// Complex subtraction.
+    Sub,
+    /// Complex multiplication.
+    Mul,
+    /// Minimum by real part.
+    Min,
+    /// Maximum by real part.
+    Max,
+    /// Scoring function `f(a, b)`: `eq` if the real parts are equal,
+    /// `ne` otherwise — the substitution-cost function of the paper's
+    /// edit-distance example.
+    Match {
+        /// Score when the operands match.
+        eq: f64,
+        /// Score when they differ.
+        ne: f64,
+    },
+}
+
+impl BinOp {
+    /// Apply the operator.
+    pub fn apply(self, a: Value, b: Value) -> Value {
+        match self {
+            BinOp::Add => a + b,
+            BinOp::Sub => a - b,
+            BinOp::Mul => a * b,
+            BinOp::Min => a.min(b),
+            BinOp::Max => a.max(b),
+            BinOp::Match { eq, ne } => {
+                if a.re == b.re {
+                    Value::real(eq)
+                } else {
+                    Value::real(ne)
+                }
+            }
+        }
+    }
+
+    /// The hardware op charged for this operator at the given width.
+    pub fn op_kind(self, width: u32) -> OpKind {
+        match self {
+            BinOp::Add | BinOp::Sub | BinOp::Min | BinOp::Max => OpKind::add(width),
+            BinOp::Mul => OpKind::mul(width),
+            // A match is a comparator plus a select: about one add plus
+            // some logic; charge an add-like op.
+            BinOp::Match { .. } => OpKind::add(width),
+        }
+    }
+}
+
+/// A surface element expression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ElemExpr {
+    /// A constant value.
+    Const(Value),
+    /// The same tensor at `index + offsets` (offsets are typically
+    /// negative: they must reference *earlier* elements for the
+    /// recurrence to be well founded).
+    SelfRef(Vec<i64>),
+    /// An input tensor element.
+    Input(InputRef),
+    /// Negation.
+    Neg(Box<ElemExpr>),
+    /// A binary operation.
+    Bin(BinOp, Box<ElemExpr>, Box<ElemExpr>),
+}
+
+#[allow(clippy::should_implement_trait)] // add/sub/mul are builder combinators, deliberately named
+impl ElemExpr {
+    /// Constant helper.
+    pub fn lit(v: f64) -> ElemExpr {
+        ElemExpr::Const(Value::real(v))
+    }
+
+    /// `self + rhs`.
+    pub fn add(self, rhs: ElemExpr) -> ElemExpr {
+        ElemExpr::Bin(BinOp::Add, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self - rhs`.
+    pub fn sub(self, rhs: ElemExpr) -> ElemExpr {
+        ElemExpr::Bin(BinOp::Sub, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self * rhs`.
+    pub fn mul(self, rhs: ElemExpr) -> ElemExpr {
+        ElemExpr::Bin(BinOp::Mul, Box::new(self), Box::new(rhs))
+    }
+
+    /// `min(self, rhs)`.
+    pub fn min(self, rhs: ElemExpr) -> ElemExpr {
+        ElemExpr::Bin(BinOp::Min, Box::new(self), Box::new(rhs))
+    }
+
+    /// `max(self, rhs)`.
+    pub fn max(self, rhs: ElemExpr) -> ElemExpr {
+        ElemExpr::Bin(BinOp::Max, Box::new(self), Box::new(rhs))
+    }
+
+    /// n-ary minimum (right fold). Panics on an empty list.
+    pub fn min_of(mut exprs: Vec<ElemExpr>) -> ElemExpr {
+        assert!(!exprs.is_empty(), "min_of requires at least one operand");
+        let mut acc = exprs.pop().unwrap();
+        while let Some(e) = exprs.pop() {
+            acc = e.min(acc);
+        }
+        acc
+    }
+
+    /// Collect the `SelfRef` offset vectors in left-to-right order.
+    /// Elaboration aligns dataflow edges with this order.
+    pub fn self_refs(&self) -> Vec<&[i64]> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| {
+            if let ElemExpr::SelfRef(off) = e {
+                out.push(off.as_slice());
+            }
+        });
+        out
+    }
+
+    /// Collect the input references in left-to-right order.
+    pub fn input_refs(&self) -> Vec<&InputRef> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| {
+            if let ElemExpr::Input(r) = e {
+                out.push(r);
+            }
+        });
+        out
+    }
+
+    /// The hardware ops charged when one element evaluates, at the given
+    /// datapath width. Input/self reads are charged by the cost
+    /// evaluator separately (they are *movement*, the paper's point).
+    pub fn op_kinds(&self, width: u32) -> Vec<OpKind> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| match e {
+            ElemExpr::Bin(op, _, _) => out.push(op.op_kind(width)),
+            ElemExpr::Neg(_) => out.push(OpKind::logic(width)),
+            _ => {}
+        });
+        out
+    }
+
+    /// Pre-order traversal.
+    fn walk<'a>(&'a self, f: &mut impl FnMut(&'a ElemExpr)) {
+        f(self);
+        match self {
+            ElemExpr::Neg(a) => a.walk(f),
+            ElemExpr::Bin(_, a, b) => {
+                a.walk(f);
+                b.walk(f);
+            }
+            _ => {}
+        }
+    }
+
+    /// Evaluate with resolvers for self-references and input reads.
+    ///
+    /// `self_at` receives the *offset vector* of each `SelfRef` leaf (the
+    /// caller adds it to the current domain point); `input_at` receives
+    /// the input id and the evaluated index.
+    pub fn eval(
+        &self,
+        idx: &[i64],
+        self_at: &mut impl FnMut(&[i64]) -> Value,
+        input_at: &mut impl FnMut(usize, &[i64]) -> Value,
+    ) -> Value {
+        match self {
+            ElemExpr::Const(v) => *v,
+            ElemExpr::SelfRef(off) => self_at(off),
+            ElemExpr::Input(r) => {
+                let resolved: Vec<i64> = r.index.iter().map(|e| e.eval(idx)).collect();
+                input_at(r.input, &resolved)
+            }
+            ElemExpr::Neg(a) => -a.eval(idx, self_at, input_at),
+            ElemExpr::Bin(op, a, b) => {
+                let va = a.eval(idx, self_at, input_at);
+                let vb = b.eval(idx, self_at, input_at);
+                op.apply(va, vb)
+            }
+        }
+    }
+}
+
+impl fmt::Display for ElemExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElemExpr::Const(v) => write!(f, "{v}"),
+            ElemExpr::SelfRef(off) => {
+                let parts: Vec<String> = off
+                    .iter()
+                    .enumerate()
+                    .map(|(k, o)| {
+                        let var = match k {
+                            0 => "i".to_string(),
+                            1 => "j".to_string(),
+                            2 => "k".to_string(),
+                            n => format!("i{n}"),
+                        };
+                        match o.cmp(&0) {
+                            std::cmp::Ordering::Equal => var,
+                            std::cmp::Ordering::Greater => format!("{var}+{o}"),
+                            std::cmp::Ordering::Less => format!("{var}{o}"),
+                        }
+                    })
+                    .collect();
+                write!(f, "H({})", parts.join(","))
+            }
+            ElemExpr::Input(r) => {
+                let parts: Vec<String> = r.index.iter().map(|e| format!("{e}")).collect();
+                write!(f, "in{}[{}]", r.input, parts.join(","))
+            }
+            ElemExpr::Neg(a) => write!(f, "-({a})"),
+            ElemExpr::Bin(op, a, b) => match op {
+                BinOp::Add => write!(f, "({a} + {b})"),
+                BinOp::Sub => write!(f, "({a} - {b})"),
+                BinOp::Mul => write!(f, "({a} * {b})"),
+                BinOp::Min => write!(f, "min({a}, {b})"),
+                BinOp::Max => write!(f, "max({a}, {b})"),
+                BinOp::Match { eq, ne } => write!(f, "match({a}, {b}; {eq}/{ne})"),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's edit-distance right-hand side.
+    fn edit_expr() -> ElemExpr {
+        let f = ElemExpr::Bin(
+            BinOp::Match { eq: 0.0, ne: 1.0 },
+            Box::new(ElemExpr::Input(InputRef {
+                input: 0,
+                index: vec![IdxExpr::i()],
+            })),
+            Box::new(ElemExpr::Input(InputRef {
+                input: 1,
+                index: vec![IdxExpr::j()],
+            })),
+        );
+        ElemExpr::min_of(vec![
+            ElemExpr::SelfRef(vec![-1, -1]).add(f),
+            ElemExpr::SelfRef(vec![-1, 0]).add(ElemExpr::lit(1.0)),
+            ElemExpr::SelfRef(vec![0, -1]).add(ElemExpr::lit(1.0)),
+            ElemExpr::lit(0.0),
+        ])
+    }
+
+    #[test]
+    fn self_refs_in_order() {
+        let e = edit_expr();
+        let refs = e.self_refs();
+        assert_eq!(refs, vec![&[-1, -1][..], &[-1, 0][..], &[0, -1][..]]);
+    }
+
+    #[test]
+    fn input_refs_found() {
+        let e = edit_expr();
+        let ins = e.input_refs();
+        assert_eq!(ins.len(), 2);
+        assert_eq!(ins[0].input, 0);
+        assert_eq!(ins[1].input, 1);
+    }
+
+    #[test]
+    fn op_kinds_counted() {
+        let e = edit_expr();
+        // 3 min folds + 3 adds (one per branch... the last branch is the
+        // constant 0) — count: min(a,min(b,min(c,d))) = 3 Bin(Min) +
+        // 3 Bin(Add) + 1 Match = 7 add-like ops.
+        assert_eq!(e.op_kinds(32).len(), 7);
+    }
+
+    #[test]
+    fn eval_edit_cell() {
+        let e = edit_expr();
+        // Pretend neighbors: diag=2, up=3, left=4; R[i]==Q[j].
+        let mut self_at = |off: &[i64]| match off {
+            [-1, -1] => Value::real(2.0),
+            [-1, 0] => Value::real(3.0),
+            [0, -1] => Value::real(4.0),
+            _ => unreachable!(),
+        };
+        let mut input_at = |_id: usize, _ix: &[i64]| Value::real(7.0); // equal chars
+        let v = e.eval(&[5, 5], &mut self_at, &mut input_at);
+        // min(2+0, 3+1, 4+1, 0) = 0 (the Smith-Waterman-style floor).
+        assert_eq!(v.re, 0.0);
+    }
+
+    #[test]
+    fn eval_without_floor_term() {
+        // Classic edit distance without the 0 term.
+        let f = ElemExpr::Bin(
+            BinOp::Match { eq: 0.0, ne: 1.0 },
+            Box::new(ElemExpr::Input(InputRef {
+                input: 0,
+                index: vec![IdxExpr::i()],
+            })),
+            Box::new(ElemExpr::Input(InputRef {
+                input: 1,
+                index: vec![IdxExpr::j()],
+            })),
+        );
+        let e = ElemExpr::min_of(vec![
+            ElemExpr::SelfRef(vec![-1, -1]).add(f),
+            ElemExpr::SelfRef(vec![-1, 0]).add(ElemExpr::lit(1.0)),
+            ElemExpr::SelfRef(vec![0, -1]).add(ElemExpr::lit(1.0)),
+        ]);
+        let mut self_at = |off: &[i64]| match off {
+            [-1, -1] => Value::real(2.0),
+            [-1, 0] => Value::real(3.0),
+            [0, -1] => Value::real(4.0),
+            _ => unreachable!(),
+        };
+        // Different chars this time: f = 1.
+        let mut input_at = |id: usize, _ix: &[i64]| Value::real(id as f64);
+        let v = e.eval(&[1, 1], &mut self_at, &mut input_at);
+        assert_eq!(v.re, 3.0); // min(2+1, 3+1, 4+1)
+    }
+
+    #[test]
+    fn match_op_semantics() {
+        let m = BinOp::Match { eq: -2.0, ne: 3.0 };
+        assert_eq!(m.apply(Value::real(1.0), Value::real(1.0)).re, -2.0);
+        assert_eq!(m.apply(Value::real(1.0), Value::real(2.0)).re, 3.0);
+    }
+
+    #[test]
+    fn input_index_is_affine_evaluated() {
+        let e = ElemExpr::Input(InputRef {
+            input: 0,
+            index: vec![IdxExpr::i() * 2 + IdxExpr::c(1)],
+        });
+        let mut hits = Vec::new();
+        let mut self_at = |_: &[i64]| unreachable!();
+        let mut input_at = |id: usize, ix: &[i64]| {
+            hits.push((id, ix.to_vec()));
+            Value::ZERO
+        };
+        e.eval(&[3], &mut self_at, &mut input_at);
+        assert_eq!(hits, vec![(0, vec![7])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one operand")]
+    fn min_of_empty_panics() {
+        ElemExpr::min_of(vec![]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = ElemExpr::SelfRef(vec![-1, 0]).add(ElemExpr::lit(1.0));
+        assert_eq!(format!("{e}"), "(H(i-1,j) + 1)");
+    }
+
+    #[test]
+    fn mul_and_neg_ops_counted() {
+        let e = ElemExpr::Neg(Box::new(
+            ElemExpr::SelfRef(vec![-1]).mul(ElemExpr::lit(2.0)),
+        ));
+        let kinds = e.op_kinds(32);
+        assert_eq!(kinds.len(), 2);
+    }
+}

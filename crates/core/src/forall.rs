@@ -1,0 +1,212 @@
+//! A fluent builder that reads like the paper's `Forall` fragment.
+//!
+//! ```
+//! use fm_core::forall::Forall;
+//! use fm_core::expr::ElemExpr;
+//! use fm_core::affine::IdxExpr;
+//! use fm_core::recurrence::{Boundary, OutputSpec};
+//!
+//! // Forall i, j in (0:N-1, 0:N-1)
+//! //   H(i,j) = min(H(i-1,j-1) + f(R[i],Q[j]), H(i-1,j)+1, H(i,j-1)+1, 0)
+//! let n = 8;
+//! let rec = Forall::d2("edit", n, n)
+//!     .input("R", vec![n])
+//!     .input("Q", vec![n])
+//!     .boundary(Boundary::Zero)
+//!     .output(OutputSpec::LastElement)
+//!     .expr(ElemExpr::min_of(vec![
+//!         Forall::self_ref([-1, -1]).add(Forall::match_inputs(0, IdxExpr::i(), 1, IdxExpr::j(), 0.0, 1.0)),
+//!         Forall::self_ref([-1, 0]).add(ElemExpr::lit(1.0)),
+//!         Forall::self_ref([0, -1]).add(ElemExpr::lit(1.0)),
+//!         ElemExpr::lit(0.0),
+//!     ]))
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(rec.domain.len(), 64);
+//! ```
+//!
+//! The builder only assembles a [`Recurrence`]; `build` validates it
+//! (well-foundedness, declared inputs) so errors surface at
+//! construction, not at elaboration.
+
+use crate::affine::IdxExpr;
+use crate::dataflow::InputSpec;
+use crate::expr::{BinOp, ElemExpr, InputRef};
+use crate::recurrence::{Boundary, Domain, OutputSpec, Recurrence, RecurrenceError};
+
+/// Builder for [`Recurrence`].
+#[derive(Debug, Clone)]
+pub struct Forall {
+    name: String,
+    domain: Domain,
+    inputs: Vec<InputSpec>,
+    width_bits: u32,
+    boundary: Boundary,
+    output: OutputSpec,
+    expr: Option<ElemExpr>,
+}
+
+impl Forall {
+    /// `Forall i in (0:n-1)`.
+    pub fn d1(name: impl Into<String>, n: usize) -> Forall {
+        Self::with_domain(name, Domain::d1(n))
+    }
+
+    /// `Forall i, j in (0:n-1, 0:m-1)`.
+    pub fn d2(name: impl Into<String>, n: usize, m: usize) -> Forall {
+        Self::with_domain(name, Domain::d2(n, m))
+    }
+
+    /// `Forall i, j, k in (0:n-1, 0:m-1, 0:k-1)`.
+    pub fn d3(name: impl Into<String>, n: usize, m: usize, k: usize) -> Forall {
+        Self::with_domain(name, Domain::d3(n, m, k))
+    }
+
+    /// An arbitrary-rank domain.
+    pub fn with_domain(name: impl Into<String>, domain: Domain) -> Forall {
+        Forall {
+            name: name.into(),
+            domain,
+            inputs: Vec::new(),
+            width_bits: 32,
+            boundary: Boundary::Zero,
+            output: OutputSpec::All,
+            expr: None,
+        }
+    }
+
+    /// Declare an input tensor (order of declaration = input id).
+    #[must_use]
+    pub fn input(mut self, name: impl Into<String>, dims: Vec<usize>) -> Forall {
+        self.inputs.push(InputSpec {
+            name: name.into(),
+            dims,
+        });
+        self
+    }
+
+    /// Datapath width in bits (default 32).
+    #[must_use]
+    pub fn width(mut self, bits: u32) -> Forall {
+        self.width_bits = bits;
+        self
+    }
+
+    /// Boundary policy (default [`Boundary::Zero`]).
+    #[must_use]
+    pub fn boundary(mut self, b: Boundary) -> Forall {
+        self.boundary = b;
+        self
+    }
+
+    /// Output selection (default [`OutputSpec::All`]).
+    #[must_use]
+    pub fn output(mut self, o: OutputSpec) -> Forall {
+        self.output = o;
+        self
+    }
+
+    /// The element expression.
+    #[must_use]
+    pub fn expr(mut self, e: ElemExpr) -> Forall {
+        self.expr = Some(e);
+        self
+    }
+
+    /// Assemble and validate.
+    pub fn build(self) -> Result<Recurrence, RecurrenceError> {
+        let rec = Recurrence {
+            name: self.name,
+            domain: self.domain,
+            expr: self.expr.expect("Forall::expr must be called before build"),
+            inputs: self.inputs,
+            width_bits: self.width_bits,
+            boundary: self.boundary,
+            output: self.output,
+        };
+        rec.validate()?;
+        Ok(rec)
+    }
+
+    // --- expression shorthands -----------------------------------------
+
+    /// `H(i+off₀, j+off₁, …)` — a self-reference at constant offsets.
+    pub fn self_ref<const R: usize>(offsets: [i64; R]) -> ElemExpr {
+        ElemExpr::SelfRef(offsets.to_vec())
+    }
+
+    /// `inᵢ[index…]` — an input read at affine indices.
+    pub fn read(input: usize, index: Vec<IdxExpr>) -> ElemExpr {
+        ElemExpr::Input(InputRef { input, index })
+    }
+
+    /// `f(a[ia], b[ib])` — the paper's match/mismatch scoring function
+    /// over two 1-D inputs.
+    pub fn match_inputs(
+        a: usize,
+        ia: IdxExpr,
+        b: usize,
+        ib: IdxExpr,
+        eq: f64,
+        ne: f64,
+    ) -> ElemExpr {
+        ElemExpr::Bin(
+            BinOp::Match { eq, ne },
+            Box::new(Self::read(a, vec![ia])),
+            Box::new(Self::read(b, vec![ib])),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn builder_matches_manual_construction() {
+        let n = 6;
+        let built = Forall::d1("scan", n)
+            .input("X", vec![n])
+            .expr(Forall::self_ref([-1]).add(Forall::read(0, vec![IdxExpr::i()])))
+            .build()
+            .unwrap();
+        let g = built.elaborate().unwrap();
+        let x: Vec<Value> = (1..=n as i64).map(|v| Value::real(v as f64)).collect();
+        let vals = g.eval(&[x]);
+        assert_eq!(vals.last().unwrap().re, 21.0);
+    }
+
+    #[test]
+    fn build_rejects_ill_founded_expr() {
+        let r = Forall::d1("bad", 4)
+            .expr(Forall::self_ref([1])) // forward reference
+            .build();
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn build_rejects_undeclared_input() {
+        let r = Forall::d1("bad", 4)
+            .expr(Forall::read(2, vec![IdxExpr::i()]))
+            .build();
+        assert!(r.is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "expr must be called")]
+    fn build_without_expr_panics() {
+        let _ = Forall::d1("empty", 4).build();
+    }
+
+    #[test]
+    fn defaults_applied() {
+        let r = Forall::d2("st", 2, 3)
+            .expr(Forall::self_ref([-1, 0]).add(ElemExpr::lit(1.0)))
+            .build()
+            .unwrap();
+        assert_eq!(r.width_bits, 32);
+        assert_eq!(r.output, OutputSpec::All);
+        assert_eq!(r.domain.rank(), 2);
+    }
+}

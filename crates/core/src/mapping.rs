@@ -1,0 +1,362 @@
+//! Space-time mappings.
+//!
+//! "The mapping specifies when and where each element is computed and
+//! where elements reside from definition to last use."
+//!
+//! A [`Mapping`] assigns each dataflow node a *place* (a PE coordinate)
+//! and a *time* (a cycle). For recurrence-elaborated graphs the natural
+//! form is an [`AffineMap`] over the node's domain indices — exactly
+//! what the paper writes (`at i % P, time floor(i/P)*N + j`). Irregular
+//! graphs use an explicit per-node table. [`Mapping::resolve`] turns
+//! either into a [`ResolvedMapping`], the form the legality checker,
+//! cost evaluator, and grid simulator consume.
+//!
+//! Placements may be 2-D (`x`/`y` expressions) or *linear*: a single PE
+//! id laid onto the grid in row-major or serpentine order. Serpentine
+//! order keeps consecutive ids physically adjacent across row
+//! boundaries, which systolic schedules need.
+
+use serde::{Deserialize, Serialize};
+
+use crate::affine::IdxExpr;
+use crate::dataflow::DataflowGraph;
+use crate::machine::MachineConfig;
+
+/// A PE coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Place {
+    /// Column.
+    pub x: u32,
+    /// Row.
+    pub y: u32,
+}
+
+impl Place {
+    /// Construct.
+    pub fn new(x: u32, y: u32) -> Place {
+        Place { x, y }
+    }
+
+    /// As a tuple (for geometry helpers).
+    pub fn tuple(self) -> (u32, u32) {
+        (self.x, self.y)
+    }
+}
+
+/// How a linear PE id is laid onto the 2-D grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinearOrder {
+    /// `id = y·cols + x`.
+    RowMajor,
+    /// Row-major but with odd rows reversed, so `id` and `id+1` are
+    /// always physically adjacent.
+    Serpentine,
+}
+
+impl LinearOrder {
+    /// Coordinates of linear `id` on a grid with `cols` columns.
+    pub fn coords(self, id: i64, cols: u32) -> (i64, i64) {
+        let c = i64::from(cols);
+        let y = id.div_euclid(c);
+        let r = id.rem_euclid(c);
+        let x = match self {
+            LinearOrder::RowMajor => r,
+            LinearOrder::Serpentine => {
+                if y % 2 == 0 {
+                    r
+                } else {
+                    c - 1 - r
+                }
+            }
+        };
+        (x, y)
+    }
+}
+
+/// A place expression over domain indices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PlaceExpr {
+    /// Explicit 2-D coordinates.
+    Grid {
+        /// Column expression.
+        x: IdxExpr,
+        /// Row expression.
+        y: IdxExpr,
+    },
+    /// A linear PE id laid out in the given order.
+    Linear {
+        /// PE id expression.
+        id: IdxExpr,
+        /// Layout order.
+        order: LinearOrder,
+    },
+}
+
+impl PlaceExpr {
+    /// A 1-D placement on row 0 (for linear arrays).
+    pub fn row0(x: IdxExpr) -> PlaceExpr {
+        PlaceExpr::Grid {
+            x,
+            y: IdxExpr::c(0),
+        }
+    }
+
+    /// Evaluate to raw (possibly off-grid) coordinates.
+    pub fn eval(&self, idx: &[i64], cols: u32) -> (i64, i64) {
+        match self {
+            PlaceExpr::Grid { x, y } => (x.eval(idx), y.eval(idx)),
+            PlaceExpr::Linear { id, order } => order.coords(id.eval(idx), cols),
+        }
+    }
+}
+
+/// An affine space-time map over domain indices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AffineMap {
+    /// Where each element executes.
+    pub place: PlaceExpr,
+    /// When each element executes.
+    pub time: IdxExpr,
+}
+
+/// Where an input tensor's elements live before execution starts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum InputPlacement {
+    /// Off chip: each distinct element is charged one DRAM fetch.
+    Dram,
+    /// Pre-distributed on chip; each element's home PE is given by a
+    /// place expression over the *input's own* indices. Reads from the
+    /// home PE are tile accesses; remote reads are NoC messages.
+    Local(PlaceExpr),
+    /// Idealized: resident wherever it is read (no movement charged).
+    /// Useful to isolate the cost of the computation proper.
+    AtUse,
+}
+
+/// Errors resolving a mapping against a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MappingError {
+    /// An affine mapping was applied to a node with no domain index.
+    MissingIndex {
+        /// Offending node.
+        node: u32,
+    },
+    /// The table mapping's length does not match the graph.
+    LengthMismatch {
+        /// Table length.
+        table: usize,
+        /// Graph length.
+        graph: usize,
+    },
+}
+
+impl std::fmt::Display for MappingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MappingError::MissingIndex { node } => {
+                write!(f, "affine mapping applied to node {node} with no domain index")
+            }
+            MappingError::LengthMismatch { table, graph } => {
+                write!(f, "table mapping has {table} entries for a graph of {graph} nodes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MappingError {}
+
+/// A fully resolved space-time assignment: raw coordinates and cycles
+/// per node. Raw (i64) because legality checking — not resolution —
+/// decides whether places are on the grid and times non-negative.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResolvedMapping {
+    /// Per-node raw PE coordinates.
+    pub place: Vec<(i64, i64)>,
+    /// Per-node cycle.
+    pub time: Vec<i64>,
+}
+
+impl ResolvedMapping {
+    /// The checked place of a node (call only after legality passes).
+    pub fn place_of(&self, node: u32) -> Place {
+        let (x, y) = self.place[node as usize];
+        Place::new(x as u32, y as u32)
+    }
+
+    /// The makespan: latest cycle + 1 (assuming times start near 0).
+    pub fn makespan(&self) -> i64 {
+        self.time.iter().copied().max().map_or(0, |t| t + 1)
+    }
+
+    /// Number of distinct PEs actually used.
+    pub fn pes_used(&self) -> usize {
+        let mut v: Vec<(i64, i64)> = self.place.clone();
+        v.sort_unstable();
+        v.dedup();
+        v.len()
+    }
+}
+
+/// A space-time mapping in either affine or table form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Mapping {
+    /// Affine over node domain indices.
+    Affine(AffineMap),
+    /// Explicit per-node assignment.
+    Table(ResolvedMapping),
+}
+
+impl Mapping {
+    /// Everything on PE (0,0), one node per cycle in topological order —
+    /// the fully serial mapping ("mappings … range from completely
+    /// serial to minimum-depth parallel").
+    pub fn serial(graph: &DataflowGraph) -> Mapping {
+        Mapping::Table(ResolvedMapping {
+            place: vec![(0, 0); graph.len()],
+            time: (0..graph.len() as i64).collect(),
+        })
+    }
+
+    /// Resolve against a graph.
+    pub fn resolve(&self, graph: &DataflowGraph, machine: &MachineConfig) -> Result<ResolvedMapping, MappingError> {
+        match self {
+            Mapping::Affine(am) => {
+                let mut place = Vec::with_capacity(graph.len());
+                let mut time = Vec::with_capacity(graph.len());
+                for (id, n) in graph.nodes.iter().enumerate() {
+                    if n.index.is_empty() {
+                        return Err(MappingError::MissingIndex { node: id as u32 });
+                    }
+                    place.push(am.place.eval(&n.index, machine.cols));
+                    time.push(am.time.eval(&n.index));
+                }
+                Ok(ResolvedMapping { place, time })
+            }
+            Mapping::Table(t) => {
+                if t.place.len() != graph.len() || t.time.len() != graph.len() {
+                    return Err(MappingError::LengthMismatch {
+                        table: t.place.len().min(t.time.len()),
+                        graph: graph.len(),
+                    });
+                }
+                Ok(t.clone())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::CExpr;
+    use crate::value::Value;
+
+    fn chain(n: usize) -> DataflowGraph {
+        let mut g = DataflowGraph::new("chain", 32);
+        let mut prev = None;
+        for i in 0..n {
+            let id = match prev {
+                None => g.add_node(CExpr::konst(Value::real(1.0)), vec![], vec![i as i64]),
+                Some(p) => g.add_node(
+                    CExpr::dep(0).add(CExpr::konst(Value::real(1.0))),
+                    vec![p],
+                    vec![i as i64],
+                ),
+            };
+            prev = Some(id);
+        }
+        g
+    }
+
+    #[test]
+    fn serpentine_keeps_neighbors_adjacent() {
+        let cols = 4;
+        for id in 0..15 {
+            let a = LinearOrder::Serpentine.coords(id, cols);
+            let b = LinearOrder::Serpentine.coords(id + 1, cols);
+            let hops = (a.0 - b.0).abs() + (a.1 - b.1).abs();
+            assert_eq!(hops, 1, "ids {id},{} at {a:?},{b:?}", id + 1);
+        }
+    }
+
+    #[test]
+    fn row_major_wraps_with_long_hop() {
+        let cols = 4;
+        let a = LinearOrder::RowMajor.coords(3, cols);
+        let b = LinearOrder::RowMajor.coords(4, cols);
+        assert_eq!(a, (3, 0));
+        assert_eq!(b, (0, 1));
+    }
+
+    #[test]
+    fn affine_resolution_uses_node_indices() {
+        let g = chain(8);
+        let m = MachineConfig::linear(4);
+        let map = Mapping::Affine(AffineMap {
+            place: PlaceExpr::row0(IdxExpr::i() % 4),
+            time: IdxExpr::i(),
+        });
+        let r = map.resolve(&g, &m).unwrap();
+        assert_eq!(r.place[5], (1, 0));
+        assert_eq!(r.time[5], 5);
+        assert_eq!(r.makespan(), 8);
+        assert_eq!(r.pes_used(), 4);
+    }
+
+    #[test]
+    fn affine_on_unindexed_graph_fails() {
+        let mut g = DataflowGraph::new("no-index", 32);
+        g.add_node(CExpr::konst(Value::ZERO), vec![], vec![]);
+        let m = MachineConfig::linear(2);
+        let map = Mapping::Affine(AffineMap {
+            place: PlaceExpr::row0(IdxExpr::i()),
+            time: IdxExpr::i(),
+        });
+        assert!(matches!(
+            map.resolve(&g, &m),
+            Err(MappingError::MissingIndex { node: 0 })
+        ));
+    }
+
+    #[test]
+    fn table_length_checked() {
+        let g = chain(4);
+        let m = MachineConfig::linear(2);
+        let map = Mapping::Table(ResolvedMapping {
+            place: vec![(0, 0); 3],
+            time: vec![0; 3],
+        });
+        assert!(matches!(
+            map.resolve(&g, &m),
+            Err(MappingError::LengthMismatch { table: 3, graph: 4 })
+        ));
+    }
+
+    #[test]
+    fn serial_mapping_is_one_pe_one_per_cycle() {
+        let g = chain(5);
+        let m = MachineConfig::linear(4);
+        let r = Mapping::serial(&g).resolve(&g, &m).unwrap();
+        assert_eq!(r.pes_used(), 1);
+        assert_eq!(r.makespan(), 5);
+        assert_eq!(r.time, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn place_expr_linear_eval() {
+        let p = PlaceExpr::Linear {
+            id: IdxExpr::i(),
+            order: LinearOrder::Serpentine,
+        };
+        assert_eq!(p.eval(&[6], 4), (1, 1)); // row 1 reversed: 4→(3,1), 5→(2,1), 6→(1,1)
+    }
+
+    #[test]
+    fn serpentine_row1_reversed() {
+        // Row 1 (ids 4..7) on 4 cols runs right-to-left.
+        assert_eq!(LinearOrder::Serpentine.coords(4, 4), (3, 1));
+        assert_eq!(LinearOrder::Serpentine.coords(7, 4), (0, 1));
+        // Row 2 runs left-to-right again.
+        assert_eq!(LinearOrder::Serpentine.coords(8, 4), (0, 2));
+    }
+}

@@ -1,0 +1,739 @@
+//! A parser for the paper's surface syntax.
+//!
+//! Dally's statement closes with research questions, the first being
+//! "What languages best express functions and mapping…?" — and the
+//! paper itself writes one program in an implied language:
+//!
+//! ```text
+//! Forall i, j in (0:N-1, 0:N-1)
+//!   H(i,j) = min(H(i-1,j-1) + f(R[i],Q[j]), H(i-1,j)+D, H(i,j-1)+I, 0);
+//! Map H(i,j) at i % P  time floor(i/P)*N + j
+//! ```
+//!
+//! This module makes that fragment *executable as written*: a lexer and
+//! recursive-descent parser that turn the text into a
+//! [`Recurrence`] plus an optional affine [`Mapping`].
+//!
+//! Grammar (names bound through a [`ParseEnv`]):
+//!
+//! ```text
+//! program   := forall [ map ]
+//! forall    := "Forall" ident ("," ident)* "in" "(" range ("," range)* ")"
+//!              ident "(" ident* ")" "=" elem ";"?
+//! range     := "0" ":" const "-" "1"            // 0:N-1
+//! elem      := term (("+"|"-") term)*
+//! term      := factor ("*" factor)*
+//! factor    := number | param | "(" elem ")"
+//!            | "min"|"max" "(" elem,+ ")"       // n-ary
+//!            | "f" "(" ref "," ref ")"          // match/mismatch score
+//!            | LHS "(" offs,+ ")"               // self reference
+//!            | ident "[" idx,+ "]"              // input read
+//! map       := "Map" LHS "(" … ")" "at" idx ["," idx] "time" idx
+//! idx       := affine over vars with +,-,*,%, "floor" "(" idx "/" const ")"
+//! ```
+
+use std::collections::HashMap;
+
+use crate::affine::IdxExpr;
+use crate::dataflow::InputSpec;
+use crate::expr::{BinOp, ElemExpr, InputRef};
+use crate::mapping::{AffineMap, Mapping, PlaceExpr};
+use crate::recurrence::{Boundary, Domain, OutputSpec, Recurrence};
+
+/// Environment binding the free names of a program.
+#[derive(Debug, Clone)]
+pub struct ParseEnv {
+    /// Scalar parameters (`N`, `P`, `D`, `I`, …). `f`'s match/mismatch
+    /// scores come from `f_eq` / `f_ne` (defaults 0 and 1).
+    pub params: HashMap<String, f64>,
+    /// Input tensors in declaration order: name → dims.
+    pub inputs: Vec<(String, Vec<usize>)>,
+    /// Boundary policy for the recurrence.
+    pub boundary: Boundary,
+    /// Output selection.
+    pub output: OutputSpec,
+    /// Datapath width.
+    pub width_bits: u32,
+}
+
+impl ParseEnv {
+    /// An environment with the given parameters and inputs, zero
+    /// boundary, all-outputs, 32-bit datapath.
+    pub fn new(params: &[(&str, f64)], inputs: &[(&str, Vec<usize>)]) -> ParseEnv {
+        ParseEnv {
+            params: params.iter().map(|&(k, v)| (k.to_string(), v)).collect(),
+            inputs: inputs
+                .iter()
+                .map(|(k, d)| (k.to_string(), d.clone()))
+                .collect(),
+            boundary: Boundary::Zero,
+            output: OutputSpec::All,
+            width_bits: 32,
+        }
+    }
+}
+
+/// A parsed program.
+#[derive(Debug, Clone)]
+pub struct Parsed {
+    /// The function.
+    pub recurrence: Recurrence,
+    /// The mapping, if a `Map` clause was present.
+    pub mapping: Option<Mapping>,
+}
+
+/// Parse errors, with a byte offset into the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Byte offset where the error was noticed.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+// ---------------------------------------------------------------------
+// Lexer.
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Num(f64),
+    Sym(char),
+}
+
+fn lex(src: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_whitespace() {
+            i += 1;
+        } else if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            out.push((start, Tok::Ident(src[start..i].to_string())));
+        } else if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.')
+            {
+                i += 1;
+            }
+            let n: f64 = src[start..i].parse().map_err(|_| ParseError {
+                at: start,
+                message: format!("bad number literal '{}'", &src[start..i]),
+            })?;
+            out.push((start, Tok::Num(n)));
+        } else if "(),[]=+-*/%:;".contains(c) {
+            out.push((i, Tok::Sym(c)));
+            i += 1;
+        } else {
+            return Err(ParseError {
+                at: i,
+                message: format!("unexpected character '{c}'"),
+            });
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Parser.
+
+struct Parser<'a> {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+    env: &'a ParseEnv,
+    vars: Vec<String>,
+    lhs: String,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn at(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map_or(0, |(a, _)| *a)
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            at: self.at(),
+            message: message.into(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect_sym(&mut self, c: char) -> Result<(), ParseError> {
+        match self.bump() {
+            Some(Tok::Sym(s)) if s == c => Ok(()),
+            other => Err(self.err(format!("expected '{c}', found {other:?}"))),
+        }
+    }
+
+    fn expect_ident(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) if s == kw => Ok(()),
+            other => Err(self.err(format!("expected '{kw}', found {other:?}"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn eat_sym(&mut self, c: char) -> bool {
+        if self.peek() == Some(&Tok::Sym(c)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn param(&self, name: &str) -> Result<f64, ParseError> {
+        self.env.params.get(name).copied().ok_or_else(|| {
+            self.err(format!("unbound parameter '{name}' (add it to ParseEnv::params)"))
+        })
+    }
+
+    fn param_int(&self, name: &str) -> Result<i64, ParseError> {
+        let v = self.param(name)?;
+        if v.fract() != 0.0 {
+            return Err(self.err(format!("parameter '{name}' = {v} must be an integer here")));
+        }
+        Ok(v as i64)
+    }
+
+    fn var_index(&self, name: &str) -> Option<usize> {
+        self.vars.iter().position(|v| v == name)
+    }
+
+    fn input_id(&self, name: &str) -> Option<usize> {
+        self.env.inputs.iter().position(|(n, _)| n == name)
+    }
+
+    // --- index (affine) expressions --------------------------------
+
+    /// Parse an affine index expression (used in mapping clauses and
+    /// input subscripts). Stops at `,`, `)`, `]`, or the keywords
+    /// `time`.
+    fn idx_expr(&mut self) -> Result<IdxExpr, ParseError> {
+        let mut acc = self.idx_term()?;
+        loop {
+            if self.eat_sym('+') {
+                acc = acc + self.idx_term()?;
+            } else if self.eat_sym('-') {
+                acc = acc - self.idx_term()?;
+            } else {
+                return Ok(acc);
+            }
+        }
+    }
+
+    fn idx_term(&mut self) -> Result<IdxExpr, ParseError> {
+        let mut acc = self.idx_factor()?;
+        loop {
+            if self.eat_sym('*') {
+                let rhs = self.idx_factor()?;
+                // One side must be constant.
+                acc = match (const_of(&acc), const_of(&rhs)) {
+                    (_, Some(c)) => acc * c,
+                    (Some(c), _) => rhs * c,
+                    _ => return Err(self.err("'*' needs a constant operand (affine only)")),
+                };
+            } else if self.eat_sym('%') {
+                let rhs = self.idx_factor()?;
+                let m = const_of(&rhs)
+                    .ok_or_else(|| self.err("'%' needs a constant modulus"))?;
+                acc = acc % m;
+            } else {
+                return Ok(acc);
+            }
+        }
+    }
+
+    fn idx_factor(&mut self) -> Result<IdxExpr, ParseError> {
+        match self.bump() {
+            Some(Tok::Num(n)) => {
+                if n.fract() != 0.0 {
+                    return Err(self.err("index expressions are integral"));
+                }
+                Ok(IdxExpr::c(n as i64))
+            }
+            Some(Tok::Sym('(')) => {
+                let e = self.idx_expr()?;
+                self.expect_sym(')')?;
+                Ok(e)
+            }
+            Some(Tok::Ident(name)) if name == "floor" => {
+                // floor(expr / const)
+                self.expect_sym('(')?;
+                let num = self.idx_expr()?;
+                self.expect_sym('/')?;
+                let den = self.idx_factor()?;
+                let d = const_of(&den)
+                    .ok_or_else(|| self.err("floor() divisor must be constant"))?;
+                self.expect_sym(')')?;
+                Ok(num.div(d))
+            }
+            Some(Tok::Ident(name)) => {
+                if let Some(k) = self.var_index(&name) {
+                    Ok(IdxExpr::Var(k))
+                } else {
+                    Ok(IdxExpr::c(self.param_int(&name)?))
+                }
+            }
+            other => Err(self.err(format!("expected index expression, found {other:?}"))),
+        }
+    }
+
+    // --- element expressions ----------------------------------------
+
+    fn elem_expr(&mut self) -> Result<ElemExpr, ParseError> {
+        let mut acc = self.elem_term()?;
+        loop {
+            if self.eat_sym('+') {
+                acc = acc.add(self.elem_term()?);
+            } else if self.eat_sym('-') {
+                acc = acc.sub(self.elem_term()?);
+            } else {
+                return Ok(acc);
+            }
+        }
+    }
+
+    fn elem_term(&mut self) -> Result<ElemExpr, ParseError> {
+        let mut acc = self.elem_factor()?;
+        while self.eat_sym('*') {
+            acc = acc.mul(self.elem_factor()?);
+        }
+        Ok(acc)
+    }
+
+    fn elem_factor(&mut self) -> Result<ElemExpr, ParseError> {
+        match self.bump() {
+            Some(Tok::Num(n)) => Ok(ElemExpr::lit(n)),
+            Some(Tok::Sym('(')) => {
+                let e = self.elem_expr()?;
+                self.expect_sym(')')?;
+                Ok(e)
+            }
+            Some(Tok::Ident(name)) if name == "min" || name == "max" => {
+                self.expect_sym('(')?;
+                let mut args = vec![self.elem_expr()?];
+                while self.eat_sym(',') {
+                    args.push(self.elem_expr()?);
+                }
+                self.expect_sym(')')?;
+                if name == "min" {
+                    Ok(ElemExpr::min_of(args))
+                } else {
+                    let mut acc = args.pop().expect("nonempty");
+                    while let Some(e) = args.pop() {
+                        acc = e.max(acc);
+                    }
+                    Ok(acc)
+                }
+            }
+            Some(Tok::Ident(name)) if name == "f" => {
+                // f(A[..], B[..]) — the paper's scoring function.
+                self.expect_sym('(')?;
+                let a = self.elem_factor()?;
+                self.expect_sym(',')?;
+                let b = self.elem_factor()?;
+                self.expect_sym(')')?;
+                let eq = self.env.params.get("f_eq").copied().unwrap_or(0.0);
+                let ne = self.env.params.get("f_ne").copied().unwrap_or(1.0);
+                Ok(ElemExpr::Bin(
+                    BinOp::Match { eq, ne },
+                    Box::new(a),
+                    Box::new(b),
+                ))
+            }
+            Some(Tok::Ident(name)) if name == self.lhs => {
+                // Self reference: H(i-1, j) — each arg must be var_k ± c.
+                self.expect_sym('(')?;
+                let mut offs = Vec::new();
+                for k in 0..self.vars.len() {
+                    if k > 0 {
+                        self.expect_sym(',')?;
+                    }
+                    let e = self.idx_expr()?;
+                    let off = self.offset_of(&e, k)?;
+                    offs.push(off);
+                }
+                self.expect_sym(')')?;
+                Ok(ElemExpr::SelfRef(offs))
+            }
+            Some(Tok::Ident(name)) => {
+                if self.eat_sym('[') {
+                    // Input read.
+                    let id = self
+                        .input_id(&name)
+                        .ok_or_else(|| self.err(format!("undeclared input '{name}'")))?;
+                    let mut index = vec![self.idx_expr()?];
+                    while self.eat_sym(',') {
+                        index.push(self.idx_expr()?);
+                    }
+                    self.expect_sym(']')?;
+                    Ok(ElemExpr::Input(InputRef { input: id, index }))
+                } else {
+                    // A scalar parameter used as a constant.
+                    Ok(ElemExpr::lit(self.param(&name)?))
+                }
+            }
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+
+    /// Extract the constant offset of `e` relative to variable `k`:
+    /// accepts `i_k`, `i_k + c`, `i_k - c` (in any association the
+    /// affine parser produced).
+    fn offset_of(&self, e: &IdxExpr, k: usize) -> Result<i64, ParseError> {
+        fn split(e: &IdxExpr) -> Option<(usize, i64)> {
+            match e {
+                IdxExpr::Var(v) => Some((*v, 0)),
+                IdxExpr::Add(a, b) => match (split(a), const_of(b)) {
+                    (Some((v, o)), Some(c)) => Some((v, o + c)),
+                    _ => match (const_of(a), split(b)) {
+                        (Some(c), Some((v, o))) => Some((v, o + c)),
+                        _ => None,
+                    },
+                },
+                IdxExpr::Sub(a, b) => match (split(a), const_of(b)) {
+                    (Some((v, o)), Some(c)) => Some((v, o - c)),
+                    _ => None,
+                },
+                _ => None,
+            }
+        }
+        match split(e) {
+            Some((v, off)) if v == k => Ok(off),
+            _ => Err(self.err(format!(
+                "self-reference argument {k} must be '{} ± const'",
+                self.vars[k]
+            ))),
+        }
+    }
+
+    // --- clauses ------------------------------------------------------
+
+    fn forall(&mut self) -> Result<Recurrence, ParseError> {
+        self.expect_ident("Forall")?;
+        let mut vars = vec![self.ident()?];
+        while self.eat_sym(',') {
+            vars.push(self.ident()?);
+        }
+        self.vars = vars;
+        self.expect_ident("in")?;
+        self.expect_sym('(')?;
+        let mut extents = Vec::new();
+        for k in 0..self.vars.len() {
+            if k > 0 {
+                self.expect_sym(',')?;
+            }
+            // 0 : <idx expr, constant>  — canonical "0:N-1".
+            match self.bump() {
+                Some(Tok::Num(0.0)) => {}
+                other => return Err(self.err(format!("range must start at 0, found {other:?}"))),
+            }
+            self.expect_sym(':')?;
+            let hi = self.idx_expr()?;
+            let hi = const_of(&hi)
+                .ok_or_else(|| self.err("range bound must be a constant expression"))?;
+            extents.push((hi + 1).max(0) as usize);
+        }
+        self.expect_sym(')')?;
+
+        // LHS: H(i, j)
+        let lhs = self.ident()?;
+        self.lhs = lhs.clone();
+        self.expect_sym('(')?;
+        for k in 0..self.vars.len() {
+            if k > 0 {
+                self.expect_sym(',')?;
+            }
+            let v = self.ident()?;
+            if Some(k) != self.var_index(&v) {
+                return Err(self.err(format!(
+                    "LHS index {k} must be '{}', found '{v}'",
+                    self.vars[k]
+                )));
+            }
+        }
+        self.expect_sym(')')?;
+        self.expect_sym('=')?;
+        let expr = self.elem_expr()?;
+        let _ = self.eat_sym(';');
+
+        Ok(Recurrence {
+            name: lhs,
+            domain: Domain { extents },
+            expr,
+            inputs: self
+                .env
+                .inputs
+                .iter()
+                .map(|(n, d)| InputSpec {
+                    name: n.clone(),
+                    dims: d.clone(),
+                })
+                .collect(),
+            width_bits: self.env.width_bits,
+            boundary: self.env.boundary,
+            output: self.env.output,
+        })
+    }
+
+    fn map_clause(&mut self) -> Result<Mapping, ParseError> {
+        self.expect_ident("Map")?;
+        let name = self.ident()?;
+        if name != self.lhs {
+            return Err(self.err(format!("Map target '{name}' is not the tensor '{}'", self.lhs)));
+        }
+        self.expect_sym('(')?;
+        for k in 0..self.vars.len() {
+            if k > 0 {
+                self.expect_sym(',')?;
+            }
+            self.ident()?;
+        }
+        self.expect_sym(')')?;
+        self.expect_ident("at")?;
+        let x = self.idx_expr()?;
+        let y = if self.eat_sym(',') {
+            self.idx_expr()?
+        } else {
+            IdxExpr::c(0)
+        };
+        self.expect_ident("time")?;
+        let time = self.idx_expr()?;
+        Ok(Mapping::Affine(AffineMap {
+            place: PlaceExpr::Grid { x, y },
+            time,
+        }))
+    }
+}
+
+/// Constant-fold an index expression with no variables.
+fn const_of(e: &IdxExpr) -> Option<i64> {
+    e.max_var().is_none().then(|| e.eval(&[]))
+}
+
+/// Parse a bare index expression (mapping-clause syntax) with the
+/// given variable names bound to `Var(0..)`. Useful for tests, REPLs,
+/// and property checks of the syntax.
+pub fn parse_idx_expr(src: &str, vars: &[&str], env: &ParseEnv) -> Result<IdxExpr, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        env,
+        vars: vars.iter().map(|s| s.to_string()).collect(),
+        lhs: String::new(),
+    };
+    let e = p.idx_expr()?;
+    if p.peek().is_some() {
+        return Err(p.err("trailing input after index expression"));
+    }
+    Ok(e)
+}
+
+/// Parse a program (a `Forall` clause, optionally followed by a `Map`
+/// clause) against an environment.
+pub fn parse(src: &str, env: &ParseEnv) -> Result<Parsed, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        env,
+        vars: Vec::new(),
+        lhs: String::new(),
+    };
+    let recurrence = p.forall()?;
+    recurrence
+        .validate()
+        .map_err(|e| p.err(format!("invalid recurrence: {e}")))?;
+    let mapping = if p.peek().is_some() {
+        Some(p.map_clause()?)
+    } else {
+        None
+    };
+    if p.peek().is_some() {
+        return Err(p.err("trailing input after program"));
+    }
+    Ok(Parsed {
+        recurrence,
+        mapping,
+    })
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // matrix-style i/j indexing reads clearest in checks
+mod tests {
+    use super::*;
+    use crate::machine::MachineConfig;
+    use crate::value::Value;
+
+    /// The paper's fragment, verbatim (modulo the hyphenation of its
+    /// two-column layout).
+    const PAPER: &str = "\
+Forall i, j in (0:N-1, 0:N-1)
+  H(i,j) = min(H(i-1, j-1) + f(R[i],Q[j]), H(i-1,j)+D, H(i,j-1)+ I, 0) ;
+Map H(i,j) at i % P  time floor(i/P)*N + j";
+
+    fn env(n: usize, p: i64) -> ParseEnv {
+        let mut e = ParseEnv::new(
+            &[("N", n as f64), ("P", p as f64), ("D", 1.0), ("I", 1.0)],
+            &[("R", vec![n]), ("Q", vec![n])],
+        );
+        e.output = OutputSpec::LastElement;
+        e
+    }
+
+    #[test]
+    fn parses_the_papers_fragment_verbatim() {
+        let n = 12;
+        let parsed = parse(PAPER, &env(n, 4)).unwrap();
+        assert_eq!(parsed.recurrence.domain.extents, vec![n, n]);
+        assert!(parsed.mapping.is_some());
+
+        // Parsed program computes the same values as the hand-built one.
+        let g = parsed.recurrence.elaborate().unwrap();
+        let r = b"ACGTACGTACGT";
+        let q = b"AGGTACGTTCGA";
+        let to_vals =
+            |s: &[u8]| s.iter().map(|&c| Value::real(f64::from(c))).collect::<Vec<_>>();
+        let vals = g.eval(&[to_vals(r), to_vals(q)]);
+
+        // Reference: the paper's local form via the kernel crate's
+        // logic, re-derived inline (min with 0 floor is env-boundary
+        // dependent; here boundary = Zero + floor term present).
+        // Compare against a direct DP with the same semantics.
+        let mut h = vec![vec![0.0f64; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                let diag = if i > 0 && j > 0 { h[i - 1][j - 1] } else { 0.0 };
+                let up = if i > 0 { h[i - 1][j] } else { 0.0 };
+                let left = if j > 0 { h[i][j - 1] } else { 0.0 };
+                let fv = if r[i] == q[j] { 0.0 } else { 1.0 };
+                h[i][j] = (diag + fv).min(up + 1.0).min(left + 1.0).min(0.0);
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                let id = parsed
+                    .recurrence
+                    .domain
+                    .flatten(&[i as i64, j as i64])
+                    .unwrap();
+                assert!((vals[id].re - h[i][j]).abs() < 1e-9, "H({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn parsed_mapping_equals_hand_built_literal() {
+        let n = 8;
+        let p = 4;
+        let parsed = parse(PAPER, &env(n, p)).unwrap();
+        let g = parsed.recurrence.elaborate().unwrap();
+        let machine = MachineConfig::linear(p as u32);
+        let rm = parsed
+            .mapping
+            .unwrap()
+            .resolve(&g, &machine)
+            .unwrap();
+        // Spot-check the paper's formulas: place = i % P, time =
+        // floor(i/P)*N + j.
+        let id = parsed.recurrence.domain.flatten(&[5, 3]).unwrap();
+        assert_eq!(rm.place[id], (5 % p, 0));
+        assert_eq!(rm.time[id], (5 / p) * n as i64 + 3);
+    }
+
+    #[test]
+    fn parses_a_scan() {
+        let env = ParseEnv::new(&[("N", 6.0)], &[("X", vec![6])]);
+        let parsed = parse("Forall i in (0:N-1) S(i) = S(i-1) + X[i]", &env).unwrap();
+        let g = parsed.recurrence.elaborate().unwrap();
+        let x: Vec<Value> = (1..=6).map(|v| Value::real(v as f64)).collect();
+        let vals = g.eval(&[x]);
+        assert_eq!(vals.last().unwrap().re, 21.0);
+        assert!(parsed.mapping.is_none());
+    }
+
+    #[test]
+    fn unbound_parameter_reported() {
+        let env = ParseEnv::new(&[], &[]);
+        let err = parse("Forall i in (0:N-1) S(i) = S(i-1)", &env).unwrap_err();
+        assert!(err.message.contains("unbound parameter 'N'"), "{err}");
+    }
+
+    #[test]
+    fn undeclared_input_reported() {
+        let env = ParseEnv::new(&[("N", 4.0)], &[]);
+        let err = parse("Forall i in (0:N-1) S(i) = Z[i]", &env).unwrap_err();
+        assert!(err.message.contains("undeclared input 'Z'"), "{err}");
+    }
+
+    #[test]
+    fn ill_founded_self_reference_reported() {
+        let env = ParseEnv::new(&[("N", 4.0)], &[]);
+        let err = parse("Forall i in (0:N-1) S(i) = S(i+1)", &env).unwrap_err();
+        assert!(err.message.contains("invalid recurrence"), "{err}");
+    }
+
+    #[test]
+    fn bad_self_ref_argument_reported() {
+        let env = ParseEnv::new(&[("N", 4.0)], &[]);
+        let err = parse("Forall i, j in (0:N-1, 0:N-1) S(i,j) = S(j, i)", &env).unwrap_err();
+        assert!(err.message.contains("must be"), "{err}");
+    }
+
+    #[test]
+    fn two_dimensional_place() {
+        let env = ParseEnv::new(&[("N", 8.0), ("P", 2.0)], &[]);
+        let parsed = parse(
+            "Forall i, j in (0:N-1, 0:N-1) H(i,j) = H(i-1,j) + 1 Map H(i,j) at j % P, i % P time i*N + j",
+            &env,
+        )
+        .unwrap();
+        let g = parsed.recurrence.elaborate().unwrap();
+        let machine = MachineConfig::n5(2, 2);
+        let rm = parsed.mapping.unwrap().resolve(&g, &machine).unwrap();
+        let id = parsed.recurrence.domain.flatten(&[3, 1]).unwrap();
+        assert_eq!(rm.place[id], (1, 1));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let env = ParseEnv::new(&[("N", 4.0)], &[]);
+        let err = parse("Forall i in (0:N-1) S(i) = 1 ; nonsense", &env).unwrap_err();
+        assert!(err.message.contains("Map") || err.message.contains("expected"), "{err}");
+    }
+}

@@ -1,0 +1,121 @@
+//! Unit-cost (PRAM-style) evaluation of a dataflow graph.
+//!
+//! "The RAM and PRAM models that are used to analyze and compare
+//! algorithms hide the reality of spatial distribution and the huge
+//! difference between computing and communication costs. In these
+//! models, everything is unit cost."
+//!
+//! This module deliberately implements that blindness: work = number of
+//! elements, depth = longest dependency chain, time on `p` processors =
+//! Brent's bound, energy = work × one unit. Experiment E5 evaluates the
+//! same pair of functions here and in [`crate::cost`] to exhibit the
+//! ranking inversion the paper describes ("when comparing two FFT
+//! algorithms that are both O(N log N), the one that is 50,000× more
+//! efficient is preferred").
+
+use serde::Serialize;
+
+use crate::dataflow::DataflowGraph;
+
+/// Unit-cost measures of a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct PramCost {
+    /// Total element computations (the PRAM's "work").
+    pub work: u64,
+    /// Longest dependency chain (the PRAM's "depth"/"span").
+    pub depth: u64,
+}
+
+impl PramCost {
+    /// Measure a graph.
+    pub fn of(graph: &DataflowGraph) -> PramCost {
+        PramCost {
+            work: graph.len() as u64,
+            depth: graph.depth(),
+        }
+    }
+
+    /// Brent / greedy-scheduler bound: `⌈work/p⌉ + depth` unit steps on
+    /// `p` processors.
+    pub fn time_on(&self, p: u64) -> u64 {
+        assert!(p > 0, "processor count must be positive");
+        self.work.div_ceil(p) + self.depth
+    }
+
+    /// Unit energy: one unit per element — the model the paper faults
+    /// for charging an off-chip access the same as an add.
+    pub fn unit_energy(&self) -> u64 {
+        self.work
+    }
+
+    /// Parallelism: work / depth.
+    pub fn parallelism(&self) -> f64 {
+        self.work as f64 / self.depth as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::CExpr;
+    use crate::value::Value;
+
+    fn chain(n: usize) -> DataflowGraph {
+        let mut g = DataflowGraph::new("chain", 32);
+        let mut prev: Option<u32> = None;
+        for i in 0..n {
+            let id = match prev {
+                None => g.add_node(CExpr::konst(Value::ZERO), vec![], vec![i as i64]),
+                Some(p) => g.add_node(CExpr::dep(0), vec![p], vec![i as i64]),
+            };
+            prev = Some(id);
+        }
+        g
+    }
+
+    fn wide(n: usize) -> DataflowGraph {
+        let mut g = DataflowGraph::new("wide", 32);
+        for i in 0..n {
+            g.add_node(CExpr::konst(Value::ZERO), vec![], vec![i as i64]);
+        }
+        g
+    }
+
+    #[test]
+    fn chain_has_no_parallelism() {
+        let c = PramCost::of(&chain(16));
+        assert_eq!(c.work, 16);
+        assert_eq!(c.depth, 16);
+        assert!((c.parallelism() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wide_graph_is_fully_parallel() {
+        let c = PramCost::of(&wide(16));
+        assert_eq!(c.depth, 1);
+        assert_eq!(c.time_on(16), 2); // 1 step of work + depth 1
+        assert_eq!(c.time_on(1), 17);
+    }
+
+    #[test]
+    fn brent_bound_monotone_in_p() {
+        let c = PramCost::of(&chain(100));
+        let mut last = u64::MAX;
+        for p in [1, 2, 4, 8, 16] {
+            let t = c.time_on(p);
+            assert!(t <= last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn unit_energy_is_work() {
+        assert_eq!(PramCost::of(&wide(7)).unit_energy(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_processors_rejected() {
+        PramCost::of(&wide(4)).time_on(0);
+    }
+}

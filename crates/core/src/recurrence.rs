@@ -1,0 +1,633 @@
+//! Affine tensor recurrences: the `Forall` form of the paper's example.
+//!
+//! ```text
+//! Forall i, j in (0:N-1, 0:N-1)
+//!   H(i,j) = min(H(i-1,j-1) + f(R[i],Q[j]), H(i-1,j)+D, H(i,j-1)+I, 0);
+//! ```
+//!
+//! A [`Recurrence`] is a rectangular iteration [`Domain`], one
+//! [`ElemExpr`] giving each element in terms of earlier elements and
+//! inputs, a [`Boundary`] policy for references that fall outside the
+//! domain, and an [`OutputSpec`] saying which elements constitute the
+//! result. [`Recurrence::elaborate`] unrolls it into a
+//! [`DataflowGraph`] — one node per domain point, node id equal to the
+//! point's row-major flat index.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataflow::{CExpr, DataflowGraph, InputSpec, Leaf, NodeId};
+use crate::expr::ElemExpr;
+use crate::value::Value;
+
+/// A rectangular iteration domain `(0:extents[0]-1, 0:extents[1]-1, …)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Domain {
+    /// Extent along each dimension.
+    pub extents: Vec<usize>,
+}
+
+impl Domain {
+    /// A 1-D domain of `n` points.
+    pub fn d1(n: usize) -> Domain {
+        Domain { extents: vec![n] }
+    }
+
+    /// A 2-D domain of `n × m` points.
+    pub fn d2(n: usize, m: usize) -> Domain {
+        Domain {
+            extents: vec![n, m],
+        }
+    }
+
+    /// A 3-D domain.
+    pub fn d3(n: usize, m: usize, k: usize) -> Domain {
+        Domain {
+            extents: vec![n, m, k],
+        }
+    }
+
+    /// Total number of points.
+    pub fn len(&self) -> usize {
+        self.extents.iter().product()
+    }
+
+    /// Whether the domain has no points.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.extents.len()
+    }
+
+    /// Row-major flat index of a point, or `None` if outside.
+    pub fn flatten(&self, idx: &[i64]) -> Option<usize> {
+        if idx.len() != self.extents.len() {
+            return None;
+        }
+        let mut flat = 0usize;
+        for (&i, &d) in idx.iter().zip(&self.extents) {
+            if i < 0 || i as usize >= d {
+                return None;
+            }
+            flat = flat * d + i as usize;
+        }
+        Some(flat)
+    }
+
+    /// Iterate all points in row-major (lexicographic) order.
+    pub fn iter(&self) -> DomainIter<'_> {
+        DomainIter {
+            domain: self,
+            next: if self.is_empty() {
+                None
+            } else {
+                Some(vec![0; self.extents.len()])
+            },
+        }
+    }
+}
+
+/// Iterator over domain points in lexicographic order.
+pub struct DomainIter<'a> {
+    domain: &'a Domain,
+    next: Option<Vec<i64>>,
+}
+
+impl Iterator for DomainIter<'_> {
+    type Item = Vec<i64>;
+
+    fn next(&mut self) -> Option<Vec<i64>> {
+        let cur = self.next.clone()?;
+        // Advance like an odometer, last dimension fastest.
+        let mut idx = cur.clone();
+        let mut dim = idx.len();
+        loop {
+            if dim == 0 {
+                self.next = None;
+                break;
+            }
+            dim -= 1;
+            idx[dim] += 1;
+            if (idx[dim] as usize) < self.domain.extents[dim] {
+                self.next = Some(idx);
+                break;
+            }
+            idx[dim] = 0;
+        }
+        Some(cur)
+    }
+}
+
+/// What value an out-of-domain self-reference takes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Boundary {
+    /// Out-of-domain references read 0 (the Smith-Waterman-style floor).
+    Zero,
+    /// Out-of-domain references read a constant.
+    Const(f64),
+    /// `base + scale·(i₀+1)` style linear boundary along the axis that
+    /// went negative — the classic global-edit-distance frame where
+    /// `H(-1, j) = (j+1)·gap` and `H(i, -1) = (i+1)·gap`.
+    LinearGap {
+        /// Per-step gap penalty.
+        gap: f64,
+    },
+}
+
+impl Boundary {
+    /// The boundary value for an out-of-domain point `idx`.
+    pub fn value_at(&self, idx: &[i64]) -> Value {
+        match self {
+            Boundary::Zero => Value::ZERO,
+            Boundary::Const(c) => Value::real(*c),
+            Boundary::LinearGap { gap } => {
+                // Distance of the point from the domain corner along the
+                // out-of-range axes: H(-1, j) = (j+1)·gap, H(i, -1) =
+                // (i+1)·gap, H(-1,-1) = 0.
+                let negs = idx.iter().filter(|&&i| i < 0).count();
+                if negs == idx.len() {
+                    return Value::ZERO;
+                }
+                let pos_sum: i64 = idx.iter().filter(|&&i| i >= 0).map(|&i| i + 1).sum();
+                Value::real(*gap * pos_sum as f64)
+            }
+        }
+    }
+}
+
+/// Which elements of the recurrence constitute its output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OutputSpec {
+    /// Every element is an output (e.g. a scan or a stencil sweep).
+    All,
+    /// Only the lexicographically last element (e.g. `H(N-1, M-1)`).
+    LastElement,
+    /// The last hyperplane along dimension 0 (e.g. the last row).
+    LastAlongDim0,
+}
+
+/// Errors elaboration can report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecurrenceError {
+    /// A self-reference offset does not point lexicographically earlier,
+    /// so the recurrence is not well founded under any schedule.
+    NotWellFounded {
+        /// The offending offset vector.
+        offset: Vec<i64>,
+    },
+    /// A self-reference has the wrong rank.
+    RankMismatch {
+        /// The offending offset vector.
+        offset: Vec<i64>,
+        /// Domain rank.
+        rank: usize,
+    },
+    /// An input reference resolved outside its tensor at some point.
+    InputOutOfRange {
+        /// Input id.
+        input: usize,
+        /// The domain point where the read failed.
+        at: Vec<i64>,
+        /// The resolved (out-of-range) input index.
+        index: Vec<i64>,
+    },
+    /// The expression references an undeclared input.
+    UnknownInput {
+        /// Input id.
+        input: usize,
+    },
+}
+
+impl std::fmt::Display for RecurrenceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecurrenceError::NotWellFounded { offset } => {
+                write!(f, "self-reference offset {offset:?} is not lexicographically negative")
+            }
+            RecurrenceError::RankMismatch { offset, rank } => {
+                write!(f, "self-reference offset {offset:?} does not match domain rank {rank}")
+            }
+            RecurrenceError::InputOutOfRange { input, at, index } => {
+                write!(f, "input {input} read at {index:?} (from domain point {at:?}) is out of range")
+            }
+            RecurrenceError::UnknownInput { input } => write!(f, "unknown input {input}"),
+        }
+    }
+}
+
+impl std::error::Error for RecurrenceError {}
+
+/// An affine tensor recurrence.
+///
+/// ```
+/// use fm_core::affine::IdxExpr;
+/// use fm_core::dataflow::InputSpec;
+/// use fm_core::expr::{ElemExpr, InputRef};
+/// use fm_core::recurrence::{Boundary, Domain, OutputSpec, Recurrence};
+/// use fm_core::value::Value;
+///
+/// // S(i) = S(i-1) + X[i]  — a running sum.
+/// let rec = Recurrence {
+///     name: "scan".into(),
+///     domain: Domain::d1(4),
+///     expr: ElemExpr::SelfRef(vec![-1]).add(ElemExpr::Input(InputRef {
+///         input: 0,
+///         index: vec![IdxExpr::i()],
+///     })),
+///     inputs: vec![InputSpec { name: "X".into(), dims: vec![4] }],
+///     width_bits: 32,
+///     boundary: Boundary::Zero,
+///     output: OutputSpec::All,
+/// };
+/// let graph = rec.elaborate().unwrap();
+/// let x: Vec<Value> = (1..=4).map(|v| Value::real(v as f64)).collect();
+/// let vals = graph.eval(&[x]);
+/// assert_eq!(vals.last().unwrap().re, 10.0); // 1+2+3+4
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Recurrence {
+    /// Name for reports.
+    pub name: String,
+    /// Iteration domain.
+    pub domain: Domain,
+    /// Element expression.
+    pub expr: ElemExpr,
+    /// Input tensor declarations.
+    pub inputs: Vec<InputSpec>,
+    /// Datapath width in bits.
+    pub width_bits: u32,
+    /// Boundary policy for out-of-domain self references.
+    pub boundary: Boundary,
+    /// Output selection.
+    pub output: OutputSpec,
+}
+
+impl Recurrence {
+    /// Validate that every self-reference offset is lexicographically
+    /// negative (references strictly earlier elements) and every input id
+    /// is declared.
+    pub fn validate(&self) -> Result<(), RecurrenceError> {
+        for off in self.expr.self_refs() {
+            if off.len() != self.domain.rank() {
+                return Err(RecurrenceError::RankMismatch {
+                    offset: off.to_vec(),
+                    rank: self.domain.rank(),
+                });
+            }
+            let lex_neg = off.iter().copied().find(|&o| o != 0).is_some_and(|o| o < 0);
+            if !lex_neg {
+                return Err(RecurrenceError::NotWellFounded {
+                    offset: off.to_vec(),
+                });
+            }
+        }
+        for r in self.expr.input_refs() {
+            if r.input >= self.inputs.len() {
+                return Err(RecurrenceError::UnknownInput { input: r.input });
+            }
+        }
+        Ok(())
+    }
+
+    /// Unroll into an element-level dataflow graph. Node ids equal
+    /// row-major flat domain indices.
+    pub fn elaborate(&self) -> Result<DataflowGraph, RecurrenceError> {
+        self.validate()?;
+        let mut g = DataflowGraph::new(self.name.clone(), self.width_bits);
+        for spec in &self.inputs {
+            g.add_input(spec.name.clone(), spec.dims.clone());
+        }
+
+        let rank = self.domain.rank();
+        let mut point_buf = vec![0i64; rank];
+        for idx in self.domain.iter() {
+            let mut deps: Vec<NodeId> = Vec::new();
+            let expr = self.compile(&idx, &mut deps, &mut point_buf)?;
+            let id = g.add_node(expr, deps, idx.clone());
+            debug_assert_eq!(id as usize, self.domain.flatten(&idx).unwrap());
+        }
+
+        match self.output {
+            OutputSpec::All => {
+                for id in 0..g.len() {
+                    g.mark_output(id as NodeId);
+                }
+            }
+            OutputSpec::LastElement => {
+                if !g.is_empty() {
+                    g.mark_output((g.len() - 1) as NodeId);
+                }
+            }
+            OutputSpec::LastAlongDim0 => {
+                let last = self.domain.extents[0] as i64 - 1;
+                let n = g.len();
+                for (id, node) in g.nodes.iter().enumerate().take(n) {
+                    if node.index[0] == last {
+                        // Collect first; mark after to appease the borrow
+                        // checker would require a second pass — instead
+                        // mark via index math below.
+                        let _ = id;
+                    }
+                }
+                let ids: Vec<NodeId> = g
+                    .nodes
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, node)| node.index[0] == last)
+                    .map(|(id, _)| id as NodeId)
+                    .collect();
+                for id in ids {
+                    g.mark_output(id);
+                }
+            }
+        }
+        Ok(g)
+    }
+
+    /// Compile the surface expression at one domain point into a
+    /// [`CExpr`], appending producer node ids to `deps` in slot order.
+    fn compile(
+        &self,
+        idx: &[i64],
+        deps: &mut Vec<NodeId>,
+        point_buf: &mut [i64],
+    ) -> Result<CExpr, RecurrenceError> {
+        self.compile_inner(&self.expr.clone(), idx, deps, point_buf)
+    }
+
+    fn compile_inner(
+        &self,
+        e: &ElemExpr,
+        idx: &[i64],
+        deps: &mut Vec<NodeId>,
+        point_buf: &mut [i64],
+    ) -> Result<CExpr, RecurrenceError> {
+        Ok(match e {
+            ElemExpr::Const(v) => CExpr::Leaf(Leaf::Const(*v)),
+            ElemExpr::SelfRef(off) => {
+                for (k, (&i, &o)) in idx.iter().zip(off.iter()).enumerate() {
+                    point_buf[k] = i + o;
+                }
+                match self.domain.flatten(point_buf) {
+                    Some(flat) => {
+                        let slot = deps.len() as u32;
+                        deps.push(flat as NodeId);
+                        CExpr::dep(slot)
+                    }
+                    None => CExpr::Leaf(Leaf::Const(self.boundary.value_at(point_buf))),
+                }
+            }
+            ElemExpr::Input(r) => {
+                let resolved: Vec<i64> = r.index.iter().map(|ix| ix.eval(idx)).collect();
+                let spec = &self.inputs[r.input];
+                let flat = spec.flatten(&resolved).ok_or_else(|| {
+                    RecurrenceError::InputOutOfRange {
+                        input: r.input,
+                        at: idx.to_vec(),
+                        index: resolved.clone(),
+                    }
+                })?;
+                CExpr::input(r.input as u32, flat as u32)
+            }
+            ElemExpr::Neg(a) => {
+                CExpr::Neg(Box::new(self.compile_inner(a, idx, deps, point_buf)?))
+            }
+            ElemExpr::Bin(op, a, b) => {
+                let ca = self.compile_inner(a, idx, deps, point_buf)?;
+                let cb = self.compile_inner(b, idx, deps, point_buf)?;
+                CExpr::Bin(*op, Box::new(ca), Box::new(cb))
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affine::IdxExpr;
+    use crate::expr::{BinOp, InputRef};
+
+    fn prefix_sum(n: usize) -> Recurrence {
+        // S(i) = S(i-1) + X[i]
+        Recurrence {
+            name: "scan".into(),
+            domain: Domain::d1(n),
+            expr: ElemExpr::SelfRef(vec![-1]).add(ElemExpr::Input(InputRef {
+                input: 0,
+                index: vec![IdxExpr::i()],
+            })),
+            inputs: vec![InputSpec {
+                name: "X".into(),
+                dims: vec![n],
+            }],
+            width_bits: 32,
+            boundary: Boundary::Zero,
+            output: OutputSpec::All,
+        }
+    }
+
+    #[test]
+    fn domain_iteration_lexicographic() {
+        let d = Domain::d2(2, 3);
+        let pts: Vec<Vec<i64>> = d.iter().collect();
+        assert_eq!(
+            pts,
+            vec![
+                vec![0, 0],
+                vec![0, 1],
+                vec![0, 2],
+                vec![1, 0],
+                vec![1, 1],
+                vec![1, 2]
+            ]
+        );
+        assert_eq!(d.len(), 6);
+    }
+
+    #[test]
+    fn empty_domain_iterates_nothing() {
+        let d = Domain::d2(0, 5);
+        assert!(d.is_empty());
+        assert_eq!(d.iter().count(), 0);
+    }
+
+    #[test]
+    fn elaborate_prefix_sum_and_eval() {
+        let r = prefix_sum(5);
+        let g = r.elaborate().unwrap();
+        assert_eq!(g.len(), 5);
+        let x: Vec<Value> = (1..=5).map(|v| Value::real(v as f64)).collect();
+        let vals = g.eval(&[x]);
+        let sums: Vec<f64> = vals.iter().map(|v| v.re).collect();
+        assert_eq!(sums, vec![1.0, 3.0, 6.0, 10.0, 15.0]);
+    }
+
+    #[test]
+    fn prefix_sum_depth_is_n() {
+        // The serial scan recurrence has an inherent chain of length n.
+        let g = prefix_sum(8).elaborate().unwrap();
+        assert_eq!(g.depth(), 8);
+    }
+
+    #[test]
+    fn boundary_zero_used_off_domain() {
+        let g = prefix_sum(3).elaborate().unwrap();
+        // First node has no deps: its self-ref resolved to boundary 0.
+        assert!(g.nodes[0].deps.is_empty());
+        assert_eq!(g.nodes[1].deps, vec![0]);
+    }
+
+    #[test]
+    fn boundary_linear_gap() {
+        let b = Boundary::LinearGap { gap: 2.0 };
+        assert_eq!(b.value_at(&[-1, 4]).re, 10.0); // (4+1)·2
+        assert_eq!(b.value_at(&[3, -1]).re, 8.0); // (3+1)·2
+        assert_eq!(b.value_at(&[-1, -1]).re, 0.0);
+    }
+
+    #[test]
+    fn not_well_founded_rejected() {
+        let mut r = prefix_sum(4);
+        r.expr = ElemExpr::SelfRef(vec![1]); // forward reference
+        assert!(matches!(
+            r.validate(),
+            Err(RecurrenceError::NotWellFounded { .. })
+        ));
+    }
+
+    #[test]
+    fn self_reference_zero_offset_rejected() {
+        let mut r = prefix_sum(4);
+        r.expr = ElemExpr::SelfRef(vec![0]);
+        assert!(matches!(
+            r.validate(),
+            Err(RecurrenceError::NotWellFounded { .. })
+        ));
+    }
+
+    #[test]
+    fn rank_mismatch_rejected() {
+        let mut r = prefix_sum(4);
+        r.expr = ElemExpr::SelfRef(vec![-1, 0]);
+        assert!(matches!(
+            r.validate(),
+            Err(RecurrenceError::RankMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_input_rejected() {
+        let mut r = prefix_sum(4);
+        r.expr = ElemExpr::Input(InputRef {
+            input: 3,
+            index: vec![IdxExpr::i()],
+        });
+        assert!(matches!(
+            r.validate(),
+            Err(RecurrenceError::UnknownInput { input: 3 })
+        ));
+    }
+
+    #[test]
+    fn input_out_of_range_reported() {
+        let mut r = prefix_sum(4);
+        // X[i+10] runs off the end.
+        r.expr = ElemExpr::Input(InputRef {
+            input: 0,
+            index: vec![IdxExpr::i() + IdxExpr::c(10)],
+        });
+        assert!(matches!(
+            r.elaborate(),
+            Err(RecurrenceError::InputOutOfRange { input: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn lex_negative_mixed_offset_allowed() {
+        // (-1, +5) is lexicographically negative: allowed even though
+        // the second component is positive.
+        let r = Recurrence {
+            name: "skew".into(),
+            domain: Domain::d2(4, 8),
+            expr: ElemExpr::SelfRef(vec![-1, 5]).add(ElemExpr::lit(1.0)),
+            inputs: vec![],
+            width_bits: 32,
+            boundary: Boundary::Zero,
+            output: OutputSpec::All,
+        };
+        let g = r.elaborate().unwrap();
+        // Node (1,0) depends on (0,5).
+        let id = Domain::d2(4, 8).flatten(&[1, 0]).unwrap();
+        assert_eq!(g.nodes[id].deps, vec![5]);
+    }
+
+    #[test]
+    fn output_specs() {
+        let mut r = prefix_sum(4);
+        r.output = OutputSpec::LastElement;
+        let g = r.elaborate().unwrap();
+        assert_eq!(g.outputs(), vec![3]);
+
+        let r2 = Recurrence {
+            name: "grid".into(),
+            domain: Domain::d2(3, 2),
+            expr: ElemExpr::SelfRef(vec![-1, 0]).add(ElemExpr::lit(1.0)),
+            inputs: vec![],
+            width_bits: 32,
+            boundary: Boundary::Zero,
+            output: OutputSpec::LastAlongDim0,
+        };
+        let g2 = r2.elaborate().unwrap();
+        assert_eq!(g2.outputs(), vec![4, 5]);
+    }
+
+    #[test]
+    fn edit_distance_values_match_reference() {
+        // Global edit distance (Levenshtein) via LinearGap boundary.
+        let r_str = b"kitten";
+        let q_str = b"sitting";
+        let n = r_str.len();
+        let m = q_str.len();
+        let f = ElemExpr::Bin(
+            BinOp::Match { eq: 0.0, ne: 1.0 },
+            Box::new(ElemExpr::Input(InputRef {
+                input: 0,
+                index: vec![IdxExpr::i()],
+            })),
+            Box::new(ElemExpr::Input(InputRef {
+                input: 1,
+                index: vec![IdxExpr::j()],
+            })),
+        );
+        let rec = Recurrence {
+            name: "edit".into(),
+            domain: Domain::d2(n, m),
+            expr: ElemExpr::min_of(vec![
+                ElemExpr::SelfRef(vec![-1, -1]).add(f),
+                ElemExpr::SelfRef(vec![-1, 0]).add(ElemExpr::lit(1.0)),
+                ElemExpr::SelfRef(vec![0, -1]).add(ElemExpr::lit(1.0)),
+            ]),
+            inputs: vec![
+                InputSpec {
+                    name: "R".into(),
+                    dims: vec![n],
+                },
+                InputSpec {
+                    name: "Q".into(),
+                    dims: vec![m],
+                },
+            ],
+            width_bits: 32,
+            boundary: Boundary::LinearGap { gap: 1.0 },
+            output: OutputSpec::LastElement,
+        };
+        let g = rec.elaborate().unwrap();
+        let rv: Vec<Value> = r_str.iter().map(|&c| Value::real(c as f64)).collect();
+        let qv: Vec<Value> = q_str.iter().map(|&c| Value::real(c as f64)).collect();
+        let vals = g.eval(&[rv, qv]);
+        // Levenshtein("kitten", "sitting") = 3.
+        assert_eq!(vals.last().unwrap().re, 3.0);
+    }
+}

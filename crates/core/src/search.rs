@@ -1,0 +1,533 @@
+//! Mapping-space search.
+//!
+//! "For each function there are many possible mappings that range from
+//! completely serial to minimum-depth parallel with many points
+//! between. One can systematically search the space of possible
+//! mappings to optimize a given figure of merit: execution time, energy
+//! per op, memory footprint, or some combination."
+//!
+//! Three engines:
+//!
+//! * [`search`] — exhaustive evaluation of an explicit candidate list
+//!   (a *mapping family*), keeping every legal result, the best under a
+//!   [`FigureOfMerit`], and the time/energy Pareto front;
+//! * [`default_mapper`] — the paper's "default mapper" for programmers
+//!   who "don't want to bother with mapping": a greedy list scheduler
+//!   that places each element where it becomes ready earliest,
+//!   producing a legal table mapping for *any* graph;
+//! * [`anneal`] — a simulated-annealing refiner over placements (times
+//!   re-derived by list scheduling), for irregular graphs where no
+//!   affine family applies.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::Serialize;
+
+use crate::cost::{CostReport, Evaluator};
+use crate::dataflow::DataflowGraph;
+use crate::legality::check;
+use crate::machine::MachineConfig;
+use crate::mapping::{Mapping, ResolvedMapping};
+
+/// What to optimize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum FigureOfMerit {
+    /// Execution time (ps).
+    Time,
+    /// Total energy (fJ).
+    Energy,
+    /// Energy-delay product.
+    Edp,
+    /// Peak tile footprint (bits).
+    Footprint,
+}
+
+impl FigureOfMerit {
+    /// Scalar score (lower is better).
+    pub fn score(self, r: &CostReport) -> f64 {
+        match self {
+            FigureOfMerit::Time => r.time_ps.raw(),
+            FigureOfMerit::Energy => r.energy().raw(),
+            FigureOfMerit::Edp => r.edp(),
+            FigureOfMerit::Footprint => r.peak_tile_bits as f64,
+        }
+    }
+}
+
+/// A named candidate mapping.
+#[derive(Debug, Clone)]
+pub struct MappingCandidate {
+    /// Label for reports (e.g. `"P=8 skewed"`).
+    pub label: String,
+    /// The mapping.
+    pub mapping: Mapping,
+}
+
+impl MappingCandidate {
+    /// Construct.
+    pub fn new(label: impl Into<String>, mapping: Mapping) -> Self {
+        MappingCandidate {
+            label: label.into(),
+            mapping,
+        }
+    }
+}
+
+/// A family of candidate mappings. Kernel crates implement this for
+/// their recurrences (e.g. "anti-diagonal with P ∈ {1,2,4,…}, skew ∈
+/// {paper, corrected}").
+pub trait MappingFamily {
+    /// Enumerate the family.
+    fn candidates(&self, machine: &MachineConfig) -> Vec<MappingCandidate>;
+}
+
+/// One evaluated legal mapping.
+#[derive(Debug, Clone, Serialize)]
+pub struct SearchResult {
+    /// Candidate label.
+    pub label: String,
+    /// Cost report.
+    pub report: CostReport,
+    /// Score under the search's figure of merit (lower is better).
+    pub score: f64,
+}
+
+/// The outcome of a search.
+#[derive(Debug, Clone, Serialize)]
+pub struct SearchOutcome {
+    /// Candidates evaluated.
+    pub evaluated: usize,
+    /// Candidates that were legal.
+    pub legal: usize,
+    /// Labels of illegal candidates (with violation counts).
+    pub rejected: Vec<(String, u64)>,
+    /// Legal results sorted by ascending score.
+    pub results: Vec<SearchResult>,
+    /// Indices into `results` forming the time/energy Pareto front,
+    /// sorted by ascending time.
+    pub pareto: Vec<usize>,
+}
+
+impl SearchOutcome {
+    /// The best legal result, if any.
+    pub fn best(&self) -> Option<&SearchResult> {
+        self.results.first()
+    }
+}
+
+/// Exhaustively evaluate a candidate list.
+pub fn search(
+    evaluator: &Evaluator<'_>,
+    graph: &DataflowGraph,
+    machine: &MachineConfig,
+    candidates: &[MappingCandidate],
+    fom: FigureOfMerit,
+) -> SearchOutcome {
+    let mut results = Vec::new();
+    let mut rejected = Vec::new();
+    for cand in candidates {
+        let rm = match cand.mapping.resolve(graph, machine) {
+            Ok(rm) => rm,
+            Err(_) => {
+                rejected.push((cand.label.clone(), u64::MAX));
+                continue;
+            }
+        };
+        let rep = check(graph, &rm, machine);
+        if !rep.is_legal() {
+            rejected.push((cand.label.clone(), rep.total_violations));
+            continue;
+        }
+        let report = evaluator.evaluate(&rm);
+        let score = fom.score(&report);
+        results.push(SearchResult {
+            label: cand.label.clone(),
+            report,
+            score,
+        });
+    }
+    results.sort_by(|a, b| a.score.total_cmp(&b.score));
+    let pareto = pareto_front(&results);
+    SearchOutcome {
+        evaluated: candidates.len(),
+        legal: results.len(),
+        rejected,
+        results,
+        pareto,
+    }
+}
+
+/// Indices of the time/energy Pareto-optimal results, ascending in time.
+fn pareto_front(results: &[SearchResult]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..results.len()).collect();
+    idx.sort_by(|&a, &b| {
+        results[a]
+            .report
+            .time_ps
+            .raw()
+            .total_cmp(&results[b].report.time_ps.raw())
+    });
+    let mut front = Vec::new();
+    let mut best_energy = f64::INFINITY;
+    for i in idx {
+        let e = results[i].report.energy().raw();
+        if e < best_energy {
+            best_energy = e;
+            front.push(i);
+        }
+    }
+    front
+}
+
+/// The default mapper: greedy list scheduling over the grid.
+///
+/// Visits nodes in topological (id) order; each node is placed on the
+/// PE where it can start earliest, considering operand arrival
+/// (causality gap from each producer) and PE occupancy; ties break
+/// toward the PE with the least operand-movement energy. The result is
+/// legal by construction for causality and single-issue occupancy.
+pub fn default_mapper(graph: &DataflowGraph, machine: &MachineConfig) -> ResolvedMapping {
+    let pes: Vec<(u32, u32)> = (0..machine.rows)
+        .flat_map(|y| (0..machine.cols).map(move |x| (x, y)))
+        .collect();
+    // Next free cycle per PE (single-issue model).
+    let mut next_free: Vec<i64> = vec![0; pes.len()];
+    let pe_index = |p: (u32, u32)| (p.1 * machine.cols + p.0) as usize;
+
+    let mut place: Vec<(i64, i64)> = Vec::with_capacity(graph.len());
+    let mut time: Vec<i64> = Vec::with_capacity(graph.len());
+
+    for (id, n) in graph.nodes.iter().enumerate() {
+        // Candidate PEs: producers' PEs, their 4-neighborhoods, and the
+        // globally least-loaded PE. Sources consider only the least
+        // loaded (spreading independent work).
+        let mut cands: Vec<(u32, u32)> = Vec::new();
+        for &d in &n.deps {
+            let (px, py) = place[d as usize];
+            let p = (px as u32, py as u32);
+            cands.push(p);
+            for (dx, dy) in [(1i64, 0i64), (-1, 0), (0, 1), (0, -1)] {
+                let (nx, ny) = (px + dx, py + dy);
+                if machine.contains(nx, ny) {
+                    cands.push((nx as u32, ny as u32));
+                }
+            }
+        }
+        let least = (0..pes.len()).min_by_key(|&i| next_free[i]).unwrap();
+        cands.push(pes[least]);
+        cands.sort_unstable();
+        cands.dedup();
+
+        let mut best: Option<((u32, u32), i64, f64)> = None;
+        for &pe in &cands {
+            let mut ready: i64 = 0;
+            let mut move_mm = 0.0;
+            for &d in &n.deps {
+                let (px, py) = place[d as usize];
+                let prod = (px as u32, py as u32);
+                let arrive = time[d as usize] + machine.required_gap(prod, pe);
+                ready = ready.max(arrive);
+                move_mm += machine.distance_mm(prod, pe);
+            }
+            let start = ready.max(next_free[pe_index(pe)]);
+            let better = match &best {
+                None => true,
+                Some((_, bt, bm)) => start < *bt || (start == *bt && move_mm < *bm),
+            };
+            if better {
+                best = Some((pe, start, move_mm));
+            }
+        }
+        let (pe, start, _) = best.expect("at least one candidate PE");
+        next_free[pe_index(pe)] = start + 1;
+        place.push((i64::from(pe.0), i64::from(pe.1)));
+        time.push(start);
+        let _ = id;
+    }
+
+    ResolvedMapping { place, time }
+}
+
+/// List-schedule *times* for fixed placements: each node starts at the
+/// earliest cycle satisfying causality and single-issue occupancy of
+/// its (given) PE. Used by [`anneal`] to re-derive a legal schedule
+/// after moving nodes.
+pub fn retime(
+    graph: &DataflowGraph,
+    places: &[(i64, i64)],
+    machine: &MachineConfig,
+) -> ResolvedMapping {
+    use std::collections::HashMap;
+    let mut busy: HashMap<(i64, i64), Vec<i64>> = HashMap::new(); // sorted busy cycles per PE
+    let mut time: Vec<i64> = Vec::with_capacity(graph.len());
+    for (id, n) in graph.nodes.iter().enumerate() {
+        let pe = places[id];
+        let pe_u = (pe.0 as u32, pe.1 as u32);
+        let mut ready = 0i64;
+        for &d in &n.deps {
+            let prod = places[d as usize];
+            let prod_u = (prod.0 as u32, prod.1 as u32);
+            ready = ready.max(time[d as usize] + machine.required_gap(prod_u, pe_u));
+        }
+        let slots = busy.entry(pe).or_default();
+        // Find first cycle ≥ ready not already taken (slots kept sorted).
+        let mut t = ready;
+        let mut pos = slots.partition_point(|&s| s < ready);
+        while pos < slots.len() && slots[pos] == t {
+            t += 1;
+            pos += 1;
+        }
+        slots.insert(pos, t);
+        time.push(t);
+    }
+    ResolvedMapping {
+        place: places.to_vec(),
+        time,
+    }
+}
+
+/// Simulated-annealing placement refiner.
+///
+/// Starts from `init` placements, proposes single-node moves to random
+/// neighboring PEs, re-derives times with [`retime`], and accepts by
+/// the Metropolis rule on the figure-of-merit score. Returns the best
+/// mapping found and its report.
+pub fn anneal(
+    evaluator: &Evaluator<'_>,
+    graph: &DataflowGraph,
+    machine: &MachineConfig,
+    init: &ResolvedMapping,
+    fom: FigureOfMerit,
+    iters: u32,
+    seed: u64,
+) -> (ResolvedMapping, CostReport) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut places = init.place.clone();
+    let mut current = retime(graph, &places, machine);
+    let mut current_score = fom.score(&evaluator.evaluate(&current));
+    let mut best = current.clone();
+    let mut best_score = current_score;
+
+    if graph.is_empty() {
+        let report = evaluator.evaluate(&best);
+        return (best, report);
+    }
+
+    let t0 = current_score.abs().max(1.0) * 0.05;
+    for it in 0..iters {
+        let temp = t0 * (1.0 - f64::from(it) / f64::from(iters.max(1))).max(1e-3);
+        let node = rng.random_range(0..graph.len());
+        let old = places[node];
+        let (dx, dy) = match rng.random_range(0..4u8) {
+            0 => (1i64, 0i64),
+            1 => (-1, 0),
+            2 => (0, 1),
+            _ => (0, -1),
+        };
+        let cand = (old.0 + dx, old.1 + dy);
+        if !machine.contains(cand.0, cand.1) {
+            continue;
+        }
+        places[node] = cand;
+        let rm = retime(graph, &places, machine);
+        let score = fom.score(&evaluator.evaluate(&rm));
+        let accept = score <= current_score
+            || rng.random::<f64>() < ((current_score - score) / temp).exp();
+        if accept {
+            current = rm;
+            current_score = score;
+            if score < best_score {
+                best = current.clone();
+                best_score = score;
+            }
+        } else {
+            places[node] = old;
+        }
+    }
+    let report = evaluator.evaluate(&best);
+    (best, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affine::IdxExpr;
+    use crate::dataflow::CExpr;
+    use crate::mapping::{AffineMap, PlaceExpr};
+    use crate::value::Value;
+
+    /// Independent elements: i ↦ const, n of them.
+    fn wide(n: usize) -> DataflowGraph {
+        let mut g = DataflowGraph::new("wide", 32);
+        for i in 0..n {
+            g.add_node(CExpr::konst(Value::real(i as f64)), vec![], vec![i as i64]);
+        }
+        g
+    }
+
+    /// Serial chain.
+    fn chain(n: usize) -> DataflowGraph {
+        let mut g = DataflowGraph::new("chain", 32);
+        let mut prev: Option<u32> = None;
+        for i in 0..n {
+            let id = match prev {
+                None => g.add_node(CExpr::konst(Value::ZERO), vec![], vec![i as i64]),
+                Some(p) => g.add_node(
+                    CExpr::dep(0).add(CExpr::konst(Value::real(1.0))),
+                    vec![p],
+                    vec![i as i64],
+                ),
+            };
+            prev = Some(id);
+        }
+        g
+    }
+
+    #[test]
+    fn search_ranks_parallel_over_serial_for_time() {
+        let g = wide(16);
+        let m = MachineConfig::linear(16);
+        let ev = Evaluator::new(&g, &m);
+        let cands = vec![
+            MappingCandidate::new("serial", Mapping::serial(&g)),
+            MappingCandidate::new(
+                "parallel",
+                Mapping::Affine(AffineMap {
+                    place: PlaceExpr::row0(IdxExpr::i()),
+                    time: IdxExpr::c(0),
+                }),
+            ),
+        ];
+        let out = search(&ev, &g, &m, &cands, FigureOfMerit::Time);
+        assert_eq!(out.legal, 2);
+        assert_eq!(out.best().unwrap().label, "parallel");
+    }
+
+    #[test]
+    fn illegal_candidates_rejected_with_counts() {
+        let g = chain(4);
+        let m = MachineConfig::linear(4);
+        let ev = Evaluator::new(&g, &m);
+        let cands = vec![MappingCandidate::new(
+            "all-at-once",
+            Mapping::Affine(AffineMap {
+                place: PlaceExpr::row0(IdxExpr::i()),
+                time: IdxExpr::c(0), // dependent nodes simultaneous
+            }),
+        )];
+        let out = search(&ev, &g, &m, &cands, FigureOfMerit::Time);
+        assert_eq!(out.legal, 0);
+        assert_eq!(out.rejected.len(), 1);
+        assert!(out.rejected[0].1 >= 3);
+        assert!(out.best().is_none());
+    }
+
+    #[test]
+    fn pareto_front_is_nondominated() {
+        let g = wide(8);
+        let m = MachineConfig::linear(8);
+        let ev = Evaluator::new(&g, &m);
+        // Families: serial (slow, cheap movement), spread (fast, same
+        // energy here since no deps) — front must be nonempty and
+        // monotone.
+        let cands = vec![
+            MappingCandidate::new("serial", Mapping::serial(&g)),
+            MappingCandidate::new(
+                "spread",
+                Mapping::Affine(AffineMap {
+                    place: PlaceExpr::row0(IdxExpr::i()),
+                    time: IdxExpr::c(0),
+                }),
+            ),
+        ];
+        let out = search(&ev, &g, &m, &cands, FigureOfMerit::Edp);
+        assert!(!out.pareto.is_empty());
+        // Front sorted by time with strictly decreasing energy.
+        let mut last_t = f64::NEG_INFINITY;
+        let mut last_e = f64::INFINITY;
+        for &i in &out.pareto {
+            let r = &out.results[i].report;
+            assert!(r.time_ps.raw() >= last_t);
+            assert!(r.energy().raw() < last_e);
+            last_t = r.time_ps.raw();
+            last_e = r.energy().raw();
+        }
+    }
+
+    #[test]
+    fn default_mapper_is_legal_on_random_dag() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut g = DataflowGraph::new("random", 32);
+        for i in 0..200u32 {
+            let ndeps = rng.random_range(0..=2.min(i));
+            let mut deps = Vec::new();
+            for _ in 0..ndeps {
+                deps.push(rng.random_range(0..i));
+            }
+            deps.sort_unstable();
+            deps.dedup();
+            let expr = match deps.len() {
+                0 => CExpr::konst(Value::real(1.0)),
+                1 => CExpr::dep(0),
+                _ => CExpr::dep(0).add(CExpr::dep(1)),
+            };
+            g.add_node(expr, deps, vec![i as i64]);
+        }
+        let m = MachineConfig::n5(4, 4);
+        let rm = default_mapper(&g, &m);
+        let rep = check(&g, &rm, &m);
+        assert!(rep.is_legal(), "{:?}", &rep.errors[..rep.errors.len().min(3)]);
+    }
+
+    #[test]
+    fn default_mapper_spreads_independent_work() {
+        let g = wide(16);
+        let m = MachineConfig::n5(4, 4);
+        let rm = default_mapper(&g, &m);
+        assert!(rm.pes_used() > 8, "used {}", rm.pes_used());
+        assert!(rm.makespan() <= 2);
+    }
+
+    #[test]
+    fn default_mapper_keeps_chain_local() {
+        let g = chain(32);
+        let m = MachineConfig::n5(4, 4);
+        let rm = default_mapper(&g, &m);
+        // A chain gains nothing from moving; the mapper should keep it
+        // on very few PEs and near the minimum makespan.
+        assert!(rm.pes_used() <= 2);
+        assert_eq!(rm.makespan(), 32);
+    }
+
+    #[test]
+    fn retime_respects_occupancy() {
+        let g = wide(4);
+        let m = MachineConfig::linear(2);
+        // All four on one PE → times must be distinct.
+        let places = vec![(0i64, 0i64); 4];
+        let rm = retime(&g, &places, &m);
+        let mut ts = rm.time.clone();
+        ts.sort_unstable();
+        ts.dedup();
+        assert_eq!(ts.len(), 4);
+        assert!(check(&g, &rm, &m).is_legal());
+    }
+
+    #[test]
+    fn anneal_does_not_regress() {
+        let g = chain(16);
+        let m = MachineConfig::n5(4, 4);
+        let ev = Evaluator::new(&g, &m);
+        // Start from a deliberately bad placement: alternate corners.
+        let places: Vec<(i64, i64)> = (0..16)
+            .map(|i| if i % 2 == 0 { (0, 0) } else { (3, 3) })
+            .collect();
+        let init = retime(&g, &places, &m);
+        let init_score = FigureOfMerit::Energy.score(&ev.evaluate(&init));
+        let (best_rm, best_rep) = anneal(&ev, &g, &m, &init, FigureOfMerit::Energy, 400, 7);
+        assert!(best_rep.energy().raw() <= init_score);
+        assert!(check(&g, &best_rm, &m).is_legal());
+    }
+}

@@ -1,0 +1,241 @@
+//! Mapping transforms: recompute instead of communicate.
+//!
+//! "A mapping may compute the same element at multiple points in time
+//! and/or space — rather than storing it or communicating it between
+//! those points." (§3)
+//!
+//! [`recompute_at_consumers`] rewrites a mapped graph so that selected
+//! nodes are *duplicated onto each distinct remote consumer PE*: the
+//! consumers there read a local copy, and the producer's messages to
+//! those PEs disappear. The copy executes the same expression, reading
+//! the same dependencies and inputs — so the trade is explicit:
+//!
+//! * **save**: one NoC message per (node, remote PE);
+//! * **pay**: one extra evaluation of the node's expression per remote
+//!   PE, plus whatever movement the *node's own operands* now need to
+//!   reach the replica.
+//!
+//! Recompute wins when the expression is cheap and its operands are
+//! already available everywhere (input reads under `AtUse`/local
+//! placement); it loses when the expression is expensive or its
+//! operands would themselves have to travel. The ablation experiment
+//! (`fm-bench`, E13) sweeps exactly that crossover.
+
+use std::collections::HashMap;
+
+use crate::dataflow::{DataflowGraph, NodeId};
+use crate::mapping::ResolvedMapping;
+
+/// Duplicate each node in `targets` onto every distinct remote consumer
+/// PE, rewiring those consumers to their local replica. Replicas are
+/// scheduled at the original node's cycle on the consumer's PE.
+///
+/// The result's legality is the caller's to re-check (replicas import
+/// the original's dependencies, which may now cross different
+/// distances; targets whose dependencies are input-only are always
+/// safe). Targets must not include output nodes' sole instance
+/// semantics — outputs stay on the original.
+///
+/// Returns the transformed graph and mapping. Node ids change; the
+/// returned map gives `old id → new id` for the original nodes.
+pub fn recompute_at_consumers(
+    graph: &DataflowGraph,
+    rm: &ResolvedMapping,
+    targets: &[NodeId],
+) -> (DataflowGraph, ResolvedMapping, Vec<NodeId>) {
+    let is_target: std::collections::HashSet<NodeId> = targets.iter().copied().collect();
+    let consumers = graph.consumers();
+
+    let mut out = DataflowGraph::new(graph.name.clone(), graph.width_bits);
+    for spec in &graph.inputs {
+        out.add_input(spec.name.clone(), spec.dims.clone());
+    }
+
+    let mut place: Vec<(i64, i64)> = Vec::new();
+    let mut time: Vec<i64> = Vec::new();
+    // old id → new id of the original copy.
+    let mut remap: Vec<NodeId> = vec![0; graph.len()];
+    // (old target id, consumer PE) → replica new id.
+    let mut replicas: HashMap<(NodeId, (i64, i64)), NodeId> = HashMap::new();
+
+    for (old_id, node) in graph.nodes.iter().enumerate() {
+        let old_id = old_id as NodeId;
+        let my_pe = rm.place[old_id as usize];
+        // Rewire deps: prefer a replica on *my* PE when one exists.
+        let deps: Vec<NodeId> = node
+            .deps
+            .iter()
+            .map(|&d| {
+                replicas
+                    .get(&(d, my_pe))
+                    .copied()
+                    .unwrap_or(remap[d as usize])
+            })
+            .collect();
+        let new_id = out.add_node(node.expr.clone(), deps.clone(), node.index.clone());
+        if node.output {
+            out.mark_output(new_id);
+        }
+        remap[old_id as usize] = new_id;
+        place.push(my_pe);
+        time.push(rm.time[old_id as usize]);
+
+        if is_target.contains(&old_id) {
+            // One replica per distinct remote consumer PE.
+            let mut pes: Vec<(i64, i64)> = consumers[old_id as usize]
+                .iter()
+                .map(|&c| rm.place[c as usize])
+                .filter(|&p| p != my_pe)
+                .collect();
+            pes.sort_unstable();
+            pes.dedup();
+            for pe in pes {
+                let rep_id = out.add_node(node.expr.clone(), deps.clone(), node.index.clone());
+                replicas.insert((old_id, pe), rep_id);
+                place.push(pe);
+                time.push(rm.time[old_id as usize]);
+            }
+        }
+    }
+
+    (
+        out,
+        ResolvedMapping { place, time },
+        remap,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::Evaluator;
+    use crate::dataflow::CExpr;
+    use crate::legality::check;
+    use crate::machine::MachineConfig;
+    use crate::mapping::InputPlacement;
+    use crate::value::Value;
+
+    /// A broadcast: one node (reading input 0) consumed by `k` nodes on
+    /// distinct PEs.
+    fn broadcast(k: usize, expr_ops: usize) -> (DataflowGraph, ResolvedMapping) {
+        let mut g = DataflowGraph::new("broadcast", 32);
+        let x = g.add_input("X", vec![1]);
+        // Source expression with a tunable number of ops.
+        let mut e = CExpr::input(x, 0);
+        for _ in 0..expr_ops {
+            e = e.add(CExpr::konst(Value::real(1.0)));
+        }
+        let src = g.add_node(e, vec![], vec![0]);
+        let mut place = vec![(0i64, 0i64)];
+        let mut time = vec![0i64];
+        for i in 0..k {
+            let id = g.add_node(
+                CExpr::dep(0).mul(CExpr::konst(Value::real(2.0))),
+                vec![src],
+                vec![i as i64 + 1],
+            );
+            g.mark_output(id);
+            place.push((i as i64 + 1, 0));
+            time.push(1 + i as i64 + 1); // cover hops
+        }
+        (g, ResolvedMapping { place, time })
+    }
+
+    #[test]
+    fn replication_eliminates_messages() {
+        let (g, rm) = broadcast(4, 1);
+        let m = MachineConfig::linear(8);
+        assert!(check(&g, &rm, &m).is_legal());
+        let before = Evaluator::new(&g, &m)
+            .with_all_inputs(InputPlacement::AtUse)
+            .evaluate(&rm);
+        assert_eq!(before.ledger.onchip_messages, 4);
+
+        let (g2, rm2, _) = recompute_at_consumers(&g, &rm, &[0]);
+        assert!(check(&g2, &rm2, &m).is_legal());
+        let after = Evaluator::new(&g2, &m)
+            .with_all_inputs(InputPlacement::AtUse)
+            .evaluate(&rm2);
+        assert_eq!(after.ledger.onchip_messages, 0);
+        assert_eq!(g2.len(), g.len() + 4); // one replica per consumer PE
+    }
+
+    #[test]
+    fn replication_preserves_values() {
+        let (g, rm) = broadcast(3, 2);
+        let (g2, rm2, remap) = recompute_at_consumers(&g, &rm, &[0]);
+        let _ = rm2;
+        let x = vec![vec![Value::real(5.0)]];
+        let v1 = g.eval(&x);
+        let v2 = g2.eval(&x);
+        // Outputs (consumers) must be unchanged.
+        for (old, node) in g.nodes.iter().enumerate() {
+            if node.output {
+                let new = remap[old];
+                assert!(v1[old].approx_eq(v2[new as usize], 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn recompute_wins_for_cheap_exprs_loses_for_expensive() {
+        let m = MachineConfig::linear(8);
+        let energy = |expr_ops: usize, replicate: bool| -> f64 {
+            let (g, rm) = broadcast(6, expr_ops);
+            if replicate {
+                let (g2, rm2, _) = recompute_at_consumers(&g, &rm, &[0]);
+                Evaluator::new(&g2, &m)
+                    .with_all_inputs(InputPlacement::AtUse)
+                    .evaluate(&rm2)
+                    .energy()
+                    .raw()
+            } else {
+                Evaluator::new(&g, &m)
+                    .with_all_inputs(InputPlacement::AtUse)
+                    .evaluate(&rm)
+                    .energy()
+                    .raw()
+            }
+        };
+        // Cheap source: recompute wins (messages dominate).
+        assert!(energy(1, true) < energy(1, false));
+        // Very expensive source: communicating one result beats
+        // recomputing a 100,000-op expression six times... at 5 nm wire
+        // costs even that takes a while to flip — use a huge expression.
+        let cheap_gain = energy(1, false) - energy(1, true);
+        let costly_gain = energy(2000, false) - energy(2000, true);
+        assert!(costly_gain < cheap_gain, "{costly_gain} !< {cheap_gain}");
+    }
+
+    #[test]
+    fn untargeted_nodes_untouched() {
+        let (g, rm) = broadcast(2, 1);
+        let (g2, rm2, remap) = recompute_at_consumers(&g, &rm, &[]);
+        assert_eq!(g2.len(), g.len());
+        assert_eq!(rm2.place, rm.place);
+        assert_eq!(remap, (0..g.len() as NodeId).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chained_consumers_use_local_replica() {
+        // src → a (PE 1) → b (PE 1): after replicating src, `a` reads
+        // the PE-1 replica; `b` reads `a` locally — zero messages.
+        let mut g = DataflowGraph::new("chain", 32);
+        let x = g.add_input("X", vec![1]);
+        let src = g.add_node(CExpr::input(x, 0), vec![], vec![0]);
+        let a = g.add_node(CExpr::dep(0), vec![src], vec![1]);
+        let b = g.add_node(CExpr::dep(0), vec![a], vec![2]);
+        g.mark_output(b);
+        let rm = ResolvedMapping {
+            place: vec![(0, 0), (1, 0), (1, 0)],
+            time: vec![0, 1, 2],
+        };
+        let m = MachineConfig::linear(4);
+        let (g2, rm2, _) = recompute_at_consumers(&g, &rm, &[src]);
+        assert!(check(&g2, &rm2, &m).is_legal());
+        let rep = Evaluator::new(&g2, &m)
+            .with_all_inputs(InputPlacement::AtUse)
+            .evaluate(&rm2);
+        assert_eq!(rep.ledger.onchip_messages, 0);
+    }
+}

@@ -1,0 +1,209 @@
+//! The scalar value domain for F&M functions.
+//!
+//! A single value type keeps the element-level dataflow graph monomorphic
+//! (no generics bubbling through mappings and simulators). We use a
+//! complex double: real kernels (edit distance, scan, matmul, BFS)
+//! operate on the real part with `im == 0`, and the FFT kernels get
+//! native complex arithmetic. Comparisons (`min`/`max`) order by the
+//! real part, which is exactly what the real kernels need and meaningless
+//!-but-harmless for complex ones.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A complex double value flowing along dataflow edges.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Value {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part (zero for real kernels).
+    pub im: f64,
+}
+
+impl Value {
+    /// Zero.
+    pub const ZERO: Value = Value { re: 0.0, im: 0.0 };
+
+    /// A purely real value.
+    #[inline]
+    pub const fn real(re: f64) -> Value {
+        Value { re, im: 0.0 }
+    }
+
+    /// A complex value.
+    #[inline]
+    pub const fn complex(re: f64, im: f64) -> Value {
+        Value { re, im }
+    }
+
+    /// `e^{iθ}` — the FFT twiddle factor.
+    pub fn cis(theta: f64) -> Value {
+        Value {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Minimum by real part.
+    #[inline]
+    pub fn min(self, other: Value) -> Value {
+        if self.re <= other.re {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Maximum by real part.
+    #[inline]
+    pub fn max(self, other: Value) -> Value {
+        if self.re >= other.re {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Magnitude (L2 norm).
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Approximate equality with absolute tolerance on both parts.
+    pub fn approx_eq(self, other: Value, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+}
+
+impl From<f64> for Value {
+    fn from(re: f64) -> Value {
+        Value::real(re)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::real(v as f64)
+    }
+}
+
+impl Add for Value {
+    type Output = Value;
+    #[inline]
+    fn add(self, rhs: Value) -> Value {
+        Value {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
+    }
+}
+
+impl Sub for Value {
+    type Output = Value;
+    #[inline]
+    fn sub(self, rhs: Value) -> Value {
+        Value {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
+    }
+}
+
+impl Mul for Value {
+    type Output = Value;
+    #[inline]
+    fn mul(self, rhs: Value) -> Value {
+        Value {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl Neg for Value {
+    type Output = Value;
+    #[inline]
+    fn neg(self) -> Value {
+        Value {
+            re: -self.re,
+            im: -self.im,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im == 0.0 {
+            write!(f, "{}", self.re)
+        } else {
+            write!(f, "{}{}{}i", self.re, if self.im < 0.0 { "" } else { "+" }, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_arithmetic() {
+        let a = Value::real(3.0);
+        let b = Value::real(4.0);
+        assert_eq!((a + b).re, 7.0);
+        assert_eq!((a - b).re, -1.0);
+        assert_eq!((a * b).re, 12.0);
+        assert_eq!((a * b).im, 0.0);
+    }
+
+    #[test]
+    fn complex_multiplication() {
+        // (1+2i)(3+4i) = 3+4i+6i+8i² = -5+10i
+        let a = Value::complex(1.0, 2.0);
+        let b = Value::complex(3.0, 4.0);
+        let c = a * b;
+        assert_eq!(c, Value::complex(-5.0, 10.0));
+    }
+
+    #[test]
+    fn cis_unit_magnitude() {
+        for k in 0..8 {
+            let v = Value::cis(std::f64::consts::TAU * k as f64 / 8.0);
+            assert!((v.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn min_max_by_real_part() {
+        let a = Value::real(-2.0);
+        let b = Value::real(5.0);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn min_is_total_on_ties() {
+        let a = Value::complex(1.0, 9.0);
+        let b = Value::complex(1.0, -9.0);
+        // Ties keep the left argument: min and max agree on the real part.
+        assert_eq!(a.min(b).re, 1.0);
+        assert_eq!(a.max(b).re, 1.0);
+    }
+
+    #[test]
+    fn approx_eq_tolerance() {
+        let a = Value::complex(1.0, 1.0);
+        let b = Value::complex(1.0 + 1e-12, 1.0 - 1e-12);
+        assert!(a.approx_eq(b, 1e-9));
+        assert!(!a.approx_eq(Value::complex(1.1, 1.0), 1e-9));
+    }
+
+    #[test]
+    fn neg_and_display() {
+        let v = -Value::complex(1.0, -2.0);
+        assert_eq!(v, Value::complex(-1.0, 2.0));
+        assert_eq!(format!("{}", Value::real(3.0)), "3");
+        assert_eq!(format!("{}", Value::complex(1.0, 2.0)), "1+2i");
+        assert_eq!(format!("{}", Value::complex(1.0, -2.0)), "1-2i");
+    }
+}

@@ -1,0 +1,152 @@
+//! ASCII space-time diagrams for small mapped graphs.
+//!
+//! "Each operation must be assigned a time and location" — for a small
+//! graph, that assignment *is* a picture: PEs down the side, cycles
+//! across the top, node ids in the cells. [`render_schedule`] draws it,
+//! which is how the examples and docs show what a mapping means without
+//! waving hands.
+//!
+//! ```text
+//! pe \ t |   0   1   2   3
+//! -------+----------------
+//! (0,0)  |   0   1   2   3
+//! (1,0)  |   .   4   5   6
+//! ```
+
+use std::collections::HashMap;
+
+use crate::dataflow::DataflowGraph;
+use crate::mapping::ResolvedMapping;
+
+/// Maximum cells before the renderer truncates (keeps accidental huge
+/// dumps out of terminals).
+const MAX_CELLS: usize = 4096;
+
+/// Render the space-time diagram of a mapped graph. Cells show node
+/// ids; `.` marks an idle (PE, cycle); multiple nodes in one cell
+/// (issue width > 1) are joined with `+`.
+pub fn render_schedule(graph: &DataflowGraph, rm: &ResolvedMapping) -> String {
+    let makespan = rm.makespan().max(0) as usize;
+    let mut pes: Vec<(i64, i64)> = rm.place.clone();
+    pes.sort_unstable();
+    pes.dedup();
+
+    if pes.len() * makespan > MAX_CELLS {
+        return format!(
+            "[schedule too large to draw: {} PEs × {} cycles]",
+            pes.len(),
+            makespan
+        );
+    }
+
+    let mut cells: HashMap<((i64, i64), i64), Vec<u32>> = HashMap::new();
+    for id in 0..graph.len() {
+        cells
+            .entry((rm.place[id], rm.time[id]))
+            .or_default()
+            .push(id as u32);
+    }
+
+    // Column width: widest cell content.
+    let fmt_cell = |ids: Option<&Vec<u32>>| -> String {
+        match ids {
+            None => ".".to_string(),
+            Some(v) => v
+                .iter()
+                .map(|i| i.to_string())
+                .collect::<Vec<_>>()
+                .join("+"),
+        }
+    };
+    let mut width = 1;
+    for t in 0..makespan {
+        for pe in &pes {
+            width = width.max(fmt_cell(cells.get(&(*pe, t as i64))).len());
+        }
+        width = width.max(t.to_string().len());
+    }
+
+    let mut out = String::new();
+    let row_head_w = pes
+        .iter()
+        .map(|p| format!("({},{})", p.0, p.1).len())
+        .max()
+        .unwrap_or(5);
+    out.push_str(&format!("{:<row_head_w$} |", "pe \\ t"));
+    for t in 0..makespan {
+        out.push_str(&format!(" {t:>width$}"));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(row_head_w + 1));
+    out.push('+');
+    out.push_str(&"-".repeat(makespan * (width + 1)));
+    out.push('\n');
+    for pe in &pes {
+        out.push_str(&format!("{:<row_head_w$} |", format!("({},{})", pe.0, pe.1)));
+        for t in 0..makespan {
+            out.push_str(&format!(" {:>width$}", fmt_cell(cells.get(&(*pe, t as i64)))));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::CExpr;
+    use crate::value::Value;
+
+    fn chain(n: usize) -> DataflowGraph {
+        let mut g = DataflowGraph::new("c", 32);
+        let mut prev: Option<u32> = None;
+        for i in 0..n {
+            let id = match prev {
+                None => g.add_node(CExpr::konst(Value::ZERO), vec![], vec![i as i64]),
+                Some(p) => g.add_node(CExpr::dep(0), vec![p], vec![i as i64]),
+            };
+            prev = Some(id);
+        }
+        g
+    }
+
+    #[test]
+    fn renders_systolic_wavefront() {
+        let g = chain(6);
+        let rm = ResolvedMapping {
+            place: (0..6).map(|i| (i / 3, 0)).collect(),
+            time: (0..6).collect(),
+        };
+        let s = render_schedule(&g, &rm);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4); // header, rule, 2 PE rows
+        assert!(lines[2].starts_with("(0,0)"));
+        assert!(lines[2].contains('0') && lines[2].contains('2'));
+        assert!(lines[3].contains('.')); // PE 1 idle early
+        assert!(lines[3].contains('5'));
+    }
+
+    #[test]
+    fn multi_issue_cells_joined() {
+        let mut g = DataflowGraph::new("wide", 32);
+        g.add_node(CExpr::konst(Value::ZERO), vec![], vec![0]);
+        g.add_node(CExpr::konst(Value::ZERO), vec![], vec![1]);
+        let rm = ResolvedMapping {
+            place: vec![(0, 0), (0, 0)],
+            time: vec![0, 0],
+        };
+        let s = render_schedule(&g, &rm);
+        assert!(s.contains("0+1"));
+    }
+
+    #[test]
+    fn huge_schedules_truncate() {
+        let g = chain(1);
+        let rm = ResolvedMapping {
+            place: vec![(0, 0)],
+            time: vec![100_000],
+        };
+        let s = render_schedule(&g, &rm);
+        assert!(s.contains("too large"));
+    }
+}

@@ -1,0 +1,158 @@
+//! Chip geometry: die area, grid extent, and on-chip distances.
+//!
+//! The paper's "across the diagonal of an 800 mm² GPU costs 4500× [the
+//! add]" claim works out to a span of √800 ≈ 28.3 mm at 80 fJ/bit-mm
+//! (160× per mm × 28.3 mm ≈ 4525×). We therefore define the *span* of a
+//! die as √area — the side of the equivalent square — and use it both for
+//! reproducing the claim and for converting grid-hop counts to physical
+//! millimeters in the NoC model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::units::Millimeters;
+
+/// Physical geometry of a die hosting a `cols × rows` grid of processing
+/// elements (PEs).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChipGeometry {
+    /// Die area in mm².
+    pub area_mm2: f64,
+    /// Number of PE columns on the die.
+    pub cols: u32,
+    /// Number of PE rows on the die.
+    pub rows: u32,
+}
+
+impl ChipGeometry {
+    /// The paper's reference die: an 800 mm² GPU-class chip. The default
+    /// grid extent (32×32) is arbitrary but representative; callers that
+    /// care set their own.
+    pub fn gpu_800mm2() -> Self {
+        ChipGeometry {
+            area_mm2: 800.0,
+            cols: 32,
+            rows: 32,
+        }
+    }
+
+    /// Construct a geometry for an explicit grid extent on a die of the
+    /// given area.
+    pub fn with_grid(area_mm2: f64, cols: u32, rows: u32) -> Self {
+        assert!(area_mm2 > 0.0, "die area must be positive");
+        assert!(cols > 0 && rows > 0, "grid extent must be nonzero");
+        ChipGeometry {
+            area_mm2,
+            cols,
+            rows,
+        }
+    }
+
+    /// The span of the die: side of the equivalent square, √area.
+    ///
+    /// This is the distance the paper uses for its "across the diagonal"
+    /// figure (√800 ≈ 28.3 mm).
+    pub fn span(&self) -> Millimeters {
+        Millimeters::new(self.area_mm2.sqrt())
+    }
+
+    /// Physical pitch between adjacent PEs along the x axis.
+    pub fn col_pitch(&self) -> Millimeters {
+        Millimeters::new(self.area_mm2.sqrt() / self.cols as f64)
+    }
+
+    /// Physical pitch between adjacent PEs along the y axis.
+    pub fn row_pitch(&self) -> Millimeters {
+        Millimeters::new(self.area_mm2.sqrt() / self.rows as f64)
+    }
+
+    /// Manhattan distance in millimeters between PE `(x0, y0)` and PE
+    /// `(x1, y1)`.
+    ///
+    /// X-Y dimension-ordered routing (the `fm-grid` NoC) traverses exactly
+    /// this distance, so the analytic cost evaluator and the simulator
+    /// agree by construction.
+    pub fn manhattan(&self, (x0, y0): (u32, u32), (x1, y1): (u32, u32)) -> Millimeters {
+        let dx = x0.abs_diff(x1) as f64 * self.col_pitch().raw();
+        let dy = y0.abs_diff(y1) as f64 * self.row_pitch().raw();
+        Millimeters::new(dx + dy)
+    }
+
+    /// Number of grid hops (links traversed) between two PEs under X-Y
+    /// routing.
+    pub fn hops(&self, (x0, y0): (u32, u32), (x1, y1): (u32, u32)) -> u32 {
+        x0.abs_diff(x1) + y0.abs_diff(y1)
+    }
+
+    /// Total number of PEs.
+    pub fn pe_count(&self) -> u32 {
+        self.cols * self.rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_of_800mm2_is_28_3mm() {
+        let g = ChipGeometry::gpu_800mm2();
+        assert!((g.span().raw() - 28.284).abs() < 0.01);
+    }
+
+    #[test]
+    fn manhattan_zero_for_same_pe() {
+        let g = ChipGeometry::gpu_800mm2();
+        assert_eq!(g.manhattan((3, 4), (3, 4)).raw(), 0.0);
+    }
+
+    #[test]
+    fn manhattan_symmetry() {
+        let g = ChipGeometry::with_grid(100.0, 10, 10);
+        let a = (1, 2);
+        let b = (7, 9);
+        assert_eq!(g.manhattan(a, b), g.manhattan(b, a));
+    }
+
+    #[test]
+    fn corner_to_corner_is_two_spans_minus_pitch() {
+        // Manhattan distance corner-to-corner on an n×n grid is
+        // 2·(n-1)·pitch, slightly less than twice the span.
+        let g = ChipGeometry::with_grid(800.0, 32, 32);
+        let d = g.manhattan((0, 0), (31, 31));
+        let expected = 2.0 * 31.0 * g.col_pitch().raw();
+        assert!((d.raw() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hops_match_grid_distance() {
+        let g = ChipGeometry::with_grid(400.0, 8, 8);
+        assert_eq!(g.hops((0, 0), (7, 7)), 14);
+        assert_eq!(g.hops((2, 5), (2, 5)), 0);
+        assert_eq!(g.hops((1, 1), (4, 1)), 3);
+    }
+
+    #[test]
+    fn pitch_scales_inversely_with_grid() {
+        let coarse = ChipGeometry::with_grid(800.0, 8, 8);
+        let fine = ChipGeometry::with_grid(800.0, 32, 32);
+        assert!(coarse.col_pitch().raw() > fine.col_pitch().raw());
+        assert!((coarse.col_pitch().raw() / fine.col_pitch().raw() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "die area must be positive")]
+    fn zero_area_rejected() {
+        ChipGeometry::with_grid(0.0, 4, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "grid extent must be nonzero")]
+    fn zero_grid_rejected() {
+        ChipGeometry::with_grid(100.0, 0, 4);
+    }
+
+    #[test]
+    fn pe_count() {
+        assert_eq!(ChipGeometry::with_grid(100.0, 4, 8).pe_count(), 32);
+    }
+}

@@ -1,0 +1,207 @@
+//! Energy accounting: breakdowns and ledgers.
+//!
+//! Both the analytic F&M cost evaluator (`fm-core`) and the grid
+//! simulator (`fm-grid`) accumulate energy into an [`EnergyLedger`],
+//! split by where the joules go. The split mirrors the paper's argument:
+//! compute is a rounding error; on-chip movement dominates; off-chip
+//! movement dominates *that*; and conventional-core instruction overhead
+//! dwarfs all of it.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign};
+
+use crate::units::Femtojoules;
+
+/// A static snapshot of energy split by category.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// ALU / local-SRAM energy.
+    pub compute: Femtojoules,
+    /// On-chip wire/NoC energy.
+    pub onchip_comm: Femtojoules,
+    /// Off-chip (DRAM, chip-to-chip) energy.
+    pub offchip: Femtojoules,
+    /// Instruction-processing overhead (only charged when modeling a
+    /// conventional core; zero for mapped spatial execution).
+    pub overhead: Femtojoules,
+}
+
+impl EnergyBreakdown {
+    /// Total across all categories.
+    pub fn total(&self) -> Femtojoules {
+        self.compute + self.onchip_comm + self.offchip + self.overhead
+    }
+
+    /// Fraction of the total spent moving data (on-chip + off-chip).
+    /// Returns 0 for an empty breakdown.
+    pub fn communication_fraction(&self) -> f64 {
+        let total = self.total().raw();
+        if total == 0.0 {
+            return 0.0;
+        }
+        (self.onchip_comm + self.offchip).raw() / total
+    }
+}
+
+impl Add for EnergyBreakdown {
+    type Output = EnergyBreakdown;
+    fn add(self, rhs: EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            compute: self.compute + rhs.compute,
+            onchip_comm: self.onchip_comm + rhs.onchip_comm,
+            offchip: self.offchip + rhs.offchip,
+            overhead: self.overhead + rhs.overhead,
+        }
+    }
+}
+
+impl AddAssign for EnergyBreakdown {
+    fn add_assign(&mut self, rhs: EnergyBreakdown) {
+        *self = *self + rhs;
+    }
+}
+
+/// A mutable accumulator with event counts alongside the joules.
+///
+/// Yelick's statement (§6) asks for communication cost to be counted as
+/// both *volume* and *number of distinct events*; the ledger tracks both.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyLedger {
+    /// Energy split.
+    pub energy: EnergyBreakdown,
+    /// Number of compute operations charged.
+    pub compute_ops: u64,
+    /// Number of on-chip messages charged (events, not flits).
+    pub onchip_messages: u64,
+    /// Total on-chip bits moved, weighted by distance (bit-mm).
+    pub onchip_bit_mm: f64,
+    /// Total on-chip bits moved (volume, unweighted).
+    pub onchip_bits: u64,
+    /// Number of off-chip transfers charged.
+    pub offchip_transfers: u64,
+    /// Total off-chip bits moved.
+    pub offchip_bits: u64,
+}
+
+impl EnergyLedger {
+    /// New, empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charge one compute op of the given energy.
+    pub fn charge_compute(&mut self, e: Femtojoules) {
+        self.energy.compute += e;
+        self.compute_ops += 1;
+    }
+
+    /// Charge one on-chip message of `bits` bits over `mm` millimeters
+    /// at the given energy.
+    pub fn charge_onchip(&mut self, bits: u64, mm: f64, e: Femtojoules) {
+        self.energy.onchip_comm += e;
+        self.onchip_messages += 1;
+        self.onchip_bits += bits;
+        self.onchip_bit_mm += bits as f64 * mm;
+    }
+
+    /// Charge one off-chip transfer of `bits` bits.
+    pub fn charge_offchip(&mut self, bits: u64, e: Femtojoules) {
+        self.energy.offchip += e;
+        self.offchip_transfers += 1;
+        self.offchip_bits += bits;
+    }
+
+    /// Charge instruction-processing overhead.
+    pub fn charge_overhead(&mut self, e: Femtojoules) {
+        self.energy.overhead += e;
+    }
+
+    /// Merge another ledger into this one.
+    pub fn merge(&mut self, other: &EnergyLedger) {
+        self.energy += other.energy;
+        self.compute_ops += other.compute_ops;
+        self.onchip_messages += other.onchip_messages;
+        self.onchip_bits += other.onchip_bits;
+        self.onchip_bit_mm += other.onchip_bit_mm;
+        self.offchip_transfers += other.offchip_transfers;
+        self.offchip_bits += other.offchip_bits;
+    }
+
+    /// Mean message size in bits (0 if no messages) — the aggregation
+    /// metric for experiment E11.
+    pub fn mean_message_bits(&self) -> f64 {
+        if self.onchip_messages == 0 {
+            0.0
+        } else {
+            self.onchip_bits as f64 / self.onchip_messages as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_total_sums_categories() {
+        let b = EnergyBreakdown {
+            compute: Femtojoules::new(1.0),
+            onchip_comm: Femtojoules::new(2.0),
+            offchip: Femtojoules::new(3.0),
+            overhead: Femtojoules::new(4.0),
+        };
+        assert_eq!(b.total().raw(), 10.0);
+    }
+
+    #[test]
+    fn communication_fraction() {
+        let b = EnergyBreakdown {
+            compute: Femtojoules::new(1.0),
+            onchip_comm: Femtojoules::new(2.0),
+            offchip: Femtojoules::new(1.0),
+            overhead: Femtojoules::ZERO,
+        };
+        assert!((b.communication_fraction() - 0.75).abs() < 1e-12);
+        assert_eq!(EnergyBreakdown::default().communication_fraction(), 0.0);
+    }
+
+    #[test]
+    fn ledger_counts_events_and_volume() {
+        let mut l = EnergyLedger::new();
+        l.charge_onchip(32, 1.0, Femtojoules::new(2560.0));
+        l.charge_onchip(64, 0.5, Femtojoules::new(2560.0));
+        assert_eq!(l.onchip_messages, 2);
+        assert_eq!(l.onchip_bits, 96);
+        assert!((l.onchip_bit_mm - 64.0).abs() < 1e-12);
+        assert_eq!(l.mean_message_bits(), 48.0);
+    }
+
+    #[test]
+    fn ledger_merge() {
+        let mut a = EnergyLedger::new();
+        a.charge_compute(Femtojoules::new(16.0));
+        let mut b = EnergyLedger::new();
+        b.charge_compute(Femtojoules::new(16.0));
+        b.charge_offchip(128, Femtojoules::new(1000.0));
+        a.merge(&b);
+        assert_eq!(a.compute_ops, 2);
+        assert_eq!(a.energy.compute.raw(), 32.0);
+        assert_eq!(a.offchip_transfers, 1);
+        assert_eq!(a.offchip_bits, 128);
+    }
+
+    #[test]
+    fn breakdown_add_assign() {
+        let mut a = EnergyBreakdown::default();
+        a += EnergyBreakdown {
+            compute: Femtojoules::new(5.0),
+            ..Default::default()
+        };
+        assert_eq!(a.compute.raw(), 5.0);
+    }
+
+    #[test]
+    fn empty_ledger_mean_message_is_zero() {
+        assert_eq!(EnergyLedger::new().mean_message_bits(), 0.0);
+    }
+}

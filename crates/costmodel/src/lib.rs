@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! # fm-costmodel — parameterized technology cost model
+//!
+//! This crate encodes the physical cost constants that the SPAA'21 panel
+//! paper's quantitative claims are built on (Dally, §3):
+//!
+//! * a 32-bit add in 5 nm costs about 0.5 fJ/bit and takes about 200 ps;
+//! * on-chip communication costs 80 fJ/bit-mm and takes 800 ps/mm;
+//! * transporting an add result 1 mm therefore costs **160×** the add;
+//! * across the span of an 800 mm² GPU (~28.3 mm) it costs **~4500×**;
+//! * going off-chip is another order of magnitude (**~50,000×** vs. the add);
+//! * the instruction-processing overhead of a modern out-of-order core is
+//!   **~10,000×** the energy of the add it performs;
+//! * fetching two remote 32-bit operands from a distant on-chip location
+//!   costs **1,000×+** the add.
+//!
+//! Everything here is *parametric*: [`Technology`] holds the constants,
+//! and all energies/delays/ratios are derived from them. The defaults
+//! reproduce the paper's numbers ([`Technology::n5`]); other nodes can be
+//! described by constructing a different [`Technology`].
+//!
+//! Units are **femtojoules (fJ)** for energy, **picoseconds (ps)** for
+//! time, **millimeters (mm)** for distance, and **bits** for data size.
+//! These are carried in thin newtypes (see [`units`]) so call sites cannot
+//! confuse them.
+//!
+//! The higher layers use this crate in two places:
+//!
+//! * `fm-core`'s analytic cost evaluator charges each mapped operation and
+//!   each def→use route using [`Technology::op_energy`] /
+//!   [`Technology::wire_energy`];
+//! * `fm-grid`'s cycle-driven simulator charges the same constants as
+//!   messages actually traverse links, so the two must agree (and tests
+//!   assert that they do).
+
+pub mod chip;
+pub mod energy;
+pub mod ops;
+pub mod ratios;
+pub mod technology;
+pub mod units;
+
+pub use chip::ChipGeometry;
+pub use energy::{EnergyBreakdown, EnergyLedger};
+pub use ops::{OpClass, OpKind};
+pub use ratios::ClaimedRatios;
+pub use technology::Technology;
+pub use units::{Femtojoules, Millimeters, Picoseconds};

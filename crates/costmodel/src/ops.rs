@@ -1,0 +1,157 @@
+//! Operation kinds and their relative compute costs.
+//!
+//! The paper's cost argument needs only a coarse taxonomy: arithmetic and
+//! logic are cheap ("Reading or writing a bit-cell is extremely fast and
+//! efficient. … Arithmetic and logical operations are much less expensive
+//! [than communication]"), and the costs that matter are where the bits
+//! *move*. We therefore model op energy as a per-bit coefficient relative
+//! to the add, with multiply super-linear in width (a W-bit multiply is
+//! roughly W times the per-bit switching of an add).
+
+use serde::{Deserialize, Serialize};
+
+/// Coarse operation classes, each with a per-bit energy scale relative to
+/// a full-adder bit slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Integer/floating add, subtract, min, max, compare: ~1 add-bit each.
+    AddLike,
+    /// Multiply: per-bit cost grows with the operand width (partial
+    /// products), modeled as `width/4` add-bits per result bit, clamped
+    /// below at 1.
+    Multiply,
+    /// Bitwise logic, shifts, select: cheaper than an add bit.
+    Logic,
+    /// Local SRAM bit-cell access (the paper: "reading or writing a
+    /// bit-cell is extremely fast and efficient"); charged per bit, the
+    /// *wire* cost of reaching the array is charged separately.
+    SramBit,
+    /// A no-op / move inside a PE (register-to-register): negligible but
+    /// non-zero.
+    Move,
+}
+
+impl OpClass {
+    /// Relative per-bit energy in units of "add bits" for an op of the
+    /// given operand `width` in bits.
+    pub fn add_bits_per_bit(self, width: u32) -> f64 {
+        match self {
+            OpClass::AddLike => 1.0,
+            OpClass::Multiply => (width as f64 / 4.0).max(1.0),
+            OpClass::Logic => 0.25,
+            OpClass::SramBit => 0.5,
+            OpClass::Move => 0.1,
+        }
+    }
+}
+
+/// A concrete operation: a class plus an operand width in bits.
+///
+/// `OpKind` is the unit of compute that the F&M cost evaluator and the
+/// grid simulator charge; both call [`crate::Technology::op_energy`] /
+/// [`crate::Technology::op_latency`] with one of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OpKind {
+    /// Operation class.
+    pub class: OpClass,
+    /// Operand width in bits (e.g. 32 for the paper's example add).
+    pub width: u32,
+}
+
+impl OpKind {
+    /// A `width`-bit add-like op (add/sub/min/max/compare).
+    pub const fn add(width: u32) -> Self {
+        OpKind {
+            class: OpClass::AddLike,
+            width,
+        }
+    }
+
+    /// The paper's canonical 32-bit add.
+    pub const fn add32() -> Self {
+        Self::add(32)
+    }
+
+    /// A `width`-bit multiply.
+    pub const fn mul(width: u32) -> Self {
+        OpKind {
+            class: OpClass::Multiply,
+            width,
+        }
+    }
+
+    /// A `width`-bit logic op.
+    pub const fn logic(width: u32) -> Self {
+        OpKind {
+            class: OpClass::Logic,
+            width,
+        }
+    }
+
+    /// A `width`-bit local SRAM access.
+    pub const fn sram(width: u32) -> Self {
+        OpKind {
+            class: OpClass::SramBit,
+            width,
+        }
+    }
+
+    /// A `width`-bit register move.
+    pub const fn mov(width: u32) -> Self {
+        OpKind {
+            class: OpClass::Move,
+            width,
+        }
+    }
+
+    /// Total relative cost in "add bits" (per-bit scale × width).
+    pub fn add_bits(self) -> f64 {
+        self.class.add_bits_per_bit(self.width) * self.width as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add32_is_32_add_bits() {
+        assert_eq!(OpKind::add32().add_bits(), 32.0);
+    }
+
+    #[test]
+    fn multiply_is_superlinear_in_width() {
+        let m8 = OpKind::mul(8).add_bits();
+        let m32 = OpKind::mul(32).add_bits();
+        // 4x the width must be more than 4x the energy.
+        assert!(m32 > 4.0 * m8);
+    }
+
+    #[test]
+    fn narrow_multiply_clamps_to_add_cost() {
+        // A 2-bit multiply is not cheaper per bit than a 2-bit add.
+        assert!(OpKind::mul(2).add_bits() >= OpKind::add(2).add_bits());
+    }
+
+    #[test]
+    fn logic_cheaper_than_add() {
+        assert!(OpKind::logic(32).add_bits() < OpKind::add(32).add_bits());
+    }
+
+    #[test]
+    fn move_is_cheapest() {
+        for k in [
+            OpKind::add(32),
+            OpKind::mul(32),
+            OpKind::logic(32),
+            OpKind::sram(32),
+        ] {
+            assert!(OpKind::mov(32).add_bits() < k.add_bits());
+        }
+    }
+
+    #[test]
+    fn zero_width_is_free() {
+        assert_eq!(OpKind::add(0).add_bits(), 0.0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Thin unit newtypes for energy, time, and distance.
+//!
+//! These exist so that the cost-evaluation code in `fm-core` and the
+//! simulator in `fm-grid` cannot accidentally add a distance to an energy
+//! or pass a picosecond count where femtojoules are expected. They are
+//! deliberately minimal: construction, arithmetic within a unit, scaling
+//! by dimensionless factors, and extraction of the raw `f64`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+macro_rules! unit {
+    ($(#[$meta:meta])* $name:ident, $suffix:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// The zero value of this unit.
+            pub const ZERO: $name = $name(0.0);
+
+            /// Construct from a raw `f64` magnitude.
+            #[inline]
+            pub const fn new(v: f64) -> Self {
+                $name(v)
+            }
+
+            /// Extract the raw magnitude.
+            #[inline]
+            pub const fn raw(self) -> f64 {
+                self.0
+            }
+
+            /// Dimensionless ratio of `self` to `other`.
+            ///
+            /// Returns `f64::INFINITY` if `other` is zero and `self` is
+            /// positive, and `NaN` for `0/0`, mirroring IEEE semantics.
+            #[inline]
+            pub fn ratio(self, other: Self) -> f64 {
+                self.0 / other.0
+            }
+
+            /// The larger of two values.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                $name(self.0.max(other.0))
+            }
+
+            /// The smaller of two values.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                $name(self.0.min(other.0))
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            #[inline]
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            #[inline]
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            #[inline]
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = $name>>(iter: I) -> $name {
+                $name(iter.map(|u| u.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:.3} {}", self.0, $suffix)
+            }
+        }
+    };
+}
+
+unit!(
+    /// Energy in femtojoules (10⁻¹⁵ J).
+    Femtojoules,
+    "fJ"
+);
+unit!(
+    /// Time in picoseconds (10⁻¹² s).
+    Picoseconds,
+    "ps"
+);
+unit!(
+    /// Distance in millimeters.
+    Millimeters,
+    "mm"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_within_unit() {
+        let a = Femtojoules::new(1.5);
+        let b = Femtojoules::new(2.5);
+        assert_eq!((a + b).raw(), 4.0);
+        assert_eq!((b - a).raw(), 1.0);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.raw(), 4.0);
+    }
+
+    #[test]
+    fn scaling_by_dimensionless() {
+        let t = Picoseconds::new(200.0);
+        assert_eq!((t * 3.0).raw(), 600.0);
+        assert_eq!((3.0 * t).raw(), 600.0);
+        assert_eq!((t / 2.0).raw(), 100.0);
+    }
+
+    #[test]
+    fn ratio_is_dimensionless() {
+        let d1 = Millimeters::new(28.3);
+        let d2 = Millimeters::new(1.0);
+        assert!((d1.ratio(d2) - 28.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_zero_denominator() {
+        let e = Femtojoules::new(1.0);
+        assert!(e.ratio(Femtojoules::ZERO).is_infinite());
+        assert!(Femtojoules::ZERO.ratio(Femtojoules::ZERO).is_nan());
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Femtojoules = (1..=4).map(|i| Femtojoules::new(i as f64)).sum();
+        assert_eq!(total.raw(), 10.0);
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Picoseconds::new(1.0);
+        let b = Picoseconds::new(2.0);
+        assert_eq!(a.max(b).raw(), 2.0);
+        assert_eq!(a.min(b).raw(), 1.0);
+    }
+
+    #[test]
+    fn display_has_suffix() {
+        assert_eq!(format!("{}", Millimeters::new(1.0)), "1.000 mm");
+        assert_eq!(format!("{}", Femtojoules::new(0.5)), "0.500 fJ");
+        assert_eq!(format!("{}", Picoseconds::new(800.0)), "800.000 ps");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let e = Femtojoules::new(12.5);
+        let s = serde_json::to_string(&e).unwrap();
+        let back: Femtojoules = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, e);
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! # fm-grid — cycle-driven spatial architecture simulator
+//!
+//! The execution substrate the F&M model lowers to: a 2-D grid of
+//! single-issue processing elements, each with a local memory tile,
+//! connected by a mesh NoC with X-Y dimension-ordered routing, plus an
+//! off-chip (DRAM) layer modeled as per-bit energy charges.
+//!
+//! Where `fm-core`'s [`fm_core::cost::Evaluator`] *predicts* the cost of
+//! a mapped function analytically, this crate *executes* it:
+//!
+//! * functionally — every element value is computed, so kernel results
+//!   can be checked against reference implementations;
+//! * temporally — PEs issue their elements in scheduled order when
+//!   operands have physically arrived; messages advance one hop per
+//!   cycle and contend for links (a link is occupied for
+//!   `⌈width/link_width⌉` cycles per message, wormhole style);
+//! * energetically — every op, tile access, message, and DRAM fetch is
+//!   charged against the same [`fm_costmodel::Technology`] constants the
+//!   analytic evaluator uses.
+//!
+//! The central claim of the F&M model — cost is *predictable* from the
+//! mapping — becomes a testable property: for a legal mapping the
+//! simulator's energy must equal the evaluator's exactly, and its cycle
+//! count must equal the mapping's makespan whenever no link is
+//! oversubscribed. Integration tests in this crate and in the workspace
+//! root assert both.
+
+pub mod router;
+pub mod sim;
+
+pub use router::{xy_path, Link};
+pub use sim::{SimConfig, SimError, SimResult, Simulator};

@@ -1,0 +1,270 @@
+//! Breadth-first search: the paper's example of hidden parallelism.
+//!
+//! Vishkin (§5.1): "breadth-first search on graphs had been tied to a
+//! first-in first-out queue for no good reason other than enforcing
+//! serialization, even where parallelism exists."
+//!
+//! * [`bfs_serial`] — the textbook FIFO-queue BFS (the serialized
+//!   form);
+//! * [`bfs_xmt`] — the level-synchronous XMT version: each level is one
+//!   spawn block over the current frontier's edges; newly discovered
+//!   vertices are compacted into the next frontier with the hardware
+//!   prefix-sum primitive — no queue, no locks. Work `O(V+E)`, depth
+//!   `O(diameter)`, exactly the PRAM argument;
+//! * [`random_graph`] — a deterministic sparse graph generator (CSR).
+
+use fm_pram::xmt::Xmt;
+use fm_pram::PramError;
+
+use crate::util::XorShift;
+
+/// A graph in compressed sparse row form.
+#[derive(Debug, Clone)]
+pub struct Csr {
+    /// Row offsets, length `n+1`.
+    pub offsets: Vec<usize>,
+    /// Column indices (neighbors), length `m`.
+    pub edges: Vec<usize>,
+}
+
+impl Csr {
+    /// Number of vertices.
+    pub fn vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Neighbors of `v`.
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.edges[self.offsets[v]..self.offsets[v + 1]]
+    }
+}
+
+/// A deterministic random directed graph: `n` vertices, about
+/// `n·avg_deg` edges, each endpoint uniform. Self-loops allowed
+/// (harmless for BFS); duplicates allowed.
+pub fn random_graph(n: usize, avg_deg: usize, seed: u64) -> Csr {
+    let mut rng = XorShift::new(seed);
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for u in adj.iter_mut() {
+        let deg = avg_deg;
+        for _ in 0..deg {
+            u.push(rng.below(n as u64) as usize);
+        }
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut edges = Vec::new();
+    offsets.push(0);
+    for u in &adj {
+        edges.extend_from_slice(u);
+        offsets.push(edges.len());
+    }
+    Csr { offsets, edges }
+}
+
+/// Textbook serial BFS with a FIFO queue. Returns distances (-1 for
+/// unreachable) and the number of queue operations (the serial chain
+/// length — every vertex passes through the queue one at a time).
+pub fn bfs_serial(g: &Csr, source: usize) -> (Vec<i64>, u64) {
+    let n = g.vertices();
+    let mut dist = vec![-1i64; n];
+    let mut queue = std::collections::VecDeque::new();
+    let mut queue_ops = 0u64;
+    dist[source] = 0;
+    queue.push_back(source);
+    queue_ops += 1;
+    while let Some(u) = queue.pop_front() {
+        queue_ops += 1;
+        for &v in g.neighbors(u) {
+            if dist[v] < 0 {
+                dist[v] = dist[u] + 1;
+                queue.push_back(v);
+                queue_ops += 1;
+            }
+        }
+    }
+    (dist, queue_ops)
+}
+
+/// Level-synchronous BFS on the XMT machine.
+///
+/// Shared-memory layout: `dist[0..n]`, `frontier[n..2n]`,
+/// `next[2n..3n]`, counter for next-frontier size at `3n`, current
+/// frontier size known on the host. Each level runs one spawn block
+/// per *frontier vertex* whose threads scan their vertex's edges,
+/// claim undiscovered neighbors with an arbitrary-CRCW write, and
+/// compact winners into the next frontier via `ps`.
+///
+/// Returns distances, plus (work, depth) from the machine.
+pub fn bfs_xmt(g: &Csr, source: usize) -> Result<(Vec<i64>, u64, u64), PramError> {
+    let n = g.vertices();
+    let dist_base = 0usize;
+    let frontier_base = n;
+    let next_base = 2 * n;
+    let counter = 3 * n;
+    let owner_base = 3 * n + 1; // who discovered each vertex this level
+    let mut x = Xmt::new(owner_base + n);
+
+    // dist = -1 except source.
+    x.load(dist_base, &vec![-1i64; n]);
+    x.load(dist_base + source, &[0]);
+    x.load(frontier_base, &[source as i64]);
+
+    let mut frontier_len = 1usize;
+    let mut level = 0i64;
+    while frontier_len > 0 {
+        // Reset the next-frontier counter.
+        x.load(counter, &[0]);
+
+        // Phase 1: every frontier vertex's thread claims undiscovered
+        // neighbors by writing its own id into owner[v] (arbitrary CRCW
+        // resolves races deterministically).
+        x.spawn(frontier_len, |tid, ctx| {
+            let u = ctx.read(frontier_base + tid) as usize;
+            for &v in g.neighbors(u) {
+                if ctx.read(dist_base + v) < 0 {
+                    ctx.write(owner_base + v, u as i64 + 1); // +1: 0 = no owner
+                }
+            }
+        })?;
+
+        // Phase 2: the same threads re-scan; the thread whose claim won
+        // sets dist and compacts the vertex into `next` via ps.
+        {
+            let lvl = level + 1;
+            x.spawn(frontier_len, move |tid, ctx| {
+                let u = ctx.read(frontier_base + tid) as usize;
+                let nbrs = g.neighbors(u);
+                for (idx, &v) in nbrs.iter().enumerate() {
+                    // Skip duplicate edges so a vertex enters the next
+                    // frontier at most once.
+                    if nbrs[..idx].contains(&v) {
+                        continue;
+                    }
+                    if ctx.read(dist_base + v) < 0
+                        && ctx.read(owner_base + v) == u as i64 + 1
+                    {
+                        let slot = ctx.ps(counter);
+                        ctx.write(dist_base + v, lvl);
+                        ctx.write(next_base + slot as usize, v as i64);
+                    }
+                }
+            })?;
+        }
+
+        // Host: clear owners of the vertices just discovered and swap
+        // frontiers.
+        frontier_len = x.peek(counter) as usize;
+        let next: Vec<i64> = x.peek_slice(next_base..next_base + frontier_len).to_vec();
+        for &v in &next {
+            x.load(owner_base + v as usize, &[0]);
+        }
+        x.load(frontier_base, &next);
+        level += 1;
+    }
+
+    let dist = x.peek_slice(dist_base..dist_base + n).to_vec();
+    Ok((dist, x.work(), x.depth()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A simple path graph 0→1→2→…→n-1.
+    fn path(n: usize) -> Csr {
+        let mut offsets = vec![0];
+        let mut edges = Vec::new();
+        for v in 0..n {
+            if v + 1 < n {
+                edges.push(v + 1);
+            }
+            offsets.push(edges.len());
+        }
+        Csr { offsets, edges }
+    }
+
+    /// A star: 0 → 1..n-1.
+    fn star(n: usize) -> Csr {
+        let mut offsets = vec![0];
+        let mut edges: Vec<usize> = (1..n).collect();
+        offsets.push(edges.len());
+        for _ in 1..n {
+            offsets.push(edges.len());
+        }
+        let _ = &mut edges;
+        Csr { offsets, edges }
+    }
+
+    #[test]
+    fn serial_bfs_on_path() {
+        let g = path(5);
+        let (dist, ops) = bfs_serial(&g, 0);
+        assert_eq!(dist, vec![0, 1, 2, 3, 4]);
+        assert!(ops >= 10); // every vertex enqueued + dequeued
+    }
+
+    #[test]
+    fn xmt_bfs_matches_serial_on_path_and_star() {
+        for g in [path(9), star(12)] {
+            let (d1, _) = bfs_serial(&g, 0);
+            let (d2, _, _) = bfs_xmt(&g, 0).unwrap();
+            assert_eq!(d1, d2);
+        }
+    }
+
+    #[test]
+    fn xmt_bfs_matches_serial_on_random_graphs() {
+        for seed in 1..=5u64 {
+            let g = random_graph(200, 4, seed);
+            let (d1, _) = bfs_serial(&g, 0);
+            let (d2, _, _) = bfs_xmt(&g, 0).unwrap();
+            assert_eq!(d1, d2, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn xmt_depth_tracks_diameter_not_size() {
+        // Star: diameter 1 → constant number of spawn blocks, while the
+        // serial queue performs Θ(n) operations.
+        let g = star(1000);
+        let (_, serial_ops) = bfs_serial(&g, 0);
+        let (_, _, depth) = bfs_xmt(&g, 0).unwrap();
+        assert!(serial_ops > 1000);
+        assert!(depth <= 4, "depth {depth}");
+    }
+
+    #[test]
+    fn xmt_work_is_linear_in_edges() {
+        let g = random_graph(500, 4, 7);
+        let (_, work, _) = bfs_xmt(&g, 0).unwrap();
+        // Each frontier vertex is activated twice per level; work stays
+        // O(V) activations (edge scanning happens inside threads).
+        assert!(work <= 2 * 500 + 2, "work {work}");
+    }
+
+    #[test]
+    fn unreachable_vertices_stay_minus_one() {
+        // Two disconnected vertices.
+        let g = Csr {
+            offsets: vec![0, 1, 1, 1],
+            edges: vec![1],
+        };
+        let (d, _) = bfs_serial(&g, 0);
+        assert_eq!(d, vec![0, 1, -1]);
+        let (d2, _, _) = bfs_xmt(&g, 0).unwrap();
+        assert_eq!(d2, vec![0, 1, -1]);
+    }
+
+    #[test]
+    fn random_graph_shape() {
+        let g = random_graph(100, 3, 42);
+        assert_eq!(g.vertices(), 100);
+        assert_eq!(g.edge_count(), 300);
+        assert!(g.edges.iter().all(|&v| v < 100));
+    }
+}

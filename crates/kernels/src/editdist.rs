@@ -1,0 +1,476 @@
+//! Minimum edit distance — the paper's worked F&M example.
+//!
+//! The paper (§3) writes:
+//!
+//! ```text
+//! Forall i, j in (0:N-1, 0:N-1)
+//!   H(i,j) = min(H(i-1,j-1) + f(R[i],Q[j]), H(i-1,j)+D, H(i,j-1)+I, 0);
+//! Map H(i,j) at i % P   time floor(i/P)*N + j
+//! ```
+//!
+//! This module provides the recurrence (both the paper's local-alignment
+//! form with the `0` floor — Smith-Waterman-style scores — and the
+//! classic global edit distance), serial references, and the mapping
+//! family.
+//!
+//! ## A finding about the paper's literal mapping
+//!
+//! Taken literally, `time = floor(i/P)*N + j` schedules rows `i` and
+//! `i-1` of the same block at the *same* cycle for equal `j`, so the
+//! `H(i-1,j)` and `H(i-1,j-1)` dependencies arrive exactly when (or
+//! after) they are needed — the mapping violates causality for every
+//! `P > 1` (our legality checker reports it; see the tests). The intent
+//! — marching anti-diagonals — needs the standard systolic skew:
+//!
+//! ```text
+//! time = floor(i/P)·(M+P) + (i % P) + j
+//! ```
+//!
+//! which delays each row of a block one cycle behind its predecessor
+//! and stretches the block period from `M` to `M+P`. The skewed family
+//! is what experiment E3 sweeps; the literal mapping is kept (and
+//! asserted illegal) as documentation.
+
+use fm_core::affine::IdxExpr;
+use fm_core::dataflow::InputSpec;
+use fm_core::expr::{BinOp, ElemExpr, InputRef};
+use fm_core::machine::MachineConfig;
+use fm_core::mapping::{AffineMap, Mapping, PlaceExpr};
+use fm_core::recurrence::{Boundary, Domain, OutputSpec, Recurrence};
+use fm_core::search::{MappingCandidate, MappingFamily};
+use fm_core::value::Value;
+
+/// Scoring parameters for the recurrence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scoring {
+    /// Substitution cost when characters match (paper's `f` on equal).
+    pub match_cost: f64,
+    /// Substitution cost on mismatch.
+    pub mismatch_cost: f64,
+    /// Deletion cost `D`.
+    pub delete_cost: f64,
+    /// Insertion cost `I`.
+    pub insert_cost: f64,
+    /// Include the `0` floor term (local alignment, as the paper
+    /// writes) or not (global edit distance).
+    pub with_floor: bool,
+}
+
+impl Scoring {
+    /// Unit-cost global edit distance (Levenshtein).
+    pub fn levenshtein() -> Scoring {
+        Scoring {
+            match_cost: 0.0,
+            mismatch_cost: 1.0,
+            delete_cost: 1.0,
+            insert_cost: 1.0,
+            with_floor: false,
+        }
+    }
+
+    /// The paper's local form: same unit costs plus the `0` floor.
+    pub fn paper_local() -> Scoring {
+        Scoring {
+            with_floor: true,
+            ..Scoring::levenshtein()
+        }
+    }
+}
+
+/// Build the recurrence for strings of length `n` (R) and `m` (Q).
+pub fn edit_recurrence(n: usize, m: usize, s: Scoring) -> Recurrence {
+    let f = ElemExpr::Bin(
+        BinOp::Match {
+            eq: s.match_cost,
+            ne: s.mismatch_cost,
+        },
+        Box::new(ElemExpr::Input(InputRef {
+            input: 0,
+            index: vec![IdxExpr::i()],
+        })),
+        Box::new(ElemExpr::Input(InputRef {
+            input: 1,
+            index: vec![IdxExpr::j()],
+        })),
+    );
+    let mut branches = vec![
+        ElemExpr::SelfRef(vec![-1, -1]).add(f),
+        ElemExpr::SelfRef(vec![-1, 0]).add(ElemExpr::lit(s.delete_cost)),
+        ElemExpr::SelfRef(vec![0, -1]).add(ElemExpr::lit(s.insert_cost)),
+    ];
+    if s.with_floor {
+        branches.push(ElemExpr::lit(0.0));
+    }
+    Recurrence {
+        name: "edit-distance".into(),
+        domain: Domain::d2(n, m),
+        expr: ElemExpr::min_of(branches),
+        inputs: vec![
+            InputSpec {
+                name: "R".into(),
+                dims: vec![n],
+            },
+            InputSpec {
+                name: "Q".into(),
+                dims: vec![m],
+            },
+        ],
+        width_bits: 32,
+        boundary: if s.with_floor {
+            Boundary::Zero
+        } else {
+            Boundary::LinearGap { gap: s.delete_cost }
+        },
+        output: OutputSpec::LastElement,
+    }
+}
+
+/// Input tensors for the recurrence from two byte strings.
+pub fn edit_inputs(r: &[u8], q: &[u8]) -> Vec<Vec<Value>> {
+    vec![
+        r.iter().map(|&c| Value::real(f64::from(c))).collect(),
+        q.iter().map(|&c| Value::real(f64::from(c))).collect(),
+    ]
+}
+
+/// Serial reference: global edit distance (Levenshtein), O(n·m) DP.
+pub fn edit_distance_ref(r: &[u8], q: &[u8]) -> i64 {
+    let m = q.len();
+    let mut prev: Vec<i64> = (0..=m as i64).collect();
+    let mut cur = vec![0i64; m + 1];
+    for (i, &rc) in r.iter().enumerate() {
+        cur[0] = i as i64 + 1;
+        for (j, &qc) in q.iter().enumerate() {
+            let sub = prev[j] + i64::from(rc != qc);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m]
+}
+
+/// Serial reference for the paper's local form: the full `H` matrix
+/// with the `0` floor (min-based, so "best" is the most negative —
+/// with unit costs all entries are ≥ 0 and the matrix is mostly 0;
+/// the recurrence structure, which is what we map, is identical to the
+/// max-based Smith-Waterman).
+pub fn local_matrix_ref(r: &[u8], q: &[u8], s: Scoring) -> Vec<Vec<f64>> {
+    let (n, m) = (r.len(), q.len());
+    let mut h = vec![vec![0.0f64; m]; n];
+    for i in 0..n {
+        for j in 0..m {
+            let diag = if i > 0 && j > 0 { h[i - 1][j - 1] } else { 0.0 };
+            let up = if i > 0 { h[i - 1][j] } else { 0.0 };
+            let left = if j > 0 { h[i][j - 1] } else { 0.0 };
+            let f = if r[i] == q[j] {
+                s.match_cost
+            } else {
+                s.mismatch_cost
+            };
+            let mut v = (diag + f).min(up + s.delete_cost).min(left + s.insert_cost);
+            if s.with_floor {
+                v = v.min(0.0);
+            }
+            h[i][j] = v;
+        }
+    }
+    h
+}
+
+/// The paper's mapping, verbatim: `at i % P, time floor(i/P)*M + j`.
+/// Illegal for `P > 1` (see module docs); kept for experiment E3's
+/// "as-written vs. corrected" row.
+pub fn paper_literal_mapping(p: i64, m: usize) -> Mapping {
+    Mapping::Affine(AffineMap {
+        place: PlaceExpr::row0(IdxExpr::i() % p),
+        time: IdxExpr::i().div(p) * m as i64 + IdxExpr::j(),
+    })
+}
+
+/// The corrected systolic skew:
+/// `at i % P, time floor(i/P)·(M+P) + (i % P) + j`.
+pub fn skewed_mapping(p: i64, m: usize) -> Mapping {
+    Mapping::Affine(AffineMap {
+        place: PlaceExpr::row0(IdxExpr::i() % p),
+        time: IdxExpr::i().div(p) * (m as i64 + p) + (IdxExpr::i() % p) + IdxExpr::j(),
+    })
+}
+
+/// The corrected skew on a **2-D grid**: rows assigned to PEs in
+/// serpentine order, so row `i` and row `i+1` stay physically adjacent
+/// even when the linear PE id wraps to the next grid row — the same
+/// schedule as [`skewed_mapping`], legal on a `cols×rows` machine with
+/// `p = cols·rows` PEs.
+pub fn skewed_mapping_2d(p: i64, m: usize) -> Mapping {
+    Mapping::Affine(AffineMap {
+        place: PlaceExpr::Linear {
+            id: IdxExpr::i() % p,
+            order: fm_core::mapping::LinearOrder::Serpentine,
+        },
+        time: IdxExpr::i().div(p) * (m as i64 + p) + (IdxExpr::i() % p) + IdxExpr::j(),
+    })
+}
+
+/// The input placement the paper implies: `R[i]` resident at the PE
+/// that owns row `i` (PE `i % P`), `Q` streamed — modeled as resident
+/// where used.
+pub fn paper_input_placements(p: i64) -> Vec<fm_core::mapping::InputPlacement> {
+    use fm_core::mapping::InputPlacement;
+    vec![
+        InputPlacement::Local(PlaceExpr::row0(IdxExpr::i() % p)),
+        InputPlacement::AtUse,
+    ]
+}
+
+/// Mapping family for the E3 sweep: for each `p` in `p_values`, the
+/// literal mapping (rejected) and the skewed one (legal).
+#[derive(Debug, Clone)]
+pub struct EditDistFamily {
+    /// Q length (the `M` in the time expression).
+    pub m: usize,
+    /// Processor counts to sweep.
+    pub p_values: Vec<i64>,
+    /// Include the (illegal for P>1) literal mapping in the family.
+    pub include_literal: bool,
+}
+
+impl MappingFamily for EditDistFamily {
+    fn candidates(&self, _machine: &MachineConfig) -> Vec<MappingCandidate> {
+        let mut out = Vec::new();
+        for &p in &self.p_values {
+            if self.include_literal {
+                out.push(MappingCandidate::new(
+                    format!("paper-literal P={p}"),
+                    paper_literal_mapping(p, self.m),
+                ));
+            }
+            out.push(MappingCandidate::new(
+                format!("skewed P={p}"),
+                skewed_mapping(p, self.m),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // matrix-style i/j indexing reads clearest in checks
+mod tests {
+    use super::*;
+    use crate::util::{random_sequence, DNA};
+    use fm_core::cost::Evaluator;
+    use fm_core::legality::check;
+    use fm_core::search::{search, FigureOfMerit};
+    use fm_grid::Simulator;
+
+    #[test]
+    fn levenshtein_reference_known_cases() {
+        assert_eq!(edit_distance_ref(b"kitten", b"sitting"), 3);
+        assert_eq!(edit_distance_ref(b"", b"abc"), 3);
+        assert_eq!(edit_distance_ref(b"abc", b""), 3);
+        assert_eq!(edit_distance_ref(b"same", b"same"), 0);
+        assert_eq!(edit_distance_ref(b"flaw", b"lawn"), 2);
+    }
+
+    #[test]
+    fn recurrence_matches_reference_global() {
+        let r = b"ACGTACGGTC";
+        let q = b"ACGGTCCGTA";
+        let rec = edit_recurrence(r.len(), q.len(), Scoring::levenshtein());
+        let g = rec.elaborate().unwrap();
+        let vals = g.eval(&edit_inputs(r, q));
+        assert_eq!(
+            vals.last().unwrap().re as i64,
+            edit_distance_ref(r, q)
+        );
+    }
+
+    #[test]
+    fn recurrence_matches_reference_local_matrix() {
+        let r = random_sequence(12, DNA, 5);
+        let q = random_sequence(9, DNA, 6);
+        let s = Scoring::paper_local();
+        let rec = edit_recurrence(r.len(), q.len(), s);
+        let g = rec.elaborate().unwrap();
+        let vals = g.eval(&edit_inputs(&r, &q));
+        let h = local_matrix_ref(&r, &q, s);
+        for i in 0..r.len() {
+            for j in 0..q.len() {
+                let id = rec.domain.flatten(&[i as i64, j as i64]).unwrap();
+                assert!(
+                    (vals[id].re - h[i][j]).abs() < 1e-9,
+                    "H({i},{j}): {} vs {}",
+                    vals[id].re,
+                    h[i][j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_literal_mapping_is_illegal_for_p_gt_1() {
+        let n = 16;
+        let rec = edit_recurrence(n, n, Scoring::paper_local());
+        let g = rec.elaborate().unwrap();
+        let machine = MachineConfig::linear(4);
+        let rm = paper_literal_mapping(4, n).resolve(&g, &machine).unwrap();
+        let rep = check(&g, &rm, &machine);
+        assert!(!rep.is_legal());
+        // The violations are exactly the within-block cross-row deps.
+        assert!(rep.total_violations > 0);
+    }
+
+    #[test]
+    fn paper_literal_mapping_is_legal_for_p_1() {
+        let n = 8;
+        let rec = edit_recurrence(n, n, Scoring::paper_local());
+        let g = rec.elaborate().unwrap();
+        let machine = MachineConfig::linear(1);
+        let rm = paper_literal_mapping(1, n).resolve(&g, &machine).unwrap();
+        assert!(check(&g, &rm, &machine).is_legal());
+    }
+
+    #[test]
+    fn skewed_mapping_legal_across_p() {
+        let n = 16;
+        let rec = edit_recurrence(n, n, Scoring::paper_local());
+        let g = rec.elaborate().unwrap();
+        for p in [1i64, 2, 4, 8, 16] {
+            let machine = MachineConfig::linear(p as u32);
+            let rm = skewed_mapping(p, n).resolve(&g, &machine).unwrap();
+            let rep = check(&g, &rm, &machine);
+            assert!(rep.is_legal(), "P={p}: {:?}", &rep.errors[..rep.errors.len().min(2)]);
+        }
+    }
+
+    #[test]
+    fn serpentine_2d_mapping_legal_on_square_grids() {
+        // 16 PEs as a 4×4 grid: the serpentine layout keeps consecutive
+        // rows adjacent across grid-row wraps, so the same skew is
+        // legal — row-major would not be (the wrap hop is cols wide).
+        let n = 32;
+        let rec = edit_recurrence(n, n, Scoring::paper_local());
+        let g = rec.elaborate().unwrap();
+        let machine = MachineConfig::n5(4, 4);
+        let rm = skewed_mapping_2d(16, n).resolve(&g, &machine).unwrap();
+        let rep = check(&g, &rm, &machine);
+        assert!(rep.is_legal(), "{:?}", &rep.errors[..rep.errors.len().min(2)]);
+
+        // The row-major equivalent is illegal at the wrap.
+        let row_major = Mapping::Affine(fm_core::mapping::AffineMap {
+            place: fm_core::mapping::PlaceExpr::Linear {
+                id: IdxExpr::i() % 16,
+                order: fm_core::mapping::LinearOrder::RowMajor,
+            },
+            time: IdxExpr::i().div(16) * (n as i64 + 16) + (IdxExpr::i() % 16) + IdxExpr::j(),
+        });
+        let rm_rm = row_major.resolve(&g, &machine).unwrap();
+        assert!(!check(&g, &rm_rm, &machine).is_legal());
+    }
+
+    #[test]
+    fn serpentine_2d_simulates_correctly() {
+        let r = random_sequence(16, DNA, 61);
+        let q = random_sequence(16, DNA, 62);
+        let s = Scoring::paper_local();
+        let rec = edit_recurrence(r.len(), q.len(), s);
+        let g = rec.elaborate().unwrap();
+        let machine = MachineConfig::n5(4, 2);
+        let rm = skewed_mapping_2d(8, q.len()).resolve(&g, &machine).unwrap();
+        let sim = fm_grid::Simulator::new(machine);
+        // Inputs at use: placement exprs are 1-D rows, not valid homes
+        // on the 2-D serpentine — keep it simple here.
+        let res = sim
+            .run(
+                &g,
+                &rm,
+                &edit_inputs(&r, &q),
+                &[
+                    fm_core::mapping::InputPlacement::AtUse,
+                    fm_core::mapping::InputPlacement::AtUse,
+                ],
+            )
+            .unwrap();
+        let h = local_matrix_ref(&r, &q, s);
+        for i in 0..r.len() {
+            for j in 0..q.len() {
+                let id = rec.domain.flatten(&[i as i64, j as i64]).unwrap();
+                assert!((res.values[id].re - h[i][j]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_mapping_speeds_up_with_p() {
+        let n = 32;
+        let rec = edit_recurrence(n, n, Scoring::paper_local());
+        let g = rec.elaborate().unwrap();
+        let mut last_cycles = i64::MAX;
+        for p in [1i64, 2, 4, 8] {
+            let machine = MachineConfig::linear(p as u32);
+            let rm = skewed_mapping(p, n).resolve(&g, &machine).unwrap();
+            let cycles = rm.makespan();
+            assert!(cycles < last_cycles, "P={p}: {cycles} !< {last_cycles}");
+            last_cycles = cycles;
+        }
+    }
+
+    #[test]
+    fn grid_simulation_matches_reference_values() {
+        let r = random_sequence(12, DNA, 21);
+        let q = random_sequence(12, DNA, 22);
+        let s = Scoring::paper_local();
+        let rec = edit_recurrence(r.len(), q.len(), s);
+        let g = rec.elaborate().unwrap();
+        let p = 4i64;
+        let machine = MachineConfig::linear(p as u32);
+        let rm = skewed_mapping(p, q.len()).resolve(&g, &machine).unwrap();
+        let sim = Simulator::new(machine);
+        let res = sim
+            .run(&g, &rm, &edit_inputs(&r, &q), &paper_input_placements(p))
+            .unwrap();
+        let h = local_matrix_ref(&r, &q, s);
+        for i in 0..r.len() {
+            for j in 0..q.len() {
+                let id = rec.domain.flatten(&[i as i64, j as i64]).unwrap();
+                assert!((res.values[id].re - h[i][j]).abs() < 1e-9);
+            }
+        }
+        // Legal, uncontended systolic schedule runs exactly on time.
+        assert_eq!(res.cycles_actual, res.cycles_scheduled);
+    }
+
+    #[test]
+    fn family_search_rejects_literal_keeps_skewed() {
+        let n = 16;
+        let rec = edit_recurrence(n, n, Scoring::paper_local());
+        let g = rec.elaborate().unwrap();
+        let machine = MachineConfig::linear(8);
+        let family = EditDistFamily {
+            m: n,
+            p_values: vec![2, 4, 8],
+            include_literal: true,
+        };
+        let cands = family.candidates(&machine);
+        let ev = Evaluator::new(&g, &machine);
+        let out = search(&ev, &g, &machine, &cands, FigureOfMerit::Time);
+        assert_eq!(out.evaluated, 6);
+        assert_eq!(out.legal, 3); // only the skewed ones
+        assert_eq!(out.rejected.len(), 3);
+        assert!(out.best().unwrap().label.contains("skewed P=8"));
+    }
+
+    #[test]
+    fn utilization_near_one_for_full_pipeline() {
+        // With n much larger than P, the skewed systolic schedule keeps
+        // PEs busy almost every cycle: utilization ≥ n/(n+P) - ε.
+        let n = 64;
+        let p = 4i64;
+        let rec = edit_recurrence(n, n, Scoring::paper_local());
+        let g = rec.elaborate().unwrap();
+        let machine = MachineConfig::linear(p as u32);
+        let rm = skewed_mapping(p, n).resolve(&g, &machine).unwrap();
+        let rep = Evaluator::new(&g, &machine).evaluate(&rm);
+        assert!(rep.utilization > 0.9, "utilization {}", rep.utilization);
+    }
+}

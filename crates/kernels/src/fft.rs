@@ -1,0 +1,558 @@
+//! FFT dataflow graphs: decimation in time vs. decimation in frequency.
+//!
+//! The paper (§3): "For a given problem — there may be several functions
+//! that compute the result (e.g., decimation in time vs decimation in
+//! space FFT, or different radix FFT). For each function there are many
+//! possible mappings…" and later: "when comparing two FFT algorithms
+//! that are both O(N log N), the one that is 50,000× more efficient is
+//! preferred."
+//!
+//! Both variants here perform identical arithmetic (N/2·log₂N complex
+//! butterflies) and produce identical results — but they *move data
+//! differently*:
+//!
+//! * **DIT** consumes its input in bit-reversed order (a scatter before
+//!   stage 0) and emits output in natural order;
+//! * **DIF** consumes input in natural order and ends bit-reversed, so
+//!   a gather (an explicit copy layer in the graph) follows the last
+//!   stage.
+//!
+//! Under the PRAM's unit cost the two are indistinguishable. Under a
+//! mapping, the permutation's physical distance shows up — which is
+//! experiment E4/E5's point.
+//!
+//! Node domain indices are `[stage, lane]`, so affine mappings apply;
+//! the provided [`FftFamily`] instead uses placements (block or cyclic
+//! lanes) with times derived by list scheduling, which is both legal by
+//! construction and dense.
+
+use fm_core::dataflow::{CExpr, DataflowGraph};
+use fm_core::machine::MachineConfig;
+use fm_core::mapping::{Mapping, ResolvedMapping};
+use fm_core::search::{retime, MappingCandidate, MappingFamily};
+use fm_core::value::Value;
+
+use std::f64::consts::TAU;
+
+/// Bit-reverse `i` within `bits` bits.
+pub fn bit_reverse(i: usize, bits: u32) -> usize {
+    i.reverse_bits() >> (usize::BITS - bits)
+}
+
+/// Naive O(n²) DFT reference (forward transform, `e^{-2πi jk/n}`).
+pub fn dft_naive(x: &[Value]) -> Vec<Value> {
+    let n = x.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Value::ZERO;
+            for (j, &v) in x.iter().enumerate() {
+                acc = acc + v * Value::cis(-TAU * (j * k % n) as f64 / n as f64);
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Iterative radix-2 DIT FFT reference.
+pub fn fft_ref(x: &[Value]) -> Vec<Value> {
+    let n = x.len();
+    assert!(n.is_power_of_two(), "FFT size must be a power of two");
+    let bits = n.trailing_zeros();
+    let mut a: Vec<Value> = (0..n).map(|i| x[bit_reverse(i, bits)]).collect();
+    let mut len = 2;
+    while len <= n {
+        let half = len / 2;
+        for start in (0..n).step_by(len) {
+            for k in 0..half {
+                let w = Value::cis(-TAU * k as f64 / len as f64);
+                let u = a[start + k];
+                let t = w * a[start + k + half];
+                a[start + k] = u + t;
+                a[start + k + half] = u - t;
+            }
+        }
+        len *= 2;
+    }
+    a
+}
+
+/// Which FFT decomposition to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FftVariant {
+    /// Decimation in time: bit-reversed input, natural output.
+    Dit,
+    /// Decimation in frequency: natural input, bit-reversed output
+    /// (restored by an explicit copy layer).
+    Dif,
+}
+
+/// Build the element-level FFT graph for `n` lanes (power of two).
+///
+/// Node ids are laid out stage-major: stage `s` (0 = the input layer)
+/// occupies ids `s·n .. (s+1)·n`, node `s·n + lane` holding lane
+/// `lane`'s value after stage `s`. For DIF an extra copy layer performs
+/// the final bit-reversal.
+pub fn fft_graph(n: usize, variant: FftVariant) -> DataflowGraph {
+    assert!(n.is_power_of_two() && n >= 2, "FFT size must be a power of two ≥ 2");
+    let bits = n.trailing_zeros();
+    let stages = bits as usize;
+    let mut g = DataflowGraph::new(
+        match variant {
+            FftVariant::Dit => format!("fft{n}-dit"),
+            FftVariant::Dif => format!("fft{n}-dif"),
+        },
+        64, // a complex double lane: model as a 64-bit payload
+    );
+    let x = g.add_input("x", vec![n]);
+
+    // Input layer.
+    let mut prev: Vec<u32> = (0..n)
+        .map(|lane| {
+            let src = match variant {
+                FftVariant::Dit => bit_reverse(lane, bits),
+                FftVariant::Dif => lane,
+            };
+            g.add_node(CExpr::input(x, src as u32), vec![], vec![0, lane as i64])
+        })
+        .collect();
+
+    for s in 0..stages {
+        // DIT grows the butterfly span (len = 2^{s+1}); DIF shrinks it.
+        let half = match variant {
+            FftVariant::Dit => 1usize << s,
+            FftVariant::Dif => n >> (s + 1),
+        };
+        let len = half * 2;
+        let mut cur = vec![0u32; n];
+        for start in (0..n).step_by(len) {
+            for k in 0..half {
+                let a = start + k;
+                let b = start + k + half;
+                let w = Value::cis(-TAU * k as f64 / len as f64);
+                let (ea, eb) = match variant {
+                    FftVariant::Dit => (
+                        // out_a = in_a + w·in_b ; out_b = in_a − w·in_b
+                        CExpr::dep(0).add(CExpr::konst(w).mul(CExpr::dep(1))),
+                        CExpr::dep(0).sub(CExpr::konst(w).mul(CExpr::dep(1))),
+                    ),
+                    FftVariant::Dif => (
+                        // out_a = in_a + in_b ; out_b = (in_a − in_b)·w
+                        CExpr::dep(0).add(CExpr::dep(1)),
+                        CExpr::dep(0).sub(CExpr::dep(1)).mul(CExpr::konst(w)),
+                    ),
+                };
+                cur[a] = g.add_node(ea, vec![prev[a], prev[b]], vec![s as i64 + 1, a as i64]);
+                cur[b] = g.add_node(eb, vec![prev[a], prev[b]], vec![s as i64 + 1, b as i64]);
+            }
+        }
+        prev = cur;
+    }
+
+    match variant {
+        FftVariant::Dit => {
+            for &id in &prev {
+                g.mark_output(id);
+            }
+        }
+        FftVariant::Dif => {
+            // Explicit bit-reversal gather: lane `lane` copies from lane
+            // `bitrev(lane)` of the last butterfly layer.
+            for lane in 0..n {
+                let src = prev[bit_reverse(lane, bits)];
+                let id = g.add_node(
+                    CExpr::dep(0),
+                    vec![src],
+                    vec![stages as i64 + 1, lane as i64],
+                );
+                g.mark_output(id);
+            }
+        }
+    }
+    g
+}
+
+
+/// Reverse the base-4 digits of `i` within `digits` digits.
+pub fn digit_reverse_4(i: usize, digits: u32) -> usize {
+    let mut x = i;
+    let mut out = 0usize;
+    for _ in 0..digits {
+        out = (out << 2) | (x & 3);
+        x >>= 2;
+    }
+    out
+}
+
+/// Build a **radix-4** DIT FFT graph for `n` lanes (a power of four).
+///
+/// The paper names "different radix FFT" as a second axis of the
+/// function space: radix-4 performs the same transform with half the
+/// stages (`log₄ n`), trading three extra twiddle multiplies per
+/// 4-point butterfly for fewer rounds of lane-crossing communication —
+/// a different (function, mapping) trade for the E4 search to weigh.
+///
+/// Node domain indices are `[stage, lane]`, compatible with
+/// [`fft_mapping`].
+pub fn fft_radix4_graph(n: usize) -> DataflowGraph {
+    assert!(
+        n >= 4 && n.is_power_of_two() && n.trailing_zeros().is_multiple_of(2),
+        "radix-4 FFT size must be a power of four ≥ 4"
+    );
+    let digits = n.trailing_zeros() / 2;
+    let stages = digits as usize;
+    let mut g = DataflowGraph::new(format!("fft{n}-radix4"), 64);
+    let x = g.add_input("x", vec![n]);
+
+    // Input layer: base-4 digit-reversed loads.
+    let mut prev: Vec<u32> = (0..n)
+        .map(|lane| {
+            let src = digit_reverse_4(lane, digits);
+            g.add_node(CExpr::input(x, src as u32), vec![], vec![0, lane as i64])
+        })
+        .collect();
+
+    for s in 0..stages {
+        let q = 1usize << (2 * s); // quarter span
+        let len = 4 * q;
+        let mut cur = vec![0u32; n];
+        for start in (0..n).step_by(len) {
+            for k in 0..q {
+                let lanes = [start + k, start + k + q, start + k + 2 * q, start + k + 3 * q];
+                let deps: Vec<u32> = lanes.iter().map(|&l| prev[l]).collect();
+                for (m, &out_lane) in lanes.iter().enumerate() {
+                    // y_m = Σ_l  W^{k·l} · (−i)^{m·l} · x_l, W = e^{−2πi/len}.
+                    let mut expr = CExpr::dep(0);
+                    for l in 1..4usize {
+                        let tw = Value::cis(-TAU * (k * l) as f64 / len as f64);
+                        let dft = Value::cis(-TAU * ((m * l) % 4) as f64 / 4.0);
+                        expr = expr.add(CExpr::konst(tw * dft).mul(CExpr::dep(l as u32)));
+                    }
+                    cur[out_lane] =
+                        g.add_node(expr, deps.clone(), vec![s as i64 + 1, out_lane as i64]);
+                }
+            }
+        }
+        prev = cur;
+    }
+    for &id in &prev {
+        g.mark_output(id);
+    }
+    g
+}
+
+/// Lane placement for the mapping family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LanePlacement {
+    /// Lane `l` on PE `l / (n/p)`.
+    Block,
+    /// Lane `l` on PE `l % p`.
+    Cyclic,
+}
+
+/// Build a legal table mapping: lanes placed per `placement` on a `p`-PE
+/// linear array, times derived by list scheduling.
+pub fn fft_mapping(
+    graph: &DataflowGraph,
+    n: usize,
+    p: u32,
+    placement: LanePlacement,
+    machine: &MachineConfig,
+) -> ResolvedMapping {
+    let block = n.div_ceil(p as usize).max(1);
+    let places: Vec<(i64, i64)> = graph
+        .nodes
+        .iter()
+        .map(|node| {
+            let lane = node.index[1] as usize;
+            let pe = match placement {
+                LanePlacement::Block => (lane / block) as i64,
+                LanePlacement::Cyclic => (lane % p as usize) as i64,
+            };
+            (pe, 0)
+        })
+        .collect();
+    retime(graph, &places, machine)
+}
+
+/// The E4 mapping family: {DIT, DIF} × {block, cyclic} × P values.
+/// (The graphs differ per variant, so the family is per-graph; the
+/// candidates enumerate placements and P.)
+#[derive(Debug, Clone)]
+pub struct FftFamily {
+    /// FFT size.
+    pub n: usize,
+    /// Processor counts to sweep (each must divide or exceed nothing —
+    /// block size is rounded up).
+    pub p_values: Vec<u32>,
+}
+
+impl FftFamily {
+    /// Candidates for one specific FFT graph.
+    pub fn candidates_for(
+        &self,
+        graph: &DataflowGraph,
+        machine: &MachineConfig,
+    ) -> Vec<MappingCandidate> {
+        let mut out = Vec::new();
+        for &p in &self.p_values {
+            for placement in [LanePlacement::Block, LanePlacement::Cyclic] {
+                let rm = fft_mapping(graph, self.n, p, placement, machine);
+                out.push(MappingCandidate::new(
+                    format!("{} {placement:?} P={p}", graph.name),
+                    Mapping::Table(rm),
+                ));
+            }
+        }
+        out
+    }
+}
+
+impl MappingFamily for FftFamily {
+    fn candidates(&self, machine: &MachineConfig) -> Vec<MappingCandidate> {
+        // Default to the DIT graph when used through the generic trait.
+        let g = fft_graph(self.n, FftVariant::Dit);
+        self.candidates_for(&g, machine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::XorShift;
+    use fm_core::cost::Evaluator;
+    use fm_core::legality::check;
+    use fm_core::mapping::InputPlacement;
+    use fm_core::pramcost::PramCost;
+    use fm_grid::Simulator;
+
+    fn random_signal(n: usize, seed: u64) -> Vec<Value> {
+        let mut rng = XorShift::new(seed);
+        (0..n)
+            .map(|_| Value::complex(rng.unit_f64() - 0.5, rng.unit_f64() - 0.5))
+            .collect()
+    }
+
+    #[test]
+    fn bit_reverse_basic() {
+        assert_eq!(bit_reverse(0b001, 3), 0b100);
+        assert_eq!(bit_reverse(0b110, 3), 0b011);
+        assert_eq!(bit_reverse(5, 4), 10);
+    }
+
+    #[test]
+    fn fft_ref_matches_naive_dft() {
+        let x = random_signal(32, 3);
+        let a = fft_ref(&x);
+        let b = dft_naive(&x);
+        for (u, v) in a.iter().zip(&b) {
+            assert!(u.approx_eq(*v, 1e-9), "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn dit_graph_computes_fft() {
+        let n = 16;
+        let x = random_signal(n, 7);
+        let g = fft_graph(n, FftVariant::Dit);
+        let vals = g.eval(std::slice::from_ref(&x));
+        let expect = fft_ref(&x);
+        let out = g.outputs();
+        assert_eq!(out.len(), n);
+        for &id in &out {
+            let lane = g.nodes[id as usize].index[1] as usize;
+            assert!(
+                vals[id as usize].approx_eq(expect[lane], 1e-9),
+                "lane {lane}"
+            );
+        }
+    }
+
+    #[test]
+    fn dif_graph_computes_fft() {
+        let n = 16;
+        let x = random_signal(n, 9);
+        let g = fft_graph(n, FftVariant::Dif);
+        let vals = g.eval(std::slice::from_ref(&x));
+        let expect = fft_ref(&x);
+        for &id in &g.outputs() {
+            let lane = g.nodes[id as usize].index[1] as usize;
+            assert!(
+                vals[id as usize].approx_eq(expect[lane], 1e-9),
+                "lane {lane}"
+            );
+        }
+    }
+
+    #[test]
+    fn both_variants_have_same_pram_cost() {
+        // Unit cost cannot tell DIT from DIF (same op counts; the DIF
+        // copy layer is the only delta and it is movement, not math).
+        let n = 32;
+        let dit = PramCost::of(&fft_graph(n, FftVariant::Dit));
+        let dif = PramCost::of(&fft_graph(n, FftVariant::Dif));
+        // DIF has exactly n extra copy nodes (the gather layer).
+        assert_eq!(dif.work - dit.work, n as u64);
+        assert_eq!(dif.depth - dit.depth, 1);
+    }
+
+    #[test]
+    fn depth_is_logarithmic() {
+        let g = fft_graph(64, FftVariant::Dit);
+        assert_eq!(g.depth(), 7); // input layer + 6 stages
+    }
+
+    #[test]
+    fn mappings_are_legal_and_simulate_correctly() {
+        let n = 16;
+        let x = random_signal(n, 11);
+        let expect = fft_ref(&x);
+        for variant in [FftVariant::Dit, FftVariant::Dif] {
+            let g = fft_graph(n, variant);
+            for placement in [LanePlacement::Block, LanePlacement::Cyclic] {
+                let machine = MachineConfig::linear(4);
+                let rm = fft_mapping(&g, n, 4, placement, &machine);
+                assert!(check(&g, &rm, &machine).is_legal(), "{variant:?} {placement:?}");
+                let sim = Simulator::new(machine);
+                let res = sim
+                    .run(&g, &rm, std::slice::from_ref(&x), &[InputPlacement::AtUse])
+                    .unwrap();
+                for &id in &g.outputs() {
+                    let lane = g.nodes[id as usize].index[1] as usize;
+                    assert!(res.values[id as usize].approx_eq(expect[lane], 1e-9));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn physical_cost_separates_what_pram_cannot() {
+        // Same-asymptotics functions, different movement: under a block
+        // mapping the DIF gather layer pays real distance that the DIT
+        // variant does not, and the evaluator sees it.
+        let n = 64;
+        let p = 8;
+        let machine = MachineConfig::linear(p);
+        let dit = fft_graph(n, FftVariant::Dit);
+        let dif = fft_graph(n, FftVariant::Dif);
+        let rm_dit = fft_mapping(&dit, n, p, LanePlacement::Block, &machine);
+        let rm_dif = fft_mapping(&dif, n, p, LanePlacement::Block, &machine);
+        let e_dit = Evaluator::new(&dit, &machine)
+            .with_all_inputs(InputPlacement::AtUse)
+            .evaluate(&rm_dit);
+        let e_dif = Evaluator::new(&dif, &machine)
+            .with_all_inputs(InputPlacement::AtUse)
+            .evaluate(&rm_dif);
+        assert!(
+            e_dif.ledger.onchip_bit_mm > e_dit.ledger.onchip_bit_mm,
+            "dif {} !> dit {}",
+            e_dif.ledger.onchip_bit_mm,
+            e_dit.ledger.onchip_bit_mm
+        );
+    }
+
+    #[test]
+    fn family_enumerates_all_candidates() {
+        let fam = FftFamily {
+            n: 16,
+            p_values: vec![2, 4],
+        };
+        let machine = MachineConfig::linear(4);
+        let g = fft_graph(16, FftVariant::Dit);
+        let cands = fam.candidates_for(&g, &machine);
+        assert_eq!(cands.len(), 4); // 2 placements × 2 P values
+    }
+
+
+    #[test]
+    fn digit_reverse_4_basics() {
+        assert_eq!(digit_reverse_4(0b0001, 2), 0b0100); // 1 -> 4
+        assert_eq!(digit_reverse_4(0b0110, 2), 0b1001); // 6 -> 9
+        assert_eq!(digit_reverse_4(5, 3), digit_reverse_4(digit_reverse_4(digit_reverse_4(5, 3), 3), 3));
+    }
+
+    #[test]
+    fn radix4_graph_computes_fft() {
+        for n in [16usize, 64] {
+            let x = random_signal(n, n as u64);
+            let g = fft_radix4_graph(n);
+            let vals = g.eval(std::slice::from_ref(&x));
+            let expect = fft_ref(&x);
+            for &id in &g.outputs() {
+                let lane = g.nodes[id as usize].index[1] as usize;
+                assert!(
+                    vals[id as usize].approx_eq(expect[lane], 1e-9),
+                    "n={n} lane {lane}: {} vs {}",
+                    vals[id as usize],
+                    expect[lane]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn radix4_has_half_the_stages() {
+        let n = 64;
+        let r2 = fft_graph(n, FftVariant::Dit);
+        let r4 = fft_radix4_graph(n);
+        assert_eq!(r2.depth(), 7); // input + 6 stages
+        assert_eq!(r4.depth(), 4); // input + 3 stages
+    }
+
+    #[test]
+    fn radix4_mapping_legal_and_simulates() {
+        let n = 16;
+        let x = random_signal(n, 23);
+        let g = fft_radix4_graph(n);
+        let machine = MachineConfig::linear(4);
+        let rm = fft_mapping(&g, n, 4, LanePlacement::Block, &machine);
+        assert!(check(&g, &rm, &machine).is_legal());
+        let sim = Simulator::new(machine);
+        let res = sim
+            .run(&g, &rm, std::slice::from_ref(&x), &[InputPlacement::AtUse])
+            .unwrap();
+        let expect = fft_ref(&x);
+        for &id in &g.outputs() {
+            let lane = g.nodes[id as usize].index[1] as usize;
+            assert!(res.values[id as usize].approx_eq(expect[lane], 1e-9));
+        }
+    }
+
+    #[test]
+    fn radix4_trades_messages_for_rounds() {
+        // The radix trade under a block placement: radix-4 halves the
+        // number of lane-crossing *rounds* (shorter schedule) but each
+        // 4-point butterfly fans its outputs to more distinct PEs
+        // (more message events). Neither dominates — exactly why the
+        // paper wants the search to weigh functions, not folklore.
+        let n = 64;
+        let p = 8;
+        let machine = MachineConfig::linear(p);
+        let r2 = fft_graph(n, FftVariant::Dit);
+        let r4 = fft_radix4_graph(n);
+        let rep2 = Evaluator::new(&r2, &machine)
+            .with_all_inputs(InputPlacement::AtUse)
+            .evaluate(&fft_mapping(&r2, n, p, LanePlacement::Block, &machine));
+        let rep4 = Evaluator::new(&r4, &machine)
+            .with_all_inputs(InputPlacement::AtUse)
+            .evaluate(&fft_mapping(&r4, n, p, LanePlacement::Block, &machine));
+        assert!(rep4.cycles < rep2.cycles, "radix4 {} !< radix2 {}", rep4.cycles, rep2.cycles);
+        assert!(
+            rep4.ledger.onchip_messages > rep2.ledger.onchip_messages,
+            "radix4 {} !> radix2 {}",
+            rep4.ledger.onchip_messages,
+            rep2.ledger.onchip_messages
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "power of four")]
+    fn radix4_rejects_non_power_of_four() {
+        fft_radix4_graph(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        fft_graph(12, FftVariant::Dit);
+    }
+}

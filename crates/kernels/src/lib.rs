@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! # fm-kernels — the kernel suite, expressed in every model
+//!
+//! The panel paper's argument is comparative: the same algorithm looks
+//! different — and costs differently — under the PRAM's unit-cost lens,
+//! the work-span lens, and the F&M physical lens. This crate implements
+//! the kernels the panelists actually name, in all the forms the
+//! experiments need:
+//!
+//! * [`editdist`] — minimum edit distance, the paper's worked F&M
+//!   example, with the paper's *literal* anti-diagonal mapping (which
+//!   the legality checker rejects for `P > 1` — see the module docs)
+//!   and the corrected skewed family (experiment E3);
+//! * [`fft`] — decimation-in-time vs. decimation-in-frequency FFT
+//!   dataflow graphs ("there may be several functions that compute the
+//!   result"), with block/cyclic mapping families for the search
+//!   (experiments E4, E5);
+//! * [`matmul`] — matrix multiply as a 3-D recurrence with an
+//!   output-stationary systolic mapping, plus naive / blocked /
+//!   cache-oblivious address-stream variants for the ideal-cache model
+//!   (experiment E7) and a fork-join implementation on the
+//!   work-stealing pool;
+//! * [`scan`] — prefix sums: the serial recurrence, Blelloch's
+//!   work-efficient PRAM scan, and an instrumented fork-join scan
+//!   (experiment E6);
+//! * [`bfs`] — breadth-first search: the serial FIFO-queue algorithm
+//!   the paper calls out as needlessly sequential, vs. the
+//!   level-synchronous XMT version built on the prefix-sum primitive
+//!   (experiment E10);
+//! * [`listrank`] — pointer-jumping list ranking, the canonical
+//!   "irregular PRAM algorithm" of the Vishkin school: O(log n) depth
+//!   on a structure serial code must walk one link at a time;
+//! * [`sortalg`] — instrumented parallel mergesort for the greedy-bound
+//!   experiment (E6);
+//! * [`stencil`] — a 1-D heat/Jacobi stencil recurrence with a blocked
+//!   space-time mapping (used by the scaling sweep, E12);
+//! * [`util`] — deterministic input generators (xorshift) shared by
+//!   tests, examples, and benches.
+
+pub mod bfs;
+pub mod listrank;
+pub mod editdist;
+pub mod fft;
+pub mod matmul;
+pub mod scan;
+pub mod sortalg;
+pub mod stencil;
+pub mod util;

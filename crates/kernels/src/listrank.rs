@@ -1,0 +1,184 @@
+//! List ranking by pointer jumping — the canonical irregular PRAM
+//! algorithm.
+//!
+//! Vishkin's statement (§5.1) recalls betting on "work efficient PRAM
+//! algorithms" for exactly this kind of problem: a linked list gives
+//! serial code no choice but to walk it one link at a time (Θ(n)
+//! steps), yet pointer jumping ranks every element in Θ(log n) PRAM
+//! steps — parallelism that no compiler can excavate from the serial
+//! loop, because it requires *changing the algorithm*.
+//!
+//! The implementation runs on the CREW engine: each step, every
+//! element reads its successor's rank and pointer and doubles its
+//! jump. Reads of a shared successor are concurrent (hence CREW);
+//! writes stay exclusive (each processor writes only its own cells).
+
+use fm_pram::{ConcurrencyModel, Pram, PramError};
+
+/// Serial reference: rank (distance to the list's tail) per element.
+/// `next[i]` is the successor index, with `next[i] == i` marking the
+/// tail.
+pub fn list_rank_serial(next: &[usize]) -> Vec<i64> {
+    let n = next.len();
+    let mut rank = vec![0i64; n];
+    // Find tail, then walk backwards via an inverse map.
+    let mut prev = vec![usize::MAX; n];
+    let mut tail = usize::MAX;
+    for (i, &nx) in next.iter().enumerate() {
+        if nx == i {
+            tail = i;
+        } else {
+            prev[nx] = i;
+        }
+    }
+    assert!(tail != usize::MAX, "list must have a tail (next[i] == i)");
+    let mut cur = tail;
+    let mut r = 0i64;
+    loop {
+        rank[cur] = r;
+        if prev[cur] == usize::MAX {
+            break;
+        }
+        cur = prev[cur];
+        r += 1;
+    }
+    rank
+}
+
+/// Pointer-jumping list ranking on a CREW PRAM.
+///
+/// Memory layout: `next[0..n]`, `rank[n..2n]`. Each of ⌈log₂ n⌉ rounds
+/// runs one step over all n processors. Returns the ranks and the
+/// machine (for work/depth accounting).
+pub fn list_rank_pram(next: &[usize]) -> Result<(Vec<i64>, Pram), PramError> {
+    let n = next.len();
+    let mut pram = Pram::new(ConcurrencyModel::Crew, 2 * n);
+    let next_i64: Vec<i64> = next.iter().map(|&v| v as i64).collect();
+    pram.load(0, &next_i64);
+    // rank[i] = 0 if tail else 1.
+    let init: Vec<i64> = next
+        .iter()
+        .enumerate()
+        .map(|(i, &nx)| i64::from(nx != i))
+        .collect();
+    pram.load(n, &init);
+
+    // ⌈log₂ n⌉ doubling rounds suffice for a chain of length n.
+    let rounds = n.next_power_of_two().trailing_zeros() as usize;
+    for _ in 0..rounds {
+        pram.step(n, |i, ctx| {
+            let nx = ctx.read(i) as usize;
+            if nx != i {
+                let r = ctx.read(n + i);
+                let r_next = ctx.read(n + nx);
+                let nx_next = ctx.read(nx);
+                ctx.write(n + i, r + r_next);
+                ctx.write(i, nx_next);
+            }
+        })?;
+    }
+    Ok((pram.peek_slice(n..2 * n).to_vec(), pram))
+}
+
+/// A deterministic random list over `n` elements: a random permutation
+/// threaded into a single chain. Returns the `next` array.
+pub fn random_list(n: usize, seed: u64) -> Vec<usize> {
+    use crate::util::XorShift;
+    let mut rng = XorShift::new(seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    // Fisher-Yates.
+    for i in (1..n).rev() {
+        let j = rng.below(i as u64 + 1) as usize;
+        order.swap(i, j);
+    }
+    let mut next = vec![0usize; n];
+    for w in order.windows(2) {
+        next[w[0]] = w[1];
+    }
+    let tail = *order.last().unwrap();
+    next[tail] = tail;
+    next
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_rank_on_simple_chain() {
+        // 0 → 1 → 2 → 3 (tail).
+        let next = vec![1, 2, 3, 3];
+        assert_eq!(list_rank_serial(&next), vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn pram_matches_serial_on_chains_and_random_lists() {
+        for n in [1usize, 2, 5, 16, 100, 257] {
+            let next = random_list(n, n as u64 + 7);
+            let expect = list_rank_serial(&next);
+            let (got, _) = list_rank_pram(&next).unwrap();
+            assert_eq!(got, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn pram_depth_is_logarithmic() {
+        let n = 1024;
+        let next = random_list(n, 3);
+        let (_, pram) = list_rank_pram(&next).unwrap();
+        // ⌈log₂ n⌉ = 10 rounds of 1 step each.
+        assert_eq!(pram.depth(), 10);
+        // Work is n per round: n·log n (pointer jumping is not
+        // work-optimal — the classic trade the surveys discuss).
+        assert_eq!(pram.work(), 10 * n as u64);
+    }
+
+    #[test]
+    fn crew_is_required_not_erew() {
+        // Two elements pointing at one successor read its cells
+        // concurrently — EREW must reject a Y-shaped read pattern.
+        // (List ranking on a proper list has in-degree ≤ 1, but after a
+        // few jumps two pointers can land on the same node.)
+        let next = random_list(64, 5);
+        // Run on EREW: expect a conflict somewhere during jumping.
+        let n = next.len();
+        let mut pram = Pram::new(ConcurrencyModel::Erew, 2 * n);
+        let next_i64: Vec<i64> = next.iter().map(|&v| v as i64).collect();
+        pram.load(0, &next_i64);
+        let init: Vec<i64> = next
+            .iter()
+            .enumerate()
+            .map(|(i, &nx)| i64::from(nx != i))
+            .collect();
+        pram.load(n, &init);
+        let mut conflicted = false;
+        for _ in 0..7 {
+            let r = pram.step(n, |i, ctx| {
+                let nx = ctx.read(i) as usize;
+                if nx != i {
+                    let r = ctx.read(n + i);
+                    let r_next = ctx.read(n + nx);
+                    let nx_next = ctx.read(nx);
+                    ctx.write(n + i, r + r_next);
+                    ctx.write(i, nx_next);
+                }
+            });
+            if r.is_err() {
+                conflicted = true;
+                break;
+            }
+        }
+        assert!(conflicted, "pointer jumping needs concurrent reads");
+    }
+
+    #[test]
+    fn random_list_is_a_single_chain() {
+        let n = 50;
+        let next = random_list(n, 9);
+        let ranks = list_rank_serial(&next);
+        let mut sorted = ranks.clone();
+        sorted.sort_unstable();
+        let expect: Vec<i64> = (0..n as i64).collect();
+        assert_eq!(sorted, expect);
+    }
+}

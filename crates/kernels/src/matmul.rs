@@ -1,0 +1,502 @@
+//! Matrix multiplication in three lenses.
+//!
+//! * **F&M**: `C(i,j) = Σₖ A[i,k]·B[k,j]` as the 3-D recurrence
+//!   `S(i,j,k) = S(i,j,k-1) + A[i,k]·B[k,j]`, mapped output-stationary
+//!   onto the grid (`PE (j,i)`, `time i+j+k` — the classic systolic
+//!   schedule); the paper's "weight-stationary dataflows for DNN
+//!   accelerators, systolic arrays" lineage.
+//! * **Ideal cache** (experiment E7): address-stream replays of the
+//!   naive triple loop, the L1-blocked version, and the cache-oblivious
+//!   recursive version through [`fm_workspan::IdealCache`].
+//! * **Fork-join**: a real parallel matmul on the work-stealing pool,
+//!   with its [`WorkSpan`] cost tracked alongside.
+
+use fm_core::affine::IdxExpr;
+use fm_core::dataflow::InputSpec;
+use fm_core::expr::{ElemExpr, InputRef};
+use fm_core::mapping::{AffineMap, Mapping, PlaceExpr};
+use fm_core::recurrence::{Boundary, Domain, OutputSpec, Recurrence};
+use fm_core::value::Value;
+
+use fm_workspan::{par_for, IdealCache, ThreadPool, WorkSpan};
+
+/// The matmul recurrence over `n×n` matrices (domain `n×n×n`).
+pub fn matmul_recurrence(n: usize) -> Recurrence {
+    // S(i,j,k) = S(i,j,k-1) + A[i,k] * B[k,j]
+    let a = ElemExpr::Input(InputRef {
+        input: 0,
+        index: vec![IdxExpr::i(), IdxExpr::k()],
+    });
+    let b = ElemExpr::Input(InputRef {
+        input: 1,
+        index: vec![IdxExpr::k(), IdxExpr::j()],
+    });
+    Recurrence {
+        name: format!("matmul{n}"),
+        domain: Domain::d3(n, n, n),
+        expr: ElemExpr::SelfRef(vec![0, 0, -1]).add(a.mul(b)),
+        inputs: vec![
+            InputSpec {
+                name: "A".into(),
+                dims: vec![n, n],
+            },
+            InputSpec {
+                name: "B".into(),
+                dims: vec![n, n],
+            },
+        ],
+        width_bits: 32,
+        boundary: Boundary::Zero,
+        output: OutputSpec::All, // C(i,j) is S(i,j,n-1); finer selection below
+    }
+}
+
+/// The output-stationary systolic mapping: `S(i,j,·)` accumulates at
+/// PE `(x=j, y=i)`; `time = i + j + k` (the classic wavefront).
+pub fn systolic_mapping() -> Mapping {
+    Mapping::Affine(AffineMap {
+        place: PlaceExpr::Grid {
+            x: IdxExpr::j(),
+            y: IdxExpr::i(),
+        },
+        time: IdxExpr::i() + IdxExpr::j() + IdxExpr::k(),
+    })
+}
+
+/// The **weight-stationary** mapping (the paper names "weight-stationary
+/// dataflows for DNN accelerators"): `B[k,j]` stays resident at PE
+/// `(x=j, y=k)` and the partial-sum chain `S(i,j,·)` *flows through*
+/// the column — every accumulation step crosses one vertical hop, in
+/// exchange for never moving the weights. Same wavefront clock
+/// `time = i + j + k`.
+pub fn weight_stationary_mapping() -> Mapping {
+    Mapping::Affine(AffineMap {
+        place: PlaceExpr::Grid {
+            x: IdxExpr::j(),
+            y: IdxExpr::k(),
+        },
+        time: IdxExpr::i() + IdxExpr::j() + IdxExpr::k(),
+    })
+}
+
+/// Output-stationary mapping for matrices larger than the grid:
+/// `C(i,j)` accumulates at PE `(j mod cols, i mod rows)` and times are
+/// re-derived by list scheduling (legal by construction). The
+/// accumulation chains stay PE-local; multiple output cells share a PE
+/// round-robin.
+pub fn tiled_systolic_mapping(
+    graph: &fm_core::dataflow::DataflowGraph,
+    machine: &fm_core::machine::MachineConfig,
+) -> fm_core::mapping::ResolvedMapping {
+    let places: Vec<(i64, i64)> = graph
+        .nodes
+        .iter()
+        .map(|node| {
+            let (i, j) = (node.index[0], node.index[1]);
+            (
+                j.rem_euclid(i64::from(machine.cols)),
+                i.rem_euclid(i64::from(machine.rows)),
+            )
+        })
+        .collect();
+    fm_core::search::retime(graph, &places, machine)
+}
+
+/// Serial reference matmul on f64.
+pub fn matmul_ref(a: &[f64], b: &[f64], n: usize) -> Vec<f64> {
+    let mut c = vec![0.0; n * n];
+    for i in 0..n {
+        for k in 0..n {
+            let aik = a[i * n + k];
+            for j in 0..n {
+                c[i * n + j] += aik * b[k * n + j];
+            }
+        }
+    }
+    c
+}
+
+/// Flatten an f64 matrix into input values.
+pub fn matrix_values(m: &[f64]) -> Vec<Value> {
+    m.iter().map(|&v| Value::real(v)).collect()
+}
+
+// ---------------------------------------------------------------------
+// Ideal-cache address streams (experiment E7).
+//
+// Memory layout for the traces: A at 0, B at n², C at 2n², row-major.
+
+/// Replay the naive i-j-k triple loop's address stream.
+pub fn trace_matmul_naive(n: usize, cache: &mut IdealCache) {
+    let (a0, b0, c0) = (0, n * n, 2 * n * n);
+    for i in 0..n {
+        for j in 0..n {
+            for k in 0..n {
+                cache.access(a0 + i * n + k);
+                cache.access(b0 + k * n + j);
+                cache.access(c0 + i * n + j);
+            }
+        }
+    }
+}
+
+/// Replay a `t×t`-blocked loop's address stream.
+pub fn trace_matmul_blocked(n: usize, t: usize, cache: &mut IdealCache) {
+    assert!(t > 0, "tile size must be positive");
+    let (a0, b0, c0) = (0, n * n, 2 * n * n);
+    for ii in (0..n).step_by(t) {
+        for jj in (0..n).step_by(t) {
+            for kk in (0..n).step_by(t) {
+                for i in ii..(ii + t).min(n) {
+                    for j in jj..(jj + t).min(n) {
+                        for k in kk..(kk + t).min(n) {
+                            cache.access(a0 + i * n + k);
+                            cache.access(b0 + k * n + j);
+                            cache.access(c0 + i * n + j);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Replay the cache-oblivious (recursive, divide-largest-dimension)
+/// address stream.
+pub fn trace_matmul_oblivious(n: usize, base: usize, cache: &mut IdealCache) {
+    assert!(base > 0, "base case must be positive");
+    let (a0, b0, c0) = (0, n * n, 2 * n * n);
+    // Multiply A[i0..i1, k0..k1] × B[k0..k1, j0..j1] into C[i0..i1, j0..j1].
+    #[allow(clippy::too_many_arguments)]
+    fn rec(
+        n: usize,
+        base: usize,
+        i0: usize,
+        i1: usize,
+        j0: usize,
+        j1: usize,
+        k0: usize,
+        k1: usize,
+        bases: (usize, usize, usize),
+        cache: &mut IdealCache,
+    ) {
+        let (di, dj, dk) = (i1 - i0, j1 - j0, k1 - k0);
+        if di <= base && dj <= base && dk <= base {
+            let (a0, b0, c0) = bases;
+            for i in i0..i1 {
+                for j in j0..j1 {
+                    for k in k0..k1 {
+                        cache.access(a0 + i * n + k);
+                        cache.access(b0 + k * n + j);
+                        cache.access(c0 + i * n + j);
+                    }
+                }
+            }
+            return;
+        }
+        if di >= dj && di >= dk {
+            let mid = i0 + di / 2;
+            rec(n, base, i0, mid, j0, j1, k0, k1, bases, cache);
+            rec(n, base, mid, i1, j0, j1, k0, k1, bases, cache);
+        } else if dj >= dk {
+            let mid = j0 + dj / 2;
+            rec(n, base, i0, i1, j0, mid, k0, k1, bases, cache);
+            rec(n, base, i0, i1, mid, j1, k0, k1, bases, cache);
+        } else {
+            let mid = k0 + dk / 2;
+            rec(n, base, i0, i1, j0, j1, k0, mid, bases, cache);
+            rec(n, base, i0, i1, j0, j1, mid, k1, bases, cache);
+        }
+    }
+    rec(n, base, 0, n, 0, n, 0, n, (a0, b0, c0), cache);
+}
+
+// ---------------------------------------------------------------------
+// Fork-join matmul (work-span instrumented).
+
+/// Parallel matmul on the pool: rows split recursively down to `grain`
+/// rows per task. Returns `C` and the work-span cost (in multiply-add
+/// units).
+pub fn matmul_parallel(
+    pool: &ThreadPool,
+    a: &[f64],
+    b: &[f64],
+    n: usize,
+    grain: usize,
+) -> (Vec<f64>, WorkSpan) {
+    let mut c = vec![0.0f64; n * n];
+    {
+        // Row-disjoint writes: hand each row out via raw pointer wrapper.
+        struct Rows(*mut f64, usize);
+        unsafe impl Sync for Rows {}
+        let rows = Rows(c.as_mut_ptr(), n);
+        let rows = &rows; // capture the Sync wrapper, not its raw field
+        par_for(pool, 0..n, grain.max(1), |i| {
+            // Safety: each index i touches only row i.
+            let row =
+                unsafe { std::slice::from_raw_parts_mut(rows.0.add(i * rows.1), rows.1) };
+            for k in 0..n {
+                let aik = a[i * n + k];
+                for j in 0..n {
+                    row[j] += aik * b[k * n + j];
+                }
+            }
+        });
+    }
+    // Work = n³ MACs; span = chain within one grain of rows (grain·n²)
+    // plus the O(log(n/grain)) split overhead (negligible, counted as
+    // one unit per level).
+    let levels = ((n as f64 / grain.max(1) as f64).log2().ceil()).max(0.0);
+    let ws = WorkSpan {
+        work: (n * n * n) as f64,
+        span: (grain.max(1) * n * n) as f64 + levels,
+    };
+    (c, ws)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::XorShift;
+    use fm_core::cost::Evaluator;
+    use fm_core::legality::check;
+    use fm_core::machine::MachineConfig;
+    use fm_core::mapping::InputPlacement;
+    use fm_grid::Simulator;
+
+    fn random_matrix(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = XorShift::new(seed);
+        (0..n * n).map(|_| rng.unit_f64() * 2.0 - 1.0).collect()
+    }
+
+    #[test]
+    fn recurrence_matches_reference() {
+        let n = 6;
+        let a = random_matrix(n, 1);
+        let b = random_matrix(n, 2);
+        let rec = matmul_recurrence(n);
+        let g = rec.elaborate().unwrap();
+        let vals = g.eval(&[matrix_values(&a), matrix_values(&b)]);
+        let c = matmul_ref(&a, &b, n);
+        for i in 0..n {
+            for j in 0..n {
+                let id = rec
+                    .domain
+                    .flatten(&[i as i64, j as i64, n as i64 - 1])
+                    .unwrap();
+                assert!(
+                    (vals[id].re - c[i * n + j]).abs() < 1e-9,
+                    "C({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn systolic_mapping_is_legal_and_simulates() {
+        let n = 4;
+        let a = random_matrix(n, 3);
+        let b = random_matrix(n, 4);
+        let rec = matmul_recurrence(n);
+        let g = rec.elaborate().unwrap();
+        let machine = MachineConfig::n5(n as u32, n as u32);
+        let rm = systolic_mapping().resolve(&g, &machine).unwrap();
+        assert!(check(&g, &rm, &machine).is_legal());
+        // Makespan = 3(n-1) + 1: the classic wavefront latency.
+        assert_eq!(rm.makespan(), 3 * (n as i64 - 1) + 1);
+        let sim = Simulator::new(machine);
+        let res = sim
+            .run(
+                &g,
+                &rm,
+                &[matrix_values(&a), matrix_values(&b)],
+                &[InputPlacement::AtUse, InputPlacement::AtUse],
+            )
+            .unwrap();
+        let c = matmul_ref(&a, &b, n);
+        for i in 0..n {
+            for j in 0..n {
+                let id = rec
+                    .domain
+                    .flatten(&[i as i64, j as i64, n as i64 - 1])
+                    .unwrap();
+                assert!((res.values[id].re - c[i * n + j]).abs() < 1e-9);
+            }
+        }
+        assert_eq!(res.cycles_actual, res.cycles_scheduled);
+    }
+
+    #[test]
+    fn systolic_accumulation_stays_local() {
+        // Output-stationary: the S chain never leaves its PE, so the
+        // only on-chip messages would come from input distribution (here
+        // AtUse = none).
+        let n = 4;
+        let rec = matmul_recurrence(n);
+        let g = rec.elaborate().unwrap();
+        let machine = MachineConfig::n5(n as u32, n as u32);
+        let rm = systolic_mapping().resolve(&g, &machine).unwrap();
+        let rep = Evaluator::new(&g, &machine)
+            .with_all_inputs(InputPlacement::AtUse)
+            .evaluate(&rm);
+        assert_eq!(rep.ledger.onchip_messages, 0);
+        assert_eq!(rep.pes_used, n * n);
+    }
+
+    #[test]
+    fn weight_stationary_flows_partial_sums() {
+        let n = 4;
+        let a = random_matrix(n, 11);
+        let b = random_matrix(n, 12);
+        let rec = matmul_recurrence(n);
+        let g = rec.elaborate().unwrap();
+        let machine = MachineConfig::n5(n as u32, n as u32);
+
+        let rm_ws = weight_stationary_mapping().resolve(&g, &machine).unwrap();
+        assert!(check(&g, &rm_ws, &machine).is_legal());
+        let rep_ws = Evaluator::new(&g, &machine)
+            .with_all_inputs(InputPlacement::AtUse)
+            .evaluate(&rm_ws);
+
+        let rm_os = systolic_mapping().resolve(&g, &machine).unwrap();
+        let rep_os = Evaluator::new(&g, &machine)
+            .with_all_inputs(InputPlacement::AtUse)
+            .evaluate(&rm_os);
+
+        // The dataflow choice: output-stationary keeps sums local (no
+        // messages); weight-stationary moves a partial sum every step.
+        assert_eq!(rep_os.ledger.onchip_messages, 0);
+        assert_eq!(
+            rep_ws.ledger.onchip_messages,
+            (n * n * (n - 1)) as u64 // each chain crosses n-1 hops
+        );
+
+        // Same values either way.
+        let sim = Simulator::new(machine);
+        let res = sim
+            .run(
+                &g,
+                &rm_ws,
+                &[matrix_values(&a), matrix_values(&b)],
+                &[InputPlacement::AtUse, InputPlacement::AtUse],
+            )
+            .unwrap();
+        let c = matmul_ref(&a, &b, n);
+        for i in 0..n {
+            for j in 0..n {
+                let id = rec
+                    .domain
+                    .flatten(&[i as i64, j as i64, n as i64 - 1])
+                    .unwrap();
+                assert!((res.values[id].re - c[i * n + j]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_mapping_handles_matrices_larger_than_grid() {
+        // 6×6 matmul on a 3×3 grid: 4 output cells per PE.
+        let n = 6;
+        let a = random_matrix(n, 8);
+        let b = random_matrix(n, 9);
+        let rec = matmul_recurrence(n);
+        let g = rec.elaborate().unwrap();
+        let machine = MachineConfig::n5(3, 3);
+        let rm = tiled_systolic_mapping(&g, &machine);
+        assert!(check(&g, &rm, &machine).is_legal());
+        let sim = Simulator::new(machine);
+        let res = sim
+            .run(
+                &g,
+                &rm,
+                &[matrix_values(&a), matrix_values(&b)],
+                &[InputPlacement::AtUse, InputPlacement::AtUse],
+            )
+            .unwrap();
+        let c = matmul_ref(&a, &b, n);
+        for i in 0..n {
+            for j in 0..n {
+                let id = rec
+                    .domain
+                    .flatten(&[i as i64, j as i64, n as i64 - 1])
+                    .unwrap();
+                assert!((res.values[id].re - c[i * n + j]).abs() < 1e-9);
+            }
+        }
+        // Accumulation stays local: zero NoC messages.
+        assert_eq!(res.ledger.onchip_messages, 0);
+    }
+
+    #[test]
+    fn blocked_beats_naive_in_misses() {
+        let n = 48;
+        // Cache: 2048 words, 16-word lines — far too small for a 48×48
+        // row plus column traffic, so naive thrashes on B.
+        let mut c1 = IdealCache::new(2048, 16);
+        trace_matmul_naive(n, &mut c1);
+        let mut c2 = IdealCache::new(2048, 16);
+        trace_matmul_blocked(n, 16, &mut c2);
+        assert!(
+            c2.stats().misses * 2 < c1.stats().misses,
+            "blocked {} vs naive {}",
+            c2.stats().misses,
+            c1.stats().misses
+        );
+    }
+
+    #[test]
+    fn oblivious_tracks_blocked_without_knowing_z() {
+        let n = 48;
+        let mut cb = IdealCache::new(2048, 16);
+        trace_matmul_blocked(n, 16, &mut cb);
+        let mut co = IdealCache::new(2048, 16);
+        trace_matmul_oblivious(n, 8, &mut co);
+        // Cache-oblivious should be within ~2× of the tuned blocked
+        // version, far below naive.
+        let mut cn = IdealCache::new(2048, 16);
+        trace_matmul_naive(n, &mut cn);
+        assert!(co.stats().misses < cn.stats().misses / 2);
+        assert!(co.stats().misses < cb.stats().misses * 3);
+    }
+
+    #[test]
+    fn oblivious_improves_across_cache_sizes_without_retuning() {
+        // The cache-oblivious property: the same trace (base 8) adapts
+        // to any Z; misses drop as Z grows.
+        let n = 32;
+        let mut last = u64::MAX;
+        for z in [256usize, 1024, 4096] {
+            let mut c = IdealCache::new(z, 16);
+            trace_matmul_oblivious(n, 8, &mut c);
+            let misses = c.stats().misses;
+            assert!(misses < last, "Z={z}: {misses} !< {last}");
+            last = misses;
+        }
+    }
+
+    #[test]
+    fn parallel_matmul_correct() {
+        let n = 64;
+        let a = random_matrix(n, 5);
+        let b = random_matrix(n, 6);
+        let pool = ThreadPool::with_threads(4);
+        let (c, ws) = matmul_parallel(&pool, &a, &b, n, 4);
+        let expect = matmul_ref(&a, &b, n);
+        for (x, y) in c.iter().zip(&expect) {
+            assert!((x - y).abs() < 1e-9);
+        }
+        assert_eq!(ws.work, (n * n * n) as f64);
+        assert!(ws.parallelism() > 1.0);
+    }
+
+    #[test]
+    fn trace_counts_are_deterministic() {
+        let n = 24;
+        let mut c1 = IdealCache::new(512, 8);
+        trace_matmul_naive(n, &mut c1);
+        let mut c2 = IdealCache::new(512, 8);
+        trace_matmul_naive(n, &mut c2);
+        assert_eq!(c1.stats(), c2.stats());
+        assert_eq!(c1.stats().accesses, (n * n * n * 3) as u64);
+    }
+}

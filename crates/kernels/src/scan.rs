@@ -1,0 +1,309 @@
+//! Prefix sums (scan) — Blelloch's signature primitive.
+//!
+//! The paper's biography section credits Blelloch's "implementations
+//! and algorithmic applications of the scan (prefix sums) operation";
+//! his panel statement holds the work-span model up as the bridge. So
+//! scan appears here in every lens:
+//!
+//! * the **serial recurrence** `S(i) = S(i-1) + X[i]` for the F&M side
+//!   (depth `n` — the function itself is sequential; contrast below);
+//! * **Blelloch's work-efficient PRAM scan** (up-sweep + down-sweep):
+//!   work `O(n)`, depth `O(log n)`, EREW-legal — the simulator enforces
+//!   that no step of it needs concurrent access;
+//! * a **fork-join scan** on the work-stealing pool (two-pass,
+//!   contraction style) with its work-span cost tracked.
+
+use fm_core::affine::IdxExpr;
+use fm_core::dataflow::InputSpec;
+use fm_core::expr::{ElemExpr, InputRef};
+use fm_core::recurrence::{Boundary, Domain, OutputSpec, Recurrence};
+
+use fm_pram::{ConcurrencyModel, Pram, PramError};
+use fm_workspan::{ThreadPool, WorkSpan};
+
+/// The serial scan recurrence `S(i) = S(i-1) + X[i]`.
+pub fn scan_recurrence(n: usize) -> Recurrence {
+    Recurrence {
+        name: format!("scan{n}"),
+        domain: Domain::d1(n),
+        expr: ElemExpr::SelfRef(vec![-1]).add(ElemExpr::Input(InputRef {
+            input: 0,
+            index: vec![IdxExpr::i()],
+        })),
+        inputs: vec![InputSpec {
+            name: "X".into(),
+            dims: vec![n],
+        }],
+        width_bits: 32,
+        boundary: Boundary::Zero,
+        output: OutputSpec::All,
+    }
+}
+
+/// Serial reference: inclusive scan.
+pub fn scan_ref(x: &[i64]) -> Vec<i64> {
+    let mut acc = 0;
+    x.iter()
+        .map(|&v| {
+            acc += v;
+            acc
+        })
+        .collect()
+}
+
+/// Blelloch's work-efficient exclusive scan on an EREW PRAM.
+///
+/// `n` must be a power of two. Returns the exclusive scan and leaves
+/// work/depth readable on the returned machine.
+pub fn pram_blelloch_scan(x: &[i64]) -> Result<(Vec<i64>, Pram), PramError> {
+    let n = x.len();
+    assert!(n.is_power_of_two(), "Blelloch scan wants a power-of-two n");
+    let mut pram = Pram::new(ConcurrencyModel::Erew, n.max(1));
+    pram.load(0, x);
+
+    // Up-sweep: build the reduction tree in place.
+    let mut d = 1usize;
+    while d < n {
+        let stride = 2 * d;
+        let active = n / stride;
+        let dd = d;
+        pram.step(active, move |p, ctx| {
+            let right = (p + 1) * stride - 1;
+            let left = right - dd;
+            let sum = ctx.read(left) + ctx.read(right);
+            ctx.write(right, sum);
+        })?;
+        d = stride;
+    }
+
+    // Clear the root.
+    pram.step(1, move |_p, ctx| ctx.write(n - 1, 0))?;
+
+    // Down-sweep.
+    let mut d = n / 2;
+    while d >= 1 {
+        let stride = 2 * d;
+        let active = n / stride;
+        let dd = d;
+        pram.step(active, move |p, ctx| {
+            let right = (p + 1) * stride - 1;
+            let left = right - dd;
+            let t = ctx.read(left);
+            let r = ctx.read(right);
+            ctx.write(left, r);
+            ctx.write(right, t + r);
+        })?;
+        d /= 2;
+    }
+
+    let out = pram.peek_slice(0..n).to_vec();
+    Ok((out, pram))
+}
+
+/// Fork-join inclusive scan: recursive contraction. Returns the scan
+/// and its work-span cost (in add units).
+pub fn par_scan(pool: &ThreadPool, x: &[i64], grain: usize) -> (Vec<i64>, WorkSpan) {
+    let n = x.len();
+    let grain = grain.max(1);
+    if n == 0 {
+        return (Vec::new(), WorkSpan::ZERO);
+    }
+    // Pass 1: per-chunk sums.
+    let chunks: Vec<&[i64]> = x.chunks(grain).collect();
+    let k = chunks.len();
+    let mut sums = vec![0i64; k];
+    {
+        struct Cell(*mut i64);
+        unsafe impl Sync for Cell {}
+        let out = Cell(sums.as_mut_ptr());
+        let out = &out; // capture the Sync wrapper, not its raw field
+        fm_workspan::par_for(pool, 0..k, 1, |c| {
+            let s: i64 = chunks[c].iter().sum();
+            // Safety: each c writes only sums[c].
+            unsafe { *out.0.add(c) = s };
+        });
+    }
+    // Serial scan of the k chunk sums (k = n/grain, cheap).
+    let offsets: Vec<i64> = {
+        let mut acc = 0;
+        let mut o = Vec::with_capacity(k);
+        for &s in &sums {
+            o.push(acc);
+            acc += s;
+        }
+        o
+    };
+    // Pass 2: per-chunk local scans with offsets.
+    let mut result = vec![0i64; n];
+    {
+        struct Cell(*mut i64);
+        unsafe impl Sync for Cell {}
+        let out = Cell(result.as_mut_ptr());
+        let out = &out; // capture the Sync wrapper, not its raw field
+        fm_workspan::par_for(pool, 0..k, 1, |c| {
+            let mut acc = offsets[c];
+            let base = c * grain;
+            for (i, &v) in chunks[c].iter().enumerate() {
+                acc += v;
+                // Safety: chunk c owns result[base..base+len].
+                unsafe { *out.0.add(base + i) = acc };
+            }
+        });
+    }
+    // Work: 2n adds (+k for the middle scan); span: two grain-sized
+    // chunk passes plus the serial k-scan.
+    let ws = WorkSpan {
+        work: (2 * n + k) as f64,
+        span: (2 * grain + k) as f64,
+    };
+    (result, ws)
+}
+
+/// Parallel pack (stream compaction): keep the elements satisfying
+/// `keep`, preserving order — the canonical *application* of scan
+/// (Blelloch's "algorithmic applications of the scan operation"):
+/// flags → exclusive scan → scatter to scanned offsets.
+pub fn par_pack<T, F>(pool: &ThreadPool, x: &[T], grain: usize, keep: F) -> (Vec<T>, WorkSpan)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T) -> bool + Sync,
+{
+    let n = x.len();
+    if n == 0 {
+        return (Vec::new(), WorkSpan::ZERO);
+    }
+    // Flags as 0/1.
+    let flags: Vec<i64> = x.iter().map(|v| i64::from(keep(v))).collect();
+    let (inclusive, ws_scan) = par_scan(pool, &flags, grain);
+    let total = *inclusive.last().unwrap() as usize;
+    let mut out = vec![None; total];
+    {
+        struct Cell<T>(*mut Option<T>);
+        unsafe impl<T> Sync for Cell<T> {}
+        let dst = Cell(out.as_mut_ptr());
+        let dst = &dst;
+        fm_workspan::par_for(pool, 0..n, grain.max(1), |i| {
+            if flags[i] == 1 {
+                // Exclusive offset = inclusive - 1 for kept elements;
+                // distinct kept elements get distinct slots.
+                let slot = (inclusive[i] - 1) as usize;
+                // Safety: slots are unique per kept element.
+                unsafe { *dst.0.add(slot) = Some(x[i]) };
+            }
+        });
+    }
+    let packed: Vec<T> = out.into_iter().map(|v| v.expect("slot filled")).collect();
+    // Pack = scan + one elementwise pass.
+    let ws = ws_scan.seq(WorkSpan {
+        work: n as f64,
+        span: grain.max(1) as f64,
+    });
+    (packed, ws)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::XorShift;
+    use fm_core::pramcost::PramCost;
+
+    fn random_vec(n: usize, seed: u64) -> Vec<i64> {
+        let mut rng = XorShift::new(seed);
+        (0..n).map(|_| rng.below(1000) as i64 - 500).collect()
+    }
+
+    #[test]
+    fn serial_recurrence_depth_is_n() {
+        let g = scan_recurrence(32).elaborate().unwrap();
+        let c = PramCost::of(&g);
+        assert_eq!(c.work, 32);
+        assert_eq!(c.depth, 32); // the *function* is a chain
+    }
+
+    #[test]
+    fn blelloch_scan_matches_reference() {
+        let x = random_vec(64, 9);
+        let (exclusive, _) = pram_blelloch_scan(&x).unwrap();
+        let inclusive = scan_ref(&x);
+        // exclusive[i] = inclusive[i] - x[i]
+        for i in 0..x.len() {
+            assert_eq!(exclusive[i], inclusive[i] - x[i], "at {i}");
+        }
+    }
+
+    #[test]
+    fn blelloch_scan_is_erew_legal() {
+        // The whole point: the work-efficient scan never needs
+        // concurrent access, so it runs on the strictest model without
+        // error.
+        let x = random_vec(128, 10);
+        assert!(pram_blelloch_scan(&x).is_ok());
+    }
+
+    #[test]
+    fn blelloch_scan_work_depth() {
+        let n = 256;
+        let x = random_vec(n, 11);
+        let (_, pram) = pram_blelloch_scan(&x).unwrap();
+        // Depth: log n (up) + 1 (clear) + log n (down) = 17 for n=256.
+        assert_eq!(pram.depth(), 2 * 8 + 1);
+        // Work: (n-1) up + 1 + (n-1) down = O(n), well under n log n.
+        assert!(pram.work() < 3 * n as u64);
+    }
+
+    #[test]
+    fn par_scan_matches_reference() {
+        let pool = ThreadPool::with_threads(4);
+        for n in [0usize, 1, 7, 64, 1000, 4097] {
+            let x = random_vec(n, n as u64 + 1);
+            let (got, _) = par_scan(&pool, &x, 64);
+            assert_eq!(got, scan_ref(&x), "n={n}");
+        }
+    }
+
+    #[test]
+    fn par_scan_workspan_sensible() {
+        let pool = ThreadPool::with_threads(2);
+        let x = random_vec(4096, 13);
+        let (_, ws) = par_scan(&pool, &x, 64);
+        assert!(ws.work >= 8192.0);
+        assert!(ws.span < ws.work / 8.0); // real parallelism
+    }
+
+    #[test]
+    fn par_pack_matches_serial_filter() {
+        let pool = ThreadPool::with_threads(4);
+        for n in [0usize, 1, 17, 1000, 4096] {
+            let x = random_vec(n, n as u64 + 5);
+            let (got, _) = par_pack(&pool, &x, 64, |&v| v % 3 == 0);
+            let expect: Vec<i64> = x.iter().copied().filter(|&v| v % 3 == 0).collect();
+            assert_eq!(got, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn par_pack_keep_all_and_none() {
+        let pool = ThreadPool::with_threads(2);
+        let x = random_vec(100, 3);
+        let (all, _) = par_pack(&pool, &x, 16, |_| true);
+        assert_eq!(all, x);
+        let (none, _) = par_pack(&pool, &x, 16, |_| false);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn par_pack_preserves_order() {
+        let pool = ThreadPool::with_threads(4);
+        let x: Vec<i64> = (0..1000).collect();
+        let (got, _) = par_pack(&pool, &x, 32, |&v| v % 7 == 0);
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(got, sorted); // already in order
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn blelloch_scan_rejects_odd_sizes() {
+        let _ = pram_blelloch_scan(&[1, 2, 3]);
+    }
+}

@@ -1,0 +1,263 @@
+//! Instrumented parallel mergesort for the greedy-bound experiment.
+//!
+//! Experiment E6 checks Brent's bound `T_P ≤ W/P + S` on a real
+//! work-stealing scheduler, which needs kernels whose `W` and `S` are
+//! known. Mergesort with sequential merge is the classic instructive
+//! case: `W = Θ(n log n)` but `S = Θ(n)` (the root merge is serial), so
+//! its measured speedup saturates early — in contrast to `par_scan`,
+//! whose span is logarithmic-ish in the chunk structure.
+
+use fm_workspan::{ThreadPool, WorkSpan};
+
+/// Merge two sorted runs.
+fn merge(a: &[u64], b: &[u64], out: &mut [u64]) {
+    debug_assert_eq!(a.len() + b.len(), out.len());
+    let (mut i, mut j) = (0, 0);
+    for slot in out.iter_mut() {
+        let take_a = j >= b.len() || (i < a.len() && a[i] <= b[j]);
+        if take_a {
+            *slot = a[i];
+            i += 1;
+        } else {
+            *slot = b[j];
+            j += 1;
+        }
+    }
+}
+
+/// Parallel mergesort. Returns the sorted vector and its work-span
+/// cost in comparison units (leaf sorts count `len·log₂len`, merges
+/// count their output length; the merge is sequential, so it adds to
+/// the span).
+pub fn par_mergesort(pool: &ThreadPool, data: &[u64], grain: usize) -> (Vec<u64>, WorkSpan) {
+    let grain = grain.max(1);
+    fn go(pool: &ThreadPool, v: &[u64], grain: usize) -> (Vec<u64>, WorkSpan) {
+        let n = v.len();
+        if n <= grain {
+            let mut out = v.to_vec();
+            out.sort_unstable();
+            let cost = n as f64 * (n.max(2) as f64).log2();
+            return (out, WorkSpan::leaf(cost));
+        }
+        let mid = n / 2;
+        let ((la, wa), (lb, wb)) = pool.join(
+            || go(pool, &v[..mid], grain),
+            || go(pool, &v[mid..], grain),
+        );
+        let mut out = vec![0u64; n];
+        merge(&la, &lb, &mut out);
+        // Children in parallel, then a sequential merge of n elements.
+        (out, wa.par(wb).seq(WorkSpan::leaf(n as f64)))
+    }
+    if data.is_empty() {
+        return (Vec::new(), WorkSpan::ZERO);
+    }
+    pool.run(|| go(pool, data, grain))
+}
+
+/// Parallel sample sort: sample `oversample·√buckets` keys, pick
+/// `buckets-1` splitters, bucket all elements in parallel (per-chunk
+/// histograms + a small serial scan of offsets), then sort buckets in
+/// parallel. Unlike mergesort its span is Θ(n/buckets + buckets·log n),
+/// so the parallelism ceiling is tunable — sample sort is the standard
+/// answer to mergesort's serial root merge.
+pub fn par_samplesort(pool: &ThreadPool, data: &[u64], buckets: usize) -> (Vec<u64>, WorkSpan) {
+    let n = data.len();
+    let buckets = buckets.clamp(1, n.max(1));
+    if n <= 1 || buckets == 1 {
+        let mut out = data.to_vec();
+        out.sort_unstable();
+        let c = n as f64 * (n.max(2) as f64).log2();
+        return (out, WorkSpan::leaf(c));
+    }
+
+    // 1. Splitters from a deterministic oversample.
+    let oversample = 8usize;
+    let mut sample: Vec<u64> = (0..buckets * oversample)
+        .map(|i| data[(i * 2654435761usize) % n])
+        .collect();
+    sample.sort_unstable();
+    let splitters: Vec<u64> = (1..buckets).map(|b| sample[b * oversample]).collect();
+
+    let bucket_of = |v: u64| splitters.partition_point(|&s| s <= v);
+
+    // 2. Per-chunk histograms in parallel.
+    let chunk = n.div_ceil((pool.threads().max(1) * 4).max(buckets)).max(1);
+    let chunks: Vec<&[u64]> = data.chunks(chunk).collect();
+    let k = chunks.len();
+    let mut hists = vec![vec![0usize; buckets]; k];
+    {
+        struct Cell(*mut Vec<usize>);
+        unsafe impl Sync for Cell {}
+        let out = Cell(hists.as_mut_ptr());
+        let out = &out;
+        fm_workspan::par_for(pool, 0..k, 1, |c| {
+            // Safety: each c writes only hists[c].
+            let h = unsafe { &mut *out.0.add(c) };
+            for &v in chunks[c] {
+                h[bucket_of(v)] += 1;
+            }
+        });
+    }
+
+    // 3. Serial exclusive scan of (bucket-major) offsets.
+    let mut offsets = vec![vec![0usize; buckets]; k];
+    let mut acc = 0usize;
+    let mut bucket_starts = vec![0usize; buckets + 1];
+    for b in 0..buckets {
+        bucket_starts[b] = acc;
+        for c in 0..k {
+            offsets[c][b] = acc;
+            acc += hists[c][b];
+        }
+    }
+    bucket_starts[buckets] = acc;
+
+    // 4. Parallel scatter into place.
+    let mut out = vec![0u64; n];
+    {
+        struct Cell(*mut u64);
+        unsafe impl Sync for Cell {}
+        let dst = Cell(out.as_mut_ptr());
+        let dst = &dst;
+        fm_workspan::par_for(pool, 0..k, 1, |c| {
+            let mut cursors = offsets[c].clone();
+            for &v in chunks[c] {
+                let b = bucket_of(v);
+                // Safety: disjoint destinations — chunk c owns
+                // offsets[c][b]..offsets[c][b]+hists[c][b] per bucket.
+                unsafe { *dst.0.add(cursors[b]) = v };
+                cursors[b] += 1;
+            }
+        });
+    }
+
+    // 5. Sort buckets in parallel (in place, disjoint ranges).
+    {
+        struct Cell(*mut u64);
+        unsafe impl Sync for Cell {}
+        let dst = Cell(out.as_mut_ptr());
+        let dst = &dst;
+        let starts = &bucket_starts;
+        fm_workspan::par_for(pool, 0..buckets, 1, |b| {
+            let (lo, hi) = (starts[b], starts[b + 1]);
+            // Safety: bucket ranges are disjoint.
+            let slice = unsafe { std::slice::from_raw_parts_mut(dst.0.add(lo), hi - lo) };
+            slice.sort_unstable();
+        });
+    }
+
+    // Cost accounting: bucketing (2 passes over n) + per-bucket sorts.
+    let avg_bucket = n as f64 / buckets as f64;
+    let ws = WorkSpan {
+        work: 2.0 * n as f64 + n as f64 * avg_bucket.max(2.0).log2(),
+        span: 2.0 * chunk as f64
+            + (buckets * k) as f64
+            + 2.0 * avg_bucket * avg_bucket.max(2.0).log2(),
+    };
+    (out, ws)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::XorShift;
+
+    fn random_data(n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = XorShift::new(seed);
+        (0..n).map(|_| rng.next_u64() % 1_000_000).collect()
+    }
+
+    #[test]
+    fn sorts_correctly() {
+        let pool = ThreadPool::with_threads(4);
+        for n in [0usize, 1, 2, 100, 10_000] {
+            let data = random_data(n, n as u64 + 3);
+            let mut expect = data.clone();
+            expect.sort_unstable();
+            let (got, _) = par_mergesort(&pool, &data, 64);
+            assert_eq!(got, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn span_dominated_by_root_merge() {
+        let pool = ThreadPool::with_threads(2);
+        let n = 1 << 14;
+        let data = random_data(n, 5);
+        let (_, ws) = par_mergesort(&pool, &data, 256);
+        // Span ≥ n (root merge) + n/2 + … ≈ 2n; far below work.
+        assert!(ws.span >= n as f64);
+        assert!(ws.span <= 3.0 * n as f64);
+        assert!(ws.work > ws.span);
+        // Parallelism ≈ log n — mergesort's known ceiling.
+        assert!(ws.parallelism() < 32.0);
+    }
+
+    #[test]
+    fn already_sorted_input() {
+        let pool = ThreadPool::with_threads(4);
+        let data: Vec<u64> = (0..5000).collect();
+        let (got, _) = par_mergesort(&pool, &data, 128);
+        assert_eq!(got, data);
+    }
+
+    #[test]
+    fn merge_handles_skew() {
+        let mut out = vec![0u64; 6];
+        merge(&[1, 2, 3, 4, 5], &[10], &mut out);
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 10]);
+        merge(&[10], &[1, 2, 3, 4, 5], &mut out);
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 10]);
+    }
+
+    #[test]
+    fn samplesort_correct_across_sizes() {
+        let pool = ThreadPool::with_threads(4);
+        for n in [0usize, 1, 2, 17, 1000, 50_000] {
+            let data = random_data(n, n as u64 + 11);
+            let mut expect = data.clone();
+            expect.sort_unstable();
+            let (got, _) = par_samplesort(&pool, &data, 16);
+            assert_eq!(got, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn samplesort_handles_skewed_keys() {
+        // Heavy duplicates: half the keys identical.
+        let pool = ThreadPool::with_threads(4);
+        let mut data = random_data(20_000, 3);
+        for v in data.iter_mut().step_by(2) {
+            *v = 42;
+        }
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        let (got, _) = par_samplesort(&pool, &data, 32);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn samplesort_span_beats_mergesort_span() {
+        // The point of sample sort: no Θ(n) serial merge at the root.
+        let pool = ThreadPool::with_threads(2);
+        let n = 1 << 15;
+        let data = random_data(n, 5);
+        let (_, ms) = par_mergesort(&pool, &data, 256);
+        let (_, ss) = par_samplesort(&pool, &data, 64);
+        assert!(
+            ss.span < ms.span / 4.0,
+            "samplesort span {} !< mergesort span {} / 4",
+            ss.span,
+            ms.span
+        );
+    }
+
+    #[test]
+    fn duplicates_preserved() {
+        let pool = ThreadPool::with_threads(2);
+        let data = vec![5u64, 3, 5, 1, 5, 3];
+        let (got, _) = par_mergesort(&pool, &data, 2);
+        assert_eq!(got, vec![1, 3, 3, 5, 5, 5]);
+    }
+}

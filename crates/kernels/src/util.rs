@@ -1,0 +1,108 @@
+//! Deterministic input generators.
+//!
+//! Benches and tests need reproducible pseudo-random inputs without
+//! threading RNG state everywhere; a seeded xorshift64* suffices and
+//! keeps the dependency surface small.
+
+/// A tiny deterministic PRNG (xorshift64*).
+#[derive(Debug, Clone)]
+pub struct XorShift {
+    state: u64,
+}
+
+impl XorShift {
+    /// Seeded generator. A zero seed is remapped (xorshift has a zero
+    /// fixed point).
+    pub fn new(seed: u64) -> Self {
+        XorShift {
+            state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed },
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform in `[0, bound)`. `bound` must be positive.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        self.next_u64() % bound
+    }
+
+    /// Uniform f64 in [0, 1).
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A random byte string over a small alphabet (DNA-like by default),
+/// for edit-distance inputs.
+pub fn random_sequence(len: usize, alphabet: &[u8], seed: u64) -> Vec<u8> {
+    assert!(!alphabet.is_empty(), "alphabet must be nonempty");
+    let mut rng = XorShift::new(seed);
+    (0..len)
+        .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+        .collect()
+}
+
+/// DNA alphabet.
+pub const DNA: &[u8] = b"ACGT";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = XorShift::new(7);
+        let mut b = XorShift::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = XorShift::new(1);
+        let mut b = XorShift::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn zero_seed_remapped() {
+        let mut r = XorShift::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = XorShift::new(3);
+        for _ in 0..1000 {
+            assert!(r.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        let mut r = XorShift::new(5);
+        for _ in 0..1000 {
+            let v = r.unit_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn random_sequence_uses_alphabet() {
+        let s = random_sequence(500, DNA, 11);
+        assert_eq!(s.len(), 500);
+        assert!(s.iter().all(|c| DNA.contains(c)));
+        // Deterministic.
+        assert_eq!(s, random_sequence(500, DNA, 11));
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # fm-pram — a step-synchronous PRAM simulator
+//!
+//! Vishkin's statement (§5) rests on the PRAM: "work efficient PRAM
+//! algorithms" as the abstraction programmers should write against, and
+//! XMT as hardware that "to a first approximation is about reducing
+//! overheads of PRAM algorithms using hardware primitives".
+//!
+//! This crate provides that abstraction as an executable artifact:
+//!
+//! * [`pram::Pram`] — a synchronous shared-memory machine. A program is
+//!   a sequence of *steps*; in each step every active processor runs the
+//!   same closure (parameterized by its processor id), reads see the
+//!   memory as of the start of the step, and writes commit at the end.
+//!   The simulator classifies every step's accesses and enforces the
+//!   declared [`pram::ConcurrencyModel`] (EREW / CREW / common,
+//!   arbitrary, priority CRCW), rejecting illegal concurrency exactly
+//!   where a PRAM algorithms textbook would.
+//! * **Work-depth accounting** — work is the total number of processor
+//!   activations, depth the number of steps; [`pram::Pram::brent_time`]
+//!   gives the classic `W/p + D` schedule bound.
+//! * [`xmt::Xmt`] — an XMT-flavored front end: `spawn(n, …)` starts `n`
+//!   virtual threads for one step, and the hardware prefix-sum
+//!   primitive (`ps`) allocates unique indices within a step — the
+//!   primitive XMT uses for queue-free irregular algorithms such as BFS
+//!   (the paper's example of parallelism hidden by a FIFO queue).
+//!
+//! Everything is unit cost on purpose: this is the model the F&M side
+//! of the workspace (experiments E5, E10) contrasts with physical cost.
+
+pub mod pram;
+pub mod xmt;
+
+pub use pram::{ConcurrencyModel, Pram, PramError, StepCtx};
+pub use xmt::Xmt;

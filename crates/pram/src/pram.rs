@@ -1,0 +1,469 @@
+//! The synchronous PRAM engine.
+//!
+//! A PRAM program is a sequence of *steps*. Within a step, `active`
+//! processors each execute the same closure; every read observes the
+//! shared memory as it stood at the start of the step, and all writes
+//! commit simultaneously at the end. The engine records every access so
+//! it can (a) enforce the declared concurrency model and (b) account
+//! work and depth exactly.
+
+use serde::Serialize;
+
+/// PRAM concurrency models, in increasing permissiveness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ConcurrencyModel {
+    /// Exclusive read, exclusive write.
+    Erew,
+    /// Concurrent read, exclusive write.
+    Crew,
+    /// Concurrent write allowed only when all writers write the same
+    /// value.
+    CrcwCommon,
+    /// On concurrent write an arbitrary writer wins (deterministically:
+    /// the lowest processor id, so runs are reproducible).
+    CrcwArbitrary,
+    /// The lowest-id (highest-priority) writer wins.
+    CrcwPriority,
+}
+
+/// Concurrency violations and access errors.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum PramError {
+    /// Two processors read one cell under EREW.
+    ReadConflict {
+        /// Step index (0-based).
+        step: u64,
+        /// Conflicted address.
+        addr: usize,
+    },
+    /// Two processors wrote one cell under EREW/CREW.
+    WriteConflict {
+        /// Step index.
+        step: u64,
+        /// Conflicted address.
+        addr: usize,
+    },
+    /// Common-CRCW writers disagreed on the value.
+    CommonWriteMismatch {
+        /// Step index.
+        step: u64,
+        /// Conflicted address.
+        addr: usize,
+    },
+    /// Access beyond the memory size.
+    OutOfBounds {
+        /// Step index.
+        step: u64,
+        /// Offending address.
+        addr: usize,
+    },
+}
+
+impl std::fmt::Display for PramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PramError::ReadConflict { step, addr } => {
+                write!(f, "step {step}: EREW read conflict at {addr}")
+            }
+            PramError::WriteConflict { step, addr } => {
+                write!(f, "step {step}: exclusive-write conflict at {addr}")
+            }
+            PramError::CommonWriteMismatch { step, addr } => {
+                write!(f, "step {step}: common-CRCW writers disagree at {addr}")
+            }
+            PramError::OutOfBounds { step, addr } => {
+                write!(f, "step {step}: access out of bounds at {addr}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PramError {}
+
+/// A processor's view of one step: start-of-step reads, buffered writes.
+pub struct StepCtx<'a> {
+    mem: &'a [i64],
+    reads: Vec<usize>,
+    writes: Vec<(usize, i64)>,
+    oob: Vec<usize>,
+}
+
+impl StepCtx<'_> {
+    /// Read a cell (start-of-step snapshot). Out-of-bounds reads return
+    /// 0 and are reported when the step commits.
+    pub fn read(&mut self, addr: usize) -> i64 {
+        if addr >= self.mem.len() {
+            self.oob.push(addr);
+            return 0;
+        }
+        self.reads.push(addr);
+        self.mem[addr]
+    }
+
+    /// Buffer a write (commits at end of step).
+    pub fn write(&mut self, addr: usize, value: i64) {
+        if addr >= self.mem.len() {
+            self.oob.push(addr);
+            return;
+        }
+        self.writes.push((addr, value));
+    }
+}
+
+/// The PRAM machine.
+///
+/// ```
+/// use fm_pram::{ConcurrencyModel, Pram};
+///
+/// let mut pram = Pram::new(ConcurrencyModel::Crew, 8);
+/// pram.load(0, &[1, 2, 3, 4]);
+/// // One step: 4 processors each double their cell.
+/// pram.step(4, |i, ctx| {
+///     let v = ctx.read(i);
+///     ctx.write(i, 2 * v);
+/// }).unwrap();
+/// assert_eq!(pram.peek_slice(0..4), &[2, 4, 6, 8]);
+/// assert_eq!(pram.work(), 4);
+/// assert_eq!(pram.depth(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pram {
+    /// Declared concurrency model, enforced at every step.
+    pub model: ConcurrencyModel,
+    mem: Vec<i64>,
+    work: u64,
+    depth: u64,
+}
+
+impl Pram {
+    /// A machine with `cells` words of shared memory, all zero.
+    pub fn new(model: ConcurrencyModel, cells: usize) -> Self {
+        Pram {
+            model,
+            mem: vec![0; cells],
+            work: 0,
+            depth: 0,
+        }
+    }
+
+    /// Load data into shared memory starting at `base`.
+    pub fn load(&mut self, base: usize, data: &[i64]) {
+        self.mem[base..base + data.len()].copy_from_slice(data);
+    }
+
+    /// Read a cell outside any step (host access, not accounted).
+    pub fn peek(&self, addr: usize) -> i64 {
+        self.mem[addr]
+    }
+
+    /// A slice of memory (host access).
+    pub fn peek_slice(&self, range: std::ops::Range<usize>) -> &[i64] {
+        &self.mem[range]
+    }
+
+    /// Total processor activations so far.
+    pub fn work(&self) -> u64 {
+        self.work
+    }
+
+    /// Steps executed so far.
+    pub fn depth(&self) -> u64 {
+        self.depth
+    }
+
+    /// Brent's bound for the program so far on `p` processors:
+    /// `⌈W/p⌉ + D` unit steps.
+    pub fn brent_time(&self, p: u64) -> u64 {
+        assert!(p > 0, "processor count must be positive");
+        self.work.div_ceil(p) + self.depth
+    }
+
+    /// Execute one step on `active` processors. The closure runs once
+    /// per processor id `0..active` against a [`StepCtx`].
+    ///
+    /// Fails (without committing any write) on the first concurrency
+    /// violation of the declared model.
+    pub fn step<F>(&mut self, active: usize, f: F) -> Result<(), PramError>
+    where
+        F: Fn(usize, &mut StepCtx<'_>),
+    {
+        let step_idx = self.depth;
+        // Run all processors against the snapshot.
+        let mut all_reads: Vec<(usize, usize)> = Vec::new(); // (addr, proc)
+        let mut all_writes: Vec<(usize, usize, i64)> = Vec::new(); // (addr, proc, val)
+        for proc in 0..active {
+            let mut ctx = StepCtx {
+                mem: &self.mem,
+                reads: Vec::new(),
+                writes: Vec::new(),
+                oob: Vec::new(),
+            };
+            f(proc, &mut ctx);
+            if let Some(&addr) = ctx.oob.first() {
+                return Err(PramError::OutOfBounds {
+                    step: step_idx,
+                    addr,
+                });
+            }
+            for addr in ctx.reads {
+                all_reads.push((addr, proc));
+            }
+            for (addr, val) in ctx.writes {
+                all_writes.push((addr, proc, val));
+            }
+        }
+
+        // Enforce the model.
+        match self.model {
+            ConcurrencyModel::Erew => {
+                // At most one toucher (reader or writer) per cell; a
+                // single processor may both read and write its own cell.
+                if let Some(addr) = first_conflict(&all_reads) {
+                    return Err(PramError::ReadConflict {
+                        step: step_idx,
+                        addr,
+                    });
+                }
+                if let Some(addr) = first_write_conflict(&all_writes) {
+                    return Err(PramError::WriteConflict {
+                        step: step_idx,
+                        addr,
+                    });
+                }
+                // Note: a cell read by one processor and written by
+                // another in the same step is legal under EREW — the
+                // PRAM step has distinct read and write phases, and
+                // exclusivity applies within each phase.
+            }
+            ConcurrencyModel::Crew => {
+                if let Some(addr) = first_write_conflict(&all_writes) {
+                    return Err(PramError::WriteConflict {
+                        step: step_idx,
+                        addr,
+                    });
+                }
+            }
+            ConcurrencyModel::CrcwCommon => {
+                let mut by_addr = all_writes.clone();
+                by_addr.sort_unstable();
+                for w in by_addr.windows(2) {
+                    if w[0].0 == w[1].0 && w[0].2 != w[1].2 {
+                        return Err(PramError::CommonWriteMismatch {
+                            step: step_idx,
+                            addr: w[0].0,
+                        });
+                    }
+                }
+            }
+            ConcurrencyModel::CrcwArbitrary | ConcurrencyModel::CrcwPriority => {}
+        }
+
+        // Commit writes. For arbitrary/priority CRCW the lowest proc id
+        // wins (deterministic); for the exclusive models there is at
+        // most one writer per cell by now; for common all writers agree.
+        all_writes.sort_by_key(|&(addr, proc, _)| (addr, proc));
+        let mut last_addr = usize::MAX;
+        for (addr, _proc, val) in all_writes {
+            if addr != last_addr {
+                self.mem[addr] = val;
+                last_addr = addr;
+            }
+        }
+
+        self.work += active as u64;
+        self.depth += 1;
+        Ok(())
+    }
+}
+
+/// First address touched by two different processors.
+fn first_conflict(accesses: &[(usize, usize)]) -> Option<usize> {
+    let mut v = accesses.to_vec();
+    v.sort_unstable();
+    v.dedup(); // same proc reading twice is fine
+    for w in v.windows(2) {
+        if w[0].0 == w[1].0 {
+            return Some(w[0].0);
+        }
+    }
+    None
+}
+
+/// First address written by two different processors.
+fn first_write_conflict(writes: &[(usize, usize, i64)]) -> Option<usize> {
+    let mut v: Vec<(usize, usize)> = writes.iter().map(|&(a, p, _)| (a, p)).collect();
+    v.sort_unstable();
+    v.dedup();
+    for w in v.windows(2) {
+        if w[0].0 == w[1].0 {
+            return Some(w[0].0);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_commit_at_end_of_step() {
+        // Parallel swap: proc 0 and 1 exchange cells — only correct
+        // because reads snapshot the start of the step.
+        let mut p = Pram::new(ConcurrencyModel::Erew, 2);
+        p.load(0, &[10, 20]);
+        p.step(2, |proc, ctx| {
+            let v = ctx.read(1 - proc);
+            ctx.write(proc, v);
+        })
+        .unwrap();
+        assert_eq!(p.peek(0), 20);
+        assert_eq!(p.peek(1), 10);
+    }
+
+    #[test]
+    fn erew_read_conflict_detected() {
+        let mut p = Pram::new(ConcurrencyModel::Erew, 4);
+        let err = p
+            .step(2, |_proc, ctx| {
+                ctx.read(0);
+            })
+            .unwrap_err();
+        assert_eq!(err, PramError::ReadConflict { step: 0, addr: 0 });
+    }
+
+    #[test]
+    fn crew_allows_concurrent_read() {
+        let mut p = Pram::new(ConcurrencyModel::Crew, 4);
+        p.load(0, &[7]);
+        p.step(3, |proc, ctx| {
+            let v = ctx.read(0);
+            ctx.write(1 + proc, v);
+        })
+        .unwrap();
+        assert_eq!(p.peek_slice(1..4), &[7, 7, 7]);
+    }
+
+    #[test]
+    fn crew_write_conflict_detected() {
+        let mut p = Pram::new(ConcurrencyModel::Crew, 4);
+        let err = p
+            .step(2, |_proc, ctx| {
+                ctx.write(3, 1);
+            })
+            .unwrap_err();
+        assert_eq!(err, PramError::WriteConflict { step: 0, addr: 3 });
+    }
+
+    #[test]
+    fn common_crcw_requires_agreement() {
+        let mut p = Pram::new(ConcurrencyModel::CrcwCommon, 4);
+        // Agreeing writers: fine.
+        p.step(3, |_proc, ctx| ctx.write(0, 42)).unwrap();
+        assert_eq!(p.peek(0), 42);
+        // Disagreeing writers: rejected.
+        let err = p
+            .step(2, |proc, ctx| ctx.write(1, proc as i64))
+            .unwrap_err();
+        assert_eq!(err, PramError::CommonWriteMismatch { step: 1, addr: 1 });
+    }
+
+    #[test]
+    fn priority_crcw_lowest_id_wins() {
+        let mut p = Pram::new(ConcurrencyModel::CrcwPriority, 2);
+        p.step(4, |proc, ctx| ctx.write(0, 100 + proc as i64))
+            .unwrap();
+        assert_eq!(p.peek(0), 100);
+    }
+
+    #[test]
+    fn erew_allows_read_and_write_across_phases() {
+        // One processor reads a cell, another writes it: legal — the
+        // step's read phase precedes its write phase, and the reader
+        // observes the old value.
+        let mut p = Pram::new(ConcurrencyModel::Erew, 3);
+        p.load(0, &[1]);
+        p.step(2, |proc, ctx| {
+            if proc == 0 {
+                let v = ctx.read(0);
+                ctx.write(1, v);
+            } else {
+                ctx.write(0, 5);
+            }
+        })
+        .unwrap();
+        assert_eq!(p.peek(1), 1); // reader saw the pre-step value
+        assert_eq!(p.peek(0), 5);
+    }
+
+    #[test]
+    fn failed_step_commits_nothing_and_counts_nothing() {
+        let mut p = Pram::new(ConcurrencyModel::Crew, 2);
+        p.load(0, &[1, 2]);
+        let _ = p.step(2, |_proc, ctx| ctx.write(0, 9)).unwrap_err();
+        assert_eq!(p.peek(0), 1);
+        assert_eq!(p.work(), 0);
+        assert_eq!(p.depth(), 0);
+    }
+
+    #[test]
+    fn out_of_bounds_reported() {
+        let mut p = Pram::new(ConcurrencyModel::Crew, 2);
+        let err = p
+            .step(1, |_proc, ctx| {
+                ctx.read(10);
+            })
+            .unwrap_err();
+        assert_eq!(err, PramError::OutOfBounds { step: 0, addr: 10 });
+    }
+
+    #[test]
+    fn work_depth_accounting() {
+        let mut p = Pram::new(ConcurrencyModel::Crew, 16);
+        p.step(8, |proc, ctx| ctx.write(proc, 1)).unwrap();
+        p.step(4, |proc, ctx| ctx.write(proc + 8, 1)).unwrap();
+        assert_eq!(p.work(), 12);
+        assert_eq!(p.depth(), 2);
+        assert_eq!(p.brent_time(4), 3 + 2);
+        assert_eq!(p.brent_time(1), 12 + 2);
+    }
+
+    #[test]
+    fn parallel_prefix_sum_log_depth() {
+        // Classic Hillis-Steele inclusive scan in a CREW PRAM: depth
+        // log2(n), work n·log2(n). (Blelloch's work-efficient version
+        // lives in fm-kernels; this exercises the engine.)
+        let n = 16usize;
+        let mut p = Pram::new(ConcurrencyModel::Crew, 2 * n);
+        let data: Vec<i64> = (1..=n as i64).collect();
+        p.load(0, &data);
+        let mut src = 0usize;
+        let mut dst = n;
+        let mut stride = 1usize;
+        while stride < n {
+            p.step(n, |i, ctx| {
+                let v = ctx.read(src + i);
+                let sum = if i >= stride {
+                    v + ctx.read(src + i - stride)
+                } else {
+                    v
+                };
+                ctx.write(dst + i, sum);
+            })
+            .unwrap();
+            std::mem::swap(&mut src, &mut dst);
+            stride *= 2;
+        }
+        let result = p.peek_slice(src..src + n).to_vec();
+        let expected: Vec<i64> = (1..=n as i64).map(|i| i * (i + 1) / 2).collect();
+        assert_eq!(result, expected);
+        assert_eq!(p.depth(), 4); // log2(16)
+        assert_eq!(p.work(), 64); // n per level × 4 levels
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn brent_zero_processors_rejected() {
+        Pram::new(ConcurrencyModel::Crew, 1).brent_time(0);
+    }
+}

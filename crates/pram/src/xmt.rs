@@ -1,0 +1,206 @@
+//! An XMT-flavored front end over the PRAM engine.
+//!
+//! Vishkin's XMT ("explicit multi-threading") architecture executes
+//! PRAM-style programs as *spawn* blocks of virtual threads and provides
+//! a hardware **prefix-sum (PS)** primitive that hands concurrent
+//! threads unique consecutive indices into a shared counter — the
+//! mechanism that frees irregular algorithms (the paper's example: BFS)
+//! from serializing FIFO queues: every thread discovering a frontier
+//! vertex calls `ps` on the next-frontier counter and writes its vertex
+//! into a private slot, no lock and no queue.
+//!
+//! [`Xmt::spawn`] runs one such block as a single PRAM step on the
+//! arbitrary-CRCW model (XMT's memory semantics). PS allocation order
+//! within a block follows thread id; XMT hardware guarantees only
+//! *some* serialization, and thread-id order is one valid outcome, kept
+//! deterministic here for reproducibility.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use crate::pram::{ConcurrencyModel, Pram, PramError, StepCtx};
+
+/// The XMT machine: a PRAM plus the PS primitive and spawn accounting.
+#[derive(Debug)]
+pub struct Xmt {
+    pram: Pram,
+    spawns: u64,
+}
+
+/// A thread's view inside a spawn block.
+pub struct XmtCtx<'a, 'b> {
+    ctx: &'b mut StepCtx<'a>,
+    ps_state: &'b RefCell<HashMap<usize, (i64, i64)>>,
+}
+
+impl XmtCtx<'_, '_> {
+    /// Read shared memory (start-of-block snapshot).
+    pub fn read(&mut self, addr: usize) -> i64 {
+        self.ctx.read(addr)
+    }
+
+    /// Write shared memory (commits at end of block; arbitrary CRCW).
+    pub fn write(&mut self, addr: usize, value: i64) {
+        self.ctx.write(addr, value)
+    }
+
+    /// Prefix-sum: atomically fetch-and-increment the counter at
+    /// `counter`, returning the pre-increment value. Counters updated
+    /// through `ps` must not also be targets of plain `write`s in the
+    /// same block.
+    pub fn ps(&mut self, counter: usize) -> i64 {
+        let mut map = self.ps_state.borrow_mut();
+        let base = match map.get(&counter) {
+            Some(&(b, _)) => b,
+            None => {
+                let b = self.ctx.read(counter);
+                map.insert(counter, (b, 0));
+                b
+            }
+        };
+        let entry = map.get_mut(&counter).expect("just inserted");
+        let v = base + entry.1;
+        entry.1 += 1;
+        v
+    }
+}
+
+impl Xmt {
+    /// A machine with `cells` words of zeroed shared memory.
+    pub fn new(cells: usize) -> Self {
+        Xmt {
+            pram: Pram::new(ConcurrencyModel::CrcwArbitrary, cells),
+            spawns: 0,
+        }
+    }
+
+    /// Load data at `base`.
+    pub fn load(&mut self, base: usize, data: &[i64]) {
+        self.pram.load(base, data);
+    }
+
+    /// Host read.
+    pub fn peek(&self, addr: usize) -> i64 {
+        self.pram.peek(addr)
+    }
+
+    /// Host slice read.
+    pub fn peek_slice(&self, range: std::ops::Range<usize>) -> &[i64] {
+        self.pram.peek_slice(range)
+    }
+
+    /// Total work (thread activations).
+    pub fn work(&self) -> u64 {
+        self.pram.work()
+    }
+
+    /// Depth (spawn blocks executed).
+    pub fn depth(&self) -> u64 {
+        self.pram.depth()
+    }
+
+    /// Number of spawn blocks (== depth; kept for readability).
+    pub fn spawns(&self) -> u64 {
+        self.spawns
+    }
+
+    /// Brent's bound on `p` physical TCUs.
+    pub fn brent_time(&self, p: u64) -> u64 {
+        self.pram.brent_time(p)
+    }
+
+    /// Run one spawn block of `n` virtual threads.
+    pub fn spawn<F>(&mut self, n: usize, f: F) -> Result<(), PramError>
+    where
+        F: Fn(usize, &mut XmtCtx<'_, '_>),
+    {
+        let ps_state: RefCell<HashMap<usize, (i64, i64)>> = RefCell::new(HashMap::new());
+        self.pram.step(n, |tid, ctx| {
+            let mut xctx = XmtCtx {
+                ctx,
+                ps_state: &ps_state,
+            };
+            f(tid, &mut xctx);
+        })?;
+        // Commit PS counters: base + number of allocations.
+        for (addr, (base, count)) in ps_state.into_inner() {
+            self.pram.load(addr, &[base + count]);
+        }
+        self.spawns += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ps_hands_out_unique_indices() {
+        let mut x = Xmt::new(64);
+        // Counter at 0, initially 5. 8 threads each allocate one slot
+        // and record their index at 8+tid.
+        x.load(0, &[5]);
+        x.spawn(8, |tid, ctx| {
+            let slot = ctx.ps(0);
+            ctx.write(8 + tid, slot);
+        })
+        .unwrap();
+        let mut slots = x.peek_slice(8..16).to_vec();
+        slots.sort_unstable();
+        assert_eq!(slots, (5..13).collect::<Vec<i64>>());
+        assert_eq!(x.peek(0), 13); // counter advanced by 8
+    }
+
+    #[test]
+    fn ps_multiple_counters_independent() {
+        let mut x = Xmt::new(16);
+        x.load(0, &[100, 200]);
+        x.spawn(4, |tid, ctx| {
+            let c = tid % 2;
+            let v = ctx.ps(c);
+            ctx.write(4 + tid, v);
+        })
+        .unwrap();
+        assert_eq!(x.peek(0), 102);
+        assert_eq!(x.peek(1), 202);
+    }
+
+    #[test]
+    fn spawn_work_depth_accounting() {
+        let mut x = Xmt::new(8);
+        x.spawn(8, |tid, ctx| ctx.write(tid % 8, 1)).unwrap();
+        x.spawn(2, |tid, ctx| ctx.write(tid, 2)).unwrap();
+        assert_eq!(x.work(), 10);
+        assert_eq!(x.depth(), 2);
+        assert_eq!(x.spawns(), 2);
+    }
+
+    #[test]
+    fn arbitrary_crcw_commits_deterministically() {
+        let mut x = Xmt::new(1);
+        x.spawn(4, |tid, ctx| ctx.write(0, 10 + tid as i64)).unwrap();
+        assert_eq!(x.peek(0), 10); // lowest thread id wins
+    }
+
+    #[test]
+    fn queue_free_frontier_compaction() {
+        // The BFS inner idiom: threads 0..8, the even ones "discover" a
+        // vertex and append it to a compacted buffer via PS — no queue,
+        // no lock, depth 1.
+        let mut x = Xmt::new(32);
+        // next-frontier counter at 0 (buffer base 16).
+        x.spawn(8, |tid, ctx| {
+            if tid % 2 == 0 {
+                let idx = ctx.ps(0);
+                ctx.write(16 + idx as usize, tid as i64);
+            }
+        })
+        .unwrap();
+        assert_eq!(x.peek(0), 4);
+        let mut found = x.peek_slice(16..20).to_vec();
+        found.sort_unstable();
+        assert_eq!(found, vec![0, 2, 4, 6]);
+        assert_eq!(x.depth(), 1);
+    }
+}

@@ -1,0 +1,303 @@
+//! The one-level ideal cache model.
+//!
+//! Blelloch (§2): "it is easy to add a one level cache to the RAM
+//! model, and hundreds of algorithms have been developed in such a
+//! model. When algorithms developed in this model satisfy a property of
+//! being cache oblivious, they will also work effectively on a
+//! multilevel cache."
+//!
+//! [`IdealCache`] is that model made executable: a fully associative
+//! cache of `Z` words organized in lines of `L` words with LRU
+//! replacement (the standard ideal-cache assumptions, within a constant
+//! factor of optimal replacement). Kernels replay their address streams
+//! through it; experiment E7 compares naive vs. cache-oblivious matmul
+//! miss counts across cache sizes and checks the `Θ(n³/(L√Z))` scaling.
+//!
+//! Blelloch also names "asymmetry in read-write costs" (NVM-style
+//! memories) as a simple model extension: [`IdealCache::access_write`]
+//! tracks dirty lines, evictions of dirty lines count as *write-backs*,
+//! and [`CacheStats::asymmetric_cost`] charges them `ω×` a read miss.
+
+use std::collections::{BTreeMap, HashMap};
+
+use serde::Serialize;
+
+/// Fully associative LRU cache over a word-addressed memory.
+///
+/// ```
+/// use fm_workspan::IdealCache;
+///
+/// let mut cache = IdealCache::new(1024, 8);
+/// cache.access_range(0, 64); // cold scan: one miss per 8-word line
+/// assert_eq!(cache.stats().misses, 8);
+/// cache.reset_stats();
+/// cache.access_range(0, 64); // resident: no misses
+/// assert_eq!(cache.stats().misses, 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IdealCache {
+    /// Capacity in words.
+    pub z_words: usize,
+    /// Line size in words.
+    pub l_words: usize,
+    lines: usize,
+    // line id → LRU stamp, and the reverse order index.
+    stamp_of: HashMap<usize, u64>,
+    by_stamp: BTreeMap<u64, usize>,
+    dirty: std::collections::HashSet<usize>,
+    next_stamp: u64,
+    accesses: u64,
+    misses: u64,
+    writebacks: u64,
+}
+
+/// Summary statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct CacheStats {
+    /// Word accesses issued.
+    pub accesses: u64,
+    /// Line misses incurred.
+    pub misses: u64,
+    /// Dirty lines evicted (each costs a memory write).
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Miss rate (0 for an untouched cache).
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Asymmetric memory cost: each miss is one read transfer, each
+    /// write-back costs `omega` of those (ω > 1 models NVM-style
+    /// expensive writes — the read-write asymmetry Blelloch's statement
+    /// names as a model extension).
+    pub fn asymmetric_cost(&self, omega: f64) -> f64 {
+        self.misses as f64 + omega * self.writebacks as f64
+    }
+}
+
+impl IdealCache {
+    /// A cache of `z_words` capacity with `l_words` lines. Both must be
+    /// positive and `z_words ≥ l_words` (the "tall cache" assumption is
+    /// the caller's business).
+    pub fn new(z_words: usize, l_words: usize) -> Self {
+        assert!(l_words > 0, "line size must be positive");
+        assert!(
+            z_words >= l_words,
+            "cache must hold at least one line (Z={z_words}, L={l_words})"
+        );
+        IdealCache {
+            z_words,
+            l_words,
+            lines: z_words / l_words,
+            stamp_of: HashMap::new(),
+            by_stamp: BTreeMap::new(),
+            dirty: std::collections::HashSet::new(),
+            next_stamp: 0,
+            accesses: 0,
+            misses: 0,
+            writebacks: 0,
+        }
+    }
+
+    /// Read one word.
+    pub fn access(&mut self, addr: usize) {
+        self.touch(addr, false);
+    }
+
+    /// Write one word (marks its line dirty; a dirty eviction counts as
+    /// a write-back).
+    pub fn access_write(&mut self, addr: usize) {
+        self.touch(addr, true);
+    }
+
+    fn touch(&mut self, addr: usize, write: bool) {
+        self.accesses += 1;
+        let line = addr / self.l_words;
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        if write {
+            self.dirty.insert(line);
+        }
+        if let Some(old) = self.stamp_of.insert(line, stamp) {
+            // Hit: refresh recency.
+            self.by_stamp.remove(&old);
+            self.by_stamp.insert(stamp, line);
+            return;
+        }
+        // Miss.
+        self.misses += 1;
+        self.by_stamp.insert(stamp, line);
+        if self.stamp_of.len() > self.lines {
+            // Evict the least recently used line.
+            let (&old_stamp, &old_line) = self.by_stamp.iter().next().expect("nonempty");
+            self.by_stamp.remove(&old_stamp);
+            self.stamp_of.remove(&old_line);
+            if self.dirty.remove(&old_line) {
+                self.writebacks += 1;
+            }
+        }
+    }
+
+    /// Access `len` consecutive words starting at `base`.
+    pub fn access_range(&mut self, base: usize, len: usize) {
+        for a in base..base + len {
+            self.access(a);
+        }
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            accesses: self.accesses,
+            misses: self.misses,
+            writebacks: self.writebacks,
+        }
+    }
+
+    /// Reset counters (contents and dirty bits retained).
+    pub fn reset_stats(&mut self) {
+        self.accesses = 0;
+        self.misses = 0;
+        self.writebacks = 0;
+    }
+
+    /// Drop all cached lines and counters.
+    pub fn clear(&mut self) {
+        self.stamp_of.clear();
+        self.by_stamp.clear();
+        self.dirty.clear();
+        self.accesses = 0;
+        self.misses = 0;
+        self.writebacks = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_scan_misses_once_per_line() {
+        let mut c = IdealCache::new(1024, 8);
+        c.access_range(0, 800);
+        let s = c.stats();
+        assert_eq!(s.accesses, 800);
+        assert_eq!(s.misses, 100); // 800 words / 8 per line
+    }
+
+    #[test]
+    fn resident_working_set_hits() {
+        let mut c = IdealCache::new(64, 8);
+        c.access_range(0, 64);
+        c.reset_stats();
+        for _ in 0..10 {
+            c.access_range(0, 64);
+        }
+        assert_eq!(c.stats().misses, 0);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // 2-line cache: touch lines 0, 1, then 0 again, then 2 — the
+        // eviction victim must be line 1.
+        let mut c = IdealCache::new(16, 8);
+        c.access(0); // line 0: miss
+        c.access(8); // line 1: miss
+        c.access(1); // line 0: hit, refresh
+        c.access(16); // line 2: miss, evicts line 1
+        c.reset_stats();
+        c.access(2); // line 0: hit
+        c.access(17); // line 2: hit
+        assert_eq!(c.stats().misses, 0);
+        c.access(9); // line 1: must miss (was evicted)
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn thrashing_scan_larger_than_cache() {
+        // Repeatedly scanning an array 2× the cache size misses every
+        // line every pass under LRU.
+        let mut c = IdealCache::new(64, 8);
+        for _ in 0..3 {
+            c.access_range(0, 128);
+        }
+        assert_eq!(c.stats().misses, 3 * 16);
+    }
+
+    #[test]
+    fn miss_rate_computed() {
+        let mut c = IdealCache::new(1024, 8);
+        c.access_range(0, 80);
+        assert!((c.stats().miss_rate() - 10.0 / 80.0).abs() < 1e-12);
+        assert_eq!(
+            CacheStats { accesses: 0, misses: 0, writebacks: 0 }.miss_rate(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn read_only_traffic_never_writes_back() {
+        let mut c = IdealCache::new(32, 8);
+        for pass in 0..3 {
+            c.access_range(pass * 64, 64); // thrash, reads only
+        }
+        assert_eq!(c.stats().writebacks, 0);
+    }
+
+    #[test]
+    fn dirty_evictions_counted_once() {
+        let mut c = IdealCache::new(16, 8); // 2 lines
+        c.access_write(0); // line 0 dirty
+        c.access(8); // line 1
+        c.access(16); // line 2: evicts line 0 (dirty) → 1 writeback
+        c.access(24); // line 3: evicts line 1 (clean) → none
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn asymmetric_cost_weights_writebacks() {
+        // Streaming writes through a tiny cache: every line written,
+        // every eviction dirty.
+        let mut c = IdealCache::new(16, 8);
+        for a in 0..80 {
+            c.access_write(a);
+        }
+        let s = c.stats();
+        assert_eq!(s.misses, 10);
+        assert_eq!(s.writebacks, 8); // all but the 2 resident lines
+        // ω = 4: writes dominate the cost.
+        assert!(s.asymmetric_cost(4.0) > 3.0 * s.misses as f64);
+        // ω = 0 recovers the symmetric model.
+        assert_eq!(s.asymmetric_cost(0.0), s.misses as f64);
+    }
+
+    #[test]
+    fn clear_forgets_contents() {
+        let mut c = IdealCache::new(64, 8);
+        c.access_range(0, 64);
+        c.clear();
+        c.access_range(0, 64);
+        assert_eq!(c.stats().misses, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one line")]
+    fn too_small_cache_rejected() {
+        IdealCache::new(4, 8);
+    }
+
+    #[test]
+    fn unit_line_size() {
+        let mut c = IdealCache::new(4, 1);
+        for a in 0..8 {
+            c.access(a);
+        }
+        assert_eq!(c.stats().misses, 8);
+    }
+}

@@ -1,0 +1,181 @@
+//! Type-erased jobs.
+//!
+//! The scheduler moves `JobRef`s — a raw data pointer plus an execute
+//! function — through the deques. For `join`, the job lives *on the
+//! joining thread's stack* ([`StackJob`]): the joiner guarantees it does
+//! not return until the job's latch is set, which is what makes the
+//! erasure sound. For external submission the closure is boxed
+//! ([`HeapJob`]).
+
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::panic::{self, AssertUnwindSafe};
+
+use crate::latch::Latch;
+
+/// A type-erased, sendable reference to a job.
+#[derive(Clone, Copy)]
+pub(crate) struct JobRef {
+    data: *const (),
+    execute_fn: unsafe fn(*const ()),
+}
+
+// Safety: the scheduler only executes each JobRef once, and the
+// underlying job types are Send (closures are required to be Send).
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// The raw identity of the job (used by `join` to recognize its own
+    /// pushed job when popping).
+    #[inline]
+    pub(crate) fn id(&self) -> *const () {
+        self.data
+    }
+
+    /// Execute the job. Must be called at most once.
+    #[inline]
+    pub(crate) unsafe fn execute(self) {
+        unsafe { (self.execute_fn)(self.data) }
+    }
+}
+
+/// Result slot of a job: not-yet-run, value, or captured panic.
+pub(crate) enum JobResult<R> {
+    None,
+    Ok(R),
+    Panic(Box<dyn Any + Send>),
+}
+
+impl<R> JobResult<R> {
+    /// Take the value, resuming a captured panic.
+    pub(crate) fn into_return_value(self) -> R {
+        match self {
+            JobResult::None => unreachable!("job not executed"),
+            JobResult::Ok(r) => r,
+            JobResult::Panic(p) => panic::resume_unwind(p),
+        }
+    }
+}
+
+/// A job whose closure and result live on the joining thread's stack.
+pub(crate) struct StackJob<L: Latch, F, R> {
+    pub(crate) latch: L,
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<JobResult<R>>,
+}
+
+// Safety: access to func/result is serialized by the latch protocol —
+// the executor writes before setting the latch; the owner reads after.
+unsafe impl<L: Latch + Sync, F: Send, R: Send> Sync for StackJob<L, F, R> {}
+
+impl<L, F, R> StackJob<L, F, R>
+where
+    L: Latch,
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    pub(crate) fn new(latch: L, f: F) -> Self {
+        StackJob {
+            latch,
+            func: UnsafeCell::new(Some(f)),
+            result: UnsafeCell::new(JobResult::None),
+        }
+    }
+
+    /// Erase to a `JobRef`. The caller must keep `self` alive until the
+    /// latch is set.
+    pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
+        JobRef {
+            data: self as *const Self as *const (),
+            execute_fn: Self::execute_erased,
+        }
+    }
+
+    /// Take the result after the latch has been set.
+    pub(crate) unsafe fn take_result(&self) -> R {
+        let slot = unsafe { &mut *self.result.get() };
+        std::mem::replace(slot, JobResult::None).into_return_value()
+    }
+
+    unsafe fn execute_erased(ptr: *const ()) {
+        let this = unsafe { &*(ptr as *const Self) };
+        let func = unsafe { (*this.func.get()).take().expect("job executed twice") };
+        let result = match panic::catch_unwind(AssertUnwindSafe(func)) {
+            Ok(r) => JobResult::Ok(r),
+            Err(p) => JobResult::Panic(p),
+        };
+        unsafe {
+            *this.result.get() = result;
+        }
+        this.latch.set();
+    }
+}
+
+/// A heap-allocated fire-and-forget job (external submission).
+pub(crate) struct HeapJob {
+    func: Box<dyn FnOnce() + Send>,
+}
+
+impl HeapJob {
+    pub(crate) fn new(f: impl FnOnce() + Send + 'static) -> Box<Self> {
+        Box::new(HeapJob { func: Box::new(f) })
+    }
+
+    /// Erase to a `JobRef`, transferring ownership; the executor frees
+    /// the box.
+    pub(crate) fn into_job_ref(self: Box<Self>) -> JobRef {
+        let data = Box::into_raw(self) as *const ();
+        JobRef {
+            data,
+            execute_fn: Self::execute_erased,
+        }
+    }
+
+    unsafe fn execute_erased(ptr: *const ()) {
+        let this = unsafe { Box::from_raw(ptr as *mut HeapJob) };
+        (this.func)();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latch::SpinLatch;
+
+    #[test]
+    fn stack_job_roundtrip() {
+        let job = StackJob::new(SpinLatch::new(), || 7 * 6);
+        unsafe {
+            let r = job.as_job_ref();
+            r.execute();
+        }
+        assert!(job.latch.probe());
+        assert_eq!(unsafe { job.take_result() }, 42);
+    }
+
+    #[test]
+    fn stack_job_captures_panic() {
+        let job: StackJob<_, _, ()> = StackJob::new(SpinLatch::new(), || panic!("boom"));
+        unsafe {
+            job.as_job_ref().execute();
+        }
+        assert!(job.latch.probe());
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| unsafe {
+            job.take_result()
+        }));
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn heap_job_runs_and_frees() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let hit = Arc::new(AtomicBool::new(false));
+        let h2 = Arc::clone(&hit);
+        let job = HeapJob::new(move || h2.store(true, Ordering::SeqCst));
+        unsafe {
+            job.into_job_ref().execute();
+        }
+        assert!(hit.load(Ordering::SeqCst));
+    }
+}

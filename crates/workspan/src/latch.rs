@@ -1,0 +1,110 @@
+//! Completion latches.
+//!
+//! A latch is set exactly once, when a job finishes. Worker threads
+//! waiting on a latch keep stealing (the scheduler must stay greedy —
+//! that is where the `W/P + S` bound comes from), so the in-pool latch
+//! is a plain atomic flag that the join loop polls between stolen jobs.
+//! External threads block on a mutex/condvar latch instead.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use parking_lot::{Condvar, Mutex};
+
+/// Anything a job can signal completion through.
+pub(crate) trait Latch {
+    /// Signal completion. Called exactly once.
+    fn set(&self);
+}
+
+/// Polled by worker threads between steal attempts.
+#[derive(Debug, Default)]
+pub(crate) struct SpinLatch {
+    done: AtomicBool,
+}
+
+impl SpinLatch {
+    pub(crate) fn new() -> Self {
+        SpinLatch {
+            done: AtomicBool::new(false),
+        }
+    }
+
+    /// Has the latch been set?
+    #[inline]
+    pub(crate) fn probe(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+}
+
+impl Latch for SpinLatch {
+    #[inline]
+    fn set(&self) {
+        self.done.store(true, Ordering::Release);
+    }
+}
+
+/// Blocks an external (non-worker) thread until set.
+#[derive(Debug, Default)]
+pub(crate) struct LockLatch {
+    state: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl LockLatch {
+    pub(crate) fn new() -> Self {
+        LockLatch {
+            state: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Block until set.
+    pub(crate) fn wait(&self) {
+        let mut done = self.state.lock();
+        while !*done {
+            self.cv.wait(&mut done);
+        }
+    }
+}
+
+impl Latch for LockLatch {
+    fn set(&self) {
+        let mut done = self.state.lock();
+        *done = true;
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn spin_latch_set_probe() {
+        let l = SpinLatch::new();
+        assert!(!l.probe());
+        l.set();
+        assert!(l.probe());
+    }
+
+    #[test]
+    fn lock_latch_wakes_waiter() {
+        let l = Arc::new(LockLatch::new());
+        let l2 = Arc::clone(&l);
+        let h = std::thread::spawn(move || {
+            l2.wait();
+            42
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        l.set();
+        assert_eq!(h.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn lock_latch_wait_after_set_returns_immediately() {
+        let l = LockLatch::new();
+        l.set();
+        l.wait();
+    }
+}

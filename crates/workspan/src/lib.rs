@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # fm-workspan — fork-join runtime with work-span accounting
+//!
+//! Blelloch's statement (§2) argues that the bridge model for multicore
+//! parallelism should be the **fork-join work-depth (work-span)** model:
+//! simple constructs (`join`), a cost model (work `W`, span `S`), and a
+//! scheduler that realizes the greedy bound `T_P ≤ W/P + S`, with
+//! "reasonably simple extensions that support accounting for locality".
+//!
+//! This crate builds that stack from scratch (no rayon):
+//!
+//! * [`pool::ThreadPool`] — a work-stealing scheduler: one Chase-Lev
+//!   deque per worker (crossbeam-deque), a global injector, LIFO local
+//!   execution with FIFO stealing, rayon-style stack-allocated jobs for
+//!   a zero-allocation [`pool::ThreadPool::join`], and panic
+//!   propagation across task boundaries.
+//! * [`parallel`] — `par_for` / `par_reduce` built on `join` by
+//!   recursive splitting with a grain size.
+//! * [`workspan`] — the cost algebra: [`workspan::WorkSpan`] composes
+//!   sequentially (`work` adds, `span` adds) and in parallel (`work`
+//!   adds, `span` maxes), so instrumented kernels can report the exact
+//!   `W` and `S` that the greedy bound needs (experiment E6 compares
+//!   measured `T_P` against `W/P + S`).
+//! * [`cache`] — the one-level **ideal cache model** (fully
+//!   associative, LRU, capacity `Z` words in lines of `L` words) that
+//!   cache-oblivious analysis assumes; kernels replay their address
+//!   streams through it to count misses (experiment E7).
+
+pub mod cache;
+pub mod parallel;
+pub mod pool;
+pub mod workspan;
+
+pub use cache::IdealCache;
+pub use parallel::{par_for, par_reduce};
+pub use pool::ThreadPool;
+pub use workspan::WorkSpan;
+
+mod job;
+mod latch;

@@ -1,0 +1,142 @@
+//! Data-parallel helpers built on `join` by recursive splitting.
+//!
+//! These are the "simple constructs in programming languages" Blelloch's
+//! statement calls for: a parallel loop and a parallel reduction, each
+//! defined entirely in terms of fork-join, so their work-span costs
+//! compose by the usual algebra (work adds; span is `O(grain + log n)`
+//! deep for `par_for`).
+
+use std::ops::Range;
+
+use crate::pool::ThreadPool;
+
+/// Call `f(i)` for every `i` in `range`, in parallel, splitting down to
+/// `grain`-sized chunks.
+pub fn par_for<F>(pool: &ThreadPool, range: Range<usize>, grain: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let grain = grain.max(1);
+    fn go<F: Fn(usize) + Sync>(pool: &ThreadPool, lo: usize, hi: usize, grain: usize, f: &F) {
+        if hi - lo <= grain {
+            for i in lo..hi {
+                f(i);
+            }
+            return;
+        }
+        let mid = lo + (hi - lo) / 2;
+        pool.join(
+            || go(pool, lo, mid, grain, f),
+            || go(pool, mid, hi, grain, f),
+        );
+    }
+    if range.start < range.end {
+        pool.run(|| go(pool, range.start, range.end, grain, &f));
+    }
+}
+
+/// Parallel map-reduce over `range`: `map(i)` produces a value per
+/// index; `combine` folds two values (must be associative); `identity`
+/// seeds empty chunks.
+pub fn par_reduce<T, M, C, I>(
+    pool: &ThreadPool,
+    range: Range<usize>,
+    grain: usize,
+    identity: I,
+    map: M,
+    combine: C,
+) -> T
+where
+    T: Send,
+    M: Fn(usize) -> T + Sync,
+    C: Fn(T, T) -> T + Sync,
+    I: Fn() -> T + Sync,
+{
+    let grain = grain.max(1);
+    fn go<T, M, C, I>(
+        pool: &ThreadPool,
+        lo: usize,
+        hi: usize,
+        grain: usize,
+        identity: &I,
+        map: &M,
+        combine: &C,
+    ) -> T
+    where
+        T: Send,
+        M: Fn(usize) -> T + Sync,
+        C: Fn(T, T) -> T + Sync,
+        I: Fn() -> T + Sync,
+    {
+        if hi - lo <= grain {
+            let mut acc = identity();
+            for i in lo..hi {
+                acc = combine(acc, map(i));
+            }
+            return acc;
+        }
+        let mid = lo + (hi - lo) / 2;
+        let (a, b) = pool.join(
+            || go(pool, lo, mid, grain, identity, map, combine),
+            || go(pool, mid, hi, grain, identity, map, combine),
+        );
+        combine(a, b)
+    }
+    if range.start >= range.end {
+        return identity();
+    }
+    pool.run(|| go(pool, range.start, range.end, grain, &identity, &map, &combine))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn par_for_covers_every_index_once() {
+        let pool = ThreadPool::with_threads(4);
+        let n = 10_000;
+        let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        par_for(&pool, 0..n, 64, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_for_empty_range() {
+        let pool = ThreadPool::with_threads(2);
+        par_for(&pool, 5..5, 8, |_| panic!("must not run"));
+    }
+
+    #[test]
+    fn par_reduce_sums() {
+        let pool = ThreadPool::with_threads(4);
+        let s = par_reduce(&pool, 0..100_001, 128, || 0u64, |i| i as u64, |a, b| a + b);
+        assert_eq!(s, 100_000u64 * 100_001 / 2);
+    }
+
+    #[test]
+    fn par_reduce_empty_is_identity() {
+        let pool = ThreadPool::with_threads(2);
+        let s = par_reduce(&pool, 3..3, 8, || 42u64, |_| 0, |a, b| a + b);
+        assert_eq!(s, 42);
+    }
+
+    #[test]
+    fn par_reduce_max() {
+        let pool = ThreadPool::with_threads(4);
+        let v: Vec<u64> = (0..5000).map(|i| (i * 2654435761u64) % 100_000).collect();
+        let expected = *v.iter().max().unwrap();
+        let got = par_reduce(&pool, 0..v.len(), 64, || 0u64, |i| v[i], |a, b| a.max(b));
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn grain_of_zero_is_clamped() {
+        let pool = ThreadPool::with_threads(2);
+        let s = par_reduce(&pool, 0..10, 0, || 0u64, |i| i as u64, |a, b| a + b);
+        assert_eq!(s, 45);
+    }
+}

@@ -1,0 +1,481 @@
+//! The work-stealing thread pool.
+//!
+//! Structure (the same shape as rayon-core, built here from scratch on
+//! crossbeam-deque):
+//!
+//! * each worker owns a LIFO Chase-Lev deque; everyone else holds its
+//!   `Stealer` (FIFO end) — LIFO execution keeps the working set warm,
+//!   FIFO stealing takes the oldest (biggest) subtree, the classic
+//!   work-first policy;
+//! * a global `Injector` receives jobs from non-worker threads;
+//! * [`ThreadPool::join`] pushes the second closure as a
+//!   stack-allocated job, runs the first inline, then *pops it back* if
+//!   nobody stole it (the overwhelmingly common case: no allocation, no
+//!   synchronization beyond the deque) — otherwise it keeps executing
+//!   other people's work until the thief finishes (greedy scheduling,
+//!   which is what makes `T_P ≤ W/P + S` hold);
+//! * panics inside either closure are captured and re-thrown at the
+//!   join point, after both sides have been resolved.
+//!
+//! Idle workers park on a condvar with a 500 µs timeout: a missed
+//! wakeup costs at most half a millisecond, in exchange for a sleep
+//! protocol simple enough to convince yourself it cannot deadlock.
+
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
+use std::ptr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam_deque::{Injector, Steal, Stealer, Worker as Deque};
+use parking_lot::{Condvar, Mutex};
+
+use crate::job::{HeapJob, JobRef, StackJob};
+use crate::latch::{LockLatch, SpinLatch};
+
+thread_local! {
+    static WORKER: Cell<*const WorkerThread> = const { Cell::new(ptr::null()) };
+}
+
+struct Shared {
+    injector: Injector<JobRef>,
+    stealers: Vec<Stealer<JobRef>>,
+    sleep_mutex: Mutex<()>,
+    sleep_cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn notify_all(&self) {
+        let _g = self.sleep_mutex.lock();
+        self.sleep_cv.notify_all();
+    }
+
+    fn notify_one(&self) {
+        let _g = self.sleep_mutex.lock();
+        self.sleep_cv.notify_one();
+    }
+}
+
+struct WorkerThread {
+    shared: Arc<Shared>,
+    local: Deque<JobRef>,
+    index: usize,
+}
+
+impl WorkerThread {
+    /// The worker running on this thread, or null.
+    fn current() -> *const WorkerThread {
+        WORKER.with(|c| c.get())
+    }
+
+    /// Steal from the injector, then from siblings (starting after our
+    /// own index so victims differ across workers).
+    fn find_work(&self) -> Option<JobRef> {
+        loop {
+            match self.shared.injector.steal() {
+                Steal::Success(j) => return Some(j),
+                Steal::Empty => break,
+                Steal::Retry => continue,
+            }
+        }
+        let n = self.shared.stealers.len();
+        for k in 1..n {
+            let i = (self.index + k) % n;
+            loop {
+                match self.shared.stealers[i].steal() {
+                    Steal::Success(j) => return Some(j),
+                    Steal::Empty => break,
+                    Steal::Retry => continue,
+                }
+            }
+        }
+        None
+    }
+}
+
+/// A work-stealing fork-join thread pool.
+///
+/// ```
+/// use fm_workspan::ThreadPool;
+///
+/// let pool = ThreadPool::with_threads(4);
+/// fn fib(pool: &ThreadPool, n: u64) -> u64 {
+///     if n < 2 { return n; }
+///     let (a, b) = pool.join(|| fib(pool, n - 1), || fib(pool, n - 2));
+///     a + b
+/// }
+/// assert_eq!(pool.run(|| fib(&pool, 16)), 987);
+/// ```
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// A pool with one worker per available core.
+    pub fn new() -> Self {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        Self::with_threads(n)
+    }
+
+    /// A pool with exactly `threads` workers (≥ 1).
+    pub fn with_threads(threads: usize) -> Self {
+        assert!(threads >= 1, "a pool needs at least one worker");
+        let deques: Vec<Deque<JobRef>> = (0..threads).map(|_| Deque::new_lifo()).collect();
+        let stealers = deques.iter().map(|d| d.stealer()).collect();
+        let shared = Arc::new(Shared {
+            injector: Injector::new(),
+            stealers,
+            sleep_mutex: Mutex::new(()),
+            sleep_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = deques
+            .into_iter()
+            .enumerate()
+            .map(|(index, local)| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("fm-workspan-{index}"))
+                    .spawn(move || worker_main(shared, local, index))
+                    .expect("spawn worker")
+            })
+            .collect();
+        ThreadPool { shared, handles }
+    }
+
+    /// Number of workers.
+    pub fn threads(&self) -> usize {
+        self.shared.stealers.len()
+    }
+
+    /// Whether the calling thread is one of this pool's workers.
+    fn on_this_pool(&self) -> bool {
+        let wt = WorkerThread::current();
+        !wt.is_null() && Arc::ptr_eq(unsafe { &(*wt).shared }, &self.shared)
+    }
+
+    /// Run `f` inside the pool, blocking until it completes. If already
+    /// on a worker of this pool, runs inline.
+    pub fn run<F, R>(&self, f: F) -> R
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        if self.on_this_pool() {
+            return f();
+        }
+        let job = StackJob::new(LockLatch::new(), f);
+        // Safety: we block on the latch below, so the stack frame (and
+        // the job in it) outlives execution.
+        let job_ref = unsafe { job.as_job_ref() };
+        self.shared.injector.push(job_ref);
+        self.shared.notify_all();
+        job.latch.wait();
+        unsafe { job.take_result() }
+    }
+
+    /// Fire-and-forget: run `f` on some worker, eventually. The closure
+    /// must be `'static` (it outlives the caller's frame); panics inside
+    /// it abort that job only. Use [`ThreadPool::run`]/[`ThreadPool::join`]
+    /// for structured parallelism — `spawn` exists for daemon-style work
+    /// (tracing, background accounting).
+    pub fn spawn(&self, f: impl FnOnce() + Send + 'static) {
+        let job = HeapJob::new(f);
+        self.shared.injector.push(job.into_job_ref());
+        self.shared.notify_all();
+    }
+
+    /// Execute `a` and `b`, potentially in parallel, returning both
+    /// results. Panics in either closure propagate after both sides
+    /// have resolved.
+    pub fn join<A, B, RA, RB>(&self, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        let wt = WorkerThread::current();
+        if wt.is_null() || !Arc::ptr_eq(unsafe { &(*wt).shared }, &self.shared) {
+            // Enter the pool first, then join on a worker.
+            return self.run(|| self.join(a, b));
+        }
+        // Safety: wt points at the current thread's WorkerThread, which
+        // lives for the whole worker_main frame enclosing this call.
+        let wt = unsafe { &*wt };
+        join_on_worker(wt, a, b)
+    }
+}
+
+impl Default for ThreadPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn join_on_worker<A, B, RA, RB>(wt: &WorkerThread, a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let job_b = StackJob::new(SpinLatch::new(), b);
+    // Safety: this frame does not return until job_b's latch is set
+    // (the resolve loop below), so the stack job outlives execution.
+    let ref_b = unsafe { job_b.as_job_ref() };
+    wt.local.push(ref_b);
+    wt.shared.notify_one();
+
+    let status_a = panic::catch_unwind(AssertUnwindSafe(a));
+
+    // Resolve b: pop it back (fast path), or execute other work until
+    // the thief sets the latch (greedy scheduling).
+    while !job_b.latch.probe() {
+        match wt.local.pop() {
+            Some(j) => {
+                // LIFO discipline: any job above b on our deque is a
+                // descendant pushed by `a`; execute it. If it *is* b,
+                // the execute sets the latch and the loop exits.
+                unsafe { j.execute() };
+                if j.id() == ref_b.id() {
+                    break;
+                }
+            }
+            None => match wt.find_work() {
+                Some(j) => unsafe { j.execute() },
+                None => std::thread::yield_now(),
+            },
+        }
+    }
+
+    let rb = unsafe { job_b.take_result() }; // re-throws b's panic
+    match status_a {
+        Ok(ra) => (ra, rb),
+        Err(p) => panic::resume_unwind(p),
+    }
+}
+
+fn worker_main(shared: Arc<Shared>, local: Deque<JobRef>, index: usize) {
+    let wt = WorkerThread {
+        shared,
+        local,
+        index,
+    };
+    WORKER.with(|c| c.set(&wt as *const WorkerThread));
+    loop {
+        let job = wt.local.pop().or_else(|| wt.find_work());
+        match job {
+            Some(j) => unsafe { j.execute() },
+            None => {
+                if wt.shared.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                let mut g = wt.shared.sleep_mutex.lock();
+                wt.shared
+                    .sleep_cv
+                    .wait_for(&mut g, Duration::from_micros(500));
+            }
+        }
+    }
+    WORKER.with(|c| c.set(ptr::null()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn fib(pool: &ThreadPool, n: u64) -> u64 {
+        if n < 2 {
+            return n;
+        }
+        let (a, b) = pool.join(|| fib(pool, n - 1), || fib(pool, n - 2));
+        a + b
+    }
+
+    #[test]
+    fn join_computes_fib() {
+        let pool = ThreadPool::with_threads(4);
+        assert_eq!(pool.run(|| fib(&pool, 20)), 6765);
+    }
+
+    #[test]
+    fn join_from_external_thread_enters_pool() {
+        let pool = ThreadPool::with_threads(2);
+        // join called directly (not via run) still works.
+        let (a, b) = pool.join(|| 1 + 1, || 2 + 2);
+        assert_eq!((a, b), (2, 4));
+    }
+
+    #[test]
+    fn single_thread_pool_is_correct() {
+        let pool = ThreadPool::with_threads(1);
+        assert_eq!(pool.run(|| fib(&pool, 15)), 610);
+    }
+
+    #[test]
+    fn deep_nesting_does_not_deadlock() {
+        let pool = ThreadPool::with_threads(2);
+        fn deep(pool: &ThreadPool, d: u32) -> u32 {
+            if d == 0 {
+                return 0;
+            }
+            let (a, _) = pool.join(|| deep(pool, d - 1), || ());
+            a + 1
+        }
+        assert_eq!(pool.run(|| deep(&pool, 500)), 500);
+    }
+
+    #[test]
+    fn parallel_speedup_visible_in_scheduling() {
+        // Not a wall-clock assertion (CI noise) — just verifies many
+        // concurrent joins all complete with correct results.
+        let pool = ThreadPool::with_threads(8);
+        let counter = AtomicUsize::new(0);
+        pool.run(|| {
+            fn go(pool: &ThreadPool, c: &AtomicUsize, n: usize) {
+                if n == 0 {
+                    c.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                pool.join(|| go(pool, c, n - 1), || go(pool, c, n - 1));
+            }
+            go(&pool, &counter, 12);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1 << 12);
+    }
+
+    #[test]
+    fn panic_in_a_propagates_after_b_completes() {
+        let pool = ThreadPool::with_threads(4);
+        let b_ran = AtomicUsize::new(0);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(|| {
+                pool.join(
+                    || panic!("a failed"),
+                    || {
+                        b_ran.fetch_add(1, Ordering::SeqCst);
+                    },
+                )
+            })
+        }));
+        assert!(result.is_err());
+        assert_eq!(b_ran.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn panic_in_b_propagates() {
+        let pool = ThreadPool::with_threads(4);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(|| pool.join(|| 1, || -> u32 { panic!("b failed") }))
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn run_returns_value_from_external_thread() {
+        let pool = ThreadPool::with_threads(3);
+        let v = pool.run(|| (0..100).sum::<u64>());
+        assert_eq!(v, 4950);
+    }
+
+    #[test]
+    fn quicksort_stress() {
+        let pool = ThreadPool::with_threads(8);
+        fn quicksort(pool: &ThreadPool, v: &mut [u64]) {
+            if v.len() <= 32 {
+                v.sort_unstable();
+                return;
+            }
+            let pivot = v[v.len() / 2];
+            // Three-way partition.
+            let (mut lt, mut i, mut gt) = (0usize, 0usize, v.len());
+            while i < gt {
+                match v[i].cmp(&pivot) {
+                    std::cmp::Ordering::Less => {
+                        v.swap(lt, i);
+                        lt += 1;
+                        i += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        gt -= 1;
+                        v.swap(i, gt);
+                    }
+                    std::cmp::Ordering::Equal => i += 1,
+                }
+            }
+            let (lo, rest) = v.split_at_mut(lt);
+            let (_, hi) = rest.split_at_mut(gt - lt);
+            pool.join(|| quicksort(pool, lo), || quicksort(pool, hi));
+        }
+        // Deterministic pseudo-random data.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut data: Vec<u64> = (0..100_000)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            })
+            .collect();
+        let mut expected = data.clone();
+        expected.sort_unstable();
+        pool.run(|| quicksort(&pool, &mut data));
+        assert_eq!(data, expected);
+    }
+
+    #[test]
+    fn two_pools_do_not_interfere() {
+        let p1 = ThreadPool::with_threads(2);
+        let p2 = ThreadPool::with_threads(2);
+        let (a, b) = (p1.run(|| fib(&p1, 12)), p2.run(|| fib(&p2, 12)));
+        assert_eq!(a, 144);
+        assert_eq!(b, 144);
+    }
+
+    #[test]
+    fn spawn_runs_detached_jobs() {
+        use std::sync::Arc;
+        let pool = ThreadPool::with_threads(2);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..32 {
+            let done = Arc::clone(&done);
+            pool.spawn(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        // Spin until drained (spawn is fire-and-forget; poll).
+        for _ in 0..10_000 {
+            if done.load(Ordering::SeqCst) == 32 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_micros(100));
+        }
+        assert_eq!(done.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn drop_shuts_down_cleanly() {
+        for _ in 0..10 {
+            let pool = ThreadPool::with_threads(4);
+            let _ = pool.run(|| fib(&pool, 10));
+            drop(pool);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! The work-span cost algebra.
+//!
+//! Work-span (work-depth) analysis assigns every computation two
+//! numbers: **work** `W` — total operations — and **span** `S` — the
+//! longest chain of dependent operations. They compose:
+//!
+//! * sequential composition: `W = W₁ + W₂`, `S = S₁ + S₂`;
+//! * parallel composition (fork-join): `W = W₁ + W₂`, `S = max(S₁, S₂)`.
+//!
+//! A greedy scheduler (like [`crate::pool::ThreadPool`]) then satisfies
+//! Brent's bound `T_P ≤ W/P + S`. Instrumented kernels thread a
+//! [`WorkSpan`] value through their recursion (mirroring their `join`
+//! structure) and experiment E6 checks measured wall-clock `T_P`
+//! against the bound computed here.
+
+use serde::Serialize;
+
+/// A (work, span) pair in abstract unit operations.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
+pub struct WorkSpan {
+    /// Total operations.
+    pub work: f64,
+    /// Critical-path operations.
+    pub span: f64,
+}
+
+impl WorkSpan {
+    /// The zero cost.
+    pub const ZERO: WorkSpan = WorkSpan {
+        work: 0.0,
+        span: 0.0,
+    };
+
+    /// A leaf computation of `cost` sequential operations.
+    pub fn leaf(cost: f64) -> WorkSpan {
+        WorkSpan {
+            work: cost,
+            span: cost,
+        }
+    }
+
+    /// Sequential composition.
+    #[must_use]
+    pub fn seq(self, other: WorkSpan) -> WorkSpan {
+        WorkSpan {
+            work: self.work + other.work,
+            span: self.span + other.span,
+        }
+    }
+
+    /// Parallel (fork-join) composition.
+    #[must_use]
+    pub fn par(self, other: WorkSpan) -> WorkSpan {
+        WorkSpan {
+            work: self.work + other.work,
+            span: self.span.max(other.span),
+        }
+    }
+
+    /// Parallel composition of `n` identical branches.
+    #[must_use]
+    pub fn par_n(self, n: u64) -> WorkSpan {
+        WorkSpan {
+            work: self.work * n as f64,
+            span: self.span,
+        }
+    }
+
+    /// Brent / greedy-scheduler bound on `p` processors.
+    pub fn greedy_bound(&self, p: u64) -> f64 {
+        assert!(p > 0, "processor count must be positive");
+        self.work / p as f64 + self.span
+    }
+
+    /// Parallelism `W/S` — the paper's "minimum-depth parallel" limit on
+    /// useful processors.
+    pub fn parallelism(&self) -> f64 {
+        self.work / self.span
+    }
+}
+
+/// Fork-join with cost tracking: runs `a` and `b` on the pool and
+/// composes their reported costs in parallel.
+pub fn join_tracked<A, B, RA, RB>(
+    pool: &crate::pool::ThreadPool,
+    a: A,
+    b: B,
+) -> ((RA, RB), WorkSpan)
+where
+    A: FnOnce() -> (RA, WorkSpan) + Send,
+    B: FnOnce() -> (RB, WorkSpan) + Send,
+    RA: Send,
+    RB: Send,
+{
+    let ((ra, wa), (rb, wb)) = pool.join(a, b);
+    ((ra, rb), wa.par(wb))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::ThreadPool;
+
+    #[test]
+    fn leaf_has_equal_work_span() {
+        let l = WorkSpan::leaf(5.0);
+        assert_eq!(l.work, 5.0);
+        assert_eq!(l.span, 5.0);
+    }
+
+    #[test]
+    fn seq_adds_both() {
+        let c = WorkSpan::leaf(3.0).seq(WorkSpan::leaf(4.0));
+        assert_eq!(c.work, 7.0);
+        assert_eq!(c.span, 7.0);
+    }
+
+    #[test]
+    fn par_adds_work_maxes_span() {
+        let c = WorkSpan::leaf(3.0).par(WorkSpan::leaf(4.0));
+        assert_eq!(c.work, 7.0);
+        assert_eq!(c.span, 4.0);
+    }
+
+    #[test]
+    fn balanced_tree_reduction_costs() {
+        // Reduce 2^k leaves: W = 2^k - 1 combines, S = k.
+        fn tree(k: u32) -> WorkSpan {
+            if k == 0 {
+                return WorkSpan::ZERO;
+            }
+            let sub = tree(k - 1);
+            sub.par(sub).seq(WorkSpan::leaf(1.0))
+        }
+        let c = tree(10);
+        assert_eq!(c.work, 1023.0);
+        assert_eq!(c.span, 10.0);
+        assert!(c.parallelism() > 100.0);
+    }
+
+    #[test]
+    fn greedy_bound_interpolates() {
+        let c = WorkSpan {
+            work: 1000.0,
+            span: 10.0,
+        };
+        assert_eq!(c.greedy_bound(1), 1010.0);
+        assert_eq!(c.greedy_bound(100), 20.0);
+        // Beyond W/S processors the span dominates.
+        assert!((c.greedy_bound(1_000_000) - 10.001).abs() < 0.01);
+    }
+
+    #[test]
+    fn join_tracked_composes() {
+        let pool = ThreadPool::with_threads(2);
+        let ((ra, rb), ws) = pool.run(|| {
+            join_tracked(
+                &pool,
+                || (21, WorkSpan::leaf(100.0)),
+                || (2, WorkSpan::leaf(60.0)),
+            )
+        });
+        assert_eq!(ra * rb, 42);
+        assert_eq!(ws.work, 160.0);
+        assert_eq!(ws.span, 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn greedy_bound_zero_p_rejected() {
+        WorkSpan::leaf(1.0).greedy_bound(0);
+    }
+}

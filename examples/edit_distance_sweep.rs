@@ -1,0 +1,79 @@
+//! Processor sweep of the paper's edit-distance mapping (experiment E3).
+//!
+//! Sweeps P over the corrected anti-diagonal family and prints cycles,
+//! speedup, utilization, and energy split. Also demonstrates the
+//! legality checker rejecting the paper's *literal* time expression for
+//! P > 1 (the missing systolic skew; see the editdist module docs).
+//!
+//! Run with: `cargo run --release --example edit_distance_sweep`
+
+use fm_repro::core::cost::Evaluator;
+use fm_repro::core::legality;
+use fm_repro::core::machine::MachineConfig;
+use fm_repro::kernels::editdist::{
+    edit_recurrence, paper_input_placements, paper_literal_mapping, skewed_mapping, Scoring,
+};
+
+fn main() {
+    let n = 128;
+    println!("== E3: anti-diagonal mapping sweep, {n}×{n} edit distance ==\n");
+
+    let rec = edit_recurrence(n, n, Scoring::paper_local());
+    let graph = rec.elaborate().expect("well-founded");
+    println!(
+        "function: {} elements, critical path {} (max parallelism {:.0})\n",
+        graph.len(),
+        graph.depth(),
+        graph.len() as f64 / graph.depth() as f64
+    );
+
+    // The paper's literal mapping, as written.
+    println!("paper's literal mapping (time = floor(i/P)*N + j):");
+    for p in [1i64, 4] {
+        let machine = MachineConfig::linear(p as u32);
+        let rm = paper_literal_mapping(p, n).resolve(&graph, &machine).unwrap();
+        let rep = legality::check(&graph, &rm, &machine);
+        if rep.is_legal() {
+            println!("  P={p}: legal (serial row-major)");
+        } else {
+            println!(
+                "  P={p}: ILLEGAL — {} causality violations (rows of a block are simultaneous; needs the +i%P skew)",
+                rep.total_violations
+            );
+        }
+    }
+
+    println!("\ncorrected skew (time = floor(i/P)*(N+P) + i%P + j):\n");
+    println!(
+        "  {:>4} | {:>8} | {:>8} | {:>6} | {:>11} | {:>12} | {:>10}",
+        "P", "cycles", "speedup", "util", "compute pJ", "on-chip pJ", "comm frac"
+    );
+    let mut base = None;
+    for p in [1i64, 2, 4, 8, 16, 32, 64, 128] {
+        let machine = MachineConfig::linear(p as u32);
+        let rm = skewed_mapping(p, n).resolve(&graph, &machine).unwrap();
+        let legal = legality::check(&graph, &rm, &machine);
+        assert!(legal.is_legal(), "P={p}");
+        let mut ev = Evaluator::new(&graph, &machine);
+        for (i, pl) in paper_input_placements(p).into_iter().enumerate() {
+            ev = ev.with_input_placement(i, pl);
+        }
+        let rep = ev.evaluate(&rm);
+        let base_cycles = *base.get_or_insert(rep.cycles);
+        println!(
+            "  {:>4} | {:>8} | {:>7.2}x | {:>5.1}% | {:>11.1} | {:>12.1} | {:>9.1}%",
+            p,
+            rep.cycles,
+            base_cycles as f64 / rep.cycles as f64,
+            rep.utilization * 100.0,
+            rep.ledger.energy.compute.raw() / 1e3,
+            rep.ledger.energy.onchip_comm.raw() / 1e3,
+            rep.ledger.energy.communication_fraction() * 100.0,
+        );
+    }
+    println!("\nnote the geometry effect: the die is fixed, so more PEs means a");
+    println!("finer grid and *shorter* hops — message count grows with P but each");
+    println!("message travels less silicon, and communication energy falls even");
+    println!("as its share of the total stays dominant. Locality is everything,");
+    println!("which is \u{2014} exactly \u{2014} the paper's point.");
+}

@@ -1,0 +1,107 @@
+//! Recompute instead of communicate (§3 / experiment E13).
+//!
+//! "A mapping may compute the same element at multiple points in time
+//! and/or space — rather than storing it or communicating it between
+//! those points."
+//!
+//! A producer computed from locally-available inputs feeds six
+//! consumers on six different PEs. We price both mappings — one
+//! message per remote PE vs. one *replica* per remote PE — across
+//! producer expression sizes, and print the crossover.
+//!
+//! Run with: `cargo run --release --example recompute_vs_communicate`
+
+use fm_repro::core::cost::Evaluator;
+use fm_repro::core::dataflow::{CExpr, DataflowGraph};
+use fm_repro::core::legality::check;
+use fm_repro::core::machine::MachineConfig;
+use fm_repro::core::mapping::{InputPlacement, ResolvedMapping};
+use fm_repro::core::transform::recompute_at_consumers;
+use fm_repro::core::value::Value;
+
+fn broadcast(consumers: usize, expr_ops: usize) -> (DataflowGraph, ResolvedMapping) {
+    let mut g = DataflowGraph::new("broadcast", 32);
+    let x = g.add_input("X", vec![1]);
+    // `expr_ops` additions arranged as a balanced tree (a chain this
+    // long would overflow the stack in recursive walks).
+    let mut terms: Vec<CExpr> = Vec::with_capacity(expr_ops + 1);
+    terms.push(CExpr::input(x, 0));
+    for _ in 0..expr_ops {
+        terms.push(CExpr::konst(Value::real(1.0)));
+    }
+    while terms.len() > 1 {
+        let mut next = Vec::with_capacity(terms.len().div_ceil(2));
+        let mut it = terms.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(a.add(b)),
+                None => next.push(a),
+            }
+        }
+        terms = next;
+    }
+    let e = terms.pop().expect("nonempty");
+    let src = g.add_node(e, vec![], vec![0]);
+    let mut place = vec![(0i64, 0i64)];
+    let mut time = vec![0i64];
+    for i in 0..consumers {
+        let id = g.add_node(
+            CExpr::dep(0).mul(CExpr::konst(Value::real(2.0))),
+            vec![src],
+            vec![i as i64 + 1],
+        );
+        g.mark_output(id);
+        place.push((i as i64 + 1, 0));
+        time.push(i as i64 + 2);
+    }
+    (g, ResolvedMapping { place, time })
+}
+
+fn main() {
+    let consumers = 6;
+    let machine = MachineConfig::linear(8);
+    println!("== recompute vs communicate: broadcast to {consumers} PEs, 5 nm mesh ==\n");
+    println!(
+        "{:>12}  {:>16}  {:>14}  {:>10}",
+        "producer ops", "communicate (pJ)", "recompute (pJ)", "winner"
+    );
+    let mut crossover: Option<usize> = None;
+    for ops in [1usize, 5, 25, 125, 625, 3125, 15_625, 78_125] {
+        let (g, rm) = broadcast(consumers, ops);
+        assert!(check(&g, &rm, &machine).is_legal());
+        let comm = Evaluator::new(&g, &machine)
+            .with_all_inputs(InputPlacement::AtUse)
+            .evaluate(&rm);
+        let (g2, rm2, _) = recompute_at_consumers(&g, &rm, &[0]);
+        assert!(check(&g2, &rm2, &machine).is_legal());
+        let rec = Evaluator::new(&g2, &machine)
+            .with_all_inputs(InputPlacement::AtUse)
+            .evaluate(&rm2);
+        let (c, r) = (comm.energy().raw() / 1e3, rec.energy().raw() / 1e3);
+        let winner = if r < c { "recompute" } else { "communicate" };
+        if winner == "communicate" && crossover.is_none() {
+            crossover = Some(ops);
+        }
+        println!("{ops:>12}  {c:>16.2}  {r:>14.2}  {winner:>10}");
+    }
+    if let Some(x) = crossover {
+        println!(
+            "\ncrossover between {} and {} producer ops: below it, moving bits\ncosts more than redoing arithmetic — the paper's recompute option,\npriced on the paper's own constants.",
+            x / 5,
+            x
+        );
+    }
+    // Messages really do disappear.
+    let (g, rm) = broadcast(consumers, 1);
+    let before = Evaluator::new(&g, &machine)
+        .with_all_inputs(InputPlacement::AtUse)
+        .evaluate(&rm);
+    let (g2, rm2, _) = recompute_at_consumers(&g, &rm, &[0]);
+    let after = Evaluator::new(&g2, &machine)
+        .with_all_inputs(InputPlacement::AtUse)
+        .evaluate(&rm2);
+    println!(
+        "\nNoC messages: {} → {} after the transform.",
+        before.ledger.onchip_messages, after.ledger.onchip_messages
+    );
+}

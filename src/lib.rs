@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+
+//! # fm-repro — reproduction artifact for the SPAA'21 panel paper
+//!
+//! *"Architecture-Friendly Algorithms versus Algorithm-Friendly
+//! Architectures"* (Blelloch, Dally, Martonosi, Vishkin, Yelick —
+//! SPAA 2021, DOI 10.1145/3409964.3461780).
+//!
+//! The panel paper proposes models rather than a system; this workspace
+//! builds the system those models imply and turns every quantitative
+//! claim in the text into an experiment. See `DESIGN.md` for the
+//! inventory and `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! This crate is a facade: it re-exports the workspace crates under
+//! short names so examples and downstream users need one dependency.
+//!
+//! ```
+//! use fm_repro::costmodel::Technology;
+//! use fm_repro::core::recurrence::{Domain, Recurrence};
+//!
+//! let tech = Technology::n5();
+//! // Transporting a 32-bit add result 1 mm costs 160× the add (§3).
+//! let ratio = tech
+//!     .wire_energy(32, fm_repro::costmodel::Millimeters::new(1.0))
+//!     .ratio(tech.add32_energy());
+//! assert!((ratio - 160.0).abs() < 1e-9);
+//! # let _ = Domain::d1(1);
+//! ```
+
+/// Technology cost model (Dally §3's constants).
+pub use fm_costmodel as costmodel;
+
+/// The Function & Mapping model.
+pub use fm_core as core;
+
+/// Cycle-driven spatial grid simulator.
+pub use fm_grid as grid;
+
+/// Step-synchronous PRAM / XMT simulator.
+pub use fm_pram as pram;
+
+/// Work-stealing fork-join runtime + work-span accounting + ideal cache.
+pub use fm_workspan as workspan;
+
+/// The kernel suite.
+pub use fm_kernels as kernels;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_resolve() {
+        let t = crate::costmodel::Technology::n5();
+        assert_eq!(t.add32_energy().raw(), 16.0);
+        let pool = crate::workspan::ThreadPool::with_threads(2);
+        assert_eq!(pool.run(|| 2 + 2), 4);
+    }
+}

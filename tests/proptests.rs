@@ -1,0 +1,241 @@
+//! Property-based tests over the core invariants of the workspace.
+
+use proptest::prelude::*;
+
+use fm_repro::core::affine::IdxExpr;
+use fm_repro::core::cost::Evaluator;
+use fm_repro::core::parse::{parse_idx_expr, ParseEnv};
+use fm_repro::core::dataflow::{CExpr, DataflowGraph};
+use fm_repro::core::legality::check;
+use fm_repro::core::machine::MachineConfig;
+use fm_repro::core::search::{default_mapper, retime};
+use fm_repro::core::value::Value;
+use fm_repro::grid::Simulator;
+use fm_repro::kernels::editdist::{edit_distance_ref, edit_inputs, edit_recurrence, Scoring};
+use fm_repro::kernels::fft::{dft_naive, fft_ref};
+use fm_repro::kernels::scan::{par_scan, scan_ref};
+use fm_repro::kernels::sortalg::par_mergesort;
+use fm_repro::workspan::{IdealCache, ThreadPool, WorkSpan};
+
+/// Build a random DAG from a proptest-driven spec: each node gets 0–2
+/// dependencies drawn from earlier nodes.
+fn dag_from_spec(spec: &[(u8, u64, u64)]) -> DataflowGraph {
+    let mut g = DataflowGraph::new("prop-dag", 32);
+    for (i, &(ndeps, d1, d2)) in spec.iter().enumerate() {
+        let i = i as u32;
+        let mut deps: Vec<u32> = Vec::new();
+        if i > 0 {
+            if ndeps >= 1 {
+                deps.push((d1 % u64::from(i)) as u32);
+            }
+            if ndeps >= 2 {
+                deps.push((d2 % u64::from(i)) as u32);
+            }
+        }
+        deps.sort_unstable();
+        deps.dedup();
+        let expr = match deps.len() {
+            0 => CExpr::konst(Value::real(f64::from(i))),
+            1 => CExpr::dep(0).add(CExpr::konst(Value::real(1.0))),
+            _ => CExpr::dep(0).add(CExpr::dep(1)),
+        };
+        g.add_node(expr, deps, vec![i64::from(i)]);
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The default mapper is legal on arbitrary DAGs, and the simulator
+    /// then (a) matches the evaluator's energy exactly and (b) matches
+    /// the functional evaluation.
+    #[test]
+    fn default_mapper_legal_and_sim_agrees(
+        spec in prop::collection::vec((0u8..=2, any::<u64>(), any::<u64>()), 1..120)
+    ) {
+        let g = dag_from_spec(&spec);
+        let machine = MachineConfig::n5(3, 3);
+        let rm = default_mapper(&g, &machine);
+        let rep = check(&g, &rm, &machine);
+        prop_assert!(rep.is_legal());
+
+        let predicted = Evaluator::new(&g, &machine).evaluate(&rm);
+        let sim = Simulator::new(machine);
+        let res = sim.run(&g, &rm, &[], &[]).unwrap();
+        let pe = predicted.energy().raw();
+        let se = res.ledger.energy.total().raw();
+        prop_assert!((pe - se).abs() <= 1e-9 * pe.max(1.0));
+
+        let reference = g.eval(&[]);
+        for (a, b) in res.values.iter().zip(&reference) {
+            prop_assert!(a.approx_eq(*b, 1e-9));
+        }
+    }
+
+    /// With contention modeled, the simulator still computes correct
+    /// values and never finishes before the static schedule promises.
+    #[test]
+    fn contention_preserves_values_and_only_delays(
+        spec in prop::collection::vec((0u8..=2, any::<u64>(), any::<u64>()), 1..100),
+        places_seed in any::<u64>()
+    ) {
+        let g = dag_from_spec(&spec);
+        let machine = MachineConfig::n5(3, 2);
+        let mut s = places_seed;
+        let places: Vec<(i64, i64)> = (0..g.len()).map(|_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (((s >> 33) % 3) as i64, ((s >> 17) % 2) as i64)
+        }).collect();
+        let rm = retime(&g, &places, &machine);
+        let sim = Simulator::new(machine);
+        let res = sim.run(&g, &rm, &[], &[]).unwrap();
+        prop_assert!(res.cycles_actual >= res.cycles_scheduled);
+        let reference = g.eval(&[]);
+        for (a, b) in res.values.iter().zip(&reference) {
+            prop_assert!(a.approx_eq(*b, 1e-9));
+        }
+    }
+
+    /// Retiming any placement yields a legal schedule.
+    #[test]
+    fn retime_always_legal(
+        spec in prop::collection::vec((0u8..=2, any::<u64>(), any::<u64>()), 1..80),
+        places_seed in any::<u64>()
+    ) {
+        let g = dag_from_spec(&spec);
+        let machine = MachineConfig::n5(4, 2);
+        let mut s = places_seed;
+        let places: Vec<(i64, i64)> = (0..g.len()).map(|_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (((s >> 33) % 4) as i64, ((s >> 17) % 2) as i64)
+        }).collect();
+        let rm = retime(&g, &places, &machine);
+        prop_assert!(check(&g, &rm, &machine).is_legal());
+    }
+
+    /// Edit distance through elaboration equals the serial DP for
+    /// arbitrary short strings.
+    #[test]
+    fn edit_recurrence_matches_dp(
+        r in prop::collection::vec(0u8..4, 1..12),
+        q in prop::collection::vec(0u8..4, 1..12)
+    ) {
+        let rec = edit_recurrence(r.len(), q.len(), Scoring::levenshtein());
+        let g = rec.elaborate().unwrap();
+        let vals = g.eval(&edit_inputs(&r, &q));
+        prop_assert_eq!(vals.last().unwrap().re as i64, edit_distance_ref(&r, &q));
+    }
+
+    /// Edit distance is a metric-ish quantity: symmetric, zero iff
+    /// equal, bounded by max length.
+    #[test]
+    fn edit_distance_properties(
+        r in prop::collection::vec(0u8..4, 0..16),
+        q in prop::collection::vec(0u8..4, 0..16)
+    ) {
+        let d = edit_distance_ref(&r, &q);
+        prop_assert_eq!(d, edit_distance_ref(&q, &r));
+        prop_assert!(d <= r.len().max(q.len()) as i64);
+        if r == q {
+            prop_assert_eq!(d, 0);
+        } else {
+            prop_assert!(d >= 1);
+        }
+    }
+
+    /// FFT reference matches the naive DFT on random signals.
+    #[test]
+    fn fft_matches_dft(
+        bits in 1u32..6,
+        seed in any::<u64>()
+    ) {
+        let n = 1usize << bits;
+        let mut s = seed | 1;
+        let x: Vec<Value> = (0..n).map(|_| {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            Value::complex((s % 1000) as f64 / 500.0 - 1.0, ((s >> 10) % 1000) as f64 / 500.0 - 1.0)
+        }).collect();
+        let a = fft_ref(&x);
+        let b = dft_naive(&x);
+        for (u, v) in a.iter().zip(&b) {
+            prop_assert!(u.approx_eq(*v, 1e-6));
+        }
+    }
+
+    /// Parallel scan and mergesort agree with serial semantics.
+    #[test]
+    fn parallel_kernels_match_serial(
+        data in prop::collection::vec(-1000i64..1000, 0..2000),
+        grain in 1usize..200
+    ) {
+        let pool = ThreadPool::with_threads(3);
+        let (scanned, _) = par_scan(&pool, &data, grain);
+        prop_assert_eq!(scanned, scan_ref(&data));
+
+        let as_u64: Vec<u64> = data.iter().map(|&v| (v + 1000) as u64).collect();
+        let (sorted, _) = par_mergesort(&pool, &as_u64, grain);
+        let mut expect = as_u64.clone();
+        expect.sort_unstable();
+        prop_assert_eq!(sorted, expect);
+    }
+
+    /// WorkSpan algebra invariants: span never exceeds work; greedy
+    /// bound dominates both terms; composition is monotone.
+    #[test]
+    fn workspan_algebra_invariants(
+        costs in prop::collection::vec(0.0f64..1e6, 1..20),
+        p in 1u64..64
+    ) {
+        let mut acc = WorkSpan::ZERO;
+        for (i, &c) in costs.iter().enumerate() {
+            let leaf = WorkSpan::leaf(c);
+            acc = if i % 2 == 0 { acc.seq(leaf) } else { acc.par(leaf) };
+            prop_assert!(acc.span <= acc.work + 1e-9);
+        }
+        let bound = acc.greedy_bound(p);
+        prop_assert!(bound + 1e-9 >= acc.span);
+        prop_assert!(bound + 1e-9 >= acc.work / p as f64);
+    }
+
+    /// The affine-expression syntax round-trips: Display output
+    /// reparses to an expression with identical values.
+    #[test]
+    fn idx_expr_display_reparses(ops in prop::collection::vec((0u8..5, 1i64..9), 0..8)) {
+        // Build an expression over i, j by folding random operations.
+        let mut e = IdxExpr::i();
+        for &(op, c) in &ops {
+            e = match op {
+                0 => e + IdxExpr::j(),
+                1 => e - IdxExpr::c(c),
+                2 => e * c,
+                3 => e % c,
+                _ => e.div(c),
+            };
+        }
+        let printed = format!("{e}");
+        let env = ParseEnv::new(&[], &[]);
+        let reparsed = parse_idx_expr(&printed, &["i", "j"], &env).unwrap();
+        for i in -3i64..4 {
+            for j in -3i64..4 {
+                prop_assert_eq!(e.eval(&[i, j]), reparsed.eval(&[i, j]), "{}", printed);
+            }
+        }
+    }
+
+    /// Ideal cache sanity: misses ≤ accesses; a cold sequential scan of
+    /// L-aligned data misses exactly ⌈len/L⌉ times.
+    #[test]
+    fn cache_invariants(
+        len in 1usize..4000,
+        l_pow in 0u32..5,
+        z_lines in 1usize..64
+    ) {
+        let l = 1usize << l_pow;
+        let mut c = IdealCache::new(z_lines * l, l);
+        c.access_range(0, len);
+        let s = c.stats();
+        prop_assert!(s.misses <= s.accesses);
+        prop_assert_eq!(s.misses as usize, len.div_ceil(l));
+    }
+}
