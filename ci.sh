@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Local CI: formatting, lints, full test suite, and a smoke run of the
+# two tuner-driven table generators. Mirrors what a hosted pipeline
+# would run; keep it green before every commit.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test =="
+cargo test --workspace -q
+
+echo "== table smoke runs (--quick) =="
+cargo run --release -q -p fm-bench --bin table_e4_fft_search -- --quick >/dev/null
+cargo run --release -q -p fm-bench --bin table_e8_default_mapper -- --quick >/dev/null
+
+echo "ci: all green"

@@ -1,0 +1,223 @@
+//! fm-tune: tune an FFT mapping from the command line and print the
+//! [`TuneReport`](fm_autotune::TuneReport) counters.
+//!
+//! Three phases, demonstrating each tuner capability:
+//!
+//! 1. serial vs parallel evaluation of the same candidate set (same
+//!    winner by construction; prints wall times and the speedup);
+//! 2. a cold run against the persistent cache (miss + store);
+//! 3. a warm run (hit: zero candidates re-evaluated).
+//!
+//! ```text
+//! fm-tune [--n 256] [--machine 16] [--p 2,4,8,16] [--fom edp]
+//!         [--workers W] [--cache-dir DIR] [--no-cache]
+//!         [--max-candidates K] [--deadline-ms T] [--window W]
+//! ```
+
+use std::time::Duration;
+
+use fm_autotune::{Budget, Tuner, TuningCache};
+use fm_core::cost::Evaluator;
+use fm_core::machine::MachineConfig;
+use fm_core::mapping::{InputPlacement, Mapping};
+use fm_core::search::{FigureOfMerit, MappingCandidate};
+use fm_kernels::fft::{fft_graph, FftFamily, FftVariant};
+use fm_workspan::ThreadPool;
+
+struct Args {
+    n: usize,
+    machine_p: u32,
+    p_values: Vec<u32>,
+    fom: FigureOfMerit,
+    workers: usize,
+    cache_dir: Option<String>,
+    budget: Budget,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        n: 256,
+        machine_p: 16,
+        p_values: vec![2, 4, 8, 16],
+        fom: FigureOfMerit::Edp,
+        workers: std::thread::available_parallelism()
+            .map(|n| n.get().min(8))
+            .unwrap_or(4),
+        cache_dir: None,
+        budget: Budget::unlimited(),
+    };
+    let mut no_cache = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--n" => args.n = val("--n")?.parse().map_err(|e| format!("--n: {e}"))?,
+            "--machine" => {
+                args.machine_p = val("--machine")?
+                    .parse()
+                    .map_err(|e| format!("--machine: {e}"))?;
+            }
+            "--p" => {
+                args.p_values = val("--p")?
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|e| format!("--p: {e}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--fom" => {
+                args.fom = match val("--fom")?.as_str() {
+                    "time" => FigureOfMerit::Time,
+                    "energy" => FigureOfMerit::Energy,
+                    "edp" => FigureOfMerit::Edp,
+                    "footprint" => FigureOfMerit::Footprint,
+                    other => return Err(format!("unknown objective {other:?}")),
+                };
+            }
+            "--workers" => {
+                args.workers = val("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--cache-dir" => args.cache_dir = Some(val("--cache-dir")?),
+            "--no-cache" => no_cache = true,
+            "--max-candidates" => {
+                args.budget.max_candidates = Some(
+                    val("--max-candidates")?
+                        .parse()
+                        .map_err(|e| format!("--max-candidates: {e}"))?,
+                );
+            }
+            "--deadline-ms" => {
+                let ms: u64 = val("--deadline-ms")?
+                    .parse()
+                    .map_err(|e| format!("--deadline-ms: {e}"))?;
+                args.budget.deadline = Some(Duration::from_millis(ms));
+            }
+            "--window" => {
+                args.budget.convergence_window = Some(
+                    val("--window")?
+                        .parse()
+                        .map_err(|e| format!("--window: {e}"))?,
+                );
+            }
+            "--help" | "-h" => {
+                println!(
+                    "fm-tune [--n N] [--machine P] [--p LIST] [--fom time|energy|edp|footprint]\n        [--workers W] [--cache-dir DIR] [--no-cache]\n        [--max-candidates K] [--deadline-ms T] [--window W]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    if no_cache {
+        args.cache_dir = None;
+    } else if args.cache_dir.is_none() {
+        args.cache_dir = Some(
+            std::env::temp_dir()
+                .join("fm-tune-cache")
+                .to_string_lossy()
+                .into_owned(),
+        );
+    }
+    if !args.n.is_power_of_two() || args.n < 2 {
+        return Err(format!("--n must be a power of two ≥ 2, got {}", args.n));
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("fm-tune: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let machine = MachineConfig::linear(args.machine_p);
+    let family = FftFamily {
+        n: args.n,
+        p_values: args.p_values.clone(),
+    };
+
+    // Candidate set: both FFT graph variants share a candidate family
+    // shape; tune the DIT graph (the DIF graph is a different tuning
+    // problem — a different fingerprint — by construction).
+    let graph = fft_graph(args.n, FftVariant::Dit);
+    let mut candidates = family.candidates_for(&graph, &machine);
+    candidates.push(MappingCandidate::new("serial", Mapping::serial(&graph)));
+    let evaluator = Evaluator::new(&graph, &machine).with_all_inputs(InputPlacement::AtUse);
+
+    println!(
+        "fm-tune: fft n={} on linear({}) machine, {} candidates, objective {:?}",
+        args.n,
+        args.machine_p,
+        candidates.len(),
+        args.fom
+    );
+
+    // Phase 1: serial vs parallel (uncached, so both really evaluate).
+    let serial_report = Tuner::new(&evaluator, &graph, &machine, args.fom)
+        .with_budget(args.budget)
+        .tune(&candidates);
+    println!("\n== serial tuner ==\n{}", serial_report.summary());
+
+    let pool = ThreadPool::with_threads(args.workers);
+    let parallel_report = Tuner::new(&evaluator, &graph, &machine, args.fom)
+        .with_pool(&pool)
+        .with_budget(args.budget)
+        .tune(&candidates);
+    println!(
+        "== parallel tuner ({} workers) ==\n{}",
+        args.workers,
+        parallel_report.summary()
+    );
+
+    let speedup = serial_report.wall.as_secs_f64() / parallel_report.wall.as_secs_f64().max(1e-9);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "parallel speedup over serial: {speedup:.2}x ({} workers on {} core{})",
+        args.workers,
+        cores,
+        if cores == 1 {
+            " — no speedup possible"
+        } else {
+            "s"
+        }
+    );
+    match (&serial_report.best, &parallel_report.best) {
+        (Some(s), Some(p)) if s.label == p.label && s.score == p.score => {
+            println!("winner parity: OK ({} in both)", s.label);
+        }
+        _ => {
+            eprintln!("winner parity: MISMATCH between serial and parallel tuner");
+            std::process::exit(1);
+        }
+    }
+
+    // Phases 2 and 3: persistent cache, cold then warm.
+    if let Some(dir) = &args.cache_dir {
+        let Some(cache) = TuningCache::open(dir) else {
+            eprintln!("fm-tune: cannot create cache dir {dir}; skipping cache demo");
+            return;
+        };
+        println!("\ncache dir: {dir}");
+        let cold = Tuner::new(&evaluator, &graph, &machine, args.fom)
+            .with_pool(&pool)
+            .with_budget(args.budget)
+            .with_cache(cache.clone())
+            .tune(&candidates);
+        println!("== first cached run ==\n{}", cold.summary());
+        let warm = Tuner::new(&evaluator, &graph, &machine, args.fom)
+            .with_pool(&pool)
+            .with_budget(args.budget)
+            .with_cache(cache)
+            .tune(&candidates);
+        println!("== second cached run ==\n{}", warm.summary());
+        println!(
+            "cache: first run {} ({} evaluated), second run {} ({} evaluated)",
+            cold.cache, cold.evaluated, warm.cache, warm.evaluated
+        );
+    }
+}

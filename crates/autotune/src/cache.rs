@@ -1,0 +1,184 @@
+//! The persistent on-disk tuning cache.
+//!
+//! One JSON file per tuning problem, named by the problem's content
+//! fingerprint (`<fingerprint:016x>.json`) under a caller-chosen
+//! directory. Entries are versioned; reads tolerate every failure mode
+//! by degrading to a cold search: missing file, unreadable file,
+//! malformed JSON, schema-version mismatch, fingerprint mismatch — none
+//! panic, all report "no entry". Stale entries (a cached mapping that
+//! is no longer legal for the graph/machine, e.g. after a simulator
+//! change) are caught by the tuner's legality re-check on hit.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::tuner::TunedMapping;
+
+/// Bump when the entry layout changes; old entries then read as cold.
+pub const CACHE_SCHEMA_VERSION: u32 = 1;
+
+/// One cached tuning result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CacheEntry {
+    /// Schema version ([`CACHE_SCHEMA_VERSION`] at write time).
+    pub version: u32,
+    /// The problem fingerprint this entry answers.
+    pub fingerprint: u64,
+    /// The winning mapping and its cost report.
+    pub best: TunedMapping,
+    /// Candidates evaluated when this entry was produced.
+    pub evaluated: usize,
+    /// Whether the producing search saw every candidate (false when a
+    /// budget truncated it — the entry is still served, but a caller
+    /// raising the budget may want to retune).
+    pub complete: bool,
+}
+
+/// A directory of cached tuning results.
+#[derive(Debug, Clone)]
+pub struct TuningCache {
+    dir: PathBuf,
+}
+
+impl TuningCache {
+    /// Open (creating the directory if needed). Returns `None` if the
+    /// directory cannot be created — callers then tune uncached.
+    pub fn open(dir: impl Into<PathBuf>) -> Option<TuningCache> {
+        let dir = dir.into();
+        match fs::create_dir_all(&dir) {
+            Ok(()) => Some(TuningCache { dir }),
+            Err(_) => None,
+        }
+    }
+
+    /// The directory backing this cache.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_for(&self, fingerprint: u64) -> PathBuf {
+        self.dir.join(format!("{fingerprint:016x}.json"))
+    }
+
+    /// Look up an entry. Any read or decode failure, version mismatch,
+    /// or fingerprint mismatch returns `None` (cold search), never an
+    /// error.
+    pub fn load(&self, fingerprint: u64) -> Option<CacheEntry> {
+        let text = fs::read_to_string(self.path_for(fingerprint)).ok()?;
+        let entry: CacheEntry = serde_json::from_str(&text).ok()?;
+        if entry.version != CACHE_SCHEMA_VERSION || entry.fingerprint != fingerprint {
+            return None;
+        }
+        Some(entry)
+    }
+
+    /// Store an entry, overwriting any previous one. Written to a
+    /// sibling temp file then renamed, so a crash mid-write leaves no
+    /// half-written entry under the final name. Errors are reported,
+    /// not panicked: a full disk only loses the cache.
+    pub fn store(&self, entry: &CacheEntry) -> std::io::Result<()> {
+        let final_path = self.path_for(entry.fingerprint);
+        let tmp_path = final_path.with_extension("json.tmp");
+        let text = serde_json::to_string_pretty(entry)
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        {
+            let mut f = fs::File::create(&tmp_path)?;
+            f.write_all(text.as_bytes())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp_path, &final_path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fm_core::cost::{CostReport, Evaluator};
+    use fm_core::dataflow::{CExpr, DataflowGraph};
+    use fm_core::machine::MachineConfig;
+    use fm_core::mapping::ResolvedMapping;
+    use fm_core::value::Value;
+
+    fn entry_for(fp: u64) -> CacheEntry {
+        let mut g = DataflowGraph::new("t", 32);
+        g.add_node(CExpr::konst(Value::real(1.0)), vec![], vec![0]);
+        let m = MachineConfig::linear(2);
+        let rm = ResolvedMapping {
+            place: vec![(0, 0)],
+            time: vec![0],
+        };
+        let report: CostReport = Evaluator::new(&g, &m).evaluate(&rm);
+        CacheEntry {
+            version: CACHE_SCHEMA_VERSION,
+            fingerprint: fp,
+            best: TunedMapping {
+                label: "serial".into(),
+                resolved: rm,
+                report,
+                score: 1.0,
+            },
+            evaluated: 1,
+            complete: true,
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "fm-autotune-cache-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn round_trips() {
+        let dir = tmpdir("rt");
+        let cache = TuningCache::open(&dir).unwrap();
+        let e = entry_for(0xabcd);
+        cache.store(&e).unwrap();
+        let back = cache.load(0xabcd).expect("entry present");
+        assert_eq!(back.best.label, "serial");
+        assert_eq!(back.best.resolved, e.best.resolved);
+        assert!(back.complete);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_and_corrupt_read_as_cold() {
+        let dir = tmpdir("corrupt");
+        let cache = TuningCache::open(&dir).unwrap();
+        assert!(cache.load(7).is_none(), "missing file");
+
+        let e = entry_for(7);
+        cache.store(&e).unwrap();
+        fs::write(dir.join("0000000000000007.json"), b"{not json").unwrap();
+        assert!(cache.load(7).is_none(), "corrupt file degrades to cold");
+
+        fs::write(dir.join("0000000000000007.json"), b"[1,2,3]").unwrap();
+        assert!(cache.load(7).is_none(), "wrong shape degrades to cold");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_and_fingerprint_mismatches_read_as_cold() {
+        let dir = tmpdir("ver");
+        let cache = TuningCache::open(&dir).unwrap();
+        let mut e = entry_for(9);
+        e.version = CACHE_SCHEMA_VERSION + 1;
+        cache.store(&e).unwrap();
+        assert!(cache.load(9).is_none(), "future schema reads as cold");
+
+        // An entry whose body claims a different fingerprint than its
+        // filename (e.g. copied by hand) must not be served.
+        let mut e = entry_for(10);
+        e.fingerprint = 11;
+        let text = serde_json::to_string(&e).unwrap();
+        fs::write(dir.join(format!("{:016x}.json", 10u64)), text).unwrap();
+        assert!(cache.load(10).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,93 @@
+//! Content fingerprints for tuning-cache keys.
+//!
+//! A cache entry must be keyed by everything that determines the search
+//! result: the function graph, the machine, the objective, and the
+//! candidate set itself (labels and mappings). All four serialize
+//! through the serde data model; the JSON rendering is canonical here
+//! (struct fields in declaration order, maps sorted), so hashing the
+//! rendered string is a stable content fingerprint.
+
+use fm_core::dataflow::DataflowGraph;
+use fm_core::machine::MachineConfig;
+use fm_core::search::{FigureOfMerit, MappingCandidate};
+
+/// FNV-1a over a byte string.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Fingerprint a tuning problem. Two problems collide only if their
+/// serialized forms collide under FNV-1a 64 (fine for a cache: a false
+/// hit is caught by the legality re-check, a false miss only costs a
+/// cold search).
+pub fn fingerprint(
+    graph: &DataflowGraph,
+    machine: &MachineConfig,
+    fom: FigureOfMerit,
+    candidates: &[MappingCandidate],
+) -> u64 {
+    let mut text = String::new();
+    text.push_str(&serde_json::to_string(graph).expect("graph serializes"));
+    text.push('\u{1}');
+    text.push_str(&serde_json::to_string(machine).expect("machine serializes"));
+    text.push('\u{1}');
+    text.push_str(&serde_json::to_string(&fom).expect("fom serializes"));
+    for c in candidates {
+        text.push('\u{1}');
+        text.push_str(&c.label);
+        text.push('\u{2}');
+        text.push_str(&serde_json::to_string(&c.mapping).expect("mapping serializes"));
+    }
+    fnv1a(text.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fm_core::mapping::Mapping;
+
+    fn tiny(name: &str) -> DataflowGraph {
+        use fm_core::dataflow::CExpr;
+        use fm_core::value::Value;
+        let mut g = DataflowGraph::new(name, 32);
+        g.add_node(CExpr::konst(Value::real(1.0)), vec![], vec![0]);
+        g
+    }
+
+    #[test]
+    fn sensitive_to_every_component() {
+        let g = tiny("a");
+        let m = MachineConfig::linear(4);
+        let cands = vec![MappingCandidate::new("serial", Mapping::serial(&g))];
+        let base = fingerprint(&g, &m, FigureOfMerit::Edp, &cands);
+
+        assert_ne!(
+            base,
+            fingerprint(&tiny("b"), &m, FigureOfMerit::Edp, &cands)
+        );
+        assert_ne!(
+            base,
+            fingerprint(&g, &MachineConfig::linear(8), FigureOfMerit::Edp, &cands)
+        );
+        assert_ne!(base, fingerprint(&g, &m, FigureOfMerit::Time, &cands));
+        assert_ne!(base, fingerprint(&g, &m, FigureOfMerit::Edp, &[]));
+        let relabeled = vec![MappingCandidate::new("other", Mapping::serial(&g))];
+        assert_ne!(base, fingerprint(&g, &m, FigureOfMerit::Edp, &relabeled));
+    }
+
+    #[test]
+    fn stable_across_calls() {
+        let g = tiny("a");
+        let m = MachineConfig::linear(4);
+        let cands = vec![MappingCandidate::new("serial", Mapping::serial(&g))];
+        assert_eq!(
+            fingerprint(&g, &m, FigureOfMerit::Edp, &cands),
+            fingerprint(&g, &m, FigureOfMerit::Edp, &cands)
+        );
+    }
+}

@@ -1,0 +1,680 @@
+//! The tuner: budgeted candidate evaluation with deterministic winner
+//! selection, optional parallel fan-out, and cache replay.
+
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use fm_core::cost::{CostReport, Evaluator};
+use fm_core::dataflow::DataflowGraph;
+use fm_core::legality::check;
+use fm_core::machine::MachineConfig;
+use fm_core::mapping::ResolvedMapping;
+use fm_core::search::{
+    assemble_outcome, default_mapper, evaluate_candidate, CandidateEval, FigureOfMerit,
+    MappingCandidate, SearchOutcome,
+};
+use fm_workspan::{par_map, ThreadPool};
+
+use crate::cache::{CacheEntry, TuningCache, CACHE_SCHEMA_VERSION};
+use crate::fingerprint::fingerprint;
+
+/// Candidates per evaluation round. A fixed constant (rather than a
+/// multiple of the worker count) so budget decisions — which are taken
+/// at round boundaries — fall at the same candidate indices whether the
+/// tuner runs serial or parallel, on any pool width.
+const ROUND: usize = 16;
+
+/// Evaluation budgets. The default is unlimited: every candidate is
+/// evaluated, exactly like [`fm_core::search::search`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Budget {
+    /// Evaluate at most this many candidates (a deterministic prefix
+    /// of the candidate list).
+    pub max_candidates: Option<usize>,
+    /// Stop evaluating at the first round boundary past this wall-clock
+    /// deadline. Timing-dependent by nature: the one budget under which
+    /// serial and parallel runs may see different prefixes.
+    pub deadline: Option<Duration>,
+    /// Early-stop once this many consecutive candidates have failed to
+    /// improve the best score (checked at round boundaries, so the
+    /// stopping point is deterministic).
+    pub convergence_window: Option<usize>,
+}
+
+impl Budget {
+    /// No limits (the default).
+    pub fn unlimited() -> Budget {
+        Budget::default()
+    }
+
+    /// Cap the number of candidates evaluated.
+    pub fn with_max_candidates(mut self, n: usize) -> Budget {
+        self.max_candidates = Some(n);
+        self
+    }
+
+    /// Set a wall-clock deadline.
+    pub fn with_deadline(mut self, d: Duration) -> Budget {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Stop after `window` candidates without improvement.
+    pub fn with_convergence_window(mut self, window: usize) -> Budget {
+        self.convergence_window = Some(window);
+        self
+    }
+}
+
+/// How the cache participated in a tuning run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// No cache configured.
+    Disabled,
+    /// No usable entry; searched cold (and stored the result).
+    Miss,
+    /// Entry replayed; candidate evaluation skipped entirely.
+    Hit,
+    /// Entry found but its mapping is no longer legal; searched cold.
+    Stale,
+}
+
+impl std::fmt::Display for CacheStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CacheStatus::Disabled => "disabled",
+            CacheStatus::Miss => "miss",
+            CacheStatus::Hit => "hit",
+            CacheStatus::Stale => "stale",
+        })
+    }
+}
+
+/// A winning mapping: what the cache persists and the tuner returns.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TunedMapping {
+    /// Label of the winning candidate (or `"default-mapper (fallback)"`).
+    pub label: String,
+    /// The resolved mapping, replayable without re-searching.
+    pub resolved: ResolvedMapping,
+    /// Its cost report.
+    pub report: CostReport,
+    /// Its score under the tuning objective (lower is better).
+    pub score: f64,
+}
+
+/// Counters and results from one [`Tuner::tune`] call.
+#[derive(Debug, Clone)]
+pub struct TuneReport {
+    /// Objective tuned for.
+    pub fom: FigureOfMerit,
+    /// Total candidates offered.
+    pub offered: usize,
+    /// Candidates actually evaluated.
+    pub evaluated: usize,
+    /// Candidates skipped by budgets (`offered - evaluated`).
+    pub pruned: usize,
+    /// How the cache participated.
+    pub cache: CacheStatus,
+    /// Whether the winner came from the default-mapper fallback.
+    pub fell_back: bool,
+    /// Wall-clock time of the whole call.
+    pub wall: Duration,
+    /// Best-so-far trajectory: (candidate index, score) at each
+    /// improvement, in evaluation order.
+    pub trajectory: Vec<(usize, f64)>,
+    /// Full search outcome over the evaluated prefix (empty on a cache
+    /// hit — the point of the cache is not re-evaluating).
+    pub outcome: SearchOutcome,
+    /// The winner, if any mapping (candidate or fallback) was legal.
+    pub best: Option<TunedMapping>,
+}
+
+impl TuneReport {
+    /// Multi-line human-readable summary (what `fm-tune` prints).
+    pub fn summary(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "objective {:?}: {} offered, {} evaluated, {} pruned; cache {}{}\n",
+            self.fom,
+            self.offered,
+            self.evaluated,
+            self.pruned,
+            self.cache,
+            if self.fell_back {
+                "; FELL BACK to default mapper"
+            } else {
+                ""
+            },
+        ));
+        s.push_str(&format!(
+            "wall time: {:.3} ms\n",
+            self.wall.as_secs_f64() * 1e3
+        ));
+        if !self.trajectory.is_empty() {
+            s.push_str("best-so-far trajectory:\n");
+            for (i, score) in &self.trajectory {
+                s.push_str(&format!("  after candidate {i:>4}: {score:.4e}\n"));
+            }
+        }
+        match &self.best {
+            Some(b) => s.push_str(&format!(
+                "winner: {} (score {:.4e}, {} cycles, {:.1} pJ)\n",
+                b.label,
+                b.score,
+                b.report.cycles,
+                b.report.energy().raw() / 1e3,
+            )),
+            None => s.push_str("winner: none (no legal mapping)\n"),
+        }
+        s
+    }
+}
+
+/// The autotuner. Borrowing the same inputs as
+/// [`fm_core::search::search`], plus optional parallelism, cache, and
+/// budgets.
+pub struct Tuner<'a> {
+    evaluator: &'a Evaluator<'a>,
+    graph: &'a DataflowGraph,
+    machine: &'a MachineConfig,
+    fom: FigureOfMerit,
+    pool: Option<&'a ThreadPool>,
+    cache: Option<TuningCache>,
+    budget: Budget,
+}
+
+impl<'a> Tuner<'a> {
+    /// A serial, uncached, unbudgeted tuner — behaves exactly like
+    /// [`fm_core::search::search`] plus a report.
+    pub fn new(
+        evaluator: &'a Evaluator<'a>,
+        graph: &'a DataflowGraph,
+        machine: &'a MachineConfig,
+        fom: FigureOfMerit,
+    ) -> Self {
+        Tuner {
+            evaluator,
+            graph,
+            machine,
+            fom,
+            pool: None,
+            cache: None,
+            budget: Budget::default(),
+        }
+    }
+
+    /// Fan candidate evaluation across `pool`.
+    pub fn with_pool(mut self, pool: &'a ThreadPool) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Persist results in (and replay from) `cache`.
+    pub fn with_cache(mut self, cache: TuningCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Apply evaluation budgets.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Tune over a candidate list.
+    pub fn tune(&self, candidates: &[MappingCandidate]) -> TuneReport {
+        let start = Instant::now();
+        let offered = candidates.len();
+
+        // Cache probe: replay iff the stored mapping is still shaped
+        // for this graph and still legal on this machine. The
+        // fingerprint serializes the whole problem, so it is only
+        // computed when a cache is actually configured.
+        let mut cache_status = CacheStatus::Disabled;
+        let mut fp = 0u64;
+        if let Some(cache) = &self.cache {
+            fp = fingerprint(self.graph, self.machine, self.fom, candidates);
+            match cache.load(fp) {
+                Some(entry) if self.replayable(&entry.best.resolved) => {
+                    return TuneReport {
+                        fom: self.fom,
+                        offered,
+                        evaluated: 0,
+                        pruned: offered,
+                        cache: CacheStatus::Hit,
+                        fell_back: false,
+                        wall: start.elapsed(),
+                        trajectory: Vec::new(),
+                        outcome: assemble_outcome(&[], std::iter::empty::<CandidateEval>()),
+                        best: Some(entry.best),
+                    };
+                }
+                Some(_) => cache_status = CacheStatus::Stale,
+                None => cache_status = CacheStatus::Miss,
+            }
+        }
+
+        // Budgeted evaluation, in rounds of ROUND candidates.
+        let cap = self.budget.max_candidates.unwrap_or(offered).min(offered);
+        let mut evals: Vec<CandidateEval> = Vec::with_capacity(cap);
+        let mut trajectory: Vec<(usize, f64)> = Vec::new();
+        let mut best_idx: Option<usize> = None;
+        let mut best_score = f64::INFINITY;
+        let mut last_improvement: usize = 0; // candidate index of last best update
+        let mut next = 0usize;
+        while next < cap {
+            let hi = (next + ROUND).min(cap);
+            let round: Vec<CandidateEval> = match self.pool {
+                Some(pool) => par_map(pool, hi - next, 1, |k| {
+                    evaluate_candidate(
+                        self.evaluator,
+                        self.graph,
+                        self.machine,
+                        &candidates[next + k],
+                        self.fom,
+                    )
+                }),
+                None => (next..hi)
+                    .map(|i| {
+                        evaluate_candidate(
+                            self.evaluator,
+                            self.graph,
+                            self.machine,
+                            &candidates[i],
+                            self.fom,
+                        )
+                    })
+                    .collect(),
+            };
+            for (k, eval) in round.iter().enumerate() {
+                if let CandidateEval::Legal { score, .. } = eval {
+                    // Strict `<`: ties keep the earlier candidate, the
+                    // same rule as assemble_outcome's stable sort.
+                    if *score < best_score {
+                        best_score = *score;
+                        best_idx = Some(next + k);
+                        last_improvement = next + k;
+                        trajectory.push((next + k, *score));
+                    }
+                }
+            }
+            evals.extend(round);
+            next = hi;
+
+            if let Some(window) = self.budget.convergence_window {
+                if best_idx.is_some() && next - last_improvement >= window {
+                    break;
+                }
+            }
+            if let Some(deadline) = self.budget.deadline {
+                if start.elapsed() >= deadline {
+                    break;
+                }
+            }
+        }
+
+        let evaluated = evals.len();
+        let best = match best_idx {
+            Some(i) => {
+                let CandidateEval::Legal {
+                    resolved,
+                    report,
+                    score,
+                } = evals[i].clone()
+                else {
+                    unreachable!("best index always points at a legal eval")
+                };
+                Some(TunedMapping {
+                    label: candidates[i].label.clone(),
+                    resolved,
+                    report,
+                    score,
+                })
+            }
+            // Nothing legal in budget: fall back to the default mapper,
+            // which is legal by construction for any graph.
+            None => self.fallback(),
+        };
+        let fell_back = best_idx.is_none() && best.is_some();
+
+        if let (Some(cache), Some(best)) = (&self.cache, &best) {
+            if !fell_back {
+                let _ = cache.store(&CacheEntry {
+                    version: CACHE_SCHEMA_VERSION,
+                    fingerprint: fp,
+                    best: best.clone(),
+                    evaluated,
+                    complete: evaluated == offered,
+                });
+            }
+        }
+
+        let outcome = assemble_outcome(&candidates[..evaluated], evals);
+        TuneReport {
+            fom: self.fom,
+            offered,
+            evaluated,
+            pruned: offered - evaluated,
+            cache: cache_status,
+            fell_back,
+            wall: start.elapsed(),
+            trajectory,
+            outcome,
+            best,
+        }
+    }
+
+    /// Is a cached mapping shaped for this graph and legal on this
+    /// machine? Guards both stale entries and fingerprint collisions.
+    fn replayable(&self, rm: &ResolvedMapping) -> bool {
+        rm.place.len() == self.graph.len()
+            && rm.time.len() == self.graph.len()
+            && check(self.graph, rm, self.machine).is_legal()
+    }
+
+    fn fallback(&self) -> Option<TunedMapping> {
+        if self.graph.is_empty() {
+            return None;
+        }
+        let rm = default_mapper(self.graph, self.machine);
+        if !check(self.graph, &rm, self.machine).is_legal() {
+            return None;
+        }
+        let report = self.evaluator.evaluate(&rm);
+        let score = self.fom.score(&report);
+        Some(TunedMapping {
+            label: "default-mapper (fallback)".to_string(),
+            resolved: rm,
+            report,
+            score,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fm_core::affine::IdxExpr;
+    use fm_core::dataflow::CExpr;
+    use fm_core::mapping::{AffineMap, Mapping, PlaceExpr};
+    use fm_core::search::search;
+    use fm_core::value::Value;
+
+    fn wide(n: usize) -> DataflowGraph {
+        let mut g = DataflowGraph::new("wide", 32);
+        for i in 0..n {
+            g.add_node(CExpr::konst(Value::real(i as f64)), vec![], vec![i as i64]);
+        }
+        g
+    }
+
+    fn chain(n: usize) -> DataflowGraph {
+        let mut g = DataflowGraph::new("chain", 32);
+        let mut prev: Option<u32> = None;
+        for i in 0..n {
+            let id = match prev {
+                None => g.add_node(CExpr::konst(Value::ZERO), vec![], vec![i as i64]),
+                Some(p) => g.add_node(
+                    CExpr::dep(0).add(CExpr::konst(Value::real(1.0))),
+                    vec![p],
+                    vec![i as i64],
+                ),
+            };
+            prev = Some(id);
+        }
+        g
+    }
+
+    fn families(g: &DataflowGraph) -> Vec<MappingCandidate> {
+        vec![
+            MappingCandidate::new("serial", Mapping::serial(g)),
+            MappingCandidate::new(
+                "spread",
+                Mapping::Affine(AffineMap {
+                    place: PlaceExpr::row0(IdxExpr::i()),
+                    time: IdxExpr::c(0),
+                }),
+            ),
+            MappingCandidate::new(
+                "diag",
+                Mapping::Affine(AffineMap {
+                    place: PlaceExpr::row0(IdxExpr::i()),
+                    time: IdxExpr::i(),
+                }),
+            ),
+        ]
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "fm-autotune-tuner-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn serial_tuner_matches_search_exactly() {
+        let g = wide(16);
+        let m = MachineConfig::linear(16);
+        let ev = Evaluator::new(&g, &m);
+        let cands = families(&g);
+        let from_search = search(&ev, &g, &m, &cands, FigureOfMerit::Time);
+        let report = Tuner::new(&ev, &g, &m, FigureOfMerit::Time).tune(&cands);
+        assert_eq!(report.evaluated, cands.len());
+        assert_eq!(report.outcome.legal, from_search.legal);
+        assert_eq!(
+            report.best.as_ref().unwrap().label,
+            from_search.best().unwrap().label
+        );
+        assert_eq!(
+            report.best.as_ref().unwrap().score,
+            from_search.best().unwrap().score
+        );
+        assert_eq!(report.cache, CacheStatus::Disabled);
+        assert!(!report.fell_back);
+    }
+
+    #[test]
+    fn parallel_tuner_picks_same_winner() {
+        let g = wide(32);
+        let m = MachineConfig::linear(16);
+        let ev = Evaluator::new(&g, &m);
+        let cands = families(&g);
+        let pool = ThreadPool::with_threads(4);
+        let serial = Tuner::new(&ev, &g, &m, FigureOfMerit::Edp).tune(&cands);
+        let parallel = Tuner::new(&ev, &g, &m, FigureOfMerit::Edp)
+            .with_pool(&pool)
+            .tune(&cands);
+        let (s, p) = (serial.best.unwrap(), parallel.best.unwrap());
+        assert_eq!(s.label, p.label);
+        assert_eq!(s.score, p.score);
+        assert_eq!(s.resolved, p.resolved);
+        // And the full outcomes agree order-for-order.
+        let labels = |o: &SearchOutcome| {
+            o.results
+                .iter()
+                .map(|r| r.label.clone())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(labels(&serial.outcome), labels(&parallel.outcome));
+    }
+
+    #[test]
+    fn max_candidates_prunes_a_prefix() {
+        let g = wide(8);
+        let m = MachineConfig::linear(8);
+        let ev = Evaluator::new(&g, &m);
+        let cands = families(&g);
+        let report = Tuner::new(&ev, &g, &m, FigureOfMerit::Time)
+            .with_budget(Budget::unlimited().with_max_candidates(1))
+            .tune(&cands);
+        assert_eq!(report.evaluated, 1);
+        assert_eq!(report.pruned, 2);
+        assert_eq!(report.best.unwrap().label, "serial");
+    }
+
+    #[test]
+    fn convergence_window_stops_early() {
+        // Many identical candidates after the first: no improvement
+        // past index 0, so a window of ROUND stops after two rounds.
+        let g = wide(4);
+        let m = MachineConfig::linear(4);
+        let ev = Evaluator::new(&g, &m);
+        let mut cands = vec![MappingCandidate::new(
+            "spread",
+            Mapping::Affine(AffineMap {
+                place: PlaceExpr::row0(IdxExpr::i()),
+                time: IdxExpr::c(0),
+            }),
+        )];
+        for i in 0..100 {
+            cands.push(MappingCandidate::new(
+                format!("serial-{i}"),
+                Mapping::serial(&g),
+            ));
+        }
+        let report = Tuner::new(&ev, &g, &m, FigureOfMerit::Time)
+            .with_budget(Budget::unlimited().with_convergence_window(ROUND))
+            .tune(&cands);
+        assert!(report.evaluated < cands.len());
+        assert!(report.pruned > 0);
+        assert_eq!(report.best.unwrap().label, "spread");
+        assert_eq!(report.trajectory.len(), 1);
+    }
+
+    #[test]
+    fn deadline_of_zero_still_evaluates_one_round() {
+        let g = wide(4);
+        let m = MachineConfig::linear(4);
+        let ev = Evaluator::new(&g, &m);
+        let cands = families(&g);
+        let report = Tuner::new(&ev, &g, &m, FigureOfMerit::Time)
+            .with_budget(Budget::unlimited().with_deadline(Duration::ZERO))
+            .tune(&cands);
+        // One round always runs (deadline checked at round boundaries),
+        // and the family fits in one round, so everything is evaluated.
+        assert!(report.evaluated >= 1);
+        assert!(report.best.is_some());
+    }
+
+    #[test]
+    fn falls_back_to_default_mapper_when_nothing_legal() {
+        let g = chain(4);
+        let m = MachineConfig::linear(4);
+        let ev = Evaluator::new(&g, &m);
+        // Dependent nodes forced simultaneous: illegal.
+        let cands = vec![MappingCandidate::new(
+            "all-at-once",
+            Mapping::Affine(AffineMap {
+                place: PlaceExpr::row0(IdxExpr::i()),
+                time: IdxExpr::c(0),
+            }),
+        )];
+        let report = Tuner::new(&ev, &g, &m, FigureOfMerit::Time).tune(&cands);
+        assert!(report.fell_back);
+        let best = report.best.unwrap();
+        assert_eq!(best.label, "default-mapper (fallback)");
+        assert!(check(&g, &best.resolved, &m).is_legal());
+        assert_eq!(report.outcome.legal, 0);
+    }
+
+    #[test]
+    fn cache_hit_skips_evaluation_and_replays_same_winner() {
+        let g = wide(16);
+        let m = MachineConfig::linear(16);
+        let ev = Evaluator::new(&g, &m);
+        let cands = families(&g);
+        let dir = tmpdir("hit");
+
+        let cold = Tuner::new(&ev, &g, &m, FigureOfMerit::Edp)
+            .with_cache(TuningCache::open(&dir).unwrap())
+            .tune(&cands);
+        assert_eq!(cold.cache, CacheStatus::Miss);
+        assert_eq!(cold.evaluated, cands.len());
+
+        let warm = Tuner::new(&ev, &g, &m, FigureOfMerit::Edp)
+            .with_cache(TuningCache::open(&dir).unwrap())
+            .tune(&cands);
+        assert_eq!(warm.cache, CacheStatus::Hit);
+        assert_eq!(warm.evaluated, 0, "hit must skip all evaluation");
+        assert_eq!(warm.pruned, cands.len());
+        let (c, w) = (cold.best.unwrap(), warm.best.unwrap());
+        assert_eq!(c.label, w.label);
+        assert_eq!(c.score, w.score);
+        assert_eq!(c.resolved, w.resolved);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_cache_entry_degrades_to_cold_search() {
+        let g = wide(8);
+        let m = MachineConfig::linear(8);
+        let ev = Evaluator::new(&g, &m);
+        let cands = families(&g);
+        let dir = tmpdir("corrupt");
+
+        let cache = TuningCache::open(&dir).unwrap();
+        let cold = Tuner::new(&ev, &g, &m, FigureOfMerit::Edp)
+            .with_cache(cache.clone())
+            .tune(&cands);
+        // Smash every cache file.
+        for f in std::fs::read_dir(&dir).unwrap() {
+            std::fs::write(f.unwrap().path(), b"]]garbage[[").unwrap();
+        }
+        let after = Tuner::new(&ev, &g, &m, FigureOfMerit::Edp)
+            .with_cache(cache)
+            .tune(&cands);
+        assert_eq!(after.cache, CacheStatus::Miss);
+        assert_eq!(after.evaluated, cands.len());
+        assert_eq!(after.best.unwrap().label, cold.best.unwrap().label);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_cache_entry_is_rechecked_and_rejected() {
+        let g = wide(8);
+        let m = MachineConfig::linear(8);
+        let ev = Evaluator::new(&g, &m);
+        let cands = families(&g);
+        let dir = tmpdir("stale");
+        let cache = TuningCache::open(&dir).unwrap();
+
+        let cold = Tuner::new(&ev, &g, &m, FigureOfMerit::Edp)
+            .with_cache(cache.clone())
+            .tune(&cands);
+        let fp = fingerprint(&g, &m, FigureOfMerit::Edp, &cands);
+        // Forge an entry whose mapping no longer fits the graph.
+        let mut entry = cache.load(fp).unwrap();
+        entry.best.resolved.place.pop();
+        entry.best.resolved.time.pop();
+        cache.store(&entry).unwrap();
+
+        let warm = Tuner::new(&ev, &g, &m, FigureOfMerit::Edp)
+            .with_cache(cache)
+            .tune(&cands);
+        assert_eq!(warm.cache, CacheStatus::Stale);
+        assert_eq!(warm.evaluated, cands.len());
+        assert_eq!(warm.best.unwrap().label, cold.best.unwrap().label);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trajectory_is_monotone_decreasing() {
+        let g = wide(16);
+        let m = MachineConfig::linear(16);
+        let ev = Evaluator::new(&g, &m);
+        let cands = families(&g);
+        let report = Tuner::new(&ev, &g, &m, FigureOfMerit::Edp).tune(&cands);
+        assert!(!report.trajectory.is_empty());
+        for pair in report.trajectory.windows(2) {
+            assert!(pair[1].1 < pair[0].1, "strict improvements only");
+            assert!(pair[1].0 > pair[0].0, "indices ascend");
+        }
+        let last = report.trajectory.last().unwrap();
+        assert_eq!(last.1, report.best.unwrap().score);
+    }
+}

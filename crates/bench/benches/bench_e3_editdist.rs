@@ -42,7 +42,10 @@ fn bench(c: &mut Criterion) {
     let placements = paper_input_placements(p);
     c.bench_function("e3/grid_simulate_64x64_p8", |b| {
         let sim = Simulator::new(machine.clone());
-        b.iter(|| sim.run(black_box(&graph), &rm, &inputs, &placements).unwrap())
+        b.iter(|| {
+            sim.run(black_box(&graph), &rm, &inputs, &placements)
+                .unwrap()
+        })
     });
 }
 

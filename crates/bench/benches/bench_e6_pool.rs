@@ -14,7 +14,9 @@ fn bench(c: &mut Criterion) {
     let mut rng = XorShift::new(3);
     let sort_data: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
     let scan_data: Vec<i64> = (0..n).map(|_| rng.below(1000) as i64).collect();
-    let hw = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
+    let hw = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1);
 
     let mut group = c.benchmark_group("e6");
     for p in [1usize, 2, 4, 8] {

@@ -1,17 +1,26 @@
 //! Regenerates every experiment table in one run (used to produce
 //! EXPERIMENTS.md's measured sections).
 fn main() {
-    print!("{}\n\n", fm_bench::e01_ratios::print(&fm_bench::e01_ratios::run()));
+    print!(
+        "{}\n\n",
+        fm_bench::e01_ratios::print(&fm_bench::e01_ratios::run())
+    );
     let rows = fm_bench::e03_editdist::run(128, &[1, 2, 4, 8, 16, 32, 64, 128], 16);
     print!("{}\n\n", fm_bench::e03_editdist::print(128, &rows));
     let rows = fm_bench::e04_fft_search::run(256, &[4, 8, 16], 16);
     print!("{}\n\n", fm_bench::e04_fft_search::print(256, &rows));
-    print!("{}\n\n", fm_bench::e05_inversion::print(&fm_bench::e05_inversion::run(256, 16)));
+    print!(
+        "{}\n\n",
+        fm_bench::e05_inversion::print(&fm_bench::e05_inversion::run(256, 16))
+    );
     let rows = fm_bench::e06_workspan::run(2_000_000, &[1, 2, 4, 8, 16], 3);
     print!("{}\n\n", fm_bench::e06_workspan::print(&rows));
     let rows = fm_bench::e07_cache::run(64, &[512, 2048, 8192, 32768], 16, 16);
     print!("{}\n\n", fm_bench::e07_cache::print(64, 16, 16, &rows));
-    print!("{}\n\n", fm_bench::e08_default_mapper::print(&fm_bench::e08_default_mapper::run(8, 1)));
+    print!(
+        "{}\n\n",
+        fm_bench::e08_default_mapper::print(&fm_bench::e08_default_mapper::run(8, 1))
+    );
     let rows = fm_bench::e09_composition::run(256, 16);
     print!("{}\n\n", fm_bench::e09_composition::print(256, 16, &rows));
     let rows = fm_bench::e10_bfs::run(&[(1_000, 4), (10_000, 4), (10_000, 16), (100_000, 8)], 7);

@@ -1,6 +1,14 @@
 //! Regenerates the E4 table (FFT mapping search).
+//!
+//! `--quick` shrinks the problem (FFT-64, fewer P values) for a
+//! fast smoke run, e.g. from `ci.sh`.
 fn main() {
-    let n = 256;
-    let rows = fm_bench::e04_fft_search::run(n, &[4, 8, 16], 16);
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (n, p_values, machine_p) = if quick {
+        (64, vec![4, 8], 8)
+    } else {
+        (256, vec![4, 8, 16], 16)
+    };
+    let rows = fm_bench::e04_fft_search::run(n, &p_values, machine_p);
     print!("{}", fm_bench::e04_fft_search::print(n, &rows));
 }

@@ -1,5 +1,10 @@
 //! Regenerates the E8 table (default mapper vs serial vs expert).
+//!
+//! `--quick` shrinks the machine to 4×1 for a fast smoke run, e.g.
+//! from `ci.sh`.
 fn main() {
-    let rows = fm_bench::e08_default_mapper::run(8, 1);
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (cols, rows_m) = if quick { (4, 1) } else { (8, 1) };
+    let rows = fm_bench::e08_default_mapper::run(cols, rows_m);
     print!("{}", fm_bench::e08_default_mapper::print(&rows));
 }

@@ -112,7 +112,9 @@ pub fn print(rows: &[Row]) -> String {
         tech.wire_energy_fj_per_bit_mm,
         tech.wire_delay_ps_per_mm
     ));
-    out.push_str("\nscaling trend (synthetic beyond 5 nm: compute halves, wires \u{2212}10%/gen):\n\n");
+    out.push_str(
+        "\nscaling trend (synthetic beyond 5 nm: compute halves, wires \u{2212}10%/gen):\n\n",
+    );
     let trend_rows: Vec<Vec<String>> = run_trend()
         .iter()
         .map(|r| {

@@ -50,7 +50,9 @@ pub fn run(n: usize, p_values: &[i64], simulate_up_to_p: i64) -> Vec<Row> {
     let mut base: Option<i64> = None;
     for &p in p_values {
         let machine = MachineConfig::linear(p as u32);
-        let literal_rm = paper_literal_mapping(p, n).resolve(&graph, &machine).unwrap();
+        let literal_rm = paper_literal_mapping(p, n)
+            .resolve(&graph, &machine)
+            .unwrap();
         let literal_legal = legality::check(&graph, &literal_rm, &machine).is_legal();
 
         let rm = skewed_mapping(p, n).resolve(&graph, &machine).unwrap();
@@ -65,7 +67,12 @@ pub fn run(n: usize, p_values: &[i64], simulate_up_to_p: i64) -> Vec<Row> {
         let simulated_cycles = if p <= simulate_up_to_p {
             let sim = Simulator::new(machine);
             let res = sim
-                .run(&graph, &rm, &edit_inputs(&r, &q), &paper_input_placements(p))
+                .run(
+                    &graph,
+                    &rm,
+                    &edit_inputs(&r, &q),
+                    &paper_input_placements(p),
+                )
                 .expect("legal mapping simulates");
             Some(res.cycles_actual)
         } else {
@@ -88,9 +95,8 @@ pub fn run(n: usize, p_values: &[i64], simulate_up_to_p: i64) -> Vec<Row> {
 
 /// Render.
 pub fn print(n: usize, rows: &[Row]) -> String {
-    let mut out = format!(
-        "E3 — anti-diagonal edit-distance mapping sweep ({n}x{n}, corrected skew)\n\n"
-    );
+    let mut out =
+        format!("E3 — anti-diagonal edit-distance mapping sweep ({n}x{n}, corrected skew)\n\n");
     let table_rows: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

@@ -5,11 +5,13 @@
 //! search the space of possible mappings to optimize a given figure of
 //! merit."
 
+use fm_autotune::Tuner;
 use fm_core::cost::Evaluator;
 use fm_core::machine::MachineConfig;
 use fm_core::mapping::InputPlacement;
-use fm_core::search::{search, FigureOfMerit};
+use fm_core::search::FigureOfMerit;
 use fm_kernels::fft::{fft_graph, fft_radix4_graph, FftFamily, FftVariant};
+use fm_workspan::ThreadPool;
 
 use crate::table;
 
@@ -38,19 +40,31 @@ pub fn run(n: usize, p_values: &[u32], machine_p: u32) -> Vec<Row> {
         p_values: p_values.to_vec(),
     };
     let mut rows = Vec::new();
-    let mut graphs = vec![
-        fft_graph(n, FftVariant::Dit),
-        fft_graph(n, FftVariant::Dif),
-    ];
+    let mut graphs = vec![fft_graph(n, FftVariant::Dit), fft_graph(n, FftVariant::Dif)];
     // "different radix FFT" — a third function when n is a power of 4.
     if n.trailing_zeros().is_multiple_of(2) {
         graphs.push(fft_radix4_graph(n));
     }
+    // Candidate evaluation fans out across the pool via the tuner; the
+    // assembled outcome is identical to the serial `search()` by the
+    // tuner's determinism guarantee.
+    let pool = ThreadPool::with_threads(
+        std::thread::available_parallelism()
+            .map(|n| n.get().min(8))
+            .unwrap_or(2),
+    );
     for graph in graphs {
         let cands = family.candidates_for(&graph, &machine);
         let ev = Evaluator::new(&graph, &machine).with_all_inputs(InputPlacement::AtUse);
-        let outcome = search(&ev, &graph, &machine, &cands, FigureOfMerit::Edp);
-        assert_eq!(outcome.legal, cands.len(), "family must be legal by construction");
+        let outcome = Tuner::new(&ev, &graph, &machine, FigureOfMerit::Edp)
+            .with_pool(&pool)
+            .tune(&cands)
+            .outcome;
+        assert_eq!(
+            outcome.legal,
+            cands.len(),
+            "family must be legal by construction"
+        );
         let _ = &graph;
         for r in &outcome.results {
             rows.push(Row {
@@ -79,7 +93,8 @@ pub fn run(n: usize, p_values: &[u32], machine_p: u32) -> Vec<Row> {
 
 /// Render.
 pub fn print(n: usize, rows: &[Row]) -> String {
-    let mut out = format!("E4 — mapping search over FFT{n} functions and mappings (ranked by EDP)\n\n");
+    let mut out =
+        format!("E4 — mapping search over FFT{n} functions and mappings (ranked by EDP)\n\n");
     let table_rows: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -94,7 +109,14 @@ pub fn print(n: usize, rows: &[Row]) -> String {
         })
         .collect();
     out.push_str(&table::render(
-        &["candidate", "cycles", "energy pJ", "EDP", "bit·mm", "pareto"],
+        &[
+            "candidate",
+            "cycles",
+            "energy pJ",
+            "EDP",
+            "bit·mm",
+            "pareto",
+        ],
         &table_rows,
     ));
     out.push_str("\n'*' marks the global time/energy Pareto front across both functions.\n");
@@ -146,17 +168,19 @@ mod tests {
         // DIF pays the gather on top of DIT's movement: always dominated.
         assert!(front.iter().all(|r| !r.label.contains("dif")));
         // Radix-4 owns the fast end of the front (fewest rounds).
-        let fastest = front
-            .iter()
-            .min_by_key(|r| r.cycles)
-            .unwrap();
+        let fastest = front.iter().min_by_key(|r| r.cycles).unwrap();
         assert!(fastest.label.contains("radix4"), "{}", fastest.label);
     }
 
     #[test]
     fn more_processors_fewer_cycles() {
         let rows = run(64, &[2, 8], 8);
-        let cycles = |label: &str| rows.iter().find(|r| r.label.contains(label)).unwrap().cycles;
+        let cycles = |label: &str| {
+            rows.iter()
+                .find(|r| r.label.contains(label))
+                .unwrap()
+                .cycles
+        };
         assert!(cycles("dit Block P=8") < cycles("dit Block P=2"));
     }
 }

@@ -131,7 +131,12 @@ pub fn print(rows: &[Row]) -> String {
         })
         .collect();
     out.push_str(&table::render(
-        &["pair", "unit-cost ratio", "physical ratio", "lenses disagree"],
+        &[
+            "pair",
+            "unit-cost ratio",
+            "physical ratio",
+            "lenses disagree",
+        ],
         &table_rows,
     ));
     out.push_str(

@@ -46,7 +46,9 @@ fn time_best<F: FnMut()>(mut f: F, reps: u32) -> f64 {
 /// Run the measurement. `p_values` are filtered to the host's
 /// parallelism (Brent's bound presumes real processors).
 pub fn run(n: usize, p_values: &[usize], reps: u32) -> Vec<Row> {
-    let hw = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
+    let hw = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1);
     let mut rng = XorShift::new(2024);
     let sort_data: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
     let scan_data: Vec<i64> = (0..n).map(|_| rng.below(1000) as i64).collect();
@@ -110,9 +112,8 @@ pub fn run(n: usize, p_values: &[usize], reps: u32) -> Vec<Row> {
 
 /// Render.
 pub fn print(rows: &[Row]) -> String {
-    let mut out = String::from(
-        "E6 — greedy bound T_P <= W/P + S on the work-stealing pool (2x grace)\n\n",
-    );
+    let mut out =
+        String::from("E6 — greedy bound T_P <= W/P + S on the work-stealing pool (2x grace)\n\n");
     let table_rows: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -144,7 +145,11 @@ mod tests {
         let rows = run(200_000, &[1, 2], 2);
         assert!(!rows.is_empty());
         for r in &rows {
-            assert!(r.held, "{} P={} : {} vs bound {}", r.kernel, r.p, r.t_seconds, r.bound_seconds);
+            assert!(
+                r.held,
+                "{} P={} : {} vs bound {}",
+                r.kernel, r.p, r.t_seconds, r.bound_seconds
+            );
         }
     }
 

@@ -36,11 +36,7 @@ pub fn run(n: usize, z_values: &[usize], l_words: usize, blocked_tile: usize) ->
     let mut rows = Vec::new();
     for &z in z_values {
         let bound = (n as f64).powi(3) / (l_words as f64 * (z as f64).sqrt());
-        for (name, trace) in [
-            ("naive", 0u8),
-            ("blocked", 1),
-            ("oblivious", 2),
-        ] {
+        for (name, trace) in [("naive", 0u8), ("blocked", 1), ("oblivious", 2)] {
             let mut cache = IdealCache::new(z, l_words);
             match trace {
                 0 => trace_matmul_naive(n, &mut cache),
@@ -78,7 +74,13 @@ pub fn print(n: usize, l: usize, tile: usize, rows: &[Row]) -> String {
         })
         .collect();
     out.push_str(&table::render(
-        &["variant", "Z words", "misses", "miss rate", "misses/(n³/L√Z)"],
+        &[
+            "variant",
+            "Z words",
+            "misses",
+            "miss rate",
+            "misses/(n³/L√Z)",
+        ],
         &table_rows,
     ));
     out.push_str(

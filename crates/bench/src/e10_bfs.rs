@@ -77,7 +77,16 @@ pub fn print(rows: &[Row]) -> String {
         })
         .collect();
     out.push_str(&table::render(
-        &["V", "E", "serial ops", "XMT work", "XMT depth", "levels", "par", "T(64)"],
+        &[
+            "V",
+            "E",
+            "serial ops",
+            "XMT work",
+            "XMT depth",
+            "levels",
+            "par",
+            "T(64)",
+        ],
         &table_rows,
     ));
     out.push_str("\nserial ops form a chain; XMT work is the same order but its depth\nis two spawn blocks per BFS level — the queue was the only obstacle.\n");

@@ -132,7 +132,14 @@ pub fn print(rows: &[Row], agg: &[AggRow]) -> String {
         })
         .collect();
     out.push_str(&table::render(
-        &["config", "events", "bits", "bit·mm", "bits/msg", "peak tile"],
+        &[
+            "config",
+            "events",
+            "bits",
+            "bit·mm",
+            "bits/msg",
+            "peak tile",
+        ],
         &table_rows,
     ));
     out.push_str("\naggregation sweep (stencil halo batching, per boundary):\n\n");

@@ -119,7 +119,14 @@ pub fn print(n: usize, rows: &[Row]) -> String {
         })
         .collect();
     out.push_str(&table::render(
-        &["P", "cycles", "speedup", "energy pJ", "efficiency", "log10(combined)"],
+        &[
+            "P",
+            "cycles",
+            "speedup",
+            "energy pJ",
+            "efficiency",
+            "log10(combined)",
+        ],
         &table_rows,
     ));
     out.push_str(

@@ -123,9 +123,8 @@ pub fn run(consumers: usize, expr_ops_sweep: &[usize], pes: u32) -> Vec<Row> {
 
 /// Render.
 pub fn print(rows: &[Row]) -> String {
-    let mut out = String::from(
-        "E13 (ablation) — recompute vs communicate: broadcast to k consumers\n\n",
-    );
+    let mut out =
+        String::from("E13 (ablation) — recompute vs communicate: broadcast to k consumers\n\n");
     let table_rows: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -140,7 +139,14 @@ pub fn print(rows: &[Row]) -> String {
         })
         .collect();
     out.push_str(&table::render(
-        &["producer ops", "consumers", "unicast pJ", "multicast pJ", "recompute pJ", "winner"],
+        &[
+            "producer ops",
+            "consumers",
+            "unicast pJ",
+            "multicast pJ",
+            "recompute pJ",
+            "winner",
+        ],
         &table_rows,
     ));
     out.push_str(

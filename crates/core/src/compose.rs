@@ -115,7 +115,11 @@ pub fn remap_cost_homes(
     width_bits: u32,
     machine: &MachineConfig,
 ) -> RemapReport {
-    assert_eq!(from.len(), to.len(), "remap endpoints must cover the same elements");
+    assert_eq!(
+        from.len(),
+        to.len(),
+        "remap endpoints must cover the same elements"
+    );
     let mut report = RemapReport::default();
     let width = u64::from(width_bits);
     let mut per_source: std::collections::HashMap<(i64, i64), i64> =
@@ -155,7 +159,12 @@ pub fn remap_cost(
     machine: &MachineConfig,
 ) -> RemapReport {
     assert_eq!(from.dims, to.dims, "remap layouts must have equal shape");
-    remap_cost_homes(&from.homes(machine), &to.homes(machine), width_bits, machine)
+    remap_cost_homes(
+        &from.homes(machine),
+        &to.homes(machine),
+        width_bits,
+        machine,
+    )
 }
 
 /// Price a *gather*: element `i` of the destination reads
@@ -170,7 +179,11 @@ pub fn gather_cost(
     width_bits: u32,
     machine: &MachineConfig,
 ) -> RemapReport {
-    assert_eq!(indices.len(), dst.len(), "one source index per destination element");
+    assert_eq!(
+        indices.len(),
+        dst.len(),
+        "one source index per destination element"
+    );
     let src_homes = src.homes(machine);
     let dst_homes = dst.homes(machine);
     let from: Vec<(i64, i64)> = indices
@@ -193,7 +206,11 @@ pub fn scatter_cost(
     width_bits: u32,
     machine: &MachineConfig,
 ) -> RemapReport {
-    assert_eq!(indices.len(), src.len(), "one destination index per source element");
+    assert_eq!(
+        indices.len(),
+        src.len(),
+        "one destination index per source element"
+    );
     let src_homes = src.homes(machine);
     let dst_homes = dst.homes(machine);
     let to: Vec<(i64, i64)> = indices
@@ -379,7 +396,16 @@ mod tests {
         let homes = b.homes(&m);
         assert_eq!(
             homes,
-            vec![(0, 0), (0, 0), (1, 0), (1, 0), (2, 0), (2, 0), (3, 0), (3, 0)]
+            vec![
+                (0, 0),
+                (0, 0),
+                (1, 0),
+                (1, 0),
+                (2, 0),
+                (2, 0),
+                (3, 0),
+                (3, 0)
+            ]
         );
     }
 
@@ -410,7 +436,7 @@ mod tests {
         let perm: Vec<usize> = (0..8).rev().collect();
         let r = shuffle_cost(&lay, &lay, &perm, 32, &m);
         assert_eq!(r.moved, 8); // every element crosses
-        // Longest move is 7 hops.
+                                // Longest move is 7 hops.
         assert!(r.cycles >= 7);
     }
 
@@ -463,8 +489,9 @@ mod tests {
         let m = MachineConfig::linear(4);
         let (g, rm) = idiom_reduce(16, 4, 32, &m);
         assert!(check(&g, &rm, &m).is_legal());
-        let x: Vec<crate::value::Value> =
-            (0..16).map(|i| crate::value::Value::real(i as f64)).collect();
+        let x: Vec<crate::value::Value> = (0..16)
+            .map(|i| crate::value::Value::real(i as f64))
+            .collect();
         let vals = g.eval(&[x]);
         assert_eq!(vals.last().unwrap().re, 120.0); // Σ 0..15
     }
@@ -534,6 +561,11 @@ mod tests {
     #[should_panic(expected = "equal shape")]
     fn remap_shape_mismatch_rejected() {
         let m = MachineConfig::linear(4);
-        remap_cost(&DataLayout::cyclic(8, 4), &DataLayout::cyclic(16, 4), 32, &m);
+        remap_cost(
+            &DataLayout::cyclic(8, 4),
+            &DataLayout::cyclic(16, 4),
+            32,
+            &m,
+        );
     }
 }

@@ -30,7 +30,7 @@
 
 use std::collections::HashSet;
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use fm_costmodel::{EnergyLedger, Femtojoules, OpKind, Picoseconds};
 
@@ -51,7 +51,7 @@ fn unflatten(spec: &InputSpec, flat: u32) -> Vec<i64> {
 }
 
 /// The outcome of evaluating one mapped function.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CostReport {
     /// Graph name.
     pub name: String,
@@ -204,7 +204,9 @@ impl<'a> Evaluator<'a> {
                     let dests: Vec<(u32, u32)> =
                         pes.iter().map(|p| (p.0 as u32, p.1 as u32)).collect();
                     let (mm, _links) = m.multicast_route(a, &dests);
-                    let e = m.tech.wire_energy(width, fm_costmodel::Millimeters::new(mm));
+                    let e = m
+                        .tech
+                        .wire_energy(width, fm_costmodel::Millimeters::new(mm));
                     ledger.charge_onchip(width, mm, e);
                 }
             } else {

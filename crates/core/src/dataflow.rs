@@ -130,11 +130,7 @@ impl CExpr {
     }
 
     /// Evaluate given dependency-slot values and an input resolver.
-    pub fn eval(
-        &self,
-        dep_vals: &[Value],
-        input_at: &mut impl FnMut(u32, u32) -> Value,
-    ) -> Value {
+    pub fn eval(&self, dep_vals: &[Value], input_at: &mut impl FnMut(u32, u32) -> Value) -> Value {
         match self {
             CExpr::Leaf(Leaf::Dep(k)) => dep_vals[*k as usize],
             CExpr::Leaf(Leaf::In { input, flat }) => input_at(*input, *flat),
@@ -360,8 +356,7 @@ impl DataflowGraph {
         for n in &self.nodes {
             dep_buf.clear();
             dep_buf.extend(n.deps.iter().map(|&d| vals[d as usize]));
-            let mut input_at =
-                |input: u32, flat: u32| inputs[input as usize][flat as usize];
+            let mut input_at = |input: u32, flat: u32| inputs[input as usize][flat as usize];
             vals.push(n.expr.eval(&dep_buf, &mut input_at));
         }
         vals
@@ -398,8 +393,16 @@ mod tests {
     fn diamond() -> DataflowGraph {
         let mut g = DataflowGraph::new("diamond", 32);
         let s = g.add_node(CExpr::konst(Value::real(1.0)), vec![], vec![]);
-        let a = g.add_node(CExpr::dep(0).add(CExpr::konst(Value::real(2.0))), vec![s], vec![]);
-        let b = g.add_node(CExpr::dep(0).mul(CExpr::konst(Value::real(3.0))), vec![s], vec![]);
+        let a = g.add_node(
+            CExpr::dep(0).add(CExpr::konst(Value::real(2.0))),
+            vec![s],
+            vec![],
+        );
+        let b = g.add_node(
+            CExpr::dep(0).mul(CExpr::konst(Value::real(3.0))),
+            vec![s],
+            vec![],
+        );
         let d = g.add_node(CExpr::dep(0).add(CExpr::dep(1)), vec![a, b], vec![]);
         g.mark_output(d);
         g

@@ -403,11 +403,7 @@ mod tests {
         // A final consumer of all of them (fold).
         let mut acc = ids[0];
         for &id in &ids[1..] {
-            acc = g.add_node(
-                CExpr::dep(0).add(CExpr::dep(1)),
-                vec![acc, id],
-                vec![99],
-            );
+            acc = g.add_node(CExpr::dep(0).add(CExpr::dep(1)), vec![acc, id], vec![99]);
         }
         let mut m = MachineConfig::linear(1);
         m.issue_width = 1;

@@ -224,7 +224,9 @@ impl ArchitectureDescr {
             self.pe.issue_width, self.pe.tile_bits
         ));
         for (unit, count) in &self.pe.op_mix {
-            s.push_str(&format!("        // unit {unit}: {count} ops over the schedule\n"));
+            s.push_str(&format!(
+                "        // unit {unit}: {count} ops over the schedule\n"
+            ));
         }
         s.push_str("      end\n    end\n  endgenerate\n");
         s.push_str(&format!(
@@ -326,7 +328,9 @@ mod tests {
         };
         let errors = arch.check_fits(&tiny);
         assert!(errors.iter().any(|e| matches!(e, FitError::Grid { .. })));
-        assert!(errors.iter().any(|e| matches!(e, FitError::TileBits { .. })));
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, FitError::TileBits { .. })));
     }
 
     #[test]

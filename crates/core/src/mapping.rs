@@ -154,10 +154,16 @@ impl std::fmt::Display for MappingError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             MappingError::MissingIndex { node } => {
-                write!(f, "affine mapping applied to node {node} with no domain index")
+                write!(
+                    f,
+                    "affine mapping applied to node {node} with no domain index"
+                )
             }
             MappingError::LengthMismatch { table, graph } => {
-                write!(f, "table mapping has {table} entries for a graph of {graph} nodes")
+                write!(
+                    f,
+                    "table mapping has {table} entries for a graph of {graph} nodes"
+                )
             }
         }
     }
@@ -218,7 +224,11 @@ impl Mapping {
     }
 
     /// Resolve against a graph.
-    pub fn resolve(&self, graph: &DataflowGraph, machine: &MachineConfig) -> Result<ResolvedMapping, MappingError> {
+    pub fn resolve(
+        &self,
+        graph: &DataflowGraph,
+        machine: &MachineConfig,
+    ) -> Result<ResolvedMapping, MappingError> {
         match self {
             Mapping::Affine(am) => {
                 let mut place = Vec::with_capacity(graph.len());

@@ -127,9 +127,7 @@ fn lex(src: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
             out.push((start, Tok::Ident(src[start..i].to_string())));
         } else if c.is_ascii_digit() {
             let start = i;
-            while i < bytes.len()
-                && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.')
-            {
+            while i < bytes.len() && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.') {
                 i += 1;
             }
             let n: f64 = src[start..i].parse().map_err(|_| ParseError {
@@ -217,7 +215,9 @@ impl<'a> Parser<'a> {
 
     fn param(&self, name: &str) -> Result<f64, ParseError> {
         self.env.params.get(name).copied().ok_or_else(|| {
-            self.err(format!("unbound parameter '{name}' (add it to ParseEnv::params)"))
+            self.err(format!(
+                "unbound parameter '{name}' (add it to ParseEnv::params)"
+            ))
         })
     }
 
@@ -268,8 +268,7 @@ impl<'a> Parser<'a> {
                 };
             } else if self.eat_sym('%') {
                 let rhs = self.idx_factor()?;
-                let m = const_of(&rhs)
-                    .ok_or_else(|| self.err("'%' needs a constant modulus"))?;
+                let m = const_of(&rhs).ok_or_else(|| self.err("'%' needs a constant modulus"))?;
                 acc = acc % m;
             } else {
                 return Ok(acc);
@@ -296,8 +295,8 @@ impl<'a> Parser<'a> {
                 let num = self.idx_expr()?;
                 self.expect_sym('/')?;
                 let den = self.idx_factor()?;
-                let d = const_of(&den)
-                    .ok_or_else(|| self.err("floor() divisor must be constant"))?;
+                let d =
+                    const_of(&den).ok_or_else(|| self.err("floor() divisor must be constant"))?;
                 self.expect_sym(')')?;
                 Ok(num.div(d))
             }
@@ -514,7 +513,10 @@ impl<'a> Parser<'a> {
         self.expect_ident("Map")?;
         let name = self.ident()?;
         if name != self.lhs {
-            return Err(self.err(format!("Map target '{name}' is not the tensor '{}'", self.lhs)));
+            return Err(self.err(format!(
+                "Map target '{name}' is not the tensor '{}'",
+                self.lhs
+            )));
         }
         self.expect_sym('(')?;
         for k in 0..self.vars.len() {
@@ -627,8 +629,11 @@ Map H(i,j) at i % P  time floor(i/P)*N + j";
         let g = parsed.recurrence.elaborate().unwrap();
         let r = b"ACGTACGTACGT";
         let q = b"AGGTACGTTCGA";
-        let to_vals =
-            |s: &[u8]| s.iter().map(|&c| Value::real(f64::from(c))).collect::<Vec<_>>();
+        let to_vals = |s: &[u8]| {
+            s.iter()
+                .map(|&c| Value::real(f64::from(c)))
+                .collect::<Vec<_>>()
+        };
         let vals = g.eval(&[to_vals(r), to_vals(q)]);
 
         // Reference: the paper's local form via the kernel crate's
@@ -664,11 +669,7 @@ Map H(i,j) at i % P  time floor(i/P)*N + j";
         let parsed = parse(PAPER, &env(n, p)).unwrap();
         let g = parsed.recurrence.elaborate().unwrap();
         let machine = MachineConfig::linear(p as u32);
-        let rm = parsed
-            .mapping
-            .unwrap()
-            .resolve(&g, &machine)
-            .unwrap();
+        let rm = parsed.mapping.unwrap().resolve(&g, &machine).unwrap();
         // Spot-check the paper's formulas: place = i % P, time =
         // floor(i/P)*N + j.
         let id = parsed.recurrence.domain.flatten(&[5, 3]).unwrap();
@@ -734,6 +735,9 @@ Map H(i,j) at i % P  time floor(i/P)*N + j";
     fn trailing_garbage_rejected() {
         let env = ParseEnv::new(&[("N", 4.0)], &[]);
         let err = parse("Forall i in (0:N-1) S(i) = 1 ; nonsense", &env).unwrap_err();
-        assert!(err.message.contains("Map") || err.message.contains("expected"), "{err}");
+        assert!(
+            err.message.contains("Map") || err.message.contains("expected"),
+            "{err}"
+        );
     }
 }

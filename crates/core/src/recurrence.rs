@@ -204,13 +204,22 @@ impl std::fmt::Display for RecurrenceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RecurrenceError::NotWellFounded { offset } => {
-                write!(f, "self-reference offset {offset:?} is not lexicographically negative")
+                write!(
+                    f,
+                    "self-reference offset {offset:?} is not lexicographically negative"
+                )
             }
             RecurrenceError::RankMismatch { offset, rank } => {
-                write!(f, "self-reference offset {offset:?} does not match domain rank {rank}")
+                write!(
+                    f,
+                    "self-reference offset {offset:?} does not match domain rank {rank}"
+                )
             }
             RecurrenceError::InputOutOfRange { input, at, index } => {
-                write!(f, "input {input} read at {index:?} (from domain point {at:?}) is out of range")
+                write!(
+                    f,
+                    "input {input} read at {index:?} (from domain point {at:?}) is out of range"
+                )
             }
             RecurrenceError::UnknownInput { input } => write!(f, "unknown input {input}"),
         }
@@ -382,18 +391,16 @@ impl Recurrence {
             ElemExpr::Input(r) => {
                 let resolved: Vec<i64> = r.index.iter().map(|ix| ix.eval(idx)).collect();
                 let spec = &self.inputs[r.input];
-                let flat = spec.flatten(&resolved).ok_or_else(|| {
-                    RecurrenceError::InputOutOfRange {
-                        input: r.input,
-                        at: idx.to_vec(),
-                        index: resolved.clone(),
-                    }
-                })?;
+                let flat =
+                    spec.flatten(&resolved)
+                        .ok_or_else(|| RecurrenceError::InputOutOfRange {
+                            input: r.input,
+                            at: idx.to_vec(),
+                            index: resolved.clone(),
+                        })?;
                 CExpr::input(r.input as u32, flat as u32)
             }
-            ElemExpr::Neg(a) => {
-                CExpr::Neg(Box::new(self.compile_inner(a, idx, deps, point_buf)?))
-            }
+            ElemExpr::Neg(a) => CExpr::Neg(Box::new(self.compile_inner(a, idx, deps, point_buf)?)),
             ElemExpr::Bin(op, a, b) => {
                 let ca = self.compile_inner(a, idx, deps, point_buf)?;
                 let cb = self.compile_inner(b, idx, deps, point_buf)?;

@@ -115,36 +115,78 @@ impl SearchOutcome {
     }
 }
 
-/// Exhaustively evaluate a candidate list.
-pub fn search(
+/// The outcome of evaluating one candidate in isolation: the pure
+/// resolve → legality-check → cost step that [`search`] runs per
+/// candidate, exposed so callers (e.g. the `fm-autotune` tuner) can fan
+/// candidates across threads and still assemble a [`SearchOutcome`]
+/// identical to the serial one via [`assemble_outcome`].
+#[derive(Debug, Clone)]
+pub enum CandidateEval {
+    /// Legal: the resolved mapping, its cost report, and its score.
+    Legal {
+        /// The fully resolved (table) mapping.
+        resolved: ResolvedMapping,
+        /// The evaluator's cost report.
+        report: CostReport,
+        /// Score under the figure of merit (lower is better).
+        score: f64,
+    },
+    /// The mapping failed to resolve on this machine.
+    Unresolvable,
+    /// The mapping resolved but violated legality (violation count).
+    Illegal(u64),
+}
+
+/// Evaluate a single candidate: resolve, legality-check, cost.
+///
+/// Pure in the sense that it reads only its arguments, so calls for
+/// distinct candidates may run concurrently.
+pub fn evaluate_candidate(
     evaluator: &Evaluator<'_>,
     graph: &DataflowGraph,
     machine: &MachineConfig,
-    candidates: &[MappingCandidate],
+    candidate: &MappingCandidate,
     fom: FigureOfMerit,
+) -> CandidateEval {
+    let rm = match candidate.mapping.resolve(graph, machine) {
+        Ok(rm) => rm,
+        Err(_) => return CandidateEval::Unresolvable,
+    };
+    let rep = check(graph, &rm, machine);
+    if !rep.is_legal() {
+        return CandidateEval::Illegal(rep.total_violations);
+    }
+    let report = evaluator.evaluate(&rm);
+    let score = fom.score(&report);
+    CandidateEval::Legal {
+        resolved: rm,
+        report,
+        score,
+    }
+}
+
+/// Assemble per-candidate evaluations (in candidate order) into a
+/// [`SearchOutcome`]. The sort is stable, so ties on score resolve
+/// toward the earlier candidate — the winner does not depend on how the
+/// evaluations were computed, only on their order here.
+pub fn assemble_outcome(
+    candidates: &[MappingCandidate],
+    evals: impl IntoIterator<Item = CandidateEval>,
 ) -> SearchOutcome {
     let mut results = Vec::new();
     let mut rejected = Vec::new();
-    for cand in candidates {
-        let rm = match cand.mapping.resolve(graph, machine) {
-            Ok(rm) => rm,
-            Err(_) => {
-                rejected.push((cand.label.clone(), u64::MAX));
-                continue;
+    for (cand, eval) in candidates.iter().zip(evals) {
+        match eval {
+            CandidateEval::Legal { report, score, .. } => results.push(SearchResult {
+                label: cand.label.clone(),
+                report,
+                score,
+            }),
+            CandidateEval::Unresolvable => rejected.push((cand.label.clone(), u64::MAX)),
+            CandidateEval::Illegal(violations) => {
+                rejected.push((cand.label.clone(), violations));
             }
-        };
-        let rep = check(graph, &rm, machine);
-        if !rep.is_legal() {
-            rejected.push((cand.label.clone(), rep.total_violations));
-            continue;
         }
-        let report = evaluator.evaluate(&rm);
-        let score = fom.score(&report);
-        results.push(SearchResult {
-            label: cand.label.clone(),
-            report,
-            score,
-        });
     }
     results.sort_by(|a, b| a.score.total_cmp(&b.score));
     let pareto = pareto_front(&results);
@@ -155,6 +197,22 @@ pub fn search(
         results,
         pareto,
     }
+}
+
+/// Exhaustively evaluate a candidate list.
+pub fn search(
+    evaluator: &Evaluator<'_>,
+    graph: &DataflowGraph,
+    machine: &MachineConfig,
+    candidates: &[MappingCandidate],
+    fom: FigureOfMerit,
+) -> SearchOutcome {
+    assemble_outcome(
+        candidates,
+        candidates
+            .iter()
+            .map(|c| evaluate_candidate(evaluator, graph, machine, c, fom)),
+    )
 }
 
 /// Indices of the time/energy Pareto-optimal results, ascending in time.
@@ -292,6 +350,11 @@ pub fn retime(
 /// neighboring PEs, re-derives times with [`retime`], and accepts by
 /// the Metropolis rule on the figure-of-merit score. Returns the best
 /// mapping found and its report.
+///
+/// All randomness flows from the explicit `seed`: the same
+/// (inputs, seed) pair always returns the identical mapping and
+/// report, so annealed results are reproducible and cacheable (the
+/// `fm-autotune` tuning cache relies on this).
 pub fn anneal(
     evaluator: &Evaluator<'_>,
     graph: &DataflowGraph,
@@ -331,8 +394,8 @@ pub fn anneal(
         places[node] = cand;
         let rm = retime(graph, &places, machine);
         let score = fom.score(&evaluator.evaluate(&rm));
-        let accept = score <= current_score
-            || rng.random::<f64>() < ((current_score - score) / temp).exp();
+        let accept =
+            score <= current_score || rng.random::<f64>() < ((current_score - score) / temp).exp();
         if accept {
             current = rm;
             current_score = score;
@@ -478,7 +541,11 @@ mod tests {
         let m = MachineConfig::n5(4, 4);
         let rm = default_mapper(&g, &m);
         let rep = check(&g, &rm, &m);
-        assert!(rep.is_legal(), "{:?}", &rep.errors[..rep.errors.len().min(3)]);
+        assert!(
+            rep.is_legal(),
+            "{:?}",
+            &rep.errors[..rep.errors.len().min(3)]
+        );
     }
 
     #[test]
@@ -529,5 +596,29 @@ mod tests {
         let (best_rm, best_rep) = anneal(&ev, &g, &m, &init, FigureOfMerit::Energy, 400, 7);
         assert!(best_rep.energy().raw() <= init_score);
         assert!(check(&g, &best_rm, &m).is_legal());
+    }
+
+    #[test]
+    fn anneal_is_deterministic_in_its_seed() {
+        let g = chain(12);
+        let m = MachineConfig::n5(4, 2);
+        let ev = Evaluator::new(&g, &m);
+        let places: Vec<(i64, i64)> = (0..12)
+            .map(|i| if i % 2 == 0 { (0, 0) } else { (3, 1) })
+            .collect();
+        let init = retime(&g, &places, &m);
+        // Same seed: bit-identical mapping and report, run to run.
+        let (rm_a, rep_a) = anneal(&ev, &g, &m, &init, FigureOfMerit::Energy, 300, 11);
+        let (rm_b, rep_b) = anneal(&ev, &g, &m, &init, FigureOfMerit::Energy, 300, 11);
+        assert_eq!(rm_a, rm_b);
+        assert_eq!(rep_a.cycles, rep_b.cycles);
+        assert_eq!(rep_a.energy().raw(), rep_b.energy().raw());
+        // A different seed explores a different trajectory; both stay
+        // legal and neither regresses below the shared start point.
+        let (rm_c, rep_c) = anneal(&ev, &g, &m, &init, FigureOfMerit::Energy, 300, 12);
+        assert!(check(&g, &rm_c, &m).is_legal());
+        let init_score = FigureOfMerit::Energy.score(&ev.evaluate(&init));
+        assert!(rep_a.energy().raw() <= init_score);
+        assert!(rep_c.energy().raw() <= init_score);
     }
 }

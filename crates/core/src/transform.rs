@@ -98,11 +98,7 @@ pub fn recompute_at_consumers(
         }
     }
 
-    (
-        out,
-        ResolvedMapping { place, time },
-        remap,
-    )
+    (out, ResolvedMapping { place, time }, remap)
 }
 
 #[cfg(test)]

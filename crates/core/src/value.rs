@@ -137,7 +137,13 @@ impl fmt::Display for Value {
         if self.im == 0.0 {
             write!(f, "{}", self.re)
         } else {
-            write!(f, "{}{}{}i", self.re, if self.im < 0.0 { "" } else { "+" }, self.im)
+            write!(
+                f,
+                "{}{}{}i",
+                self.re,
+                if self.im < 0.0 { "" } else { "+" },
+                self.im
+            )
         }
     }
 }

@@ -82,9 +82,15 @@ pub fn render_schedule(graph: &DataflowGraph, rm: &ResolvedMapping) -> String {
     out.push_str(&"-".repeat(makespan * (width + 1)));
     out.push('\n');
     for pe in &pes {
-        out.push_str(&format!("{:<row_head_w$} |", format!("({},{})", pe.0, pe.1)));
+        out.push_str(&format!(
+            "{:<row_head_w$} |",
+            format!("({},{})", pe.0, pe.1)
+        ));
         for t in 0..makespan {
-            out.push_str(&format!(" {:>width$}", fmt_cell(cells.get(&(*pe, t as i64)))));
+            out.push_str(&format!(
+                " {:>width$}",
+                fmt_cell(cells.get(&(*pe, t as i64)))
+            ));
         }
         out.push('\n');
     }

@@ -126,8 +126,7 @@ impl ClaimedRatios {
         target: f64,
     ) -> Millimeters {
         let op = tech.op_energy(OpKind::add(width)).raw();
-        let per_mm =
-            f64::from(operand_count) * f64::from(width) * tech.wire_energy_fj_per_bit_mm;
+        let per_mm = f64::from(operand_count) * f64::from(width) * tech.wire_energy_fj_per_bit_mm;
         Millimeters::new(((target - 1.0) * op / per_mm).max(0.0))
     }
 }
@@ -199,7 +198,13 @@ mod tests {
             if c.id == "remote_operands_10mm" {
                 assert!(c.derived >= c.claimed);
             } else {
-                assert!(c.holds(0.15), "{}: derived {} vs claimed {}", c.id, c.derived, c.claimed);
+                assert!(
+                    c.holds(0.15),
+                    "{}: derived {} vs claimed {}",
+                    c.id,
+                    c.derived,
+                    c.claimed
+                );
             }
         }
     }

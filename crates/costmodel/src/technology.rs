@@ -71,7 +71,10 @@ impl Technology {
     /// scaling *down* in feature size. This constructor exists for
     /// trend experiments; only the 5 nm point comes from the paper.
     pub fn scaled(&self, name: impl Into<String>, compute_scale: f64, wire_scale: f64) -> Self {
-        assert!(compute_scale > 0.0 && wire_scale > 0.0, "scales must be positive");
+        assert!(
+            compute_scale > 0.0 && wire_scale > 0.0,
+            "scales must be positive"
+        );
         Technology {
             name: name.into(),
             add_energy_fj_per_bit: self.add_energy_fj_per_bit * compute_scale,
@@ -144,7 +147,12 @@ impl Technology {
     /// a point `dist` away and perform the op locally — the paper's
     /// "adding two numbers that are co-located at a distant point"
     /// scenario.
-    pub fn remote_op_energy(&self, op: OpKind, operand_count: u32, dist: Millimeters) -> Femtojoules {
+    pub fn remote_op_energy(
+        &self,
+        op: OpKind,
+        operand_count: u32,
+        dist: Millimeters,
+    ) -> Femtojoules {
         let transport = self.wire_energy(u64::from(operand_count) * u64::from(op.width), dist);
         self.op_energy(op) + transport
     }
@@ -213,7 +221,8 @@ mod tests {
         let n5 = Technology::n5();
         let n3ish = n5.scaled("3nm-ish", 0.5, 1.0);
         let ratio = |t: &Technology| {
-            t.wire_energy(32, Millimeters::new(1.0)).ratio(t.op_energy(OpKind::add32()))
+            t.wire_energy(32, Millimeters::new(1.0))
+                .ratio(t.op_energy(OpKind::add32()))
         };
         assert!((ratio(&n3ish) / ratio(&n5) - 2.0).abs() < 1e-9);
     }

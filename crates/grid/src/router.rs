@@ -21,9 +21,7 @@ pub struct Link {
 /// The X-Y route from `a` to `b` as a sequence of directed links.
 /// Empty when `a == b`.
 pub fn xy_path(a: (u32, u32), b: (u32, u32)) -> Vec<Link> {
-    let mut path = Vec::with_capacity(
-        (a.0.abs_diff(b.0) + a.1.abs_diff(b.1)) as usize,
-    );
+    let mut path = Vec::with_capacity((a.0.abs_diff(b.0) + a.1.abs_diff(b.1)) as usize);
     let mut cur = a;
     while cur.0 != b.0 {
         let next = if cur.0 < b.0 {
@@ -31,7 +29,10 @@ pub fn xy_path(a: (u32, u32), b: (u32, u32)) -> Vec<Link> {
         } else {
             (cur.0 - 1, cur.1)
         };
-        path.push(Link { from: cur, to: next });
+        path.push(Link {
+            from: cur,
+            to: next,
+        });
         cur = next;
     }
     while cur.1 != b.1 {
@@ -40,7 +41,10 @@ pub fn xy_path(a: (u32, u32), b: (u32, u32)) -> Vec<Link> {
         } else {
             (cur.0, cur.1 - 1)
         };
-        path.push(Link { from: cur, to: next });
+        path.push(Link {
+            from: cur,
+            to: next,
+        });
         cur = next;
     }
     path

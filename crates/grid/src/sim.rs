@@ -96,7 +96,10 @@ impl std::fmt::Display for SimError {
                 at_cycle,
                 executed,
                 total,
-            } => write!(f, "simulation hung at cycle {at_cycle} ({executed}/{total} executed)"),
+            } => write!(
+                f,
+                "simulation hung at cycle {at_cycle} ({executed}/{total} executed)"
+            ),
             SimError::InputArity { expected, got } => {
                 write!(f, "expected {expected} input tensors, got {got}")
             }
@@ -232,8 +235,7 @@ impl Simulator {
         for q in queues.values_mut() {
             q.sort_by_key(|&id| (rm.time[id as usize], id));
         }
-        let mut q_pos: HashMap<(u32, u32), usize> =
-            queues.keys().map(|&pe| (pe, 0usize)).collect();
+        let mut q_pos: HashMap<(u32, u32), usize> = queues.keys().map(|&pe| (pe, 0usize)).collect();
 
         // Value availability per (node, PE).
         let mut avail: HashMap<(NodeId, (u32, u32)), i64> = HashMap::new();
@@ -304,11 +306,10 @@ impl Simulator {
                         break;
                     }
                     // Operand availability at this PE.
-                    let ready = node.deps.iter().all(|&d| {
-                        avail
-                            .get(&(d, pe))
-                            .is_some_and(|&a| a <= t)
-                    });
+                    let ready = node
+                        .deps
+                        .iter()
+                        .all(|&d| avail.get(&(d, pe)).is_some_and(|&a| a <= t));
                     if !ready {
                         break; // in-order issue: wait for the head
                     }
@@ -352,11 +353,7 @@ impl Simulator {
                                     ledger.charge_compute(m.tile_access_energy(width));
                                 } else {
                                     let e = m.route_energy(width, home_pe, pe);
-                                    ledger.charge_onchip(
-                                        width,
-                                        m.distance_mm(home_pe, pe),
-                                        e,
-                                    );
+                                    ledger.charge_onchip(width, m.distance_mm(home_pe, pe), e);
                                 }
                             }
                             InputPlacement::AtUse => {
@@ -441,10 +438,16 @@ impl Simulator {
         let mut pe_busy: Vec<((u32, u32), u64)> = pe_busy.into_iter().collect();
         pe_busy.sort_unstable();
         let mut link_traversals: Vec<(Link, u64)> = link_traversals.into_iter().collect();
-        link_traversals.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| (a.0.from, a.0.to).cmp(&(b.0.from, b.0.to))));
+        link_traversals.sort_by(|a, b| {
+            b.1.cmp(&a.1)
+                .then_with(|| (a.0.from, a.0.to).cmp(&(b.0.from, b.0.to)))
+        });
 
         Ok(SimResult {
-            values: values.into_iter().map(|v| v.expect("all executed")).collect(),
+            values: values
+                .into_iter()
+                .map(|v| v.expect("all executed"))
+                .collect(),
             cycles_scheduled: scheduled,
             cycles_actual: last_exec_cycle + 1,
             stalled_elements,
@@ -538,7 +541,10 @@ mod tests {
         let s = res.ledger.energy.total().raw();
         assert!((p - s).abs() < 1e-6, "predicted {p} vs simulated {s}");
         assert_eq!(predicted.ledger.onchip_messages, res.ledger.onchip_messages);
-        assert_eq!(predicted.ledger.offchip_transfers, res.ledger.offchip_transfers);
+        assert_eq!(
+            predicted.ledger.offchip_transfers,
+            res.ledger.offchip_transfers
+        );
     }
 
     #[test]
@@ -566,7 +572,10 @@ mod tests {
         let sim = Simulator::new(m);
         assert!(matches!(
             sim.run(&g, &rm, &[], &[]),
-            Err(SimError::InputArity { expected: 1, got: 0 })
+            Err(SimError::InputArity {
+                expected: 1,
+                got: 0
+            })
         ));
     }
 
@@ -583,8 +592,8 @@ mod tests {
         g.mark_output(cb);
         let mut m = MachineConfig::linear(3);
         m.link_width_bits = 16; // 64-bit values → 4 flits per link
-        // a at (0,0) t0, b at (0,0) t1 (same source PE), consumers at
-        // (2,0) scheduled at the causality minimum.
+                                // a at (0,0) t0, b at (0,0) t1 (same source PE), consumers at
+                                // (2,0) scheduled at the causality minimum.
         let rm = ResolvedMapping {
             place: vec![(0, 0), (0, 0), (2, 0), (2, 0)],
             time: vec![0, 1, 2, 3],

@@ -145,9 +145,7 @@ pub fn bfs_xmt(g: &Csr, source: usize) -> Result<(Vec<i64>, u64, u64), PramError
                     if nbrs[..idx].contains(&v) {
                         continue;
                     }
-                    if ctx.read(dist_base + v) < 0
-                        && ctx.read(owner_base + v) == u as i64 + 1
-                    {
+                    if ctx.read(dist_base + v) < 0 && ctx.read(owner_base + v) == u as i64 + 1 {
                         let slot = ctx.ps(counter);
                         ctx.write(dist_base + v, lvl);
                         ctx.write(next_base + slot as usize, v as i64);

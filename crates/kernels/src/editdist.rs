@@ -279,10 +279,7 @@ mod tests {
         let rec = edit_recurrence(r.len(), q.len(), Scoring::levenshtein());
         let g = rec.elaborate().unwrap();
         let vals = g.eval(&edit_inputs(r, q));
-        assert_eq!(
-            vals.last().unwrap().re as i64,
-            edit_distance_ref(r, q)
-        );
+        assert_eq!(vals.last().unwrap().re as i64, edit_distance_ref(r, q));
     }
 
     #[test]
@@ -339,7 +336,11 @@ mod tests {
             let machine = MachineConfig::linear(p as u32);
             let rm = skewed_mapping(p, n).resolve(&g, &machine).unwrap();
             let rep = check(&g, &rm, &machine);
-            assert!(rep.is_legal(), "P={p}: {:?}", &rep.errors[..rep.errors.len().min(2)]);
+            assert!(
+                rep.is_legal(),
+                "P={p}: {:?}",
+                &rep.errors[..rep.errors.len().min(2)]
+            );
         }
     }
 
@@ -354,7 +355,11 @@ mod tests {
         let machine = MachineConfig::n5(4, 4);
         let rm = skewed_mapping_2d(16, n).resolve(&g, &machine).unwrap();
         let rep = check(&g, &rm, &machine);
-        assert!(rep.is_legal(), "{:?}", &rep.errors[..rep.errors.len().min(2)]);
+        assert!(
+            rep.is_legal(),
+            "{:?}",
+            &rep.errors[..rep.errors.len().min(2)]
+        );
 
         // The row-major equivalent is illegal at the wrap.
         let row_major = Mapping::Affine(fm_core::mapping::AffineMap {

@@ -93,7 +93,10 @@ pub enum FftVariant {
 /// `lane`'s value after stage `s`. For DIF an extra copy layer performs
 /// the final bit-reversal.
 pub fn fft_graph(n: usize, variant: FftVariant) -> DataflowGraph {
-    assert!(n.is_power_of_two() && n >= 2, "FFT size must be a power of two ≥ 2");
+    assert!(
+        n.is_power_of_two() && n >= 2,
+        "FFT size must be a power of two ≥ 2"
+    );
     let bits = n.trailing_zeros();
     let stages = bits as usize;
     let mut g = DataflowGraph::new(
@@ -171,7 +174,6 @@ pub fn fft_graph(n: usize, variant: FftVariant) -> DataflowGraph {
     g
 }
 
-
 /// Reverse the base-4 digits of `i` within `digits` digits.
 pub fn digit_reverse_4(i: usize, digits: u32) -> usize {
     let mut x = i;
@@ -217,7 +219,12 @@ pub fn fft_radix4_graph(n: usize) -> DataflowGraph {
         let mut cur = vec![0u32; n];
         for start in (0..n).step_by(len) {
             for k in 0..q {
-                let lanes = [start + k, start + k + q, start + k + 2 * q, start + k + 3 * q];
+                let lanes = [
+                    start + k,
+                    start + k + q,
+                    start + k + 2 * q,
+                    start + k + 3 * q,
+                ];
                 let deps: Vec<u32> = lanes.iter().map(|&l| prev[l]).collect();
                 for (m, &out_lane) in lanes.iter().enumerate() {
                     // y_m = Σ_l  W^{k·l} · (−i)^{m·l} · x_l, W = e^{−2πi/len}.
@@ -411,7 +418,10 @@ mod tests {
             for placement in [LanePlacement::Block, LanePlacement::Cyclic] {
                 let machine = MachineConfig::linear(4);
                 let rm = fft_mapping(&g, n, 4, placement, &machine);
-                assert!(check(&g, &rm, &machine).is_legal(), "{variant:?} {placement:?}");
+                assert!(
+                    check(&g, &rm, &machine).is_legal(),
+                    "{variant:?} {placement:?}"
+                );
                 let sim = Simulator::new(machine);
                 let res = sim
                     .run(&g, &rm, std::slice::from_ref(&x), &[InputPlacement::AtUse])
@@ -462,12 +472,14 @@ mod tests {
         assert_eq!(cands.len(), 4); // 2 placements × 2 P values
     }
 
-
     #[test]
     fn digit_reverse_4_basics() {
         assert_eq!(digit_reverse_4(0b0001, 2), 0b0100); // 1 -> 4
         assert_eq!(digit_reverse_4(0b0110, 2), 0b1001); // 6 -> 9
-        assert_eq!(digit_reverse_4(5, 3), digit_reverse_4(digit_reverse_4(digit_reverse_4(5, 3), 3), 3));
+        assert_eq!(
+            digit_reverse_4(5, 3),
+            digit_reverse_4(digit_reverse_4(digit_reverse_4(5, 3), 3), 3)
+        );
     }
 
     #[test]
@@ -535,7 +547,12 @@ mod tests {
         let rep4 = Evaluator::new(&r4, &machine)
             .with_all_inputs(InputPlacement::AtUse)
             .evaluate(&fft_mapping(&r4, n, p, LanePlacement::Block, &machine));
-        assert!(rep4.cycles < rep2.cycles, "radix4 {} !< radix2 {}", rep4.cycles, rep2.cycles);
+        assert!(
+            rep4.cycles < rep2.cycles,
+            "radix4 {} !< radix2 {}",
+            rep4.cycles,
+            rep2.cycles
+        );
         assert!(
             rep4.ledger.onchip_messages > rep2.ledger.onchip_messages,
             "radix4 {} !> radix2 {}",

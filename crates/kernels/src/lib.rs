@@ -39,9 +39,9 @@
 //!   tests, examples, and benches.
 
 pub mod bfs;
-pub mod listrank;
 pub mod editdist;
 pub mod fft;
+pub mod listrank;
 pub mod matmul;
 pub mod scan;
 pub mod sortalg;

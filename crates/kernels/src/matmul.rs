@@ -233,8 +233,7 @@ pub fn matmul_parallel(
         let rows = &rows; // capture the Sync wrapper, not its raw field
         par_for(pool, 0..n, grain.max(1), |i| {
             // Safety: each index i touches only row i.
-            let row =
-                unsafe { std::slice::from_raw_parts_mut(rows.0.add(i * rows.1), rows.1) };
+            let row = unsafe { std::slice::from_raw_parts_mut(rows.0.add(i * rows.1), rows.1) };
             for k in 0..n {
                 let aik = a[i * n + k];
                 for j in 0..n {
@@ -284,10 +283,7 @@ mod tests {
                     .domain
                     .flatten(&[i as i64, j as i64, n as i64 - 1])
                     .unwrap();
-                assert!(
-                    (vals[id].re - c[i * n + j]).abs() < 1e-9,
-                    "C({i},{j})"
-                );
+                assert!((vals[id].re - c[i * n + j]).abs() < 1e-9, "C({i},{j})");
             }
         }
     }

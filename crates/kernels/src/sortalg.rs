@@ -40,10 +40,8 @@ pub fn par_mergesort(pool: &ThreadPool, data: &[u64], grain: usize) -> (Vec<u64>
             return (out, WorkSpan::leaf(cost));
         }
         let mid = n / 2;
-        let ((la, wa), (lb, wb)) = pool.join(
-            || go(pool, &v[..mid], grain),
-            || go(pool, &v[mid..], grain),
-        );
+        let ((la, wa), (lb, wb)) =
+            pool.join(|| go(pool, &v[..mid], grain), || go(pool, &v[mid..], grain));
         let mut out = vec![0u64; n];
         merge(&la, &lb, &mut out);
         // Children in parallel, then a sequential merge of n elements.

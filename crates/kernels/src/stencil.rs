@@ -126,7 +126,11 @@ mod tests {
             let machine = MachineConfig::linear(p as u32);
             let rm = blocked_mapping(n, p).resolve(&g, &machine).unwrap();
             let rep = check(&g, &rm, &machine);
-            assert!(rep.is_legal(), "P={p}: {:?}", &rep.errors[..rep.errors.len().min(2)]);
+            assert!(
+                rep.is_legal(),
+                "P={p}: {:?}",
+                &rep.errors[..rep.errors.len().min(2)]
+            );
         }
     }
 

@@ -179,7 +179,8 @@ mod tests {
     #[test]
     fn arbitrary_crcw_commits_deterministically() {
         let mut x = Xmt::new(1);
-        x.spawn(4, |tid, ctx| ctx.write(0, 10 + tid as i64)).unwrap();
+        x.spawn(4, |tid, ctx| ctx.write(0, 10 + tid as i64))
+            .unwrap();
         assert_eq!(x.peek(0), 10); // lowest thread id wins
     }
 

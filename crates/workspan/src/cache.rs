@@ -236,7 +236,12 @@ mod tests {
         c.access_range(0, 80);
         assert!((c.stats().miss_rate() - 10.0 / 80.0).abs() < 1e-12);
         assert_eq!(
-            CacheStats { accesses: 0, misses: 0, writebacks: 0 }.miss_rate(),
+            CacheStats {
+                accesses: 0,
+                misses: 0,
+                writebacks: 0
+            }
+            .miss_rate(),
             0.0
         );
     }
@@ -271,7 +276,7 @@ mod tests {
         let s = c.stats();
         assert_eq!(s.misses, 10);
         assert_eq!(s.writebacks, 8); // all but the 2 resident lines
-        // ω = 4: writes dominate the cost.
+                                     // ω = 4: writes dominate the cost.
         assert!(s.asymmetric_cost(4.0) > 3.0 * s.misses as f64);
         // ω = 0 recovers the symmetric model.
         assert_eq!(s.asymmetric_cost(0.0), s.misses as f64);

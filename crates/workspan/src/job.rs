@@ -160,9 +160,7 @@ mod tests {
             job.as_job_ref().execute();
         }
         assert!(job.latch.probe());
-        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| unsafe {
-            job.take_result()
-        }));
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| unsafe { job.take_result() }));
         assert!(caught.is_err());
     }
 

@@ -85,7 +85,55 @@ where
     if range.start >= range.end {
         return identity();
     }
-    pool.run(|| go(pool, range.start, range.end, grain, &identity, &map, &combine))
+    pool.run(|| {
+        go(
+            pool,
+            range.start,
+            range.end,
+            grain,
+            &identity,
+            &map,
+            &combine,
+        )
+    })
+}
+
+/// Parallel map over `0..n`: returns `vec![f(0), f(1), …, f(n-1)]`.
+///
+/// Output order is index order regardless of thread schedule: each
+/// recursive split writes into its own half of the buffer, so the
+/// result is deterministic whenever `f` is.
+pub fn par_map<T, F>(pool: &ThreadPool, n: usize, grain: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let grain = grain.max(1);
+    fn go<T, F>(pool: &ThreadPool, lo: usize, out: &mut [Option<T>], grain: usize, f: &F)
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if out.len() <= grain {
+            for (k, slot) in out.iter_mut().enumerate() {
+                *slot = Some(f(lo + k));
+            }
+            return;
+        }
+        let mid = out.len() / 2;
+        let (left, right) = out.split_at_mut(mid);
+        pool.join(
+            || go(pool, lo, left, grain, f),
+            || go(pool, lo + mid, right, grain, f),
+        );
+    }
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    if n > 0 {
+        pool.run(|| go(pool, 0, &mut out, grain, &f));
+    }
+    out.into_iter()
+        .map(|slot| slot.expect("every index mapped"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -131,6 +179,20 @@ mod tests {
         let expected = *v.iter().max().unwrap();
         let got = par_reduce(&pool, 0..v.len(), 64, || 0u64, |i| v[i], |a, b| a.max(b));
         assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn par_map_preserves_index_order() {
+        let pool = ThreadPool::with_threads(4);
+        let got = par_map(&pool, 5000, 16, |i| i * 3);
+        assert_eq!(got, (0..5000).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_empty() {
+        let pool = ThreadPool::with_threads(2);
+        let got: Vec<u64> = par_map(&pool, 0, 8, |_| panic!("must not run"));
+        assert!(got.is_empty());
     }
 
     #[test]

@@ -41,8 +41,7 @@ fn dense_layer(
         // Dot product as a chain of multiply-accumulate nodes.
         let mut acc: Option<u32> = None;
         for i in 0..n_in {
-            let term = CExpr::input(x, i as u32)
-                .mul(CExpr::konst(Value::real(w[o * n_in + i])));
+            let term = CExpr::input(x, i as u32).mul(CExpr::konst(Value::real(w[o * n_in + i])));
             let id = match acc {
                 None => g.add_node(term, vec![], vec![o as i64, i as i64]),
                 Some(a) => g.add_node(CExpr::dep(0).add(term), vec![a], vec![o as i64, i as i64]),
@@ -88,7 +87,9 @@ fn main() {
     let machine = MachineConfig::linear(p as u32);
     let mut rng = XorShift::new(7);
     let w1: Vec<f64> = (0..n_hidden * n_in).map(|_| rng.unit_f64() - 0.5).collect();
-    let w2: Vec<f64> = (0..n_out * n_hidden).map(|_| rng.unit_f64() - 0.5).collect();
+    let w2: Vec<f64> = (0..n_out * n_hidden)
+        .map(|_| rng.unit_f64() - 0.5)
+        .collect();
     let x: Vec<f64> = (0..n_in).map(|_| rng.unit_f64()).collect();
 
     println!("== 2-layer MLP as composed mapped modules ({n_in}→{n_hidden}→{n_out}, P = {p}) ==\n");
@@ -176,5 +177,8 @@ fn main() {
     for (a, b) in y.iter().zip(&y_ref) {
         assert!((a - b).abs() < 1e-9);
     }
-    println!("\noutput matches the serial MLP reference ✓  y[0..4] = {:?}", &y[..4.min(y.len())]);
+    println!(
+        "\noutput matches the serial MLP reference ✓  y[0..4] = {:?}",
+        &y[..4.min(y.len())]
+    );
 }

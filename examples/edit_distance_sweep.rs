@@ -31,7 +31,9 @@ fn main() {
     println!("paper's literal mapping (time = floor(i/P)*N + j):");
     for p in [1i64, 4] {
         let machine = MachineConfig::linear(p as u32);
-        let rm = paper_literal_mapping(p, n).resolve(&graph, &machine).unwrap();
+        let rm = paper_literal_mapping(p, n)
+            .resolve(&graph, &machine)
+            .unwrap();
         let rep = legality::check(&graph, &rm, &machine);
         if rep.is_legal() {
             println!("  P={p}: legal (serial row-major)");

@@ -52,7 +52,11 @@ fn main() {
     let report = legality::check(&graph, &rm, &machine);
     println!(
         "legality check: {} ({} causality violations)",
-        if report.is_legal() { "LEGAL" } else { "ILLEGAL" },
+        if report.is_legal() {
+            "LEGAL"
+        } else {
+            "ILLEGAL"
+        },
         report.total_violations
     );
     if let Some(first) = report.errors.first() {
@@ -93,7 +97,11 @@ fn main() {
     let h = local_matrix_ref(&r, &q, Scoring::paper_local());
     for i in 0..n {
         for j in 0..n {
-            let id = fixed.recurrence.domain.flatten(&[i as i64, j as i64]).unwrap();
+            let id = fixed
+                .recurrence
+                .domain
+                .flatten(&[i as i64, j as i64])
+                .unwrap();
             assert!((res.values[id].re - h[i][j]).abs() < 1e-9);
         }
     }

@@ -15,8 +15,7 @@ use fm_repro::core::legality;
 use fm_repro::core::machine::MachineConfig;
 use fm_repro::grid::Simulator;
 use fm_repro::kernels::editdist::{
-    edit_inputs, edit_recurrence, local_matrix_ref, paper_input_placements, skewed_mapping,
-    Scoring,
+    edit_inputs, edit_recurrence, local_matrix_ref, paper_input_placements, skewed_mapping, Scoring,
 };
 use fm_repro::kernels::util::{random_sequence, DNA};
 
@@ -36,13 +35,19 @@ fn main() {
     let rec = edit_recurrence(n, m, scoring);
     println!("function:  H(i,j) = min(H(i-1,j-1)+f(R[i],Q[j]), H(i-1,j)+D, H(i,j-1)+I, 0)");
     let graph = rec.elaborate().expect("recurrence is well-founded");
-    println!("elaborated: {} element nodes, critical path {} elements\n", graph.len(), graph.depth());
+    println!(
+        "elaborated: {} element nodes, critical path {} elements\n",
+        graph.len(),
+        graph.depth()
+    );
 
     // 2. The mapping (corrected anti-diagonal skew; see module docs for
     //    why the paper's literal time expression is not causal).
     let machine = MachineConfig::linear(p as u32);
     let mapping = skewed_mapping(p, m);
-    let rm = mapping.resolve(&graph, &machine).expect("affine mapping resolves");
+    let rm = mapping
+        .resolve(&graph, &machine)
+        .expect("affine mapping resolves");
     println!("mapping:   place = i % {p},  time = floor(i/{p})*(M+{p}) + i%{p} + j");
 
     // 3. Legality.
@@ -55,28 +60,45 @@ fn main() {
         .with_input_placement(0, paper_input_placements(p)[0].clone())
         .with_input_placement(1, paper_input_placements(p)[1].clone())
         .evaluate(&rm);
-    println!("predicted: {} cycles  ({:.2} µs at {:.0} ps/cycle)",
+    println!(
+        "predicted: {} cycles  ({:.2} µs at {:.0} ps/cycle)",
         predicted.cycles,
         predicted.time_ps.raw() / 1e6,
-        machine.clock_period().raw());
-    println!("           energy {:.1} pJ  (compute {:.1} pJ, on-chip comm {:.1} pJ)",
+        machine.clock_period().raw()
+    );
+    println!(
+        "           energy {:.1} pJ  (compute {:.1} pJ, on-chip comm {:.1} pJ)",
         predicted.energy().raw() / 1000.0,
         predicted.ledger.energy.compute.raw() / 1000.0,
-        predicted.ledger.energy.onchip_comm.raw() / 1000.0);
-    println!("           utilization {:.1}%  over {} PEs\n", predicted.utilization * 100.0, predicted.pes_used);
+        predicted.ledger.energy.onchip_comm.raw() / 1000.0
+    );
+    println!(
+        "           utilization {:.1}%  over {} PEs\n",
+        predicted.utilization * 100.0,
+        predicted.pes_used
+    );
 
     // 5. Execute on the grid simulator.
     let sim = Simulator::new(machine);
     let res = sim
-        .run(&graph, &rm, &edit_inputs(&r, &q), &paper_input_placements(p))
+        .run(
+            &graph,
+            &rm,
+            &edit_inputs(&r, &q),
+            &paper_input_placements(p),
+        )
         .expect("legal mapping simulates");
-    println!("simulated: {} cycles (scheduled {}), {} NoC messages, {} stalled elements",
-        res.cycles_actual, res.cycles_scheduled, res.messages_delivered, res.stalled_elements);
+    println!(
+        "simulated: {} cycles (scheduled {}), {} NoC messages, {} stalled elements",
+        res.cycles_actual, res.cycles_scheduled, res.messages_delivered, res.stalled_elements
+    );
     let sim_energy = res.ledger.energy.total().raw();
     let pred_energy = predicted.energy().raw();
-    println!("           energy {:.1} pJ — prediction error {:.3}%",
+    println!(
+        "           energy {:.1} pJ — prediction error {:.3}%",
         sim_energy / 1000.0,
-        100.0 * (sim_energy - pred_energy).abs() / pred_energy.max(f64::MIN_POSITIVE));
+        100.0 * (sim_energy - pred_energy).abs() / pred_energy.max(f64::MIN_POSITIVE)
+    );
 
     // 6. Check values against the serial reference.
     let h = local_matrix_ref(&r, &q, scoring);

@@ -32,7 +32,9 @@ fn main() {
     let sort_data: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
     let scan_data: Vec<i64> = (0..n).map(|_| rng.below(1000) as i64).collect();
 
-    let hw = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(4);
+    let hw = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(4);
     println!("== Greedy bound T_P ≤ W/P + S on the work-stealing pool ==");
     println!("host parallelism: {hw} threads; n = {n}\n");
 
@@ -62,8 +64,12 @@ fn main() {
             }) as Box<dyn Fn(&ThreadPool)>,
         ),
     ] {
-        println!("{name}: W = {:.2e} units, S = {:.2e} units, parallelism W/S = {:.1}",
-            work_span.work, work_span.span, work_span.parallelism());
+        println!(
+            "{name}: W = {:.2e} units, S = {:.2e} units, parallelism W/S = {:.1}",
+            work_span.work,
+            work_span.span,
+            work_span.parallelism()
+        );
 
         // Calibrate: seconds per unit of work from the P=1 run.
         let pool1 = ThreadPool::with_threads(1);
@@ -71,7 +77,10 @@ fn main() {
         let sec_per_unit = t1 / work_span.work;
         drop(pool1);
 
-        println!("  {:>3} | {:>10} | {:>12} | {:>9} | bound held?", "P", "T_P (ms)", "bound (ms)", "speedup");
+        println!(
+            "  {:>3} | {:>10} | {:>12} | {:>9} | bound held?",
+            "P", "T_P (ms)", "bound (ms)", "speedup"
+        );
         for p in [1usize, 2, 4, 8, 16] {
             if p > hw {
                 // Brent's bound assumes P real processors; oversubscribing

@@ -45,6 +45,9 @@ pub use fm_workspan as workspan;
 /// The kernel suite.
 pub use fm_kernels as kernels;
 
+/// Parallel, budgeted, persistently-cached mapping autotuner.
+pub use fm_autotune as autotune;
+
 #[cfg(test)]
 mod tests {
     #[test]

@@ -7,6 +7,7 @@ use fm_repro::core::legality::check;
 use fm_repro::core::machine::MachineConfig;
 use fm_repro::core::mapping::InputPlacement;
 use fm_repro::core::pramcost::PramCost;
+use fm_repro::core::search::MappingFamily;
 use fm_repro::core::search::{default_mapper, search, FigureOfMerit};
 use fm_repro::grid::{SimConfig, Simulator};
 use fm_repro::kernels::editdist::{
@@ -15,9 +16,10 @@ use fm_repro::kernels::editdist::{
 };
 use fm_repro::kernels::fft::{fft_graph, fft_mapping, fft_ref, FftVariant, LanePlacement};
 use fm_repro::kernels::matmul::{matmul_recurrence, matmul_ref, matrix_values, systolic_mapping};
-use fm_repro::kernels::stencil::{blocked_mapping, stencil_inputs, stencil_recurrence, stencil_ref};
+use fm_repro::kernels::stencil::{
+    blocked_mapping, stencil_inputs, stencil_recurrence, stencil_ref,
+};
 use fm_repro::kernels::util::{random_sequence, XorShift, DNA};
-use fm_repro::core::search::MappingFamily;
 
 /// Predicted energy must equal simulated energy, exactly, for every
 /// kernel and mapping in the suite — the F&M "predictable cost" claim.
@@ -103,7 +105,9 @@ fn simulated_values_match_references() {
     let machine = MachineConfig::linear(4);
     let rm = fft_mapping(&g, n, 4, LanePlacement::Block, &machine);
     let sim = Simulator::new(machine);
-    let res = sim.run(&g, &rm, std::slice::from_ref(&x), &[InputPlacement::AtUse]).unwrap();
+    let res = sim
+        .run(&g, &rm, std::slice::from_ref(&x), &[InputPlacement::AtUse])
+        .unwrap();
     let expect = fft_ref(&x);
     for &id in &g.outputs() {
         let lane = g.nodes[id as usize].index[1] as usize;
@@ -118,7 +122,9 @@ fn simulated_values_match_references() {
 fn default_mapper_legal_on_all_kernels() {
     let machine = MachineConfig::n5(4, 4);
     let graphs = vec![
-        edit_recurrence(12, 12, Scoring::paper_local()).elaborate().unwrap(),
+        edit_recurrence(12, 12, Scoring::paper_local())
+            .elaborate()
+            .unwrap(),
         fft_graph(16, FftVariant::Dit),
         fft_graph(16, FftVariant::Dif),
         matmul_recurrence(5).elaborate().unwrap(),
@@ -127,7 +133,12 @@ fn default_mapper_legal_on_all_kernels() {
     for g in &graphs {
         let rm = default_mapper(g, &machine);
         let rep = check(g, &rm, &machine);
-        assert!(rep.is_legal(), "{}: {:?}", g.name, &rep.errors[..rep.errors.len().min(2)]);
+        assert!(
+            rep.is_legal(),
+            "{}: {:?}",
+            g.name,
+            &rep.errors[..rep.errors.len().min(2)]
+        );
     }
 }
 
@@ -178,7 +189,10 @@ fn matmul_systolic_end_to_end() {
     let c = matmul_ref(&a, &b, n);
     for i in 0..n {
         for j in 0..n {
-            let id = rec.domain.flatten(&[i as i64, j as i64, n as i64 - 1]).unwrap();
+            let id = rec
+                .domain
+                .flatten(&[i as i64, j as i64, n as i64 - 1])
+                .unwrap();
             assert!((res.values[id].re - c[i * n + j]).abs() < 1e-9);
         }
     }
@@ -202,7 +216,10 @@ fn stencil_end_to_end() {
         let expect = stencil_ref(&f, t);
         for i in 0..n {
             let id = rec.domain.flatten(&[t as i64 - 1, i as i64]).unwrap();
-            assert!((res.values[id].re - expect[i]).abs() < 1e-9, "P={p} site {i}");
+            assert!(
+                (res.values[id].re - expect[i]).abs() < 1e-9,
+                "P={p} site {i}"
+            );
         }
     }
 }
@@ -218,8 +235,7 @@ fn pram_vs_physical_ranking_inversion() {
     let dif = fft_graph(n, FftVariant::Dif);
 
     // PRAM: the copy layer is *cheaper-than-noise* — dif looks ~equal.
-    let pram_ratio =
-        PramCost::of(&dif).work as f64 / PramCost::of(&dit).work as f64;
+    let pram_ratio = PramCost::of(&dif).work as f64 / PramCost::of(&dit).work as f64;
     assert!(pram_ratio < 1.15);
 
     // Physical: the gather layer costs real millimeters.

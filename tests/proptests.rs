@@ -2,13 +2,15 @@
 
 use proptest::prelude::*;
 
+use fm_repro::autotune::{CacheStatus, Tuner, TuningCache};
 use fm_repro::core::affine::IdxExpr;
 use fm_repro::core::cost::Evaluator;
-use fm_repro::core::parse::{parse_idx_expr, ParseEnv};
 use fm_repro::core::dataflow::{CExpr, DataflowGraph};
 use fm_repro::core::legality::check;
 use fm_repro::core::machine::MachineConfig;
-use fm_repro::core::search::{default_mapper, retime};
+use fm_repro::core::mapping::Mapping;
+use fm_repro::core::parse::{parse_idx_expr, ParseEnv};
+use fm_repro::core::search::{default_mapper, retime, search, FigureOfMerit, MappingCandidate};
 use fm_repro::core::value::Value;
 use fm_repro::grid::Simulator;
 use fm_repro::kernels::editdist::{edit_distance_ref, edit_inputs, edit_recurrence, Scoring};
@@ -221,6 +223,74 @@ proptest! {
                 prop_assert_eq!(e.eval(&[i, j]), reparsed.eval(&[i, j]), "{}", printed);
             }
         }
+    }
+
+    /// The parallel tuner and the serial `search()` agree on the
+    /// winning label and objective score for arbitrary DAGs and
+    /// candidate sets (the tuner's determinism guarantee).
+    #[test]
+    fn parallel_tuner_matches_serial_search(
+        spec in prop::collection::vec((0u8..=2, any::<u64>(), any::<u64>()), 1..60),
+        places_seed in any::<u64>()
+    ) {
+        let g = dag_from_spec(&spec);
+        let machine = MachineConfig::n5(3, 2);
+        let mut cands = vec![
+            MappingCandidate::new("serial", Mapping::serial(&g)),
+            MappingCandidate::new("default", Mapping::Table(default_mapper(&g, &machine))),
+        ];
+        let mut s = places_seed;
+        for k in 0..4 {
+            let places: Vec<(i64, i64)> = (0..g.len()).map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (((s >> 33) % 3) as i64, ((s >> 17) % 2) as i64)
+            }).collect();
+            cands.push(MappingCandidate::new(
+                format!("retimed-{k}"),
+                Mapping::Table(retime(&g, &places, &machine)),
+            ));
+        }
+        let ev = Evaluator::new(&g, &machine);
+        let serial = search(&ev, &g, &machine, &cands, FigureOfMerit::Edp);
+        let pool = ThreadPool::with_threads(3);
+        let tuned = Tuner::new(&ev, &g, &machine, FigureOfMerit::Edp)
+            .with_pool(&pool)
+            .tune(&cands);
+        let best = tuned.best.unwrap();
+        let sbest = serial.best().unwrap();
+        prop_assert_eq!(best.score, sbest.score);
+        prop_assert_eq!(best.label, sbest.label.clone());
+    }
+
+    /// Every mapping the tuner persists in its cache replays legally:
+    /// a warm run reports a hit, evaluates nothing, and its winner
+    /// passes the legality checker with the cold run's score.
+    #[test]
+    fn cached_tuning_results_replay_legally(
+        spec in prop::collection::vec((0u8..=2, any::<u64>(), any::<u64>()), 1..40)
+    ) {
+        let g = dag_from_spec(&spec);
+        let machine = MachineConfig::n5(2, 2);
+        let cands = vec![
+            MappingCandidate::new("serial", Mapping::serial(&g)),
+            MappingCandidate::new("default", Mapping::Table(default_mapper(&g, &machine))),
+        ];
+        let ev = Evaluator::new(&g, &machine);
+        let dir = std::env::temp_dir()
+            .join(format!("fm-repro-proptest-cache-{}", std::process::id()));
+        let cache = TuningCache::open(&dir).unwrap();
+        let cold = Tuner::new(&ev, &g, &machine, FigureOfMerit::Time)
+            .with_cache(cache.clone())
+            .tune(&cands);
+        let warm = Tuner::new(&ev, &g, &machine, FigureOfMerit::Time)
+            .with_cache(cache)
+            .tune(&cands);
+        prop_assert_eq!(warm.cache, CacheStatus::Hit);
+        prop_assert_eq!(warm.evaluated, 0);
+        let (c, w) = (cold.best.unwrap(), warm.best.unwrap());
+        prop_assert!(check(&g, &w.resolved, &machine).is_legal());
+        prop_assert_eq!(c.score, w.score);
+        prop_assert_eq!(c.label, w.label);
     }
 
     /// Ideal cache sanity: misses ≤ accesses; a cold sequential scan of

@@ -38,7 +38,9 @@ fn parsed_program_matches_kernel_construction() {
     let p = 4i64;
     let parsed = parse(PAPER, &paper_env(n, p)).unwrap();
     let g_parsed = parsed.recurrence.elaborate().unwrap();
-    let g_kernel = edit_recurrence(n, n, Scoring::paper_local()).elaborate().unwrap();
+    let g_kernel = edit_recurrence(n, n, Scoring::paper_local())
+        .elaborate()
+        .unwrap();
 
     // Same structure: node/dep counts match 1:1.
     assert_eq!(g_parsed.len(), g_kernel.len());
@@ -57,7 +59,11 @@ fn parsed_program_matches_kernel_construction() {
 
     // Same cost under the parsed mapping.
     let machine = MachineConfig::linear(p as u32);
-    let rm = parsed.mapping.unwrap().resolve(&g_parsed, &machine).unwrap();
+    let rm = parsed
+        .mapping
+        .unwrap()
+        .resolve(&g_parsed, &machine)
+        .unwrap();
     assert!(check(&g_parsed, &rm, &machine).is_legal());
     let rep = Evaluator::new(&g_parsed, &machine)
         .with_all_inputs(InputPlacement::AtUse)
@@ -72,10 +78,9 @@ fn forall_builder_to_simulator() {
     let rec = Forall::d1("scan", n)
         .input("X", vec![n])
         .boundary(Boundary::Zero)
-        .expr(Forall::self_ref([-1]).add(Forall::read(
-            0,
-            vec![fm_repro::core::affine::IdxExpr::i()],
-        )))
+        .expr(
+            Forall::self_ref([-1]).add(Forall::read(0, vec![fm_repro::core::affine::IdxExpr::i()])),
+        )
         .build()
         .unwrap();
     let g = rec.elaborate().unwrap();
@@ -108,8 +113,7 @@ fn schedule_diagram_covers_every_node() {
     for id in 0..g.len() {
         let token = id.to_string();
         assert!(
-            s.split(|c: char| !c.is_ascii_digit())
-                .any(|w| w == token),
+            s.split(|c: char| !c.is_ascii_digit()).any(|w| w == token),
             "node {id} missing from diagram:\n{s}"
         );
     }

@@ -1,0 +1,205 @@
+//! Offline stand-in for the `crossbeam-deque` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides the subset of the `crossbeam-deque` API the work-stealing
+//! pool uses — `Worker` (LIFO owner end), `Stealer` (FIFO thief end),
+//! `Injector`, and the `Steal` result enum — with identical semantics
+//! but a mutexed `VecDeque` instead of a lock-free Chase-Lev deque.
+//! Jobs in this workspace are coarse (whole candidate evaluations,
+//! recursive joins), so the lock is not the bottleneck; the scheduling
+//! discipline (LIFO pop for the owner, FIFO steal for thieves) is what
+//! matters for the work-first policy and it is preserved exactly.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+/// The result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The source was empty.
+    Empty,
+    /// One item was stolen.
+    Success(T),
+    /// The attempt lost a race; retry.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// The stolen item, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// The owner end of a work-stealing deque.
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// A new LIFO deque (owner pushes and pops the same end).
+    pub fn new_lifo() -> Self {
+        Worker {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// A new FIFO deque (owner pops the end thieves steal from).
+    pub fn new_fifo() -> Self {
+        Self::new_lifo()
+    }
+
+    /// A stealer handle for this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+
+    /// Push onto the owner end.
+    pub fn push(&self, item: T) {
+        lock(&self.queue).push_back(item);
+    }
+
+    /// Pop from the owner end (LIFO: most recently pushed).
+    pub fn pop(&self) -> Option<T> {
+        lock(&self.queue).pop_back()
+    }
+
+    /// Whether the deque is empty.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.queue).is_empty()
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        lock(&self.queue).len()
+    }
+}
+
+/// The thief end of a work-stealing deque.
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steal from the opposite (FIFO) end.
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.queue).pop_front() {
+            Some(v) => Steal::Success(v),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Whether the deque is empty.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.queue).is_empty()
+    }
+}
+
+/// A FIFO queue shared by all workers, fed by external threads.
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// A new empty injector.
+    pub fn new() -> Self {
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Push a task.
+    pub fn push(&self, item: T) {
+        lock(&self.queue).push_back(item);
+    }
+
+    /// Steal the oldest task.
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.queue).pop_front() {
+            Some(v) => Steal::Success(v),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Whether the injector is empty.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.queue).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_is_lifo_thief_is_fifo() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(s.steal(), Steal::Success(1)); // oldest
+        assert_eq!(w.pop(), Some(3)); // newest
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn injector_is_fifo() {
+        let inj = Injector::new();
+        inj.push("a");
+        inj.push("b");
+        assert_eq!(inj.steal(), Steal::Success("a"));
+        assert_eq!(inj.steal(), Steal::Success("b"));
+        assert_eq!(inj.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn stealer_works_across_threads() {
+        let w = Worker::new_lifo();
+        for i in 0..1000 {
+            w.push(i);
+        }
+        let s = w.stealer();
+        let h = std::thread::spawn(move || {
+            let mut got = 0;
+            while let Steal::Success(_) = s.steal() {
+                got += 1;
+            }
+            got
+        });
+        let mut local = 0;
+        while w.pop().is_some() {
+            local += 1;
+        }
+        let stolen = h.join().unwrap();
+        assert_eq!(local + stolen, 1000);
+    }
+}

@@ -1,0 +1,408 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! implements the serialization surface the workspace uses with a
+//! simpler design than upstream serde: instead of visitor-based
+//! serializers, values convert to and from a concrete [`Json`] tree
+//! (the mini-serde approach). The companion `serde_derive` proc-macro
+//! derives both traits for structs and enums, honoring
+//! `#[serde(skip)]`, and the companion `serde_json` renders/parses the
+//! tree using the same representation rules as upstream `serde_json`:
+//!
+//! * named structs → objects; newtype structs → the inner value;
+//!   tuple structs → arrays; unit structs → null;
+//! * unit enum variants → `"Name"`; data-carrying variants →
+//!   `{"Name": payload}` (externally tagged);
+//! * `Option` → `null` / value; sequences and tuples → arrays;
+//!   string-keyed maps → objects.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// A JSON-shaped value tree: the data model everything serializes
+/// through. Integers are kept exact (not coerced to `f64`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer that does not fit in `i64`.
+    U64(u64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order preserved, first match wins on lookup.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// The fields if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The elements if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Look up a field of an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.as_obj()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// A short name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::I64(_) | Json::U64(_) => "integer",
+            Json::F64(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+}
+
+/// A deserialization error.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// "expected X while deserializing Y" error.
+    pub fn expected(what: &str, context: &str) -> DeError {
+        DeError(format!("expected {what} while deserializing {context}"))
+    }
+
+    /// Missing-field error.
+    pub fn missing(field: &str) -> DeError {
+        DeError(format!("missing field `{field}`"))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types convertible to the [`Json`] data model.
+pub trait Serialize {
+    /// Convert to a value tree.
+    fn to_json(&self) -> Json;
+}
+
+/// Types reconstructible from the [`Json`] data model.
+pub trait Deserialize: Sized {
+    /// Reconstruct from a value tree.
+    fn from_json(v: &Json) -> Result<Self, DeError>;
+}
+
+// ---- primitive impls ------------------------------------------------
+
+macro_rules! impl_ser_de_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json {
+                Json::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(v: &Json) -> Result<Self, DeError> {
+                let raw: i64 = match v {
+                    Json::I64(n) => *n,
+                    Json::U64(n) => i64::try_from(*n)
+                        .map_err(|_| DeError::expected("integer in range", stringify!($t)))?,
+                    Json::F64(f) if f.fract() == 0.0 => *f as i64,
+                    other => return Err(DeError::expected("integer", other.kind())),
+                };
+                <$t>::try_from(raw).map_err(|_| DeError::expected("integer in range", stringify!($t)))
+            }
+        }
+    )*};
+}
+impl_ser_de_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_ser_de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json {
+                let wide = *self as u64;
+                match i64::try_from(wide) {
+                    Ok(n) => Json::I64(n),
+                    Err(_) => Json::U64(wide),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(v: &Json) -> Result<Self, DeError> {
+                let raw: u64 = match v {
+                    Json::I64(n) => u64::try_from(*n)
+                        .map_err(|_| DeError::expected("unsigned integer", stringify!($t)))?,
+                    Json::U64(n) => *n,
+                    Json::F64(f) if f.fract() == 0.0 && *f >= 0.0 => *f as u64,
+                    other => return Err(DeError::expected("integer", other.kind())),
+                };
+                <$t>::try_from(raw).map_err(|_| DeError::expected("integer in range", stringify!($t)))
+            }
+        }
+    )*};
+}
+impl_ser_de_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_json(&self) -> Json {
+        Json::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        match v {
+            Json::F64(f) => Ok(*f),
+            Json::I64(n) => Ok(*n as f64),
+            Json::U64(n) => Ok(*n as f64),
+            // `serde_json` cannot represent non-finite floats; they
+            // serialize as null and come back as NaN.
+            Json::Null => Ok(f64::NAN),
+            other => Err(DeError::expected("number", other.kind())),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json(&self) -> Json {
+        Json::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        f64::from_json(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        match v {
+            Json::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other.kind())),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        match v {
+            Json::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other.kind())),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        match v {
+            Json::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::expected("single-char string", other.kind())),
+        }
+    }
+}
+
+// ---- containers -----------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        T::from_json(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        match v {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        match v {
+            Json::Arr(items) => items.iter().map(T::from_json).collect(),
+            other => Err(DeError::expected("array", other.kind())),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json(&self) -> Json {
+                Json::Arr(vec![$(self.$idx.to_json()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_json(v: &Json) -> Result<Self, DeError> {
+                const LEN: usize = [$($idx),+].len();
+                let items = v.as_arr().ok_or_else(|| DeError::expected("array", v.kind()))?;
+                if items.len() != LEN {
+                    return Err(DeError::expected("tuple-sized array", v.kind()));
+                }
+                Ok(($($name::from_json(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<V: Serialize, S> Serialize for HashMap<String, V, S> {
+    fn to_json(&self) -> Json {
+        // Sorted for deterministic output (HashMap iteration order is not).
+        let mut fields: Vec<(String, Json)> =
+            self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        Json::Obj(fields)
+    }
+}
+
+impl<V: Deserialize, S: std::hash::BuildHasher + Default> Deserialize for HashMap<String, V, S> {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        let fields = v
+            .as_obj()
+            .ok_or_else(|| DeError::expected("object", v.kind()))?;
+        fields
+            .iter()
+            .map(|(k, val)| Ok((k.clone(), V::from_json(val)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_json(&self) -> Json {
+        Json::Obj(self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        let fields = v
+            .as_obj()
+            .ok_or_else(|| DeError::expected("object", v.kind()))?;
+        fields
+            .iter()
+            .map(|(k, val)| Ok((k.clone(), V::from_json(val)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl Deserialize for Json {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for () {
+    fn to_json(&self) -> Json {
+        Json::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_json(_: &Json) -> Result<Self, DeError> {
+        Ok(())
+    }
+}

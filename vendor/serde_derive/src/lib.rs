@@ -1,0 +1,519 @@
+//! Derive macros for the vendored `serde` subset.
+//!
+//! Upstream `serde_derive` is built on `syn`/`quote`; neither is
+//! available offline, so these derives parse the item's `TokenStream`
+//! directly. Supported shapes — the ones the workspace uses:
+//!
+//! * structs with named fields, tuple structs (newtype and wider),
+//!   unit structs;
+//! * enums with unit, tuple, and struct variants;
+//! * the `#[serde(skip)]` field attribute (field omitted on
+//!   serialization, filled from `Default` on deserialization).
+//!
+//! Generic types and other `#[serde(...)]` attributes are rejected
+//! with a compile error rather than silently mis-handled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String, // named field name, or tuple index as a string
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ---- token-level parsing -------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            tokens: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Consume a run of outer attributes; true if any of them is
+    /// exactly `#[serde(skip)]`.
+    fn skip_attributes(&mut self) -> bool {
+        let mut has_skip = false;
+        loop {
+            match self.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    self.next();
+                    match self.next() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                            let body = g.stream().to_string();
+                            let compact: String =
+                                body.chars().filter(|c| !c.is_whitespace()).collect();
+                            if compact == "serde(skip)" {
+                                has_skip = true;
+                            } else if compact.starts_with("serde(") {
+                                panic!(
+                                    "vendored serde_derive supports only #[serde(skip)], got #[{body}]"
+                                );
+                            }
+                        }
+                        other => panic!("malformed attribute: expected [...], got {other:?}"),
+                    }
+                }
+                _ => return has_skip,
+            }
+        }
+    }
+
+    /// Consume `pub`, `pub(crate)`, `pub(in ...)` if present.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.next();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.next();
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected {what}, got {other:?}"),
+        }
+    }
+
+    /// Consume type tokens up to a top-level `,` (angle brackets
+    /// tracked manually: they are ordinary puncts in a TokenStream) or
+    /// the end of the stream. The `,` itself is consumed.
+    fn skip_type_to_comma(&mut self) {
+        let mut angle: i32 = 0;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    self.next();
+                    return;
+                }
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+fn parse_named_fields(group: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(group);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let skip = c.skip_attributes();
+        if c.at_end() {
+            break;
+        }
+        c.skip_visibility();
+        let name = c.expect_ident("field name");
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        c.skip_type_to_comma();
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn parse_tuple_fields(group: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(group);
+    let mut fields = Vec::new();
+    let mut index = 0usize;
+    while !c.at_end() {
+        let skip = c.skip_attributes();
+        if c.at_end() {
+            break;
+        }
+        c.skip_visibility();
+        c.skip_type_to_comma();
+        fields.push(Field {
+            name: index.to_string(),
+            skip,
+        });
+        index += 1;
+    }
+    fields
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(group);
+    let mut variants = Vec::new();
+    while !c.at_end() {
+        c.skip_attributes();
+        if c.at_end() {
+            break;
+        }
+        let name = c.expect_ident("variant name");
+        let shape = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let fields = parse_tuple_fields(g.stream());
+                c.next();
+                VariantShape::Tuple(fields.len())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                c.next();
+                VariantShape::Named(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional discriminant, then the separating comma.
+        let mut angle: i32 = 0;
+        while let Some(t) = c.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    c.next();
+                    break;
+                }
+                _ => {}
+            }
+            c.next();
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attributes();
+    c.skip_visibility();
+    let kw = c.expect_ident("`struct` or `enum`");
+    let name = c.expect_ident("item name");
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            panic!("vendored serde_derive does not support generic types (deriving on `{name}`)");
+        }
+    }
+    match kw.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    fields: parse_tuple_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("expected enum body for `{name}`, got {other:?}"),
+        },
+        other => panic!("expected struct or enum, got `{other}`"),
+    }
+}
+
+// ---- code generation ------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "__o.push((\"{n}\".to_string(), ::serde::Serialize::to_json(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_json(&self) -> ::serde::Json {{\n\
+                 let mut __o: Vec<(String, ::serde::Json)> = Vec::new();\n\
+                 {pushes}\
+                 ::serde::Json::Obj(__o)\n\
+                 }}\n}}\n"
+            )
+        }
+        Item::TupleStruct { name, fields } => {
+            let active: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            let body = match active.len() {
+                0 => "::serde::Json::Null".to_string(),
+                1 => format!("::serde::Serialize::to_json(&self.{})", active[0].name),
+                _ => {
+                    let items: Vec<String> = active
+                        .iter()
+                        .map(|f| format!("::serde::Serialize::to_json(&self.{})", f.name))
+                        .collect();
+                    format!("::serde::Json::Arr(vec![{}])", items.join(", "))
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_json(&self) -> ::serde::Json {{ {body} }}\n}}\n"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_json(&self) -> ::serde::Json {{ ::serde::Json::Null }}\n}}\n"
+        ),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Json::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_json(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_json({b})"))
+                                .collect();
+                            format!("::serde::Json::Arr(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Json::Obj(vec![(\"{vn}\".to_string(), {payload})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "(\"{n}\".to_string(), ::serde::Serialize::to_json({n}))",
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Json::Obj(vec![(\"{vn}\".to_string(), ::serde::Json::Obj(vec![{}]))]),\n",
+                            binds.join(", "),
+                            pushes.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_json(&self) -> ::serde::Json {{\n\
+                 match self {{\n{arms}}}\n}}\n}}\n"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits.push_str(&format!(
+                        "{n}: ::std::default::Default::default(),\n",
+                        n = f.name
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{n}: ::serde::Deserialize::from_json(__v.get(\"{n}\")\
+                         .ok_or_else(|| ::serde::DeError::missing(\"{n}\"))?)?,\n",
+                        n = f.name
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_json(__v: &::serde::Json) -> Result<Self, ::serde::DeError> {{\n\
+                 if __v.as_obj().is_none() {{\n\
+                 return Err(::serde::DeError::expected(\"object\", \"{name}\"));\n\
+                 }}\n\
+                 Ok({name} {{\n{inits}}})\n\
+                 }}\n}}\n"
+            )
+        }
+        Item::TupleStruct { name, fields } => {
+            let active: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            if active.len() != fields.len() {
+                panic!("#[serde(skip)] on tuple-struct fields is not supported (in `{name}`)");
+            }
+            let body = match fields.len() {
+                0 => format!("Ok({name}())"),
+                1 => format!("Ok({name}(::serde::Deserialize::from_json(__v)?))"),
+                n => {
+                    let gets: Vec<String> = (0..n)
+                        .map(|i| format!("::serde::Deserialize::from_json(&__items[{i}])?"))
+                        .collect();
+                    format!(
+                        "let __items = __v.as_arr()\
+                         .ok_or_else(|| ::serde::DeError::expected(\"array\", \"{name}\"))?;\n\
+                         if __items.len() != {n} {{\n\
+                         return Err(::serde::DeError::expected(\"array of {n}\", \"{name}\"));\n\
+                         }}\n\
+                         Ok({name}({}))",
+                        gets.join(", ")
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_json(__v: &::serde::Json) -> Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_json(_: &::serde::Json) -> Result<Self, ::serde::DeError> {{ Ok({name}) }}\n}}\n"
+        ),
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut keyed_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => return Ok({name}::{vn}),\n"));
+                        // Also accept the keyed form {"Name": null}.
+                        keyed_arms.push_str(&format!("\"{vn}\" => return Ok({name}::{vn}),\n"));
+                    }
+                    VariantShape::Tuple(1) => keyed_arms.push_str(&format!(
+                        "\"{vn}\" => return Ok({name}::{vn}(::serde::Deserialize::from_json(__payload)?)),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let gets: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_json(&__items[{i}])?"))
+                            .collect();
+                        keyed_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __items = __payload.as_arr()\
+                             .ok_or_else(|| ::serde::DeError::expected(\"array\", \"{name}::{vn}\"))?;\n\
+                             if __items.len() != {n} {{\n\
+                             return Err(::serde::DeError::expected(\"array of {n}\", \"{name}::{vn}\"));\n\
+                             }}\n\
+                             return Ok({name}::{vn}({}));\n\
+                             }}\n",
+                            gets.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            if f.skip {
+                                inits.push_str(&format!(
+                                    "{n}: ::std::default::Default::default(),\n",
+                                    n = f.name
+                                ));
+                            } else {
+                                inits.push_str(&format!(
+                                    "{n}: ::serde::Deserialize::from_json(__payload.get(\"{n}\")\
+                                     .ok_or_else(|| ::serde::DeError::missing(\"{n}\"))?)?,\n",
+                                    n = f.name
+                                ));
+                            }
+                        }
+                        keyed_arms.push_str(&format!(
+                            "\"{vn}\" => return Ok({name}::{vn} {{\n{inits}}}),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_json(__v: &::serde::Json) -> Result<Self, ::serde::DeError> {{\n\
+                 if let ::serde::Json::Str(__s) = __v {{\n\
+                 match __s.as_str() {{\n{unit_arms}\
+                 _ => return Err(::serde::DeError::expected(\"known variant\", \"{name}\")),\n\
+                 }}\n}}\n\
+                 if let Some(__fields) = __v.as_obj() {{\n\
+                 if __fields.len() == 1 {{\n\
+                 let (__tag, __payload) = &__fields[0];\n\
+                 match __tag.as_str() {{\n{keyed_arms}\
+                 _ => return Err(::serde::DeError::expected(\"known variant\", \"{name}\")),\n\
+                 }}\n}}\n}}\n\
+                 Err(::serde::DeError::expected(\"variant string or single-key object\", \"{name}\"))\n\
+                 }}\n}}\n"
+            )
+        }
+    }
+}
+
+/// Derive the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derive the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
