@@ -14,8 +14,17 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test --workspace -q
 
+echo "== incremental-engine parity under debug assertions =="
+# Debug builds re-derive the full schedule/report after every
+# apply_move/undo and assert bit-exact equality; this run makes sure
+# that paranoid path executes in CI even if the suite above ever moves
+# to --release.
+cargo test -q -p fm-core -- delta:: anneal
+cargo test -q --test proptests incremental
+
 echo "== table smoke runs (--quick) =="
 cargo run --release -q -p fm-bench --bin table_e4_fft_search -- --quick >/dev/null
 cargo run --release -q -p fm-bench --bin table_e8_default_mapper -- --quick >/dev/null
+cargo run --release -q -p fm-bench --bin table_e14_anneal -- --quick --no-json >/dev/null
 
 echo "ci: all green"

@@ -16,7 +16,7 @@
 
 use std::time::Duration;
 
-use fm_autotune::{Budget, Tuner, TuningCache};
+use fm_autotune::{Budget, Refinement, Tuner, TuningCache};
 use fm_core::cost::Evaluator;
 use fm_core::machine::MachineConfig;
 use fm_core::mapping::{InputPlacement, Mapping};
@@ -32,6 +32,7 @@ struct Args {
     workers: usize,
     cache_dir: Option<String>,
     budget: Budget,
+    refinement: Option<Refinement>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -45,6 +46,7 @@ fn parse_args() -> Result<Args, String> {
             .unwrap_or(4),
         cache_dir: None,
         budget: Budget::unlimited(),
+        refinement: None,
     };
     let mut no_cache = false;
     let mut it = std::env::args().skip(1);
@@ -99,9 +101,31 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--window: {e}"))?,
                 );
             }
+            "--chains" => {
+                let chains: usize = val("--chains")?
+                    .parse()
+                    .map_err(|e| format!("--chains: {e}"))?;
+                let r = args.refinement.get_or_insert(Refinement {
+                    chains: 0,
+                    iters: 2000,
+                    seed: 0xF00D,
+                });
+                r.chains = chains;
+            }
+            "--anneal-iters" => {
+                let iters: u32 = val("--anneal-iters")?
+                    .parse()
+                    .map_err(|e| format!("--anneal-iters: {e}"))?;
+                let r = args.refinement.get_or_insert(Refinement {
+                    chains: 4,
+                    iters: 0,
+                    seed: 0xF00D,
+                });
+                r.iters = iters;
+            }
             "--help" | "-h" => {
                 println!(
-                    "fm-tune [--n N] [--machine P] [--p LIST] [--fom time|energy|edp|footprint]\n        [--workers W] [--cache-dir DIR] [--no-cache]\n        [--max-candidates K] [--deadline-ms T] [--window W]"
+                    "fm-tune [--n N] [--machine P] [--p LIST] [--fom time|energy|edp|footprint]\n        [--workers W] [--cache-dir DIR] [--no-cache]\n        [--max-candidates K] [--deadline-ms T] [--window W]\n        [--chains K] [--anneal-iters I]"
                 );
                 std::process::exit(0);
             }
@@ -155,17 +179,20 @@ fn main() {
         args.fom
     );
 
+    let mk_tuner = || {
+        let mut t = Tuner::new(&evaluator, &graph, &machine, args.fom).with_budget(args.budget);
+        if let Some(r) = args.refinement {
+            t = t.with_refinement(r);
+        }
+        t
+    };
+
     // Phase 1: serial vs parallel (uncached, so both really evaluate).
-    let serial_report = Tuner::new(&evaluator, &graph, &machine, args.fom)
-        .with_budget(args.budget)
-        .tune(&candidates);
+    let serial_report = mk_tuner().tune(&candidates);
     println!("\n== serial tuner ==\n{}", serial_report.summary());
 
     let pool = ThreadPool::with_threads(args.workers);
-    let parallel_report = Tuner::new(&evaluator, &graph, &machine, args.fom)
-        .with_pool(&pool)
-        .with_budget(args.budget)
-        .tune(&candidates);
+    let parallel_report = mk_tuner().with_pool(&pool).tune(&candidates);
     println!(
         "== parallel tuner ({} workers) ==\n{}",
         args.workers,
@@ -203,15 +230,13 @@ fn main() {
             return;
         };
         println!("\ncache dir: {dir}");
-        let cold = Tuner::new(&evaluator, &graph, &machine, args.fom)
+        let cold = mk_tuner()
             .with_pool(&pool)
-            .with_budget(args.budget)
             .with_cache(cache.clone())
             .tune(&candidates);
         println!("== first cached run ==\n{}", cold.summary());
-        let warm = Tuner::new(&evaluator, &graph, &machine, args.fom)
+        let warm = mk_tuner()
             .with_pool(&pool)
-            .with_budget(args.budget)
             .with_cache(cache)
             .tune(&candidates);
         println!("== second cached run ==\n{}", warm.summary());

@@ -15,10 +15,15 @@ use std::path::{Path, PathBuf};
 
 use serde::{Deserialize, Serialize};
 
+use fm_core::search::SearchOutcome;
+
 use crate::tuner::TunedMapping;
 
 /// Bump when the entry layout changes; old entries then read as cold.
-pub const CACHE_SCHEMA_VERSION: u32 = 1;
+/// v2: entries carry the full ranked [`SearchOutcome`] and best-so-far
+/// trajectory, so a warm run reprints ranked tables with zero
+/// re-evaluation (v1 entries stored only the winner and now read cold).
+pub const CACHE_SCHEMA_VERSION: u32 = 2;
 
 /// One cached tuning result.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -35,6 +40,13 @@ pub struct CacheEntry {
     /// budget truncated it — the entry is still served, but a caller
     /// raising the budget may want to retune).
     pub complete: bool,
+    /// The full ranked outcome over the evaluated prefix (every legal
+    /// candidate's report, rejections, Pareto front), replayed verbatim
+    /// on a hit.
+    pub outcome: SearchOutcome,
+    /// Best-so-far trajectory (candidate index, score), replayed on a
+    /// hit.
+    pub trajectory: Vec<(usize, f64)>,
 }
 
 /// A directory of cached tuning results.
@@ -122,6 +134,11 @@ mod tests {
             },
             evaluated: 1,
             complete: true,
+            outcome: fm_core::search::assemble_outcome(
+                &[],
+                std::iter::empty::<fm_core::search::CandidateEval>(),
+            ),
+            trajectory: vec![(0, 1.0)],
         }
     }
 

@@ -1,8 +1,9 @@
 //! Content fingerprints for tuning-cache keys.
 //!
 //! A cache entry must be keyed by everything that determines the search
-//! result: the function graph, the machine, the objective, and the
-//! candidate set itself (labels and mappings). All four serialize
+//! result: the function graph, the machine, the objective, the
+//! candidate set itself (labels and mappings), and the refinement
+//! configuration (annealing chains change the winner). All serialize
 //! through the serde data model; the JSON rendering is canonical here
 //! (struct fields in declaration order, maps sorted), so hashing the
 //! rendered string is a stable content fingerprint.
@@ -10,6 +11,8 @@
 use fm_core::dataflow::DataflowGraph;
 use fm_core::machine::MachineConfig;
 use fm_core::search::{FigureOfMerit, MappingCandidate};
+
+use crate::tuner::Refinement;
 
 /// FNV-1a over a byte string.
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -30,6 +33,7 @@ pub fn fingerprint(
     machine: &MachineConfig,
     fom: FigureOfMerit,
     candidates: &[MappingCandidate],
+    refinement: Option<Refinement>,
 ) -> u64 {
     let mut text = String::new();
     text.push_str(&serde_json::to_string(graph).expect("graph serializes"));
@@ -37,6 +41,8 @@ pub fn fingerprint(
     text.push_str(&serde_json::to_string(machine).expect("machine serializes"));
     text.push('\u{1}');
     text.push_str(&serde_json::to_string(&fom).expect("fom serializes"));
+    text.push('\u{1}');
+    text.push_str(&serde_json::to_string(&refinement).expect("refinement serializes"));
     for c in candidates {
         text.push('\u{1}');
         text.push_str(&c.label);
@@ -64,20 +70,38 @@ mod tests {
         let g = tiny("a");
         let m = MachineConfig::linear(4);
         let cands = vec![MappingCandidate::new("serial", Mapping::serial(&g))];
-        let base = fingerprint(&g, &m, FigureOfMerit::Edp, &cands);
+        let base = fingerprint(&g, &m, FigureOfMerit::Edp, &cands, None);
 
         assert_ne!(
             base,
-            fingerprint(&tiny("b"), &m, FigureOfMerit::Edp, &cands)
+            fingerprint(&tiny("b"), &m, FigureOfMerit::Edp, &cands, None)
         );
         assert_ne!(
             base,
-            fingerprint(&g, &MachineConfig::linear(8), FigureOfMerit::Edp, &cands)
+            fingerprint(
+                &g,
+                &MachineConfig::linear(8),
+                FigureOfMerit::Edp,
+                &cands,
+                None
+            )
         );
-        assert_ne!(base, fingerprint(&g, &m, FigureOfMerit::Time, &cands));
-        assert_ne!(base, fingerprint(&g, &m, FigureOfMerit::Edp, &[]));
+        assert_ne!(base, fingerprint(&g, &m, FigureOfMerit::Time, &cands, None));
+        assert_ne!(base, fingerprint(&g, &m, FigureOfMerit::Edp, &[], None));
         let relabeled = vec![MappingCandidate::new("other", Mapping::serial(&g))];
-        assert_ne!(base, fingerprint(&g, &m, FigureOfMerit::Edp, &relabeled));
+        assert_ne!(
+            base,
+            fingerprint(&g, &m, FigureOfMerit::Edp, &relabeled, None)
+        );
+        let refined = Refinement {
+            chains: 4,
+            iters: 100,
+            seed: 1,
+        };
+        assert_ne!(
+            base,
+            fingerprint(&g, &m, FigureOfMerit::Edp, &cands, Some(refined))
+        );
     }
 
     #[test]
@@ -86,8 +110,8 @@ mod tests {
         let m = MachineConfig::linear(4);
         let cands = vec![MappingCandidate::new("serial", Mapping::serial(&g))];
         assert_eq!(
-            fingerprint(&g, &m, FigureOfMerit::Edp, &cands),
-            fingerprint(&g, &m, FigureOfMerit::Edp, &cands)
+            fingerprint(&g, &m, FigureOfMerit::Edp, &cands, None),
+            fingerprint(&g, &m, FigureOfMerit::Edp, &cands, None)
         );
     }
 }

@@ -11,34 +11,34 @@ use fm_core::legality::check;
 use fm_core::machine::MachineConfig;
 use fm_core::mapping::ResolvedMapping;
 use fm_core::search::{
-    assemble_outcome, default_mapper, evaluate_candidate, CandidateEval, FigureOfMerit,
+    anneal, assemble_outcome, default_mapper, evaluate_candidate, CandidateEval, FigureOfMerit,
     MappingCandidate, SearchOutcome,
 };
-use fm_workspan::{par_map, ThreadPool};
+use fm_workspan::{par_map, par_map_until, ThreadPool};
 
 use crate::cache::{CacheEntry, TuningCache, CACHE_SCHEMA_VERSION};
 use crate::fingerprint::fingerprint;
 
-/// Candidates per evaluation round. A fixed constant (rather than a
-/// multiple of the worker count) so budget decisions — which are taken
-/// at round boundaries — fall at the same candidate indices whether the
-/// tuner runs serial or parallel, on any pool width.
-const ROUND: usize = 16;
-
 /// Evaluation budgets. The default is unlimited: every candidate is
 /// evaluated, exactly like [`fm_core::search::search`].
+///
+/// Budget decisions are taken **per candidate, in index order** — the
+/// serial loop and the work-stealing parallel path share the same
+/// ordered reduction ([`fm_workspan::par_map_until`]), so both stop at
+/// the identical candidate for the deterministic budgets.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Budget {
     /// Evaluate at most this many candidates (a deterministic prefix
     /// of the candidate list).
     pub max_candidates: Option<usize>,
-    /// Stop evaluating at the first round boundary past this wall-clock
-    /// deadline. Timing-dependent by nature: the one budget under which
-    /// serial and parallel runs may see different prefixes.
+    /// Stop evaluating at the first candidate whose ordered reduction
+    /// lands past this wall-clock deadline. Timing-dependent by nature:
+    /// the one budget under which serial and parallel runs may see
+    /// different prefixes.
     pub deadline: Option<Duration>,
     /// Early-stop once this many consecutive candidates have failed to
-    /// improve the best score (checked at round boundaries, so the
-    /// stopping point is deterministic).
+    /// improve the best score (checked per candidate in index order, so
+    /// the stopping point is deterministic and schedule-independent).
     pub convergence_window: Option<usize>,
 }
 
@@ -64,6 +64,74 @@ impl Budget {
     pub fn with_convergence_window(mut self, window: usize) -> Budget {
         self.convergence_window = Some(window);
         self
+    }
+}
+
+/// Multi-chain annealing refinement applied to the tuner's winner.
+///
+/// `chains` independent annealing runs start from the winning mapping
+/// with seeds `seed`, `seed + 1`, …; the lowest-scoring chain (ties →
+/// lowest chain index) replaces the winner iff it strictly improves the
+/// score. Winner selection depends only on the seeds, never on the
+/// thread schedule, so refined results stay reproducible and cacheable.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Refinement {
+    /// Number of independent annealing chains.
+    pub chains: usize,
+    /// Iterations per chain.
+    pub iters: u32,
+    /// Base RNG seed; chain `k` uses `seed + k`.
+    pub seed: u64,
+}
+
+/// Shared best-so-far bookkeeping. Fed with candidate evaluations in
+/// strict index order — by the serial loop directly, and by the
+/// parallel path through `par_map_until`'s ordered reduction — so both
+/// make identical budget decisions and stop at the identical candidate.
+struct Frontier<'b> {
+    budget: &'b Budget,
+    start: Instant,
+    best_idx: Option<usize>,
+    best_score: f64,
+    last_improvement: usize,
+    trajectory: Vec<(usize, f64)>,
+}
+
+impl<'b> Frontier<'b> {
+    fn new(budget: &'b Budget, start: Instant) -> Self {
+        Frontier {
+            budget,
+            start,
+            best_idx: None,
+            best_score: f64::INFINITY,
+            last_improvement: 0,
+            trajectory: Vec::new(),
+        }
+    }
+
+    /// Fold in candidate `i`'s evaluation; `true` means stop after it.
+    fn feed(&mut self, i: usize, eval: &CandidateEval) -> bool {
+        if let CandidateEval::Legal { score, .. } = eval {
+            // Strict `<`: ties keep the earlier candidate, the same
+            // rule as assemble_outcome's stable sort.
+            if *score < self.best_score {
+                self.best_score = *score;
+                self.best_idx = Some(i);
+                self.last_improvement = i;
+                self.trajectory.push((i, *score));
+            }
+        }
+        if let Some(window) = self.budget.convergence_window {
+            if self.best_idx.is_some() && (i + 1) - self.last_improvement >= window {
+                return true;
+            }
+        }
+        if let Some(deadline) = self.budget.deadline {
+            if self.start.elapsed() >= deadline {
+                return true;
+            }
+        }
+        false
     }
 }
 
@@ -158,6 +226,19 @@ impl TuneReport {
                 s.push_str(&format!("  after candidate {i:>4}: {score:.4e}\n"));
             }
         }
+        if !self.outcome.results.is_empty() {
+            s.push_str("ranked candidates:\n");
+            for (rank, r) in self.outcome.results.iter().enumerate() {
+                s.push_str(&format!(
+                    "  #{:<3} {:<24} score {:.4e}  {} cycles  {:.1} pJ\n",
+                    rank + 1,
+                    r.label,
+                    r.score,
+                    r.report.cycles,
+                    r.report.energy().raw() / 1e3,
+                ));
+            }
+        }
         match &self.best {
             Some(b) => s.push_str(&format!(
                 "winner: {} (score {:.4e}, {} cycles, {:.1} pJ)\n",
@@ -183,6 +264,7 @@ pub struct Tuner<'a> {
     pool: Option<&'a ThreadPool>,
     cache: Option<TuningCache>,
     budget: Budget,
+    refinement: Option<Refinement>,
 }
 
 impl<'a> Tuner<'a> {
@@ -202,6 +284,7 @@ impl<'a> Tuner<'a> {
             pool: None,
             cache: None,
             budget: Budget::default(),
+            refinement: None,
         }
     }
 
@@ -223,6 +306,13 @@ impl<'a> Tuner<'a> {
         self
     }
 
+    /// Refine the winner with multi-chain annealing (parallel across
+    /// the pool when one is configured; same winner either way).
+    pub fn with_refinement(mut self, refinement: Refinement) -> Self {
+        self.refinement = Some(refinement);
+        self
+    }
+
     /// Tune over a candidate list.
     pub fn tune(&self, candidates: &[MappingCandidate]) -> TuneReport {
         let start = Instant::now();
@@ -235,7 +325,13 @@ impl<'a> Tuner<'a> {
         let mut cache_status = CacheStatus::Disabled;
         let mut fp = 0u64;
         if let Some(cache) = &self.cache {
-            fp = fingerprint(self.graph, self.machine, self.fom, candidates);
+            fp = fingerprint(
+                self.graph,
+                self.machine,
+                self.fom,
+                candidates,
+                self.refinement,
+            );
             match cache.load(fp) {
                 Some(entry) if self.replayable(&entry.best.resolved) => {
                     return TuneReport {
@@ -246,8 +342,8 @@ impl<'a> Tuner<'a> {
                         cache: CacheStatus::Hit,
                         fell_back: false,
                         wall: start.elapsed(),
-                        trajectory: Vec::new(),
-                        outcome: assemble_outcome(&[], std::iter::empty::<CandidateEval>()),
+                        trajectory: entry.trajectory,
+                        outcome: entry.outcome,
                         best: Some(entry.best),
                     };
                 }
@@ -256,67 +352,50 @@ impl<'a> Tuner<'a> {
             }
         }
 
-        // Budgeted evaluation, in rounds of ROUND candidates.
+        // Budgeted evaluation: candidates fan out per-candidate (work
+        // stealing when a pool is configured), budget decisions fold in
+        // through the ordered frontier.
         let cap = self.budget.max_candidates.unwrap_or(offered).min(offered);
-        let mut evals: Vec<CandidateEval> = Vec::with_capacity(cap);
-        let mut trajectory: Vec<(usize, f64)> = Vec::new();
-        let mut best_idx: Option<usize> = None;
-        let mut best_score = f64::INFINITY;
-        let mut last_improvement: usize = 0; // candidate index of last best update
-        let mut next = 0usize;
-        while next < cap {
-            let hi = (next + ROUND).min(cap);
-            let round: Vec<CandidateEval> = match self.pool {
-                Some(pool) => par_map(pool, hi - next, 1, |k| {
+        let mut frontier = Frontier::new(&self.budget, start);
+        let evals: Vec<CandidateEval> = match self.pool {
+            Some(pool) => par_map_until(
+                pool,
+                cap,
+                |i| {
                     evaluate_candidate(
                         self.evaluator,
                         self.graph,
                         self.machine,
-                        &candidates[next + k],
+                        &candidates[i],
                         self.fom,
                     )
-                }),
-                None => (next..hi)
-                    .map(|i| {
-                        evaluate_candidate(
-                            self.evaluator,
-                            self.graph,
-                            self.machine,
-                            &candidates[i],
-                            self.fom,
-                        )
-                    })
-                    .collect(),
-            };
-            for (k, eval) in round.iter().enumerate() {
-                if let CandidateEval::Legal { score, .. } = eval {
-                    // Strict `<`: ties keep the earlier candidate, the
-                    // same rule as assemble_outcome's stable sort.
-                    if *score < best_score {
-                        best_score = *score;
-                        best_idx = Some(next + k);
-                        last_improvement = next + k;
-                        trajectory.push((next + k, *score));
+                },
+                |i, eval| frontier.feed(i, eval),
+            ),
+            None => {
+                let mut evals = Vec::with_capacity(cap);
+                for (i, cand) in candidates.iter().enumerate().take(cap) {
+                    let eval = evaluate_candidate(
+                        self.evaluator,
+                        self.graph,
+                        self.machine,
+                        cand,
+                        self.fom,
+                    );
+                    let stop = frontier.feed(i, &eval);
+                    evals.push(eval);
+                    if stop {
+                        break;
                     }
                 }
+                evals
             }
-            evals.extend(round);
-            next = hi;
-
-            if let Some(window) = self.budget.convergence_window {
-                if best_idx.is_some() && next - last_improvement >= window {
-                    break;
-                }
-            }
-            if let Some(deadline) = self.budget.deadline {
-                if start.elapsed() >= deadline {
-                    break;
-                }
-            }
-        }
+        };
 
         let evaluated = evals.len();
-        let best = match best_idx {
+        let best_idx = frontier.best_idx;
+        let trajectory = frontier.trajectory;
+        let mut best = match best_idx {
             Some(i) => {
                 let CandidateEval::Legal {
                     resolved,
@@ -339,6 +418,11 @@ impl<'a> Tuner<'a> {
         };
         let fell_back = best_idx.is_none() && best.is_some();
 
+        if let Some(b) = best.as_mut() {
+            self.refine(b);
+        }
+
+        let outcome = assemble_outcome(&candidates[..evaluated], evals);
         if let (Some(cache), Some(best)) = (&self.cache, &best) {
             if !fell_back {
                 let _ = cache.store(&CacheEntry {
@@ -347,11 +431,12 @@ impl<'a> Tuner<'a> {
                     best: best.clone(),
                     evaluated,
                     complete: evaluated == offered,
+                    outcome: outcome.clone(),
+                    trajectory: trajectory.clone(),
                 });
             }
         }
 
-        let outcome = assemble_outcome(&candidates[..evaluated], evals);
         TuneReport {
             fom: self.fom,
             offered,
@@ -363,6 +448,49 @@ impl<'a> Tuner<'a> {
             trajectory,
             outcome,
             best,
+        }
+    }
+
+    /// Multi-chain annealing around the winner: chain `k` anneals from
+    /// the winner with seed `refinement.seed + k`; the lowest-scoring
+    /// chain (ties → lowest index) replaces the winner iff strictly
+    /// better. Annealing never increases the storage-violation count,
+    /// so a legal winner stays legal (which cache replay re-checks).
+    fn refine(&self, best: &mut TunedMapping) {
+        let Some(r) = self.refinement else { return };
+        if r.chains == 0 || r.iters == 0 || self.graph.is_empty() {
+            return;
+        }
+        let run = |k: usize| {
+            anneal(
+                self.evaluator,
+                self.graph,
+                self.machine,
+                &best.resolved,
+                self.fom,
+                r.iters,
+                r.seed + k as u64,
+            )
+        };
+        let chains = match self.pool {
+            Some(pool) => par_map(pool, r.chains, 1, run),
+            None => (0..r.chains).map(run).collect(),
+        };
+        let mut winner: Option<(usize, f64)> = None;
+        for (k, (_, report)) in chains.iter().enumerate() {
+            let score = self.fom.score(report);
+            if winner.is_none_or(|(_, w)| score < w) {
+                winner = Some((k, score));
+            }
+        }
+        if let Some((k, score)) = winner {
+            if score < best.score {
+                let (resolved, report) = chains.into_iter().nth(k).expect("winner index in range");
+                best.label = format!("{} +anneal#{k}", best.label);
+                best.resolved = resolved;
+                best.report = report;
+                best.score = score;
+            }
         }
     }
 
@@ -520,7 +648,7 @@ mod tests {
     #[test]
     fn convergence_window_stops_early() {
         // Many identical candidates after the first: no improvement
-        // past index 0, so a window of ROUND stops after two rounds.
+        // past index 0, so a window of 16 stops after 16 candidates.
         let g = wide(4);
         let m = MachineConfig::linear(4);
         let ev = Evaluator::new(&g, &m);
@@ -538,12 +666,122 @@ mod tests {
             ));
         }
         let report = Tuner::new(&ev, &g, &m, FigureOfMerit::Time)
-            .with_budget(Budget::unlimited().with_convergence_window(ROUND))
+            .with_budget(Budget::unlimited().with_convergence_window(16))
             .tune(&cands);
-        assert!(report.evaluated < cands.len());
+        assert_eq!(report.evaluated, 16, "window checked per candidate");
         assert!(report.pruned > 0);
         assert_eq!(report.best.unwrap().label, "spread");
         assert_eq!(report.trajectory.len(), 1);
+    }
+
+    #[test]
+    fn convergence_window_identical_serial_and_parallel() {
+        let g = wide(8);
+        let m = MachineConfig::linear(8);
+        let ev = Evaluator::new(&g, &m);
+        let mut cands = Vec::new();
+        // Improvements at scattered indices; the stopping point must be
+        // schedule-independent.
+        for i in 0..60 {
+            cands.push(MappingCandidate::new(
+                format!("serial-{i}"),
+                Mapping::serial(&g),
+            ));
+        }
+        cands.insert(
+            3,
+            MappingCandidate::new(
+                "spread",
+                Mapping::Affine(AffineMap {
+                    place: PlaceExpr::row0(IdxExpr::i()),
+                    time: IdxExpr::c(0),
+                }),
+            ),
+        );
+        let pool = ThreadPool::with_threads(8);
+        let budget = Budget::unlimited().with_convergence_window(9);
+        let serial = Tuner::new(&ev, &g, &m, FigureOfMerit::Time)
+            .with_budget(budget)
+            .tune(&cands);
+        let parallel = Tuner::new(&ev, &g, &m, FigureOfMerit::Time)
+            .with_budget(budget)
+            .with_pool(&pool)
+            .tune(&cands);
+        assert_eq!(serial.evaluated, parallel.evaluated);
+        assert_eq!(serial.trajectory, parallel.trajectory);
+        let (s, p) = (serial.best.unwrap(), parallel.best.unwrap());
+        assert_eq!(s.label, p.label);
+        assert_eq!(s.score, p.score);
+        assert_eq!(s.resolved, p.resolved);
+    }
+
+    #[test]
+    fn refinement_improves_deterministically_and_in_parallel() {
+        // An anneal-able problem: a chain spread badly across a grid.
+        let g = chain(12);
+        let m = MachineConfig::n5(4, 3);
+        let ev = Evaluator::new(&g, &m);
+        let cands = vec![MappingCandidate::new("serial", Mapping::serial(&g))];
+        let r = Refinement {
+            chains: 4,
+            iters: 200,
+            seed: 13,
+        };
+        let base = Tuner::new(&ev, &g, &m, FigureOfMerit::Energy).tune(&cands);
+        let serial = Tuner::new(&ev, &g, &m, FigureOfMerit::Energy)
+            .with_refinement(r)
+            .tune(&cands);
+        let pool = ThreadPool::with_threads(4);
+        let parallel = Tuner::new(&ev, &g, &m, FigureOfMerit::Energy)
+            .with_refinement(r)
+            .with_pool(&pool)
+            .tune(&cands);
+        let (b, s, p) = (
+            base.best.unwrap(),
+            serial.best.unwrap(),
+            parallel.best.unwrap(),
+        );
+        assert!(s.score <= b.score, "refinement must not regress");
+        assert_eq!(s.label, p.label, "winner chain is seed-indexed");
+        assert_eq!(s.score, p.score);
+        assert_eq!(s.resolved, p.resolved);
+        assert!(check(&g, &s.resolved, &m).is_legal());
+        if s.score < b.score {
+            assert!(s.label.contains("+anneal#"), "label records the chain");
+        }
+    }
+
+    #[test]
+    fn cache_hit_replays_full_ranked_outcome() {
+        let g = wide(16);
+        let m = MachineConfig::linear(16);
+        let ev = Evaluator::new(&g, &m);
+        let cands = families(&g);
+        let dir = tmpdir("outcome");
+
+        let cold = Tuner::new(&ev, &g, &m, FigureOfMerit::Edp)
+            .with_cache(TuningCache::open(&dir).unwrap())
+            .tune(&cands);
+        let warm = Tuner::new(&ev, &g, &m, FigureOfMerit::Edp)
+            .with_cache(TuningCache::open(&dir).unwrap())
+            .tune(&cands);
+        assert_eq!(warm.cache, CacheStatus::Hit);
+        assert_eq!(warm.evaluated, 0);
+        // The whole ranked table and trajectory replay, not just the
+        // winner — warm runs can reprint reports with zero evaluation.
+        assert_eq!(warm.trajectory, cold.trajectory);
+        assert_eq!(warm.outcome.evaluated, cold.outcome.evaluated);
+        assert_eq!(warm.outcome.legal, cold.outcome.legal);
+        assert_eq!(warm.outcome.pareto, cold.outcome.pareto);
+        let labels = |o: &SearchOutcome| {
+            o.results
+                .iter()
+                .map(|r| (r.label.clone(), r.score))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(labels(&warm.outcome), labels(&cold.outcome));
+        assert!(warm.summary().contains("ranked candidates"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -646,7 +884,7 @@ mod tests {
         let cold = Tuner::new(&ev, &g, &m, FigureOfMerit::Edp)
             .with_cache(cache.clone())
             .tune(&cands);
-        let fp = fingerprint(&g, &m, FigureOfMerit::Edp, &cands);
+        let fp = fingerprint(&g, &m, FigureOfMerit::Edp, &cands, None);
         // Forge an entry whose mapping no longer fits the graph.
         let mut entry = cache.load(fp).unwrap();
         entry.best.resolved.place.pop();

@@ -31,5 +31,7 @@ fn main() {
     let rows = fm_bench::e12_scaling::run(128, &[1, 2, 4, 8, 16, 32, 64, 128]);
     print!("{}\n\n", fm_bench::e12_scaling::print(128, &rows));
     let rows = fm_bench::e13_recompute::run(6, &[1, 10, 100, 1000, 20_000], 8);
-    println!("{}", fm_bench::e13_recompute::print(&rows));
+    print!("{}\n\n", fm_bench::e13_recompute::print(&rows));
+    let rows = fm_bench::e14_anneal::run(false);
+    println!("{}", fm_bench::e14_anneal::print(&rows));
 }

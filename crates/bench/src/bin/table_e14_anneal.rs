@@ -1,0 +1,29 @@
+//! Regenerates the E14 table (anneal throughput, full vs incremental
+//! evaluation) and writes `BENCH_e14.json` with the raw rows.
+//!
+//! `--quick` shrinks the timed iteration count (not the graphs) for a
+//! fast smoke run, e.g. from `ci.sh`. `--json PATH` overrides the JSON
+//! output path; `--no-json` suppresses it.
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let no_json = args.iter().any(|a| a == "--no-json");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_e14.json".to_string());
+    let rows = fm_bench::e14_anneal::run(quick);
+    print!("{}", fm_bench::e14_anneal::print(&rows));
+    if !no_json {
+        let doc = fm_bench::e14_anneal::to_json(&rows);
+        match std::fs::write(&json_path, doc) {
+            Ok(()) => println!("\nwrote {json_path}"),
+            Err(e) => {
+                eprintln!("table_e14_anneal: cannot write {json_path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

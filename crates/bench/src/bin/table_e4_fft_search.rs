@@ -1,14 +1,22 @@
 //! Regenerates the E4 table (FFT mapping search).
 //!
 //! `--quick` shrinks the problem (FFT-64, fewer P values) for a
-//! fast smoke run, e.g. from `ci.sh`.
+//! fast smoke run, e.g. from `ci.sh`. `--cache DIR` persists tuning
+//! results so a re-run replays every ranked table with zero candidate
+//! re-evaluation.
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let cache = args
+        .iter()
+        .position(|a| a == "--cache")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
     let (n, p_values, machine_p) = if quick {
         (64, vec![4, 8], 8)
     } else {
         (256, vec![4, 8, 16], 16)
     };
-    let rows = fm_bench::e04_fft_search::run(n, &p_values, machine_p);
+    let rows = fm_bench::e04_fft_search::run_with_cache(n, &p_values, machine_p, cache.as_deref());
     print!("{}", fm_bench::e04_fft_search::print(n, &rows));
 }

@@ -1,10 +1,17 @@
 //! Regenerates the E8 table (default mapper vs serial vs expert).
 //!
 //! `--quick` shrinks the machine to 4×1 for a fast smoke run, e.g.
-//! from `ci.sh`.
+//! from `ci.sh`. `--cache DIR` persists the tuner's results so a
+//! re-run replays the ranked outcomes without re-evaluating.
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let cache = args
+        .iter()
+        .position(|a| a == "--cache")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
     let (cols, rows_m) = if quick { (4, 1) } else { (8, 1) };
-    let rows = fm_bench::e08_default_mapper::run(cols, rows_m);
+    let rows = fm_bench::e08_default_mapper::run_with_cache(cols, rows_m, cache.as_deref());
     print!("{}", fm_bench::e08_default_mapper::print(&rows));
 }

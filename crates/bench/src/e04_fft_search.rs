@@ -5,7 +5,9 @@
 //! search the space of possible mappings to optimize a given figure of
 //! merit."
 
-use fm_autotune::Tuner;
+use std::path::Path;
+
+use fm_autotune::{Tuner, TuningCache};
 use fm_core::cost::Evaluator;
 use fm_core::machine::MachineConfig;
 use fm_core::mapping::InputPlacement;
@@ -34,6 +36,18 @@ pub struct Row {
 
 /// Search both FFT functions over the placement×P family.
 pub fn run(n: usize, p_values: &[u32], machine_p: u32) -> Vec<Row> {
+    run_with_cache(n, p_values, machine_p, None)
+}
+
+/// [`run`] with an optional persistent tuning cache: a warm run replays
+/// every ranked table from the cache with zero candidate re-evaluation
+/// (the cache stores the full outcome, not just the winner).
+pub fn run_with_cache(
+    n: usize,
+    p_values: &[u32],
+    machine_p: u32,
+    cache_dir: Option<&Path>,
+) -> Vec<Row> {
     let machine = MachineConfig::linear(machine_p);
     let family = FftFamily {
         n,
@@ -56,10 +70,11 @@ pub fn run(n: usize, p_values: &[u32], machine_p: u32) -> Vec<Row> {
     for graph in graphs {
         let cands = family.candidates_for(&graph, &machine);
         let ev = Evaluator::new(&graph, &machine).with_all_inputs(InputPlacement::AtUse);
-        let outcome = Tuner::new(&ev, &graph, &machine, FigureOfMerit::Edp)
-            .with_pool(&pool)
-            .tune(&cands)
-            .outcome;
+        let mut tuner = Tuner::new(&ev, &graph, &machine, FigureOfMerit::Edp).with_pool(&pool);
+        if let Some(cache) = cache_dir.and_then(TuningCache::open) {
+            tuner = tuner.with_cache(cache);
+        }
+        let outcome = tuner.tune(&cands).outcome;
         assert_eq!(
             outcome.legal,
             cands.len(),
@@ -170,6 +185,22 @@ mod tests {
         // Radix-4 owns the fast end of the front (fewest rounds).
         let fastest = front.iter().min_by_key(|r| r.cycles).unwrap();
         assert!(fastest.label.contains("radix4"), "{}", fastest.label);
+    }
+
+    #[test]
+    fn warm_cache_run_reproduces_cold_tables() {
+        let dir = std::env::temp_dir().join(format!("fm-bench-e4-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cold = run_with_cache(64, &[4, 8], 8, Some(&dir));
+        let warm = run_with_cache(64, &[4, 8], 8, Some(&dir));
+        assert_eq!(cold.len(), warm.len());
+        for (c, w) in cold.iter().zip(&warm) {
+            assert_eq!(c.label, w.label);
+            assert_eq!(c.cycles, w.cycles);
+            assert_eq!(c.energy_pj, w.energy_pj);
+            assert_eq!(c.pareto, w.pareto);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //! user input beyond the candidate list, and the kernel's
 //! hand-written/searched mapping.
 
-use fm_autotune::Tuner;
+use std::path::Path;
+
+use fm_autotune::{Tuner, TuningCache};
 use fm_core::cost::Evaluator;
 use fm_core::legality::check;
 use fm_core::machine::MachineConfig;
@@ -38,6 +40,13 @@ pub struct Row {
 
 /// Run the mappers over three kernels on a `cols×rows` machine.
 pub fn run(cols: u32, rows_m: u32) -> Vec<Row> {
+    run_with_cache(cols, rows_m, None)
+}
+
+/// [`run`] with an optional persistent tuning cache for the "tuned"
+/// rows: warm runs replay the tuner's ranked outcome without
+/// re-evaluating any candidate.
+pub fn run_with_cache(cols: u32, rows_m: u32, cache_dir: Option<&Path>) -> Vec<Row> {
     let machine = MachineConfig::n5(cols, rows_m);
     let p = i64::from(cols * rows_m);
 
@@ -73,7 +82,11 @@ pub fn run(cols: u32, rows_m: u32) -> Vec<Row> {
             .map(|(l, rm)| MappingCandidate::new(*l, Mapping::Table(rm.clone())))
             .collect();
         let ev = Evaluator::new(graph, machine).with_all_inputs(InputPlacement::AtUse);
-        let report = Tuner::new(&ev, graph, machine, FigureOfMerit::Time).tune(&cands);
+        let mut tuner = Tuner::new(&ev, graph, machine, FigureOfMerit::Time);
+        if let Some(cache) = cache_dir.and_then(TuningCache::open) {
+            tuner = tuner.with_cache(cache);
+        }
+        let report = tuner.tune(&cands);
         report
             .best
             .unwrap_or_else(|| panic!("{kernel}: tuner found no legal mapping"))
@@ -230,6 +243,21 @@ mod tests {
             assert!(get("tuned") <= get("serial"), "{kernel}");
             assert!(get("tuned") <= get("default"), "{kernel}");
         }
+    }
+
+    #[test]
+    fn warm_cache_run_reproduces_cold_rows() {
+        let dir = std::env::temp_dir().join(format!("fm-bench-e8-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cold = run_with_cache(4, 1, Some(&dir));
+        let warm = run_with_cache(4, 1, Some(&dir));
+        assert_eq!(cold.len(), warm.len());
+        for (c, w) in cold.iter().zip(&warm) {
+            assert_eq!((&c.kernel, &c.mapper), (&w.kernel, &w.mapper));
+            assert_eq!(c.cycles, w.cycles);
+            assert_eq!(c.energy_pj, w.energy_pj);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

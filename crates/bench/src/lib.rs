@@ -36,3 +36,4 @@ pub mod e10_bfs;
 pub mod e11_comm_events;
 pub mod e12_scaling;
 pub mod e13_recompute;
+pub mod e14_anneal;

@@ -34,10 +34,106 @@ use serde::{Deserialize, Serialize};
 
 use fm_costmodel::{EnergyLedger, Femtojoules, OpKind, Picoseconds};
 
-use crate::dataflow::{DataflowGraph, InputSpec};
+use crate::dataflow::{DataflowGraph, InputSpec, NodeId};
 use crate::legality::tile_peaks;
 use crate::machine::MachineConfig;
 use crate::mapping::{InputPlacement, ResolvedMapping};
+
+/// One node's contribution to the energy ledger: everything the
+/// evaluator charges that is attributable to a single node — its
+/// compute ops, its result tile write, its operand/input reads, and the
+/// def→use messages it *produces*. Placement-dependent but
+/// time-independent, which is what makes incremental re-costing after a
+/// placement move possible (see [`crate::delta::DeltaEvaluator`]).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct NodeCost {
+    /// Compute (ALU + local SRAM) femtojoules.
+    pub compute_fj: f64,
+    /// Compute ops charged.
+    pub compute_ops: u64,
+    /// On-chip communication femtojoules.
+    pub onchip_fj: f64,
+    /// On-chip messages charged.
+    pub onchip_messages: u64,
+    /// On-chip bits moved.
+    pub onchip_bits: u64,
+    /// On-chip bit-millimeters moved.
+    pub onchip_bit_mm: f64,
+}
+
+impl NodeCost {
+    fn combine(a: NodeCost, b: NodeCost) -> NodeCost {
+        NodeCost {
+            compute_fj: a.compute_fj + b.compute_fj,
+            compute_ops: a.compute_ops + b.compute_ops,
+            onchip_fj: a.onchip_fj + b.onchip_fj,
+            onchip_messages: a.onchip_messages + b.onchip_messages,
+            onchip_bits: a.onchip_bits + b.onchip_bits,
+            onchip_bit_mm: a.onchip_bit_mm + b.onchip_bit_mm,
+        }
+    }
+}
+
+/// A fixed-shape pairwise-reduction tree over per-node costs.
+///
+/// Floating-point addition is not associative, so the *shape* of the
+/// summation decides the bits of the total. Both the full evaluator and
+/// the incremental one sum leaves through this tree (power-of-two
+/// padded with zeros; `0.0 + x == x` exactly for the non-negative
+/// energies charged here), so a leaf update followed by an `O(log n)`
+/// path refresh reproduces the full sum bit-for-bit.
+#[derive(Debug, Clone)]
+pub struct CostTree {
+    cap: usize,
+    nodes: Vec<NodeCost>,
+}
+
+impl CostTree {
+    /// Build from leaves (empty input yields an all-zero total).
+    pub fn build(leaves: &[NodeCost]) -> CostTree {
+        let cap = leaves.len().next_power_of_two().max(1);
+        let mut nodes = vec![NodeCost::default(); 2 * cap];
+        nodes[cap..cap + leaves.len()].copy_from_slice(leaves);
+        for i in (1..cap).rev() {
+            nodes[i] = NodeCost::combine(nodes[2 * i], nodes[2 * i + 1]);
+        }
+        CostTree { cap, nodes }
+    }
+
+    /// Replace leaf `i` and refresh its root path.
+    pub fn update(&mut self, i: usize, v: NodeCost) {
+        let mut j = self.cap + i;
+        self.nodes[j] = v;
+        while j > 1 {
+            j /= 2;
+            self.nodes[j] = NodeCost::combine(self.nodes[2 * j], self.nodes[2 * j + 1]);
+        }
+    }
+
+    /// Current value of leaf `i`.
+    pub fn leaf(&self, i: usize) -> NodeCost {
+        self.nodes[self.cap + i]
+    }
+
+    /// The tree-shaped sum of all leaves.
+    pub fn total(&self) -> NodeCost {
+        self.nodes[1]
+    }
+}
+
+/// Placement-independent off-chip totals: DRAM input fetches (each
+/// distinct element once) and optional output writeback. A pure
+/// function of the graph and the evaluator's input placements, so the
+/// incremental evaluator computes them once and reuses them.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OffchipTotals {
+    /// Off-chip femtojoules.
+    pub fj: f64,
+    /// Off-chip transfers.
+    pub transfers: u64,
+    /// Off-chip bits moved.
+    pub bits: u64,
+}
 
 /// Unflatten a row-major flat index against a tensor's dims.
 fn unflatten(spec: &InputSpec, flat: u32) -> Vec<i64> {
@@ -51,7 +147,7 @@ fn unflatten(spec: &InputSpec, flat: u32) -> Vec<i64> {
 }
 
 /// The outcome of evaluating one mapped function.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CostReport {
     /// Graph name.
     pub name: String,
@@ -138,121 +234,197 @@ impl<'a> Evaluator<'a> {
         self
     }
 
-    /// Evaluate the mapped function. The mapping is assumed legal; run
-    /// [`crate::legality::check`] first.
-    pub fn evaluate(&self, rm: &ResolvedMapping) -> CostReport {
+    /// The graph under evaluation.
+    pub fn graph(&self) -> &'a DataflowGraph {
+        self.graph
+    }
+
+    /// The machine evaluated against.
+    pub fn machine(&self) -> &'a MachineConfig {
+        self.machine
+    }
+
+    /// The ledger contribution of node `id` under the given placements:
+    /// its ops, result write, operand/input reads, and the def→use
+    /// messages it produces to its (remote) consumers. Depends only on
+    /// `place[id]`, the places of `id`'s consumers, and the evaluator's
+    /// input placements — never on times.
+    pub(crate) fn node_cost(
+        &self,
+        id: usize,
+        place: &[(i64, i64)],
+        consumers: &[Vec<NodeId>],
+    ) -> NodeCost {
         let g = self.graph;
         let m = self.machine;
         let width = u64::from(g.width_bits);
-        let mut ledger = EnergyLedger::new();
+        let n = &g.nodes[id];
+        let mut c = NodeCost::default();
+        let compute = |e: Femtojoules, c: &mut NodeCost| {
+            c.compute_fj += e.raw();
+            c.compute_ops += 1;
+        };
+        let onchip = |mm: f64, e: Femtojoules, c: &mut NodeCost| {
+            c.onchip_fj += e.raw();
+            c.onchip_messages += 1;
+            c.onchip_bits += width;
+            c.onchip_bit_mm += width as f64 * mm;
+        };
+
+        // Compute: expression ops + one tile write for the result.
+        for op in n.expr.op_kinds(g.width_bits) {
+            compute(m.tech.op_energy(op), &mut c);
+        }
+        compute(m.tile_access_energy(width), &mut c);
+
+        let cons = place[id];
+        // Operand reads: one tile access per dependency (the value is
+        // local by then — produced here or delivered here).
+        for _ in &n.deps {
+            compute(m.tile_access_energy(width), &mut c);
+        }
+
+        // Input reads. DRAM reads are charged in [`Self::offchip_totals`]
+        // (once per distinct element, not per read).
+        for (input, flat) in n.expr.input_reads() {
+            match &self.input_placements[input as usize] {
+                InputPlacement::Dram => {}
+                InputPlacement::Local(pexpr) => {
+                    let spec = &g.inputs[input as usize];
+                    let idx = unflatten(spec, flat);
+                    let home = pexpr.eval(&idx, m.cols);
+                    if home == cons {
+                        compute(m.tile_access_energy(width), &mut c);
+                    } else {
+                        let a = (home.0 as u32, home.1 as u32);
+                        let b = (cons.0 as u32, cons.1 as u32);
+                        onchip(m.distance_mm(a, b), m.route_energy(width, a, b), &mut c);
+                    }
+                }
+                InputPlacement::AtUse => {
+                    compute(m.tile_access_energy(width), &mut c);
+                }
+            }
+        }
+
+        // Def→use movement this node *produces*: one message per
+        // distinct remote consumer PE.
+        let prod = place[id];
+        let mut pes: Vec<(i64, i64)> = consumers[id]
+            .iter()
+            .map(|&cn| place[cn as usize])
+            .filter(|&p| p != prod)
+            .collect();
+        pes.sort_unstable();
+        pes.dedup();
+        let a = (prod.0 as u32, prod.1 as u32);
+        if self.multicast {
+            if !pes.is_empty() {
+                let dests: Vec<(u32, u32)> = pes.iter().map(|p| (p.0 as u32, p.1 as u32)).collect();
+                let (mm, _links) = m.multicast_route(a, &dests);
+                let e = m
+                    .tech
+                    .wire_energy(width, fm_costmodel::Millimeters::new(mm));
+                onchip(mm, e, &mut c);
+            }
+        } else {
+            for pe in pes {
+                let b = (pe.0 as u32, pe.1 as u32);
+                onchip(m.distance_mm(a, b), m.route_energy(width, a, b), &mut c);
+            }
+        }
+        c
+    }
+
+    /// Off-chip totals: DRAM fetches (each distinct element once) plus
+    /// optional output writeback. Placement-independent.
+    pub(crate) fn offchip_totals(&self) -> OffchipTotals {
+        let g = self.graph;
+        let m = self.machine;
+        let width = u64::from(g.width_bits);
         let mut dram_elements: HashSet<(u32, u32)> = HashSet::new();
-
-        for (id, n) in g.nodes.iter().enumerate() {
-            // Compute: expression ops + one tile write for the result.
-            for op in n.expr.op_kinds(g.width_bits) {
-                ledger.charge_compute(m.tech.op_energy(op));
-            }
-            ledger.charge_compute(m.tile_access_energy(width));
-
-            let cons = rm.place[id];
-            // Operand reads: one tile access per dependency (the value
-            // is local by then — produced here or delivered here).
-            for _ in &n.deps {
-                ledger.charge_compute(m.tile_access_energy(width));
-            }
-
-            // Input reads.
+        for n in &g.nodes {
             for (input, flat) in n.expr.input_reads() {
-                match &self.input_placements[input as usize] {
-                    InputPlacement::Dram => {
-                        dram_elements.insert((input, flat));
-                    }
-                    InputPlacement::Local(pexpr) => {
-                        let spec = &g.inputs[input as usize];
-                        let idx = unflatten(spec, flat);
-                        let home = pexpr.eval(&idx, m.cols);
-                        if home == cons {
-                            ledger.charge_compute(m.tile_access_energy(width));
-                        } else {
-                            let a = (home.0 as u32, home.1 as u32);
-                            let b = (cons.0 as u32, cons.1 as u32);
-                            let e = m.route_energy(width, a, b);
-                            ledger.charge_onchip(width, m.distance_mm(a, b), e);
-                        }
-                    }
-                    InputPlacement::AtUse => {
-                        ledger.charge_compute(m.tile_access_energy(width));
-                    }
+                if matches!(self.input_placements[input as usize], InputPlacement::Dram) {
+                    dram_elements.insert((input, flat));
                 }
             }
         }
-
-        // Def→use movement: one message per distinct remote consumer PE
-        // of each producer.
-        for (id, cons) in g.consumers().iter().enumerate() {
-            let prod = rm.place[id];
-            let mut pes: Vec<(i64, i64)> = cons
-                .iter()
-                .map(|&c| rm.place[c as usize])
-                .filter(|&p| p != prod)
-                .collect();
-            pes.sort_unstable();
-            pes.dedup();
-            let a = (prod.0 as u32, prod.1 as u32);
-            if self.multicast {
-                if !pes.is_empty() {
-                    let dests: Vec<(u32, u32)> =
-                        pes.iter().map(|p| (p.0 as u32, p.1 as u32)).collect();
-                    let (mm, _links) = m.multicast_route(a, &dests);
-                    let e = m
-                        .tech
-                        .wire_energy(width, fm_costmodel::Millimeters::new(mm));
-                    ledger.charge_onchip(width, mm, e);
-                }
-            } else {
-                for pe in pes {
-                    let b = (pe.0 as u32, pe.1 as u32);
-                    let e = m.route_energy(width, a, b);
-                    ledger.charge_onchip(width, m.distance_mm(a, b), e);
-                }
-            }
-        }
-
-        // DRAM inputs: each distinct element once.
+        let mut off = OffchipTotals::default();
+        let charge = |off: &mut OffchipTotals| {
+            off.fj += m.tech.offchip_energy(width).raw();
+            off.transfers += 1;
+            off.bits += width;
+        };
         for _ in &dram_elements {
-            ledger.charge_offchip(width, m.tech.offchip_energy(width));
+            charge(&mut off);
         }
-
-        // Output writeback.
         if self.writeback_outputs {
             for _ in g.outputs() {
-                ledger.charge_offchip(width, m.tech.offchip_energy(width));
+                charge(&mut off);
             }
         }
+        off
+    }
 
-        let cycles = rm.makespan();
-        let pes_used = rm.pes_used();
+    /// Assemble a [`CostReport`] from tree-summed node costs, off-chip
+    /// totals, and schedule aggregates. Shared verbatim between
+    /// [`Self::evaluate`] and the incremental evaluator so both produce
+    /// bit-identical reports from identical components.
+    pub(crate) fn assemble(
+        &self,
+        total: NodeCost,
+        off: &OffchipTotals,
+        cycles: i64,
+        peak_tile_bits: u64,
+        pes_used: usize,
+    ) -> CostReport {
+        let g = self.graph;
+        let mut ledger = EnergyLedger::new();
+        ledger.energy.compute = Femtojoules::new(total.compute_fj);
+        ledger.energy.onchip_comm = Femtojoules::new(total.onchip_fj);
+        ledger.energy.offchip = Femtojoules::new(off.fj);
+        ledger.compute_ops = total.compute_ops;
+        ledger.onchip_messages = total.onchip_messages;
+        ledger.onchip_bits = total.onchip_bits;
+        ledger.onchip_bit_mm = total.onchip_bit_mm;
+        ledger.offchip_transfers = off.transfers;
+        ledger.offchip_bits = off.bits;
+
         let utilization = if cycles > 0 && pes_used > 0 {
             g.len() as f64 / (pes_used as f64 * cycles as f64)
         } else {
             0.0
         };
-        let peak_tile_bits = tile_peaks(g, rm, cycles)
-            .values()
-            .copied()
-            .max()
-            .unwrap_or(0);
-
         CostReport {
             name: g.name.clone(),
             cycles,
-            time_ps: m.clock_period() * cycles as f64,
+            time_ps: self.machine.clock_period() * cycles as f64,
             ledger,
             peak_tile_bits,
             pes_used,
             utilization,
             elements: g.len() as u64,
         }
+    }
+
+    /// Evaluate the mapped function. The mapping is assumed legal; run
+    /// [`crate::legality::check`] first.
+    pub fn evaluate(&self, rm: &ResolvedMapping) -> CostReport {
+        let g = self.graph;
+        let consumers = g.consumers();
+        let leaves: Vec<NodeCost> = (0..g.len())
+            .map(|id| self.node_cost(id, &rm.place, &consumers))
+            .collect();
+        let total = CostTree::build(&leaves).total();
+        let off = self.offchip_totals();
+        let cycles = rm.makespan();
+        let peak_tile_bits = tile_peaks(g, rm, cycles)
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(0);
+        self.assemble(total, &off, cycles, peak_tile_bits, rm.pes_used())
     }
 }
 

@@ -1,0 +1,796 @@
+//! Incremental cost/legality evaluation: O(Δ) per placement move.
+//!
+//! The annealer in [`crate::search`] refines a mapping one single-node
+//! placement move at a time, but re-deriving the schedule and re-walking
+//! the whole graph per move costs O(|V|+|E|) — graph-sized work for a
+//! cone-sized change. [`DeltaEvaluator`] caches everything the full
+//! [`Evaluator`](crate::cost::Evaluator) derives from a placement and
+//! repairs only what a move can touch:
+//!
+//! * **Times** (list schedule): node ids are topological (`deps[k] < id`)
+//!   and the retime rule consults only *smaller-id* nodes (producers,
+//!   and same-PE occupancy in id order). Processing the dirty set with a
+//!   min-heap in increasing id order therefore reaches the exact
+//!   [`retime`](crate::search::retime) fixpoint with each node
+//!   recomputed at most once. The dirty seed for moving node `n` is
+//!   `{n} ∪ consumers(n) ∪ {ids > n on the source or destination PE}`;
+//!   a node whose time changes re-dirties its consumers and its same-PE
+//!   successors.
+//! * **Ledger** (energy/traffic): per-node contributions
+//!   ([`NodeCost`]) are time-independent, and a move changes only the
+//!   moved node's own contribution and its producers' def→use messages
+//!   — `deg(n) + 1` leaves of a fixed-shape reduction tree
+//!   ([`CostTree`]), refreshed in O(deg·log V). Because the full
+//!   evaluator sums through the *same* tree, totals agree bit-for-bit.
+//! * **Storage legality**: per-PE peak live bits are re-swept only for
+//!   the source/destination PEs, the PEs of retimed nodes, and the PEs
+//!   of values whose last use moved. Output lifetimes use a far-future
+//!   sentinel instead of the makespan — the peak of an interval stack is
+//!   invariant to any right endpoint past the last start — so peaks
+//!   never depend on makespan changes.
+//! * **Aggregates**: makespan and the global peak are maxima over
+//!   multisets kept in `BTreeMap` histograms; PEs-used is the size of
+//!   the PE→nodes index; the storage-violation count is maintained as
+//!   peaks change. [`DeltaEvaluator::report`] is therefore O(1)-ish
+//!   (one tree-root read plus map lookups).
+//!
+//! In debug builds every [`DeltaEvaluator::apply_move`] re-derives the
+//! full schedule and report and asserts bit-exact equality
+//! ([`DeltaEvaluator::assert_parity`]); property tests in the workspace
+//! root drive random move sequences through the same assertion.
+//!
+//! Every cached field is a pure function of the placement vector, so
+//! undoing a move can always fall back to applying the reverse move;
+//! [`DeltaEvaluator::undo`] is cheaper — each move journals the values
+//! it overwrites, and replaying the journal in reverse restores the
+//! prior state with no scheduling, sweeping, or sorting at all. The
+//! annealer uses it to make rejected proposals nearly free.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
+
+use crate::cost::{CostReport, CostTree, Evaluator, NodeCost, OffchipTotals};
+use crate::dataflow::{DataflowGraph, NodeId};
+use crate::machine::MachineConfig;
+use crate::mapping::ResolvedMapping;
+use crate::search::FigureOfMerit;
+
+/// Stand-in for "lives forever" in lifetime sweeps. Any value past the
+/// last production cycle yields the same peak; this one also never
+/// overflows `+ 1`.
+const FAR_FUTURE: i64 = i64::MAX / 4;
+
+/// One recorded mutation of [`DeltaEvaluator`] state, with the value
+/// it replaced — replaying a move's entries in reverse restores the
+/// exact prior state without re-running any scheduling.
+#[derive(Debug, Clone, Copy)]
+enum UndoEntry {
+    Place { node: usize, pe: (i64, i64) },
+    RemovedFromPe { pe: (i64, i64), id: NodeId },
+    InsertedToPe { pe: (i64, i64), id: NodeId },
+    Time { id: NodeId, t: i64 },
+    LastUse { id: NodeId, t: i64 },
+    Peak { pe: (i64, i64), v: Option<u64> },
+    Leaf { id: NodeId, cost: NodeCost },
+}
+
+fn hist_add<K: Ord>(h: &mut BTreeMap<K, u32>, k: K) {
+    *h.entry(k).or_insert(0) += 1;
+}
+
+fn hist_remove<K: Ord + std::fmt::Debug>(h: &mut BTreeMap<K, u32>, k: K) {
+    match h.get_mut(&k) {
+        Some(c) if *c > 1 => *c -= 1,
+        Some(_) => {
+            h.remove(&k);
+        }
+        None => panic!("histogram underflow at key {k:?}"),
+    }
+}
+
+/// Incremental evaluator over single-node placement moves.
+///
+/// Holds a placement (times always the [`retime`](crate::search::retime)
+/// list schedule of that placement) plus every derived quantity the full
+/// evaluator would compute, and repairs them in cone-sized work per
+/// [`Self::apply_move`]. [`Self::report`] is bit-identical to
+/// `Evaluator::evaluate` on [`Self::mapping`], by construction and by
+/// debug-mode assertion.
+pub struct DeltaEvaluator<'e, 'a> {
+    ev: &'e Evaluator<'a>,
+    graph: &'a DataflowGraph,
+    machine: &'a MachineConfig,
+    consumers: Vec<Vec<NodeId>>,
+    place: Vec<(i64, i64)>,
+    time: Vec<i64>,
+    /// max(own time, consumer times); outputs are *not* extended here —
+    /// the sweep substitutes [`FAR_FUTURE`] for them.
+    last_use: Vec<i64>,
+    /// Node ids per PE, ascending. No empty lists are kept.
+    pe_nodes: HashMap<(i64, i64), Vec<NodeId>>,
+    /// Multiset of node times; max key + 1 = makespan.
+    time_hist: BTreeMap<i64, u32>,
+    /// Peak live bits per occupied PE.
+    peaks: HashMap<(i64, i64), u64>,
+    /// Multiset of per-PE peaks; max key = global peak.
+    peak_hist: BTreeMap<u64, u32>,
+    /// PEs whose peak exceeds `machine.tile_bits`.
+    over_capacity: u64,
+    tree: CostTree,
+    off: OffchipTotals,
+    in_heap: Vec<bool>,
+    /// Mutations of the most recent [`Self::apply_move`], for
+    /// [`Self::undo`]. Cleared at the start of each move.
+    journal: Vec<UndoEntry>,
+    paranoid: bool,
+}
+
+impl<'e, 'a> DeltaEvaluator<'e, 'a> {
+    /// Build from an initial placement (all places must be on-grid).
+    /// Times are derived by list scheduling, exactly as
+    /// [`crate::search::retime`] would.
+    pub fn new(ev: &'e Evaluator<'a>, init_places: &[(i64, i64)]) -> Self {
+        let graph = ev.graph();
+        let machine = ev.machine();
+        assert_eq!(
+            init_places.len(),
+            graph.len(),
+            "placement length must match graph"
+        );
+        for &(x, y) in init_places {
+            assert!(machine.contains(x, y), "initial place ({x},{y}) off-grid");
+        }
+        let rm = crate::search::retime(graph, init_places, machine);
+        let consumers = graph.consumers();
+
+        let mut last_use = rm.time.clone();
+        for (id, n) in graph.nodes.iter().enumerate() {
+            for &d in &n.deps {
+                if rm.time[id] > last_use[d as usize] {
+                    last_use[d as usize] = rm.time[id];
+                }
+            }
+        }
+
+        let mut pe_nodes: HashMap<(i64, i64), Vec<NodeId>> = HashMap::new();
+        for (id, &pe) in rm.place.iter().enumerate() {
+            pe_nodes.entry(pe).or_default().push(id as NodeId);
+        }
+
+        let mut time_hist = BTreeMap::new();
+        for &t in &rm.time {
+            hist_add(&mut time_hist, t);
+        }
+
+        let leaves: Vec<NodeCost> = (0..graph.len())
+            .map(|id| ev.node_cost(id, &rm.place, &consumers))
+            .collect();
+        let tree = CostTree::build(&leaves);
+        let off = ev.offchip_totals();
+        let n = graph.len();
+
+        let mut this = DeltaEvaluator {
+            ev,
+            graph,
+            machine,
+            consumers,
+            place: rm.place,
+            time: rm.time,
+            last_use,
+            pe_nodes,
+            time_hist,
+            peaks: HashMap::new(),
+            peak_hist: BTreeMap::new(),
+            over_capacity: 0,
+            tree,
+            off,
+            in_heap: vec![false; n],
+            journal: Vec::new(),
+            paranoid: true,
+        };
+        let pes: Vec<(i64, i64)> = this.pe_nodes.keys().copied().collect();
+        for pe in pes {
+            this.refresh_peak(pe);
+        }
+        this.journal.clear();
+        this
+    }
+
+    /// Disable (or re-enable) the per-move full-parity assertion that
+    /// runs in debug builds. Useful for debug-build throughput tests;
+    /// release builds never run the assertion either way.
+    pub fn with_paranoia(mut self, on: bool) -> Self {
+        self.paranoid = on;
+        self
+    }
+
+    /// Current place of a node.
+    pub fn place_of(&self, node: usize) -> (i64, i64) {
+        self.place[node]
+    }
+
+    /// The current mapping (places + list-scheduled times).
+    pub fn mapping(&self) -> ResolvedMapping {
+        ResolvedMapping {
+            place: self.place.clone(),
+            time: self.time.clone(),
+        }
+    }
+
+    /// Number of PEs whose peak live bits exceed the machine's tile
+    /// capacity — the same count [`crate::legality::check`] reports as
+    /// `StorageExceeded` violations.
+    pub fn storage_violations(&self) -> u64 {
+        self.over_capacity
+    }
+
+    /// The current cost report, bit-identical to running the full
+    /// evaluator on [`Self::mapping`].
+    pub fn report(&self) -> CostReport {
+        let cycles = self.time_hist.keys().next_back().map_or(0, |&t| t + 1);
+        let peak = self.peak_hist.keys().next_back().copied().unwrap_or(0);
+        self.ev.assemble(
+            self.tree.total(),
+            &self.off,
+            cycles,
+            peak,
+            self.pe_nodes.len(),
+        )
+    }
+
+    /// Score of the current mapping under `fom` (lower is better) —
+    /// identical arithmetic to `fom.score(&self.report())`.
+    pub fn score(&self, fom: FigureOfMerit) -> f64 {
+        fom.score(&self.report())
+    }
+
+    /// Move `node` to `new_pe` (must be on-grid) and repair all cached
+    /// state. Work is proportional to the retimed cone, the moved
+    /// node's degree, and the affected PEs' populations — not the graph.
+    ///
+    /// To undo, apply the reverse move: all state is a pure function of
+    /// the placement.
+    pub fn apply_move(&mut self, node: usize, new_pe: (i64, i64)) {
+        assert!(node < self.graph.len(), "node out of range");
+        assert!(
+            self.machine.contains(new_pe.0, new_pe.1),
+            "move target {new_pe:?} off-grid"
+        );
+        self.journal.clear();
+        let old_pe = self.place[node];
+        if old_pe == new_pe {
+            return;
+        }
+        let id = node as NodeId;
+
+        // Membership: the PE→nodes index drives occupancy, peaks, and
+        // the pes_used count.
+        let mut heap: BinaryHeap<Reverse<NodeId>> = BinaryHeap::new();
+        {
+            let t_old = self.time[node];
+            let list = self.pe_nodes.get_mut(&old_pe).expect("node on its PE");
+            let pos = list.binary_search(&id).expect("node on its PE");
+            list.remove(pos);
+            // Later source-PE nodes may now schedule earlier — but only
+            // those at or past the vacated slot: a node's gap scan never
+            // consults slots above its own scheduled time.
+            for &j in &list[pos..] {
+                if self.time[j as usize] >= t_old {
+                    self.in_heap[j as usize] = true;
+                    heap.push(Reverse(j));
+                }
+            }
+            if list.is_empty() {
+                self.pe_nodes.remove(&old_pe);
+            }
+            self.journal
+                .push(UndoEntry::RemovedFromPe { pe: old_pe, id });
+        }
+        {
+            let list = self.pe_nodes.entry(new_pe).or_default();
+            let pos = list
+                .binary_search(&id)
+                .expect_err("node cannot already be on target PE");
+            list.insert(pos, id);
+            self.journal
+                .push(UndoEntry::InsertedToPe { pe: new_pe, id });
+            // Later destination-PE nodes are dirtied when the moved
+            // node pops (first, by id order) and its new slot is known
+            // — seeding them all here would over-approximate.
+        }
+        self.place[node] = new_pe;
+        self.journal.push(UndoEntry::Place { node, pe: old_pe });
+
+        // The moved node reschedules; its consumers' wire-delay gaps
+        // changed even if its time does not.
+        if !self.in_heap[node] {
+            self.in_heap[node] = true;
+            heap.push(Reverse(id));
+        }
+        for &c in &self.consumers[node] {
+            if !self.in_heap[c as usize] {
+                self.in_heap[c as usize] = true;
+                heap.push(Reverse(c));
+            }
+        }
+
+        // Retime the dirty set in increasing id order. Every quantity a
+        // node's schedule consults (producer times, smaller-id same-PE
+        // occupancy) is final by the time it pops, so one pass reaches
+        // the list-schedule fixpoint.
+        //
+        // Occupancy is shared across pops on the same PE: pops arrive
+        // in increasing id order (pushes only ever target ids above the
+        // current pop), so each PE's slot multiset can be extended with
+        // finalized times as a cursor walks up its membership list,
+        // instead of re-collecting and re-sorting per pop.
+        #[derive(Default)]
+        struct Occ {
+            cursor: usize,
+            slots: Vec<i64>,
+        }
+        let mut occ: HashMap<(i64, i64), Occ> = HashMap::new();
+        let mut dirty_pes: Vec<(i64, i64)> = vec![old_pe, new_pe];
+        while let Some(Reverse(i)) = heap.pop() {
+            let iu = i as usize;
+            self.in_heap[iu] = false;
+            let t_new = {
+                let pe = self.place[iu];
+                let o = occ.entry(pe).or_default();
+                let list = &self.pe_nodes[&pe];
+                while o.cursor < list.len() && list[o.cursor] < i {
+                    let s = self.time[list[o.cursor] as usize];
+                    let p = o.slots.partition_point(|&x| x < s);
+                    debug_assert!(
+                        o.slots.get(p) != Some(&s),
+                        "finalized same-PE times are pairwise distinct"
+                    );
+                    o.slots.insert(p, s);
+                    o.cursor += 1;
+                }
+                self.schedule_time_in(iu, &o.slots)
+            };
+            let t_old = self.time[iu];
+            if iu == node {
+                // The moved node's slot is new on this PE: later nodes
+                // at or past it must reschedule around it, even when
+                // the moved node's own time did not change.
+                if let Some(list) = self.pe_nodes.get(&self.place[iu]) {
+                    let pos = list.partition_point(|&j| j <= i);
+                    for &j in &list[pos..] {
+                        if self.time[j as usize] >= t_new && !self.in_heap[j as usize] {
+                            self.in_heap[j as usize] = true;
+                            heap.push(Reverse(j));
+                        }
+                    }
+                }
+            }
+            if t_new == t_old {
+                continue;
+            }
+            hist_remove(&mut self.time_hist, t_old);
+            hist_add(&mut self.time_hist, t_new);
+            self.time[iu] = t_new;
+            self.journal.push(UndoEntry::Time { id: i, t: t_old });
+            dirty_pes.push(self.place[iu]);
+
+            // Ripple: same-PE successors at or past the perturbed slot
+            // range (slots above a node's own time are never consulted
+            // by its gap scan), and consumers.
+            let lo = t_old.min(t_new);
+            if let Some(list) = self.pe_nodes.get(&self.place[iu]) {
+                let pos = list.partition_point(|&j| j <= i);
+                for &j in &list[pos..] {
+                    if self.time[j as usize] >= lo && !self.in_heap[j as usize] {
+                        self.in_heap[j as usize] = true;
+                        heap.push(Reverse(j));
+                    }
+                }
+            }
+            for &c in &self.consumers[iu] {
+                if !self.in_heap[c as usize] {
+                    self.in_heap[c as usize] = true;
+                    heap.push(Reverse(c));
+                }
+            }
+
+            // A time change moves this value's production and possibly
+            // the last use of its operands.
+            let lu_self = self.recompute_last_use(iu);
+            if lu_self != self.last_use[iu] {
+                self.journal.push(UndoEntry::LastUse {
+                    id: i,
+                    t: self.last_use[iu],
+                });
+                self.last_use[iu] = lu_self;
+            }
+            for k in 0..self.graph.nodes[iu].deps.len() {
+                let du = self.graph.nodes[iu].deps[k] as usize;
+                let lu = self.recompute_last_use(du);
+                if lu != self.last_use[du] {
+                    self.journal.push(UndoEntry::LastUse {
+                        id: du as NodeId,
+                        t: self.last_use[du],
+                    });
+                    self.last_use[du] = lu;
+                    dirty_pes.push(self.place[du]);
+                }
+            }
+        }
+
+        // Re-cost the moved node (its reads and the messages it sends)
+        // and its producers (the messages they send to it).
+        self.journal.push(UndoEntry::Leaf {
+            id,
+            cost: self.tree.leaf(node),
+        });
+        self.tree
+            .update(node, self.ev.node_cost(node, &self.place, &self.consumers));
+        for k in 0..self.graph.nodes[node].deps.len() {
+            let du = self.graph.nodes[node].deps[k] as usize;
+            self.journal.push(UndoEntry::Leaf {
+                id: du as NodeId,
+                cost: self.tree.leaf(du),
+            });
+            self.tree
+                .update(du, self.ev.node_cost(du, &self.place, &self.consumers));
+        }
+
+        // Re-sweep peaks only where lifetimes could have moved.
+        dirty_pes.sort_unstable();
+        dirty_pes.dedup();
+        for pe in dirty_pes {
+            self.refresh_peak(pe);
+        }
+
+        if cfg!(debug_assertions) && self.paranoid {
+            self.assert_parity();
+        }
+    }
+
+    /// Revert the most recent [`Self::apply_move`] by replaying its
+    /// journal in reverse: every entry restores the exact value the
+    /// move overwrote, so no schedule, lifetime, or peak is recomputed.
+    /// A second `undo` (or one after a no-op move) is a no-op.
+    pub fn undo(&mut self) {
+        while let Some(e) = self.journal.pop() {
+            match e {
+                UndoEntry::Place { node, pe } => self.place[node] = pe,
+                UndoEntry::RemovedFromPe { pe, id } => {
+                    let list = self.pe_nodes.entry(pe).or_default();
+                    let pos = list
+                        .binary_search(&id)
+                        .expect_err("undo: node already back on PE");
+                    list.insert(pos, id);
+                }
+                UndoEntry::InsertedToPe { pe, id } => {
+                    let list = self.pe_nodes.get_mut(&pe).expect("undo: PE exists");
+                    let pos = list.binary_search(&id).expect("undo: node on PE");
+                    list.remove(pos);
+                    if list.is_empty() {
+                        self.pe_nodes.remove(&pe);
+                    }
+                }
+                UndoEntry::Time { id, t } => {
+                    let iu = id as usize;
+                    hist_remove(&mut self.time_hist, self.time[iu]);
+                    hist_add(&mut self.time_hist, t);
+                    self.time[iu] = t;
+                }
+                UndoEntry::LastUse { id, t } => self.last_use[id as usize] = t,
+                UndoEntry::Peak { pe, v } => {
+                    let cap = self.machine.tile_bits;
+                    if let Some(c) = self.peaks.remove(&pe) {
+                        hist_remove(&mut self.peak_hist, c);
+                        if c > cap {
+                            self.over_capacity -= 1;
+                        }
+                    }
+                    if let Some(x) = v {
+                        hist_add(&mut self.peak_hist, x);
+                        if x > cap {
+                            self.over_capacity += 1;
+                        }
+                        self.peaks.insert(pe, x);
+                    }
+                }
+                UndoEntry::Leaf { id, cost } => self.tree.update(id as usize, cost),
+            }
+        }
+        if cfg!(debug_assertions) && self.paranoid {
+            self.assert_parity();
+        }
+    }
+
+    /// The list-schedule time of `i` given current producer times and
+    /// the sorted occupied slots of smaller-id same-PE nodes — the same
+    /// rule as [`crate::search::retime`], node-at-a-time. The linear
+    /// "advance past each occupied slot" scan is replaced by a binary
+    /// search for the first gap: with pairwise-distinct slots (an
+    /// invariant of the schedule rule — every slot was itself picked as
+    /// a first gap) the dense prefix `slots[lo + j] == ready + j` is
+    /// exactly the set of slots the scan would step over.
+    fn schedule_time_in(&self, i: usize, slots: &[i64]) -> i64 {
+        let n = &self.graph.nodes[i];
+        let pe = self.place[i];
+        let pe_u = (pe.0 as u32, pe.1 as u32);
+        let mut ready = 0i64;
+        for &d in &n.deps {
+            let prod = self.place[d as usize];
+            let prod_u = (prod.0 as u32, prod.1 as u32);
+            ready = ready.max(self.time[d as usize] + self.machine.required_gap(prod_u, pe_u));
+        }
+        let lo = slots.partition_point(|&s| s < ready);
+        let m = slots.len() - lo;
+        let (mut left, mut right) = (0usize, m);
+        while left < right {
+            let mid = left + (right - left) / 2;
+            if slots[lo + mid] == ready + mid as i64 {
+                left = mid + 1;
+            } else {
+                right = mid;
+            }
+        }
+        ready + left as i64
+    }
+
+    fn recompute_last_use(&self, id: usize) -> i64 {
+        let mut lu = self.time[id];
+        for &c in &self.consumers[id] {
+            lu = lu.max(self.time[c as usize]);
+        }
+        lu
+    }
+
+    /// Re-sweep one PE's peak live bits and fold the change into the
+    /// peak histogram and the over-capacity count.
+    fn refresh_peak(&mut self, pe: (i64, i64)) {
+        let new = self.pe_nodes.get(&pe).map(|list| {
+            let width = u64::from(self.graph.width_bits);
+            let mut events: Vec<(i64, i64)> = Vec::with_capacity(list.len() * 2);
+            for &j in list {
+                let ju = j as usize;
+                let last = if self.graph.nodes[ju].output {
+                    FAR_FUTURE
+                } else {
+                    self.last_use[ju]
+                };
+                events.push((self.time[ju], 1));
+                events.push((last + 1, -1));
+            }
+            events.sort_unstable();
+            let mut live = 0i64;
+            let mut peak = 0i64;
+            for (_, d) in events {
+                live += d;
+                peak = peak.max(live);
+            }
+            peak as u64 * width
+        });
+        let old = self.peaks.get(&pe).copied();
+        if old == new {
+            return;
+        }
+        self.journal.push(UndoEntry::Peak { pe, v: old });
+        let cap = self.machine.tile_bits;
+        if let Some(o) = old {
+            hist_remove(&mut self.peak_hist, o);
+            if o > cap {
+                self.over_capacity -= 1;
+            }
+            self.peaks.remove(&pe);
+        }
+        if let Some(v) = new {
+            hist_add(&mut self.peak_hist, v);
+            if v > cap {
+                self.over_capacity += 1;
+            }
+            self.peaks.insert(pe, v);
+        }
+    }
+
+    /// Assert bit-exact agreement with the full pipeline: times against
+    /// [`crate::search::retime`], the report against
+    /// `Evaluator::evaluate`, and the storage-violation count against
+    /// [`crate::legality::tile_peaks`]. O(|V|+|E|) — runs automatically
+    /// after every move in debug builds (see [`Self::with_paranoia`]).
+    pub fn assert_parity(&self) {
+        let rm = crate::search::retime(self.graph, &self.place, self.machine);
+        assert_eq!(
+            rm.time, self.time,
+            "incremental retime departed from the full list schedule"
+        );
+        let full = self.ev.evaluate(&rm);
+        let mine = self.report();
+        assert_eq!(full, mine, "incremental report != full evaluate");
+        let peaks = crate::legality::tile_peaks(self.graph, &rm, rm.makespan());
+        assert_eq!(
+            crate::legality::storage_violation_count(&peaks, self.machine.tile_bits),
+            self.over_capacity,
+            "incremental storage-violation count != full legality sweep"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::CExpr;
+    use crate::legality::{check, LegalityError};
+    use crate::search::retime;
+    use crate::value::Value;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    /// A layered random DAG: `n` nodes, each depending on up to two
+    /// earlier ones.
+    fn random_dag(n: u32, seed: u64) -> DataflowGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = DataflowGraph::new("dag", 32);
+        for i in 0..n {
+            let ndeps = rng.random_range(0..=2.min(i));
+            let mut deps = Vec::new();
+            for _ in 0..ndeps {
+                deps.push(rng.random_range(0..i));
+            }
+            deps.sort_unstable();
+            deps.dedup();
+            let expr = match deps.len() {
+                0 => CExpr::konst(Value::real(1.0)),
+                1 => CExpr::dep(0),
+                _ => CExpr::dep(0).add(CExpr::dep(1)),
+            };
+            let id = g.add_node(expr, deps, vec![i as i64]);
+            if i % 7 == 0 {
+                g.mark_output(id);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn random_moves_stay_bit_exact() {
+        let g = random_dag(60, 3);
+        let m = MachineConfig::n5(3, 3);
+        let ev = Evaluator::new(&g, &m);
+        let init = crate::search::default_mapper(&g, &m);
+        let mut delta = DeltaEvaluator::new(&ev, &init.place);
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..120 {
+            let node = rng.random_range(0..g.len());
+            let pe = (rng.random_range(0..3i64), rng.random_range(0..3i64));
+            delta.apply_move(node, pe);
+            // apply_move already asserts parity in debug builds; check
+            // explicitly so release test runs verify too.
+            delta.assert_parity();
+        }
+    }
+
+    #[test]
+    fn same_pe_move_is_a_noop() {
+        let g = random_dag(20, 1);
+        let m = MachineConfig::n5(2, 2);
+        let ev = Evaluator::new(&g, &m);
+        let init = crate::search::default_mapper(&g, &m);
+        let mut delta = DeltaEvaluator::new(&ev, &init.place);
+        let before = delta.report();
+        let pe = delta.place_of(5);
+        delta.apply_move(5, pe);
+        assert_eq!(before, delta.report());
+    }
+
+    #[test]
+    fn reverse_move_restores_the_exact_report() {
+        let g = random_dag(40, 5);
+        let m = MachineConfig::n5(3, 2);
+        let ev = Evaluator::new(&g, &m);
+        let init = crate::search::default_mapper(&g, &m);
+        let mut delta = DeltaEvaluator::new(&ev, &init.place);
+        let before = delta.report();
+        let old = delta.place_of(11);
+        let target = if old == (0, 0) { (1, 0) } else { (0, 0) };
+        delta.apply_move(11, target);
+        delta.apply_move(11, old);
+        assert_eq!(before, delta.report());
+        assert_eq!(delta.mapping(), retime(&g, &init.place, &m));
+    }
+
+    #[test]
+    fn undo_restores_the_exact_state_without_rescheduling() {
+        let g = random_dag(40, 6);
+        let m = MachineConfig::n5(3, 2);
+        let ev = Evaluator::new(&g, &m);
+        let init = crate::search::default_mapper(&g, &m);
+        let mut delta = DeltaEvaluator::new(&ev, &init.place);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..30 {
+            let before_rm = delta.mapping();
+            let before_rep = delta.report();
+            let node = rng.random_range(0..g.len());
+            let pe = (rng.random_range(0..3i64), rng.random_range(0..2i64));
+            delta.apply_move(node, pe);
+            delta.undo();
+            assert_eq!(before_rm, delta.mapping());
+            assert_eq!(before_rep, delta.report());
+            // A second undo (journal drained) is a no-op.
+            delta.undo();
+            assert_eq!(before_rep, delta.report());
+            // Leave some moves applied so later rounds start elsewhere.
+            if rng.random::<f64>() < 0.5 {
+                delta.apply_move(node, pe);
+            }
+        }
+    }
+
+    #[test]
+    fn storage_violations_match_full_legality_check() {
+        let g = random_dag(50, 8);
+        let mut m = MachineConfig::n5(2, 2);
+        m.tile_bits = 4 * 32; // tiny tiles: hoarding PEs go over
+        m.issue_width = 64; // keep issue legal while we pile nodes up
+        let ev = Evaluator::new(&g, &m);
+        let init = crate::search::default_mapper(&g, &m);
+        let mut delta = DeltaEvaluator::new(&ev, &init.place);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..60 {
+            let node = rng.random_range(0..g.len());
+            let pe = (rng.random_range(0..2i64), rng.random_range(0..2i64));
+            delta.apply_move(node, pe);
+            let rm = delta.mapping();
+            let rep = check(&g, &rm, &m);
+            let storage = rep
+                .errors
+                .iter()
+                .filter(|e| matches!(e, LegalityError::StorageExceeded { .. }))
+                .count() as u64;
+            // The checker caps recorded errors at 64; with 4 PEs we are
+            // far below the cap, so counts are exact.
+            assert_eq!(delta.storage_violations(), storage);
+        }
+    }
+
+    #[test]
+    fn report_matches_evaluator_with_multicast_and_local_inputs() {
+        use crate::affine::IdxExpr;
+        use crate::mapping::{InputPlacement, PlaceExpr};
+        let mut g = DataflowGraph::new("mc", 32);
+        let x = g.add_input("X", vec![8]);
+        let src = g.add_node(CExpr::input(x, 0), vec![], vec![0]);
+        for i in 1..8i64 {
+            let id = g.add_node(
+                CExpr::dep(0).add(CExpr::input(x, i as u32)),
+                vec![src],
+                vec![i],
+            );
+            if i == 7 {
+                g.mark_output(id);
+            }
+        }
+        let m = MachineConfig::n5(4, 2);
+        let ev = Evaluator::new(&g, &m)
+            .with_multicast(true)
+            .with_input_placement(0, InputPlacement::Local(PlaceExpr::row0(IdxExpr::c(0))))
+            .with_writeback(true);
+        let init = crate::search::default_mapper(&g, &m);
+        let mut delta = DeltaEvaluator::new(&ev, &init.place);
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..40 {
+            let node = rng.random_range(0..g.len());
+            let pe = (rng.random_range(0..4i64), rng.random_range(0..2i64));
+            delta.apply_move(node, pe);
+            delta.assert_parity();
+        }
+    }
+
+    #[test]
+    fn empty_graph_reports_zero() {
+        let g = DataflowGraph::new("empty", 32);
+        let m = MachineConfig::linear(2);
+        let ev = Evaluator::new(&g, &m);
+        let delta = DeltaEvaluator::new(&ev, &[]);
+        let rep = delta.report();
+        assert_eq!(rep.cycles, 0);
+        assert_eq!(rep.pes_used, 0);
+        assert_eq!(delta.storage_violations(), 0);
+    }
+}

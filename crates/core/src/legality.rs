@@ -144,6 +144,14 @@ pub fn tile_peaks(
     peaks
 }
 
+/// Number of PEs whose peak live footprint exceeds `capacity_bits` —
+/// the storage-violation count [`check`] reports for the same peaks.
+/// Exposed so the annealer and the incremental evaluator can agree on
+/// storage legality without running the full checker.
+pub fn storage_violation_count(peaks: &HashMap<(i64, i64), u64>, capacity_bits: u64) -> u64 {
+    peaks.values().filter(|&&p| p > capacity_bits).count() as u64
+}
+
 /// Check a resolved mapping for legality on a machine.
 pub fn check(
     graph: &DataflowGraph,

@@ -60,6 +60,7 @@ pub mod affine;
 pub mod compose;
 pub mod cost;
 pub mod dataflow;
+pub mod delta;
 pub mod expr;
 pub mod forall;
 pub mod legality;

@@ -155,6 +155,12 @@ impl MachineConfig {
                 cur = next;
             }
         }
+        // Sum in sorted link order: HashSet iteration order varies per
+        // call, and float addition is order-dependent, so an unsorted
+        // sum would make repeated evaluations of the same mapping
+        // disagree in the last bits.
+        let mut links: Vec<((u32, u32), (u32, u32))> = links.into_iter().collect();
+        links.sort_unstable();
         let total_mm: f64 = links
             .iter()
             .map(|&(a, b)| self.tech.chip.manhattan(a, b).raw())

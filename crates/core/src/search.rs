@@ -21,10 +21,11 @@
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use crate::cost::{CostReport, Evaluator};
 use crate::dataflow::DataflowGraph;
+use crate::delta::DeltaEvaluator;
 use crate::legality::check;
 use crate::machine::MachineConfig;
 use crate::mapping::{Mapping, ResolvedMapping};
@@ -82,7 +83,7 @@ pub trait MappingFamily {
 }
 
 /// One evaluated legal mapping.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SearchResult {
     /// Candidate label.
     pub label: String,
@@ -93,7 +94,7 @@ pub struct SearchResult {
 }
 
 /// The outcome of a search.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SearchOutcome {
     /// Candidates evaluated.
     pub evaluated: usize,
@@ -344,17 +345,147 @@ pub fn retime(
     }
 }
 
+/// Which evaluation engine [`anneal_with`] drives. Both produce the
+/// identical (mapping, report) for the same inputs and seed — the
+/// incremental backend just does cone-sized work per move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnnealBackend {
+    /// Re-derive the full schedule and re-cost the whole graph per move.
+    Full,
+    /// Repair cached state through [`DeltaEvaluator`]: O(Δ) per move.
+    Incremental,
+}
+
+/// Storage-violation count of a mapping, as the incremental engine
+/// tracks it: PEs whose peak live bits exceed the tile capacity.
+fn full_violations(graph: &DataflowGraph, machine: &MachineConfig, rm: &ResolvedMapping) -> u64 {
+    let peaks = crate::legality::tile_peaks(graph, rm, rm.makespan());
+    crate::legality::storage_violation_count(&peaks, machine.tile_bits)
+}
+
+/// The annealer's evaluation engine. One enum (rather than two loops)
+/// so both backends consume the *same* RNG stream and make the same
+/// accept/reject decisions — that is what makes backend parity testable
+/// bit-for-bit.
+// One Engine lives per anneal() call, on the stack, never in a
+// collection — the Full/Inc size asymmetry is harmless.
+#[allow(clippy::large_enum_variant)]
+enum Engine<'e, 'a> {
+    Full {
+        ev: &'e Evaluator<'a>,
+        graph: &'a DataflowGraph,
+        machine: &'a MachineConfig,
+        places: Vec<(i64, i64)>,
+        rm: ResolvedMapping,
+        report: CostReport,
+        violations: u64,
+        /// Pre-move (rm, report, violations), for O(1) revert.
+        stash: Option<(ResolvedMapping, CostReport, u64)>,
+    },
+    Inc(Box<DeltaEvaluator<'e, 'a>>),
+}
+
+impl Engine<'_, '_> {
+    fn place_of(&self, node: usize) -> (i64, i64) {
+        match self {
+            Engine::Full { places, .. } => places[node],
+            Engine::Inc(d) => d.place_of(node),
+        }
+    }
+
+    fn violations(&self) -> u64 {
+        match self {
+            Engine::Full { violations, .. } => *violations,
+            Engine::Inc(d) => d.storage_violations(),
+        }
+    }
+
+    fn score(&self, fom: FigureOfMerit) -> f64 {
+        match self {
+            Engine::Full { report, .. } => fom.score(report),
+            Engine::Inc(d) => d.score(fom),
+        }
+    }
+
+    fn snapshot(&self) -> (ResolvedMapping, CostReport) {
+        match self {
+            Engine::Full { rm, report, .. } => (rm.clone(), report.clone()),
+            Engine::Inc(d) => (d.mapping(), d.report()),
+        }
+    }
+
+    fn apply(&mut self, node: usize, pe: (i64, i64)) {
+        match self {
+            Engine::Full {
+                ev,
+                graph,
+                machine,
+                places,
+                rm,
+                report,
+                violations,
+                stash,
+            } => {
+                places[node] = pe;
+                let new_rm = retime(graph, places, machine);
+                let new_report = ev.evaluate(&new_rm);
+                let new_viol = full_violations(graph, machine, &new_rm);
+                *stash = Some((
+                    std::mem::replace(rm, new_rm),
+                    std::mem::replace(report, new_report),
+                    std::mem::replace(violations, new_viol),
+                ));
+            }
+            Engine::Inc(d) => d.apply_move(node, pe),
+        }
+    }
+
+    fn revert(&mut self, node: usize, old_pe: (i64, i64)) {
+        match self {
+            Engine::Full {
+                places,
+                rm,
+                report,
+                violations,
+                stash,
+                ..
+            } => {
+                places[node] = old_pe;
+                let (r, rep, v) = stash.take().expect("revert without a preceding apply");
+                *rm = r;
+                *report = rep;
+                *violations = v;
+            }
+            // The incremental engine journals each move's overwritten
+            // values; replaying the journal restores the prior state
+            // without re-running any scheduling.
+            Engine::Inc(d) => {
+                d.undo();
+                debug_assert_eq!(d.place_of(node), old_pe);
+            }
+        }
+    }
+}
+
 /// Simulated-annealing placement refiner.
 ///
 /// Starts from `init` placements, proposes single-node moves to random
 /// neighboring PEs, re-derives times with [`retime`], and accepts by
-/// the Metropolis rule on the figure-of-merit score. Returns the best
-/// mapping found and its report.
+/// the Metropolis rule on the figure-of-merit score. A move that would
+/// *increase* the storage-violation count is rejected outright, so a
+/// legal starting point stays legal. Returns the best mapping found
+/// (violations, then score, lexicographically) and its report.
+///
+/// Candidate directions are drawn from the on-grid neighbor set, so an
+/// edge-of-grid node never burns an iteration on an off-grid proposal.
 ///
 /// All randomness flows from the explicit `seed`: the same
 /// (inputs, seed) pair always returns the identical mapping and
 /// report, so annealed results are reproducible and cacheable (the
 /// `fm-autotune` tuning cache relies on this).
+///
+/// Uses the incremental [`DeltaEvaluator`] engine; see [`anneal_with`]
+/// to select a backend explicitly.
 pub fn anneal(
     evaluator: &Evaluator<'_>,
     graph: &DataflowGraph,
@@ -364,51 +495,159 @@ pub fn anneal(
     iters: u32,
     seed: u64,
 ) -> (ResolvedMapping, CostReport) {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut places = init.place.clone();
-    let mut current = retime(graph, &places, machine);
-    let mut current_score = fom.score(&evaluator.evaluate(&current));
-    let mut best = current.clone();
-    let mut best_score = current_score;
+    anneal_with(
+        evaluator,
+        graph,
+        machine,
+        init,
+        fom,
+        iters,
+        seed,
+        AnnealBackend::Incremental,
+    )
+}
 
-    if graph.is_empty() {
-        let report = evaluator.evaluate(&best);
-        return (best, report);
+/// [`anneal`] with an explicit evaluation backend. Both backends follow
+/// the identical proposal/accept trajectory (same RNG stream, same
+/// decisions) and return the identical (mapping, report).
+#[allow(clippy::too_many_arguments)] // anneal's signature + the backend selector
+pub fn anneal_with(
+    evaluator: &Evaluator<'_>,
+    graph: &DataflowGraph,
+    machine: &MachineConfig,
+    init: &ResolvedMapping,
+    fom: FigureOfMerit,
+    iters: u32,
+    seed: u64,
+    backend: AnnealBackend,
+) -> (ResolvedMapping, CostReport) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut engine = match backend {
+        AnnealBackend::Full => {
+            let rm = retime(graph, &init.place, machine);
+            let report = evaluator.evaluate(&rm);
+            let violations = full_violations(graph, machine, &rm);
+            Engine::Full {
+                ev: evaluator,
+                graph,
+                machine,
+                places: init.place.clone(),
+                rm,
+                report,
+                violations,
+                stash: None,
+            }
+        }
+        AnnealBackend::Incremental => {
+            Engine::Inc(Box::new(DeltaEvaluator::new(evaluator, &init.place)))
+        }
+    };
+
+    let mut current_score = engine.score(fom);
+    let (mut best, mut best_report) = engine.snapshot();
+    let mut best_score = current_score;
+    let mut best_viol = engine.violations();
+
+    // A 1-PE machine has no neighbor moves; nothing to refine.
+    if graph.is_empty() || machine.pe_count() == 1 || iters == 0 {
+        return (best, best_report);
     }
 
+    const DIRS: [(i64, i64); 4] = [(1, 0), (-1, 0), (0, 1), (0, -1)];
     let t0 = current_score.abs().max(1.0) * 0.05;
     for it in 0..iters {
         let temp = t0 * (1.0 - f64::from(it) / f64::from(iters.max(1))).max(1e-3);
         let node = rng.random_range(0..graph.len());
-        let old = places[node];
-        let (dx, dy) = match rng.random_range(0..4u8) {
-            0 => (1i64, 0i64),
-            1 => (-1, 0),
-            2 => (0, 1),
-            _ => (0, -1),
-        };
-        let cand = (old.0 + dx, old.1 + dy);
-        if !machine.contains(cand.0, cand.1) {
+        let old = engine.place_of(node);
+        // Draw from the on-grid neighbor set (never empty on a >1-PE
+        // grid), so edge nodes don't waste iterations on off-grid
+        // proposals.
+        let mut valid = [(0i64, 0i64); 4];
+        let mut nvalid = 0;
+        for (dx, dy) in DIRS {
+            let c = (old.0 + dx, old.1 + dy);
+            if machine.contains(c.0, c.1) {
+                valid[nvalid] = c;
+                nvalid += 1;
+            }
+        }
+        let cand = valid[rng.random_range(0..nvalid)];
+        let cur_viol = engine.violations();
+        engine.apply(node, cand);
+        let viol = engine.violations();
+        if viol > cur_viol {
+            // Never walk deeper into storage-illegal territory. No RNG
+            // draw here, so both backends stay stream-identical.
+            engine.revert(node, old);
             continue;
         }
-        places[node] = cand;
-        let rm = retime(graph, &places, machine);
-        let score = fom.score(&evaluator.evaluate(&rm));
+        let score = engine.score(fom);
         let accept =
             score <= current_score || rng.random::<f64>() < ((current_score - score) / temp).exp();
         if accept {
-            current = rm;
             current_score = score;
-            if score < best_score {
-                best = current.clone();
+            if viol < best_viol || (viol == best_viol && score < best_score) {
+                let (m, r) = engine.snapshot();
+                best = m;
+                best_report = r;
                 best_score = score;
+                best_viol = viol;
             }
         } else {
-            places[node] = old;
+            engine.revert(node, old);
         }
     }
-    let report = evaluator.evaluate(&best);
-    (best, report)
+    (best, best_report)
+}
+
+/// Deterministic greedy local refinement on the incremental engine.
+///
+/// Scans nodes in id order; for each, tries the four neighbor PEs and
+/// keeps the first move that strictly improves (violations, score)
+/// lexicographically. Repeats whole passes until one finds nothing or
+/// `max_rounds` passes have run. No randomness — useful as a cheap
+/// polish after [`anneal`] or as a reproducible baseline refiner.
+pub fn hill_climb(
+    evaluator: &Evaluator<'_>,
+    graph: &DataflowGraph,
+    machine: &MachineConfig,
+    init: &ResolvedMapping,
+    fom: FigureOfMerit,
+    max_rounds: u32,
+) -> (ResolvedMapping, CostReport) {
+    let mut engine = DeltaEvaluator::new(evaluator, &init.place);
+    if graph.is_empty() || machine.pe_count() == 1 {
+        return (engine.mapping(), engine.report());
+    }
+    let mut cur_score = engine.score(fom);
+    let mut cur_viol = engine.storage_violations();
+    const DIRS: [(i64, i64); 4] = [(1, 0), (-1, 0), (0, 1), (0, -1)];
+    for _ in 0..max_rounds {
+        let mut improved = false;
+        for node in 0..graph.len() {
+            let old = engine.place_of(node);
+            for (dx, dy) in DIRS {
+                let cand = (old.0 + dx, old.1 + dy);
+                if !machine.contains(cand.0, cand.1) {
+                    continue;
+                }
+                engine.apply_move(node, cand);
+                let viol = engine.storage_violations();
+                let score = engine.score(fom);
+                if viol < cur_viol || (viol == cur_viol && score < cur_score) {
+                    cur_viol = viol;
+                    cur_score = score;
+                    improved = true;
+                    break; // keep the move; on to the next node
+                }
+                engine.apply_move(node, old);
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    (engine.mapping(), engine.report())
 }
 
 #[cfg(test)]
@@ -620,5 +859,73 @@ mod tests {
         let init_score = FigureOfMerit::Energy.score(&ev.evaluate(&init));
         assert!(rep_a.energy().raw() <= init_score);
         assert!(rep_c.energy().raw() <= init_score);
+    }
+
+    #[test]
+    fn anneal_backends_agree_bit_for_bit() {
+        let g = chain(14);
+        let m = MachineConfig::n5(4, 3);
+        let ev = Evaluator::new(&g, &m);
+        let places: Vec<(i64, i64)> = (0..14)
+            .map(|i| if i % 2 == 0 { (0, 0) } else { (3, 2) })
+            .collect();
+        let init = retime(&g, &places, &m);
+        for fom in [
+            FigureOfMerit::Energy,
+            FigureOfMerit::Time,
+            FigureOfMerit::Edp,
+        ] {
+            let (rm_f, rep_f) = anneal_with(&ev, &g, &m, &init, fom, 250, 21, AnnealBackend::Full);
+            let (rm_i, rep_i) =
+                anneal_with(&ev, &g, &m, &init, fom, 250, 21, AnnealBackend::Incremental);
+            assert_eq!(rm_f, rm_i, "backends diverged under {fom:?}");
+            assert_eq!(rep_f, rep_i, "reports diverged under {fom:?}");
+        }
+    }
+
+    #[test]
+    fn anneal_on_one_pe_machine_returns_init() {
+        let g = chain(6);
+        let m = MachineConfig::linear(1);
+        let ev = Evaluator::new(&g, &m);
+        let init = retime(&g, &[(0, 0); 6], &m);
+        let (rm, rep) = anneal(&ev, &g, &m, &init, FigureOfMerit::Energy, 100, 3);
+        assert_eq!(rm, init);
+        assert_eq!(rep, ev.evaluate(&init));
+    }
+
+    #[test]
+    fn anneal_never_leaves_storage_legality() {
+        // Tiny tiles: a legal-but-tight start must stay legal.
+        let g = wide(12);
+        let mut m = MachineConfig::n5(4, 3);
+        m.tile_bits = 2 * 32;
+        let ev = Evaluator::new(&g, &m);
+        let places: Vec<(i64, i64)> = (0..12).map(|i| (i % 4, i / 4)).collect();
+        let init = retime(&g, &places, &m);
+        assert!(check(&g, &init, &m).is_legal());
+        let (rm, _) = anneal(&ev, &g, &m, &init, FigureOfMerit::Energy, 300, 5);
+        assert!(check(&g, &rm, &m).is_legal());
+    }
+
+    #[test]
+    fn hill_climb_improves_and_is_deterministic() {
+        let g = chain(16);
+        let m = MachineConfig::n5(4, 4);
+        let ev = Evaluator::new(&g, &m);
+        let places: Vec<(i64, i64)> = (0..16)
+            .map(|i| if i % 2 == 0 { (0, 0) } else { (3, 3) })
+            .collect();
+        let init = retime(&g, &places, &m);
+        let init_score = FigureOfMerit::Energy.score(&ev.evaluate(&init));
+        let (rm_a, rep_a) = hill_climb(&ev, &g, &m, &init, FigureOfMerit::Energy, 8);
+        let (rm_b, rep_b) = hill_climb(&ev, &g, &m, &init, FigureOfMerit::Energy, 8);
+        assert_eq!(rm_a, rm_b);
+        assert_eq!(rep_a, rep_b);
+        assert!(
+            rep_a.energy().raw() < init_score,
+            "climb should improve a bad start"
+        );
+        assert!(check(&g, &rm_a, &m).is_legal());
     }
 }

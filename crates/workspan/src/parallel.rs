@@ -136,6 +136,79 @@ where
         .collect()
 }
 
+/// Parallel map over `0..n` with an **ordered early-exit reduction**.
+///
+/// `f(i)` runs for indices in work-stealing order (grain 1), but
+/// `reduce(i, &value)` is invoked strictly in index order, each index
+/// exactly once, as soon as the ordered prefix up to `i` is complete.
+/// When `reduce` returns `true`, index `i` becomes the cut: the call
+/// returns `vec![f(0), …, f(i)]` and remaining indices are cancelled
+/// (in-flight ones may still run; their results are discarded).
+///
+/// The cut index — and therefore the returned prefix — depends only on
+/// `f` and `reduce`, never on the thread schedule: an index can only be
+/// reduced after every smaller index has been, so any index at or
+/// before the cut is guaranteed to have executed. This is what lets a
+/// parallel search stop "as soon as the serial loop would have" and
+/// still return bit-identical results (the `fm-autotune` tuner's
+/// convergence window and deadline ride on this).
+pub fn par_map_until<T, F, R>(pool: &ThreadPool, n: usize, f: F, reduce: R) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    R: FnMut(usize, &T) -> bool + Send,
+{
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Mutex;
+
+    struct State<T, R> {
+        slots: Vec<Option<T>>,
+        /// Next index awaiting ordered reduction.
+        next: usize,
+        /// One past the index whose reduction returned `true`.
+        cut: Option<usize>,
+        reduce: R,
+    }
+
+    let stop = AtomicBool::new(false);
+    let state = Mutex::new(State {
+        slots: (0..n).map(|_| None).collect(),
+        next: 0,
+        cut: None,
+        reduce,
+    });
+    par_for(pool, 0..n, 1, |i| {
+        // Cheap pre-check: indices past the cut need not run at all.
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        let v = f(i);
+        let mut st = state.lock().expect("par_map_until state poisoned");
+        if st.cut.is_some() {
+            return;
+        }
+        st.slots[i] = Some(v);
+        // Advance the ordered frontier as far as filled slots allow.
+        while st.cut.is_none() && st.next < n && st.slots[st.next].is_some() {
+            let idx = st.next;
+            let State { slots, reduce, .. } = &mut *st;
+            let done = (reduce)(idx, slots[idx].as_ref().expect("frontier slot filled"));
+            st.next += 1;
+            if done {
+                st.cut = Some(idx + 1);
+                stop.store(true, Ordering::Release);
+            }
+        }
+    });
+    let st = state.into_inner().expect("par_map_until state poisoned");
+    let end = st.cut.unwrap_or(n);
+    st.slots
+        .into_iter()
+        .take(end)
+        .map(|s| s.expect("prefix below the cut fully mapped"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,6 +266,53 @@ mod tests {
         let pool = ThreadPool::with_threads(2);
         let got: Vec<u64> = par_map(&pool, 0, 8, |_| panic!("must not run"));
         assert!(got.is_empty());
+    }
+
+    #[test]
+    fn par_map_until_cuts_at_a_deterministic_index() {
+        let pool = ThreadPool::with_threads(8);
+        for _ in 0..20 {
+            let got = par_map_until(&pool, 5000, |i| i * i, |i, _| i == 37);
+            assert_eq!(got, (0..=37).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_map_until_without_a_cut_is_par_map() {
+        let pool = ThreadPool::with_threads(4);
+        let got = par_map_until(&pool, 1000, |i| i + 1, |_, _| false);
+        assert_eq!(got, (1..=1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_until_reduces_in_strict_index_order() {
+        let pool = ThreadPool::with_threads(8);
+        let mut seen = Vec::new();
+        let got = par_map_until(
+            &pool,
+            2000,
+            |i| i,
+            |i, &v| {
+                seen.push((i, v));
+                false
+            },
+        );
+        assert_eq!(got.len(), 2000);
+        assert_eq!(seen, (0..2000).map(|i| (i, i)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_until_empty() {
+        let pool = ThreadPool::with_threads(2);
+        let got: Vec<u64> = par_map_until(&pool, 0, |_| panic!("must not run"), |_, _| true);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn par_map_until_cut_at_zero_runs_one_item() {
+        let pool = ThreadPool::with_threads(4);
+        let got = par_map_until(&pool, 500, |i| i * 7, |_, _| true);
+        assert_eq!(got, vec![0]);
     }
 
     #[test]

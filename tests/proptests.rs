@@ -2,11 +2,12 @@
 
 use proptest::prelude::*;
 
-use fm_repro::autotune::{CacheStatus, Tuner, TuningCache};
+use fm_repro::autotune::{Budget, CacheStatus, Refinement, Tuner, TuningCache};
 use fm_repro::core::affine::IdxExpr;
 use fm_repro::core::cost::Evaluator;
 use fm_repro::core::dataflow::{CExpr, DataflowGraph};
-use fm_repro::core::legality::check;
+use fm_repro::core::delta::DeltaEvaluator;
+use fm_repro::core::legality::{check, LegalityError};
 use fm_repro::core::machine::MachineConfig;
 use fm_repro::core::mapping::Mapping;
 use fm_repro::core::parse::{parse_idx_expr, ParseEnv};
@@ -291,6 +292,117 @@ proptest! {
         prop_assert!(check(&g, &w.resolved, &machine).is_legal());
         prop_assert_eq!(c.score, w.score);
         prop_assert_eq!(c.label, w.label);
+    }
+
+    /// The incremental evaluator stays bit-exact with the full
+    /// pipeline under arbitrary move sequences: after every move, its
+    /// mapping equals `retime` of its placement and its report equals
+    /// `Evaluator::evaluate` of that mapping, field for field.
+    #[test]
+    fn incremental_moves_stay_bit_exact(
+        spec in prop::collection::vec((0u8..=2, any::<u64>(), any::<u64>()), 1..80),
+        moves_seed in any::<u64>()
+    ) {
+        let g = dag_from_spec(&spec);
+        let machine = MachineConfig::n5(3, 2);
+        let ev = Evaluator::new(&g, &machine);
+        let init = default_mapper(&g, &machine);
+        let mut delta = DeltaEvaluator::new(&ev, &init.place).with_paranoia(false);
+        let mut s = moves_seed;
+        for _ in 0..30 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let node = ((s >> 48) as usize) % g.len();
+            let pe = (((s >> 33) % 3) as i64, ((s >> 17) % 2) as i64);
+            delta.apply_move(node, pe);
+            let rm = delta.mapping();
+            prop_assert_eq!(&rm, &retime(&g, &rm.place, &machine));
+            prop_assert_eq!(delta.report(), ev.evaluate(&rm));
+        }
+    }
+
+    /// The incremental per-PE tile-peak tracking agrees with the full
+    /// legality checker's storage verdicts under arbitrary moves, on a
+    /// machine with tiles small enough that violations actually occur.
+    #[test]
+    fn incremental_legality_matches_full_checker(
+        spec in prop::collection::vec((0u8..=2, any::<u64>(), any::<u64>()), 1..60),
+        moves_seed in any::<u64>()
+    ) {
+        let g = dag_from_spec(&spec);
+        let mut machine = MachineConfig::n5(2, 2);
+        machine.tile_bits = 4 * 32; // tiny tiles: hoarding PEs go over
+        machine.issue_width = 64; // keep issue legal while nodes pile up
+        let ev = Evaluator::new(&g, &machine);
+        let init = default_mapper(&g, &machine);
+        let mut delta = DeltaEvaluator::new(&ev, &init.place).with_paranoia(false);
+        let mut s = moves_seed;
+        for _ in 0..30 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let node = ((s >> 48) as usize) % g.len();
+            let pe = (((s >> 33) % 2) as i64, ((s >> 17) % 2) as i64);
+            delta.apply_move(node, pe);
+            let rep = check(&g, &delta.mapping(), &machine);
+            let storage = rep
+                .errors
+                .iter()
+                .filter(|e| matches!(e, LegalityError::StorageExceeded { .. }))
+                .count() as u64;
+            // With 4 PEs we sit far below the checker's 64-error cap,
+            // so the counts are exact, not truncated.
+            prop_assert_eq!(delta.storage_violations(), storage);
+        }
+    }
+
+    /// The steal-scheduled tuner (work-stealing pool + ordered
+    /// reduction) picks the identical winner, evaluation prefix, and
+    /// trajectory as the serial tuner — convergence window and
+    /// annealing refinement included.
+    #[test]
+    fn steal_scheduled_tuner_matches_serial(
+        spec in prop::collection::vec((0u8..=2, any::<u64>(), any::<u64>()), 1..50),
+        places_seed in any::<u64>(),
+        window in 2usize..8
+    ) {
+        let g = dag_from_spec(&spec);
+        let machine = MachineConfig::n5(3, 2);
+        let mut cands = vec![
+            MappingCandidate::new("serial", Mapping::serial(&g)),
+            MappingCandidate::new("default", Mapping::Table(default_mapper(&g, &machine))),
+        ];
+        let mut s = places_seed;
+        for k in 0..6 {
+            let places: Vec<(i64, i64)> = (0..g.len()).map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (((s >> 33) % 3) as i64, ((s >> 17) % 2) as i64)
+            }).collect();
+            cands.push(MappingCandidate::new(
+                format!("retimed-{k}"),
+                Mapping::Table(retime(&g, &places, &machine)),
+            ));
+        }
+        let ev = Evaluator::new(&g, &machine);
+        let mut budget = Budget::unlimited();
+        budget.convergence_window = Some(window);
+        let refinement = Refinement { chains: 2, iters: 40, seed: places_seed };
+        let serial = Tuner::new(&ev, &g, &machine, FigureOfMerit::Edp)
+            .with_budget(budget)
+            .with_refinement(refinement)
+            .tune(&cands);
+        let pool = ThreadPool::with_threads(4);
+        let stolen = Tuner::new(&ev, &g, &machine, FigureOfMerit::Edp)
+            .with_budget(budget)
+            .with_refinement(refinement)
+            .with_pool(&pool)
+            .tune(&cands);
+        prop_assert_eq!(serial.evaluated, stolen.evaluated);
+        prop_assert_eq!(&serial.trajectory, &stolen.trajectory);
+        let (a, b) = (serial.best.unwrap(), stolen.best.unwrap());
+        prop_assert_eq!(a.label, b.label);
+        prop_assert_eq!(a.score, b.score);
+        prop_assert_eq!(a.resolved, b.resolved);
+        let al: Vec<&str> = serial.outcome.results.iter().map(|r| r.label.as_str()).collect();
+        let bl: Vec<&str> = stolen.outcome.results.iter().map(|r| r.label.as_str()).collect();
+        prop_assert_eq!(al, bl);
     }
 
     /// Ideal cache sanity: misses ≤ accesses; a cold sequential scan of
