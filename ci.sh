@@ -26,5 +26,28 @@ echo "== table smoke runs (--quick) =="
 cargo run --release -q -p fm-bench --bin table_e4_fft_search -- --quick >/dev/null
 cargo run --release -q -p fm-bench --bin table_e8_default_mapper -- --quick >/dev/null
 cargo run --release -q -p fm-bench --bin table_e14_anneal -- --quick --no-json >/dev/null
+cargo run --release -q -p fm-bench --bin table_e15_serve -- --quick --no-json >/dev/null
+
+echo "== serve-smoke: daemon + example over the wire =="
+# Launch the real daemon on an ephemeral port, run the example against
+# it (FM_SERVE_SHUTDOWN=1 makes the example request the drain), and
+# check both sides exit cleanly.
+cargo build --release -q -p fm-serve --bin fm-serve
+serve_log="$(mktemp)"
+./target/release/fm-serve --addr 127.0.0.1:0 >"$serve_log" &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true; rm -f "$serve_log"' EXIT
+serve_addr=""
+for _ in $(seq 1 50); do
+    serve_addr="$(sed -n 's/^fm-serve listening on //p' "$serve_log")"
+    [ -n "$serve_addr" ] && break
+    sleep 0.1
+done
+[ -n "$serve_addr" ] || { echo "serve-smoke: daemon never reported its address"; exit 1; }
+FM_SERVE_ADDR="$serve_addr" FM_SERVE_SHUTDOWN=1 \
+    cargo run --release -q --example mapping_service >/dev/null
+wait "$serve_pid" || { echo "serve-smoke: daemon exited non-zero"; exit 1; }
+trap - EXIT
+rm -f "$serve_log"
 
 echo "ci: all green"

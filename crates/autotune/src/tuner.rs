@@ -1,6 +1,8 @@
 //! The tuner: budgeted candidate evaluation with deterministic winner
 //! selection, optional parallel fan-out, and cache replay.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
@@ -14,7 +16,7 @@ use fm_core::search::{
     anneal, assemble_outcome, default_mapper, evaluate_candidate, CandidateEval, FigureOfMerit,
     MappingCandidate, SearchOutcome,
 };
-use fm_workspan::{par_map, par_map_until, ThreadPool};
+use fm_workspan::{par_map, par_map_until_cancel, ThreadPool};
 
 use crate::cache::{CacheEntry, TuningCache, CACHE_SCHEMA_VERSION};
 use crate::fingerprint::fingerprint;
@@ -40,6 +42,44 @@ pub struct Budget {
     /// improve the best score (checked per candidate in index order, so
     /// the stopping point is deterministic and schedule-independent).
     pub convergence_window: Option<usize>,
+}
+
+/// A shared, clonable cancellation flag.
+///
+/// Hand one copy to [`Tuner::with_cancel`] and keep another on the
+/// thread that knows when the result is no longer wanted (a deadline
+/// watchdog, a disconnect detector). The tuner checks it **between
+/// candidate evaluations** — before each candidate starts on the serial
+/// path, and via [`fm_workspan::par_map_until_cancel`]'s pre-check on
+/// the parallel path — so a cancelled tune stops burning cores promptly
+/// and returns a well-formed partial [`TuneReport`] (with
+/// [`TuneReport::cancelled`] set) instead of running its budget out.
+///
+/// Cancellation is a one-way latch: there is no reset. Build a fresh
+/// token per request.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Latch the token. Idempotent; visible to all clones.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Has [`CancelToken::cancel`] been called on any clone?
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+
+    /// The underlying flag (for `fm-workspan`'s cancel-aware loops).
+    pub fn as_atomic(&self) -> &AtomicBool {
+        &self.0
+    }
 }
 
 impl Budget {
@@ -90,6 +130,7 @@ pub struct Refinement {
 /// make identical budget decisions and stop at the identical candidate.
 struct Frontier<'b> {
     budget: &'b Budget,
+    cancel: Option<&'b CancelToken>,
     start: Instant,
     best_idx: Option<usize>,
     best_score: f64,
@@ -98,9 +139,10 @@ struct Frontier<'b> {
 }
 
 impl<'b> Frontier<'b> {
-    fn new(budget: &'b Budget, start: Instant) -> Self {
+    fn new(budget: &'b Budget, cancel: Option<&'b CancelToken>, start: Instant) -> Self {
         Frontier {
             budget,
+            cancel,
             start,
             best_idx: None,
             best_score: f64::INFINITY,
@@ -128,6 +170,11 @@ impl<'b> Frontier<'b> {
         }
         if let Some(deadline) = self.budget.deadline {
             if self.start.elapsed() >= deadline {
+                return true;
+            }
+        }
+        if let Some(token) = self.cancel {
+            if token.is_cancelled() {
                 return true;
             }
         }
@@ -187,6 +234,11 @@ pub struct TuneReport {
     pub cache: CacheStatus,
     /// Whether the winner came from the default-mapper fallback.
     pub fell_back: bool,
+    /// Whether a [`CancelToken`] aborted the run early. The report is
+    /// still well-formed: `outcome`/`trajectory`/`best` cover the
+    /// prefix that was evaluated before the abort (refinement is
+    /// skipped and nothing is written to the cache).
+    pub cancelled: bool,
     /// Wall-clock time of the whole call.
     pub wall: Duration,
     /// Best-so-far trajectory: (candidate index, score) at each
@@ -216,6 +268,9 @@ impl TuneReport {
                 ""
             },
         ));
+        if self.cancelled {
+            s.push_str("CANCELLED: partial result over the evaluated prefix\n");
+        }
         s.push_str(&format!(
             "wall time: {:.3} ms\n",
             self.wall.as_secs_f64() * 1e3
@@ -265,6 +320,7 @@ pub struct Tuner<'a> {
     cache: Option<TuningCache>,
     budget: Budget,
     refinement: Option<Refinement>,
+    cancel: Option<CancelToken>,
 }
 
 impl<'a> Tuner<'a> {
@@ -285,6 +341,7 @@ impl<'a> Tuner<'a> {
             cache: None,
             budget: Budget::default(),
             refinement: None,
+            cancel: None,
         }
     }
 
@@ -310,6 +367,14 @@ impl<'a> Tuner<'a> {
     /// the pool when one is configured; same winner either way).
     pub fn with_refinement(mut self, refinement: Refinement) -> Self {
         self.refinement = Some(refinement);
+        self
+    }
+
+    /// Abort early when `token` is cancelled (checked between candidate
+    /// evaluations). The tune then returns a partial report with
+    /// [`TuneReport::cancelled`] set; see [`CancelToken`].
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
         self
     }
 
@@ -341,6 +406,7 @@ impl<'a> Tuner<'a> {
                         pruned: offered,
                         cache: CacheStatus::Hit,
                         fell_back: false,
+                        cancelled: false,
                         wall: start.elapsed(),
                         trajectory: entry.trajectory,
                         outcome: entry.outcome,
@@ -356,9 +422,15 @@ impl<'a> Tuner<'a> {
         // stealing when a pool is configured), budget decisions fold in
         // through the ordered frontier.
         let cap = self.budget.max_candidates.unwrap_or(offered).min(offered);
-        let mut frontier = Frontier::new(&self.budget, start);
+        let mut frontier = Frontier::new(&self.budget, self.cancel.as_ref(), start);
+        let never = AtomicBool::new(false);
+        let cancel_flag = self
+            .cancel
+            .as_ref()
+            .map(CancelToken::as_atomic)
+            .unwrap_or(&never);
         let evals: Vec<CandidateEval> = match self.pool {
-            Some(pool) => par_map_until(
+            Some(pool) => par_map_until_cancel(
                 pool,
                 cap,
                 |i| {
@@ -371,10 +443,17 @@ impl<'a> Tuner<'a> {
                     )
                 },
                 |i, eval| frontier.feed(i, eval),
+                cancel_flag,
             ),
             None => {
                 let mut evals = Vec::with_capacity(cap);
                 for (i, cand) in candidates.iter().enumerate().take(cap) {
+                    // Cancellation aborts *between* candidate
+                    // evaluations: checked here before each candidate
+                    // starts, and again in `feed` after it lands.
+                    if cancel_flag.load(Ordering::Acquire) {
+                        break;
+                    }
                     let eval = evaluate_candidate(
                         self.evaluator,
                         self.graph,
@@ -391,6 +470,7 @@ impl<'a> Tuner<'a> {
                 evals
             }
         };
+        let cancelled = self.cancel.as_ref().is_some_and(CancelToken::is_cancelled);
 
         let evaluated = evals.len();
         let best_idx = frontier.best_idx;
@@ -418,13 +498,18 @@ impl<'a> Tuner<'a> {
         };
         let fell_back = best_idx.is_none() && best.is_some();
 
+        // A cancelled run neither refines (more cores burned for a
+        // result nobody wants) nor caches (the evaluated prefix is
+        // schedule-dependent, so its winner is not reproducible).
         if let Some(b) = best.as_mut() {
-            self.refine(b);
+            if !cancelled {
+                self.refine(b);
+            }
         }
 
         let outcome = assemble_outcome(&candidates[..evaluated], evals);
         if let (Some(cache), Some(best)) = (&self.cache, &best) {
-            if !fell_back {
+            if !fell_back && !cancelled {
                 let _ = cache.store(&CacheEntry {
                     version: CACHE_SCHEMA_VERSION,
                     fingerprint: fp,
@@ -444,6 +529,7 @@ impl<'a> Tuner<'a> {
             pruned: offered - evaluated,
             cache: cache_status,
             fell_back,
+            cancelled,
             wall: start.elapsed(),
             trajectory,
             outcome,
@@ -897,6 +983,111 @@ mod tests {
         assert_eq!(warm.cache, CacheStatus::Stale);
         assert_eq!(warm.evaluated, cands.len());
         assert_eq!(warm.best.unwrap().label, cold.best.unwrap().label);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pre_cancelled_tune_returns_promptly_with_fallback() {
+        let g = wide(32);
+        let m = MachineConfig::linear(16);
+        let ev = Evaluator::new(&g, &m);
+        // A long candidate list that would take a while to grind through.
+        let mut cands = Vec::new();
+        for i in 0..500 {
+            cands.push(MappingCandidate::new(
+                format!("serial-{i}"),
+                Mapping::serial(&g),
+            ));
+        }
+        let token = CancelToken::new();
+        token.cancel();
+        let report = Tuner::new(&ev, &g, &m, FigureOfMerit::Time)
+            .with_cancel(token)
+            .tune(&cands);
+        assert!(report.cancelled);
+        assert_eq!(report.evaluated, 0, "no candidate starts after cancel");
+        // The report is still useful: the default-mapper fallback is
+        // legal for any graph.
+        assert!(report.fell_back);
+        let best = report.best.unwrap();
+        assert!(check(&g, &best.resolved, &m).is_legal());
+    }
+
+    #[test]
+    fn mid_run_cancel_aborts_between_candidates_with_partial_outcome() {
+        let g = wide(24);
+        let m = MachineConfig::linear(8);
+        let ev = Evaluator::new(&g, &m);
+        let mut cands = families(&g);
+        for i in 0..2000 {
+            cands.push(MappingCandidate::new(
+                format!("serial-{i}"),
+                Mapping::serial(&g),
+            ));
+        }
+        let token = CancelToken::new();
+        // Cancel from "outside" (what a deadline watchdog or disconnect
+        // detector does): another thread latches the token after a
+        // short nap, as the server's per-request watchdog would.
+        let t2 = token.clone();
+        let watchdog = std::thread::spawn(move || {
+            // Latch almost immediately; the tune below takes far longer
+            // than this if it cannot be cancelled.
+            std::thread::sleep(Duration::from_millis(2));
+            t2.cancel();
+        });
+        let report = Tuner::new(&ev, &g, &m, FigureOfMerit::Edp)
+            .with_cancel(token.clone())
+            .tune(&cands);
+        watchdog.join().unwrap();
+        if report.cancelled {
+            assert!(
+                report.evaluated < cands.len(),
+                "cancelled run must not evaluate the whole list"
+            );
+            assert_eq!(report.pruned, cands.len() - report.evaluated);
+            // Partial outcome is well-formed over the evaluated prefix.
+            assert_eq!(report.outcome.evaluated, report.evaluated);
+            assert!(report.best.is_some());
+        }
+        // Whether or not the race cancelled in time, the winner (if the
+        // prefix contained a legal candidate) is one of the offered
+        // labels or the fallback.
+        let best = report.best.unwrap();
+        assert!(
+            cands.iter().any(|c| c.label == best.label) || best.label.contains("default-mapper")
+        );
+    }
+
+    #[test]
+    fn cancelled_parallel_tune_stops_early_and_skips_cache_store() {
+        let g = wide(16);
+        let m = MachineConfig::linear(8);
+        let ev = Evaluator::new(&g, &m);
+        let mut cands = Vec::new();
+        for i in 0..800 {
+            cands.push(MappingCandidate::new(
+                format!("serial-{i}"),
+                Mapping::serial(&g),
+            ));
+        }
+        let dir = tmpdir("cancel");
+        let pool = ThreadPool::with_threads(4);
+        let token = CancelToken::new();
+        token.cancel();
+        let report = Tuner::new(&ev, &g, &m, FigureOfMerit::Time)
+            .with_pool(&pool)
+            .with_cache(TuningCache::open(&dir).unwrap())
+            .with_cancel(token)
+            .tune(&cands);
+        assert!(report.cancelled);
+        assert_eq!(report.evaluated, 0);
+        // Nothing was persisted: a later uncancelled run misses.
+        let rerun = Tuner::new(&ev, &g, &m, FigureOfMerit::Time)
+            .with_cache(TuningCache::open(&dir).unwrap())
+            .tune(&cands);
+        assert_eq!(rerun.cache, CacheStatus::Miss);
+        assert!(!rerun.cancelled);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -33,5 +33,7 @@ fn main() {
     let rows = fm_bench::e13_recompute::run(6, &[1, 10, 100, 1000, 20_000], 8);
     print!("{}\n\n", fm_bench::e13_recompute::print(&rows));
     let rows = fm_bench::e14_anneal::run(false);
-    println!("{}", fm_bench::e14_anneal::print(&rows));
+    print!("{}\n\n", fm_bench::e14_anneal::print(&rows));
+    let rows = fm_bench::e15_serve::run(false);
+    println!("{}", fm_bench::e15_serve::print(&rows));
 }

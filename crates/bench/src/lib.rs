@@ -37,3 +37,4 @@ pub mod e11_comm_events;
 pub mod e12_scaling;
 pub mod e13_recompute;
 pub mod e14_anneal;
+pub mod e15_serve;

@@ -31,7 +31,7 @@ use crate::machine::MachineConfig;
 use crate::mapping::{Mapping, ResolvedMapping};
 
 /// What to optimize.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FigureOfMerit {
     /// Execution time (ps).
     Time,

@@ -1,0 +1,94 @@
+//! `fm-serve` — run the mapping service daemon.
+//!
+//! ```text
+//! fm-serve [--addr HOST:PORT] [--workers N] [--threads N] [--queue N]
+//!          [--deadline-ms MS] [--cache DIR] [--max-frame BYTES]
+//! ```
+//!
+//! The daemon runs until it receives a wire `Shutdown` request, then
+//! drains admitted work and exits, printing a final stats summary.
+
+use std::process::ExitCode;
+
+use fm_serve::server::{Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fm-serve [--addr HOST:PORT] [--workers N] [--threads N] [--queue N]\n\
+         \x20               [--deadline-ms MS] [--cache DIR] [--max-frame BYTES]\n\
+         \n\
+         \x20 --addr HOST:PORT   bind address (default 127.0.0.1:7171; port 0 = ephemeral)\n\
+         \x20 --workers N        request worker threads (default 2)\n\
+         \x20 --threads N        shared tuner pool threads (default min(cores, 8))\n\
+         \x20 --queue N          admission queue capacity (default 64)\n\
+         \x20 --deadline-ms MS   default per-request deadline (default none)\n\
+         \x20 --cache DIR        persistent tuning cache directory (default off)\n\
+         \x20 --max-frame BYTES  largest accepted frame (default 16 MiB)"
+    );
+    std::process::exit(2);
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    match value.and_then(|v| v.parse().ok()) {
+        Some(n) => n,
+        None => {
+            eprintln!("fm-serve: {flag} needs a numeric argument");
+            usage();
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:7171".to_string();
+    let mut config = ServerConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(a) => addr = a,
+                None => usage(),
+            },
+            "--workers" => config.workers = parse_num("--workers", args.next()),
+            "--threads" => config.tuner_threads = parse_num("--threads", args.next()),
+            "--queue" => config.queue_capacity = parse_num("--queue", args.next()),
+            "--deadline-ms" => {
+                config.default_deadline_ms = Some(parse_num("--deadline-ms", args.next()))
+            }
+            "--cache" => match args.next() {
+                Some(dir) => config.cache_dir = Some(dir.into()),
+                None => usage(),
+            },
+            "--max-frame" => config.max_frame = parse_num("--max-frame", args.next()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("fm-serve: unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+
+    let handle = match Server::start(&addr, config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("fm-serve: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Parseable by scripts (ci.sh greps this line for the port).
+    println!("fm-serve listening on {}", handle.local_addr());
+
+    let stats = handle.join();
+    println!(
+        "fm-serve: drained and exiting — {} requests ({} tune / {} evaluate / {} simulate), \
+         {} busy rejections, {} protocol errors, cache hit rate {:.0}%",
+        stats.work_received(),
+        stats.tune.received,
+        stats.evaluate.received,
+        stats.simulate.received,
+        stats.busy_rejections,
+        stats.protocol_errors,
+        stats.cache_hit_rate() * 100.0
+    );
+    ExitCode::SUCCESS
+}

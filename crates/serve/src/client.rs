@@ -1,0 +1,163 @@
+//! Blocking client for the `fm-serve` daemon.
+//!
+//! One [`Client`] wraps one TCP connection and issues one request at a
+//! time (the protocol is strictly request/reply per connection; open
+//! more clients for concurrency — the server multiplexes them onto its
+//! worker pool). Typed helpers ([`Client::tune`], [`Client::evaluate`],
+//! [`Client::simulate`], …) unwrap the expected response variant and
+//! surface everything else as a [`ClientError`]; [`ClientError::Busy`]
+//! is its own variant so load generators can count and back off.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::metrics::StatsReply;
+use crate::protocol::{
+    read_response, write_request, BusyReply, EvaluateReply, EvaluateRequest, FailReply, Request,
+    Response, SimulateReply, SimulateRequest, TuneReply, TuneRequest, WireError, DEFAULT_MAX_FRAME,
+};
+
+/// What went wrong with a request, from the client's point of view.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or framing failure.
+    Wire(WireError),
+    /// The server refused admission: its queue is full. Back off and
+    /// retry.
+    Busy(BusyReply),
+    /// The server is draining and no longer admits work.
+    ShuttingDown,
+    /// The server executed the request and reported a failure
+    /// (`kind` is one of `protocol`/`deadline`/`illegal`/`sim`/`internal`).
+    Failed(FailReply),
+    /// The server answered with a response variant that does not match
+    /// the request (protocol confusion; should not happen).
+    Unexpected(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::Busy(b) => write!(
+                f,
+                "server busy: queue {}/{} full",
+                b.queue_depth, b.queue_capacity
+            ),
+            ClientError::ShuttingDown => write!(f, "server is shutting down"),
+            ClientError::Failed(e) => write!(f, "request failed ({}): {}", e.kind, e.error),
+            ClientError::Unexpected(kind) => write!(f, "unexpected response variant: {kind}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+impl ClientError {
+    /// Is this a transient refusal worth retrying after a pause?
+    pub fn is_busy(&self) -> bool {
+        matches!(self, ClientError::Busy(_))
+    }
+}
+
+/// A connected client.
+pub struct Client {
+    stream: TcpStream,
+    max_frame: usize,
+}
+
+impl Client {
+    /// Connect to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(WireError::Io)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client {
+            stream,
+            max_frame: DEFAULT_MAX_FRAME,
+        })
+    }
+
+    /// Cap accepted response frames (mirror of the server-side cap).
+    pub fn with_max_frame(mut self, max: usize) -> Client {
+        self.max_frame = max;
+        self
+    }
+
+    /// Send one request and read one response, raw.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_request(&mut self.stream, request).map_err(WireError::Io)?;
+        Ok(read_response(&mut self.stream, self.max_frame)?)
+    }
+
+    /// Shared unwrap: split out the refusals every endpoint can get.
+    fn checked(&mut self, request: &Request) -> Result<Response, ClientError> {
+        match self.call(request)? {
+            Response::Busy(b) => Err(ClientError::Busy(b)),
+            Response::ShuttingDown => Err(ClientError::ShuttingDown),
+            Response::Failed(e) => Err(ClientError::Failed(e)),
+            other => Ok(other),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.checked(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(ClientError::Unexpected(other.kind())),
+        }
+    }
+
+    /// Run a tuning search on the server.
+    pub fn tune(&mut self, request: TuneRequest) -> Result<TuneReply, ClientError> {
+        match self.checked(&Request::Tune(request))? {
+            Response::Tuned(r) => Ok(r),
+            other => Err(ClientError::Unexpected(other.kind())),
+        }
+    }
+
+    /// Evaluate one mapping's predicted cost.
+    pub fn evaluate(&mut self, request: EvaluateRequest) -> Result<EvaluateReply, ClientError> {
+        match self.checked(&Request::Evaluate(request))? {
+            Response::Evaluated(r) => Ok(r),
+            other => Err(ClientError::Unexpected(other.kind())),
+        }
+    }
+
+    /// Execute one mapping in the cycle-level simulator.
+    pub fn simulate(&mut self, request: SimulateRequest) -> Result<SimulateReply, ClientError> {
+        match self.checked(&Request::Simulate(request))? {
+            Response::Simulated(r) => Ok(r),
+            other => Err(ClientError::Unexpected(other.kind())),
+        }
+    }
+
+    /// Fetch the live metrics snapshot.
+    pub fn stats(&mut self) -> Result<StatsReply, ClientError> {
+        match self.checked(&Request::Stats)? {
+            Response::Stats(r) => Ok(r),
+            other => Err(ClientError::Unexpected(other.kind())),
+        }
+    }
+
+    /// Ask the server to drain and exit.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(ClientError::Unexpected(other.kind())),
+        }
+    }
+
+    /// Set the socket read timeout (useful for probing liveness
+    /// without hanging the caller).
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.stream
+            .set_read_timeout(timeout)
+            .map_err(|e| ClientError::Wire(WireError::Io(e)))
+    }
+}

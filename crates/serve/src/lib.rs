@@ -1,0 +1,65 @@
+//! # fm-serve: mapping-as-a-service
+//!
+//! A std-only daemon that puts the whole F&M toolchain — autotuning
+//! searches (`fm-autotune`), cost evaluation (`fm-core`), and
+//! cycle-level simulation (`fm-grid`) — behind one TCP socket, so a
+//! compiler, a sweep script, or a CI job can ask for mappings without
+//! linking the crates or paying cold-start costs per query. One
+//! resident server amortises the tuner thread pool and the persistent
+//! tuning cache across every request.
+//!
+//! ## Protocol
+//!
+//! Length-prefixed JSON: each frame is a 4-byte big-endian length
+//! followed by that many bytes of JSON ([`protocol`]). Requests:
+//!
+//! | request | answer | what it does |
+//! |---|---|---|
+//! | `Ping` | `Pong` | liveness |
+//! | `Tune` | `Tuned` | ranked mapping search via the shared tuner + cache |
+//! | `Evaluate` | `Evaluated` | legality + predicted [`CostReport`](fm_core::cost::CostReport) |
+//! | `Simulate` | `Simulated` | cycle-level run, predicted-vs-simulated slowdown |
+//! | `Stats` | `Stats` | live metrics snapshot (never queued) |
+//! | `Shutdown` | `ShuttingDown` | drain admitted work, then exit |
+//!
+//! Any work request may instead receive `Busy` (bounded admission
+//! queue is full — retry later) or `Failed` (typed error).
+//!
+//! ## Production plumbing
+//!
+//! * bounded admission with explicit backpressure ([`server`]),
+//! * per-request deadlines threaded into tuner budgets plus a
+//!   [`CancelToken`](fm_autotune::CancelToken) so expired or
+//!   disconnected clients stop burning cores mid-search,
+//! * graceful drain-then-exit shutdown,
+//! * lock-free in-process metrics ([`metrics`]): per-endpoint request
+//!   counters and latency histograms (p50/p95/p99), queue depth,
+//!   cache hit rate.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use fm_serve::client::Client;
+//! use fm_serve::server::{Server, ServerConfig};
+//!
+//! let handle = Server::start("127.0.0.1:0", ServerConfig::default()).unwrap();
+//! let mut client = Client::connect(handle.local_addr()).unwrap();
+//! client.ping().unwrap();
+//! let stats = client.stats().unwrap();
+//! assert_eq!(stats.ping.received, 1);
+//! client.shutdown().unwrap();
+//! handle.join();
+//! ```
+
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use metrics::{EndpointStats, LatencyStats, StatsReply};
+pub use protocol::{
+    BusyReply, EvaluateReply, EvaluateRequest, FailReply, Request, Response, SimulateReply,
+    SimulateRequest, TuneReply, TuneRequest, WireCandidate, WireError, DEFAULT_MAX_FRAME,
+};
+pub use server::{Server, ServerConfig, ServerHandle};

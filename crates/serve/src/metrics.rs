@@ -1,0 +1,375 @@
+//! The in-process metrics registry.
+//!
+//! Lock-free counters and log₂-bucketed latency histograms, cheap
+//! enough to update on every request (a handful of relaxed atomic adds)
+//! and snapshotted on demand by the `Stats` endpoint. Quantiles are
+//! read from the histogram: bucket *b* covers latencies in
+//! `[2^b, 2^(b+1))` nanoseconds, so a reported p99 is exact to within
+//! 2× — the right fidelity for tail-latency dashboards, at zero
+//! per-request allocation.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+/// Number of log₂ latency buckets: covers 1 ns .. ~584 years.
+const BUCKETS: usize = 64;
+
+/// A lock-free latency histogram with log₂ buckets.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one sample.
+    pub fn record(&self, latency: Duration) {
+        let ns = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
+        let bucket = (63 - ns.max(1).leading_zeros()) as usize;
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// The latency at quantile `q` (0 < q ≤ 1), in nanoseconds: the
+    /// upper edge of the bucket holding the rank-`⌈q·n⌉` sample,
+    /// clamped to the observed maximum. 0 when empty.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (b, slot) in self.buckets.iter().enumerate() {
+            seen += slot.load(Ordering::Relaxed);
+            if seen >= rank {
+                let upper = if b >= 63 { u64::MAX } else { (2u64 << b) - 1 };
+                return upper.min(self.max_ns.load(Ordering::Relaxed));
+            }
+        }
+        self.max_ns.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self) -> LatencyStats {
+        let count = self.count();
+        let to_us = |ns: u64| ns as f64 / 1e3;
+        LatencyStats {
+            p50_us: to_us(self.quantile_ns(0.50)),
+            p95_us: to_us(self.quantile_ns(0.95)),
+            p99_us: to_us(self.quantile_ns(0.99)),
+            mean_us: if count == 0 {
+                0.0
+            } else {
+                to_us(self.sum_ns.load(Ordering::Relaxed)) / count as f64
+            },
+            max_us: to_us(self.max_ns.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Counters for one endpoint.
+#[derive(Debug, Default)]
+pub struct Endpoint {
+    /// Requests received (including ones later refused or failed).
+    pub received: AtomicU64,
+    /// Requests answered with the endpoint's success response.
+    pub completed: AtomicU64,
+    /// Requests answered with `Failed`.
+    pub failed: AtomicU64,
+    /// Admission-to-reply latency of completed requests.
+    pub latency: Histogram,
+}
+
+impl Endpoint {
+    fn snapshot(&self) -> EndpointStats {
+        EndpointStats {
+            received: self.received.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            latency: self.latency.snapshot(),
+        }
+    }
+}
+
+/// The registry: one [`Endpoint`] per request type plus server-wide
+/// gauges. Shared by reference across connection and worker threads.
+#[derive(Debug)]
+pub struct Metrics {
+    started: Instant,
+    /// `Tune` endpoint counters.
+    pub tune: Endpoint,
+    /// `Evaluate` endpoint counters.
+    pub evaluate: Endpoint,
+    /// `Simulate` endpoint counters.
+    pub simulate: Endpoint,
+    /// `Stats` endpoint counters.
+    pub stats: Endpoint,
+    /// `Ping` endpoint counters.
+    pub ping: Endpoint,
+    /// Current admission-queue depth.
+    pub queue_depth: AtomicUsize,
+    /// High-water mark of the admission queue.
+    pub queue_peak: AtomicUsize,
+    /// Requests refused with `Busy`.
+    pub busy_rejections: AtomicU64,
+    /// Frames that failed to parse (connection then closed).
+    pub protocol_errors: AtomicU64,
+    /// Requests whose deadline expired before execution started.
+    pub deadline_expired: AtomicU64,
+    /// Requests cancelled mid-run (deadline or disconnect).
+    pub cancelled: AtomicU64,
+    /// Tuning-cache hits observed by `Tune`.
+    pub cache_hits: AtomicU64,
+    /// Tuning-cache misses observed by `Tune`.
+    pub cache_misses: AtomicU64,
+    /// Tuning-cache stale entries observed by `Tune`.
+    pub cache_stale: AtomicU64,
+    /// Connections accepted over the server's lifetime.
+    pub connections: AtomicU64,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            started: Instant::now(),
+            tune: Endpoint::default(),
+            evaluate: Endpoint::default(),
+            simulate: Endpoint::default(),
+            stats: Endpoint::default(),
+            ping: Endpoint::default(),
+            queue_depth: AtomicUsize::new(0),
+            queue_peak: AtomicUsize::new(0),
+            busy_rejections: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            cache_stale: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Metrics {
+    /// The endpoint record for a request kind (by wire name).
+    pub fn endpoint(&self, name: &str) -> &Endpoint {
+        match name {
+            "tune" => &self.tune,
+            "evaluate" => &self.evaluate,
+            "simulate" => &self.simulate,
+            "stats" => &self.stats,
+            _ => &self.ping,
+        }
+    }
+
+    /// Record a queue push, maintaining the depth gauge and peak.
+    pub fn queue_pushed(&self, depth_after: usize) {
+        self.queue_depth.store(depth_after, Ordering::Relaxed);
+        self.queue_peak.fetch_max(depth_after, Ordering::Relaxed);
+    }
+
+    /// Record a queue pop.
+    pub fn queue_popped(&self, depth_after: usize) {
+        self.queue_depth.store(depth_after, Ordering::Relaxed);
+    }
+
+    /// Snapshot everything into the `Stats` wire reply.
+    pub fn snapshot(&self, queue_capacity: usize) -> StatsReply {
+        StatsReply {
+            uptime_ms: self.started.elapsed().as_secs_f64() * 1e3,
+            connections: self.connections.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed) as u64,
+            queue_peak: self.queue_peak.load(Ordering::Relaxed) as u64,
+            queue_capacity: queue_capacity as u64,
+            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_stale: self.cache_stale.load(Ordering::Relaxed),
+            tune: self.tune.snapshot(),
+            evaluate: self.evaluate.snapshot(),
+            simulate: self.simulate.snapshot(),
+            stats: self.stats.snapshot(),
+            ping: self.ping.snapshot(),
+        }
+    }
+}
+
+/// Latency summary for one endpoint, in microseconds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Median.
+    pub p50_us: f64,
+    /// 95th percentile.
+    pub p95_us: f64,
+    /// 99th percentile.
+    pub p99_us: f64,
+    /// Arithmetic mean (exact, from a running sum).
+    pub mean_us: f64,
+    /// Maximum observed (exact).
+    pub max_us: f64,
+}
+
+/// Wire snapshot of one endpoint's counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EndpointStats {
+    /// Requests received.
+    pub received: u64,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests answered with `Failed`.
+    pub failed: u64,
+    /// Admission-to-reply latency of completed requests.
+    pub latency: LatencyStats,
+}
+
+/// The `Stats` endpoint's reply: a full registry snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsReply {
+    /// Milliseconds since the server started.
+    pub uptime_ms: f64,
+    /// Connections accepted.
+    pub connections: u64,
+    /// Current admission-queue depth.
+    pub queue_depth: u64,
+    /// Admission-queue high-water mark.
+    pub queue_peak: u64,
+    /// Configured admission-queue capacity.
+    pub queue_capacity: u64,
+    /// Requests refused with `Busy`.
+    pub busy_rejections: u64,
+    /// Unparseable frames received.
+    pub protocol_errors: u64,
+    /// Requests that expired before execution.
+    pub deadline_expired: u64,
+    /// Requests cancelled mid-run.
+    pub cancelled: u64,
+    /// Tuning-cache hits.
+    pub cache_hits: u64,
+    /// Tuning-cache misses.
+    pub cache_misses: u64,
+    /// Tuning-cache stale entries.
+    pub cache_stale: u64,
+    /// `Tune` counters.
+    pub tune: EndpointStats,
+    /// `Evaluate` counters.
+    pub evaluate: EndpointStats,
+    /// `Simulate` counters.
+    pub simulate: EndpointStats,
+    /// `Stats` counters.
+    pub stats: EndpointStats,
+    /// `Ping` counters.
+    pub ping: EndpointStats,
+}
+
+impl StatsReply {
+    /// Total requests received across the work endpoints (tune +
+    /// evaluate + simulate).
+    pub fn work_received(&self) -> u64 {
+        self.tune.received + self.evaluate.received + self.simulate.received
+    }
+
+    /// Cache hit rate over `Tune` requests that consulted the cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses + self.cache_stale;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let h = Histogram::default();
+        for ms in 1..=100u64 {
+            h.record(Duration::from_millis(ms));
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile_ns(0.50);
+        let p99 = h.quantile_ns(0.99);
+        // Log2 buckets: answers are within 2× of the true quantile and
+        // monotone in q.
+        assert!((25_000_000..=128_000_000).contains(&p50), "p50 = {p50}");
+        assert!(p99 >= 64_000_000, "p99 = {p99}");
+        assert!(p50 <= p99);
+        // Max is exact.
+        assert_eq!(h.quantile_ns(1.0), 100_000_000);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile_ns(0.5), 0);
+        let s = h.snapshot();
+        assert_eq!(s.mean_us, 0.0);
+        assert_eq!(s.max_us, 0.0);
+    }
+
+    #[test]
+    fn single_sample_all_quantiles_equal_it() {
+        let h = Histogram::default();
+        h.record(Duration::from_micros(7));
+        for q in [0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_ns(q), 7_000);
+        }
+    }
+
+    #[test]
+    fn snapshot_serializes_and_round_trips() {
+        let m = Metrics::default();
+        m.tune.received.fetch_add(3, Ordering::Relaxed);
+        m.tune.completed.fetch_add(2, Ordering::Relaxed);
+        m.tune.latency.record(Duration::from_millis(5));
+        m.queue_pushed(2);
+        m.queue_popped(1);
+        let snap = m.snapshot(8);
+        assert_eq!(snap.queue_capacity, 8);
+        assert_eq!(snap.queue_peak, 2);
+        assert_eq!(snap.queue_depth, 1);
+        let text = serde_json::to_string(&snap).unwrap();
+        let back: StatsReply = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn queue_peak_is_monotone() {
+        let m = Metrics::default();
+        m.queue_pushed(5);
+        m.queue_popped(4);
+        m.queue_pushed(5);
+        m.queue_popped(0);
+        assert_eq!(m.queue_peak.load(Ordering::Relaxed), 5);
+        assert_eq!(m.queue_depth.load(Ordering::Relaxed), 0);
+    }
+}

@@ -1,0 +1,484 @@
+//! The wire protocol: length-prefixed JSON frames.
+//!
+//! Every message on the wire is one **frame**: a 4-byte big-endian
+//! payload length followed by that many bytes of UTF-8 JSON. JSON keeps
+//! the protocol debuggable (`nc` + eyeballs) and rides on the same
+//! vendored serde data model the rest of the workspace already
+//! round-trips through; the length prefix makes framing trivial and
+//! lets the receiver reject oversized frames *before* buffering them
+//! (bounded memory, the same discipline as the admission queue).
+//!
+//! Malformed input of any kind — truncated frame, oversized length,
+//! garbage bytes, JSON of the wrong shape — surfaces as a
+//! [`WireError`], never a panic and never a hang: the length prefix
+//! bounds every read, and decode errors are ordinary values.
+
+use serde::{Deserialize, Serialize};
+
+use fm_autotune::{Refinement, TunedMapping};
+use fm_core::cost::CostReport;
+use fm_core::dataflow::DataflowGraph;
+use fm_core::machine::MachineConfig;
+use fm_core::mapping::{Mapping, ResolvedMapping};
+use fm_core::search::FigureOfMerit;
+use fm_core::value::Value;
+
+use crate::metrics::StatsReply;
+
+/// Default cap on a single frame's payload. Large enough for a
+/// several-thousand-node graph with candidates; small enough that a
+/// hostile or buggy length prefix cannot balloon server memory.
+pub const DEFAULT_MAX_FRAME: usize = 16 << 20;
+
+/// A candidate mapping as sent over the wire.
+///
+/// (`fm_core::search::MappingCandidate` itself does not implement
+/// serde; this is its wire twin, converted at the server boundary.)
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireCandidate {
+    /// Label reported back for the winner.
+    pub label: String,
+    /// The mapping to evaluate.
+    pub mapping: Mapping,
+}
+
+/// `Tune`: search a candidate list for the best mapping of `graph` on
+/// `machine` under `fom`, with optional budgets and annealing
+/// refinement. Answered with [`Response::Tuned`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuneRequest {
+    /// The elaborated dataflow graph to map.
+    pub graph: DataflowGraph,
+    /// The machine to map onto.
+    pub machine: MachineConfig,
+    /// The figure of merit to minimize.
+    pub fom: FigureOfMerit,
+    /// Candidate mappings to rank.
+    pub candidates: Vec<WireCandidate>,
+    /// Per-request deadline in milliseconds, measured from admission.
+    /// Threaded into the tuner's budget; past it the server cancels the
+    /// search and returns the best-so-far partial result.
+    pub deadline_ms: Option<u64>,
+    /// Evaluate at most this many candidates (deterministic prefix).
+    pub max_candidates: Option<u64>,
+    /// Early-stop after this many candidates without improvement.
+    pub convergence_window: Option<u64>,
+    /// Multi-chain annealing refinement of the winner.
+    pub refinement: Option<Refinement>,
+    /// Participate in the server's persistent tuning cache (replay hits,
+    /// store misses). `false` forces a cold search.
+    pub use_cache: bool,
+}
+
+/// `Evaluate`: legality-check and analytically cost one resolved
+/// mapping. Answered with [`Response::Evaluated`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvaluateRequest {
+    /// The graph the mapping is for.
+    pub graph: DataflowGraph,
+    /// The machine it runs on.
+    pub machine: MachineConfig,
+    /// The mapping to cost.
+    pub mapping: ResolvedMapping,
+    /// Per-request deadline in milliseconds (admission-relative).
+    pub deadline_ms: Option<u64>,
+}
+
+/// `Simulate`: execute one resolved mapping on the cycle-driven grid
+/// simulator and report predicted-vs-simulated slowdown. Answered with
+/// [`Response::Simulated`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulateRequest {
+    /// The graph to execute.
+    pub graph: DataflowGraph,
+    /// The machine to simulate.
+    pub machine: MachineConfig,
+    /// The mapping to execute.
+    pub mapping: ResolvedMapping,
+    /// Input tensors, one per graph input (empty for closed graphs).
+    pub inputs: Vec<Vec<Value>>,
+    /// Model link contention (wormhole occupancy).
+    pub contention: bool,
+    /// Per-request deadline in milliseconds (admission-relative).
+    pub deadline_ms: Option<u64>,
+}
+
+/// A client request frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Liveness probe; answered with [`Response::Pong`].
+    Ping,
+    /// Mapping search (see [`TuneRequest`]).
+    Tune(TuneRequest),
+    /// Analytic cost of one mapping (see [`EvaluateRequest`]).
+    Evaluate(EvaluateRequest),
+    /// Cycle-driven simulation of one mapping (see [`SimulateRequest`]).
+    Simulate(SimulateRequest),
+    /// Metrics snapshot; answered with [`Response::Stats`]. Never
+    /// queued, never `Busy` — stats must be readable under saturation.
+    Stats,
+    /// Begin graceful drain-then-exit; answered with
+    /// [`Response::ShuttingDown`].
+    Shutdown,
+}
+
+impl Request {
+    /// Wire-level name, as used in metrics and logs.
+    pub fn endpoint(&self) -> &'static str {
+        match self {
+            Request::Ping => "ping",
+            Request::Tune(_) => "tune",
+            Request::Evaluate(_) => "evaluate",
+            Request::Simulate(_) => "simulate",
+            Request::Stats => "stats",
+            Request::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// The answer to a [`TuneRequest`]: the winner (if any mapping was
+/// legal) plus the tuner's counters, mirroring
+/// [`fm_autotune::TuneReport`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TuneReply {
+    /// The winning mapping (label, resolved mapping, report, score), or
+    /// `None` when even the default-mapper fallback was unavailable
+    /// (empty graph).
+    pub best: Option<TunedMapping>,
+    /// Candidates offered.
+    pub offered: u64,
+    /// Candidates evaluated.
+    pub evaluated: u64,
+    /// Candidates pruned by budgets or cancellation.
+    pub pruned: u64,
+    /// Cache participation: `"disabled"`, `"miss"`, `"hit"`, `"stale"`.
+    pub cache: String,
+    /// Whether the winner is the default-mapper fallback.
+    pub fell_back: bool,
+    /// Whether the deadline/disconnect cancelled the search (the reply
+    /// then covers the evaluated prefix).
+    pub cancelled: bool,
+    /// Server-side wall time of the tune call, in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// The answer to an [`EvaluateRequest`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvaluateReply {
+    /// Whether the mapping passed the static legality check.
+    pub legal: bool,
+    /// Total legality violations (0 when legal).
+    pub violations: u64,
+    /// The analytic cost report (`None` for illegal mappings — their
+    /// cost is not defined).
+    pub report: Option<CostReport>,
+}
+
+/// The answer to a [`SimulateRequest`]: the analytic prediction next to
+/// what the cycle-driven simulator actually measured.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimulateReply {
+    /// The mapping's promised makespan (analytic model).
+    pub cycles_scheduled: i64,
+    /// Cycles the simulator actually took (≥ scheduled).
+    pub cycles_actual: i64,
+    /// `cycles_actual / cycles_scheduled` — 1.0 means the model's
+    /// promise held exactly.
+    pub slowdown: f64,
+    /// Elements that executed later than scheduled.
+    pub stalled_elements: u64,
+    /// Total lateness across all elements, in cycles.
+    pub total_stall_cycles: u64,
+    /// Messages delivered over the NoC.
+    pub messages_delivered: u64,
+    /// Cycles messages spent blocked on busy links.
+    pub link_wait_cycles: u64,
+    /// Analytically predicted total energy (fJ).
+    pub predicted_energy_fj: f64,
+    /// Simulated total energy (fJ) — matches the prediction for legal
+    /// mappings by the sim-agreement invariant.
+    pub simulated_energy_fj: f64,
+}
+
+/// Why a request was refused or failed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailReply {
+    /// Machine-readable category: `"protocol"`, `"deadline"`,
+    /// `"illegal"`, `"sim"`, or `"internal"`.
+    pub kind: String,
+    /// Human-readable detail.
+    pub error: String,
+}
+
+/// Explicit backpressure: the admission queue is full. The client
+/// should back off and retry; the server has *not* buffered the
+/// request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BusyReply {
+    /// Queue depth at refusal (== capacity).
+    pub queue_depth: u64,
+    /// Configured queue capacity.
+    pub queue_capacity: u64,
+}
+
+/// A server response frame.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Answer to [`Request::Tune`].
+    Tuned(TuneReply),
+    /// Answer to [`Request::Evaluate`].
+    Evaluated(EvaluateReply),
+    /// Answer to [`Request::Simulate`].
+    Simulated(SimulateReply),
+    /// Answer to [`Request::Stats`].
+    Stats(StatsReply),
+    /// The admission queue is full; retry later.
+    Busy(BusyReply),
+    /// The server is draining: acknowledges [`Request::Shutdown`], and
+    /// refuses work requests that arrive during the drain.
+    ShuttingDown,
+    /// The request was admitted but could not be served.
+    Failed(FailReply),
+}
+
+impl Response {
+    /// Wire-level name (for logs and tests).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Response::Pong => "pong",
+            Response::Tuned(_) => "tuned",
+            Response::Evaluated(_) => "evaluated",
+            Response::Simulated(_) => "simulated",
+            Response::Stats(_) => "stats",
+            Response::Busy(_) => "busy",
+            Response::ShuttingDown => "shutting-down",
+            Response::Failed(_) => "failed",
+        }
+    }
+}
+
+/// Everything that can go wrong reading or decoding a frame.
+#[derive(Debug)]
+pub enum WireError {
+    /// The peer closed the connection cleanly at a frame boundary.
+    Closed,
+    /// I/O failure mid-frame.
+    Io(std::io::Error),
+    /// EOF arrived inside a frame (`got` of `expected` payload bytes).
+    Truncated {
+        /// Bytes the length prefix promised.
+        expected: usize,
+        /// Bytes actually received before EOF.
+        got: usize,
+    },
+    /// The length prefix exceeds the configured maximum; the payload
+    /// was *not* read.
+    Oversized {
+        /// Length the prefix claimed.
+        len: usize,
+        /// Maximum this endpoint accepts.
+        max: usize,
+    },
+    /// The payload was not valid JSON of the expected shape.
+    Malformed(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Closed => write!(f, "connection closed"),
+            WireError::Io(e) => write!(f, "i/o error: {e}"),
+            WireError::Truncated { expected, got } => {
+                write!(f, "truncated frame: got {got} of {expected} bytes")
+            }
+            WireError::Oversized { len, max } => {
+                write!(f, "oversized frame: {len} bytes exceeds the {max}-byte cap")
+            }
+            WireError::Malformed(e) => write!(f, "malformed payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> WireError {
+        WireError::Io(e)
+    }
+}
+
+/// Write one frame: 4-byte big-endian length, then the payload.
+pub fn write_frame(w: &mut impl std::io::Write, payload: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame exceeds u32 length")
+    })?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame's payload, enforcing `max`. Clean EOF before the
+/// first header byte is [`WireError::Closed`]; EOF anywhere later is
+/// [`WireError::Truncated`].
+pub fn read_frame(r: &mut impl std::io::Read, max: usize) -> Result<Vec<u8>, WireError> {
+    let mut header = [0u8; 4];
+    let mut have = 0;
+    while have < 4 {
+        match r.read(&mut header[have..]) {
+            Ok(0) if have == 0 => return Err(WireError::Closed),
+            Ok(0) => {
+                return Err(WireError::Truncated {
+                    expected: 4,
+                    got: have,
+                })
+            }
+            Ok(n) => have += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len > max {
+        return Err(WireError::Oversized { len, max });
+    }
+    let mut payload = vec![0u8; len];
+    let mut got = 0;
+    while got < len {
+        match r.read(&mut payload[got..]) {
+            Ok(0) => return Err(WireError::Truncated { expected: len, got }),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    Ok(payload)
+}
+
+/// Serialize a request to frame-payload bytes.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    serde_json::to_string(req)
+        .expect("requests always serialize")
+        .into_bytes()
+}
+
+/// Serialize a response to frame-payload bytes.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    serde_json::to_string(resp)
+        .expect("responses always serialize")
+        .into_bytes()
+}
+
+/// Decode a request from frame-payload bytes.
+pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|e| WireError::Malformed(format!("not UTF-8: {e}")))?;
+    serde_json::from_str(text).map_err(|e| WireError::Malformed(e.to_string()))
+}
+
+/// Decode a response from frame-payload bytes.
+pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|e| WireError::Malformed(format!("not UTF-8: {e}")))?;
+    serde_json::from_str(text).map_err(|e| WireError::Malformed(e.to_string()))
+}
+
+/// Write `req` as one frame.
+pub fn write_request(w: &mut impl std::io::Write, req: &Request) -> std::io::Result<()> {
+    write_frame(w, &encode_request(req))
+}
+
+/// Write `resp` as one frame.
+pub fn write_response(w: &mut impl std::io::Write, resp: &Response) -> std::io::Result<()> {
+    write_frame(w, &encode_response(resp))
+}
+
+/// Read one request frame.
+pub fn read_request(r: &mut impl std::io::Read, max: usize) -> Result<Request, WireError> {
+    decode_request(&read_frame(r, max)?)
+}
+
+/// Read one response frame.
+pub fn read_response(r: &mut impl std::io::Read, max: usize) -> Result<Response, WireError> {
+    decode_response(&read_frame(r, max)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        assert_eq!(&buf[..4], &5u32.to_be_bytes());
+        let mut r = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut r, 1024).unwrap(), b"hello");
+        // Second read: clean EOF at a boundary.
+        assert!(matches!(read_frame(&mut r, 1024), Err(WireError::Closed)));
+    }
+
+    #[test]
+    fn oversized_frame_rejected_before_reading_payload() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(1u32 << 30).to_be_bytes());
+        // No payload bytes at all — the cap must fire on the header.
+        let mut r = std::io::Cursor::new(buf);
+        match read_frame(&mut r, 4096) {
+            Err(WireError::Oversized { len, max }) => {
+                assert_eq!(len, 1 << 30);
+                assert_eq!(max, 4096);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_header_and_payload_rejected() {
+        let mut r = std::io::Cursor::new(vec![0u8, 0]);
+        assert!(matches!(
+            read_frame(&mut r, 1024),
+            Err(WireError::Truncated { expected: 4, .. })
+        ));
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&100u32.to_be_bytes());
+        buf.extend_from_slice(b"short");
+        let mut r = std::io::Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut r, 1024),
+            Err(WireError::Truncated {
+                expected: 100,
+                got: 5
+            })
+        ));
+    }
+
+    #[test]
+    fn garbage_payload_is_a_malformed_error() {
+        assert!(matches!(
+            decode_request(b"]]nonsense[["),
+            Err(WireError::Malformed(_))
+        ));
+        assert!(matches!(
+            decode_request(&[0xFF, 0xFE, 0x00]),
+            Err(WireError::Malformed(_))
+        ));
+        // Valid JSON, wrong shape.
+        assert!(matches!(
+            decode_response(b"{\"NoSuchVariant\": 3}"),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn ping_round_trips_through_frames() {
+        let mut buf = Vec::new();
+        write_request(&mut buf, &Request::Ping).unwrap();
+        let mut r = std::io::Cursor::new(buf);
+        assert_eq!(
+            read_request(&mut r, DEFAULT_MAX_FRAME).unwrap(),
+            Request::Ping
+        );
+    }
+}

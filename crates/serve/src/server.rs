@@ -1,0 +1,764 @@
+//! The daemon: acceptor, bounded admission queue, worker pool,
+//! deadlines, cancellation, and graceful drain.
+//!
+//! ```text
+//!                    ┌────────────────────────── Shared ───────────────────────────┐
+//!  client ──TCP──▶ acceptor ──▶ connection thread ──try_admit──▶ [bounded queue]   │
+//!                    │           │  ▲                              │                │
+//!                    │           │  └── reply (mpsc) ◀── worker ◀──┘               │
+//!                    │           └── full → `Busy` (never buffered)                │
+//!                    │               metrics ◀── everyone                          │
+//!                    └──────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Design rules, in order:
+//!
+//! * **bounded memory** — a request is either executing, in the
+//!   fixed-capacity queue, or refused with [`Response::Busy`]; there is
+//!   no unbounded buffer anywhere (frames are length-checked before
+//!   they are read, the queue before it is pushed);
+//! * **deadlines propagate** — a request's `deadline_ms` becomes a
+//!   tuner [`Budget::deadline`](fm_autotune::Budget) *and* a
+//!   [`CancelToken`] latched by the connection thread's watchdog, so an
+//!   expired or disconnected client stops burning cores between
+//!   candidate evaluations and still receives its best-so-far partial
+//!   result (if it is still connected to read it);
+//! * **drain, then exit** — shutdown closes admission first; admitted
+//!   requests run to completion and their replies are delivered before
+//!   any thread exits.
+
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use fm_autotune::{Budget, CacheStatus, CancelToken, Tuner, TuningCache};
+use fm_core::cost::Evaluator;
+use fm_core::legality::check;
+use fm_core::search::MappingCandidate;
+use fm_grid::{SimConfig, Simulator};
+use fm_workspan::ThreadPool;
+
+use crate::metrics::{Metrics, StatsReply};
+use crate::protocol::{
+    write_response, BusyReply, EvaluateReply, EvaluateRequest, FailReply, Request, Response,
+    SimulateReply, SimulateRequest, TuneReply, TuneRequest, WireError, DEFAULT_MAX_FRAME,
+};
+
+/// Server tunables.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing admitted requests (each `Tune`
+    /// additionally fans candidates across the shared tuner pool).
+    pub workers: usize,
+    /// Threads in the shared `fm-workspan` pool reused across requests.
+    pub tuner_threads: usize,
+    /// Admission-queue capacity: requests beyond this are refused with
+    /// `Busy`, never buffered.
+    pub queue_capacity: usize,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline_ms: Option<u64>,
+    /// Directory for the persistent tuning cache shared by `Tune`
+    /// requests with `use_cache`; `None` disables caching.
+    pub cache_dir: Option<PathBuf>,
+    /// Largest accepted frame payload.
+    pub max_frame: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        ServerConfig {
+            workers: 2,
+            tuner_threads: cores.min(8),
+            queue_capacity: 64,
+            default_deadline_ms: None,
+            cache_dir: None,
+            max_frame: DEFAULT_MAX_FRAME,
+        }
+    }
+}
+
+/// One admitted request, waiting for (or undergoing) execution.
+struct Job {
+    request: Request,
+    accepted: Instant,
+    deadline: Option<Instant>,
+    cancel: CancelToken,
+    reply: mpsc::Sender<Response>,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+struct Shared {
+    config: ServerConfig,
+    metrics: Metrics,
+    pool: ThreadPool,
+    cache: Option<TuningCache>,
+    queue: Mutex<QueueState>,
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+    local_addr: SocketAddr,
+    conn_handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Idempotently begin the drain: close admission, wake everyone.
+    fn begin_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        {
+            let mut q = self.queue.lock();
+            q.closed = true;
+        }
+        self.queue_cv.notify_all();
+        // Unblock the acceptor's blocking accept() with a throwaway
+        // connection; it re-checks the flag on wake.
+        let _ = TcpStream::connect(self.local_addr);
+    }
+
+    /// Push unless full or closed; `false` means refused (the job is
+    /// dropped — it was never buffered).
+    fn try_admit(&self, job: Job) -> bool {
+        let depth = {
+            let mut q = self.queue.lock();
+            if q.closed || q.jobs.len() >= self.config.queue_capacity {
+                return false;
+            }
+            q.jobs.push_back(job);
+            q.jobs.len()
+        };
+        self.metrics.queue_pushed(depth);
+        self.queue_cv.notify_one();
+        true
+    }
+
+    /// Blocking pop; `None` once the queue is closed *and* empty (the
+    /// drain guarantee: every admitted job is handed to a worker).
+    fn pop(&self) -> Option<Job> {
+        let mut q = self.queue.lock();
+        loop {
+            if let Some(job) = q.jobs.pop_front() {
+                let depth = q.jobs.len();
+                drop(q);
+                self.metrics.queue_popped(depth);
+                return Some(job);
+            }
+            if q.closed {
+                return None;
+            }
+            self.queue_cv.wait_for(&mut q, Duration::from_millis(100));
+        }
+    }
+}
+
+/// A running server. Obtain with [`Server::start`]; stop with
+/// [`ServerHandle::shutdown`] + [`ServerHandle::join`] (or a wire
+/// [`Request::Shutdown`]).
+pub struct Server;
+
+/// Handle to a running server.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start the
+    /// acceptor and worker threads.
+    pub fn start(addr: impl ToSocketAddrs, config: ServerConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let cache = config.cache_dir.as_ref().and_then(TuningCache::open);
+        let shared = Arc::new(Shared {
+            pool: ThreadPool::with_threads(config.tuner_threads.max(1)),
+            metrics: Metrics::default(),
+            cache,
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            queue_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            local_addr,
+            conn_handles: Mutex::new(Vec::new()),
+            config,
+        });
+
+        let workers = (0..shared.config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("fm-serve-worker-{i}"))
+                    .spawn(move || worker_main(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("fm-serve-acceptor".to_string())
+                .spawn(move || acceptor_main(&shared, listener))
+                .expect("spawn acceptor")
+        };
+
+        Ok(ServerHandle {
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (with the actual port when 0 was requested).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Live metrics snapshot (same data as the `Stats` endpoint).
+    pub fn stats(&self) -> StatsReply {
+        self.shared
+            .metrics
+            .snapshot(self.shared.config.queue_capacity)
+    }
+
+    /// Begin the graceful drain (idempotent, non-blocking): admission
+    /// closes immediately, admitted requests still complete.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Wait for the server to finish: blocks until shutdown is
+    /// triggered (by [`ServerHandle::shutdown`] or a wire
+    /// [`Request::Shutdown`]), the queue drains, every reply is
+    /// delivered, and all threads exit. Returns the final stats.
+    pub fn join(mut self) -> StatsReply {
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        loop {
+            let handle = self.shared.conn_handles.lock().pop();
+            match handle {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => break,
+            }
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.shared
+            .metrics
+            .snapshot(self.shared.config.queue_capacity)
+    }
+
+    /// Convenience: trigger the drain and wait it out.
+    pub fn shutdown_and_join(self) -> StatsReply {
+        self.shutdown();
+        self.join()
+    }
+}
+
+fn acceptor_main(shared: &Arc<Shared>, listener: TcpListener) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.is_shutdown() {
+                    break;
+                }
+                shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
+                let shared2 = Arc::clone(shared);
+                let handle = std::thread::Builder::new()
+                    .name("fm-serve-conn".to_string())
+                    .spawn(move || handle_connection(&shared2, stream))
+                    .expect("spawn connection thread");
+                shared.conn_handles.lock().push(handle);
+            }
+            Err(_) => {
+                if shared.is_shutdown() {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Why the connection read loop stopped.
+enum ReadStop {
+    /// Peer closed cleanly at a frame boundary.
+    Closed,
+    /// Server is draining (or the peer stalled mid-frame during it).
+    Shutdown,
+    /// Framing/decoding failure (reported to the peer, then closed).
+    Protocol(WireError),
+}
+
+/// Read one frame, polling the shutdown flag between read timeouts so
+/// idle connections exit promptly during a drain.
+fn read_frame_polling(stream: &mut TcpStream, shared: &Shared) -> Result<Vec<u8>, ReadStop> {
+    use std::io::Read as _;
+
+    let mut header = [0u8; 4];
+    let mut have = 0usize;
+    let mut payload: Option<(Vec<u8>, usize)> = None; // (buf, filled)
+    loop {
+        if shared.is_shutdown() {
+            return Err(ReadStop::Shutdown);
+        }
+        let in_header = payload.is_none();
+        let (buf, filled): (&mut [u8], &mut usize) = match &mut payload {
+            None => (&mut header[..], &mut have),
+            Some((b, f)) => (b.as_mut_slice(), f),
+        };
+        match stream.read(&mut buf[*filled..]) {
+            Ok(0) => {
+                return if in_header && *filled == 0 {
+                    Err(ReadStop::Closed)
+                } else {
+                    Err(ReadStop::Protocol(WireError::Truncated {
+                        expected: buf.len(),
+                        got: *filled,
+                    }))
+                };
+            }
+            Ok(n) => {
+                *filled += n;
+                if *filled == buf.len() {
+                    match payload.take() {
+                        None => {
+                            let len = u32::from_be_bytes(header) as usize;
+                            if len > shared.config.max_frame {
+                                return Err(ReadStop::Protocol(WireError::Oversized {
+                                    len,
+                                    max: shared.config.max_frame,
+                                }));
+                            }
+                            payload = Some((vec![0u8; len], 0));
+                            // A zero-length payload is complete already.
+                            if len == 0 {
+                                return Ok(Vec::new());
+                            }
+                        }
+                        Some((buf, _)) => return Ok(buf),
+                    }
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue; // poll the shutdown flag, then retry
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(ReadStop::Protocol(WireError::Io(e))),
+        }
+    }
+}
+
+/// Is the peer's read half gone? (Non-blocking 1-byte peek: `Ok(0)`
+/// means orderly shutdown from the other side.)
+fn peer_gone(stream: &TcpStream) -> bool {
+    let mut probe = [0u8; 1];
+    let _ = stream.set_nonblocking(true);
+    let gone = matches!(stream.peek(&mut probe), Ok(0));
+    let _ = stream.set_nonblocking(false);
+    gone
+}
+
+/// Wait for the worker's reply while watching the deadline and the
+/// socket. Returns `None` when the client disconnected (nobody left to
+/// reply to); the worker's eventual send then fails harmlessly.
+fn wait_for_reply(
+    stream: &TcpStream,
+    rx: &mpsc::Receiver<Response>,
+    deadline: Option<Instant>,
+    cancel: &CancelToken,
+    shared: &Shared,
+) -> Option<Response> {
+    loop {
+        match rx.recv_timeout(Duration::from_millis(20)) {
+            Ok(resp) => return Some(resp),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if let Some(d) = deadline {
+                    if Instant::now() >= d && !cancel.is_cancelled() {
+                        shared.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+                        cancel.cancel();
+                    }
+                }
+                if peer_gone(stream) {
+                    if !cancel.is_cancelled() {
+                        shared.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+                        cancel.cancel();
+                    }
+                    return None;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                return Some(Response::Failed(FailReply {
+                    kind: "internal".to_string(),
+                    error: "worker dropped the request".to_string(),
+                }))
+            }
+        }
+    }
+}
+
+fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
+
+    loop {
+        let payload = match read_frame_polling(&mut stream, shared) {
+            Ok(p) => p,
+            Err(ReadStop::Closed) | Err(ReadStop::Shutdown) => return,
+            Err(ReadStop::Protocol(e)) => {
+                shared
+                    .metrics
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                let _ = write_response(
+                    &mut stream,
+                    &Response::Failed(FailReply {
+                        kind: "protocol".to_string(),
+                        error: e.to_string(),
+                    }),
+                );
+                return; // framing state is unrecoverable; close
+            }
+        };
+        let request = match crate::protocol::decode_request(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                shared
+                    .metrics
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                let _ = write_response(
+                    &mut stream,
+                    &Response::Failed(FailReply {
+                        kind: "protocol".to_string(),
+                        error: e.to_string(),
+                    }),
+                );
+                return;
+            }
+        };
+
+        match request {
+            Request::Ping => {
+                let ep = &shared.metrics.ping;
+                ep.received.fetch_add(1, Ordering::Relaxed);
+                ep.completed.fetch_add(1, Ordering::Relaxed);
+                if write_response(&mut stream, &Response::Pong).is_err() {
+                    return;
+                }
+            }
+            // Stats bypasses admission entirely: it must answer even —
+            // especially — when the queue is full.
+            Request::Stats => {
+                let t0 = Instant::now();
+                let ep = &shared.metrics.stats;
+                ep.received.fetch_add(1, Ordering::Relaxed);
+                let snap = shared.metrics.snapshot(shared.config.queue_capacity);
+                ep.completed.fetch_add(1, Ordering::Relaxed);
+                ep.latency.record(t0.elapsed());
+                if write_response(&mut stream, &Response::Stats(snap)).is_err() {
+                    return;
+                }
+            }
+            Request::Shutdown => {
+                let _ = write_response(&mut stream, &Response::ShuttingDown);
+                shared.begin_shutdown();
+                return;
+            }
+            work @ (Request::Tune(_) | Request::Evaluate(_) | Request::Simulate(_)) => {
+                let endpoint = shared.metrics.endpoint(work.endpoint());
+                endpoint.received.fetch_add(1, Ordering::Relaxed);
+                if shared.is_shutdown() {
+                    let _ = write_response(&mut stream, &Response::ShuttingDown);
+                    return;
+                }
+                let accepted = Instant::now();
+                let deadline_ms = match &work {
+                    Request::Tune(t) => t.deadline_ms,
+                    Request::Evaluate(e) => e.deadline_ms,
+                    Request::Simulate(s) => s.deadline_ms,
+                    _ => unreachable!("only work requests reach here"),
+                }
+                .or(shared.config.default_deadline_ms);
+                let deadline = deadline_ms.map(|ms| accepted + Duration::from_millis(ms));
+                let cancel = CancelToken::new();
+                let (tx, rx) = mpsc::channel();
+                let job = Job {
+                    request: work,
+                    accepted,
+                    deadline,
+                    cancel: cancel.clone(),
+                    reply: tx,
+                };
+                if shared.try_admit(job) {
+                    match wait_for_reply(&stream, &rx, deadline, &cancel, shared) {
+                        Some(resp) => {
+                            if write_response(&mut stream, &resp).is_err() {
+                                return;
+                            }
+                        }
+                        None => return, // client gone; close
+                    }
+                } else {
+                    shared
+                        .metrics
+                        .busy_rejections
+                        .fetch_add(1, Ordering::Relaxed);
+                    let resp = if shared.is_shutdown() {
+                        Response::ShuttingDown
+                    } else {
+                        Response::Busy(BusyReply {
+                            queue_depth: shared.config.queue_capacity as u64,
+                            queue_capacity: shared.config.queue_capacity as u64,
+                        })
+                    };
+                    if write_response(&mut stream, &resp).is_err() {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn worker_main(shared: &Arc<Shared>) {
+    while let Some(job) = shared.pop() {
+        let Job {
+            request,
+            accepted,
+            deadline,
+            cancel,
+            reply,
+        } = job;
+        let endpoint_name = request.endpoint();
+
+        // A request that expired while queued is not worth starting —
+        // except Tune, whose contract is "best effort within the
+        // deadline": it still answers, with the fallback mapping.
+        let expired = deadline.is_some_and(|d| Instant::now() >= d);
+        if expired {
+            shared
+                .metrics
+                .deadline_expired
+                .fetch_add(1, Ordering::Relaxed);
+            cancel.cancel();
+        }
+
+        let response = catch_unwind(AssertUnwindSafe(|| match request {
+            Request::Tune(req) => exec_tune(shared, req, &cancel, deadline),
+            Request::Evaluate(_) | Request::Simulate(_) if expired => Response::Failed(FailReply {
+                kind: "deadline".to_string(),
+                error: "deadline expired before execution".to_string(),
+            }),
+            Request::Evaluate(req) => exec_evaluate(req),
+            Request::Simulate(req) => exec_simulate(req),
+            other => Response::Failed(FailReply {
+                kind: "internal".to_string(),
+                error: format!("{} is not a queued request", other.endpoint()),
+            }),
+        }))
+        .unwrap_or_else(|panic| {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "request execution panicked".to_string());
+            Response::Failed(FailReply {
+                kind: "internal".to_string(),
+                error: msg,
+            })
+        });
+
+        let endpoint = shared.metrics.endpoint(endpoint_name);
+        match &response {
+            Response::Failed(_) => {
+                endpoint.failed.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {
+                endpoint.completed.fetch_add(1, Ordering::Relaxed);
+                endpoint.latency.record(accepted.elapsed());
+            }
+        }
+        // The connection thread may have left (disconnect) — then the
+        // send fails and the result is simply dropped.
+        let _ = reply.send(response);
+    }
+}
+
+fn exec_tune(
+    shared: &Shared,
+    req: TuneRequest,
+    cancel: &CancelToken,
+    deadline: Option<Instant>,
+) -> Response {
+    let TuneRequest {
+        graph,
+        machine,
+        fom,
+        candidates,
+        max_candidates,
+        convergence_window,
+        refinement,
+        use_cache,
+        ..
+    } = req;
+    let evaluator = Evaluator::new(&graph, &machine);
+    let candidates: Vec<MappingCandidate> = candidates
+        .into_iter()
+        .map(|c| MappingCandidate::new(c.label, c.mapping))
+        .collect();
+    let mut budget = Budget::unlimited();
+    if let Some(n) = max_candidates {
+        budget.max_candidates = Some(n as usize);
+    }
+    if let Some(w) = convergence_window {
+        budget.convergence_window = Some(w as usize);
+    }
+    if let Some(d) = deadline {
+        budget.deadline = Some(d.saturating_duration_since(Instant::now()));
+    }
+    let mut tuner = Tuner::new(&evaluator, &graph, &machine, fom)
+        .with_pool(&shared.pool)
+        .with_budget(budget)
+        .with_cancel(cancel.clone());
+    if let Some(r) = refinement {
+        tuner = tuner.with_refinement(r);
+    }
+    if use_cache {
+        if let Some(cache) = &shared.cache {
+            tuner = tuner.with_cache(cache.clone());
+        }
+    }
+    let report = tuner.tune(&candidates);
+    match report.cache {
+        CacheStatus::Hit => shared.metrics.cache_hits.fetch_add(1, Ordering::Relaxed),
+        CacheStatus::Miss => shared.metrics.cache_misses.fetch_add(1, Ordering::Relaxed),
+        CacheStatus::Stale => shared.metrics.cache_stale.fetch_add(1, Ordering::Relaxed),
+        CacheStatus::Disabled => 0,
+    };
+    Response::Tuned(TuneReply {
+        best: report.best,
+        offered: report.offered as u64,
+        evaluated: report.evaluated as u64,
+        pruned: report.pruned as u64,
+        cache: report.cache.to_string(),
+        fell_back: report.fell_back,
+        cancelled: report.cancelled,
+        wall_ms: report.wall.as_secs_f64() * 1e3,
+    })
+}
+
+fn exec_evaluate(req: EvaluateRequest) -> Response {
+    let EvaluateRequest {
+        graph,
+        machine,
+        mapping,
+        ..
+    } = req;
+    if mapping.place.len() != graph.len() || mapping.time.len() != graph.len() {
+        return Response::Failed(FailReply {
+            kind: "illegal".to_string(),
+            error: format!(
+                "mapping covers {} nodes but the graph has {}",
+                mapping.place.len(),
+                graph.len()
+            ),
+        });
+    }
+    let legality = check(&graph, &mapping, &machine);
+    if !legality.is_legal() {
+        return Response::Evaluated(EvaluateReply {
+            legal: false,
+            violations: legality.total_violations,
+            report: None,
+        });
+    }
+    let report = Evaluator::new(&graph, &machine).evaluate(&mapping);
+    Response::Evaluated(EvaluateReply {
+        legal: true,
+        violations: 0,
+        report: Some(report),
+    })
+}
+
+fn exec_simulate(req: SimulateRequest) -> Response {
+    let SimulateRequest {
+        graph,
+        machine,
+        mapping,
+        inputs,
+        contention,
+        ..
+    } = req;
+    if mapping.place.len() != graph.len() || mapping.time.len() != graph.len() {
+        return Response::Failed(FailReply {
+            kind: "illegal".to_string(),
+            error: format!(
+                "mapping covers {} nodes but the graph has {}",
+                mapping.place.len(),
+                graph.len()
+            ),
+        });
+    }
+    let legality = check(&graph, &mapping, &machine);
+    if !legality.is_legal() {
+        return Response::Failed(FailReply {
+            kind: "illegal".to_string(),
+            error: format!(
+                "mapping is illegal ({} violations); the simulator only executes legal mappings",
+                legality.total_violations
+            ),
+        });
+    }
+    let predicted = Evaluator::new(&graph, &machine).evaluate(&mapping);
+    let sim = Simulator::new(machine).with_config(SimConfig {
+        contention,
+        ..SimConfig::default()
+    });
+    match sim.run(&graph, &mapping, &inputs, &[]) {
+        Ok(result) => Response::Simulated(SimulateReply {
+            cycles_scheduled: result.cycles_scheduled,
+            cycles_actual: result.cycles_actual,
+            slowdown: result.slowdown(),
+            stalled_elements: result.stalled_elements,
+            total_stall_cycles: result.total_stall_cycles,
+            messages_delivered: result.messages_delivered,
+            link_wait_cycles: result.link_wait_cycles,
+            predicted_energy_fj: predicted.energy().raw(),
+            simulated_energy_fj: result.ledger.energy.total().raw(),
+        }),
+        Err(e) => Response::Failed(FailReply {
+            kind: "sim".to_string(),
+            error: e.to_string(),
+        }),
+    }
+}

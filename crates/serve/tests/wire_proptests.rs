@@ -1,0 +1,279 @@
+//! Property tests for the wire protocol.
+//!
+//! Two families:
+//!
+//! 1. **Round-trip**: every request and response variant, built from
+//!    randomized payloads, survives `encode → decode → encode` with the
+//!    bytes unchanged (byte equality implies structural equality
+//!    without requiring `PartialEq` on every reply type).
+//! 2. **Adversarial framing**: truncated frames, oversized length
+//!    prefixes, and garbage payloads are rejected with a typed
+//!    [`WireError`] — never a panic, never a hang, and never an
+//!    allocation proportional to a hostile length prefix.
+
+use proptest::prelude::*;
+
+use fm_core::affine::IdxExpr;
+use fm_core::dataflow::{CExpr, DataflowGraph};
+use fm_core::machine::MachineConfig;
+use fm_core::mapping::{AffineMap, Mapping, PlaceExpr, ResolvedMapping};
+use fm_core::search::FigureOfMerit;
+use fm_core::value::Value;
+
+use fm_serve::protocol::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    BusyReply, EvaluateReply, EvaluateRequest, FailReply, Request, Response, SimulateReply,
+    SimulateRequest, TuneReply, TuneRequest, WireCandidate, WireError, DEFAULT_MAX_FRAME,
+};
+
+fn wide(n: usize) -> DataflowGraph {
+    let mut g = DataflowGraph::new("proptest-wide", 32);
+    for i in 0..n {
+        g.add_node(CExpr::konst(Value::real(i as f64)), vec![], vec![i as i64]);
+    }
+    g
+}
+
+fn fom_from(raw: u8) -> FigureOfMerit {
+    match raw % 4 {
+        0 => FigureOfMerit::Time,
+        1 => FigureOfMerit::Energy,
+        2 => FigureOfMerit::Edp,
+        _ => FigureOfMerit::Footprint,
+    }
+}
+
+fn candidates(n: usize) -> Vec<WireCandidate> {
+    (0..n)
+        .map(|i| WireCandidate {
+            label: format!("cand-{i}"),
+            mapping: if i % 2 == 0 {
+                Mapping::Affine(AffineMap {
+                    place: PlaceExpr::row0(IdxExpr::i()),
+                    time: IdxExpr::c(i as i64),
+                })
+            } else {
+                Mapping::Table(ResolvedMapping {
+                    place: vec![(0, 0); 4],
+                    time: (0..4).collect(),
+                })
+            },
+        })
+        .collect()
+}
+
+/// encode → decode → encode must be byte-identical.
+fn assert_request_round_trips(req: &Request) {
+    let bytes = encode_request(req);
+    let decoded = decode_request(&bytes).expect("decode of a freshly encoded request");
+    assert_eq!(decoded.endpoint(), req.endpoint());
+    assert_eq!(encode_request(&decoded), bytes);
+}
+
+fn assert_response_round_trips(resp: &Response) {
+    let bytes = encode_response(resp);
+    let decoded = decode_response(&bytes).expect("decode of a freshly encoded response");
+    assert_eq!(decoded.kind(), resp.kind());
+    assert_eq!(encode_response(&decoded), bytes);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn every_request_variant_round_trips(
+        nodes in 1usize..12,
+        cols in 1u32..9,
+        ncand in 0usize..6,
+        fom_raw in any::<u8>(),
+        deadline in 0u64..10_000,
+        with_deadline in any::<bool>(),
+        use_cache in any::<bool>(),
+        contention in any::<bool>(),
+    ) {
+        let graph = wide(nodes);
+        let machine = MachineConfig::linear(cols);
+        let deadline_ms = with_deadline.then_some(deadline);
+        let mapping = Mapping::serial(&graph)
+            .resolve(&graph, &machine)
+            .expect("serial mapping resolves");
+
+        let variants = vec![
+            Request::Ping,
+            Request::Tune(TuneRequest {
+                graph: graph.clone(),
+                machine: machine.clone(),
+                fom: fom_from(fom_raw),
+                candidates: candidates(ncand),
+                deadline_ms,
+                max_candidates: with_deadline.then_some(deadline + 1),
+                convergence_window: use_cache.then_some(8),
+                refinement: None,
+                use_cache,
+            }),
+            Request::Evaluate(EvaluateRequest {
+                graph: graph.clone(),
+                machine: machine.clone(),
+                mapping: mapping.clone(),
+                deadline_ms,
+            }),
+            Request::Simulate(SimulateRequest {
+                graph,
+                machine,
+                mapping,
+                inputs: vec![],
+                contention,
+                deadline_ms,
+            }),
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for req in &variants {
+            assert_request_round_trips(req);
+        }
+    }
+
+    #[test]
+    fn every_response_variant_round_trips(
+        offered in 0u64..5_000,
+        evaluated in 0u64..5_000,
+        violations in 0u64..100,
+        depth in 0u64..64,
+        cycles in 1i64..100_000,
+        slow in 0.0f64..4.0,
+        cancelled in any::<bool>(),
+    ) {
+        // A reply with real nested payloads (CostReport, TunedMapping)
+        // is exercised end-to-end by the integration tests; here the
+        // variants carry every scalar shape the wire can express.
+        let variants = vec![
+            Response::Pong,
+            Response::Tuned(TuneReply {
+                best: None,
+                offered,
+                evaluated,
+                pruned: offered.saturating_sub(evaluated),
+                cache: "miss".to_string(),
+                fell_back: evaluated == 0,
+                cancelled,
+                wall_ms: slow * 10.0,
+            }),
+            Response::Evaluated(EvaluateReply {
+                legal: violations == 0,
+                violations,
+                report: None,
+            }),
+            Response::Simulated(SimulateReply {
+                cycles_scheduled: cycles,
+                cycles_actual: cycles + violations as i64,
+                slowdown: slow,
+                stalled_elements: violations,
+                total_stall_cycles: violations * 2,
+                messages_delivered: offered,
+                link_wait_cycles: evaluated,
+                predicted_energy_fj: slow * 1e6,
+                simulated_energy_fj: slow * 1e6,
+            }),
+            Response::Stats(fm_serve::metrics::Metrics::default().snapshot(depth as usize)),
+            Response::Busy(BusyReply { queue_depth: depth, queue_capacity: depth }),
+            Response::ShuttingDown,
+            Response::Failed(FailReply {
+                kind: "deadline".to_string(),
+                error: "deadline expired before execution".to_string(),
+            }),
+        ];
+        for resp in &variants {
+            assert_response_round_trips(resp);
+        }
+    }
+
+    #[test]
+    fn truncated_frames_are_typed_errors_not_panics(
+        cut in 0usize..64,
+        ncand in 0usize..4,
+    ) {
+        let mut buf = Vec::new();
+        let req = Request::Tune(TuneRequest {
+            graph: wide(3),
+            machine: MachineConfig::linear(2),
+            fom: FigureOfMerit::Time,
+            candidates: candidates(ncand),
+            deadline_ms: None,
+            max_candidates: None,
+            convergence_window: None,
+            refinement: None,
+            use_cache: false,
+        });
+        write_frame(&mut buf, &encode_request(&req)).unwrap();
+        let cut = cut.min(buf.len().saturating_sub(1));
+        let mut r = std::io::Cursor::new(&buf[..cut]);
+        match read_frame(&mut r, DEFAULT_MAX_FRAME) {
+            Err(WireError::Closed) => prop_assert_eq!(cut, 0),
+            Err(WireError::Truncated { expected, got }) => {
+                prop_assert!(got < expected);
+            }
+            Ok(_) => prop_assert!(false, "a cut frame cannot read back whole"),
+            Err(other) => prop_assert!(false, "unexpected error {}", other),
+        }
+    }
+
+    #[test]
+    fn oversized_prefix_rejected_without_allocation(
+        excess in 1usize..1_000_000,
+        max in 16usize..4096,
+    ) {
+        // Header claims max+excess bytes; only 2 junk bytes follow. If
+        // the reader allocated or waited for the claimed length this
+        // would hang or balloon; it must fail fast on the header alone.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&((max + excess) as u32).to_be_bytes());
+        buf.extend_from_slice(b"xx");
+        let mut r = std::io::Cursor::new(buf);
+        match read_frame(&mut r, max) {
+            Err(WireError::Oversized { len, max: m }) => {
+                prop_assert_eq!(len, max + excess);
+                prop_assert_eq!(m, max);
+            }
+            other => prop_assert!(false, "expected Oversized, got {:?}", other.is_ok()),
+        }
+    }
+
+    #[test]
+    fn garbage_payloads_decode_to_malformed(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        // Random bytes are (overwhelmingly) not a valid request. If by
+        // cosmic luck they are, decoding must still not panic — both
+        // outcomes are acceptable, crashing is not.
+        match decode_request(&bytes) {
+            Err(WireError::Malformed(msg)) => prop_assert!(!msg.is_empty()),
+            Err(other) => prop_assert!(false, "unexpected error kind {}", other),
+            Ok(_) => {}
+        }
+        match decode_response(&bytes) {
+            Err(WireError::Malformed(msg)) => prop_assert!(!msg.is_empty()),
+            Err(other) => prop_assert!(false, "unexpected error kind {}", other),
+            Ok(_) => {}
+        }
+    }
+
+    #[test]
+    fn valid_json_of_the_wrong_shape_is_rejected(
+        n in any::<u32>(),
+    ) {
+        let shapes = vec![
+            format!("{n}"),
+            format!("[{n}, {n}]"),
+            format!("{{\"NotARequest\": {n}}}"),
+            format!("{{\"Tune\": {n}}}"),
+            "\"PingPong\"".to_string(),
+            "null".to_string(),
+        ];
+        for s in &shapes {
+            prop_assert!(matches!(
+                decode_request(s.as_bytes()),
+                Err(WireError::Malformed(_))
+            ), "accepted {}", s);
+        }
+    }
+}

@@ -33,7 +33,7 @@ pub mod pool;
 pub mod workspan;
 
 pub use cache::IdealCache;
-pub use parallel::{par_for, par_map, par_map_until, par_reduce};
+pub use parallel::{par_for, par_map, par_map_until, par_map_until_cancel, par_reduce};
 pub use pool::ThreadPool;
 pub use workspan::WorkSpan;
 

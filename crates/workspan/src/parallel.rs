@@ -158,6 +158,38 @@ where
     F: Fn(usize) -> T + Sync,
     R: FnMut(usize, &T) -> bool + Send,
 {
+    let never = std::sync::atomic::AtomicBool::new(false);
+    par_map_until_cancel(pool, n, f, reduce, &never)
+}
+
+/// [`par_map_until`] with an external kill switch.
+///
+/// `cancel` is checked before each `f(i)` starts: once it reads `true`,
+/// no *new* index begins evaluating (in-flight ones finish and their
+/// results may still be reduced if they complete the ordered prefix).
+/// The returned vector is the fully reduced contiguous prefix — every
+/// element both executed `f` and was fed to `reduce`, in index order —
+/// so a cancelled call still returns a well-formed partial result
+/// rather than a hole-ridden one.
+///
+/// Unlike the `reduce`-driven cut, cancellation is asynchronous and
+/// therefore *not* schedule-deterministic; callers that need
+/// reproducible prefixes (budgets) should use `reduce`, and reserve
+/// `cancel` for deadline/disconnect abort paths where promptness beats
+/// determinism (the `fm-serve` daemon's per-request cancellation rides
+/// on this).
+pub fn par_map_until_cancel<T, F, R>(
+    pool: &ThreadPool,
+    n: usize,
+    f: F,
+    reduce: R,
+    cancel: &std::sync::atomic::AtomicBool,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    R: FnMut(usize, &T) -> bool + Send,
+{
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Mutex;
 
@@ -178,8 +210,10 @@ where
         reduce,
     });
     par_for(pool, 0..n, 1, |i| {
-        // Cheap pre-check: indices past the cut need not run at all.
-        if stop.load(Ordering::Acquire) {
+        // Cheap pre-check: indices past the cut (or after cancellation)
+        // need not run at all. A skipped index leaves its slot empty,
+        // which permanently pins the ordered frontier below it.
+        if stop.load(Ordering::Acquire) || cancel.load(Ordering::Acquire) {
             return;
         }
         let v = f(i);
@@ -201,7 +235,9 @@ where
         }
     });
     let st = state.into_inner().expect("par_map_until state poisoned");
-    let end = st.cut.unwrap_or(n);
+    // Reduced prefix: `cut` when the reduction stopped the run; `next`
+    // otherwise (== n unless cancellation skipped an index).
+    let end = st.cut.unwrap_or(st.next);
     st.slots
         .into_iter()
         .take(end)
@@ -313,6 +349,57 @@ mod tests {
         let pool = ThreadPool::with_threads(4);
         let got = par_map_until(&pool, 500, |i| i * 7, |_, _| true);
         assert_eq!(got, vec![0]);
+    }
+
+    #[test]
+    fn par_map_until_cancel_pre_cancelled_runs_nothing() {
+        use std::sync::atomic::AtomicBool;
+        let pool = ThreadPool::with_threads(4);
+        let cancel = AtomicBool::new(true);
+        let got: Vec<u64> = par_map_until_cancel(
+            &pool,
+            1000,
+            |_| panic!("must not run"),
+            |_, _| false,
+            &cancel,
+        );
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn par_map_until_cancel_returns_contiguous_reduced_prefix() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let pool = ThreadPool::with_threads(8);
+        for _ in 0..10 {
+            let cancel = AtomicBool::new(false);
+            let got = par_map_until_cancel(
+                &pool,
+                2000,
+                |i| {
+                    if i == 100 {
+                        cancel.store(true, Ordering::Release);
+                    }
+                    i * 2
+                },
+                |_, _| false,
+                &cancel,
+            );
+            // Whatever ran, the result is a well-formed prefix: index k
+            // holds f(k), no holes.
+            assert!(got.len() <= 2000);
+            for (k, v) in got.iter().enumerate() {
+                assert_eq!(*v, k * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_until_cancel_never_cancelled_is_par_map() {
+        use std::sync::atomic::AtomicBool;
+        let pool = ThreadPool::with_threads(4);
+        let cancel = AtomicBool::new(false);
+        let got = par_map_until_cancel(&pool, 1500, |i| i + 7, |_, _| false, &cancel);
+        assert_eq!(got, (7..1507).collect::<Vec<_>>());
     }
 
     #[test]

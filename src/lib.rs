@@ -48,6 +48,9 @@ pub use fm_kernels as kernels;
 /// Parallel, budgeted, persistently-cached mapping autotuner.
 pub use fm_autotune as autotune;
 
+/// Mapping-as-a-service daemon, wire protocol, and client.
+pub use fm_serve as serve;
+
 #[cfg(test)]
 mod tests {
     #[test]
