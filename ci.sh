@@ -28,6 +28,14 @@ cargo run --release -q -p fm-bench --bin table_e8_default_mapper -- --quick >/de
 cargo run --release -q -p fm-bench --bin table_e14_anneal -- --quick --no-json >/dev/null
 cargo run --release -q -p fm-bench --bin table_e15_serve -- --quick --no-json >/dev/null
 
+echo "== fleet-faults: sharded-search chaos suite + E16 smoke =="
+# The chaos suite runs real shard servers behind deterministic
+# fault-injection proxies and checks the fleet winner stays
+# bit-identical to a single-machine tune; release mode keeps the
+# in-test tuning work fast.
+cargo test --release -q -p fm-serve --test fleet_faults
+cargo run --release -q -p fm-bench --bin table_e16_fleet -- --quick --no-json >/dev/null
+
 echo "== serve-smoke: daemon + example over the wire =="
 # Launch the real daemon on an ephemeral port, run the example against
 # it (FM_SERVE_SHUTDOWN=1 makes the example request the drain), and

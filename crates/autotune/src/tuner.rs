@@ -247,6 +247,13 @@ pub struct TuneReport {
     /// Full search outcome over the evaluated prefix (empty on a cache
     /// hit — the point of the cache is not re-evaluating).
     pub outcome: SearchOutcome,
+    /// Index into the offered candidate list of the winning candidate.
+    /// `None` when the winner is the default-mapper fallback, when no
+    /// mapping was legal, or on a cache hit (the cache stores the
+    /// winner, not its position). Distributed searches merge sub-range
+    /// winners by `(score, index)`, so the index travels with the
+    /// report.
+    pub best_index: Option<usize>,
     /// The winner, if any mapping (candidate or fallback) was legal.
     pub best: Option<TunedMapping>,
 }
@@ -410,6 +417,7 @@ impl<'a> Tuner<'a> {
                         wall: start.elapsed(),
                         trajectory: entry.trajectory,
                         outcome: entry.outcome,
+                        best_index: None,
                         best: Some(entry.best),
                     };
                 }
@@ -533,8 +541,19 @@ impl<'a> Tuner<'a> {
             wall: start.elapsed(),
             trajectory,
             outcome,
+            best_index: best_idx,
             best,
         }
+    }
+
+    /// Apply this tuner's configured [`Refinement`] (if any) to an
+    /// externally-produced winner, exactly as [`Tuner::tune`] would to
+    /// its own. Distributed searches use this to refine the mapping
+    /// merged from shard winners: refinement depends only on the winner
+    /// and the seeds, so refining the merged winner here is bit-equal
+    /// to refining the same winner inside a single-machine tune.
+    pub fn refine_winner(&self, best: &mut TunedMapping) {
+        self.refine(best);
     }
 
     /// Multi-chain annealing around the winner: chain `k` anneals from

@@ -35,5 +35,7 @@ fn main() {
     let rows = fm_bench::e14_anneal::run(false);
     print!("{}\n\n", fm_bench::e14_anneal::print(&rows));
     let rows = fm_bench::e15_serve::run(false);
-    println!("{}", fm_bench::e15_serve::print(&rows));
+    print!("{}\n\n", fm_bench::e15_serve::print(&rows));
+    let rows = fm_bench::e16_fleet::run(false);
+    println!("{}", fm_bench::e16_fleet::print(&rows));
 }

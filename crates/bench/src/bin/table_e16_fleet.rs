@@ -1,0 +1,30 @@
+//! Regenerates the E16 table (fault-tolerant fleet tuning: winner
+//! parity and recovery counters across healthy, faulted, and dead
+//! fleets) and writes `BENCH_e16.json` with the raw rows.
+//!
+//! `--quick` shrinks the tune count for a fast smoke run, e.g. from
+//! `ci.sh`. `--json PATH` overrides the JSON output path; `--no-json`
+//! suppresses it.
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let no_json = args.iter().any(|a| a == "--no-json");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_e16.json".to_string());
+    let rows = fm_bench::e16_fleet::run(quick);
+    print!("{}", fm_bench::e16_fleet::print(&rows));
+    if !no_json {
+        let doc = fm_bench::e16_fleet::to_json(&rows);
+        match std::fs::write(&json_path, doc) {
+            Ok(()) => println!("\nwrote {json_path}"),
+            Err(e) => {
+                eprintln!("table_e16_fleet: cannot write {json_path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -38,3 +38,4 @@ pub mod e12_scaling;
 pub mod e13_recompute;
 pub mod e14_anneal;
 pub mod e15_serve;
+pub mod e16_fleet;

@@ -3,19 +3,30 @@
 //! ```text
 //! fm-serve [--addr HOST:PORT] [--workers N] [--threads N] [--queue N]
 //!          [--deadline-ms MS] [--cache DIR] [--max-frame BYTES]
+//!          [--fleet HOST:PORT,...] [--fleet-attempts N]
+//!          [--fleet-connect-ms MS] [--fleet-hedge-ms MS]
 //! ```
+//!
+//! With `--fleet`, this instance becomes a coordinator: eligible
+//! `Tune` requests are partitioned across the listed backend shards
+//! and merged by `(score, index)`; everything else (and every tune
+//! when the shards are down) is served locally.
 //!
 //! The daemon runs until it receives a wire `Shutdown` request, then
 //! drains admitted work and exits, printing a final stats summary.
 
 use std::process::ExitCode;
+use std::time::Duration;
 
+use fm_serve::fleet::FleetConfig;
 use fm_serve::server::{Server, ServerConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: fm-serve [--addr HOST:PORT] [--workers N] [--threads N] [--queue N]\n\
          \x20               [--deadline-ms MS] [--cache DIR] [--max-frame BYTES]\n\
+         \x20               [--fleet HOST:PORT,...] [--fleet-attempts N]\n\
+         \x20               [--fleet-connect-ms MS] [--fleet-hedge-ms MS]\n\
          \n\
          \x20 --addr HOST:PORT   bind address (default 127.0.0.1:7171; port 0 = ephemeral)\n\
          \x20 --workers N        request worker threads (default 2)\n\
@@ -23,7 +34,13 @@ fn usage() -> ! {
          \x20 --queue N          admission queue capacity (default 64)\n\
          \x20 --deadline-ms MS   default per-request deadline (default none)\n\
          \x20 --cache DIR        persistent tuning cache directory (default off)\n\
-         \x20 --max-frame BYTES  largest accepted frame (default 16 MiB)"
+         \x20 --max-frame BYTES  largest accepted frame (default 16 MiB)\n\
+         \x20 --fleet A,B,...    coordinate tunes across these shard addresses\n\
+         \x20 --fleet-attempts N       attempt waves per sub-range before local\n\
+         \x20                          fallback (default 3)\n\
+         \x20 --fleet-connect-ms MS    per-attempt connect timeout (default 250)\n\
+         \x20 --fleet-hedge-ms MS      hedge stragglers after MS; 0 disables\n\
+         \x20                          (default 500)"
     );
     std::process::exit(2);
 }
@@ -41,6 +58,10 @@ fn parse_num<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
 fn main() -> ExitCode {
     let mut addr = "127.0.0.1:7171".to_string();
     let mut config = ServerConfig::default();
+    let mut fleet_shards: Option<Vec<String>> = None;
+    let mut fleet_attempts: Option<u32> = None;
+    let mut fleet_connect_ms: Option<u64> = None;
+    let mut fleet_hedge_ms: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -60,6 +81,27 @@ fn main() -> ExitCode {
                 None => usage(),
             },
             "--max-frame" => config.max_frame = parse_num("--max-frame", args.next()),
+            "--fleet" => match args.next() {
+                Some(list) => {
+                    let shards: Vec<String> = list
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(str::to_string)
+                        .collect();
+                    if shards.is_empty() {
+                        eprintln!("fm-serve: --fleet needs at least one HOST:PORT");
+                        usage();
+                    }
+                    fleet_shards = Some(shards);
+                }
+                None => usage(),
+            },
+            "--fleet-attempts" => fleet_attempts = Some(parse_num("--fleet-attempts", args.next())),
+            "--fleet-connect-ms" => {
+                fleet_connect_ms = Some(parse_num("--fleet-connect-ms", args.next()))
+            }
+            "--fleet-hedge-ms" => fleet_hedge_ms = Some(parse_num("--fleet-hedge-ms", args.next())),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("fm-serve: unknown argument {other:?}");
@@ -68,6 +110,27 @@ fn main() -> ExitCode {
         }
     }
 
+    if let Some(shards) = fleet_shards {
+        let mut fleet = FleetConfig::new(shards);
+        if let Some(n) = fleet_attempts {
+            fleet.attempts = n.max(1);
+        }
+        if let Some(ms) = fleet_connect_ms {
+            fleet.connect_timeout = Duration::from_millis(ms.max(1));
+        }
+        if let Some(ms) = fleet_hedge_ms {
+            fleet.hedge_after = (ms > 0).then(|| Duration::from_millis(ms));
+        }
+        config.fleet = Some(fleet);
+    } else if fleet_attempts.is_some() || fleet_connect_ms.is_some() || fleet_hedge_ms.is_some() {
+        eprintln!("fm-serve: --fleet-* knobs need --fleet HOST:PORT,...");
+        usage();
+    }
+
+    let fleet_banner = config
+        .fleet
+        .as_ref()
+        .map(|f| format!(" (fleet coordinator over {} shards)", f.shards.len()));
     let handle = match Server::start(&addr, config) {
         Ok(h) => h,
         Err(e) => {
@@ -76,14 +139,19 @@ fn main() -> ExitCode {
         }
     };
     // Parseable by scripts (ci.sh greps this line for the port).
-    println!("fm-serve listening on {}", handle.local_addr());
+    println!(
+        "fm-serve listening on {}{}",
+        handle.local_addr(),
+        fleet_banner.unwrap_or_default()
+    );
 
     let stats = handle.join();
     println!(
-        "fm-serve: drained and exiting — {} requests ({} tune / {} evaluate / {} simulate), \
-         {} busy rejections, {} protocol errors, cache hit rate {:.0}%",
+        "fm-serve: drained and exiting — {} requests ({} tune / {} shard / {} evaluate / \
+         {} simulate), {} busy rejections, {} protocol errors, cache hit rate {:.0}%",
         stats.work_received(),
         stats.tune.received,
+        stats.tune_shard.received,
         stats.evaluate.received,
         stats.simulate.received,
         stats.busy_rejections,

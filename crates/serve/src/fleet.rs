@@ -1,0 +1,833 @@
+//! The fleet coordinator: sharded candidate search that survives dead,
+//! slow, and lying shards.
+//!
+//! A server started with [`FleetConfig`] partitions each eligible
+//! `Tune` request's candidate list into contiguous sub-ranges and
+//! farms them out to N backend `fm-serve` instances as `TuneShard`
+//! requests, then merges the shard winners by `(score, index)`. The
+//! contract is exact: **the merged winner is bit-identical to a
+//! single-machine [`Tuner::tune`]** over the same list, no matter
+//! which shards die, stall, or corrupt frames along the way.
+//!
+//! Why that holds:
+//!
+//! * the single-machine winner is the *first* strict minimum of the
+//!   score sequence (the tuner's frontier keeps the earliest index on
+//!   ties), which equals `min by (score, index)` over all candidates;
+//! * a shard reply is merged **only** when it is verified complete —
+//!   epoch echo, FNV-1a checksum over the canonical body, and
+//!   `evaluated == count` ([`TuneShardReply::verify`]); a reply that
+//!   fails any check is discarded and the sub-range is retried,
+//!   reassigned, or evaluated locally, so every candidate is always
+//!   scored by exactly the same pure function on *some* machine;
+//! * merging range winners in ascending range order with a strict `<`
+//!   reproduces the first-minimum tie-break of a flat scan;
+//! * annealing refinement depends only on the winner and the
+//!   configured seeds, so the coordinator applying it to the merged
+//!   winner ([`Tuner::refine_winner`]) is bit-equal to a local tune
+//!   applying it to the same winner.
+//!
+//! Robustness plumbing, per sub-range: bounded retries with
+//! exponential backoff and deterministic jitter, hedged duplicate
+//! requests past a straggler threshold, a per-shard circuit breaker
+//! (closed → open on consecutive failures → half-open probe after a
+//! cooldown), re-assignment of a failed shard's range to survivors,
+//! and — when every shard path is down — local evaluation on the
+//! coordinator's own pool. Degradation changes latency, never the
+//! answer.
+//!
+//! The fleet path does not consult the tuning cache (requests with
+//! `use_cache` stay local, where the cache lives), and requests with a
+//! `convergence_window` stay local too: early-stopping is inherently
+//! sequential, so sharding it would change which candidates get
+//! evaluated.
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use fm_autotune::{Budget, CancelToken, TunedMapping, Tuner};
+use fm_core::cost::Evaluator;
+use fm_core::search::MappingCandidate;
+use fm_workspan::ThreadPool;
+
+use crate::fault::mix64;
+use crate::metrics::{breaker_state, FleetMetrics};
+use crate::protocol::{
+    decode_response, encode_request, Request, Response, ShardReplyFlaw, TuneReply, TuneRequest,
+    TuneShardBody, TuneShardRequest, DEFAULT_MAX_FRAME,
+};
+
+/// Fleet-coordinator tunables. Defaults are production-ish; tests
+/// tighten every timeout.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Backend shard addresses (`host:port`), in preference order.
+    pub shards: Vec<String>,
+    /// TCP connect timeout per attempt (a black-holed shard must fail
+    /// fast, not hang the range).
+    pub connect_timeout: Duration,
+    /// End-to-end cap on one attempt (connect + write + reply).
+    pub attempt_timeout: Duration,
+    /// Waves of attempts per sub-range before giving up on the network
+    /// and evaluating the range locally.
+    pub attempts: u32,
+    /// First-retry backoff; doubles each wave.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_max: Duration,
+    /// Launch a hedged duplicate to another shard when the primary has
+    /// not answered within this long (`None` disables hedging).
+    pub hedge_after: Option<Duration>,
+    /// Consecutive failures that trip a shard's breaker open.
+    pub breaker_threshold: u32,
+    /// How long an open breaker quarantines its shard before the
+    /// half-open probe.
+    pub breaker_cooldown: Duration,
+    /// Minimum candidates per sub-range: below `2 ×` this a request is
+    /// not worth sharding at all, and the partitioner never cuts a
+    /// range smaller than this.
+    pub min_shard_candidates: usize,
+    /// Seed for deterministic backoff jitter (and nothing else — the
+    /// *answer* never depends on it).
+    pub jitter_seed: u64,
+}
+
+impl FleetConfig {
+    /// Default tunables in front of `shards`.
+    pub fn new(shards: Vec<String>) -> FleetConfig {
+        FleetConfig {
+            shards,
+            connect_timeout: Duration::from_millis(250),
+            attempt_timeout: Duration::from_secs(10),
+            attempts: 3,
+            backoff_base: Duration::from_millis(25),
+            backoff_max: Duration::from_millis(500),
+            hedge_after: Some(Duration::from_millis(500)),
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_secs(2),
+            min_shard_candidates: 2,
+            jitter_seed: 0x5EED,
+        }
+    }
+}
+
+/// Circuit-breaker state for one shard.
+#[derive(Debug, Clone, Copy)]
+enum Breaker {
+    /// Requests flow; counts consecutive failures.
+    Closed { consecutive_failures: u32 },
+    /// Quarantined until the cooldown instant.
+    Open { until: Instant },
+    /// One probe is in flight; its outcome decides the next state.
+    HalfOpen,
+}
+
+struct ShardState {
+    breaker: Mutex<Breaker>,
+}
+
+/// The coordinator. One per server, shared across worker threads.
+pub struct Fleet {
+    config: FleetConfig,
+    /// Monotone per-tune epoch; stamped into every `TuneShard` request
+    /// and echoed (under checksum) by the reply, so a frame answering
+    /// an earlier tune can never merge into a later one.
+    epoch: AtomicU64,
+    shards: Vec<ShardState>,
+    metrics: Arc<FleetMetrics>,
+}
+
+/// What one sub-range dispatch produced.
+struct RangeOutcome {
+    /// Candidates scored for this range (by a shard or locally).
+    evaluated: u64,
+    /// The range's winner as `(absolute index, mapping)`; `None` when
+    /// nothing in the range was legal (or the range was cancelled).
+    win: Option<(u64, TunedMapping)>,
+    /// Whether cancellation cut this range short.
+    cancelled: bool,
+    /// Whether a shard other than the range's first choice answered.
+    reassigned: bool,
+    /// Whether the range fell back to local evaluation.
+    local: bool,
+}
+
+/// How an attempt's watched read ended.
+enum WatchRead {
+    /// A whole frame arrived.
+    Frame(Vec<u8>),
+    /// The range resolved elsewhere or the tune was cancelled — exit
+    /// without blaming the shard.
+    Abandoned,
+    /// The attempt deadline passed (the shard is slow: blame it).
+    TimedOut,
+    /// Transport failure or EOF mid-frame.
+    Failed,
+}
+
+impl Fleet {
+    /// Build a coordinator over `config.shards`.
+    pub fn new(config: FleetConfig) -> Arc<Fleet> {
+        let metrics = Arc::new(FleetMetrics::new(&config.shards));
+        let shards = config
+            .shards
+            .iter()
+            .map(|_| ShardState {
+                breaker: Mutex::new(Breaker::Closed {
+                    consecutive_failures: 0,
+                }),
+            })
+            .collect();
+        Arc::new(Fleet {
+            config,
+            epoch: AtomicU64::new(1),
+            shards,
+            metrics,
+        })
+    }
+
+    /// The coordinator's metrics registry (for the `Stats` endpoint).
+    pub fn metrics(&self) -> Arc<FleetMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Should this request take the fleet path? Cache users and
+    /// convergence-window users stay local (see the module docs); tiny
+    /// candidate lists are not worth the network round-trip.
+    pub fn eligible(&self, req: &TuneRequest) -> bool {
+        !self.shards.is_empty()
+            && req.convergence_window.is_none()
+            && !req.use_cache
+            && req.candidates.len() >= self.config.min_shard_candidates.max(1) * 2
+    }
+
+    /// May an attempt go to shard `idx` right now? Closed passes;
+    /// open passes only once its cooldown elapsed (becoming the
+    /// half-open probe); half-open refuses (a probe is already out).
+    fn try_acquire(&self, idx: usize) -> bool {
+        let mut b = self.shards[idx].breaker.lock();
+        match *b {
+            Breaker::Closed { .. } => true,
+            Breaker::HalfOpen => false,
+            Breaker::Open { until } => {
+                if Instant::now() >= until {
+                    *b = Breaker::HalfOpen;
+                    self.metrics.shards[idx]
+                        .state
+                        .store(breaker_state::HALF_OPEN, Ordering::Relaxed);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    fn report_success(&self, idx: usize) {
+        self.metrics.shards[idx]
+            .successes
+            .fetch_add(1, Ordering::Relaxed);
+        let mut b = self.shards[idx].breaker.lock();
+        *b = Breaker::Closed {
+            consecutive_failures: 0,
+        };
+        self.metrics.shards[idx]
+            .state
+            .store(breaker_state::CLOSED, Ordering::Relaxed);
+    }
+
+    fn report_failure(&self, idx: usize) {
+        self.metrics.shards[idx]
+            .failures
+            .fetch_add(1, Ordering::Relaxed);
+        let mut b = self.shards[idx].breaker.lock();
+        let trip = match *b {
+            Breaker::Closed {
+                consecutive_failures,
+            } => {
+                let n = consecutive_failures + 1;
+                if n >= self.config.breaker_threshold.max(1) {
+                    true
+                } else {
+                    *b = Breaker::Closed {
+                        consecutive_failures: n,
+                    };
+                    false
+                }
+            }
+            Breaker::HalfOpen => true, // failed probe: straight back open
+            Breaker::Open { .. } => false,
+        };
+        if trip {
+            *b = Breaker::Open {
+                until: Instant::now() + self.config.breaker_cooldown,
+            };
+            self.metrics.shards[idx]
+                .state
+                .store(breaker_state::OPEN, Ordering::Relaxed);
+            self.metrics.shards[idx]
+                .breaker_opens
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Next breaker-available shard scanning from `*rotation`,
+    /// skipping `exclude`; advances the rotation past the pick.
+    fn next_available(&self, rotation: &mut usize, exclude: Option<usize>) -> Option<usize> {
+        let n = self.shards.len();
+        for step in 0..n {
+            let idx = (*rotation + step) % n;
+            if exclude == Some(idx) {
+                continue;
+            }
+            if self.try_acquire(idx) {
+                *rotation = idx + 1;
+                return Some(idx);
+            }
+        }
+        None
+    }
+
+    /// Run one `Tune` request through the fleet. Exact same reply
+    /// contract as the local path, minus cache participation.
+    pub fn tune(
+        self: &Arc<Fleet>,
+        req: &TuneRequest,
+        cancel: &CancelToken,
+        deadline: Option<Instant>,
+        pool: &ThreadPool,
+    ) -> TuneReply {
+        let start = Instant::now();
+        self.metrics.fleet_tunes.fetch_add(1, Ordering::Relaxed);
+        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed);
+
+        let offered = req.candidates.len();
+        let cap = req
+            .max_candidates
+            .map_or(offered, |n| (n as usize).min(offered));
+        let evaluator = Evaluator::new(&req.graph, &req.machine);
+        let local_candidates: Vec<MappingCandidate> = req.candidates[..cap]
+            .iter()
+            .map(|c| MappingCandidate::new(c.label.clone(), c.mapping.clone()))
+            .collect();
+
+        let ranges = partition(cap, self.shards.len(), self.config.min_shard_candidates);
+        let outcomes: Vec<RangeOutcome> = std::thread::scope(|s| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .enumerate()
+                .map(|(ri, &(lo, hi))| {
+                    let fleet = Arc::clone(self);
+                    let req = &*req;
+                    let locals = &local_candidates[lo..hi];
+                    let evaluator = &evaluator;
+                    s.spawn(move || {
+                        run_range(
+                            &fleet, req, evaluator, locals, lo, hi, ri, epoch, deadline, cancel,
+                            pool,
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or(RangeOutcome {
+                        evaluated: 0,
+                        win: None,
+                        cancelled: true,
+                        reassigned: false,
+                        local: false,
+                    })
+                })
+                .collect()
+        });
+
+        // Merge in ascending range order with a strict `<`: identical
+        // tie-breaking to the tuner frontier's flat scan.
+        let mut best: Option<(u64, TunedMapping)> = None;
+        let mut evaluated = 0u64;
+        let mut cancelled = cancel.is_cancelled();
+        let mut all_local = !outcomes.is_empty();
+        for o in outcomes {
+            evaluated += o.evaluated;
+            cancelled |= o.cancelled;
+            all_local &= o.local;
+            if o.reassigned {
+                self.metrics.reassignments.fetch_add(1, Ordering::Relaxed);
+            }
+            if let Some((idx, win)) = o.win {
+                let better = match &best {
+                    Some((_, b)) => win.score < b.score,
+                    None => true,
+                };
+                if better {
+                    best = Some((idx, win));
+                }
+            }
+        }
+        if all_local {
+            self.metrics.degraded_tunes.fetch_add(1, Ordering::Relaxed);
+        }
+
+        // Nothing legal anywhere: the same default-mapper fallback a
+        // single-machine tune produces.
+        let mut fell_back = false;
+        let mut best_mapping = match best {
+            Some((_, b)) => Some(b),
+            None => {
+                let report = Tuner::new(&evaluator, &req.graph, &req.machine, req.fom).tune(&[]);
+                fell_back = report.fell_back;
+                report.best
+            }
+        };
+
+        // Refinement runs on the coordinator, exactly as the local path
+        // applies it to its own winner (and never on cancelled runs).
+        if let Some(b) = best_mapping.as_mut() {
+            if !cancelled {
+                if let Some(r) = req.refinement {
+                    Tuner::new(&evaluator, &req.graph, &req.machine, req.fom)
+                        .with_pool(pool)
+                        .with_refinement(r)
+                        .refine_winner(b);
+                }
+            }
+        }
+
+        TuneReply {
+            best: best_mapping,
+            offered: offered as u64,
+            evaluated,
+            pruned: (offered as u64).saturating_sub(evaluated),
+            cache: "disabled".to_string(),
+            fell_back,
+            cancelled,
+            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        }
+    }
+}
+
+/// Split `[0, cap)` into at most `nshards` contiguous ranges of at
+/// least `min_per` candidates each (the last takes the remainder).
+fn partition(cap: usize, nshards: usize, min_per: usize) -> Vec<(usize, usize)> {
+    if cap == 0 || nshards == 0 {
+        return Vec::new();
+    }
+    let nranges = (cap / min_per.max(1)).clamp(1, nshards);
+    let base = cap / nranges;
+    let extra = cap % nranges;
+    let mut ranges = Vec::with_capacity(nranges);
+    let mut lo = 0;
+    for i in 0..nranges {
+        let len = base + usize::from(i < extra);
+        ranges.push((lo, lo + len));
+        lo += len;
+    }
+    ranges
+}
+
+/// Deterministic backoff for wave `wave` of range `range`: exponential
+/// in the wave, plus splitmix64 jitter in `[0, half the backoff)`.
+fn backoff_with_jitter(config: &FleetConfig, epoch: u64, range: usize, wave: u32) -> Duration {
+    let exp = config
+        .backoff_base
+        .saturating_mul(1u32 << wave.min(16))
+        .min(config.backoff_max);
+    let half = exp.as_nanos().max(2) as u64 / 2;
+    let jitter =
+        mix64(config.jitter_seed ^ epoch.rotate_left(17) ^ (range as u64) << 8 ^ wave as u64)
+            % half;
+    exp / 2 + Duration::from_nanos(half / 2 + jitter / 2) // in [exp/2, exp]
+}
+
+/// Drive one sub-range to a verified result: waves of shard attempts
+/// (with hedging inside a wave and backoff between waves), then local
+/// evaluation when the network is out of options.
+#[allow(clippy::too_many_arguments)]
+fn run_range(
+    fleet: &Arc<Fleet>,
+    req: &TuneRequest,
+    evaluator: &Evaluator,
+    locals: &[MappingCandidate],
+    lo: usize,
+    hi: usize,
+    range_idx: usize,
+    epoch: u64,
+    deadline: Option<Instant>,
+    cancel: &CancelToken,
+    pool: &ThreadPool,
+) -> RangeOutcome {
+    let nshards = fleet.shards.len();
+    let preferred = range_idx % nshards.max(1);
+    let payload = Arc::new(encode_request(&Request::TuneShard(TuneShardRequest {
+        graph: req.graph.clone(),
+        machine: req.machine.clone(),
+        fom: req.fom,
+        candidates: req.candidates[lo..hi].to_vec(),
+        start_index: lo as u64,
+        epoch,
+        deadline_ms: deadline
+            .map(|d| (d.saturating_duration_since(Instant::now()).as_millis() as u64).max(1)),
+    })));
+    let done = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = mpsc::channel::<(usize, bool, Result<TuneShardBody, ()>)>();
+
+    let spawn_attempt = |shard: usize, hedge: bool| {
+        let fleet = Arc::clone(fleet);
+        let payload = Arc::clone(&payload);
+        let done = Arc::clone(&done);
+        let cancel = cancel.clone();
+        let tx = tx.clone();
+        std::thread::Builder::new()
+            .name("fm-fleet-attempt".to_string())
+            .spawn(move || {
+                let result = run_attempt(&fleet, shard, &payload, epoch, deadline, &cancel, &done);
+                let _ = tx.send((shard, hedge, result));
+            })
+            .expect("spawn fleet attempt thread");
+    };
+
+    let mut rotation = preferred;
+    let mut wave = 0u32;
+    'waves: while wave < fleet.config.attempts.max(1) {
+        if cancel.is_cancelled() {
+            break;
+        }
+        let Some(primary) = fleet.next_available(&mut rotation, None) else {
+            break; // every breaker is open: the network has no path
+        };
+        if wave > 0 {
+            fleet.metrics.retries.fetch_add(1, Ordering::Relaxed);
+        }
+        let wave_start = Instant::now();
+        spawn_attempt(primary, false);
+        let mut in_flight = 1u32;
+        let mut hedged = false;
+        while in_flight > 0 {
+            match rx.recv_timeout(Duration::from_millis(25)) {
+                Ok((shard, was_hedge, Ok(body))) => {
+                    done.store(true, Ordering::Release);
+                    if was_hedge {
+                        fleet.metrics.hedge_wins.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return RangeOutcome {
+                        evaluated: body.evaluated,
+                        win: body.best.map(|b| {
+                            (
+                                b.index,
+                                TunedMapping {
+                                    label: b.label,
+                                    resolved: b.resolved,
+                                    report: b.report,
+                                    score: b.score,
+                                },
+                            )
+                        }),
+                        cancelled: false,
+                        reassigned: shard != preferred,
+                        local: false,
+                    };
+                }
+                Ok((_, _, Err(()))) => in_flight -= 1,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if cancel.is_cancelled() {
+                        break 'waves;
+                    }
+                    let overdue = fleet
+                        .config
+                        .hedge_after
+                        .is_some_and(|h| wave_start.elapsed() >= h);
+                    if overdue && !hedged {
+                        hedged = true; // one hedge per wave, tops
+                        if let Some(buddy) = fleet.next_available(&mut rotation, Some(primary)) {
+                            fleet.metrics.hedges.fetch_add(1, Ordering::Relaxed);
+                            spawn_attempt(buddy, true);
+                            in_flight += 1;
+                        }
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => break 'waves,
+            }
+        }
+        // The whole wave failed: back off (cancellably), then retry.
+        wave += 1;
+        if wave < fleet.config.attempts {
+            let mut left = backoff_with_jitter(&fleet.config, epoch, range_idx, wave - 1);
+            while left > Duration::ZERO && !cancel.is_cancelled() {
+                let step = left.min(Duration::from_millis(20));
+                std::thread::sleep(step);
+                left = left.saturating_sub(step);
+            }
+        }
+    }
+    done.store(true, Ordering::Release); // abandon any straggler attempt
+
+    if cancel.is_cancelled() {
+        return RangeOutcome {
+            evaluated: 0,
+            win: None,
+            cancelled: true,
+            reassigned: false,
+            local: false,
+        };
+    }
+
+    // Graceful degradation: score the range right here. Slower, never
+    // wrong — the same pure evaluation the shard would have run.
+    fleet
+        .metrics
+        .local_fallback_ranges
+        .fetch_add(1, Ordering::Relaxed);
+    let mut budget = Budget::unlimited();
+    if let Some(d) = deadline {
+        budget.deadline = Some(d.saturating_duration_since(Instant::now()));
+    }
+    let report = Tuner::new(evaluator, &req.graph, &req.machine, req.fom)
+        .with_pool(pool)
+        .with_budget(budget)
+        .with_cancel(cancel.clone())
+        .tune(locals);
+    RangeOutcome {
+        evaluated: report.evaluated as u64,
+        win: report
+            .best_index
+            .zip(report.best)
+            .map(|(i, b)| ((lo + i) as u64, b)),
+        cancelled: report.cancelled,
+        reassigned: false,
+        local: true,
+    }
+}
+
+/// One wire attempt against one shard: connect (bounded), send the
+/// pre-encoded request, read the reply under the attempt deadline,
+/// verify it. Reports breaker outcomes and discard metrics itself.
+fn run_attempt(
+    fleet: &Fleet,
+    shard: usize,
+    payload: &[u8],
+    epoch: u64,
+    deadline: Option<Instant>,
+    cancel: &CancelToken,
+    done: &AtomicBool,
+) -> Result<TuneShardBody, ()> {
+    let m = &fleet.metrics.shards[shard];
+    m.sends.fetch_add(1, Ordering::Relaxed);
+    let until = {
+        let cap = Instant::now() + fleet.config.attempt_timeout;
+        deadline.map_or(cap, |d| cap.min(d))
+    };
+
+    let addr: SocketAddr = match fleet.config.shards[shard]
+        .to_socket_addrs()
+        .ok()
+        .and_then(|mut addrs| addrs.next())
+    {
+        Some(a) => a,
+        None => {
+            fleet.report_failure(shard);
+            return Err(());
+        }
+    };
+    let mut stream = match TcpStream::connect_timeout(&addr, fleet.config.connect_timeout) {
+        Ok(s) => s,
+        Err(_) => {
+            fleet.report_failure(shard);
+            return Err(());
+        }
+    };
+    let _ = stream.set_nodelay(true);
+    let frame_len = payload.len() as u32;
+    if stream
+        .write_all(&frame_len.to_be_bytes())
+        .and_then(|()| stream.write_all(payload))
+        .is_err()
+    {
+        fleet.report_failure(shard);
+        return Err(());
+    }
+
+    match watch_read(&mut stream, until, cancel, done) {
+        WatchRead::Frame(bytes) => match decode_response(&bytes) {
+            Ok(Response::TuneSharded(reply)) => match reply.verify(epoch) {
+                Ok(()) => {
+                    fleet.report_success(shard);
+                    Ok(reply.body)
+                }
+                Err(flaw) => {
+                    let counter = match flaw {
+                        ShardReplyFlaw::BadChecksum { .. } => &fleet.metrics.corrupt_discarded,
+                        ShardReplyFlaw::StaleEpoch { .. } => &fleet.metrics.stale_discarded,
+                        ShardReplyFlaw::Incomplete { .. } => &fleet.metrics.incomplete_discarded,
+                    };
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    fleet.report_failure(shard);
+                    Err(())
+                }
+            },
+            // Busy, ShuttingDown, Failed, or protocol confusion: this
+            // path is unusable right now.
+            Ok(_) | Err(_) => {
+                fleet.report_failure(shard);
+                Err(())
+            }
+        },
+        WatchRead::TimedOut | WatchRead::Failed => {
+            fleet.report_failure(shard);
+            Err(())
+        }
+        // Abandoned attempts blame nobody: the shard may be healthy,
+        // the range just resolved without it. Dropping the socket is
+        // what tells the shard to cancel its sub-search.
+        WatchRead::Abandoned => Err(()),
+    }
+}
+
+/// Read one reply frame in short timeout slices, watching the attempt
+/// deadline, the tune-wide cancel token, and the range's `done` latch.
+fn watch_read(
+    stream: &mut TcpStream,
+    until: Instant,
+    cancel: &CancelToken,
+    done: &AtomicBool,
+) -> WatchRead {
+    use std::io::Read as _;
+
+    use crate::protocol::READ_CHUNK;
+
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
+    let mut header = [0u8; 4];
+    let mut have = 0usize;
+    // (buffer, bytes filled, total payload length); the buffer grows
+    // by READ_CHUNK steps as bytes land, never to the full declared
+    // length up front (same discipline as `protocol::read_frame`).
+    let mut body: Option<(Vec<u8>, usize, usize)> = None;
+    loop {
+        if done.load(Ordering::Acquire) || cancel.is_cancelled() {
+            return WatchRead::Abandoned;
+        }
+        if Instant::now() >= until {
+            return WatchRead::TimedOut;
+        }
+        let read = match &mut body {
+            None => stream.read(&mut header[have..]),
+            Some((buf, filled, len)) => {
+                if *filled == buf.len() {
+                    let grow = (*len).min(*filled + READ_CHUNK);
+                    buf.resize(grow, 0);
+                }
+                stream.read(&mut buf[*filled..])
+            }
+        };
+        match read {
+            Ok(0) => return WatchRead::Failed,
+            Ok(n) => match &mut body {
+                None => {
+                    have += n;
+                    if have == 4 {
+                        let len = u32::from_be_bytes(header) as usize;
+                        if len > DEFAULT_MAX_FRAME {
+                            return WatchRead::Failed;
+                        }
+                        if len == 0 {
+                            return WatchRead::Frame(Vec::new());
+                        }
+                        body = Some((vec![0u8; len.min(READ_CHUNK)], 0, len));
+                    }
+                }
+                Some((buf, filled, len)) => {
+                    *filled += n;
+                    if *filled == *len {
+                        return WatchRead::Frame(std::mem::take(buf));
+                    }
+                }
+            },
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return WatchRead::Failed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_exactly_and_respects_minimum() {
+        for cap in 0..40 {
+            for nshards in 1..6 {
+                let ranges = partition(cap, nshards, 3);
+                // Coverage: contiguous, exact.
+                let mut expect = 0;
+                for &(lo, hi) in &ranges {
+                    assert_eq!(lo, expect);
+                    assert!(hi > lo);
+                    expect = hi;
+                }
+                assert_eq!(expect, cap);
+                assert!(ranges.len() <= nshards);
+                // Minimum size (single-range lists may be smaller).
+                if ranges.len() > 1 {
+                    for &(lo, hi) in &ranges {
+                        assert!(hi - lo >= 3, "range {lo}..{hi} under minimum");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let config = FleetConfig::new(vec!["127.0.0.1:1".to_string()]);
+        for wave in 0..6 {
+            let a = backoff_with_jitter(&config, 7, 2, wave);
+            let b = backoff_with_jitter(&config, 7, 2, wave);
+            assert_eq!(a, b, "jitter must be reproducible");
+            assert!(a <= config.backoff_max);
+        }
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_and_probes_after_cooldown() {
+        let mut config = FleetConfig::new(vec!["127.0.0.1:1".to_string()]);
+        config.breaker_threshold = 2;
+        config.breaker_cooldown = Duration::from_millis(30);
+        let fleet = Fleet::new(config);
+        assert!(fleet.try_acquire(0));
+        fleet.report_failure(0);
+        assert!(fleet.try_acquire(0), "one failure is under the threshold");
+        fleet.report_failure(0);
+        // Tripped: quarantined until the cooldown.
+        assert!(!fleet.try_acquire(0));
+        std::thread::sleep(Duration::from_millis(40));
+        // Cooldown over: exactly one probe gets through.
+        assert!(fleet.try_acquire(0));
+        assert!(!fleet.try_acquire(0), "second probe refused in half-open");
+        // Failed probe: straight back open.
+        fleet.report_failure(0);
+        assert!(!fleet.try_acquire(0));
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(fleet.try_acquire(0));
+        fleet.report_success(0);
+        // Healed: closed again, acquires freely.
+        assert!(fleet.try_acquire(0));
+        assert!(fleet.try_acquire(0));
+        let snap = fleet.metrics().snapshot();
+        assert_eq!(snap.shards[0].breaker_opens, 2);
+        assert_eq!(snap.shards[0].breaker, "closed");
+    }
+}

@@ -17,6 +17,7 @@
 //! |---|---|---|
 //! | `Ping` | `Pong` | liveness |
 //! | `Tune` | `Tuned` | ranked mapping search via the shared tuner + cache |
+//! | `TuneShard` | `TuneSharded` | one sub-range of a fleet tune (checksummed, epoch-stamped) |
 //! | `Evaluate` | `Evaluated` | legality + predicted [`CostReport`](fm_core::cost::CostReport) |
 //! | `Simulate` | `Simulated` | cycle-level run, predicted-vs-simulated slowdown |
 //! | `Stats` | `Stats` | live metrics snapshot (never queued) |
@@ -34,7 +35,12 @@
 //! * graceful drain-then-exit shutdown,
 //! * lock-free in-process metrics ([`metrics`]): per-endpoint request
 //!   counters and latency histograms (p50/p95/p99), queue depth,
-//!   cache hit rate.
+//!   cache hit rate,
+//! * fault-tolerant sharded search ([`fleet`]): a server started with
+//!   `--fleet host:port,...` partitions each eligible `Tune` across
+//!   backend shards and merges by `(score, index)` — bit-identical to
+//!   a single-machine tune even under dead, slow, or frame-corrupting
+//!   shards (deterministically testable via [`fault`]).
 //!
 //! ## Quickstart
 //!
@@ -52,14 +58,19 @@
 //! ```
 
 pub mod client;
+pub mod fault;
+pub mod fleet;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
 
 pub use client::{Client, ClientError};
-pub use metrics::{EndpointStats, LatencyStats, StatsReply};
+pub use fault::{FaultAction, FaultPlan, FaultProxy};
+pub use fleet::{Fleet, FleetConfig};
+pub use metrics::{EndpointStats, FleetStatsReply, LatencyStats, ShardStats, StatsReply};
 pub use protocol::{
-    BusyReply, EvaluateReply, EvaluateRequest, FailReply, Request, Response, SimulateReply,
-    SimulateRequest, TuneReply, TuneRequest, WireCandidate, WireError, DEFAULT_MAX_FRAME,
+    BusyReply, EvaluateReply, EvaluateRequest, FailReply, Request, Response, ShardReplyFlaw,
+    SimulateReply, SimulateRequest, TuneReply, TuneRequest, TuneShardBody, TuneShardReply,
+    TuneShardRequest, WireCandidate, WireError, DEFAULT_MAX_FRAME,
 };
 pub use server::{Server, ServerConfig, ServerHandle};

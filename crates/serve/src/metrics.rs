@@ -8,9 +8,11 @@
 //! 2× — the right fidelity for tail-latency dashboards, at zero
 //! per-request allocation.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 /// Number of log₂ latency buckets: covers 1 ns .. ~584 years.
@@ -120,6 +122,9 @@ pub struct Metrics {
     started: Instant,
     /// `Tune` endpoint counters.
     pub tune: Endpoint,
+    /// `TuneShard` endpoint counters (sub-range work done for a fleet
+    /// coordinator).
+    pub tune_shard: Endpoint,
     /// `Evaluate` endpoint counters.
     pub evaluate: Endpoint,
     /// `Simulate` endpoint counters.
@@ -148,6 +153,9 @@ pub struct Metrics {
     pub cache_stale: AtomicU64,
     /// Connections accepted over the server's lifetime.
     pub connections: AtomicU64,
+    /// Fleet-coordinator counters, present only when this server runs
+    /// with `--fleet` (set once at startup).
+    pub fleet: Mutex<Option<Arc<FleetMetrics>>>,
 }
 
 impl Default for Metrics {
@@ -155,6 +163,7 @@ impl Default for Metrics {
         Metrics {
             started: Instant::now(),
             tune: Endpoint::default(),
+            tune_shard: Endpoint::default(),
             evaluate: Endpoint::default(),
             simulate: Endpoint::default(),
             stats: Endpoint::default(),
@@ -169,6 +178,7 @@ impl Default for Metrics {
             cache_misses: AtomicU64::new(0),
             cache_stale: AtomicU64::new(0),
             connections: AtomicU64::new(0),
+            fleet: Mutex::new(None),
         }
     }
 }
@@ -178,6 +188,7 @@ impl Metrics {
     pub fn endpoint(&self, name: &str) -> &Endpoint {
         match name {
             "tune" => &self.tune,
+            "tune_shard" => &self.tune_shard,
             "evaluate" => &self.evaluate,
             "simulate" => &self.simulate,
             "stats" => &self.stats,
@@ -212,12 +223,192 @@ impl Metrics {
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             cache_stale: self.cache_stale.load(Ordering::Relaxed),
             tune: self.tune.snapshot(),
+            tune_shard: self.tune_shard.snapshot(),
             evaluate: self.evaluate.snapshot(),
             simulate: self.simulate.snapshot(),
             stats: self.stats.snapshot(),
             ping: self.ping.snapshot(),
+            fleet: self.fleet.lock().as_ref().map(|f| f.snapshot()),
         }
     }
+
+    /// Install the fleet-coordinator registry (once, at server start).
+    pub fn set_fleet(&self, fleet: Arc<FleetMetrics>) {
+        *self.fleet.lock() = Some(fleet);
+    }
+}
+
+/// Breaker-state gauge values (stored in [`ShardMetrics::state`]).
+pub mod breaker_state {
+    /// Circuit closed: requests flow.
+    pub const CLOSED: u8 = 0;
+    /// Circuit open: the shard is quarantined until its cooldown ends.
+    pub const OPEN: u8 = 1;
+    /// Half-open: one probe in flight decides the next state.
+    pub const HALF_OPEN: u8 = 2;
+}
+
+/// Lock-free counters for one shard in the fleet pool.
+#[derive(Debug)]
+pub struct ShardMetrics {
+    /// The shard's address, as configured.
+    pub addr: String,
+    /// Attempts sent to this shard (including hedges and probes).
+    pub sends: AtomicU64,
+    /// Attempts that returned a verified, complete reply.
+    pub successes: AtomicU64,
+    /// Attempts that failed (transport, refusal, or discarded reply).
+    pub failures: AtomicU64,
+    /// Times this shard's breaker transitioned Closed/HalfOpen → Open.
+    pub breaker_opens: AtomicU64,
+    /// Current breaker state gauge (see [`breaker_state`]).
+    pub state: AtomicU8,
+}
+
+impl ShardMetrics {
+    /// Fresh counters for one shard address.
+    pub fn new(addr: String) -> ShardMetrics {
+        ShardMetrics {
+            addr,
+            sends: AtomicU64::new(0),
+            successes: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+            breaker_opens: AtomicU64::new(0),
+            state: AtomicU8::new(breaker_state::CLOSED),
+        }
+    }
+
+    fn snapshot(&self) -> ShardStats {
+        ShardStats {
+            addr: self.addr.clone(),
+            sends: self.sends.load(Ordering::Relaxed),
+            successes: self.successes.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
+            breaker_opens: self.breaker_opens.load(Ordering::Relaxed),
+            breaker: match self.state.load(Ordering::Relaxed) {
+                breaker_state::OPEN => "open",
+                breaker_state::HALF_OPEN => "half-open",
+                _ => "closed",
+            }
+            .to_string(),
+        }
+    }
+}
+
+/// The fleet coordinator's registry: per-shard counters plus
+/// fleet-wide robustness counters. Shared between the coordinator's
+/// dispatch threads and the `Stats` endpoint.
+#[derive(Debug)]
+pub struct FleetMetrics {
+    /// Per-shard counters, in configuration order.
+    pub shards: Vec<ShardMetrics>,
+    /// Tunes routed through the fleet path.
+    pub fleet_tunes: AtomicU64,
+    /// Sub-range attempts beyond each range's first (per-range retry
+    /// count, summed).
+    pub retries: AtomicU64,
+    /// Hedged duplicate requests launched for straggler shards.
+    pub hedges: AtomicU64,
+    /// Hedges whose reply arrived (valid) before the primary's.
+    pub hedge_wins: AtomicU64,
+    /// Replies discarded for a checksum mismatch (corrupt frames).
+    pub corrupt_discarded: AtomicU64,
+    /// Replies discarded for an epoch mismatch (stale frames).
+    pub stale_discarded: AtomicU64,
+    /// Replies discarded as incomplete (shard stopped mid-range).
+    pub incomplete_discarded: AtomicU64,
+    /// Sub-ranges that ran on a shard other than their first choice.
+    pub reassignments: AtomicU64,
+    /// Sub-ranges that fell back to local evaluation after every shard
+    /// path failed.
+    pub local_fallback_ranges: AtomicU64,
+    /// Tunes in which *every* sub-range fell back locally (the fleet
+    /// was effectively down; the answer is still exact).
+    pub degraded_tunes: AtomicU64,
+}
+
+impl FleetMetrics {
+    /// Fresh counters for a pool of shard addresses.
+    pub fn new(shard_addrs: &[String]) -> FleetMetrics {
+        FleetMetrics {
+            shards: shard_addrs
+                .iter()
+                .map(|a| ShardMetrics::new(a.clone()))
+                .collect(),
+            fleet_tunes: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            hedges: AtomicU64::new(0),
+            hedge_wins: AtomicU64::new(0),
+            corrupt_discarded: AtomicU64::new(0),
+            stale_discarded: AtomicU64::new(0),
+            incomplete_discarded: AtomicU64::new(0),
+            reassignments: AtomicU64::new(0),
+            local_fallback_ranges: AtomicU64::new(0),
+            degraded_tunes: AtomicU64::new(0),
+        }
+    }
+
+    /// Snapshot into the wire shape.
+    pub fn snapshot(&self) -> FleetStatsReply {
+        FleetStatsReply {
+            shards: self.shards.iter().map(ShardMetrics::snapshot).collect(),
+            fleet_tunes: self.fleet_tunes.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            hedges: self.hedges.load(Ordering::Relaxed),
+            hedge_wins: self.hedge_wins.load(Ordering::Relaxed),
+            corrupt_discarded: self.corrupt_discarded.load(Ordering::Relaxed),
+            stale_discarded: self.stale_discarded.load(Ordering::Relaxed),
+            incomplete_discarded: self.incomplete_discarded.load(Ordering::Relaxed),
+            reassignments: self.reassignments.load(Ordering::Relaxed),
+            local_fallback_ranges: self.local_fallback_ranges.load(Ordering::Relaxed),
+            degraded_tunes: self.degraded_tunes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Wire snapshot of one shard's counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardStats {
+    /// The shard's address, as configured.
+    pub addr: String,
+    /// Attempts sent (including hedges and breaker probes).
+    pub sends: u64,
+    /// Verified, complete replies.
+    pub successes: u64,
+    /// Failed attempts (transport, refusal, discarded reply).
+    pub failures: u64,
+    /// Closed/HalfOpen → Open breaker transitions.
+    pub breaker_opens: u64,
+    /// Breaker state at snapshot time: `"closed"`, `"open"`, or
+    /// `"half-open"`.
+    pub breaker: String,
+}
+
+/// Wire snapshot of the fleet coordinator's counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetStatsReply {
+    /// Per-shard counters, in configuration order.
+    pub shards: Vec<ShardStats>,
+    /// Tunes routed through the fleet path.
+    pub fleet_tunes: u64,
+    /// Per-range retry attempts, summed.
+    pub retries: u64,
+    /// Hedged duplicate requests launched.
+    pub hedges: u64,
+    /// Hedges that beat their primary.
+    pub hedge_wins: u64,
+    /// Replies discarded for checksum mismatch.
+    pub corrupt_discarded: u64,
+    /// Replies discarded for epoch mismatch.
+    pub stale_discarded: u64,
+    /// Replies discarded as incomplete.
+    pub incomplete_discarded: u64,
+    /// Sub-ranges served by a non-first-choice shard.
+    pub reassignments: u64,
+    /// Sub-ranges evaluated locally after all shard paths failed.
+    pub local_fallback_ranges: u64,
+    /// Tunes that degraded entirely to local evaluation.
+    pub degraded_tunes: u64,
 }
 
 /// Latency summary for one endpoint, in microseconds.
@@ -277,6 +468,8 @@ pub struct StatsReply {
     pub cache_stale: u64,
     /// `Tune` counters.
     pub tune: EndpointStats,
+    /// `TuneShard` counters (work done as a fleet backend).
+    pub tune_shard: EndpointStats,
     /// `Evaluate` counters.
     pub evaluate: EndpointStats,
     /// `Simulate` counters.
@@ -285,13 +478,19 @@ pub struct StatsReply {
     pub stats: EndpointStats,
     /// `Ping` counters.
     pub ping: EndpointStats,
+    /// Fleet-coordinator counters (`None` unless serving with
+    /// `--fleet`).
+    pub fleet: Option<FleetStatsReply>,
 }
 
 impl StatsReply {
     /// Total requests received across the work endpoints (tune +
-    /// evaluate + simulate).
+    /// tune_shard + evaluate + simulate).
     pub fn work_received(&self) -> u64 {
-        self.tune.received + self.evaluate.received + self.simulate.received
+        self.tune.received
+            + self.tune_shard.received
+            + self.evaluate.received
+            + self.simulate.received
     }
 
     /// Cache hit rate over `Tune` requests that consulted the cache.

@@ -70,6 +70,191 @@ pub struct TuneRequest {
     pub use_cache: bool,
 }
 
+/// `TuneShard`: evaluate one contiguous **sub-range** of a larger
+/// candidate list on behalf of a fleet coordinator (see
+/// [`crate::fleet`]). Unlike `Tune`, the reply is only accepted when
+/// the *whole* sub-range was evaluated — a partially-evaluated range
+/// would make the merged winner depend on where the shard gave up, and
+/// the fleet's contract is a winner bit-identical to a single-machine
+/// search. Answered with [`Response::TuneSharded`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuneShardRequest {
+    /// The elaborated dataflow graph to map.
+    pub graph: DataflowGraph,
+    /// The machine to map onto.
+    pub machine: MachineConfig,
+    /// The figure of merit to minimize.
+    pub fom: FigureOfMerit,
+    /// The sub-range's candidates (already sliced by the coordinator).
+    pub candidates: Vec<WireCandidate>,
+    /// Absolute index of `candidates[0]` in the coordinator's full
+    /// list; reply indices are absolute so the merge can tie-break.
+    pub start_index: u64,
+    /// The coordinator's epoch for this tune. Echoed in the reply; a
+    /// reply carrying any other epoch is stale and discarded unmerged.
+    pub epoch: u64,
+    /// Per-request deadline in milliseconds, measured from admission.
+    pub deadline_ms: Option<u64>,
+}
+
+/// The winning candidate of one shard's sub-range.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardBest {
+    /// Absolute candidate index (for deterministic `(score, index)`
+    /// merge tie-breaking).
+    pub index: u64,
+    /// The winning candidate's label.
+    pub label: String,
+    /// Its score under the requested objective.
+    pub score: f64,
+    /// The resolved mapping.
+    pub resolved: ResolvedMapping,
+    /// Its cost report.
+    pub report: CostReport,
+}
+
+/// The checksummed payload of a [`TuneShardReply`]. Everything the
+/// merge consumes lives here, under the checksum.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuneShardBody {
+    /// Echo of the request's `start_index`.
+    pub start_index: u64,
+    /// Candidates the request carried.
+    pub count: u64,
+    /// Candidates actually evaluated. The coordinator only merges
+    /// replies with `evaluated == count`.
+    pub evaluated: u64,
+    /// Whether a deadline/disconnect aborted the shard's search.
+    pub cancelled: bool,
+    /// The sub-range's winner (`None` when nothing in it was legal —
+    /// which is information too: the merge must not fall back just
+    /// because one range is empty).
+    pub best: Option<ShardBest>,
+}
+
+/// The answer to a [`TuneShardRequest`]: an epoch echo, a checksum
+/// over the canonical serialization of the body, and the body itself.
+///
+/// The checksum makes byte corruption in transit *detectable* (a frame
+/// that decodes to valid JSON with silently altered numbers would
+/// otherwise merge a wrong winner); the epoch makes stale replies
+/// *identifiable*. Neither defends against a shard that deliberately
+/// computes a valid checksum over wrong content — the fleet's threat
+/// model is corruption and staleness, not Byzantine shards.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuneShardReply {
+    /// Echo of the request epoch.
+    pub epoch: u64,
+    /// FNV-1a 64 over `epoch` (8 bytes, big-endian) followed by the
+    /// canonical JSON serialization of `body`.
+    pub checksum: u64,
+    /// The checksummed payload.
+    pub body: TuneShardBody,
+}
+
+/// FNV-1a 64-bit. Not cryptographic — but a single flipped byte always
+/// changes it (each step `h = (h ^ b) * PRIME` is bijective in `h` for
+/// a fixed byte, so differing prefixes never re-converge).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+impl TuneShardReply {
+    /// The checksum a well-formed reply carries for `(epoch, body)`.
+    pub fn checksum_of(epoch: u64, body: &TuneShardBody) -> u64 {
+        let canon = serde_json::to_string(body).expect("shard body serializes");
+        let mut bytes = Vec::with_capacity(8 + canon.len());
+        bytes.extend_from_slice(&epoch.to_be_bytes());
+        bytes.extend_from_slice(canon.as_bytes());
+        fnv1a64(&bytes)
+    }
+
+    /// Build a reply with the checksum sealed in.
+    pub fn seal(epoch: u64, body: TuneShardBody) -> TuneShardReply {
+        TuneShardReply {
+            epoch,
+            checksum: Self::checksum_of(epoch, &body),
+            body,
+        }
+    }
+
+    /// Validate a received reply against the epoch the coordinator
+    /// sent. `Err` names the first flaw found.
+    pub fn verify(&self, expected_epoch: u64) -> Result<(), ShardReplyFlaw> {
+        if self.epoch != expected_epoch {
+            return Err(ShardReplyFlaw::StaleEpoch {
+                got: self.epoch,
+                expected: expected_epoch,
+            });
+        }
+        let want = Self::checksum_of(self.epoch, &self.body);
+        if self.checksum != want {
+            return Err(ShardReplyFlaw::BadChecksum {
+                got: self.checksum,
+                expected: want,
+            });
+        }
+        if self.body.cancelled || self.body.evaluated != self.body.count {
+            return Err(ShardReplyFlaw::Incomplete {
+                evaluated: self.body.evaluated,
+                count: self.body.count,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Why a shard reply was discarded instead of merged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardReplyFlaw {
+    /// The reply echoes an epoch the coordinator did not send for this
+    /// tune: it answers some earlier request.
+    StaleEpoch {
+        /// Epoch the reply carried.
+        got: u64,
+        /// Epoch the coordinator expected.
+        expected: u64,
+    },
+    /// The embedded checksum does not match the body: bytes were
+    /// corrupted in transit (or the frame was tampered with).
+    BadChecksum {
+        /// Checksum the reply carried.
+        got: u64,
+        /// Checksum recomputed from the received body.
+        expected: u64,
+    },
+    /// The shard did not evaluate its whole sub-range (deadline or
+    /// cancellation); merging it would make the winner depend on where
+    /// it stopped.
+    Incomplete {
+        /// Candidates the shard evaluated.
+        evaluated: u64,
+        /// Candidates the sub-range holds.
+        count: u64,
+    },
+}
+
+impl std::fmt::Display for ShardReplyFlaw {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardReplyFlaw::StaleEpoch { got, expected } => {
+                write!(f, "stale epoch {got} (expected {expected})")
+            }
+            ShardReplyFlaw::BadChecksum { got, expected } => {
+                write!(f, "checksum mismatch {got:#x} (recomputed {expected:#x})")
+            }
+            ShardReplyFlaw::Incomplete { evaluated, count } => {
+                write!(f, "incomplete range: {evaluated} of {count} evaluated")
+            }
+        }
+    }
+}
+
 /// `Evaluate`: legality-check and analytically cost one resolved
 /// mapping. Answered with [`Response::Evaluated`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -110,6 +295,9 @@ pub enum Request {
     Ping,
     /// Mapping search (see [`TuneRequest`]).
     Tune(TuneRequest),
+    /// Sub-range search on behalf of a fleet coordinator (see
+    /// [`TuneShardRequest`]).
+    TuneShard(TuneShardRequest),
     /// Analytic cost of one mapping (see [`EvaluateRequest`]).
     Evaluate(EvaluateRequest),
     /// Cycle-driven simulation of one mapping (see [`SimulateRequest`]).
@@ -128,6 +316,7 @@ impl Request {
         match self {
             Request::Ping => "ping",
             Request::Tune(_) => "tune",
+            Request::TuneShard(_) => "tune_shard",
             Request::Evaluate(_) => "evaluate",
             Request::Simulate(_) => "simulate",
             Request::Stats => "stats",
@@ -228,12 +417,16 @@ pub enum Response {
     Pong,
     /// Answer to [`Request::Tune`].
     Tuned(TuneReply),
+    /// Answer to [`Request::TuneShard`].
+    TuneSharded(TuneShardReply),
     /// Answer to [`Request::Evaluate`].
     Evaluated(EvaluateReply),
     /// Answer to [`Request::Simulate`].
     Simulated(SimulateReply),
-    /// Answer to [`Request::Stats`].
-    Stats(StatsReply),
+    /// Answer to [`Request::Stats`]. Boxed: the snapshot (per-endpoint
+    /// histograms plus optional per-shard fleet counters) dwarfs the
+    /// other variants.
+    Stats(Box<StatsReply>),
     /// The admission queue is full; retry later.
     Busy(BusyReply),
     /// The server is draining: acknowledges [`Request::Shutdown`], and
@@ -249,6 +442,7 @@ impl Response {
         match self {
             Response::Pong => "pong",
             Response::Tuned(_) => "tuned",
+            Response::TuneSharded(_) => "tune-sharded",
             Response::Evaluated(_) => "evaluated",
             Response::Simulated(_) => "simulated",
             Response::Stats(_) => "stats",
@@ -319,9 +513,19 @@ pub fn write_frame(w: &mut impl std::io::Write, payload: &[u8]) -> std::io::Resu
     w.flush()
 }
 
+/// Largest single allocation step while reading a frame payload.
+/// Memory committed to a frame grows with bytes actually received (in
+/// steps of this size), never with the length the prefix *claims* — a
+/// peer that declares a large-but-legal length and then stalls or
+/// disconnects holds at most one chunk beyond what it really sent.
+pub const READ_CHUNK: usize = 64 << 10;
+
 /// Read one frame's payload, enforcing `max`. Clean EOF before the
 /// first header byte is [`WireError::Closed`]; EOF anywhere later is
-/// [`WireError::Truncated`].
+/// [`WireError::Truncated`]. A length prefix over `max` is rejected
+/// before any payload byte is read or buffered, and payload memory is
+/// reserved incrementally ([`READ_CHUNK`]) as bytes arrive — never all
+/// up front on the strength of the prefix alone.
 pub fn read_frame(r: &mut impl std::io::Read, max: usize) -> Result<Vec<u8>, WireError> {
     let mut header = [0u8; 4];
     let mut have = 0;
@@ -343,9 +547,12 @@ pub fn read_frame(r: &mut impl std::io::Read, max: usize) -> Result<Vec<u8>, Wir
     if len > max {
         return Err(WireError::Oversized { len, max });
     }
-    let mut payload = vec![0u8; len];
+    let mut payload = vec![0u8; len.min(READ_CHUNK)];
     let mut got = 0;
     while got < len {
+        if got == payload.len() {
+            payload.resize(len.min(got + READ_CHUNK), 0);
+        }
         match r.read(&mut payload[got..]) {
             Ok(0) => return Err(WireError::Truncated { expected: len, got }),
             Ok(n) => got += n,
@@ -469,6 +676,118 @@ mod tests {
             decode_response(b"{\"NoSuchVariant\": 3}"),
             Err(WireError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn large_frame_reads_back_whole_across_chunk_boundaries() {
+        // A payload larger than READ_CHUNK must survive the
+        // incremental-allocation path byte-for-byte.
+        let payload: Vec<u8> = (0..READ_CHUNK + READ_CHUNK / 2 + 7)
+            .map(|i| (i % 251) as u8)
+            .collect();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let mut r = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut r, 1 << 20).unwrap(), payload);
+    }
+
+    #[test]
+    fn lying_length_prefix_holds_one_chunk_not_the_claimed_size() {
+        // Prefix claims 8 MiB (legal under the cap) but only 3 bytes
+        // follow. The reader must fail with Truncated having grown its
+        // buffer by at most one chunk — the `got` in the error proves
+        // how little actually arrived.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(8u32 << 20).to_be_bytes());
+        buf.extend_from_slice(b"abc");
+        let mut r = std::io::Cursor::new(buf);
+        match read_frame(&mut r, DEFAULT_MAX_FRAME) {
+            Err(WireError::Truncated { expected, got }) => {
+                assert_eq!(expected, 8 << 20);
+                assert_eq!(got, 3);
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shard_reply_seal_verifies_and_flaws_are_detected() {
+        let body = TuneShardBody {
+            start_index: 40,
+            count: 20,
+            evaluated: 20,
+            cancelled: false,
+            best: None,
+        };
+        let reply = TuneShardReply::seal(9, body.clone());
+        assert!(reply.verify(9).is_ok());
+        // Wrong epoch: stale.
+        assert!(matches!(
+            reply.verify(10),
+            Err(ShardReplyFlaw::StaleEpoch {
+                got: 9,
+                expected: 10
+            })
+        ));
+        // Altered body under the same checksum: corrupt.
+        let mut tampered = reply.clone();
+        tampered.body.start_index = 3;
+        assert!(matches!(
+            tampered.verify(9),
+            Err(ShardReplyFlaw::BadChecksum { .. })
+        ));
+        // Incomplete range: refused even with a valid checksum.
+        let partial = TuneShardReply::seal(
+            9,
+            TuneShardBody {
+                evaluated: 19,
+                ..body
+            },
+        );
+        assert!(matches!(
+            partial.verify(9),
+            Err(ShardReplyFlaw::Incomplete {
+                evaluated: 19,
+                count: 20
+            })
+        ));
+    }
+
+    #[test]
+    fn single_digit_flip_in_serialized_reply_fails_verification() {
+        // The corruption the fault proxy injects: one JSON digit
+        // flipped, frame and JSON still valid. Every such flip must be
+        // caught — by the checksum if the body changed, or by the
+        // checksum *comparison* if the stored checksum itself changed.
+        let reply = TuneShardReply::seal(
+            7,
+            TuneShardBody {
+                start_index: 10,
+                count: 5,
+                evaluated: 5,
+                cancelled: false,
+                best: None,
+            },
+        );
+        let bytes = encode_response(&Response::TuneSharded(reply));
+        let mut flipped_any = false;
+        for i in 0..bytes.len() {
+            if !bytes[i].is_ascii_digit() {
+                continue;
+            }
+            let mut forged = bytes.clone();
+            forged[i] = if forged[i] == b'9' {
+                b'1'
+            } else {
+                forged[i] + 1
+            };
+            // Flips that break JSON shape are caught even earlier.
+            if let Ok(Response::TuneSharded(r)) = decode_response(&forged) {
+                assert!(r.verify(7).is_err(), "undetected flip at byte {i}");
+                flipped_any = true;
+            }
+        }
+        assert!(flipped_any, "at least one flip must decode and be caught");
     }
 
     #[test]

@@ -46,10 +46,12 @@ use fm_core::search::MappingCandidate;
 use fm_grid::{SimConfig, Simulator};
 use fm_workspan::ThreadPool;
 
+use crate::fleet::{Fleet, FleetConfig};
 use crate::metrics::{Metrics, StatsReply};
 use crate::protocol::{
     write_response, BusyReply, EvaluateReply, EvaluateRequest, FailReply, Request, Response,
-    SimulateReply, SimulateRequest, TuneReply, TuneRequest, WireError, DEFAULT_MAX_FRAME,
+    ShardBest, SimulateReply, SimulateRequest, TuneReply, TuneRequest, TuneShardBody,
+    TuneShardReply, TuneShardRequest, WireError, DEFAULT_MAX_FRAME, READ_CHUNK,
 };
 
 /// Server tunables.
@@ -70,6 +72,10 @@ pub struct ServerConfig {
     pub cache_dir: Option<PathBuf>,
     /// Largest accepted frame payload.
     pub max_frame: usize,
+    /// Run as a fleet coordinator over these shards: eligible `Tune`
+    /// requests are partitioned across the backends and merged (see
+    /// [`crate::fleet`]). `None` serves every request locally.
+    pub fleet: Option<FleetConfig>,
 }
 
 impl Default for ServerConfig {
@@ -84,6 +90,7 @@ impl Default for ServerConfig {
             default_deadline_ms: None,
             cache_dir: None,
             max_frame: DEFAULT_MAX_FRAME,
+            fleet: None,
         }
     }
 }
@@ -107,6 +114,7 @@ struct Shared {
     metrics: Metrics,
     pool: ThreadPool,
     cache: Option<TuningCache>,
+    fleet: Option<Arc<Fleet>>,
     queue: Mutex<QueueState>,
     queue_cv: Condvar,
     shutdown: AtomicBool,
@@ -188,10 +196,16 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let cache = config.cache_dir.as_ref().and_then(TuningCache::open);
+        let fleet = config.fleet.clone().map(Fleet::new);
+        let metrics = Metrics::default();
+        if let Some(f) = &fleet {
+            metrics.set_fleet(f.metrics());
+        }
         let shared = Arc::new(Shared {
             pool: ThreadPool::with_threads(config.tuner_threads.max(1)),
-            metrics: Metrics::default(),
+            metrics,
             cache,
+            fleet,
             queue: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
                 closed: false,
@@ -321,30 +335,40 @@ fn read_frame_polling(stream: &mut TcpStream, shared: &Shared) -> Result<Vec<u8>
 
     let mut header = [0u8; 4];
     let mut have = 0usize;
-    let mut payload: Option<(Vec<u8>, usize)> = None; // (buf, filled)
+    // (buf, filled, total length): buf grows by READ_CHUNK steps as
+    // bytes actually land — a length prefix alone never commits the
+    // memory it claims (see `protocol::read_frame`).
+    let mut payload: Option<(Vec<u8>, usize, usize)> = None;
     loop {
         if shared.is_shutdown() {
             return Err(ReadStop::Shutdown);
         }
         let in_header = payload.is_none();
-        let (buf, filled): (&mut [u8], &mut usize) = match &mut payload {
-            None => (&mut header[..], &mut have),
-            Some((b, f)) => (b.as_mut_slice(), f),
+        let (read, filled, expected) = match &mut payload {
+            None => (stream.read(&mut header[have..]), &mut have, 4),
+            Some((b, f, len)) => {
+                if *f == b.len() {
+                    let grow = (*len).min(*f + READ_CHUNK);
+                    b.resize(grow, 0);
+                }
+                let len = *len;
+                (stream.read(&mut b[*f..]), f, len)
+            }
         };
-        match stream.read(&mut buf[*filled..]) {
+        match read {
             Ok(0) => {
                 return if in_header && *filled == 0 {
                     Err(ReadStop::Closed)
                 } else {
                     Err(ReadStop::Protocol(WireError::Truncated {
-                        expected: buf.len(),
+                        expected,
                         got: *filled,
                     }))
                 };
             }
             Ok(n) => {
                 *filled += n;
-                if *filled == buf.len() {
+                if *filled == expected {
                     match payload.take() {
                         None => {
                             let len = u32::from_be_bytes(header) as usize;
@@ -354,13 +378,13 @@ fn read_frame_polling(stream: &mut TcpStream, shared: &Shared) -> Result<Vec<u8>
                                     max: shared.config.max_frame,
                                 }));
                             }
-                            payload = Some((vec![0u8; len], 0));
                             // A zero-length payload is complete already.
                             if len == 0 {
                                 return Ok(Vec::new());
                             }
+                            payload = Some((vec![0u8; len.min(READ_CHUNK)], 0, len));
                         }
-                        Some((buf, _)) => return Ok(buf),
+                        Some((buf, _, _)) => return Ok(buf),
                     }
                 }
             }
@@ -485,7 +509,7 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                 let snap = shared.metrics.snapshot(shared.config.queue_capacity);
                 ep.completed.fetch_add(1, Ordering::Relaxed);
                 ep.latency.record(t0.elapsed());
-                if write_response(&mut stream, &Response::Stats(snap)).is_err() {
+                if write_response(&mut stream, &Response::Stats(Box::new(snap))).is_err() {
                     return;
                 }
             }
@@ -494,7 +518,10 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                 shared.begin_shutdown();
                 return;
             }
-            work @ (Request::Tune(_) | Request::Evaluate(_) | Request::Simulate(_)) => {
+            work @ (Request::Tune(_)
+            | Request::TuneShard(_)
+            | Request::Evaluate(_)
+            | Request::Simulate(_)) => {
                 let endpoint = shared.metrics.endpoint(work.endpoint());
                 endpoint.received.fetch_add(1, Ordering::Relaxed);
                 if shared.is_shutdown() {
@@ -504,6 +531,7 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                 let accepted = Instant::now();
                 let deadline_ms = match &work {
                     Request::Tune(t) => t.deadline_ms,
+                    Request::TuneShard(t) => t.deadline_ms,
                     Request::Evaluate(e) => e.deadline_ms,
                     Request::Simulate(s) => s.deadline_ms,
                     _ => unreachable!("only work requests reach here"),
@@ -574,7 +602,13 @@ fn worker_main(shared: &Arc<Shared>) {
         }
 
         let response = catch_unwind(AssertUnwindSafe(|| match request {
-            Request::Tune(req) => exec_tune(shared, req, &cancel, deadline),
+            Request::Tune(req) => match &shared.fleet {
+                Some(fleet) if fleet.eligible(&req) => {
+                    Response::Tuned(fleet.tune(&req, &cancel, deadline, &shared.pool))
+                }
+                _ => exec_tune(shared, req, &cancel, deadline),
+            },
+            Request::TuneShard(req) => exec_tune_shard(shared, req, &cancel, deadline),
             Request::Evaluate(_) | Request::Simulate(_) if expired => Response::Failed(FailReply {
                 kind: "deadline".to_string(),
                 error: "deadline expired before execution".to_string(),
@@ -675,6 +709,61 @@ fn exec_tune(
         cancelled: report.cancelled,
         wall_ms: report.wall.as_secs_f64() * 1e3,
     })
+}
+
+/// Evaluate one contiguous sub-range of a fleet tune: a plain budgeted
+/// tune (no refinement, no cache — raw candidate scores are what the
+/// coordinator's `(score, index)` merge needs), sealed into a
+/// checksummed, epoch-stamped reply. A deadline or disconnect that
+/// stops the sweep early still answers — with `evaluated < count`, so
+/// the coordinator discards the reply as incomplete rather than
+/// merging a winner that depends on where the shard gave up.
+fn exec_tune_shard(
+    shared: &Shared,
+    req: TuneShardRequest,
+    cancel: &CancelToken,
+    deadline: Option<Instant>,
+) -> Response {
+    let TuneShardRequest {
+        graph,
+        machine,
+        fom,
+        candidates,
+        start_index,
+        epoch,
+        ..
+    } = req;
+    let evaluator = Evaluator::new(&graph, &machine);
+    let candidates: Vec<MappingCandidate> = candidates
+        .into_iter()
+        .map(|c| MappingCandidate::new(c.label, c.mapping))
+        .collect();
+    let mut budget = Budget::unlimited();
+    if let Some(d) = deadline {
+        budget.deadline = Some(d.saturating_duration_since(Instant::now()));
+    }
+    let report = Tuner::new(&evaluator, &graph, &machine, fom)
+        .with_pool(&shared.pool)
+        .with_budget(budget)
+        .with_cancel(cancel.clone())
+        .tune(&candidates);
+    let body = TuneShardBody {
+        start_index,
+        count: candidates.len() as u64,
+        evaluated: report.evaluated as u64,
+        cancelled: report.cancelled,
+        // `best_index.zip(best)` keeps only genuine in-range winners:
+        // a default-mapper fallback (nothing legal) has no index and
+        // must not masquerade as a candidate.
+        best: report.best_index.zip(report.best).map(|(i, b)| ShardBest {
+            index: start_index + i as u64,
+            label: b.label,
+            score: b.score,
+            resolved: b.resolved,
+            report: b.report,
+        }),
+    };
+    Response::TuneSharded(TuneShardReply::seal(epoch, body))
 }
 
 fn exec_evaluate(req: EvaluateRequest) -> Response {

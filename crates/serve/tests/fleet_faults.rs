@@ -1,0 +1,485 @@
+//! Chaos tests for the sharded-search fleet: real shard servers on
+//! ephemeral ports, a real coordinator, and deterministic fault
+//! injection in between. The invariant under test is always the same —
+//! whatever the fleet survives (dead shards, slow shards, corrupt or
+//! stale frames, a full outage), the winning mapping is bit-identical
+//! to a single-machine `Tuner::tune` over the same candidates.
+
+use std::net::{TcpListener, TcpStream};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use fm_autotune::{TunedMapping, Tuner};
+use fm_core::affine::IdxExpr;
+use fm_core::cost::Evaluator;
+use fm_core::dataflow::{CExpr, DataflowGraph};
+use fm_core::machine::MachineConfig;
+use fm_core::mapping::{AffineMap, Mapping, PlaceExpr};
+use fm_core::search::{FigureOfMerit, MappingCandidate};
+use fm_core::value::Value;
+use fm_serve::fault::{FaultAction, FaultPlan, FaultProxy};
+use fm_serve::fleet::FleetConfig;
+use fm_serve::protocol::{
+    decode_request, read_frame, write_request, write_response, Request, Response, TuneRequest,
+    TuneShardBody, TuneShardReply, WireCandidate, DEFAULT_MAX_FRAME,
+};
+use fm_serve::server::{Server, ServerConfig, ServerHandle};
+use fm_serve::Client;
+use proptest::prelude::*;
+
+fn wide(n: usize) -> DataflowGraph {
+    let mut g = DataflowGraph::new("fleet-wide", 32);
+    for i in 0..n {
+        g.add_node(CExpr::konst(Value::real(i as f64)), vec![], vec![i as i64]);
+    }
+    g
+}
+
+fn affine_candidates(n: usize, cols: u32) -> Vec<WireCandidate> {
+    (0..n)
+        .map(|i| {
+            let w = (i as i64 % cols as i64) + 1;
+            WireCandidate {
+                label: format!("fold-{i}-w{w}"),
+                mapping: Mapping::Affine(AffineMap {
+                    place: PlaceExpr::row0(IdxExpr::ModC(Box::new(IdxExpr::i()), w)),
+                    time: IdxExpr::i().div(w),
+                }),
+            }
+        })
+        .collect()
+}
+
+fn tune_request(graph: &DataflowGraph, machine: &MachineConfig, ncand: usize) -> TuneRequest {
+    TuneRequest {
+        graph: graph.clone(),
+        machine: machine.clone(),
+        fom: FigureOfMerit::Time,
+        candidates: affine_candidates(ncand, machine.cols),
+        deadline_ms: None,
+        max_candidates: None,
+        convergence_window: None,
+        refinement: None,
+        use_cache: false,
+    }
+}
+
+/// The single-machine reference run the fleet must reproduce exactly.
+fn direct_winner(graph: &DataflowGraph, machine: &MachineConfig, ncand: usize) -> TunedMapping {
+    let evaluator = Evaluator::new(graph, machine);
+    let candidates: Vec<MappingCandidate> = affine_candidates(ncand, machine.cols)
+        .into_iter()
+        .map(|c| MappingCandidate::new(c.label, c.mapping))
+        .collect();
+    Tuner::new(&evaluator, graph, machine, FigureOfMerit::Time)
+        .tune(&candidates)
+        .best
+        .expect("direct tuner found a winner")
+}
+
+fn assert_same_winner(served: &TunedMapping, expected: &TunedMapping) {
+    assert_eq!(served.label, expected.label);
+    assert_eq!(served.score.to_bits(), expected.score.to_bits());
+    assert_eq!(served.resolved, expected.resolved);
+}
+
+/// Tight timeouts so fault recovery is exercised in test time, not
+/// production time.
+fn fleet_config(shards: Vec<String>) -> FleetConfig {
+    let mut f = FleetConfig::new(shards);
+    f.connect_timeout = Duration::from_millis(200);
+    f.attempt_timeout = Duration::from_secs(3);
+    f.attempts = 3;
+    f.backoff_base = Duration::from_millis(5);
+    f.backoff_max = Duration::from_millis(40);
+    f.hedge_after = None;
+    f.breaker_threshold = 2;
+    f.breaker_cooldown = Duration::from_millis(300);
+    f
+}
+
+fn start_shards(n: usize) -> Vec<ServerHandle> {
+    (0..n)
+        .map(|_| Server::start("127.0.0.1:0", ServerConfig::default()).expect("bind shard"))
+        .collect()
+}
+
+fn start_coordinator(fleet: FleetConfig) -> ServerHandle {
+    let config = ServerConfig {
+        fleet: Some(fleet),
+        ..ServerConfig::default()
+    };
+    Server::start("127.0.0.1:0", config).expect("bind coordinator")
+}
+
+/// An address that is bound, then immediately released: connecting to
+/// it is promptly refused, which models a crashed shard.
+fn dead_addr() -> String {
+    let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+    probe.local_addr().unwrap().to_string()
+}
+
+#[test]
+fn fleet_tune_is_bit_identical_to_direct_tuner() {
+    let graph = wide(16);
+    let machine = MachineConfig::linear(8);
+    let shards = start_shards(3);
+    let addrs: Vec<String> = shards.iter().map(|s| s.local_addr().to_string()).collect();
+    let coord = start_coordinator(fleet_config(addrs));
+
+    let mut client = Client::connect(coord.local_addr()).unwrap();
+    let reply = client.tune(tune_request(&graph, &machine, 30)).unwrap();
+    assert!(!reply.fell_back);
+    assert!(!reply.cancelled);
+    assert_eq!(reply.evaluated, 30);
+    assert_eq!(reply.cache, "disabled");
+    assert_same_winner(
+        &reply.best.expect("fleet found a winner"),
+        &direct_winner(&graph, &machine, 30),
+    );
+
+    let fleet = coord
+        .stats()
+        .fleet
+        .expect("coordinator exports fleet stats");
+    assert_eq!(fleet.fleet_tunes, 1);
+    assert_eq!(fleet.shards.len(), 3);
+    let shard_work: u64 = shards.iter().map(|s| s.stats().tune_shard.received).sum();
+    assert!(shard_work >= 1, "no shard ever saw a sub-range");
+
+    coord.shutdown_and_join();
+    for s in shards {
+        s.shutdown_and_join();
+    }
+}
+
+#[test]
+fn dead_shard_is_reassigned_without_changing_the_winner() {
+    let graph = wide(14);
+    let machine = MachineConfig::linear(8);
+    let mut shards = start_shards(3);
+    let mut addrs: Vec<String> = shards.iter().map(|s| s.local_addr().to_string()).collect();
+    // Kill shard 0 before the tune: its address now refuses connects.
+    let dead = shards.remove(0);
+    addrs[0] = dead.local_addr().to_string();
+    dead.shutdown_and_join();
+
+    let coord = start_coordinator(fleet_config(addrs));
+    let mut client = Client::connect(coord.local_addr()).unwrap();
+    let reply = client.tune(tune_request(&graph, &machine, 24)).unwrap();
+    assert!(!reply.cancelled);
+    assert_eq!(reply.evaluated, 24);
+    assert_same_winner(
+        &reply.best.expect("fleet found a winner"),
+        &direct_winner(&graph, &machine, 24),
+    );
+
+    let fleet = coord.stats().fleet.unwrap();
+    assert!(fleet.retries >= 1, "dead shard should force a retry wave");
+    assert!(
+        fleet.reassignments >= 1,
+        "the dead shard's range should land elsewhere"
+    );
+    assert!(fleet.shards[0].failures >= 1);
+
+    coord.shutdown_and_join();
+    for s in shards {
+        s.shutdown_and_join();
+    }
+}
+
+#[test]
+fn full_outage_degrades_to_local_search() {
+    let graph = wide(12);
+    let machine = MachineConfig::linear(8);
+    let coord = start_coordinator(fleet_config(vec![dead_addr(), dead_addr()]));
+
+    let mut client = Client::connect(coord.local_addr()).unwrap();
+    let reply = client.tune(tune_request(&graph, &machine, 20)).unwrap();
+    assert!(!reply.cancelled);
+    assert_eq!(
+        reply.evaluated, 20,
+        "local fallback still sweeps everything"
+    );
+    assert_same_winner(
+        &reply.best.expect("degraded tune found a winner"),
+        &direct_winner(&graph, &machine, 20),
+    );
+
+    let fleet = coord.stats().fleet.unwrap();
+    assert!(fleet.local_fallback_ranges >= 1);
+    assert_eq!(fleet.degraded_tunes, 1, "the whole tune ran locally");
+
+    coord.shutdown_and_join();
+}
+
+#[test]
+fn corrupt_reply_is_discarded_and_the_range_retried() {
+    let graph = wide(12);
+    let machine = MachineConfig::linear(8);
+    let shards = start_shards(2);
+    // First connection through the proxy gets its reply payload
+    // corrupted (one flipped digit); later connections pass clean.
+    let proxy = FaultProxy::start(
+        shards[0].local_addr(),
+        FaultPlan::script(vec![FaultAction::Corrupt]),
+    )
+    .unwrap();
+    let addrs = vec![
+        proxy.local_addr().to_string(),
+        shards[1].local_addr().to_string(),
+    ];
+    let coord = start_coordinator(fleet_config(addrs));
+
+    let mut client = Client::connect(coord.local_addr()).unwrap();
+    let reply = client.tune(tune_request(&graph, &machine, 20)).unwrap();
+    assert_eq!(reply.evaluated, 20);
+    assert_same_winner(
+        &reply.best.expect("fleet found a winner"),
+        &direct_winner(&graph, &machine, 20),
+    );
+
+    let fleet = coord.stats().fleet.unwrap();
+    assert!(
+        fleet.corrupt_discarded >= 1,
+        "checksum should catch the flipped digit"
+    );
+    assert!(fleet.retries >= 1);
+
+    coord.shutdown_and_join();
+    proxy.stop();
+    for s in shards {
+        s.shutdown_and_join();
+    }
+}
+
+#[test]
+fn mid_reply_disconnect_is_retried() {
+    let graph = wide(12);
+    let machine = MachineConfig::linear(8);
+    let shards = start_shards(2);
+    let proxy = FaultProxy::start(
+        shards[0].local_addr(),
+        FaultPlan::script(vec![FaultAction::DisconnectMidReply]),
+    )
+    .unwrap();
+    let addrs = vec![
+        proxy.local_addr().to_string(),
+        shards[1].local_addr().to_string(),
+    ];
+    let coord = start_coordinator(fleet_config(addrs));
+
+    let mut client = Client::connect(coord.local_addr()).unwrap();
+    let reply = client.tune(tune_request(&graph, &machine, 20)).unwrap();
+    assert_eq!(reply.evaluated, 20);
+    assert_same_winner(
+        &reply.best.expect("fleet found a winner"),
+        &direct_winner(&graph, &machine, 20),
+    );
+    assert!(coord.stats().fleet.unwrap().retries >= 1);
+
+    coord.shutdown_and_join();
+    proxy.stop();
+    for s in shards {
+        s.shutdown_and_join();
+    }
+}
+
+#[test]
+fn slow_shard_is_hedged() {
+    let graph = wide(12);
+    let machine = MachineConfig::linear(8);
+    let shards = start_shards(2);
+    // Every connection to shard 0 stalls well past the hedge trigger.
+    let proxy = FaultProxy::start(
+        shards[0].local_addr(),
+        FaultPlan::script(vec![FaultAction::Delay(1200); 8]),
+    )
+    .unwrap();
+    let addrs = vec![
+        proxy.local_addr().to_string(),
+        shards[1].local_addr().to_string(),
+    ];
+    let mut config = fleet_config(addrs);
+    config.hedge_after = Some(Duration::from_millis(50));
+    let coord = start_coordinator(config);
+
+    let mut client = Client::connect(coord.local_addr()).unwrap();
+    let reply = client.tune(tune_request(&graph, &machine, 20)).unwrap();
+    assert_eq!(reply.evaluated, 20);
+    assert_same_winner(
+        &reply.best.expect("fleet found a winner"),
+        &direct_winner(&graph, &machine, 20),
+    );
+    assert!(
+        coord.stats().fleet.unwrap().hedges >= 1,
+        "the stalled range should have hedged"
+    );
+
+    coord.shutdown_and_join();
+    proxy.stop();
+    for s in shards {
+        s.shutdown_and_join();
+    }
+}
+
+#[test]
+fn stale_epoch_reply_is_discarded() {
+    let graph = wide(12);
+    let machine = MachineConfig::linear(8);
+    let shards = start_shards(1);
+
+    // A "lying" shard: speaks the protocol perfectly — well-formed
+    // frame, valid checksum, complete body — but stamps the wrong
+    // epoch, as a partitioned or wedged process replaying an old tune
+    // would. Only epoch validation can reject it.
+    let liar = TcpListener::bind("127.0.0.1:0").unwrap();
+    let liar_addr = liar.local_addr().unwrap().to_string();
+    thread::spawn(move || {
+        for _ in 0..4 {
+            let Ok((mut conn, _)) = liar.accept() else {
+                return;
+            };
+            let Ok(payload) = read_frame(&mut conn, DEFAULT_MAX_FRAME) else {
+                continue;
+            };
+            let Ok(Request::TuneShard(req)) = decode_request(&payload) else {
+                continue;
+            };
+            let count = req.candidates.len() as u64;
+            let body = TuneShardBody {
+                start_index: req.start_index,
+                count,
+                evaluated: count,
+                cancelled: false,
+                best: None,
+            };
+            let reply = TuneShardReply::seal(req.epoch + 777, body);
+            let _ = write_response(&mut conn, &Response::TuneSharded(reply));
+        }
+    });
+
+    let addrs = vec![liar_addr, shards[0].local_addr().to_string()];
+    let coord = start_coordinator(fleet_config(addrs));
+    let mut client = Client::connect(coord.local_addr()).unwrap();
+    let reply = client.tune(tune_request(&graph, &machine, 20)).unwrap();
+    assert_eq!(reply.evaluated, 20);
+    assert_same_winner(
+        &reply.best.expect("fleet found a winner"),
+        &direct_winner(&graph, &machine, 20),
+    );
+
+    let fleet = coord.stats().fleet.unwrap();
+    assert!(
+        fleet.stale_discarded >= 1,
+        "the old-epoch reply should have been rejected"
+    );
+
+    coord.shutdown_and_join();
+    for s in shards {
+        s.shutdown_and_join();
+    }
+}
+
+/// Satellite: a client that walks away mid-tune must not leave shards
+/// burning cores. Dropping the coordinator connection cancels the
+/// coordinator job, which drops its shard connections, which the
+/// shards observe as disconnects and abort their sub-searches.
+#[test]
+fn client_disconnect_cancels_inflight_shard_searches() {
+    let graph = wide(48);
+    let machine = MachineConfig::linear(8);
+    let shards = start_shards(1);
+    let addrs = vec![shards[0].local_addr().to_string()];
+    let coord = start_coordinator(fleet_config(addrs));
+
+    // Enough candidates that the shard-side search is comfortably
+    // still running when the client vanishes.
+    let mut stream = TcpStream::connect(coord.local_addr()).unwrap();
+    write_request(
+        &mut stream,
+        &Request::Tune(tune_request(&graph, &machine, 3000)),
+    )
+    .unwrap();
+
+    // Wait until the work has actually reached the shard...
+    let t0 = Instant::now();
+    while shards[0].stats().tune_shard.received == 0 {
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "shard never received the sub-range"
+        );
+        thread::sleep(Duration::from_millis(5));
+    }
+
+    // ...then hang up without reading the reply.
+    drop(stream);
+
+    // The cancellation must ripple all the way to the shard's metrics.
+    let t0 = Instant::now();
+    while shards[0].stats().cancelled == 0 {
+        assert!(
+            t0.elapsed() < Duration::from_secs(15),
+            "shard never observed the cancellation"
+        );
+        thread::sleep(Duration::from_millis(10));
+    }
+
+    coord.shutdown_and_join();
+    for s in shards {
+        s.shutdown_and_join();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Satellite: under any seeded fault plan — drops, delays,
+    /// truncations, corruptions, mid-reply disconnects, in any order —
+    /// the fleet's winner never changes. Plans are finite (connections
+    /// beyond the schedule pass clean), retries are bounded, and every
+    /// range has the local fallback, so the merged result is always the
+    /// full sweep.
+    #[test]
+    fn seeded_fault_plans_never_change_the_winner(
+        seed in any::<u64>(),
+        nodes in 4usize..10,
+        ncand in 8usize..24,
+    ) {
+        let graph = wide(nodes);
+        let machine = MachineConfig::linear(8);
+        let shards = start_shards(2);
+        let proxies: Vec<FaultProxy> = shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                FaultProxy::start(
+                    s.local_addr(),
+                    FaultPlan::seeded(seed.wrapping_add(i as u64), 5),
+                )
+                .unwrap()
+            })
+            .collect();
+        let addrs: Vec<String> = proxies.iter().map(|p| p.local_addr().to_string()).collect();
+        let coord = start_coordinator(fleet_config(addrs));
+
+        let mut client = Client::connect(coord.local_addr()).unwrap();
+        let reply = client.tune(tune_request(&graph, &machine, ncand)).unwrap();
+        let expected = direct_winner(&graph, &machine, ncand);
+        let served = reply.best.expect("fleet found a winner");
+
+        prop_assert!(!reply.cancelled);
+        prop_assert_eq!(reply.evaluated, ncand as u64);
+        prop_assert_eq!(&served.label, &expected.label);
+        prop_assert_eq!(served.score.to_bits(), expected.score.to_bits());
+        prop_assert_eq!(&served.resolved, &expected.resolved);
+
+        coord.shutdown_and_join();
+        for p in proxies {
+            p.stop();
+        }
+        for s in shards {
+            s.shutdown_and_join();
+        }
+    }
+}

@@ -174,7 +174,7 @@ proptest! {
                 predicted_energy_fj: slow * 1e6,
                 simulated_energy_fj: slow * 1e6,
             }),
-            Response::Stats(fm_serve::metrics::Metrics::default().snapshot(depth as usize)),
+            Response::Stats(Box::new(fm_serve::metrics::Metrics::default().snapshot(depth as usize))),
             Response::Busy(BusyReply { queue_depth: depth, queue_capacity: depth }),
             Response::ShuttingDown,
             Response::Failed(FailReply {

@@ -8,6 +8,12 @@
 //! `fm-serve` process), and `FM_SERVE_SHUTDOWN=1` to send the daemon a
 //! graceful drain-then-exit request at the end.
 //!
+//! `FM_SERVE_UNCACHED=1` sends the tune with `use_cache: false`. Cached
+//! tunes are pinned to the server they hit, so this is also the switch
+//! that lets a `--fleet` coordinator shard the search: point
+//! `FM_SERVE_ADDR` at a coordinator and the tune fans out across its
+//! backends (watch the `tune_shard` counters on the shards move).
+//!
 //! Run with: `cargo run --release --example mapping_service`
 
 use fm_repro::core::machine::MachineConfig;
@@ -69,7 +75,7 @@ fn main() {
             max_candidates: None,
             convergence_window: None,
             refinement: None,
-            use_cache: true,
+            use_cache: std::env::var("FM_SERVE_UNCACHED").as_deref() != Ok("1"),
         })
         .expect("tune");
     let best = reply.best.expect("a legal mapping exists");
