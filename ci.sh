@@ -36,6 +36,12 @@ echo "== fleet-faults: sharded-search chaos suite + E16 smoke =="
 cargo test --release -q -p fm-serve --test fleet_faults
 cargo run --release -q -p fm-bench --bin table_e16_fleet -- --quick --no-json >/dev/null
 
+echo "== E17 smoke: streaming + weighted beats blocking on a scripted straggler =="
+# 2-shard topology, shard 0 scripted slow: the binary itself asserts
+# winner parity, parts_merged > 0, zero discarded parts, and the
+# speedup bar, exiting non-zero on any violation.
+cargo run --release -q -p fm-bench --bin table_e17_stream -- --quick --no-json >/dev/null
+
 echo "== serve-smoke: daemon + example over the wire =="
 # Launch the real daemon on an ephemeral port, run the example against
 # it (FM_SERVE_SHUTDOWN=1 makes the example request the drain), and

@@ -1,0 +1,73 @@
+//! Regenerates the E17 table (streaming shard replies +
+//! latency-weighted partitioning on a scripted-straggler topology) and
+//! writes `BENCH_e17.json` with the raw rows.
+//!
+//! Validates the experiment's acceptance criteria and exits non-zero
+//! if any fails: bit-identical winner in every row, zero discarded
+//! streamed parts, streamed parts actually merged, and — on full runs
+//! — a ≥ 1.5× wall-clock win for streaming + weighted over blocking.
+//!
+//! `--quick` shrinks the tune count for a fast smoke run, e.g. from
+//! `ci.sh` (the speedup bar relaxes to 1.2×; short runs are noisier).
+//! `--json PATH` overrides the JSON output path; `--no-json`
+//! suppresses it.
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let no_json = args.iter().any(|a| a == "--no-json");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_e17.json".to_string());
+    let rows = fm_bench::e17_stream::run(quick);
+    print!("{}", fm_bench::e17_stream::print(&rows));
+
+    let mut failures = Vec::new();
+    for r in &rows {
+        if !r.winner_bit_identical {
+            failures.push(format!(
+                "{}: winner diverged from single-machine tune",
+                r.scenario
+            ));
+        }
+        if r.parts_discarded != 0 {
+            failures.push(format!(
+                "{}: {} streamed parts discarded (must be 0)",
+                r.scenario, r.parts_discarded
+            ));
+        }
+    }
+    if let Some(streaming) = rows.iter().find(|r| r.scenario == "streaming+weighted") {
+        if streaming.parts_merged == 0 {
+            failures.push("streaming+weighted: no parts merged".to_string());
+        }
+        let bar = if quick { 1.2 } else { 1.5 };
+        if streaming.speedup_vs_blocking < bar {
+            failures.push(format!(
+                "streaming+weighted: speedup {:.2}x under the {bar}x bar",
+                streaming.speedup_vs_blocking
+            ));
+        }
+    } else {
+        failures.push("missing streaming+weighted row".to_string());
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("table_e17_stream: FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+
+    if !no_json {
+        let doc = fm_bench::e17_stream::to_json(&rows);
+        match std::fs::write(&json_path, doc) {
+            Ok(()) => println!("\nwrote {json_path}"),
+            Err(e) => {
+                eprintln!("table_e17_stream: cannot write {json_path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -39,3 +39,4 @@ pub mod e13_recompute;
 pub mod e14_anneal;
 pub mod e15_serve;
 pub mod e16_fleet;
+pub mod e17_stream;

@@ -5,6 +5,7 @@
 //!          [--deadline-ms MS] [--cache DIR] [--max-frame BYTES]
 //!          [--fleet HOST:PORT,...] [--fleet-attempts N]
 //!          [--fleet-connect-ms MS] [--fleet-hedge-ms MS]
+//!          [--stream-every K] [--weighted on|off]
 //! ```
 //!
 //! With `--fleet`, this instance becomes a coordinator: eligible
@@ -27,6 +28,7 @@ fn usage() -> ! {
          \x20               [--deadline-ms MS] [--cache DIR] [--max-frame BYTES]\n\
          \x20               [--fleet HOST:PORT,...] [--fleet-attempts N]\n\
          \x20               [--fleet-connect-ms MS] [--fleet-hedge-ms MS]\n\
+         \x20               [--stream-every K] [--weighted on|off]\n\
          \n\
          \x20 --addr HOST:PORT   bind address (default 127.0.0.1:7171; port 0 = ephemeral)\n\
          \x20 --workers N        request worker threads (default 2)\n\
@@ -40,7 +42,12 @@ fn usage() -> ! {
          \x20                          fallback (default 3)\n\
          \x20 --fleet-connect-ms MS    per-attempt connect timeout (default 250)\n\
          \x20 --fleet-hedge-ms MS      hedge stragglers after MS; 0 disables\n\
-         \x20                          (default 500)"
+         \x20                          (default 500)\n\
+         \x20 --stream-every K         shards stream a sealed partial result every K\n\
+         \x20                          evaluated candidates; 0 = classic blocking\n\
+         \x20                          replies (default 16)\n\
+         \x20 --weighted on|off        size shard ranges by observed per-shard EWMA\n\
+         \x20                          throughput instead of equally (default on)"
     );
     std::process::exit(2);
 }
@@ -62,6 +69,8 @@ fn main() -> ExitCode {
     let mut fleet_attempts: Option<u32> = None;
     let mut fleet_connect_ms: Option<u64> = None;
     let mut fleet_hedge_ms: Option<u64> = None;
+    let mut stream_every: Option<u64> = None;
+    let mut weighted: Option<bool> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -102,6 +111,15 @@ fn main() -> ExitCode {
                 fleet_connect_ms = Some(parse_num("--fleet-connect-ms", args.next()))
             }
             "--fleet-hedge-ms" => fleet_hedge_ms = Some(parse_num("--fleet-hedge-ms", args.next())),
+            "--stream-every" => stream_every = Some(parse_num("--stream-every", args.next())),
+            "--weighted" => match args.next().as_deref() {
+                Some("on") => weighted = Some(true),
+                Some("off") => weighted = Some(false),
+                _ => {
+                    eprintln!("fm-serve: --weighted needs `on` or `off`");
+                    usage();
+                }
+            },
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("fm-serve: unknown argument {other:?}");
@@ -121,8 +139,19 @@ fn main() -> ExitCode {
         if let Some(ms) = fleet_hedge_ms {
             fleet.hedge_after = (ms > 0).then(|| Duration::from_millis(ms));
         }
+        if let Some(k) = stream_every {
+            fleet.stream_every = (k > 0).then_some(k);
+        }
+        if let Some(w) = weighted {
+            fleet.weighted = w;
+        }
         config.fleet = Some(fleet);
-    } else if fleet_attempts.is_some() || fleet_connect_ms.is_some() || fleet_hedge_ms.is_some() {
+    } else if fleet_attempts.is_some()
+        || fleet_connect_ms.is_some()
+        || fleet_hedge_ms.is_some()
+        || stream_every.is_some()
+        || weighted.is_some()
+    {
         eprintln!("fm-serve: --fleet-* knobs need --fleet HOST:PORT,...");
         usage();
     }

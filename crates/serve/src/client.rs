@@ -14,7 +14,8 @@ use std::time::Duration;
 use crate::metrics::StatsReply;
 use crate::protocol::{
     read_response, write_request, BusyReply, EvaluateReply, EvaluateRequest, FailReply, Request,
-    Response, SimulateReply, SimulateRequest, TuneReply, TuneRequest, WireError, DEFAULT_MAX_FRAME,
+    Response, SimulateReply, SimulateRequest, TuneReply, TuneRequest, TuneShardPart,
+    TuneShardReply, TuneShardRequest, WireError, DEFAULT_MAX_FRAME,
 };
 
 /// What went wrong with a request, from the client's point of view.
@@ -153,6 +154,30 @@ impl Client {
         match self.checked(&Request::Tune(request))? {
             Response::Tuned(r) => Ok(r),
             other => Err(ClientError::Unexpected(other.kind())),
+        }
+    }
+
+    /// Run one shard-range sub-search, collecting any streamed
+    /// [`TuneShardPart`] frames (in arrival order) until the terminal
+    /// [`TuneShardReply`] lands. With `stream_every: None` the parts
+    /// vector is simply empty. Frames are returned as received —
+    /// verification (epoch echo, checksum, completeness) is the
+    /// caller's job, exactly as it is the fleet coordinator's.
+    pub fn tune_shard(
+        &mut self,
+        request: TuneShardRequest,
+    ) -> Result<(Vec<TuneShardPart>, TuneShardReply), ClientError> {
+        write_request(&mut self.stream, &Request::TuneShard(request)).map_err(WireError::Io)?;
+        let mut parts = Vec::new();
+        loop {
+            match read_response(&mut self.stream, self.max_frame)? {
+                Response::TuneShardPart(part) => parts.push(part),
+                Response::TuneSharded(reply) => return Ok((parts, reply)),
+                Response::Busy(b) => return Err(ClientError::Busy(b)),
+                Response::ShuttingDown => return Err(ClientError::ShuttingDown),
+                Response::Failed(e) => return Err(ClientError::Failed(e)),
+                other => return Err(ClientError::Unexpected(other.kind())),
+            }
         }
     }
 

@@ -49,6 +49,24 @@ pub enum FaultAction {
     /// Forward the request and two thirds of the reply payload, then
     /// close mid-frame (the shard "died" while answering).
     DisconnectMidReply,
+    /// Forward reply frames faithfully until frame `n` (0-based), flip
+    /// one ASCII digit inside that frame, then keep forwarding. With
+    /// streaming replies this corrupts a single [`TuneShardPart`] in
+    /// the middle of an otherwise healthy stream — only its checksum
+    /// can tell.
+    ///
+    /// [`TuneShardPart`]: crate::protocol::TuneShardPart
+    CorruptFrame(u32),
+    /// Forward reply frames faithfully until frame `n` (0-based), send
+    /// that frame's length prefix and the first third of its payload,
+    /// then close — EOF inside a mid-stream part, after real progress
+    /// was already delivered.
+    TruncateFrame(u32),
+    /// Forward everything, but sleep this many milliseconds before
+    /// each reply frame: a shard whose *stream* is slow. Blocking
+    /// coordinators see one big stall; streaming coordinators watch
+    /// the covered watermark crawl and can judge the shard per frame.
+    StallBetweenFrames(u64),
 }
 
 /// splitmix64: the one-shot bit mixer used wherever the fleet needs
@@ -91,13 +109,16 @@ impl FaultPlan {
         let actions = (0..len as u64)
             .map(|i| {
                 let r = mix64(seed ^ mix64(i));
-                match r % 6 {
+                match r % 9 {
                     0 => FaultAction::Pass,
                     1 => FaultAction::Drop,
                     2 => FaultAction::Delay(10 + (r >> 8) % 50),
                     3 => FaultAction::Truncate,
                     4 => FaultAction::Corrupt,
-                    _ => FaultAction::DisconnectMidReply,
+                    5 => FaultAction::DisconnectMidReply,
+                    6 => FaultAction::CorruptFrame(((r >> 8) % 4) as u32),
+                    7 => FaultAction::TruncateFrame(((r >> 8) % 4) as u32),
+                    _ => FaultAction::StallBetweenFrames(5 + (r >> 8) % 30),
                 }
             })
             .collect();
@@ -350,31 +371,54 @@ fn proxy_connection(
         (handle, stop2)
     };
 
-    // Reply direction: frame-aware, so faults land *inside* frames.
+    // Reply direction: frame-aware, so faults land *inside* frames —
+    // and frame-indexed, so stream-aware faults land on a *specific*
+    // frame of a multi-part reply.
+    let mut frame: u32 = 0;
     while let Some(mut payload) = read_frame_stoppable(&mut upstream, stop) {
         let len = payload.len() as u32;
-        let sent = match action {
-            FaultAction::Pass | FaultAction::Delay(_) => client
+        let forward = |client: &mut TcpStream, payload: &[u8]| {
+            client
                 .write_all(&len.to_be_bytes())
-                .and_then(|()| client.write_all(&payload))
-                .map(|()| true),
+                .and_then(|()| client.write_all(payload))
+                .map(|()| true)
+        };
+        let cut = |client: &mut TcpStream, payload: &[u8], keep: usize| {
+            client
+                .write_all(&len.to_be_bytes())
+                .and_then(|()| client.write_all(&payload[..keep]))
+                .map(|()| false)
+        };
+        let sent = match action {
+            FaultAction::Pass | FaultAction::Delay(_) => forward(&mut client, &payload),
             FaultAction::Corrupt => {
                 corrupt_digit(&mut payload);
-                client
-                    .write_all(&len.to_be_bytes())
-                    .and_then(|()| client.write_all(&payload))
-                    .map(|()| true)
+                forward(&mut client, &payload)
             }
-            FaultAction::Truncate => client
-                .write_all(&len.to_be_bytes())
-                .and_then(|()| client.write_all(&payload[..payload.len() / 3]))
-                .map(|()| false),
-            FaultAction::DisconnectMidReply => client
-                .write_all(&len.to_be_bytes())
-                .and_then(|()| client.write_all(&payload[..payload.len() * 2 / 3]))
-                .map(|()| false),
+            FaultAction::CorruptFrame(n) => {
+                if frame == n {
+                    corrupt_digit(&mut payload);
+                }
+                forward(&mut client, &payload)
+            }
+            FaultAction::Truncate => cut(&mut client, &payload, payload.len() / 3),
+            FaultAction::TruncateFrame(n) => {
+                if frame == n {
+                    cut(&mut client, &payload, payload.len() / 3)
+                } else {
+                    forward(&mut client, &payload)
+                }
+            }
+            FaultAction::DisconnectMidReply => cut(&mut client, &payload, payload.len() * 2 / 3),
+            FaultAction::StallBetweenFrames(ms) => {
+                if !nap(ms, stop) {
+                    break;
+                }
+                forward(&mut client, &payload)
+            }
             FaultAction::Drop => unreachable!("Drop closes before any byte moves"),
         };
+        frame += 1;
         match sent {
             Ok(true) => continue,
             Ok(false) | Err(_) => break, // fault delivered (or client gone)

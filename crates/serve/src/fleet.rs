@@ -1,5 +1,6 @@
 //! The fleet coordinator: sharded candidate search that survives dead,
-//! slow, and lying shards.
+//! slow, and lying shards — and, since streaming, stops *wasting* the
+//! work slow shards already did.
 //!
 //! A server started with [`FleetConfig`] partitions each eligible
 //! `Tune` request's candidate list into contiguous sub-ranges and
@@ -14,27 +15,49 @@
 //! * the single-machine winner is the *first* strict minimum of the
 //!   score sequence (the tuner's frontier keeps the earliest index on
 //!   ties), which equals `min by (score, index)` over all candidates;
-//! * a shard reply is merged **only** when it is verified complete —
-//!   epoch echo, FNV-1a checksum over the canonical body, and
-//!   `evaluated == count` ([`TuneShardReply::verify`]); a reply that
-//!   fails any check is discarded and the sub-range is retried,
+//! * a frame is merged **only** when it is verified — epoch echo and
+//!   FNV-1a checksum over the canonical body
+//!   ([`TuneShardReply::verify`] / [`TuneShardPart::verify`]), and for
+//!   terminal replies `evaluated == count`; a frame that fails any
+//!   check is discarded and the uncovered suffix is retried,
 //!   reassigned, or evaluated locally, so every candidate is always
 //!   scored by exactly the same pure function on *some* machine;
-//! * merging range winners in ascending range order with a strict `<`
-//!   reproduces the first-minimum tie-break of a flat scan;
+//! * streamed parts are chunk-local first minima merged **only at the
+//!   covered watermark** (contiguous, in ascending index order) with a
+//!   strict `<`, which reproduces the first-minimum tie-break of a
+//!   flat scan; duplicate chunks from hedged attempts compare equal
+//!   and never displace the earlier merge;
 //! * annealing refinement depends only on the winner and the
 //!   configured seeds, so the coordinator applying it to the merged
 //!   winner ([`Tuner::refine_winner`]) is bit-equal to a local tune
 //!   applying it to the same winner.
 //!
+//! **Streaming** (`stream_every = Some(k)`): shards announce each
+//! finished chunk of `k` candidates as a sealed
+//! [`TuneShardPart`] frame. The coordinator folds verified parts into
+//! a per-range *covered watermark*; when an attempt then dies, only
+//! the uncovered suffix is re-dispatched (retry, hedge, or local
+//! fallback), and the moment a range is fully covered every other
+//! attempt on it is abandoned — dropping the socket is what tells the
+//! shard to cancel its remaining sub-search.
+//!
+//! **Latency-weighted partitioning** (`weighted = true`): part and
+//! reply arrival times feed a per-shard EWMA throughput tracker in the
+//! metrics registry (persisted across requests); range sizes are then
+//! apportioned to shards by largest-remainder on those weights, so a
+//! chronically slow shard gets a proportionally small range instead of
+//! stalling the whole tune. Cold shards inherit the warm mean; an
+//! all-cold fleet deterministically degenerates to the equal split.
+//!
 //! Robustness plumbing, per sub-range: bounded retries with
 //! exponential backoff and deterministic jitter, hedged duplicate
-//! requests past a straggler threshold, a per-shard circuit breaker
-//! (closed → open on consecutive failures → half-open probe after a
-//! cooldown), re-assignment of a failed shard's range to survivors,
-//! and — when every shard path is down — local evaluation on the
-//! coordinator's own pool. Degradation changes latency, never the
-//! answer.
+//! requests past a straggler threshold (re-hedging is allowed once the
+//! previous hedge demonstrably made progress), a per-shard circuit
+//! breaker (closed → open on consecutive failures → half-open probe
+//! after a cooldown), re-assignment of a failed shard's suffix to
+//! survivors, and — when every shard path is down — local evaluation
+//! of the *uncovered suffix only* on the coordinator's own pool.
+//! Degradation changes latency, never the answer.
 //!
 //! The fleet path does not consult the tuning cache (requests with
 //! `use_cache` stay local, where the cache lives), and requests with a
@@ -43,7 +66,7 @@
 //! evaluated.
 
 use std::io::Write as _;
-use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
@@ -52,14 +75,17 @@ use parking_lot::Mutex;
 
 use fm_autotune::{Budget, CancelToken, TunedMapping, Tuner};
 use fm_core::cost::Evaluator;
-use fm_core::search::MappingCandidate;
+use fm_core::dataflow::DataflowGraph;
+use fm_core::machine::MachineConfig;
+use fm_core::search::{FigureOfMerit, MappingCandidate};
 use fm_workspan::ThreadPool;
 
 use crate::fault::mix64;
 use crate::metrics::{breaker_state, FleetMetrics};
 use crate::protocol::{
-    decode_response, encode_request, Request, Response, ShardReplyFlaw, TuneReply, TuneRequest,
-    TuneShardBody, TuneShardRequest, DEFAULT_MAX_FRAME,
+    decode_response, encode_request, Request, Response, ShardBest, ShardReplyFlaw, TuneReply,
+    TuneRequest, TuneShardBody, TuneShardPartBody, TuneShardRequest, WireCandidate,
+    DEFAULT_MAX_FRAME,
 };
 
 /// Fleet-coordinator tunables. Defaults are production-ish; tests
@@ -69,19 +95,25 @@ pub struct FleetConfig {
     /// Backend shard addresses (`host:port`), in preference order.
     pub shards: Vec<String>,
     /// TCP connect timeout per attempt (a black-holed shard must fail
-    /// fast, not hang the range).
+    /// fast, not hang the range). Applied to every dial the
+    /// coordinator makes, further clamped by the attempt deadline.
     pub connect_timeout: Duration,
-    /// End-to-end cap on one attempt (connect + write + reply).
+    /// Inactivity cap on one attempt: the time budget to the *next*
+    /// frame (streamed part or terminal reply), reset whenever a
+    /// verified frame arrives. For blocking attempts this is the
+    /// end-to-end cap it always was.
     pub attempt_timeout: Duration,
     /// Waves of attempts per sub-range before giving up on the network
-    /// and evaluating the range locally.
+    /// and evaluating the (remaining) range locally.
     pub attempts: u32,
     /// First-retry backoff; doubles each wave.
     pub backoff_base: Duration,
     /// Backoff ceiling.
     pub backoff_max: Duration,
-    /// Launch a hedged duplicate to another shard when the primary has
-    /// not answered within this long (`None` disables hedging).
+    /// Launch a hedged duplicate of a range's uncovered suffix when
+    /// the primary has made no progress within this long (`None`
+    /// disables hedging). A further hedge wave is allowed each time
+    /// streamed progress shows the previous one is also stuck.
     pub hedge_after: Option<Duration>,
     /// Consecutive failures that trip a shard's breaker open.
     pub breaker_threshold: u32,
@@ -90,11 +122,17 @@ pub struct FleetConfig {
     pub breaker_cooldown: Duration,
     /// Minimum candidates per sub-range: below `2 ×` this a request is
     /// not worth sharding at all, and the partitioner never cuts a
-    /// range smaller than this.
+    /// range smaller than this (weighted or not).
     pub min_shard_candidates: usize,
     /// Seed for deterministic backoff jitter (and nothing else — the
     /// *answer* never depends on it).
     pub jitter_seed: u64,
+    /// Ask shards to stream a sealed part every this many evaluated
+    /// candidates. `None` (or `Some(0)`) restores the blocking
+    /// one-reply-per-range protocol.
+    pub stream_every: Option<u64>,
+    /// Size ranges by per-shard EWMA throughput instead of equally.
+    pub weighted: bool,
 }
 
 impl FleetConfig {
@@ -112,6 +150,8 @@ impl FleetConfig {
             breaker_cooldown: Duration::from_secs(2),
             min_shard_candidates: 2,
             jitter_seed: 0x5EED,
+            stream_every: Some(16),
+            weighted: true,
         }
     }
 }
@@ -144,7 +184,7 @@ pub struct Fleet {
 
 /// What one sub-range dispatch produced.
 struct RangeOutcome {
-    /// Candidates scored for this range (by a shard or locally).
+    /// Candidates scored for this range (by shards, locally, or both).
     evaluated: u64,
     /// The range's winner as `(absolute index, mapping)`; `None` when
     /// nothing in the range was legal (or the range was cancelled).
@@ -153,8 +193,171 @@ struct RangeOutcome {
     cancelled: bool,
     /// Whether a shard other than the range's first choice answered.
     reassigned: bool,
-    /// Whether the range fell back to local evaluation.
+    /// Whether the range (or its suffix) fell back to local
+    /// evaluation.
     local: bool,
+}
+
+/// Shared per-range state: the request materials every attempt needs,
+/// plus the merge ledger streamed parts fold into.
+struct RangeShared {
+    graph: DataflowGraph,
+    machine: MachineConfig,
+    fom: FigureOfMerit,
+    /// The range's candidate slice; `candidates[0]` is absolute `lo`.
+    candidates: Vec<WireCandidate>,
+    lo: usize,
+    hi: usize,
+    epoch: u64,
+    deadline: Option<Instant>,
+    stream_every: Option<u64>,
+    progress: Mutex<Progress>,
+    /// Latched once `covered == hi`: every attempt still in flight
+    /// abandons (dropping its socket cancels the shard's sub-search).
+    done: AtomicBool,
+}
+
+/// The merge ledger for one range. `covered` is the exclusive absolute
+/// watermark: every candidate in `[lo, covered)` has been scored and
+/// folded exactly once, by a verified frame or the local fallback.
+struct Progress {
+    covered: usize,
+    evaluated: u64,
+    best: Option<(u64, TunedMapping)>,
+}
+
+/// What merging one streamed part did.
+enum PartMerge {
+    /// Contiguous at the watermark: folded, watermark advanced.
+    Merged,
+    /// Entirely behind the watermark (a hedge already covered it):
+    /// ignored — duplicates are expected, not suspicious.
+    Duplicate,
+    /// Ahead of or straddling the watermark: the stream is out of sync
+    /// with the ledger (should be impossible for an honest shard —
+    /// chunk boundaries are aligned); discarded, attempt abandoned.
+    OutOfSync,
+}
+
+impl RangeShared {
+    fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    fn covered(&self) -> usize {
+        self.progress.lock().covered
+    }
+
+    /// Fold `(index, mapping)` into `best` with the ascending-order
+    /// strict `<` that reproduces a flat scan's first minimum.
+    fn fold_best(best: &mut Option<(u64, TunedMapping)>, win: Option<(u64, TunedMapping)>) {
+        if let Some((idx, w)) = win {
+            let better = match best {
+                Some((_, b)) => w.score < b.score,
+                None => true,
+            };
+            if better {
+                *best = Some((idx, w));
+            }
+        }
+    }
+
+    /// Merge one verified streamed part.
+    fn merge_part(&self, body: &TuneShardPartBody) -> PartMerge {
+        let mut p = self.progress.lock();
+        let start = body.start_index as usize;
+        let end = start + body.count as usize;
+        if end <= p.covered {
+            return PartMerge::Duplicate;
+        }
+        if start != p.covered || end > self.hi {
+            return PartMerge::OutOfSync;
+        }
+        p.covered = end;
+        p.evaluated += body.count;
+        Self::fold_best(&mut p.best, body.best.clone().map(shard_best_to_win));
+        if p.covered >= self.hi {
+            self.done.store(true, Ordering::Release);
+        }
+        PartMerge::Merged
+    }
+
+    /// Merge a verified-complete terminal reply covering
+    /// `[start_index, hi)`. Idempotent past the watermark: candidates
+    /// already covered by streamed parts are not recounted, and the
+    /// reply's best — the first minimum over its whole span — folds as
+    /// a no-op against chunk bests already merged (equal scores lose
+    /// to the earlier entry under strict `<`).
+    fn merge_terminal(&self, body: &TuneShardBody) {
+        let mut p = self.progress.lock();
+        let span_end = (body.start_index + body.count) as usize;
+        if span_end > p.covered {
+            p.evaluated += (span_end - p.covered) as u64;
+            p.covered = span_end;
+        }
+        Self::fold_best(&mut p.best, body.best.clone().map(shard_best_to_win));
+        if p.covered >= self.hi {
+            self.done.store(true, Ordering::Release);
+        }
+    }
+
+    /// Fold the local fallback's report over the suffix starting at
+    /// absolute index `suffix_lo`.
+    fn merge_local(&self, suffix_lo: usize, report: fm_autotune::TuneReport) {
+        let mut p = self.progress.lock();
+        p.evaluated += report.evaluated as u64;
+        p.covered = self.hi.min(suffix_lo + report.evaluated);
+        Self::fold_best(
+            &mut p.best,
+            report
+                .best_index
+                .zip(report.best)
+                .map(|(i, b)| ((suffix_lo + i) as u64, b)),
+        );
+        if p.covered >= self.hi {
+            self.done.store(true, Ordering::Release);
+        }
+    }
+
+    fn outcome(&self, cancelled: bool, reassigned: bool, local: bool) -> RangeOutcome {
+        let p = self.progress.lock();
+        RangeOutcome {
+            evaluated: p.evaluated,
+            win: p.best.clone(),
+            cancelled,
+            reassigned,
+            local,
+        }
+    }
+}
+
+fn shard_best_to_win(b: ShardBest) -> (u64, TunedMapping) {
+    (
+        b.index,
+        TunedMapping {
+            label: b.label,
+            resolved: b.resolved,
+            report: b.report,
+            score: b.score,
+        },
+    )
+}
+
+/// How one wire attempt ended.
+enum AttemptEnd {
+    /// The range is fully covered (this attempt merged the last piece
+    /// or witnessed it happen).
+    Covered,
+    /// Transport/verification failure; any parts this attempt merged
+    /// before failing remain merged (`saved` counts them).
+    Failed {
+        /// Candidates this attempt streamed back before dying — work a
+        /// blocking protocol would have discarded.
+        saved: u64,
+    },
+    /// The range resolved elsewhere or the tune was cancelled — exit
+    /// without blaming the shard.
+    Abandoned,
 }
 
 /// How an attempt's watched read ended.
@@ -164,7 +367,7 @@ enum WatchRead {
     /// The range resolved elsewhere or the tune was cancelled — exit
     /// without blaming the shard.
     Abandoned,
-    /// The attempt deadline passed (the shard is slow: blame it).
+    /// The frame deadline passed (the shard is slow: blame it).
     TimedOut,
     /// Transport failure or EOF mid-frame.
     Failed,
@@ -316,20 +519,33 @@ impl Fleet {
             .map(|c| MappingCandidate::new(c.label.clone(), c.mapping.clone()))
             .collect();
 
-        let ranges = partition(cap, self.shards.len(), self.config.min_shard_candidates);
+        let plan: Vec<(usize, usize, usize)> = if self.config.weighted {
+            partition_weighted(
+                cap,
+                self.shards.len(),
+                self.config.min_shard_candidates,
+                &self.metrics.shard_weights(),
+            )
+        } else {
+            partition(cap, self.shards.len(), self.config.min_shard_candidates)
+                .into_iter()
+                .enumerate()
+                .map(|(i, (lo, hi))| (lo, hi, i % self.shards.len().max(1)))
+                .collect()
+        };
         let outcomes: Vec<RangeOutcome> = std::thread::scope(|s| {
-            let handles: Vec<_> = ranges
+            let handles: Vec<_> = plan
                 .iter()
                 .enumerate()
-                .map(|(ri, &(lo, hi))| {
+                .map(|(ri, &(lo, hi, preferred))| {
                     let fleet = Arc::clone(self);
                     let req = &*req;
                     let locals = &local_candidates[lo..hi];
                     let evaluator = &evaluator;
                     s.spawn(move || {
                         run_range(
-                            &fleet, req, evaluator, locals, lo, hi, ri, epoch, deadline, cancel,
-                            pool,
+                            &fleet, req, evaluator, locals, lo, hi, ri, preferred, epoch, deadline,
+                            cancel, pool,
                         )
                     })
                 })
@@ -432,6 +648,118 @@ fn partition(cap: usize, nshards: usize, min_per: usize) -> Vec<(usize, usize)> 
     ranges
 }
 
+/// Latency-weighted split: `[0, cap)` into at most `nshards`
+/// contiguous ranges sized by largest-remainder apportionment over
+/// per-shard EWMA throughput `weights` (candidates/second; 0 = cold).
+/// Returns `(lo, hi, preferred_shard)` per range.
+///
+/// Deterministic fallbacks keep cold starts exact: a cold shard's
+/// weight is the mean of the warm ones, and an all-cold (or uniform)
+/// fleet produces byte-identical sizes to [`partition`], preferring
+/// shards in index order. `min_per` is enforced after apportionment by
+/// transferring candidates from the largest range, so a near-zero
+/// weight shrinks a range to the floor, never below it.
+fn partition_weighted(
+    cap: usize,
+    nshards: usize,
+    min_per: usize,
+    weights: &[f64],
+) -> Vec<(usize, usize, usize)> {
+    if cap == 0 || nshards == 0 {
+        return Vec::new();
+    }
+    let nranges = (cap / min_per.max(1)).clamp(1, nshards);
+    // Effective weights: cold/broken entries take the warm mean.
+    let mut w: Vec<f64> = (0..nshards)
+        .map(|i| weights.get(i).copied().unwrap_or(0.0))
+        .collect();
+    let warm: Vec<f64> = w
+        .iter()
+        .copied()
+        .filter(|x| x.is_finite() && *x > 0.0)
+        .collect();
+    let fill = if warm.is_empty() {
+        1.0
+    } else {
+        warm.iter().sum::<f64>() / warm.len() as f64
+    };
+    for x in &mut w {
+        if !x.is_finite() || *x <= 0.0 {
+            *x = fill;
+        }
+    }
+    // Fastest `nranges` shards get the work; ties prefer lower index
+    // (which also makes the uniform case identical to the unweighted
+    // round-robin placement).
+    let mut order: Vec<usize> = (0..nshards).collect();
+    order.sort_by(|&a, &b| {
+        w[b].partial_cmp(&w[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut chosen = order[..nranges].to_vec();
+    chosen.sort_unstable();
+    // Largest-remainder apportionment of `cap` over the chosen
+    // weights. With uniform weights every remainder ties and the
+    // leftovers go to the lowest positions — exactly `partition`'s
+    // `i < extra` rule.
+    let total: f64 = chosen.iter().map(|&i| w[i]).sum();
+    let mut sizes: Vec<usize> = Vec::with_capacity(nranges);
+    let mut rems: Vec<(f64, usize)> = Vec::with_capacity(nranges);
+    for (pos, &shard) in chosen.iter().enumerate() {
+        let quota = cap as f64 * w[shard] / total;
+        let floor = quota.floor() as usize;
+        sizes.push(floor.min(cap));
+        rems.push((quota - floor as f64, pos));
+    }
+    let assigned: usize = sizes.iter().sum();
+    let mut leftover = cap.saturating_sub(assigned);
+    rems.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.cmp(&b.1))
+    });
+    let mut next = 0usize;
+    while leftover > 0 {
+        sizes[rems[next % rems.len()].1] += 1;
+        leftover -= 1;
+        next += 1;
+    }
+    // Enforce the floor: top up starved ranges from the largest. The
+    // partitioner never makes more ranges than `cap / min_per`, so
+    // this always converges.
+    let floor = min_per.max(1).min(cap / nranges.max(1)).max(1);
+    loop {
+        let (min_pos, &min_size) = sizes
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, s)| *s)
+            .expect("nranges >= 1");
+        if min_size >= floor {
+            break;
+        }
+        let (max_pos, &max_size) = sizes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, s)| *s)
+            .expect("nranges >= 1");
+        if max_size <= floor {
+            break;
+        }
+        let move_n = (floor - min_size).min(max_size - floor);
+        sizes[max_pos] -= move_n;
+        sizes[min_pos] += move_n;
+    }
+    let mut ranges = Vec::with_capacity(nranges);
+    let mut lo = 0;
+    for (pos, &shard) in chosen.iter().enumerate() {
+        let hi = lo + sizes[pos];
+        ranges.push((lo, hi, shard));
+        lo = hi;
+    }
+    ranges
+}
+
 /// Deterministic backoff for wave `wave` of range `range`: exponential
 /// in the wave, plus splitmix64 jitter in `[0, half the backoff)`.
 fn backoff_with_jitter(config: &FleetConfig, epoch: u64, range: usize, wave: u32) -> Duration {
@@ -447,8 +775,10 @@ fn backoff_with_jitter(config: &FleetConfig, epoch: u64, range: usize, wave: u32
 }
 
 /// Drive one sub-range to a verified result: waves of shard attempts
-/// (with hedging inside a wave and backoff between waves), then local
-/// evaluation when the network is out of options.
+/// (with progress-aware hedging inside a wave and backoff between
+/// waves), each dispatching only the still-uncovered suffix, then
+/// local evaluation of whatever remains when the network is out of
+/// options.
 #[allow(clippy::too_many_arguments)]
 fn run_range(
     fleet: &Arc<Fleet>,
@@ -458,36 +788,46 @@ fn run_range(
     lo: usize,
     hi: usize,
     range_idx: usize,
+    preferred: usize,
     epoch: u64,
     deadline: Option<Instant>,
     cancel: &CancelToken,
     pool: &ThreadPool,
 ) -> RangeOutcome {
-    let nshards = fleet.shards.len();
-    let preferred = range_idx % nshards.max(1);
-    let payload = Arc::new(encode_request(&Request::TuneShard(TuneShardRequest {
+    let range = Arc::new(RangeShared {
         graph: req.graph.clone(),
         machine: req.machine.clone(),
         fom: req.fom,
         candidates: req.candidates[lo..hi].to_vec(),
-        start_index: lo as u64,
+        lo,
+        hi,
         epoch,
-        deadline_ms: deadline
-            .map(|d| (d.saturating_duration_since(Instant::now()).as_millis() as u64).max(1)),
-    })));
-    let done = Arc::new(AtomicBool::new(false));
-    let (tx, rx) = mpsc::channel::<(usize, bool, Result<TuneShardBody, ()>)>();
+        deadline,
+        stream_every: fleet.config.stream_every.filter(|&k| k > 0),
+        progress: Mutex::new(Progress {
+            covered: lo,
+            evaluated: 0,
+            best: None,
+        }),
+        done: AtomicBool::new(false),
+    });
+    let (tx, rx) = mpsc::channel::<(usize, bool, AttemptEnd)>();
 
-    let spawn_attempt = |shard: usize, hedge: bool| {
+    let spawn_attempt = |shard: usize, hedge: bool, attempt_lo: usize| {
         let fleet = Arc::clone(fleet);
-        let payload = Arc::clone(&payload);
-        let done = Arc::clone(&done);
+        let range = Arc::clone(&range);
         let cancel = cancel.clone();
         let tx = tx.clone();
+        if attempt_lo > lo {
+            fleet
+                .metrics
+                .suffix_redispatches
+                .fetch_add(1, Ordering::Relaxed);
+        }
         std::thread::Builder::new()
             .name("fm-fleet-attempt".to_string())
             .spawn(move || {
-                let result = run_attempt(&fleet, shard, &payload, epoch, deadline, &cancel, &done);
+                let result = run_attempt(&fleet, shard, &range, attempt_lo, &cancel);
                 let _ = tx.send((shard, hedge, result));
             })
             .expect("spawn fleet attempt thread");
@@ -496,7 +836,7 @@ fn run_range(
     let mut rotation = preferred;
     let mut wave = 0u32;
     'waves: while wave < fleet.config.attempts.max(1) {
-        if cancel.is_cancelled() {
+        if cancel.is_cancelled() || range.is_done() {
             break;
         }
         let Some(primary) = fleet.next_available(&mut rotation, None) else {
@@ -506,49 +846,65 @@ fn run_range(
             fleet.metrics.retries.fetch_add(1, Ordering::Relaxed);
         }
         let wave_start = Instant::now();
-        spawn_attempt(primary, false);
+        spawn_attempt(primary, false, range.covered());
         let mut in_flight = 1u32;
-        let mut hedged = false;
+        // Progress-aware hedging: the first hedge fires once the wave
+        // is overdue; a further hedge is allowed each time the covered
+        // watermark has advanced since the last one (someone is alive
+        // but slow) and another hedge interval has elapsed.
+        let mut last_hedge: Option<Instant> = None;
+        let mut covered_at_last_hedge = 0usize;
         while in_flight > 0 {
             match rx.recv_timeout(Duration::from_millis(25)) {
-                Ok((shard, was_hedge, Ok(body))) => {
-                    done.store(true, Ordering::Release);
+                Ok((shard, was_hedge, AttemptEnd::Covered)) => {
+                    range.done.store(true, Ordering::Release);
                     if was_hedge {
                         fleet.metrics.hedge_wins.fetch_add(1, Ordering::Relaxed);
                     }
-                    return RangeOutcome {
-                        evaluated: body.evaluated,
-                        win: body.best.map(|b| {
-                            (
-                                b.index,
-                                TunedMapping {
-                                    label: b.label,
-                                    resolved: b.resolved,
-                                    report: b.report,
-                                    score: b.score,
-                                },
-                            )
-                        }),
-                        cancelled: false,
-                        reassigned: shard != preferred,
-                        local: false,
-                    };
+                    return range.outcome(false, shard != preferred, false);
                 }
-                Ok((_, _, Err(()))) => in_flight -= 1,
+                Ok((_, _, AttemptEnd::Failed { saved })) => {
+                    if saved > 0 {
+                        fleet
+                            .metrics
+                            .prefix_candidates_saved
+                            .fetch_add(saved, Ordering::Relaxed);
+                    }
+                    if range.is_done() {
+                        // The failing attempt's parts completed the
+                        // range even though its terminal never
+                        // verified.
+                        return range.outcome(false, false, false);
+                    }
+                    in_flight -= 1;
+                }
+                Ok((_, _, AttemptEnd::Abandoned)) => {
+                    if range.is_done() {
+                        return range.outcome(false, false, false);
+                    }
+                    in_flight -= 1;
+                }
                 Err(mpsc::RecvTimeoutError::Timeout) => {
                     if cancel.is_cancelled() {
                         break 'waves;
                     }
-                    let overdue = fleet
-                        .config
-                        .hedge_after
-                        .is_some_and(|h| wave_start.elapsed() >= h);
-                    if overdue && !hedged {
-                        hedged = true; // one hedge per wave, tops
+                    let Some(hedge_after) = fleet.config.hedge_after else {
+                        continue;
+                    };
+                    let covered_now = range.covered();
+                    let fire = match last_hedge {
+                        None => wave_start.elapsed() >= hedge_after,
+                        Some(at) => {
+                            covered_now > covered_at_last_hedge && at.elapsed() >= hedge_after
+                        }
+                    };
+                    if fire {
                         if let Some(buddy) = fleet.next_available(&mut rotation, Some(primary)) {
                             fleet.metrics.hedges.fetch_add(1, Ordering::Relaxed);
-                            spawn_attempt(buddy, true);
+                            spawn_attempt(buddy, true, covered_now);
                             in_flight += 1;
+                            last_hedge = Some(Instant::now());
+                            covered_at_last_hedge = covered_now;
                         }
                     }
                 }
@@ -566,24 +922,23 @@ fn run_range(
             }
         }
     }
-    done.store(true, Ordering::Release); // abandon any straggler attempt
+    range.done.store(true, Ordering::Release); // abandon any straggler attempt
 
     if cancel.is_cancelled() {
-        return RangeOutcome {
-            evaluated: 0,
-            win: None,
-            cancelled: true,
-            reassigned: false,
-            local: false,
-        };
+        return range.outcome(true, false, false);
+    }
+    if range.covered() >= hi {
+        return range.outcome(false, false, false);
     }
 
-    // Graceful degradation: score the range right here. Slower, never
-    // wrong — the same pure evaluation the shard would have run.
+    // Graceful degradation: score the *uncovered suffix* right here.
+    // Slower, never wrong — the same pure evaluation the shard would
+    // have run, minus everything streamed parts already banked.
     fleet
         .metrics
         .local_fallback_ranges
         .fetch_add(1, Ordering::Relaxed);
+    let suffix_lo = range.covered();
     let mut budget = Budget::unlimited();
     if let Some(d) = deadline {
         budget.deadline = Some(d.saturating_duration_since(Instant::now()));
@@ -592,104 +947,176 @@ fn run_range(
         .with_pool(pool)
         .with_budget(budget)
         .with_cancel(cancel.clone())
-        .tune(locals);
-    RangeOutcome {
-        evaluated: report.evaluated as u64,
-        win: report
-            .best_index
-            .zip(report.best)
-            .map(|(i, b)| ((lo + i) as u64, b)),
-        cancelled: report.cancelled,
-        reassigned: false,
-        local: true,
+        .tune(&locals[suffix_lo - lo..]);
+    let cancelled = report.cancelled;
+    range.merge_local(suffix_lo, report);
+    range.outcome(cancelled, false, true)
+}
+
+/// Dial one shard with the configured connect timeout, clamped by the
+/// attempt deadline, trying every resolved address. Every coordinator
+/// → shard connection goes through here — a black-holed shard costs at
+/// most `connect_timeout` per address, never the OS default.
+fn dial(fleet: &Fleet, shard: usize, until: Instant) -> Option<TcpStream> {
+    let budget = until.saturating_duration_since(Instant::now());
+    if budget.is_zero() {
+        return None;
     }
+    let timeout = fleet.config.connect_timeout.min(budget);
+    for addr in fleet.config.shards[shard].to_socket_addrs().ok()? {
+        if Instant::now() >= until {
+            return None;
+        }
+        if let Ok(stream) = TcpStream::connect_timeout(&addr, timeout) {
+            let _ = stream.set_nodelay(true);
+            return Some(stream);
+        }
+    }
+    None
 }
 
 /// One wire attempt against one shard: connect (bounded), send the
-/// pre-encoded request, read the reply under the attempt deadline,
-/// verify it. Reports breaker outcomes and discard metrics itself.
+/// request for the still-uncovered suffix `[attempt_lo, hi)`, then
+/// consume frames — folding verified streamed parts into the range's
+/// ledger as they arrive — until the range is covered, the terminal
+/// reply lands, or something breaks. Reports breaker outcomes, EWMA
+/// throughput observations, and discard metrics itself.
 fn run_attempt(
     fleet: &Fleet,
     shard: usize,
-    payload: &[u8],
-    epoch: u64,
-    deadline: Option<Instant>,
+    range: &RangeShared,
+    attempt_lo: usize,
     cancel: &CancelToken,
-    done: &AtomicBool,
-) -> Result<TuneShardBody, ()> {
+) -> AttemptEnd {
     let m = &fleet.metrics.shards[shard];
     m.sends.fetch_add(1, Ordering::Relaxed);
-    let until = {
+    let frame_deadline = || {
         let cap = Instant::now() + fleet.config.attempt_timeout;
-        deadline.map_or(cap, |d| cap.min(d))
+        range.deadline.map_or(cap, |d| cap.min(d))
     };
+    let mut until = frame_deadline();
 
-    let addr: SocketAddr = match fleet.config.shards[shard]
-        .to_socket_addrs()
-        .ok()
-        .and_then(|mut addrs| addrs.next())
-    {
-        Some(a) => a,
-        None => {
-            fleet.report_failure(shard);
-            return Err(());
-        }
+    let Some(mut stream) = dial(fleet, shard, until) else {
+        fleet.report_failure(shard);
+        return AttemptEnd::Failed { saved: 0 };
     };
-    let mut stream = match TcpStream::connect_timeout(&addr, fleet.config.connect_timeout) {
-        Ok(s) => s,
-        Err(_) => {
-            fleet.report_failure(shard);
-            return Err(());
-        }
-    };
-    let _ = stream.set_nodelay(true);
+    let payload = encode_request(&Request::TuneShard(TuneShardRequest {
+        graph: range.graph.clone(),
+        machine: range.machine.clone(),
+        fom: range.fom,
+        candidates: range.candidates[attempt_lo - range.lo..].to_vec(),
+        start_index: attempt_lo as u64,
+        epoch: range.epoch,
+        deadline_ms: range
+            .deadline
+            .map(|d| (d.saturating_duration_since(Instant::now()).as_millis() as u64).max(1)),
+        stream_every: range.stream_every,
+    }));
     let frame_len = payload.len() as u32;
     if stream
         .write_all(&frame_len.to_be_bytes())
-        .and_then(|()| stream.write_all(payload))
+        .and_then(|()| stream.write_all(&payload))
         .is_err()
     {
         fleet.report_failure(shard);
-        return Err(());
+        return AttemptEnd::Failed { saved: 0 };
     }
 
-    match watch_read(&mut stream, until, cancel, done) {
-        WatchRead::Frame(bytes) => match decode_response(&bytes) {
-            Ok(Response::TuneSharded(reply)) => match reply.verify(epoch) {
-                Ok(()) => {
-                    fleet.report_success(shard);
-                    Ok(reply.body)
-                }
-                Err(flaw) => {
-                    let counter = match flaw {
-                        ShardReplyFlaw::BadChecksum { .. } => &fleet.metrics.corrupt_discarded,
-                        ShardReplyFlaw::StaleEpoch { .. } => &fleet.metrics.stale_discarded,
-                        ShardReplyFlaw::Incomplete { .. } => &fleet.metrics.incomplete_discarded,
-                    };
-                    counter.fetch_add(1, Ordering::Relaxed);
-                    fleet.report_failure(shard);
-                    Err(())
-                }
-            },
-            // Busy, ShuttingDown, Failed, or protocol confusion: this
-            // path is unusable right now.
-            Ok(_) | Err(_) => {
-                fleet.report_failure(shard);
-                Err(())
-            }
-        },
-        WatchRead::TimedOut | WatchRead::Failed => {
-            fleet.report_failure(shard);
-            Err(())
+    // Per-frame consume loop. `saved` counts candidates this attempt
+    // merged; if the attempt later dies they are the streamed prefix a
+    // blocking protocol would have re-evaluated.
+    let mut saved = 0u64;
+    let mut last_mark = Instant::now();
+    let fail = |flaw: Option<&ShardReplyFlaw>, saved: u64| {
+        if let Some(flaw) = flaw {
+            let counter = match flaw {
+                ShardReplyFlaw::BadChecksum { .. } => &fleet.metrics.corrupt_discarded,
+                ShardReplyFlaw::StaleEpoch { .. } => &fleet.metrics.stale_discarded,
+                ShardReplyFlaw::Incomplete { .. } => &fleet.metrics.incomplete_discarded,
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
         }
-        // Abandoned attempts blame nobody: the shard may be healthy,
-        // the range just resolved without it. Dropping the socket is
-        // what tells the shard to cancel its sub-search.
-        WatchRead::Abandoned => Err(()),
+        fleet.report_failure(shard);
+        AttemptEnd::Failed { saved }
+    };
+    loop {
+        match watch_read(&mut stream, until, cancel, &range.done) {
+            WatchRead::Frame(bytes) => match decode_response(&bytes) {
+                Ok(Response::TuneShardPart(part)) => {
+                    if let Err(flaw) = part.verify(range.epoch) {
+                        fleet
+                            .metrics
+                            .parts_discarded
+                            .fetch_add(1, Ordering::Relaxed);
+                        return fail(Some(&flaw), saved);
+                    }
+                    match range.merge_part(&part.body) {
+                        PartMerge::Merged => {
+                            fleet.metrics.parts_merged.fetch_add(1, Ordering::Relaxed);
+                            m.parts.fetch_add(1, Ordering::Relaxed);
+                            m.observe_rate(part.body.count, last_mark.elapsed());
+                            last_mark = Instant::now();
+                            saved += part.body.count;
+                            if range.is_done() {
+                                fleet.report_success(shard);
+                                return AttemptEnd::Covered;
+                            }
+                            until = frame_deadline(); // progress resets the clock
+                        }
+                        PartMerge::Duplicate => {
+                            // A hedge already banked this chunk; the
+                            // frame still proves the shard is alive.
+                            until = frame_deadline();
+                        }
+                        PartMerge::OutOfSync => {
+                            fleet
+                                .metrics
+                                .parts_discarded
+                                .fetch_add(1, Ordering::Relaxed);
+                            return fail(None, saved);
+                        }
+                    }
+                }
+                Ok(Response::TuneSharded(reply)) => {
+                    return match reply.verify(range.epoch) {
+                        Ok(()) => {
+                            // The suffix past this attempt's own
+                            // streamed parts was evaluated since the
+                            // last mark (the whole span, if none).
+                            m.observe_rate(
+                                reply.body.count.saturating_sub(saved),
+                                last_mark.elapsed(),
+                            );
+                            range.merge_terminal(&reply.body);
+                            fleet.report_success(shard);
+                            if range.is_done() {
+                                AttemptEnd::Covered
+                            } else {
+                                // A complete terminal that does not
+                                // close the range means the ledger and
+                                // the stream disagree; retry the
+                                // suffix.
+                                AttemptEnd::Failed { saved }
+                            }
+                        }
+                        Err(flaw) => fail(Some(&flaw), saved),
+                    };
+                }
+                // Busy, ShuttingDown, Failed, or protocol confusion:
+                // this path is unusable right now.
+                Ok(_) | Err(_) => return fail(None, saved),
+            },
+            WatchRead::TimedOut | WatchRead::Failed => return fail(None, saved),
+            // Abandoned attempts blame nobody: the shard may be
+            // healthy, the range just resolved without it (or the tune
+            // was cancelled). Dropping the socket is what tells the
+            // shard to cancel its sub-search.
+            WatchRead::Abandoned => return AttemptEnd::Abandoned,
+        }
     }
 }
 
-/// Read one reply frame in short timeout slices, watching the attempt
+/// Read one reply frame in short timeout slices, watching the frame
 /// deadline, the tune-wide cancel token, and the range's `done` latch.
 fn watch_read(
     stream: &mut TcpStream,
@@ -788,6 +1215,141 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn weighted_partition_covers_exactly_and_respects_minimum() {
+        let weight_sets: &[&[f64]] = &[
+            &[],
+            &[0.0, 0.0, 0.0, 0.0, 0.0],
+            &[100.0, 1.0, 50.0, 0.0, 7.5],
+            &[1e-9, 1e9, 3.0, 3.0, 3.0],
+            &[f64::NAN, 10.0, f64::INFINITY, 2.0, 0.5],
+        ];
+        for &weights in weight_sets {
+            for cap in 0..40 {
+                for nshards in 1..6 {
+                    let plan = partition_weighted(cap, nshards, 3, weights);
+                    let mut expect = 0;
+                    for &(lo, hi, shard) in &plan {
+                        assert_eq!(lo, expect, "weights {weights:?} cap {cap}");
+                        assert!(hi > lo, "empty range for weights {weights:?} cap {cap}");
+                        assert!(shard < nshards);
+                        expect = hi;
+                    }
+                    assert_eq!(
+                        expect, cap,
+                        "weights {weights:?} cap {cap} nshards {nshards}"
+                    );
+                    assert!(plan.len() <= nshards);
+                    if plan.len() > 1 {
+                        for &(lo, hi, _) in &plan {
+                            assert!(hi - lo >= 3, "range {lo}..{hi} under minimum");
+                        }
+                    }
+                    // Preferred shards are distinct.
+                    let mut shards: Vec<usize> = plan.iter().map(|&(_, _, s)| s).collect();
+                    shards.dedup();
+                    assert_eq!(shards.len(), plan.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_partition_degenerates_to_equal_split_when_uniform() {
+        for cap in 1..60 {
+            for nshards in 1..6 {
+                let equal = partition(cap, nshards, 2);
+                for weights in [vec![], vec![5.0; nshards], vec![0.0; nshards]] {
+                    let plan = partition_weighted(cap, nshards, 2, &weights);
+                    let sizes: Vec<(usize, usize)> =
+                        plan.iter().map(|&(lo, hi, _)| (lo, hi)).collect();
+                    assert_eq!(
+                        sizes, equal,
+                        "uniform weights {weights:?} must equal the plain split \
+                         (cap {cap}, {nshards} shards)"
+                    );
+                    // And the placement is the old round-robin: range i
+                    // on shard i.
+                    for (i, &(_, _, shard)) in plan.iter().enumerate() {
+                        assert_eq!(shard, i);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_partition_gives_fast_shards_more_and_slow_shards_the_floor() {
+        // Shard 1 is 9× faster than shard 0: with 100 candidates split
+        // two ways it should take the lion's share, while shard 0
+        // still gets at least the floor.
+        let plan = partition_weighted(100, 2, 4, &[10.0, 90.0]);
+        assert_eq!(plan.len(), 2);
+        let size_of = |shard: usize| {
+            plan.iter()
+                .find(|&&(_, _, s)| s == shard)
+                .map(|&(lo, hi, _)| hi - lo)
+                .unwrap()
+        };
+        assert_eq!(size_of(0) + size_of(1), 100);
+        assert_eq!(size_of(0), 10);
+        assert_eq!(size_of(1), 90);
+        // An extreme weight cannot starve a range below the floor.
+        let plan = partition_weighted(20, 2, 4, &[1e-6, 1e6]);
+        let sizes: Vec<usize> = plan.iter().map(|&(lo, hi, _)| hi - lo).collect();
+        assert!(sizes.iter().all(|&s| s >= 4), "sizes {sizes:?}");
+        assert_eq!(sizes.iter().sum::<usize>(), 20);
+    }
+
+    #[test]
+    fn range_progress_merges_contiguous_parts_and_flags_the_rest() {
+        let range = RangeShared {
+            graph: DataflowGraph::new("progress", 32),
+            machine: MachineConfig::linear(4),
+            fom: FigureOfMerit::Time,
+            candidates: Vec::new(),
+            lo: 8,
+            hi: 16,
+            epoch: 1,
+            deadline: None,
+            stream_every: Some(4),
+            progress: Mutex::new(Progress {
+                covered: 8,
+                evaluated: 0,
+                best: None,
+            }),
+            done: AtomicBool::new(false),
+        };
+        let part = |start: u64, count: u64| TuneShardPartBody {
+            start_index: start,
+            count,
+            best: None,
+        };
+        // Ahead of the watermark: out of sync.
+        assert!(matches!(
+            range.merge_part(&part(12, 4)),
+            PartMerge::OutOfSync
+        ));
+        // Contiguous: merges and advances.
+        assert!(matches!(range.merge_part(&part(8, 4)), PartMerge::Merged));
+        assert_eq!(range.covered(), 12);
+        // Replay of a covered chunk (hedge duplicate): ignored.
+        assert!(matches!(
+            range.merge_part(&part(8, 4)),
+            PartMerge::Duplicate
+        ));
+        // Overhang past `hi`: out of sync.
+        assert!(matches!(
+            range.merge_part(&part(12, 8)),
+            PartMerge::OutOfSync
+        ));
+        // Final chunk completes the range and latches `done`.
+        assert!(!range.is_done());
+        assert!(matches!(range.merge_part(&part(12, 4)), PartMerge::Merged));
+        assert!(range.is_done());
+        assert_eq!(range.outcome(false, false, false).evaluated, 8);
     }
 
     #[test]

@@ -153,6 +153,9 @@ pub struct Metrics {
     pub cache_stale: AtomicU64,
     /// Connections accepted over the server's lifetime.
     pub connections: AtomicU64,
+    /// Streamed `TuneShardPart` frames this server emitted while
+    /// working sub-ranges for a fleet coordinator.
+    pub tune_shard_parts: AtomicU64,
     /// Fleet-coordinator counters, present only when this server runs
     /// with `--fleet` (set once at startup).
     pub fleet: Mutex<Option<Arc<FleetMetrics>>>,
@@ -178,6 +181,7 @@ impl Default for Metrics {
             cache_misses: AtomicU64::new(0),
             cache_stale: AtomicU64::new(0),
             connections: AtomicU64::new(0),
+            tune_shard_parts: AtomicU64::new(0),
             fleet: Mutex::new(None),
         }
     }
@@ -222,6 +226,7 @@ impl Metrics {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             cache_stale: self.cache_stale.load(Ordering::Relaxed),
+            tune_shard_parts: self.tune_shard_parts.load(Ordering::Relaxed),
             tune: self.tune.snapshot(),
             tune_shard: self.tune_shard.snapshot(),
             evaluate: self.evaluate.snapshot(),
@@ -263,7 +268,21 @@ pub struct ShardMetrics {
     pub breaker_opens: AtomicU64,
     /// Current breaker state gauge (see [`breaker_state`]).
     pub state: AtomicU8,
+    /// Streamed parts merged from this shard.
+    pub parts: AtomicU64,
+    /// EWMA of this shard's observed throughput in candidates/second,
+    /// stored as `f64` bits so frame-arrival observers stay lock-free.
+    /// 0.0 means cold (no observation yet) — the weighted partitioner
+    /// then substitutes the warm shards' mean, or an equal split when
+    /// every shard is cold.
+    ewma_rate_bits: AtomicU64,
 }
+
+/// EWMA smoothing factor for per-shard throughput: each new
+/// observation contributes 30%, so one slow frame dents but does not
+/// erase a shard's history, and a genuinely slow shard converges to
+/// its true rate within a few frames.
+pub const EWMA_ALPHA: f64 = 0.3;
 
 impl ShardMetrics {
     /// Fresh counters for one shard address.
@@ -275,7 +294,36 @@ impl ShardMetrics {
             failures: AtomicU64::new(0),
             breaker_opens: AtomicU64::new(0),
             state: AtomicU8::new(breaker_state::CLOSED),
+            parts: AtomicU64::new(0),
+            ewma_rate_bits: AtomicU64::new(0.0f64.to_bits()),
         }
+    }
+
+    /// Fold one throughput observation (`candidates` evaluated in
+    /// `elapsed` of shard wall time) into the EWMA. Observations of
+    /// zero duration or zero candidates carry no rate and are ignored.
+    pub fn observe_rate(&self, candidates: u64, elapsed: Duration) {
+        let secs = elapsed.as_secs_f64();
+        if candidates == 0 || secs <= 0.0 {
+            return;
+        }
+        let rate = candidates as f64 / secs;
+        // Lossy read-modify-write: racing observers may each fold
+        // against the same prior value and one update wins. That loses
+        // an observation, never corrupts the value — fine for a
+        // load-balancing hint.
+        let prev = f64::from_bits(self.ewma_rate_bits.load(Ordering::Relaxed));
+        let next = if prev <= 0.0 {
+            rate
+        } else {
+            EWMA_ALPHA * rate + (1.0 - EWMA_ALPHA) * prev
+        };
+        self.ewma_rate_bits.store(next.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current EWMA throughput in candidates/second (0.0 = cold).
+    pub fn ewma_rate(&self) -> f64 {
+        f64::from_bits(self.ewma_rate_bits.load(Ordering::Relaxed))
     }
 
     fn snapshot(&self) -> ShardStats {
@@ -291,6 +339,8 @@ impl ShardMetrics {
                 _ => "closed",
             }
             .to_string(),
+            parts: self.parts.load(Ordering::Relaxed),
+            ewma_cands_per_sec: self.ewma_rate(),
         }
     }
 }
@@ -325,6 +375,18 @@ pub struct FleetMetrics {
     /// Tunes in which *every* sub-range fell back locally (the fleet
     /// was effectively down; the answer is still exact).
     pub degraded_tunes: AtomicU64,
+    /// Streamed parts verified and merged into range progress.
+    pub parts_merged: AtomicU64,
+    /// Streamed parts discarded (bad checksum, stale epoch, or not
+    /// contiguous with the range's covered watermark).
+    pub parts_discarded: AtomicU64,
+    /// Retry/hedge attempts that re-dispatched only a range's
+    /// unfinished *suffix* (streamed progress made the prefix safe).
+    pub suffix_redispatches: AtomicU64,
+    /// Candidates whose evaluation was **not** repeated because a
+    /// failed or abandoned attempt had already streamed them back —
+    /// the work a blocking protocol would have thrown away.
+    pub prefix_candidates_saved: AtomicU64,
 }
 
 impl FleetMetrics {
@@ -345,6 +407,10 @@ impl FleetMetrics {
             reassignments: AtomicU64::new(0),
             local_fallback_ranges: AtomicU64::new(0),
             degraded_tunes: AtomicU64::new(0),
+            parts_merged: AtomicU64::new(0),
+            parts_discarded: AtomicU64::new(0),
+            suffix_redispatches: AtomicU64::new(0),
+            prefix_candidates_saved: AtomicU64::new(0),
         }
     }
 
@@ -362,7 +428,17 @@ impl FleetMetrics {
             reassignments: self.reassignments.load(Ordering::Relaxed),
             local_fallback_ranges: self.local_fallback_ranges.load(Ordering::Relaxed),
             degraded_tunes: self.degraded_tunes.load(Ordering::Relaxed),
+            parts_merged: self.parts_merged.load(Ordering::Relaxed),
+            parts_discarded: self.parts_discarded.load(Ordering::Relaxed),
+            suffix_redispatches: self.suffix_redispatches.load(Ordering::Relaxed),
+            prefix_candidates_saved: self.prefix_candidates_saved.load(Ordering::Relaxed),
         }
+    }
+
+    /// Current per-shard EWMA throughput weights, in configuration
+    /// order (0.0 = cold shard).
+    pub fn shard_weights(&self) -> Vec<f64> {
+        self.shards.iter().map(ShardMetrics::ewma_rate).collect()
     }
 }
 
@@ -382,6 +458,10 @@ pub struct ShardStats {
     /// Breaker state at snapshot time: `"closed"`, `"open"`, or
     /// `"half-open"`.
     pub breaker: String,
+    /// Streamed parts merged from this shard.
+    pub parts: u64,
+    /// EWMA throughput in candidates/second (0.0 = cold).
+    pub ewma_cands_per_sec: f64,
 }
 
 /// Wire snapshot of the fleet coordinator's counters.
@@ -409,6 +489,14 @@ pub struct FleetStatsReply {
     pub local_fallback_ranges: u64,
     /// Tunes that degraded entirely to local evaluation.
     pub degraded_tunes: u64,
+    /// Streamed parts verified and merged.
+    pub parts_merged: u64,
+    /// Streamed parts discarded (corrupt, stale, or non-contiguous).
+    pub parts_discarded: u64,
+    /// Retries/hedges that re-dispatched only an unfinished suffix.
+    pub suffix_redispatches: u64,
+    /// Candidates saved from re-evaluation by streamed prefixes.
+    pub prefix_candidates_saved: u64,
 }
 
 /// Latency summary for one endpoint, in microseconds.
@@ -466,6 +554,8 @@ pub struct StatsReply {
     pub cache_misses: u64,
     /// Tuning-cache stale entries.
     pub cache_stale: u64,
+    /// Streamed `TuneShardPart` frames emitted (as a fleet backend).
+    pub tune_shard_parts: u64,
     /// `Tune` counters.
     pub tune: EndpointStats,
     /// `TuneShard` counters (work done as a fleet backend).
@@ -559,6 +649,28 @@ mod tests {
         let text = serde_json::to_string(&snap).unwrap();
         let back: StatsReply = serde_json::from_str(&text).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn ewma_rate_warms_up_and_tracks_observations() {
+        let s = ShardMetrics::new("127.0.0.1:1".into());
+        assert_eq!(s.ewma_rate(), 0.0, "cold shard reports 0");
+        // Degenerate observations carry no rate.
+        s.observe_rate(0, Duration::from_millis(10));
+        s.observe_rate(5, Duration::ZERO);
+        assert_eq!(s.ewma_rate(), 0.0);
+        // First real observation seeds the EWMA directly.
+        s.observe_rate(100, Duration::from_secs(1));
+        assert!((s.ewma_rate() - 100.0).abs() < 1e-9);
+        // Subsequent observations blend with weight EWMA_ALPHA.
+        s.observe_rate(200, Duration::from_secs(1));
+        let want = EWMA_ALPHA * 200.0 + (1.0 - EWMA_ALPHA) * 100.0;
+        assert!((s.ewma_rate() - want).abs() < 1e-9);
+        // Repeated identical observations converge to that rate.
+        for _ in 0..64 {
+            s.observe_rate(50, Duration::from_secs(1));
+        }
+        assert!((s.ewma_rate() - 50.0).abs() < 1.0);
     }
 
     #[test]

@@ -95,6 +95,11 @@ pub struct TuneShardRequest {
     pub epoch: u64,
     /// Per-request deadline in milliseconds, measured from admission.
     pub deadline_ms: Option<u64>,
+    /// Stream a checksummed [`TuneShardPart`] frame back every this
+    /// many evaluated candidates, so the coordinator can merge a
+    /// straggler's finished prefix incrementally instead of forfeiting
+    /// it. `None` (or 0) keeps the classic single blocking reply.
+    pub stream_every: Option<u64>,
 }
 
 /// The winning candidate of one shard's sub-range.
@@ -252,6 +257,81 @@ impl std::fmt::Display for ShardReplyFlaw {
                 write!(f, "incomplete range: {evaluated} of {count} evaluated")
             }
         }
+    }
+}
+
+/// The checksummed payload of a [`TuneShardPart`]: one finished chunk
+/// of a streaming shard search. `start_index`/`count` delimit the
+/// chunk; `best` is the first-minimum over *this chunk only* (the
+/// coordinator folds chunks in ascending order with a strict `<`, so
+/// the streamed merge reproduces the flat scan's first minimum
+/// exactly).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuneShardPartBody {
+    /// Absolute index of the chunk's first candidate.
+    pub start_index: u64,
+    /// Candidates this chunk covers. A part is only emitted once the
+    /// whole chunk was evaluated — there are no partial parts; an
+    /// interrupted chunk is simply never announced.
+    pub count: u64,
+    /// The chunk's winner (`None` when nothing in it was legal).
+    pub best: Option<ShardBest>,
+}
+
+/// One streamed partial result: an epoch echo, a checksum over the
+/// canonical serialization of the body, and the body. Same integrity
+/// contract as [`TuneShardReply`] — corruption is detectable, stale
+/// parts are identifiable — applied per chunk, so a straggler's
+/// finished prefix survives even when the connection later dies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuneShardPart {
+    /// Echo of the request epoch.
+    pub epoch: u64,
+    /// FNV-1a 64 over `epoch` (8 bytes, big-endian) followed by the
+    /// canonical JSON serialization of `body`.
+    pub checksum: u64,
+    /// The checksummed payload.
+    pub body: TuneShardPartBody,
+}
+
+impl TuneShardPart {
+    /// The checksum a well-formed part carries for `(epoch, body)`.
+    pub fn checksum_of(epoch: u64, body: &TuneShardPartBody) -> u64 {
+        let canon = serde_json::to_string(body).expect("shard part body serializes");
+        let mut bytes = Vec::with_capacity(8 + canon.len());
+        bytes.extend_from_slice(&epoch.to_be_bytes());
+        bytes.extend_from_slice(canon.as_bytes());
+        fnv1a64(&bytes)
+    }
+
+    /// Build a part with the checksum sealed in.
+    pub fn seal(epoch: u64, body: TuneShardPartBody) -> TuneShardPart {
+        TuneShardPart {
+            epoch,
+            checksum: Self::checksum_of(epoch, &body),
+            body,
+        }
+    }
+
+    /// Validate a received part against the epoch the coordinator
+    /// sent. `Err` names the first flaw found. (Parts are complete by
+    /// construction, so [`ShardReplyFlaw::Incomplete`] never arises
+    /// here.)
+    pub fn verify(&self, expected_epoch: u64) -> Result<(), ShardReplyFlaw> {
+        if self.epoch != expected_epoch {
+            return Err(ShardReplyFlaw::StaleEpoch {
+                got: self.epoch,
+                expected: expected_epoch,
+            });
+        }
+        let want = Self::checksum_of(self.epoch, &self.body);
+        if self.checksum != want {
+            return Err(ShardReplyFlaw::BadChecksum {
+                got: self.checksum,
+                expected: want,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -419,6 +499,10 @@ pub enum Response {
     Tuned(TuneReply),
     /// Answer to [`Request::TuneShard`].
     TuneSharded(TuneShardReply),
+    /// Streamed partial result of a [`Request::TuneShard`] with
+    /// `stream_every` set: zero or more of these precede the terminal
+    /// [`Response::TuneSharded`] on the same connection.
+    TuneShardPart(TuneShardPart),
     /// Answer to [`Request::Evaluate`].
     Evaluated(EvaluateReply),
     /// Answer to [`Request::Simulate`].
@@ -443,6 +527,7 @@ impl Response {
             Response::Pong => "pong",
             Response::Tuned(_) => "tuned",
             Response::TuneSharded(_) => "tune-sharded",
+            Response::TuneShardPart(_) => "tune-shard-part",
             Response::Evaluated(_) => "evaluated",
             Response::Simulated(_) => "simulated",
             Response::Stats(_) => "stats",
@@ -784,6 +869,66 @@ mod tests {
             // Flips that break JSON shape are caught even earlier.
             if let Ok(Response::TuneSharded(r)) = decode_response(&forged) {
                 assert!(r.verify(7).is_err(), "undetected flip at byte {i}");
+                flipped_any = true;
+            }
+        }
+        assert!(flipped_any, "at least one flip must decode and be caught");
+    }
+
+    #[test]
+    fn shard_part_seal_verifies_and_flaws_are_detected() {
+        let body = TuneShardPartBody {
+            start_index: 16,
+            count: 8,
+            best: None,
+        };
+        let part = TuneShardPart::seal(3, body.clone());
+        assert!(part.verify(3).is_ok());
+        assert!(matches!(
+            part.verify(4),
+            Err(ShardReplyFlaw::StaleEpoch {
+                got: 3,
+                expected: 4
+            })
+        ));
+        let mut tampered = part.clone();
+        tampered.body.count = 9;
+        assert!(matches!(
+            tampered.verify(3),
+            Err(ShardReplyFlaw::BadChecksum { .. })
+        ));
+        // Parts round-trip through the response enum.
+        let bytes = encode_response(&Response::TuneShardPart(part.clone()));
+        match decode_response(&bytes).unwrap() {
+            Response::TuneShardPart(p) => assert_eq!(p, part),
+            other => panic!("expected TuneShardPart, got {}", other.kind()),
+        }
+    }
+
+    #[test]
+    fn single_digit_flip_in_serialized_part_fails_verification() {
+        let part = TuneShardPart::seal(
+            11,
+            TuneShardPartBody {
+                start_index: 24,
+                count: 8,
+                best: None,
+            },
+        );
+        let bytes = encode_response(&Response::TuneShardPart(part));
+        let mut flipped_any = false;
+        for i in 0..bytes.len() {
+            if !bytes[i].is_ascii_digit() {
+                continue;
+            }
+            let mut forged = bytes.clone();
+            forged[i] = if forged[i] == b'9' {
+                b'1'
+            } else {
+                forged[i] + 1
+            };
+            if let Ok(Response::TuneShardPart(p)) = decode_response(&forged) {
+                assert!(p.verify(11).is_err(), "undetected flip at byte {i}");
                 flipped_any = true;
             }
         }

@@ -51,7 +51,8 @@ use crate::metrics::{Metrics, StatsReply};
 use crate::protocol::{
     write_response, BusyReply, EvaluateReply, EvaluateRequest, FailReply, Request, Response,
     ShardBest, SimulateReply, SimulateRequest, TuneReply, TuneRequest, TuneShardBody,
-    TuneShardReply, TuneShardRequest, WireError, DEFAULT_MAX_FRAME, READ_CHUNK,
+    TuneShardPart, TuneShardPartBody, TuneShardReply, TuneShardRequest, WireError,
+    DEFAULT_MAX_FRAME, READ_CHUNK,
 };
 
 /// Server tunables.
@@ -76,6 +77,12 @@ pub struct ServerConfig {
     /// requests are partitioned across the backends and merged (see
     /// [`crate::fleet`]). `None` serves every request locally.
     pub fleet: Option<FleetConfig>,
+    /// Scripted per-candidate slowdown for `TuneShard` work, in
+    /// milliseconds: a bench/chaos hook that makes *this* server a
+    /// deterministic straggler. Applied identically on the blocking and
+    /// streaming paths (it models slow compute, not slow frames), so
+    /// comparisons between the two stay fair. `None` in production.
+    pub straggle_ms_per_candidate: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -91,6 +98,7 @@ impl Default for ServerConfig {
             cache_dir: None,
             max_frame: DEFAULT_MAX_FRAME,
             fleet: None,
+            straggle_ms_per_candidate: None,
         }
     }
 }
@@ -413,8 +421,10 @@ fn peer_gone(stream: &TcpStream) -> bool {
 }
 
 /// Wait for the worker's reply while watching the deadline and the
-/// socket. Returns `None` when the client disconnected (nobody left to
-/// reply to); the worker's eventual send then fails harmlessly.
+/// socket. Streamed [`Response::TuneShardPart`] frames are forwarded
+/// to the peer as they arrive; the loop keeps waiting for the terminal
+/// response. Returns `None` when the client disconnected (nobody left
+/// to reply to); the worker's eventual send then fails harmlessly.
 fn wait_for_reply(
     stream: &TcpStream,
     rx: &mpsc::Receiver<Response>,
@@ -424,6 +434,19 @@ fn wait_for_reply(
 ) -> Option<Response> {
     loop {
         match rx.recv_timeout(Duration::from_millis(20)) {
+            Ok(part @ Response::TuneShardPart(_)) => {
+                // `&TcpStream` is `Write`; the terminal reply is
+                // written by this same thread after the loop, so part
+                // and terminal frames never interleave.
+                let mut w = stream;
+                if write_response(&mut w, &part).is_err() {
+                    if !cancel.is_cancelled() {
+                        shared.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+                        cancel.cancel();
+                    }
+                    return None;
+                }
+            }
             Ok(resp) => return Some(resp),
             Err(mpsc::RecvTimeoutError::Timeout) => {
                 if let Some(d) = deadline {
@@ -608,7 +631,7 @@ fn worker_main(shared: &Arc<Shared>) {
                 }
                 _ => exec_tune(shared, req, &cancel, deadline),
             },
-            Request::TuneShard(req) => exec_tune_shard(shared, req, &cancel, deadline),
+            Request::TuneShard(req) => exec_tune_shard(shared, req, &cancel, deadline, &reply),
             Request::Evaluate(_) | Request::Simulate(_) if expired => Response::Failed(FailReply {
                 kind: "deadline".to_string(),
                 error: "deadline expired before execution".to_string(),
@@ -711,6 +734,27 @@ fn exec_tune(
     })
 }
 
+/// Cancellably sleep `n × ms` (the scripted-straggler hook), in small
+/// slices so a deadline or disconnect interrupts promptly. Returns
+/// `false` when interrupted.
+fn straggle(
+    ms_per_candidate: u64,
+    n: u64,
+    cancel: &CancelToken,
+    deadline: Option<Instant>,
+) -> bool {
+    let mut left = Duration::from_millis(ms_per_candidate.saturating_mul(n));
+    while !left.is_zero() {
+        if cancel.is_cancelled() || deadline.is_some_and(|d| Instant::now() >= d) {
+            return false;
+        }
+        let slice = left.min(Duration::from_millis(10));
+        std::thread::sleep(slice);
+        left -= slice;
+    }
+    true
+}
+
 /// Evaluate one contiguous sub-range of a fleet tune: a plain budgeted
 /// tune (no refinement, no cache — raw candidate scores are what the
 /// coordinator's `(score, index)` merge needs), sealed into a
@@ -718,11 +762,22 @@ fn exec_tune(
 /// stops the sweep early still answers — with `evaluated < count`, so
 /// the coordinator discards the reply as incomplete rather than
 /// merging a winner that depends on where the shard gave up.
+///
+/// With `stream_every = Some(k)`, the range is evaluated in chunks of
+/// `k` and each finished chunk is announced with a sealed
+/// [`Response::TuneShardPart`] through `reply` (the connection thread
+/// forwards it to the socket). Chunks are evaluated in ascending index
+/// order and each part carries the chunk-local first minimum, so the
+/// coordinator's ascending strict-`<` fold over parts reproduces the
+/// flat scan's first minimum exactly. The terminal reply still covers
+/// the whole range — an interrupted range answers incomplete, but
+/// every part already emitted stands on its own.
 fn exec_tune_shard(
     shared: &Shared,
     req: TuneShardRequest,
     cancel: &CancelToken,
     deadline: Option<Instant>,
+    reply: &mpsc::Sender<Response>,
 ) -> Response {
     let TuneShardRequest {
         graph,
@@ -731,6 +786,7 @@ fn exec_tune_shard(
         candidates,
         start_index,
         epoch,
+        stream_every,
         ..
     } = req;
     let evaluator = Evaluator::new(&graph, &machine);
@@ -738,30 +794,113 @@ fn exec_tune_shard(
         .into_iter()
         .map(|c| MappingCandidate::new(c.label, c.mapping))
         .collect();
-    let mut budget = Budget::unlimited();
-    if let Some(d) = deadline {
-        budget.deadline = Some(d.saturating_duration_since(Instant::now()));
-    }
-    let report = Tuner::new(&evaluator, &graph, &machine, fom)
-        .with_pool(&shared.pool)
-        .with_budget(budget)
-        .with_cancel(cancel.clone())
-        .tune(&candidates);
-    let body = TuneShardBody {
-        start_index,
-        count: candidates.len() as u64,
-        evaluated: report.evaluated as u64,
-        cancelled: report.cancelled,
-        // `best_index.zip(best)` keeps only genuine in-range winners:
-        // a default-mapper fallback (nothing legal) has no index and
-        // must not masquerade as a candidate.
-        best: report.best_index.zip(report.best).map(|(i, b)| ShardBest {
-            index: start_index + i as u64,
+    let count = candidates.len() as u64;
+    let straggle_ms = shared.config.straggle_ms_per_candidate.unwrap_or(0);
+    let chunk = stream_every.unwrap_or(0) as usize;
+
+    let run_slice = |slice: &[MappingCandidate]| {
+        let mut budget = Budget::unlimited();
+        if let Some(d) = deadline {
+            budget.deadline = Some(d.saturating_duration_since(Instant::now()));
+        }
+        Tuner::new(&evaluator, &graph, &machine, fom)
+            .with_pool(&shared.pool)
+            .with_budget(budget)
+            .with_cancel(cancel.clone())
+            .tune(slice)
+    };
+    // `best_index.zip(best)` keeps only genuine in-range winners: a
+    // default-mapper fallback (nothing legal) has no index and must
+    // not masquerade as a candidate.
+    let slice_best = |lo: usize, report: fm_autotune::TuneReport| {
+        report.best_index.zip(report.best).map(|(i, b)| ShardBest {
+            index: start_index + (lo + i) as u64,
             label: b.label,
             score: b.score,
             resolved: b.resolved,
             report: b.report,
-        }),
+        })
+    };
+
+    if chunk == 0 {
+        // Classic blocking path: one tune, one reply.
+        if straggle_ms > 0 && !straggle(straggle_ms, count, cancel, deadline) {
+            let body = TuneShardBody {
+                start_index,
+                count,
+                evaluated: 0,
+                cancelled: true,
+                best: None,
+            };
+            return Response::TuneSharded(TuneShardReply::seal(epoch, body));
+        }
+        let report = run_slice(&candidates);
+        let body = TuneShardBody {
+            start_index,
+            count,
+            evaluated: report.evaluated as u64,
+            cancelled: report.cancelled,
+            best: slice_best(0, report),
+        };
+        return Response::TuneSharded(TuneShardReply::seal(epoch, body));
+    }
+
+    // Streaming path: chunked sweep, one sealed part per finished
+    // chunk, then the terminal reply.
+    let mut evaluated = 0u64;
+    let mut cancelled = false;
+    let mut best: Option<ShardBest> = None;
+    let mut lo = 0usize;
+    while lo < candidates.len() {
+        let hi = (lo + chunk).min(candidates.len());
+        let n = (hi - lo) as u64;
+        if straggle_ms > 0 && !straggle(straggle_ms, n, cancel, deadline) {
+            cancelled = true;
+            break;
+        }
+        let report = run_slice(&candidates[lo..hi]);
+        if report.cancelled || (report.evaluated as u64) < n {
+            // Interrupted mid-chunk: the chunk is never announced; the
+            // terminal reply admits the shortfall.
+            evaluated += report.evaluated as u64;
+            cancelled = true;
+            break;
+        }
+        evaluated += n;
+        let chunk_best = slice_best(lo, report);
+        // Ascending chunks + strict `<` keep the earliest minimum.
+        match (&best, &chunk_best) {
+            (Some(b), Some(c)) if c.score < b.score => best = chunk_best.clone(),
+            (None, Some(_)) => best = chunk_best.clone(),
+            _ => {}
+        }
+        let part = TuneShardPart::seal(
+            epoch,
+            TuneShardPartBody {
+                start_index: start_index + lo as u64,
+                count: n,
+                best: chunk_best,
+            },
+        );
+        shared
+            .metrics
+            .tune_shard_parts
+            .fetch_add(1, Ordering::Relaxed);
+        if reply.send(Response::TuneShardPart(part)).is_err() {
+            // Connection thread is gone: nobody will read further
+            // frames. Stop burning cores.
+            cancel.cancel();
+            cancelled = true;
+            break;
+        }
+        lo = hi;
+    }
+    let body = TuneShardBody {
+        start_index,
+        count,
+        evaluated,
+        cancelled,
+        best,
     };
     Response::TuneSharded(TuneShardReply::seal(epoch, body))
 }

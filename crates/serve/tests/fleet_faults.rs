@@ -84,7 +84,8 @@ fn assert_same_winner(served: &TunedMapping, expected: &TunedMapping) {
 }
 
 /// Tight timeouts so fault recovery is exercised in test time, not
-/// production time.
+/// production time. `stream_every` is small enough that every range in
+/// these tests produces real part frames.
 fn fleet_config(shards: Vec<String>) -> FleetConfig {
     let mut f = FleetConfig::new(shards);
     f.connect_timeout = Duration::from_millis(200);
@@ -95,6 +96,7 @@ fn fleet_config(shards: Vec<String>) -> FleetConfig {
     f.hedge_after = None;
     f.breaker_threshold = 2;
     f.breaker_cooldown = Duration::from_millis(300);
+    f.stream_every = Some(4);
     f
 }
 
@@ -146,6 +148,15 @@ fn fleet_tune_is_bit_identical_to_direct_tuner() {
     assert_eq!(fleet.shards.len(), 3);
     let shard_work: u64 = shards.iter().map(|s| s.stats().tune_shard.received).sum();
     assert!(shard_work >= 1, "no shard ever saw a sub-range");
+    // Streaming was on (stream_every = 4, ranges of 10): parts flowed,
+    // were merged, and fed the per-shard throughput EWMAs the stats
+    // endpoint exports.
+    assert!(fleet.parts_merged >= 1, "no streamed part was merged");
+    assert_eq!(fleet.parts_discarded, 0);
+    assert!(fleet.shards.iter().any(|s| s.parts >= 1));
+    assert!(fleet.shards.iter().any(|s| s.ewma_cands_per_sec > 0.0));
+    let shard_parts: u64 = shards.iter().map(|s| s.stats().tune_shard_parts).sum();
+    assert!(shard_parts >= 1, "shards report emitted parts too");
 
     coord.shutdown_and_join();
     for s in shards {
@@ -431,6 +442,147 @@ fn client_disconnect_cancels_inflight_shard_searches() {
     }
 }
 
+/// Tentpole: when a shard dies *mid-stream*, the parts it already
+/// delivered stay merged — only the unfinished suffix is re-dispatched
+/// — and the winner is still bit-identical to the direct tuner.
+#[test]
+fn mid_stream_death_saves_the_prefix_and_redispatches_the_suffix() {
+    let graph = wide(14);
+    let machine = MachineConfig::linear(8);
+    let shards = start_shards(2);
+    // Shard 0's first connection delivers its first part frame clean,
+    // then truncates the second part mid-frame: progress, then death.
+    let proxy = FaultProxy::start(
+        shards[0].local_addr(),
+        FaultPlan::script(vec![FaultAction::TruncateFrame(1)]),
+    )
+    .unwrap();
+    let addrs = vec![
+        proxy.local_addr().to_string(),
+        shards[1].local_addr().to_string(),
+    ];
+    let coord = start_coordinator(fleet_config(addrs));
+
+    let mut client = Client::connect(coord.local_addr()).unwrap();
+    let reply = client.tune(tune_request(&graph, &machine, 24)).unwrap();
+    assert!(!reply.cancelled);
+    assert_eq!(reply.evaluated, 24, "every candidate scored exactly once");
+    assert_same_winner(
+        &reply.best.expect("fleet found a winner"),
+        &direct_winner(&graph, &machine, 24),
+    );
+
+    let fleet = coord.stats().fleet.unwrap();
+    assert!(fleet.parts_merged >= 1, "the clean first part was merged");
+    assert!(
+        fleet.prefix_candidates_saved >= 4,
+        "the dead attempt's streamed prefix was banked, got {}",
+        fleet.prefix_candidates_saved
+    );
+    assert!(
+        fleet.suffix_redispatches >= 1,
+        "the retry should start at the covered watermark, not range start"
+    );
+
+    coord.shutdown_and_join();
+    proxy.stop();
+    for s in shards {
+        s.shutdown_and_join();
+    }
+}
+
+/// Tentpole: a corrupted *part* (not terminal) is caught by its own
+/// checksum, discarded, and never poisons the merge — while parts
+/// delivered clean before it stay merged.
+#[test]
+fn corrupt_mid_stream_part_is_discarded_without_losing_the_winner() {
+    let graph = wide(14);
+    let machine = MachineConfig::linear(8);
+    let shards = start_shards(2);
+    // Frame 0 (first part) passes clean; frame 1 (second part) gets one
+    // digit flipped. Only the part checksum can tell.
+    let proxy = FaultProxy::start(
+        shards[0].local_addr(),
+        FaultPlan::script(vec![FaultAction::CorruptFrame(1)]),
+    )
+    .unwrap();
+    let addrs = vec![
+        proxy.local_addr().to_string(),
+        shards[1].local_addr().to_string(),
+    ];
+    let coord = start_coordinator(fleet_config(addrs));
+
+    let mut client = Client::connect(coord.local_addr()).unwrap();
+    let reply = client.tune(tune_request(&graph, &machine, 24)).unwrap();
+    assert_eq!(reply.evaluated, 24);
+    assert_same_winner(
+        &reply.best.expect("fleet found a winner"),
+        &direct_winner(&graph, &machine, 24),
+    );
+
+    let fleet = coord.stats().fleet.unwrap();
+    assert!(
+        fleet.parts_discarded >= 1,
+        "the flipped digit should be caught by the part checksum"
+    );
+    assert!(
+        fleet.corrupt_discarded >= 1,
+        "and counted as a corruption discard"
+    );
+    assert!(fleet.parts_merged >= 1, "clean parts still merged");
+
+    coord.shutdown_and_join();
+    proxy.stop();
+    for s in shards {
+        s.shutdown_and_join();
+    }
+}
+
+/// A shard whose *stream* crawls (a stall before every frame) still
+/// completes without tripping the per-frame inactivity timeout, because
+/// each delivered part resets the attempt clock.
+#[test]
+fn slow_stream_survives_on_per_frame_progress() {
+    let graph = wide(12);
+    let machine = MachineConfig::linear(8);
+    let shards = start_shards(2);
+    let proxy = FaultProxy::start(
+        shards[0].local_addr(),
+        FaultPlan::script(vec![FaultAction::StallBetweenFrames(60); 4]),
+    )
+    .unwrap();
+    let addrs = vec![
+        proxy.local_addr().to_string(),
+        shards[1].local_addr().to_string(),
+    ];
+    let mut config = fleet_config(addrs);
+    // Tighter than the *sum* of the stalls (4 frames × 60 ms), looser
+    // than any single one: only the per-frame deadline reset on each
+    // delivered part lets this attempt finish.
+    config.attempt_timeout = Duration::from_millis(150);
+    let coord = start_coordinator(config);
+
+    let mut client = Client::connect(coord.local_addr()).unwrap();
+    let reply = client.tune(tune_request(&graph, &machine, 24)).unwrap();
+    assert_eq!(reply.evaluated, 24);
+    assert_same_winner(
+        &reply.best.expect("fleet found a winner"),
+        &direct_winner(&graph, &machine, 24),
+    );
+    let fleet = coord.stats().fleet.unwrap();
+    assert_eq!(
+        fleet.retries, 0,
+        "per-frame progress should keep the slow stream alive"
+    );
+    assert_eq!(fleet.local_fallback_ranges, 0);
+
+    coord.shutdown_and_join();
+    proxy.stop();
+    for s in shards {
+        s.shutdown_and_join();
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
@@ -478,6 +630,65 @@ proptest! {
         for p in proxies {
             p.stop();
         }
+        for s in shards {
+            s.shutdown_and_join();
+        }
+    }
+
+    /// Satellite: the streamed + weighted merge and the classic
+    /// blocking merge agree with each other *and* with the direct
+    /// single-machine tuner, under identical seeded fault schedules.
+    /// Each coordinator gets its own proxies built from the same seed,
+    /// so both protocols face the same misbehavior in the same order.
+    #[test]
+    fn streamed_and_blocking_merges_agree_with_direct(
+        seed in any::<u64>(),
+        ncand in 10usize..22,
+    ) {
+        let graph = wide(8);
+        let machine = MachineConfig::linear(8);
+        let shards = start_shards(2);
+        let expected = direct_winner(&graph, &machine, ncand);
+
+        let mut winners = Vec::new();
+        for streaming in [true, false] {
+            let proxies: Vec<FaultProxy> = shards
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    FaultProxy::start(
+                        s.local_addr(),
+                        FaultPlan::seeded(seed.wrapping_add(i as u64), 4),
+                    )
+                    .unwrap()
+                })
+                .collect();
+            let addrs: Vec<String> =
+                proxies.iter().map(|p| p.local_addr().to_string()).collect();
+            let mut config = fleet_config(addrs);
+            config.stream_every = streaming.then_some(3);
+            config.weighted = streaming;
+            let coord = start_coordinator(config);
+
+            let mut client = Client::connect(coord.local_addr()).unwrap();
+            let reply = client.tune(tune_request(&graph, &machine, ncand)).unwrap();
+            prop_assert!(!reply.cancelled);
+            prop_assert_eq!(reply.evaluated, ncand as u64);
+            winners.push(reply.best.expect("fleet found a winner"));
+
+            coord.shutdown_and_join();
+            for p in proxies {
+                p.stop();
+            }
+        }
+
+        for served in &winners {
+            prop_assert_eq!(&served.label, &expected.label);
+            prop_assert_eq!(served.score.to_bits(), expected.score.to_bits());
+            prop_assert_eq!(&served.resolved, &expected.resolved);
+        }
+        prop_assert_eq!(&winners[0].label, &winners[1].label);
+
         for s in shards {
             s.shutdown_and_join();
         }
