@@ -42,6 +42,20 @@ echo "== E17 smoke: streaming + weighted beats blocking on a scripted straggler 
 # speedup bar, exiting non-zero on any violation.
 cargo run --release -q -p fm-bench --bin table_e17_stream -- --quick --no-json >/dev/null
 
+echo "== session-smoke: open → edits → warm tune, parity vs cold =="
+# End-to-end session lifecycle over real TCP (open → 3 edit batches →
+# warm SessionTune after each, winner checked bit-for-bit against a
+# cold client-side tune), plus typed NoSuchSession, idle eviction, and
+# concurrent disjoint sessions. Then the E18 quick run: the binary
+# asserts per-row parity and the warm-vs-cold speedup bar, and must
+# emit its BENCH_e18.json rows (written to a scratch dir so a smoke
+# run never clobbers full-run numbers).
+cargo test --release -q -p fm-serve --test session_integration
+e18_dir="$(mktemp -d)"
+cargo run --release -q -p fm-bench --bin table_e18_session -- --quick --json "$e18_dir/BENCH_e18.json" >/dev/null
+[ -s "$e18_dir/BENCH_e18.json" ] || { echo "session-smoke: E18 emitted no JSON"; exit 1; }
+rm -rf "$e18_dir"
+
 echo "== serve-smoke: daemon + example over the wire =="
 # Launch the real daemon on an ephemeral port, run the example against
 # it (FM_SERVE_SHUTDOWN=1 makes the example request the drain), and

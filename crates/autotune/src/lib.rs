@@ -34,4 +34,6 @@ pub mod tuner;
 
 pub use cache::{CacheEntry, TuningCache, CACHE_SCHEMA_VERSION};
 pub use fingerprint::fingerprint;
-pub use tuner::{Budget, CacheStatus, CancelToken, Refinement, TuneReport, TunedMapping, Tuner};
+pub use tuner::{
+    Budget, CacheStatus, CancelToken, Refinement, TuneReport, TunedMapping, Tuner, WarmCache,
+};

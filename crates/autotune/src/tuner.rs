@@ -9,9 +9,11 @@ use serde::{Deserialize, Serialize};
 
 use fm_core::cost::{CostReport, Evaluator};
 use fm_core::dataflow::DataflowGraph;
+use fm_core::delta::DeltaCandidates;
 use fm_core::legality::check;
 use fm_core::machine::MachineConfig;
 use fm_core::mapping::ResolvedMapping;
+use fm_core::mutate::AppliedEdit;
 use fm_core::search::{
     anneal, assemble_outcome, default_mapper, evaluate_candidate, CandidateEval, FigureOfMerit,
     MappingCandidate, SearchOutcome,
@@ -546,6 +548,110 @@ impl<'a> Tuner<'a> {
         }
     }
 
+    /// Warm re-tune: like [`Tuner::tune`], but candidate evaluations
+    /// are served from a [`WarmCache`] whose per-candidate legality
+    /// counters and cost trees were *repaired* across graph edits
+    /// ([`fm_core::delta::DeltaCandidates`]) instead of re-derived.
+    ///
+    /// The winner is bit-identical to a cold [`Tuner::tune`] of the
+    /// cache's candidate list against the current graph (with no
+    /// persistent cache configured): the warm cache yields exactly the
+    /// evals [`fm_core::search::evaluate_candidate`] would, and they
+    /// feed the same ordered frontier. What keeps that guarantee crisp:
+    ///
+    /// * the tuner's evaluator/graph/machine must wrap the *same*
+    ///   post-edit state the cache's edits were applied against, with
+    ///   the same evaluator configuration the cache was built with;
+    /// * the persistent [`TuningCache`] is neither probed nor stored —
+    ///   a warm tune is about incremental in-process state, not
+    ///   cross-process replay — so the report says
+    ///   [`CacheStatus::Disabled`];
+    /// * evaluation is serial even when a pool is configured (repair
+    ///   state is exclusive); budgets (candidate cap, convergence
+    ///   window, deadline) and cancellation behave exactly as on the
+    ///   serial cold path, and refinement (if configured) runs on the
+    ///   winner as usual.
+    ///
+    /// Whether the tune was actually warm is observable through
+    /// [`WarmCache::rebuilds`]: if the counter is unchanged across the
+    /// call, no candidate fell back to a cold from-scratch rebuild.
+    pub fn tune_warm(&self, warm: &mut WarmCache) -> TuneReport {
+        let start = Instant::now();
+        let WarmCache { candidates, delta } = warm;
+        let offered = candidates.len();
+
+        let cap = self.budget.max_candidates.unwrap_or(offered).min(offered);
+        let mut frontier = Frontier::new(&self.budget, self.cancel.as_ref(), start);
+        let never = AtomicBool::new(false);
+        let cancel_flag = self
+            .cancel
+            .as_ref()
+            .map(CancelToken::as_atomic)
+            .unwrap_or(&never);
+        let mut evals: Vec<CandidateEval> = Vec::with_capacity(cap);
+        for i in 0..cap {
+            // Same cancellation points as the serial cold path: before
+            // each candidate, and in `feed` after it lands.
+            if cancel_flag.load(Ordering::Acquire) {
+                break;
+            }
+            let eval = delta.evaluate(i, self.evaluator, self.fom);
+            let stop = frontier.feed(i, &eval);
+            evals.push(eval);
+            if stop {
+                break;
+            }
+        }
+        let cancelled = self.cancel.as_ref().is_some_and(CancelToken::is_cancelled);
+
+        let evaluated = evals.len();
+        let best_idx = frontier.best_idx;
+        let trajectory = frontier.trajectory;
+        let mut best = match best_idx {
+            Some(i) => {
+                let CandidateEval::Legal {
+                    resolved,
+                    report,
+                    score,
+                } = evals[i].clone()
+                else {
+                    unreachable!("best index always points at a legal eval")
+                };
+                Some(TunedMapping {
+                    label: candidates[i].label.clone(),
+                    resolved,
+                    report,
+                    score,
+                })
+            }
+            None => self.fallback(),
+        };
+        let fell_back = best_idx.is_none() && best.is_some();
+
+        if let Some(b) = best.as_mut() {
+            if !cancelled {
+                self.refine(b);
+            }
+        }
+
+        let outcome = assemble_outcome(&candidates[..evaluated], evals);
+
+        TuneReport {
+            fom: self.fom,
+            offered,
+            evaluated,
+            pruned: offered - evaluated,
+            cache: CacheStatus::Disabled,
+            fell_back,
+            cancelled,
+            wall: start.elapsed(),
+            trajectory,
+            outcome,
+            best_index: best_idx,
+            best,
+        }
+    }
+
     /// Apply this tuner's configured [`Refinement`] (if any) to an
     /// externally-produced winner, exactly as [`Tuner::tune`] would to
     /// its own. Distributed searches use this to refine the mapping
@@ -623,6 +729,73 @@ impl<'a> Tuner<'a> {
             report,
             score,
         })
+    }
+}
+
+/// Per-candidate evaluation state that survives structural edits.
+///
+/// Built once when a serving session opens ([`WarmCache::new`]
+/// cold-derives counters for every resolvable candidate), then
+/// *repaired* in O(edit cone) per [`AppliedEdit`]
+/// ([`WarmCache::apply_edit`]) instead of re-derived in O(V + E).
+/// [`Tuner::tune_warm`] drains it to pick a winner bit-identical to a
+/// cold tune of the current graph.
+///
+/// The evaluator handed to every method must wrap the session's
+/// *current* graph and machine (post-edit for [`WarmCache::apply_edit`])
+/// and be configured identically — same writeback setting, same cost
+/// model — across the cache's whole life. Candidates the repair path
+/// cannot keep warm (table mappings after a length change, affine
+/// mappings once a node has no index) are invalidated and rebuilt
+/// lazily at the next tune, bumping [`WarmCache::rebuilds`].
+pub struct WarmCache {
+    candidates: Vec<MappingCandidate>,
+    delta: DeltaCandidates,
+}
+
+impl WarmCache {
+    /// Build warm state for a candidate list by cold-deriving each
+    /// resolvable candidate's counters against the evaluator's current
+    /// graph and machine.
+    pub fn new(ev: &Evaluator<'_>, candidates: Vec<MappingCandidate>) -> WarmCache {
+        let mappings = candidates.iter().map(|c| c.mapping.clone()).collect();
+        WarmCache {
+            delta: DeltaCandidates::new(ev, mappings),
+            candidates,
+        }
+    }
+
+    /// The candidate list the cache was built over, in offer order.
+    pub fn candidates(&self) -> &[MappingCandidate] {
+        &self.candidates
+    }
+
+    /// Number of candidates in the cache.
+    pub fn len(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Is the candidate list empty?
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty()
+    }
+
+    /// Repair every candidate's cached counters for one applied edit.
+    ///
+    /// `ev` must wrap the graph/machine *after* the edit. Returns the
+    /// edit's dirty-cone size (see [`AppliedEdit::cone_size`]) so
+    /// callers can account incremental work done.
+    pub fn apply_edit(&mut self, ev: &Evaluator<'_>, edit: &AppliedEdit) -> u64 {
+        self.delta.apply(ev, edit);
+        edit.cone_size(ev.graph())
+    }
+
+    /// Total number of candidates that have fallen back to a cold
+    /// from-scratch rebuild since construction. A
+    /// [`Tuner::tune_warm`] call was fully warm iff this counter is
+    /// unchanged across it.
+    pub fn rebuilds(&self) -> u64 {
+        self.delta.rebuilds()
     }
 }
 
@@ -1124,5 +1297,155 @@ mod tests {
         }
         let last = report.trajectory.last().unwrap();
         assert_eq!(last.1, report.best.unwrap().score);
+    }
+
+    /// Bit-level equality of everything a warm tune promises to
+    /// reproduce from the cold path (wall-clock excluded, obviously).
+    fn assert_reports_match(warm: &TuneReport, cold: &TuneReport) {
+        assert_eq!(warm.evaluated, cold.evaluated);
+        assert_eq!(warm.pruned, cold.pruned);
+        assert_eq!(warm.best_index, cold.best_index);
+        assert_eq!(warm.fell_back, cold.fell_back);
+        assert_eq!(warm.trajectory.len(), cold.trajectory.len());
+        for (w, c) in warm.trajectory.iter().zip(&cold.trajectory) {
+            assert_eq!(w.0, c.0);
+            assert_eq!(w.1.to_bits(), c.1.to_bits());
+        }
+        match (&warm.best, &cold.best) {
+            (Some(w), Some(c)) => {
+                assert_eq!(w.label, c.label);
+                assert_eq!(w.score.to_bits(), c.score.to_bits());
+                assert_eq!(w.resolved, c.resolved);
+                assert_eq!(
+                    serde_json::to_string(&w.report).unwrap(),
+                    serde_json::to_string(&c.report).unwrap()
+                );
+            }
+            (None, None) => {}
+            _ => panic!("warm and cold disagree on having a winner"),
+        }
+        assert_eq!(
+            serde_json::to_string(&warm.outcome).unwrap(),
+            serde_json::to_string(&cold.outcome).unwrap()
+        );
+    }
+
+    #[test]
+    fn warm_tune_matches_cold_tune_across_an_edit_stream() {
+        use fm_core::mutate::{apply_edit, GraphEdit};
+        let mut g = chain(8);
+        let mut m = MachineConfig::linear(16);
+        let cands = families(&g);
+        let mut warm = {
+            let ev = Evaluator::new(&g, &m);
+            WarmCache::new(&ev, cands.clone())
+        };
+        assert_eq!(warm.len(), cands.len());
+        assert!(!warm.is_empty());
+
+        let grow = CExpr::dep(0).add(CExpr::konst(Value::real(1.0)));
+        let edits = vec![
+            GraphEdit::AddNode {
+                expr: grow.clone(),
+                deps: vec![7],
+                index: vec![8],
+                output: false,
+            },
+            GraphEdit::ResizeTile { tile_bits: 256 },
+            GraphEdit::RetargetEdge {
+                node: 8,
+                slot: 0,
+                new_dep: 3,
+            },
+            GraphEdit::ResizeTile {
+                tile_bits: 64 * 1024 * 1024,
+            },
+            GraphEdit::AddNode {
+                expr: grow.clone(),
+                deps: vec![8],
+                index: vec![9],
+                output: true,
+            },
+            GraphEdit::RemoveNode { id: 9 },
+        ];
+        let budget = Budget::unlimited().with_convergence_window(2);
+        for edit in &edits {
+            let receipt = apply_edit(&mut g, &mut m, edit).unwrap();
+            let ev = Evaluator::new(&g, &m);
+            let cone = warm.apply_edit(&ev, &receipt);
+            assert_eq!(cone, receipt.cone_size(&g));
+            let w = Tuner::new(&ev, &g, &m, FigureOfMerit::Edp)
+                .with_budget(budget)
+                .tune_warm(&mut warm);
+            let c = Tuner::new(&ev, &g, &m, FigureOfMerit::Edp)
+                .with_budget(budget)
+                .tune(&cands);
+            assert_eq!(w.cache, CacheStatus::Disabled);
+            assert_reports_match(&w, &c);
+        }
+    }
+
+    #[test]
+    fn warm_tune_fallback_is_bit_equal_to_cold() {
+        // Only illegal candidates on offer: both paths must fall back
+        // to the default mapper with identical reports.
+        let g = chain(6);
+        let m = MachineConfig::linear(8);
+        let ev = Evaluator::new(&g, &m);
+        let cands = vec![MappingCandidate::new(
+            "spread",
+            Mapping::Affine(AffineMap {
+                place: PlaceExpr::row0(IdxExpr::i()),
+                time: IdxExpr::c(0),
+            }),
+        )];
+        let mut warm = WarmCache::new(&ev, cands.clone());
+        let w = Tuner::new(&ev, &g, &m, FigureOfMerit::Time).tune_warm(&mut warm);
+        let c = Tuner::new(&ev, &g, &m, FigureOfMerit::Time).tune(&cands);
+        assert!(w.fell_back && c.fell_back);
+        assert_reports_match(&w, &c);
+        assert_eq!(warm.rebuilds(), 0);
+    }
+
+    #[test]
+    fn warm_tune_counts_cold_rebuilds_after_invalidation() {
+        use fm_core::mutate::{apply_edit, GraphEdit};
+        let mut g = chain(6);
+        let mut m = MachineConfig::linear(16);
+        let cands = families(&g); // includes the "serial" table candidate
+        let mut warm = {
+            let ev = Evaluator::new(&g, &m);
+            WarmCache::new(&ev, cands.clone())
+        };
+
+        // A length change drops the table candidate from the warm set;
+        // it stays Unresolvable (no rebuild) while lengths mismatch.
+        let add = GraphEdit::AddNode {
+            expr: CExpr::dep(0).add(CExpr::konst(Value::real(1.0))),
+            deps: vec![5],
+            index: vec![6],
+            output: false,
+        };
+        let receipt = apply_edit(&mut g, &mut m, &add).unwrap();
+        {
+            let ev = Evaluator::new(&g, &m);
+            warm.apply_edit(&ev, &receipt);
+            let w = Tuner::new(&ev, &g, &m, FigureOfMerit::Edp).tune_warm(&mut warm);
+            let c = Tuner::new(&ev, &g, &m, FigureOfMerit::Edp).tune(&cands);
+            assert_reports_match(&w, &c);
+            assert_eq!(warm.rebuilds(), 0);
+        }
+
+        // Removing the node restores the table's length: the next warm
+        // tune rebuilds exactly that one candidate cold and says so.
+        let receipt = apply_edit(&mut g, &mut m, &GraphEdit::RemoveNode { id: 6 }).unwrap();
+        {
+            let ev = Evaluator::new(&g, &m);
+            warm.apply_edit(&ev, &receipt);
+            let w = Tuner::new(&ev, &g, &m, FigureOfMerit::Edp).tune_warm(&mut warm);
+            let c = Tuner::new(&ev, &g, &m, FigureOfMerit::Edp).tune(&cands);
+            assert_reports_match(&w, &c);
+            assert_eq!(warm.rebuilds(), 1);
+        }
     }
 }

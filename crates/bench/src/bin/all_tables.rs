@@ -37,5 +37,7 @@ fn main() {
     let rows = fm_bench::e15_serve::run(false);
     print!("{}\n\n", fm_bench::e15_serve::print(&rows));
     let rows = fm_bench::e16_fleet::run(false);
-    println!("{}", fm_bench::e16_fleet::print(&rows));
+    print!("{}\n\n", fm_bench::e16_fleet::print(&rows));
+    let rows = fm_bench::e18_session::run(false);
+    println!("{}", fm_bench::e18_session::print(&rows));
 }

@@ -1,0 +1,60 @@
+//! Regenerates the E18 table (session warm re-tune vs cold re-tune on
+//! a growing graph) and writes `BENCH_e18.json` with the raw rows.
+//!
+//! Validates the experiment's acceptance criteria and exits non-zero
+//! if any fails: bit-identical winner in every row (the experiment
+//! itself also panics on the first divergence), and — on full runs —
+//! warm ≥ 3× cold wall-clock per edit at 1k+ nodes.
+//!
+//! `--quick` shrinks the graph sizes and edit count for a fast smoke
+//! run, e.g. from `ci.sh` (the speedup bar relaxes to 1.5×; small
+//! graphs flatter the cold path). `--json PATH` overrides the JSON
+//! output path; `--no-json` suppresses it.
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let no_json = args.iter().any(|a| a == "--no-json");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_e18.json".to_string());
+    let rows = fm_bench::e18_session::run(quick);
+    print!("{}", fm_bench::e18_session::print(&rows));
+
+    let mut failures = Vec::new();
+    for r in &rows {
+        if !r.bit_identical {
+            failures.push(format!(
+                "{} nodes: warm winner diverged from cold tune",
+                r.nodes
+            ));
+        }
+        let bar = if quick { 1.5 } else { 3.0 };
+        let gated = quick || r.nodes >= 1000;
+        if gated && r.speedup < bar {
+            failures.push(format!(
+                "{} nodes: warm only {:.2}x cold, under the {bar}x bar",
+                r.nodes, r.speedup
+            ));
+        }
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("table_e18_session: FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+
+    if !no_json {
+        let doc = fm_bench::e18_session::to_json(&rows);
+        match std::fs::write(&json_path, doc) {
+            Ok(()) => println!("\nwrote {json_path}"),
+            Err(e) => {
+                eprintln!("table_e18_session: cannot write {json_path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

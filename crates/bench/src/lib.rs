@@ -40,3 +40,4 @@ pub mod e14_anneal;
 pub mod e15_serve;
 pub mod e16_fleet;
 pub mod e17_stream;
+pub mod e18_session;

@@ -367,6 +367,39 @@ impl<'a> Evaluator<'a> {
         off
     }
 
+    /// Whether `input` is placed off-chip (DRAM). The incremental
+    /// evaluator refcounts distinct DRAM element reads across edits, so
+    /// it needs to classify reads the same way
+    /// [`Self::offchip_totals`] does.
+    pub(crate) fn dram_input(&self, input: u32) -> bool {
+        matches!(
+            self.input_placements.get(input as usize),
+            Some(InputPlacement::Dram)
+        )
+    }
+
+    /// Whether output writeback is charged.
+    pub(crate) fn writeback_on(&self) -> bool {
+        self.writeback_outputs
+    }
+
+    /// Off-chip totals from a transfer count. Every transfer
+    /// [`Self::offchip_totals`] charges is identical (same width), so
+    /// its fold is a pure function of the count; replaying the same
+    /// fold reproduces the totals bit-for-bit without re-walking the
+    /// graph.
+    pub(crate) fn offchip_from_count(&self, transfers: u64) -> OffchipTotals {
+        let m = self.machine;
+        let width = u64::from(self.graph.width_bits);
+        let mut off = OffchipTotals::default();
+        for _ in 0..transfers {
+            off.fj += m.tech.offchip_energy(width).raw();
+            off.transfers += 1;
+            off.bits += width;
+        }
+        off
+    }
+
     /// Assemble a [`CostReport`] from tree-summed node costs, off-chip
     /// totals, and schedule aggregates. Shared verbatim between
     /// [`Self::evaluate`] and the incremental evaluator so both produce

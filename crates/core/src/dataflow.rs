@@ -155,6 +155,92 @@ impl CExpr {
     }
 }
 
+/// Why a structural mutation of a [`DataflowGraph`] was rejected.
+///
+/// Mutations come from untrusted session clients (see `fm-serve`), so
+/// unlike [`DataflowGraph::add_node`] they must not panic: every
+/// precondition violation is a typed, serializable error.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MutationError {
+    /// The expression references a different number of `Dep` slots than
+    /// deps were supplied.
+    DepSlotMismatch {
+        /// `Dep` slots the expression references.
+        slots: u32,
+        /// Producer ids supplied.
+        deps: u32,
+    },
+    /// A dependency does not reference an earlier node.
+    ForwardDep {
+        /// The node being added or edited.
+        node: NodeId,
+        /// The offending dependency.
+        dep: NodeId,
+    },
+    /// An input read names an undeclared input tensor.
+    UnknownInput {
+        /// The undeclared tensor id.
+        input: u32,
+    },
+    /// An input read is past the end of its tensor.
+    InputReadOutOfRange {
+        /// Input tensor id.
+        input: u32,
+        /// Offending flat index.
+        flat: u32,
+        /// Tensor element count.
+        len: u64,
+    },
+    /// The named node does not exist.
+    NoSuchNode {
+        /// The missing id.
+        id: NodeId,
+    },
+    /// The node still has consumers and cannot be removed.
+    HasConsumers {
+        /// The node that was to be removed.
+        id: NodeId,
+        /// How many edges still read it.
+        consumers: u64,
+    },
+    /// The edge slot does not exist on the node.
+    NoSuchSlot {
+        /// The node being edited.
+        node: NodeId,
+        /// The missing slot.
+        slot: u32,
+    },
+}
+
+impl std::fmt::Display for MutationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MutationError::DepSlotMismatch { slots, deps } => {
+                write!(
+                    f,
+                    "expression references {slots} dep slots but {deps} deps supplied"
+                )
+            }
+            MutationError::ForwardDep { node, dep } => {
+                write!(f, "node {node}: dependency {dep} is not an earlier node")
+            }
+            MutationError::UnknownInput { input } => write!(f, "unknown input {input}"),
+            MutationError::InputReadOutOfRange { input, flat, len } => {
+                write!(f, "input {input} read at {flat} out of range {len}")
+            }
+            MutationError::NoSuchNode { id } => write!(f, "no such node {id}"),
+            MutationError::HasConsumers { id, consumers } => {
+                write!(f, "node {id} still has {consumers} consumer edges")
+            }
+            MutationError::NoSuchSlot { node, slot } => {
+                write!(f, "node {node} has no dep slot {slot}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MutationError {}
+
 /// One element computation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Node {
@@ -277,6 +363,114 @@ impl DataflowGraph {
     /// Mark a node as an output element.
     pub fn mark_output(&mut self, id: NodeId) {
         self.nodes[id as usize].output = true;
+    }
+
+    /// Validate a prospective node against this graph. `id` is the id
+    /// the node would get (= current length for appends).
+    fn validate_node(
+        &self,
+        id: NodeId,
+        expr: &CExpr,
+        deps: &[NodeId],
+    ) -> Result<(), MutationError> {
+        let slots = expr.dep_slots();
+        if slots as usize != deps.len() {
+            return Err(MutationError::DepSlotMismatch {
+                slots,
+                deps: deps.len() as u32,
+            });
+        }
+        if let Some(&d) = deps.iter().find(|&&d| d >= id) {
+            return Err(MutationError::ForwardDep { node: id, dep: d });
+        }
+        for (input, flat) in expr.input_reads() {
+            let spec = self
+                .inputs
+                .get(input as usize)
+                .ok_or(MutationError::UnknownInput { input })?;
+            if flat as usize >= spec.len() {
+                return Err(MutationError::InputReadOutOfRange {
+                    input,
+                    flat,
+                    len: spec.len() as u64,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Fallible [`DataflowGraph::add_node`]: append a node, rejecting
+    /// (instead of panicking on) forward deps, slot-count mismatches
+    /// and bad input reads. Used by the live-mutation path where node
+    /// descriptions arrive from untrusted clients.
+    pub fn try_add_node(
+        &mut self,
+        expr: CExpr,
+        deps: Vec<NodeId>,
+        index: Vec<i64>,
+        output: bool,
+    ) -> Result<NodeId, MutationError> {
+        let id = self.nodes.len() as NodeId;
+        self.validate_node(id, &expr, &deps)?;
+        self.nodes.push(Node {
+            expr,
+            deps,
+            index,
+            output,
+        });
+        Ok(id)
+    }
+
+    /// Remove a **consumerless** node, compacting node ids: every id
+    /// above `id` shifts down by one (dependency lists are rewritten).
+    /// Returns the removed node. Nodes that still feed later nodes are
+    /// refused — remove or retarget the consumers first, keeping the
+    /// graph closed under construction-order topology.
+    pub fn remove_node(&mut self, id: NodeId) -> Result<Node, MutationError> {
+        if id as usize >= self.nodes.len() {
+            return Err(MutationError::NoSuchNode { id });
+        }
+        let consumers = self
+            .nodes
+            .iter()
+            .flat_map(|n| n.deps.iter())
+            .filter(|&&d| d == id)
+            .count() as u64;
+        if consumers > 0 {
+            return Err(MutationError::HasConsumers { id, consumers });
+        }
+        let removed = self.nodes.remove(id as usize);
+        for n in &mut self.nodes {
+            for d in &mut n.deps {
+                if *d > id {
+                    *d -= 1;
+                }
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Point dep slot `slot` of `node` at a different (earlier)
+    /// producer. Returns the previous producer id. The expression is
+    /// untouched — only where the operand comes from changes.
+    pub fn retarget_edge(
+        &mut self,
+        node: NodeId,
+        slot: u32,
+        new_dep: NodeId,
+    ) -> Result<NodeId, MutationError> {
+        if node as usize >= self.nodes.len() {
+            return Err(MutationError::NoSuchNode { id: node });
+        }
+        if new_dep >= node {
+            return Err(MutationError::ForwardDep { node, dep: new_dep });
+        }
+        let n = &mut self.nodes[node as usize];
+        let d = n
+            .deps
+            .get_mut(slot as usize)
+            .ok_or(MutationError::NoSuchSlot { node, slot })?;
+        Ok(std::mem::replace(d, new_dep))
     }
 
     /// Number of nodes.
@@ -501,6 +695,80 @@ mod tests {
     fn dep_slots_counts_max_plus_one() {
         assert_eq!(CExpr::dep(0).add(CExpr::dep(2)).dep_slots(), 3);
         assert_eq!(CExpr::konst(Value::ZERO).dep_slots(), 0);
+    }
+
+    #[test]
+    fn try_add_node_rejects_what_add_node_panics_on() {
+        let mut g = DataflowGraph::new("m", 32);
+        assert!(matches!(
+            g.try_add_node(CExpr::dep(0), vec![5], vec![], false),
+            Err(MutationError::ForwardDep { .. })
+        ));
+        assert!(matches!(
+            g.try_add_node(CExpr::dep(1), vec![], vec![], false),
+            Err(MutationError::DepSlotMismatch { .. })
+        ));
+        assert!(matches!(
+            g.try_add_node(CExpr::input(0, 0), vec![], vec![], false),
+            Err(MutationError::UnknownInput { .. })
+        ));
+        let r = g.add_input("R", vec![2]);
+        assert!(matches!(
+            g.try_add_node(CExpr::input(r, 5), vec![], vec![], false),
+            Err(MutationError::InputReadOutOfRange { .. })
+        ));
+        assert_eq!(g.len(), 0, "rejected nodes must not be appended");
+        let a = g
+            .try_add_node(CExpr::input(r, 1), vec![], vec![], true)
+            .unwrap();
+        assert_eq!(a, 0);
+        assert!(g.nodes[0].output);
+    }
+
+    #[test]
+    fn remove_node_compacts_ids() {
+        let mut g = diamond();
+        // Node 3 (the sink) is the only consumerless node.
+        assert!(matches!(
+            g.remove_node(0),
+            Err(MutationError::HasConsumers {
+                id: 0,
+                consumers: 2
+            })
+        ));
+        g.remove_node(3).unwrap();
+        assert_eq!(g.len(), 3);
+        // Now 1 and 2 are consumerless; removing 1 shifts 2 -> 1.
+        g.remove_node(1).unwrap();
+        assert_eq!(g.len(), 2);
+        assert_eq!(
+            g.nodes[1].deps,
+            vec![0],
+            "dep on node 0 survives compaction"
+        );
+        assert!(matches!(
+            g.remove_node(9),
+            Err(MutationError::NoSuchNode { id: 9 })
+        ));
+    }
+
+    #[test]
+    fn retarget_edge_swaps_producer() {
+        let mut g = diamond();
+        // d reads (a, b); point slot 1 back at the source instead of b.
+        let old = g.retarget_edge(3, 1, 0).unwrap();
+        assert_eq!(old, 2);
+        assert_eq!(g.nodes[3].deps, vec![1, 0]);
+        let vals = g.eval(&[]);
+        assert_eq!(vals[3].re, 4.0); // (1+2) + 1
+        assert!(matches!(
+            g.retarget_edge(3, 9, 0),
+            Err(MutationError::NoSuchSlot { node: 3, slot: 9 })
+        ));
+        assert!(matches!(
+            g.retarget_edge(1, 0, 2),
+            Err(MutationError::ForwardDep { node: 1, dep: 2 })
+        ));
     }
 
     #[test]

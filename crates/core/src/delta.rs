@@ -45,15 +45,31 @@
 //! it overwrites, and replaying the journal in reverse restores the
 //! prior state with no scheduling, sweeping, or sorting at all. The
 //! annealer uses it to make rejected proposals nearly free.
+//!
+//! [`DeltaCandidates`] applies the same bit-exactness discipline to a
+//! *pool* of mapping candidates under **structural** edits
+//! ([`AppliedEdit`]: add/remove node, retarget edge, resize tile).
+//! A candidate's places and times are pure functions of each node's
+//! immutable domain index (affine) or of a fixed table, so an edit
+//! never reschedules surviving nodes — the legality counters (bounds,
+//! causality, issue width, storage) and the cost-tree leaves can be
+//! repaired in edit-cone-sized work per candidate, and a candidate's
+//! evaluation stays bit-identical to
+//! [`crate::search::evaluate_candidate`] run cold on the edited graph.
+//! An edit that invalidates a candidate (a table length change, a new
+//! node without a domain index) drops its cached state; the next
+//! evaluation rebuilds it cold and counts the rebuild, which is how the
+//! session layer above classifies warm vs cold re-tunes.
 
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
 
 use crate::cost::{CostReport, CostTree, Evaluator, NodeCost, OffchipTotals};
-use crate::dataflow::{DataflowGraph, NodeId};
+use crate::dataflow::{DataflowGraph, Node, NodeId};
 use crate::machine::MachineConfig;
-use crate::mapping::ResolvedMapping;
-use crate::search::FigureOfMerit;
+use crate::mapping::{Mapping, ResolvedMapping};
+use crate::mutate::AppliedEdit;
+use crate::search::{CandidateEval, FigureOfMerit};
 
 /// Stand-in for "lives forever" in lifetime sweeps. Any value past the
 /// last production cycle yields the same peak; this one also never
@@ -612,6 +628,697 @@ impl<'e, 'a> DeltaEvaluator<'e, 'a> {
     }
 }
 
+/// Whether the edge `d → n` violates causality under the given static
+/// places/times: 1 if the consumer runs before the producer's value can
+/// arrive, else 0. Edges with an off-grid endpoint contribute 0 — the
+/// full checker only counts causality when every place is on-grid, and
+/// the u32 coordinate casts would be garbage otherwise. Pure in the
+/// endpoints' (static) places and times, so adding and later removing
+/// the same edge telescopes exactly.
+fn edge_violation(
+    machine: &MachineConfig,
+    place: &[(i64, i64)],
+    time: &[i64],
+    d: usize,
+    n: usize,
+) -> u64 {
+    let (px, py) = place[d];
+    let (cx, cy) = place[n];
+    if !machine.contains(px, py) || !machine.contains(cx, cy) {
+        return 0;
+    }
+    let required = machine.required_gap((px as u32, py as u32), (cx as u32, cy as u32));
+    u64::from(time[n] - time[d] < required)
+}
+
+/// Cached evaluation state of one resolvable candidate: its static
+/// places/times plus every aggregate [`crate::legality::check`] and
+/// `Evaluator::evaluate` would derive, maintained incrementally.
+struct CandState {
+    place: Vec<(i64, i64)>,
+    time: Vec<i64>,
+    /// Nodes mapped off the grid.
+    oob: u64,
+    /// Nodes scheduled before cycle 0.
+    neg: u64,
+    /// Causality-violating edges (per dep slot, duplicates counted),
+    /// under the [`edge_violation`] convention. Only added to the
+    /// violation total when `oob == 0`, exactly like the full checker.
+    causality: u64,
+    /// Elements per (PE, cycle) — including off-grid places, exactly
+    /// like the full checker's issue phase.
+    issue: HashMap<((i64, i64), i64), u32>,
+    /// Issue cells over the machine's width.
+    issue_over: u64,
+    /// max(own time, consumer times); outputs are *not* extended here —
+    /// the sweep substitutes [`FAR_FUTURE`] for them.
+    last_use: Vec<i64>,
+    /// Node ids per PE, ascending. No empty lists are kept.
+    pe_nodes: HashMap<(i64, i64), Vec<NodeId>>,
+    /// Peak live bits per occupied PE.
+    peaks: HashMap<(i64, i64), u64>,
+    /// Multiset of per-PE peaks; max key = global peak.
+    peak_hist: BTreeMap<u64, u32>,
+    /// PEs whose peak exceeds the machine's tile capacity.
+    storage_over: u64,
+    /// Multiset of node times; max key + 1 = makespan.
+    time_hist: BTreeMap<i64, u32>,
+    leaves: Vec<NodeCost>,
+    tree: CostTree,
+    /// The tree's leaf capacity (`CostTree` keeps it private); a leaf
+    /// append that stays within it can use the zero-padded slots, one
+    /// that outgrows it forces a rebuild.
+    tree_cap: usize,
+    /// Leaves whose [`NodeCost`] is stale. Flushed lazily at
+    /// evaluation time, and only for legal candidates — costing an
+    /// off-grid placement is meaningless.
+    dirty: Vec<usize>,
+}
+
+impl CandState {
+    /// Build from scratch for a resolved candidate — the same work the
+    /// cold path does, cached.
+    fn build(ev: &Evaluator<'_>, rm: &ResolvedMapping, consumers: &[Vec<NodeId>]) -> CandState {
+        let graph = ev.graph();
+        let machine = ev.machine();
+        let n = graph.len();
+
+        let mut oob = 0u64;
+        let mut neg = 0u64;
+        for id in 0..n {
+            if !machine.contains(rm.place[id].0, rm.place[id].1) {
+                oob += 1;
+            }
+            if rm.time[id] < 0 {
+                neg += 1;
+            }
+        }
+        let mut causality = 0u64;
+        for (id, node) in graph.nodes.iter().enumerate() {
+            for &d in &node.deps {
+                causality += edge_violation(machine, &rm.place, &rm.time, d as usize, id);
+            }
+        }
+        let mut issue: HashMap<((i64, i64), i64), u32> = HashMap::new();
+        for id in 0..n {
+            *issue.entry((rm.place[id], rm.time[id])).or_insert(0) += 1;
+        }
+        let issue_over = issue.values().filter(|&&c| c > machine.issue_width).count() as u64;
+
+        let mut last_use = rm.time.clone();
+        for (id, node) in graph.nodes.iter().enumerate() {
+            for &d in &node.deps {
+                if rm.time[id] > last_use[d as usize] {
+                    last_use[d as usize] = rm.time[id];
+                }
+            }
+        }
+        let mut pe_nodes: HashMap<(i64, i64), Vec<NodeId>> = HashMap::new();
+        for (id, &pe) in rm.place.iter().enumerate() {
+            pe_nodes.entry(pe).or_default().push(id as NodeId);
+        }
+        let mut time_hist = BTreeMap::new();
+        for &t in &rm.time {
+            hist_add(&mut time_hist, t);
+        }
+
+        let mut this = CandState {
+            place: rm.place.clone(),
+            time: rm.time.clone(),
+            oob,
+            neg,
+            causality,
+            issue,
+            issue_over,
+            last_use,
+            pe_nodes,
+            peaks: HashMap::new(),
+            peak_hist: BTreeMap::new(),
+            storage_over: 0,
+            time_hist,
+            leaves: Vec::new(),
+            tree: CostTree::build(&[]),
+            tree_cap: 1,
+            dirty: Vec::new(),
+        };
+        let pes: Vec<(i64, i64)> = this.pe_nodes.keys().copied().collect();
+        for pe in pes {
+            this.refresh_peak(graph, machine, pe);
+        }
+        if this.total() == 0 {
+            this.leaves = (0..n)
+                .map(|id| ev.node_cost(id, &this.place, consumers))
+                .collect();
+        } else {
+            // Illegal now: defer costing until (if ever) edits make the
+            // candidate legal — off-grid places cast to garbage u32
+            // coordinates inside `node_cost`.
+            this.leaves = vec![NodeCost::default(); n];
+            this.dirty = (0..n).collect();
+        }
+        this.tree = CostTree::build(&this.leaves);
+        this.tree_cap = n.next_power_of_two().max(1);
+        this
+    }
+
+    /// Exact violation total, mirroring the full checker's phases:
+    /// causality is only meaningful (and only counted) with every place
+    /// on-grid.
+    fn total(&self) -> u64 {
+        let causality = if self.oob == 0 { self.causality } else { 0 };
+        self.oob + self.neg + causality + self.issue_over + self.storage_over
+    }
+
+    fn issue_add(&mut self, width: u32, key: ((i64, i64), i64)) {
+        let c = self.issue.entry(key).or_insert(0);
+        *c += 1;
+        if u64::from(*c) == u64::from(width) + 1 {
+            self.issue_over += 1;
+        }
+    }
+
+    fn issue_remove(&mut self, width: u32, key: ((i64, i64), i64)) {
+        let c = self.issue.get_mut(&key).expect("issue histogram underflow");
+        if u64::from(*c) == u64::from(width) + 1 {
+            self.issue_over -= 1;
+        }
+        *c -= 1;
+        if *c == 0 {
+            self.issue.remove(&key);
+        }
+    }
+
+    fn recompute_last_use(time: &[i64], consumers: &[Vec<NodeId>], id: usize) -> i64 {
+        let mut lu = time[id];
+        for &c in &consumers[id] {
+            lu = lu.max(time[c as usize]);
+        }
+        lu
+    }
+
+    /// Re-sweep one PE's peak live bits and fold the change into the
+    /// peak histogram and the over-capacity count. Same sweep as
+    /// [`DeltaEvaluator::refresh_peak`], minus the undo journal.
+    fn refresh_peak(&mut self, graph: &DataflowGraph, machine: &MachineConfig, pe: (i64, i64)) {
+        let new = self.pe_nodes.get(&pe).map(|list| {
+            let width = u64::from(graph.width_bits);
+            let mut events: Vec<(i64, i64)> = Vec::with_capacity(list.len() * 2);
+            for &j in list {
+                let ju = j as usize;
+                let last = if graph.nodes[ju].output {
+                    FAR_FUTURE
+                } else {
+                    self.last_use[ju]
+                };
+                events.push((self.time[ju], 1));
+                events.push((last + 1, -1));
+            }
+            events.sort_unstable();
+            let mut live = 0i64;
+            let mut peak = 0i64;
+            for (_, d) in events {
+                live += d;
+                peak = peak.max(live);
+            }
+            peak as u64 * width
+        });
+        let old = self.peaks.get(&pe).copied();
+        if old == new {
+            return;
+        }
+        let cap = machine.tile_bits;
+        if let Some(o) = old {
+            hist_remove(&mut self.peak_hist, o);
+            if o > cap {
+                self.storage_over -= 1;
+            }
+            self.peaks.remove(&pe);
+        }
+        if let Some(v) = new {
+            hist_add(&mut self.peak_hist, v);
+            if v > cap {
+                self.storage_over += 1;
+            }
+            self.peaks.insert(pe, v);
+        }
+    }
+
+    /// A node was appended with the given (statically resolved) place
+    /// and time.
+    fn repair_add(&mut self, ev: &Evaluator<'_>, id: usize, pe: (i64, i64), t: i64) {
+        let graph = ev.graph();
+        let machine = ev.machine();
+        self.place.push(pe);
+        self.time.push(t);
+        if !machine.contains(pe.0, pe.1) {
+            self.oob += 1;
+        }
+        if t < 0 {
+            self.neg += 1;
+        }
+        for &d in &graph.nodes[id].deps {
+            self.causality += edge_violation(machine, &self.place, &self.time, d as usize, id);
+        }
+        self.issue_add(machine.issue_width, (pe, t));
+        hist_add(&mut self.time_hist, t);
+        // No consumers yet: the new node's value dies at birth.
+        self.last_use.push(t);
+        let mut dirty_pes = vec![pe];
+        for &d in &graph.nodes[id].deps {
+            let du = d as usize;
+            if t > self.last_use[du] {
+                self.last_use[du] = t;
+                dirty_pes.push(self.place[du]);
+            }
+            // The producer now sends one more def→use message.
+            self.dirty.push(du);
+        }
+        // Largest id: appending keeps the list ascending.
+        self.pe_nodes.entry(pe).or_default().push(id as NodeId);
+        self.leaves.push(NodeCost::default());
+        self.dirty.push(id);
+        let want = self.leaves.len().next_power_of_two().max(1);
+        if want != self.tree_cap {
+            // Stale dirty leaves are fine: the flush recomputes their
+            // root paths, and every other internal node sums unchanged
+            // descendants.
+            self.tree = CostTree::build(&self.leaves);
+            self.tree_cap = want;
+        }
+        dirty_pes.sort_unstable();
+        dirty_pes.dedup();
+        for pe in dirty_pes {
+            self.refresh_peak(graph, machine, pe);
+        }
+    }
+
+    /// Consumerless node `r` was removed; ids above it shifted down.
+    /// `consumers` is the *post-edit* shared consumer index.
+    fn repair_remove(
+        &mut self,
+        ev: &Evaluator<'_>,
+        consumers: &[Vec<NodeId>],
+        r: usize,
+        removed: &Node,
+    ) {
+        let graph = ev.graph();
+        let machine = ev.machine();
+        let pe = self.place[r];
+        let t = self.time[r];
+        if !machine.contains(pe.0, pe.1) {
+            self.oob -= 1;
+        }
+        if t < 0 {
+            self.neg -= 1;
+        }
+        // Subtract with the pre-compaction arrays: the removed node's
+        // entries are still present and its deps all sit below it.
+        for &d in &removed.deps {
+            self.causality -= edge_violation(machine, &self.place, &self.time, d as usize, r);
+        }
+        self.issue_remove(machine.issue_width, (pe, t));
+        hist_remove(&mut self.time_hist, t);
+        {
+            let list = self.pe_nodes.get_mut(&pe).expect("node on its PE");
+            let pos = list.binary_search(&(r as NodeId)).expect("node on its PE");
+            list.remove(pos);
+            if list.is_empty() {
+                self.pe_nodes.remove(&pe);
+            }
+        }
+        // Uniform decrement keeps every list sorted.
+        for list in self.pe_nodes.values_mut() {
+            for id in list.iter_mut() {
+                if *id > r as NodeId {
+                    *id -= 1;
+                }
+            }
+        }
+        self.place.remove(r);
+        self.time.remove(r);
+        self.last_use.remove(r);
+        self.leaves.remove(r);
+        self.dirty.retain(|&i| i != r);
+        for i in self.dirty.iter_mut() {
+            if *i > r {
+                *i -= 1;
+            }
+        }
+        let mut dirty_pes = vec![pe];
+        for &d in &removed.deps {
+            let du = d as usize;
+            let lu = Self::recompute_last_use(&self.time, consumers, du);
+            if lu != self.last_use[du] {
+                self.last_use[du] = lu;
+                dirty_pes.push(self.place[du]);
+            }
+            // One fewer def→use message from each former producer.
+            self.dirty.push(du);
+        }
+        // Compaction shifted every leaf slot: rebuild the fixed-shape
+        // tree at the new capacity.
+        self.tree = CostTree::build(&self.leaves);
+        self.tree_cap = self.leaves.len().next_power_of_two().max(1);
+        dirty_pes.sort_unstable();
+        dirty_pes.dedup();
+        for pe in dirty_pes {
+            self.refresh_peak(graph, machine, pe);
+        }
+    }
+
+    /// Dep slot of `node` moved from `old_dep` to `new_dep`. Places and
+    /// times are untouched; only one causality edge, the two producers'
+    /// message costs, and their last-use lifetimes can change. The
+    /// edited node's own leaf is unchanged — its operand count, input
+    /// reads, and produced messages do not depend on who feeds it.
+    fn repair_retarget(
+        &mut self,
+        ev: &Evaluator<'_>,
+        consumers: &[Vec<NodeId>],
+        node: usize,
+        old_dep: usize,
+        new_dep: usize,
+    ) {
+        if old_dep == new_dep {
+            return;
+        }
+        let graph = ev.graph();
+        let machine = ev.machine();
+        self.causality -= edge_violation(machine, &self.place, &self.time, old_dep, node);
+        self.causality += edge_violation(machine, &self.place, &self.time, new_dep, node);
+        let mut dirty_pes = Vec::new();
+        for du in [old_dep, new_dep] {
+            let lu = Self::recompute_last_use(&self.time, consumers, du);
+            if lu != self.last_use[du] {
+                self.last_use[du] = lu;
+                dirty_pes.push(self.place[du]);
+            }
+            self.dirty.push(du);
+        }
+        dirty_pes.sort_unstable();
+        dirty_pes.dedup();
+        for pe in dirty_pes {
+            self.refresh_peak(graph, machine, pe);
+        }
+    }
+
+    /// The tile capacity changed: peaks and energies are capacity-
+    /// independent, only the over-capacity count moves.
+    fn repair_resize(&mut self, machine: &MachineConfig) {
+        self.storage_over = self
+            .peaks
+            .values()
+            .filter(|&&p| p > machine.tile_bits)
+            .count() as u64;
+    }
+
+    /// Recost stale leaves. Called only when the candidate is legal.
+    fn flush(&mut self, ev: &Evaluator<'_>, consumers: &[Vec<NodeId>]) {
+        if self.dirty.is_empty() {
+            return;
+        }
+        self.dirty.sort_unstable();
+        self.dirty.dedup();
+        for idx in std::mem::take(&mut self.dirty) {
+            let c = ev.node_cost(idx, &self.place, consumers);
+            self.leaves[idx] = c;
+            self.tree.update(idx, c);
+        }
+    }
+}
+
+/// A pool of candidate mappings kept evaluable across structural edits.
+///
+/// Feed it every [`AppliedEdit`] receipt (in order) via [`Self::apply`];
+/// [`Self::evaluate`] then returns, for any candidate, exactly what
+/// [`crate::search::evaluate_candidate`] would return against the
+/// *current* graph and machine — same [`CandidateEval`] variant, same
+/// violation count, bit-identical report and score — without re-walking
+/// the graph when incremental repair sufficed.
+///
+/// The evaluator passed to [`Self::new`], [`Self::apply`], and
+/// [`Self::evaluate`] must be configured identically each time (same
+/// input placements, writeback, multicast) and must wrap the graph and
+/// machine as evolved *only* through the applied edits.
+pub struct DeltaCandidates {
+    mappings: Vec<Mapping>,
+    /// Shared consumer index of the current graph.
+    consumers: Vec<Vec<NodeId>>,
+    /// Nodes with no domain index — any makes affine candidates
+    /// unresolvable.
+    unindexed: usize,
+    /// Refcount of DRAM-placed input reads per distinct element; the
+    /// key count is the off-chip fetch count.
+    dram_refs: HashMap<(u32, u32), u32>,
+    /// Nodes marked as outputs.
+    marked_outputs: u64,
+    /// Nodes with at least one consumer (`len - nonsink` = sink count,
+    /// the writeback set when nothing is marked).
+    nonsink: u64,
+    graph_len: usize,
+    /// One cached state per candidate; `None` = unresolvable now, or
+    /// invalidated and awaiting a lazy cold rebuild.
+    states: Vec<Option<CandState>>,
+    rebuilds: u64,
+}
+
+impl DeltaCandidates {
+    /// Build the pool, eagerly caching state for every candidate that
+    /// resolves against the evaluator's current graph and machine.
+    pub fn new(ev: &Evaluator<'_>, mappings: Vec<Mapping>) -> Self {
+        let graph = ev.graph();
+        let machine = ev.machine();
+        let consumers = graph.consumers();
+        let unindexed = graph.nodes.iter().filter(|n| n.index.is_empty()).count();
+        let mut dram_refs: HashMap<(u32, u32), u32> = HashMap::new();
+        for n in &graph.nodes {
+            for (input, flat) in n.expr.input_reads() {
+                if ev.dram_input(input) {
+                    *dram_refs.entry((input, flat)).or_insert(0) += 1;
+                }
+            }
+        }
+        let marked_outputs = graph.nodes.iter().filter(|n| n.output).count() as u64;
+        let nonsink = consumers.iter().filter(|c| !c.is_empty()).count() as u64;
+        let states = mappings
+            .iter()
+            .map(|m| {
+                m.resolve(graph, machine)
+                    .ok()
+                    .map(|rm| CandState::build(ev, &rm, &consumers))
+            })
+            .collect();
+        DeltaCandidates {
+            mappings,
+            consumers,
+            unindexed,
+            dram_refs,
+            marked_outputs,
+            nonsink,
+            graph_len: graph.len(),
+            states,
+            rebuilds: 0,
+        }
+    }
+
+    /// Number of candidates in the pool.
+    pub fn len(&self) -> usize {
+        self.mappings.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.mappings.is_empty()
+    }
+
+    /// How many candidates have been rebuilt cold at evaluation time
+    /// because an edit invalidated their cached state. Zero across an
+    /// edit/evaluate cycle means every evaluation was served warm.
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Whether candidate `i`'s mapping resolves against the current
+    /// graph — the same predicate as `Mapping::resolve`, answered from
+    /// maintained counters.
+    fn resolvable(&self, i: usize) -> bool {
+        match &self.mappings[i] {
+            Mapping::Affine(_) => self.unindexed == 0,
+            Mapping::Table(t) => t.place.len() == self.graph_len && t.time.len() == self.graph_len,
+        }
+    }
+
+    /// Fold one applied edit into the shared indexes and every cached
+    /// candidate state. `ev` must wrap the *post-edit* graph/machine.
+    pub fn apply(&mut self, ev: &Evaluator<'_>, edit: &AppliedEdit) {
+        let graph = ev.graph();
+        match edit {
+            AppliedEdit::AddNode { id } => {
+                let node = &graph.nodes[*id as usize];
+                self.consumers.push(Vec::new());
+                for &d in &node.deps {
+                    let du = d as usize;
+                    if self.consumers[du].is_empty() {
+                        self.nonsink += 1;
+                    }
+                    // The new id is the largest: order is preserved.
+                    self.consumers[du].push(*id);
+                }
+                if node.index.is_empty() {
+                    self.unindexed += 1;
+                }
+                for (input, flat) in node.expr.input_reads() {
+                    if ev.dram_input(input) {
+                        *self.dram_refs.entry((input, flat)).or_insert(0) += 1;
+                    }
+                }
+                if node.output {
+                    self.marked_outputs += 1;
+                }
+                self.graph_len += 1;
+            }
+            AppliedEdit::RemoveNode { node, .. } => {
+                if node.index.is_empty() {
+                    self.unindexed -= 1;
+                }
+                for (input, flat) in node.expr.input_reads() {
+                    if ev.dram_input(input) {
+                        match self.dram_refs.get_mut(&(input, flat)) {
+                            Some(c) if *c > 1 => *c -= 1,
+                            Some(_) => {
+                                self.dram_refs.remove(&(input, flat));
+                            }
+                            None => panic!("DRAM refcount underflow"),
+                        }
+                    }
+                }
+                if node.output {
+                    self.marked_outputs -= 1;
+                }
+                self.graph_len -= 1;
+                // Compaction renumbers entries in every list; rebuild.
+                self.consumers = graph.consumers();
+                self.nonsink = self.consumers.iter().filter(|c| !c.is_empty()).count() as u64;
+            }
+            AppliedEdit::RetargetEdge {
+                node,
+                old_dep,
+                new_dep,
+                ..
+            } => {
+                if old_dep != new_dep {
+                    let ou = *old_dep as usize;
+                    let pos = self.consumers[ou]
+                        .binary_search(node)
+                        .expect("retargeted consumer recorded on old producer");
+                    self.consumers[ou].remove(pos);
+                    if self.consumers[ou].is_empty() {
+                        self.nonsink -= 1;
+                    }
+                    let nu = *new_dep as usize;
+                    if self.consumers[nu].is_empty() {
+                        self.nonsink += 1;
+                    }
+                    let pos = match self.consumers[nu].binary_search(node) {
+                        Ok(p) | Err(p) => p,
+                    };
+                    self.consumers[nu].insert(pos, *node);
+                }
+            }
+            AppliedEdit::ResizeTile { .. } => {}
+        }
+        debug_assert_eq!(self.graph_len, graph.len(), "edits applied out of order");
+
+        for i in 0..self.mappings.len() {
+            if !self.resolvable(i) {
+                self.states[i] = None;
+                continue;
+            }
+            let Some(state) = self.states[i].as_mut() else {
+                // Invalidated earlier; rebuilt lazily at evaluation.
+                continue;
+            };
+            match edit {
+                AppliedEdit::AddNode { id } => {
+                    let Mapping::Affine(am) = &self.mappings[i] else {
+                        unreachable!("a length change drops table candidates")
+                    };
+                    let idu = *id as usize;
+                    let n = &graph.nodes[idu];
+                    let pe = am.place.eval(&n.index, ev.machine().cols);
+                    let t = am.time.eval(&n.index);
+                    state.repair_add(ev, idu, pe, t);
+                }
+                AppliedEdit::RemoveNode { id, node } => {
+                    state.repair_remove(ev, &self.consumers, *id as usize, node);
+                }
+                AppliedEdit::RetargetEdge {
+                    node,
+                    old_dep,
+                    new_dep,
+                    ..
+                } => {
+                    state.repair_retarget(
+                        ev,
+                        &self.consumers,
+                        *node as usize,
+                        *old_dep as usize,
+                        *new_dep as usize,
+                    );
+                }
+                AppliedEdit::ResizeTile { .. } => {
+                    state.repair_resize(ev.machine());
+                }
+            }
+        }
+    }
+
+    /// Evaluate candidate `i` against the current graph/machine —
+    /// bit-identical to the cold path, cone-sized work when the cached
+    /// state survived the edits since the last call.
+    pub fn evaluate(&mut self, i: usize, ev: &Evaluator<'_>, fom: FigureOfMerit) -> CandidateEval {
+        if !self.resolvable(i) {
+            self.states[i] = None;
+            return CandidateEval::Unresolvable;
+        }
+        if self.states[i].is_none() {
+            let rm = self.mappings[i]
+                .resolve(ev.graph(), ev.machine())
+                .expect("resolvable candidate must resolve");
+            self.states[i] = Some(CandState::build(ev, &rm, &self.consumers));
+            self.rebuilds += 1;
+        }
+        let state = self.states[i].as_mut().expect("state just ensured");
+        let total = state.total();
+        if total > 0 {
+            return CandidateEval::Illegal(total);
+        }
+        state.flush(ev, &self.consumers);
+        let cycles = state.time_hist.keys().next_back().map_or(0, |&t| t + 1);
+        let peak = state.peak_hist.keys().next_back().copied().unwrap_or(0);
+        let writeback = if ev.writeback_on() {
+            if self.marked_outputs > 0 {
+                self.marked_outputs
+            } else {
+                self.graph_len as u64 - self.nonsink
+            }
+        } else {
+            0
+        };
+        let off = ev.offchip_from_count(self.dram_refs.len() as u64 + writeback);
+        let report = ev.assemble(state.tree.total(), &off, cycles, peak, state.pe_nodes.len());
+        let score = fom.score(&report);
+        CandidateEval::Legal {
+            resolved: ResolvedMapping {
+                place: state.place.clone(),
+                time: state.time.clone(),
+            },
+            report,
+            score,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -792,5 +1499,379 @@ mod tests {
         assert_eq!(rep.cycles, 0);
         assert_eq!(rep.pes_used, 0);
         assert_eq!(delta.storage_violations(), 0);
+    }
+
+    // ------------------------------------------------------------------
+    // DeltaCandidates: structural-edit repair parity.
+    // ------------------------------------------------------------------
+
+    use crate::affine::IdxExpr;
+    use crate::mapping::{AffineMap, LinearOrder, Mapping, PlaceExpr};
+    use crate::mutate::{apply_edit, GraphEdit};
+    use crate::search::{evaluate_candidate, CandidateEval, FigureOfMerit, MappingCandidate};
+
+    fn assert_same_eval(warm: &CandidateEval, cold: &CandidateEval, ctx: &str) {
+        match (warm, cold) {
+            (CandidateEval::Unresolvable, CandidateEval::Unresolvable) => {}
+            (CandidateEval::Illegal(a), CandidateEval::Illegal(b)) => {
+                assert_eq!(a, b, "violation counts differ: {ctx}");
+            }
+            (
+                CandidateEval::Legal {
+                    resolved: ra,
+                    report: pa,
+                    score: sa,
+                },
+                CandidateEval::Legal {
+                    resolved: rb,
+                    report: pb,
+                    score: sb,
+                },
+            ) => {
+                assert_eq!(ra, rb, "resolved mappings differ: {ctx}");
+                assert_eq!(pa, pb, "reports differ: {ctx}");
+                assert_eq!(
+                    sa.to_bits(),
+                    sb.to_bits(),
+                    "scores not bit-identical: {ctx}"
+                );
+            }
+            _ => panic!("variant mismatch ({ctx}): warm {warm:?} vs cold {cold:?}"),
+        }
+    }
+
+    /// The candidate mix every parity test drives: one that goes
+    /// off-grid on big graphs, one causality-tight, one always legal
+    /// (times spread past the grid diameter), and a fixed table.
+    fn candidate_mix(g: &DataflowGraph) -> Vec<Mapping> {
+        vec![
+            Mapping::Affine(AffineMap {
+                place: PlaceExpr::Linear {
+                    id: IdxExpr::i(),
+                    order: LinearOrder::RowMajor,
+                },
+                time: IdxExpr::i(),
+            }),
+            Mapping::Affine(AffineMap {
+                place: PlaceExpr::row0(IdxExpr::i() % 3),
+                time: IdxExpr::i(),
+            }),
+            Mapping::Affine(AffineMap {
+                place: PlaceExpr::row0(IdxExpr::i() % 3),
+                time: IdxExpr::i() * 4,
+            }),
+            Mapping::serial(g),
+        ]
+    }
+
+    fn random_edit(rng: &mut StdRng, g: &DataflowGraph, next_idx: &mut i64) -> GraphEdit {
+        loop {
+            match rng.random_range(0..10u32) {
+                0..=3 => {
+                    let n = g.len() as u32;
+                    let (expr, deps) = if n == 0 || rng.random_range(0..4u32) == 0 {
+                        (CExpr::konst(Value::real(1.0)), vec![])
+                    } else if n == 1 || rng.random_range(0..2u32) == 0 {
+                        (CExpr::dep(0), vec![rng.random_range(0..n)])
+                    } else {
+                        let a = rng.random_range(0..n);
+                        let b = rng.random_range(0..n);
+                        (CExpr::dep(0).add(CExpr::dep(1)), vec![a.min(b), a.max(b)])
+                    };
+                    *next_idx += 1;
+                    return GraphEdit::AddNode {
+                        expr,
+                        deps,
+                        index: vec![*next_idx],
+                        output: rng.random_range(0..5u32) == 0,
+                    };
+                }
+                4..=5 => {
+                    let cons = g.consumers();
+                    let sinks: Vec<u32> = (0..g.len() as u32)
+                        .filter(|&i| cons[i as usize].is_empty())
+                        .collect();
+                    if sinks.is_empty() {
+                        continue;
+                    }
+                    return GraphEdit::RemoveNode {
+                        id: sinks[rng.random_range(0..sinks.len())],
+                    };
+                }
+                6..=8 => {
+                    let with_deps: Vec<u32> = g
+                        .nodes
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, n)| !n.deps.is_empty())
+                        .map(|(i, _)| i as u32)
+                        .collect();
+                    if with_deps.is_empty() {
+                        continue;
+                    }
+                    let node = with_deps[rng.random_range(0..with_deps.len())];
+                    let slot = rng.random_range(0..g.nodes[node as usize].deps.len() as u32);
+                    return GraphEdit::RetargetEdge {
+                        node,
+                        slot,
+                        new_dep: rng.random_range(0..node),
+                    };
+                }
+                _ => {
+                    let bits = [4 * 32u64, 1 << 12, 1 << 20];
+                    return GraphEdit::ResizeTile {
+                        tile_bits: bits[rng.random_range(0..bits.len())],
+                    };
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_edit_streams_keep_candidates_bit_exact() {
+        for seed in 0..3u64 {
+            let mut g = random_dag(30, 11 + seed);
+            let mut m = MachineConfig::n5(3, 2);
+            let mappings = candidate_mix(&g);
+            let mut dc = {
+                let ev = Evaluator::new(&g, &m);
+                DeltaCandidates::new(&ev, mappings.clone())
+            };
+            let mut rng = StdRng::seed_from_u64(1000 + seed);
+            let mut next_idx = g.len() as i64 - 1;
+            for step in 0..50 {
+                let edit = random_edit(&mut rng, &g, &mut next_idx);
+                let receipt = apply_edit(&mut g, &mut m, &edit).expect("generated edits are valid");
+                let ev = Evaluator::new(&g, &m);
+                dc.apply(&ev, &receipt);
+                for (i, mapping) in mappings.iter().enumerate() {
+                    let warm = dc.evaluate(i, &ev, FigureOfMerit::Edp);
+                    let cold = evaluate_candidate(
+                        &ev,
+                        &g,
+                        &m,
+                        &MappingCandidate::new(format!("c{i}"), mapping.clone()),
+                        FigureOfMerit::Edp,
+                    );
+                    assert_same_eval(&warm, &cold, &format!("seed {seed} step {step} cand {i}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table_candidates_drop_on_length_change_and_rebuild_lazily() {
+        let mut g = random_dag(10, 2);
+        let mut m = MachineConfig::n5(2, 2);
+        let serial = Mapping::serial(&g);
+        let mut dc = {
+            let ev = Evaluator::new(&g, &m);
+            DeltaCandidates::new(&ev, vec![serial.clone()])
+        };
+        let add = GraphEdit::AddNode {
+            expr: CExpr::konst(Value::real(2.0)),
+            deps: vec![],
+            index: vec![10],
+            output: false,
+        };
+        let r = apply_edit(&mut g, &mut m, &add).unwrap();
+        let added = match r {
+            AppliedEdit::AddNode { id } => id,
+            _ => unreachable!(),
+        };
+        {
+            let ev = Evaluator::new(&g, &m);
+            dc.apply(&ev, &r);
+            assert!(matches!(
+                dc.evaluate(0, &ev, FigureOfMerit::Energy),
+                CandidateEval::Unresolvable
+            ));
+            assert_eq!(dc.rebuilds(), 0, "unresolvable is not a rebuild");
+        }
+        let r = apply_edit(&mut g, &mut m, &GraphEdit::RemoveNode { id: added }).unwrap();
+        let ev = Evaluator::new(&g, &m);
+        dc.apply(&ev, &r);
+        let warm = dc.evaluate(0, &ev, FigureOfMerit::Energy);
+        let cold = evaluate_candidate(
+            &ev,
+            &g,
+            &m,
+            &MappingCandidate::new("serial", serial),
+            FigureOfMerit::Energy,
+        );
+        assert_same_eval(&warm, &cold, "table restored to matching length");
+        assert_eq!(dc.rebuilds(), 1, "length restored via one cold rebuild");
+    }
+
+    #[test]
+    fn unindexed_node_cold_rebuilds_affine_candidates() {
+        let mut g = random_dag(12, 3);
+        let mut m = MachineConfig::n5(3, 2);
+        let affine = Mapping::Affine(AffineMap {
+            place: PlaceExpr::row0(IdxExpr::i() % 3),
+            time: IdxExpr::i() * 4,
+        });
+        let mut dc = {
+            let ev = Evaluator::new(&g, &m);
+            DeltaCandidates::new(&ev, vec![affine.clone()])
+        };
+        // An irregular (index-less) node makes every affine candidate
+        // unresolvable.
+        let add = GraphEdit::AddNode {
+            expr: CExpr::konst(Value::real(1.0)),
+            deps: vec![],
+            index: vec![],
+            output: false,
+        };
+        let r = apply_edit(&mut g, &mut m, &add).unwrap();
+        let added = match r {
+            AppliedEdit::AddNode { id } => id,
+            _ => unreachable!(),
+        };
+        {
+            let ev = Evaluator::new(&g, &m);
+            dc.apply(&ev, &r);
+            assert!(matches!(
+                dc.evaluate(0, &ev, FigureOfMerit::Edp),
+                CandidateEval::Unresolvable
+            ));
+        }
+        let r = apply_edit(&mut g, &mut m, &GraphEdit::RemoveNode { id: added }).unwrap();
+        let ev = Evaluator::new(&g, &m);
+        dc.apply(&ev, &r);
+        let warm = dc.evaluate(0, &ev, FigureOfMerit::Edp);
+        let cold = evaluate_candidate(
+            &ev,
+            &g,
+            &m,
+            &MappingCandidate::new("affine", affine),
+            FigureOfMerit::Edp,
+        );
+        assert_same_eval(&warm, &cold, "affine resolvable again");
+        assert_eq!(dc.rebuilds(), 1);
+    }
+
+    #[test]
+    fn resize_repair_stays_warm_through_an_illegal_excursion() {
+        let mut g = random_dag(20, 4);
+        let mut m = MachineConfig::n5(3, 2);
+        let affine = Mapping::Affine(AffineMap {
+            place: PlaceExpr::row0(IdxExpr::i() % 3),
+            time: IdxExpr::i() * 4,
+        });
+        let old_bits = m.tile_bits;
+        let mut dc = {
+            let ev = Evaluator::new(&g, &m);
+            DeltaCandidates::new(&ev, vec![affine.clone()])
+        };
+        let check_parity = |dc: &mut DeltaCandidates, g: &DataflowGraph, m: &MachineConfig, ctx| {
+            let ev = Evaluator::new(g, m);
+            let warm = dc.evaluate(0, &ev, FigureOfMerit::Footprint);
+            let cold = evaluate_candidate(
+                &ev,
+                g,
+                m,
+                &MappingCandidate::new("affine", affine.clone()),
+                FigureOfMerit::Footprint,
+            );
+            assert_same_eval(&warm, &cold, ctx);
+            warm
+        };
+        assert!(matches!(
+            check_parity(&mut dc, &g, &m, "before resize"),
+            CandidateEval::Legal { .. }
+        ));
+        // Shrink tiles far below any peak: storage violations appear.
+        let r = apply_edit(&mut g, &mut m, &GraphEdit::ResizeTile { tile_bits: 1 }).unwrap();
+        {
+            let ev = Evaluator::new(&g, &m);
+            dc.apply(&ev, &r);
+        }
+        assert!(matches!(
+            check_parity(&mut dc, &g, &m, "tiny tiles"),
+            CandidateEval::Illegal(_)
+        ));
+        // Restore: legal again, and never rebuilt cold along the way.
+        let r = apply_edit(
+            &mut g,
+            &mut m,
+            &GraphEdit::ResizeTile {
+                tile_bits: old_bits,
+            },
+        )
+        .unwrap();
+        {
+            let ev = Evaluator::new(&g, &m);
+            dc.apply(&ev, &r);
+        }
+        assert!(matches!(
+            check_parity(&mut dc, &g, &m, "restored tiles"),
+            CandidateEval::Legal { .. }
+        ));
+        assert_eq!(dc.rebuilds(), 0, "resize round-trip repaired warm");
+    }
+
+    #[test]
+    fn dram_and_writeback_counters_stay_exact_under_edits() {
+        let mut g = DataflowGraph::new("io", 32);
+        let x = g.add_input("X", vec![8]);
+        g.add_node(CExpr::input(x, 0), vec![], vec![0]);
+        g.add_node(CExpr::input(x, 1).add(CExpr::input(x, 0)), vec![], vec![1]);
+        let mut m = MachineConfig::n5(3, 2);
+        let affine = Mapping::Affine(AffineMap {
+            place: PlaceExpr::row0(IdxExpr::i() % 3),
+            time: IdxExpr::i() * 4,
+        });
+        // Must be configured identically on every call.
+        fn make_ev<'a>(g: &'a DataflowGraph, m: &'a MachineConfig) -> Evaluator<'a> {
+            Evaluator::new(g, m).with_writeback(true)
+        }
+        let mut dc = {
+            let ev = make_ev(&g, &m);
+            DeltaCandidates::new(&ev, vec![affine.clone()])
+        };
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut next_idx = 1i64;
+        for step in 0..40 {
+            let edit = if g.len() < 3 || rng.random_range(0..3u32) > 0 {
+                let n = g.len() as u32;
+                let elem = rng.random_range(0..8u32);
+                let (expr, deps) = if rng.random_range(0..2u32) == 0 {
+                    (CExpr::input(x, elem), vec![])
+                } else {
+                    (
+                        CExpr::input(x, elem).add(CExpr::dep(0)),
+                        vec![rng.random_range(0..n)],
+                    )
+                };
+                next_idx += 1;
+                GraphEdit::AddNode {
+                    expr,
+                    deps,
+                    index: vec![next_idx],
+                    output: rng.random_range(0..3u32) == 0,
+                }
+            } else {
+                let cons = g.consumers();
+                let sinks: Vec<u32> = (0..g.len() as u32)
+                    .filter(|&i| cons[i as usize].is_empty())
+                    .collect();
+                GraphEdit::RemoveNode {
+                    id: sinks[rng.random_range(0..sinks.len())],
+                }
+            };
+            let receipt = apply_edit(&mut g, &mut m, &edit).expect("valid edit");
+            let ev = make_ev(&g, &m);
+            dc.apply(&ev, &receipt);
+            let warm = dc.evaluate(0, &ev, FigureOfMerit::Energy);
+            let cold = evaluate_candidate(
+                &ev,
+                &g,
+                &m,
+                &MappingCandidate::new("affine", affine.clone()),
+                FigureOfMerit::Energy,
+            );
+            assert_same_eval(&warm, &cold, &format!("io step {step}"));
+        }
     }
 }

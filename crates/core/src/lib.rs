@@ -31,6 +31,9 @@
 //! * [`machine`] — the abstract machine configuration a mapping targets:
 //!   technology, grid extent, clock, per-PE issue width, tile capacity,
 //!   link width.
+//! * [`mutate`] — live structural edits of a (function, machine) pair
+//!   (add/remove node, retarget edge, resize tile), with receipts that
+//!   drive incremental cost repair in [`delta`].
 //! * [`legality`] — the static checker: causality with wire delay,
 //!   issue-width bounds, tile-storage bounds. ("A legal mapping is one
 //!   that preserves causality …")
@@ -67,6 +70,7 @@ pub mod legality;
 pub mod lower;
 pub mod machine;
 pub mod mapping;
+pub mod mutate;
 pub mod parse;
 pub mod pramcost;
 pub mod recurrence;
@@ -82,6 +86,7 @@ pub use expr::{ElemExpr, InputRef};
 pub use legality::{LegalityError, LegalityReport};
 pub use machine::MachineConfig;
 pub use mapping::{InputPlacement, Mapping, Place, ResolvedMapping};
+pub use mutate::{apply_edit, AppliedEdit, GraphEdit};
 pub use recurrence::{Boundary, Domain, Recurrence};
 pub use search::{FigureOfMerit, MappingFamily, SearchOutcome};
 pub use value::Value;

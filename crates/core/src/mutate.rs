@@ -1,0 +1,262 @@
+//! Live structural edits of a (function, machine) pair.
+//!
+//! A serving session (see `fm-serve`) holds a [`DataflowGraph`] and a
+//! [`MachineConfig`] that *change under it*: clients stream batched
+//! [`GraphEdit`]s — add/remove a node, retarget an edge, resize the
+//! per-PE tile — and expect re-tunes to be repaired incrementally
+//! rather than re-evaluated from scratch. This module is the shared
+//! vocabulary for those edits:
+//!
+//! * [`GraphEdit`] — the wire-facing edit description (serializable,
+//!   validated, never panics).
+//! * [`apply_edit`] — applies one edit to the graph/machine and
+//!   returns an [`AppliedEdit`] *receipt* carrying exactly the context
+//!   an incremental cost repairer needs (e.g. the removed node's
+//!   dependency list, the retargeted edge's old producer).
+//!
+//! The receipt is what [`crate::delta::DeltaCandidates`] consumes to
+//! repair per-candidate legality counters and cost trees in O(cone)
+//! instead of O(V + E).
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataflow::{CExpr, DataflowGraph, MutationError, Node, NodeId};
+use crate::machine::MachineConfig;
+
+/// One structural edit, as a client describes it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum GraphEdit {
+    /// Append a node (it gets the next id, keeping topological order).
+    AddNode {
+        /// The compiled element expression.
+        expr: CExpr,
+        /// Producer ids, aligned with the expression's `Dep` slots.
+        deps: Vec<NodeId>,
+        /// Domain point for affine mappings (empty for irregular nodes).
+        index: Vec<i64>,
+        /// Whether the node is a marked output element.
+        output: bool,
+    },
+    /// Remove a consumerless node; ids above it shift down by one.
+    RemoveNode {
+        /// The node to remove.
+        id: NodeId,
+    },
+    /// Point dep slot `slot` of `node` at a different earlier producer.
+    RetargetEdge {
+        /// The consuming node.
+        node: NodeId,
+        /// Which of its dep slots to rewrite.
+        slot: u32,
+        /// The new producer (must be an earlier node).
+        new_dep: NodeId,
+    },
+    /// Change the machine's per-PE tile capacity.
+    ResizeTile {
+        /// New capacity in bits.
+        tile_bits: u64,
+    },
+}
+
+/// The receipt of a successfully applied [`GraphEdit`]: what changed,
+/// with enough pre-edit context for an incremental repairer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AppliedEdit {
+    /// A node was appended with this id (= new length - 1).
+    AddNode {
+        /// Id of the new node.
+        id: NodeId,
+    },
+    /// A node was removed; ids above `id` shifted down by one.
+    RemoveNode {
+        /// Pre-removal id of the node.
+        id: NodeId,
+        /// The removed node itself. Its `deps` are all `< id`, so they
+        /// name the same nodes before and after compaction.
+        node: Node,
+    },
+    /// A dep slot was rewritten.
+    RetargetEdge {
+        /// The consuming node.
+        node: NodeId,
+        /// The rewritten slot.
+        slot: u32,
+        /// The producer the slot used to name.
+        old_dep: NodeId,
+        /// The producer it names now.
+        new_dep: NodeId,
+    },
+    /// The tile capacity changed.
+    ResizeTile {
+        /// Capacity before the edit.
+        old_bits: u64,
+        /// Capacity after the edit.
+        new_bits: u64,
+    },
+}
+
+impl AppliedEdit {
+    /// Size of the *dirty cone*: how many nodes an incremental
+    /// repairer must touch (the edited node plus the producers whose
+    /// consumer sets changed). `ResizeTile` dirties no node — only
+    /// per-PE storage counters.
+    pub fn cone_size(&self, graph: &DataflowGraph) -> u64 {
+        match self {
+            AppliedEdit::AddNode { id } => 1 + graph.nodes[*id as usize].deps.len() as u64,
+            AppliedEdit::RemoveNode { node, .. } => 1 + node.deps.len() as u64,
+            AppliedEdit::RetargetEdge {
+                old_dep, new_dep, ..
+            } => {
+                if old_dep == new_dep {
+                    1
+                } else {
+                    3
+                }
+            }
+            AppliedEdit::ResizeTile { .. } => 0,
+        }
+    }
+}
+
+/// Apply one edit to a live (graph, machine) pair.
+///
+/// On error nothing is modified. On success the returned
+/// [`AppliedEdit`] records what happened, including the context a
+/// [`crate::delta::DeltaCandidates`] needs to repair cached state.
+pub fn apply_edit(
+    graph: &mut DataflowGraph,
+    machine: &mut MachineConfig,
+    edit: &GraphEdit,
+) -> Result<AppliedEdit, MutationError> {
+    match edit {
+        GraphEdit::AddNode {
+            expr,
+            deps,
+            index,
+            output,
+        } => {
+            let id = graph.try_add_node(expr.clone(), deps.clone(), index.clone(), *output)?;
+            Ok(AppliedEdit::AddNode { id })
+        }
+        GraphEdit::RemoveNode { id } => {
+            let node = graph.remove_node(*id)?;
+            Ok(AppliedEdit::RemoveNode { id: *id, node })
+        }
+        GraphEdit::RetargetEdge {
+            node,
+            slot,
+            new_dep,
+        } => {
+            let old_dep = graph.retarget_edge(*node, *slot, *new_dep)?;
+            Ok(AppliedEdit::RetargetEdge {
+                node: *node,
+                slot: *slot,
+                old_dep,
+                new_dep: *new_dep,
+            })
+        }
+        GraphEdit::ResizeTile { tile_bits } => {
+            let old_bits = machine.tile_bits;
+            machine.tile_bits = *tile_bits;
+            Ok(AppliedEdit::ResizeTile {
+                old_bits,
+                new_bits: *tile_bits,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn chain(n: usize) -> DataflowGraph {
+        let mut g = DataflowGraph::new("chain", 32);
+        g.add_node(CExpr::konst(Value::real(1.0)), vec![], vec![0]);
+        for i in 1..n {
+            g.add_node(
+                CExpr::dep(0).add(CExpr::konst(Value::real(1.0))),
+                vec![(i - 1) as NodeId],
+                vec![i as i64],
+            );
+        }
+        g
+    }
+
+    #[test]
+    fn apply_edit_round_trips_each_kind() {
+        let mut g = chain(4);
+        let mut m = MachineConfig::n5(2, 2);
+
+        let add = GraphEdit::AddNode {
+            expr: CExpr::dep(0).mul(CExpr::konst(Value::real(2.0))),
+            deps: vec![3],
+            index: vec![4],
+            output: false,
+        };
+        let r = apply_edit(&mut g, &mut m, &add).unwrap();
+        assert_eq!(r, AppliedEdit::AddNode { id: 4 });
+        assert_eq!(r.cone_size(&g), 2);
+
+        let retarget = GraphEdit::RetargetEdge {
+            node: 4,
+            slot: 0,
+            new_dep: 1,
+        };
+        let r = apply_edit(&mut g, &mut m, &retarget).unwrap();
+        assert_eq!(
+            r,
+            AppliedEdit::RetargetEdge {
+                node: 4,
+                slot: 0,
+                old_dep: 3,
+                new_dep: 1
+            }
+        );
+        assert_eq!(r.cone_size(&g), 3);
+
+        let remove = GraphEdit::RemoveNode { id: 4 };
+        let r = apply_edit(&mut g, &mut m, &remove).unwrap();
+        assert!(matches!(r, AppliedEdit::RemoveNode { id: 4, .. }));
+        assert_eq!(r.cone_size(&g), 2);
+
+        let resize = GraphEdit::ResizeTile { tile_bits: 1024 };
+        let r = apply_edit(&mut g, &mut m, &resize).unwrap();
+        assert!(matches!(r, AppliedEdit::ResizeTile { new_bits: 1024, .. }));
+        assert_eq!(m.tile_bits, 1024);
+        assert_eq!(r.cone_size(&g), 0);
+    }
+
+    #[test]
+    fn failed_edit_leaves_state_untouched() {
+        let mut g = chain(3);
+        let mut m = MachineConfig::n5(2, 2);
+        let before = g.clone();
+        let bad = GraphEdit::RemoveNode { id: 0 }; // has a consumer
+        assert!(apply_edit(&mut g, &mut m, &bad).is_err());
+        assert_eq!(g, before);
+    }
+
+    #[test]
+    fn graph_edit_serde_round_trips() {
+        let edits = vec![
+            GraphEdit::AddNode {
+                expr: CExpr::dep(0),
+                deps: vec![0],
+                index: vec![1, 2],
+                output: true,
+            },
+            GraphEdit::RemoveNode { id: 7 },
+            GraphEdit::RetargetEdge {
+                node: 3,
+                slot: 1,
+                new_dep: 0,
+            },
+            GraphEdit::ResizeTile { tile_bits: 4096 },
+        ];
+        let s = serde_json::to_string(&edits).unwrap();
+        let back: Vec<GraphEdit> = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, edits);
+    }
+}

@@ -3,6 +3,7 @@
 //! ```text
 //! fm-serve [--addr HOST:PORT] [--workers N] [--threads N] [--queue N]
 //!          [--deadline-ms MS] [--cache DIR] [--max-frame BYTES]
+//!          [--session-ttl SECS]
 //!          [--fleet HOST:PORT,...] [--fleet-attempts N]
 //!          [--fleet-connect-ms MS] [--fleet-hedge-ms MS]
 //!          [--stream-every K] [--weighted on|off]
@@ -26,6 +27,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: fm-serve [--addr HOST:PORT] [--workers N] [--threads N] [--queue N]\n\
          \x20               [--deadline-ms MS] [--cache DIR] [--max-frame BYTES]\n\
+         \x20               [--session-ttl SECS]\n\
          \x20               [--fleet HOST:PORT,...] [--fleet-attempts N]\n\
          \x20               [--fleet-connect-ms MS] [--fleet-hedge-ms MS]\n\
          \x20               [--stream-every K] [--weighted on|off]\n\
@@ -37,6 +39,7 @@ fn usage() -> ! {
          \x20 --deadline-ms MS   default per-request deadline (default none)\n\
          \x20 --cache DIR        persistent tuning cache directory (default off)\n\
          \x20 --max-frame BYTES  largest accepted frame (default 16 MiB)\n\
+         \x20 --session-ttl SECS evict sessions idle this long; 0 = never (default)\n\
          \x20 --fleet A,B,...    coordinate tunes across these shard addresses\n\
          \x20 --fleet-attempts N       attempt waves per sub-range before local\n\
          \x20                          fallback (default 3)\n\
@@ -90,6 +93,10 @@ fn main() -> ExitCode {
                 None => usage(),
             },
             "--max-frame" => config.max_frame = parse_num("--max-frame", args.next()),
+            "--session-ttl" => {
+                let secs: u64 = parse_num("--session-ttl", args.next());
+                config.session_ttl = (secs > 0).then(|| Duration::from_secs(secs));
+            }
             "--fleet" => match args.next() {
                 Some(list) => {
                     let shards: Vec<String> = list
@@ -177,7 +184,8 @@ fn main() -> ExitCode {
     let stats = handle.join();
     println!(
         "fm-serve: drained and exiting — {} requests ({} tune / {} shard / {} evaluate / \
-         {} simulate), {} busy rejections, {} protocol errors, cache hit rate {:.0}%",
+         {} simulate), {} busy rejections, {} protocol errors, cache hit rate {:.0}%, \
+         {} sessions opened ({} edits, {} warm / {} cold re-tunes, {} evicted)",
         stats.work_received(),
         stats.tune.received,
         stats.tune_shard.received,
@@ -185,7 +193,12 @@ fn main() -> ExitCode {
         stats.simulate.received,
         stats.busy_rejections,
         stats.protocol_errors,
-        stats.cache_hit_rate() * 100.0
+        stats.cache_hit_rate() * 100.0,
+        stats.sessions.opened,
+        stats.sessions.edits_applied,
+        stats.sessions.warm_tunes,
+        stats.sessions.cold_tunes,
+        stats.sessions.evicted
     );
     ExitCode::SUCCESS
 }

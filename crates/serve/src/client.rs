@@ -11,11 +11,15 @@
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+use fm_core::mutate::GraphEdit;
+
 use crate::metrics::StatsReply;
 use crate::protocol::{
-    read_response, write_request, BusyReply, EvaluateReply, EvaluateRequest, FailReply, Request,
-    Response, SimulateReply, SimulateRequest, TuneReply, TuneRequest, TuneShardPart,
-    TuneShardReply, TuneShardRequest, WireError, DEFAULT_MAX_FRAME,
+    read_response, write_request, BusyReply, EvaluateReply, EvaluateRequest, FailReply,
+    NoSuchSessionReply, Request, Response, SessionCloseRequest, SessionClosedReply,
+    SessionEditRequest, SessionEditedReply, SessionOpenRequest, SessionOpenedReply,
+    SessionTuneRequest, SessionTunedReply, SimulateReply, SimulateRequest, TuneReply, TuneRequest,
+    TuneShardPart, TuneShardReply, TuneShardRequest, WireError, DEFAULT_MAX_FRAME,
 };
 
 /// What went wrong with a request, from the client's point of view.
@@ -29,8 +33,14 @@ pub enum ClientError {
     /// The server is draining and no longer admits work.
     ShuttingDown,
     /// The server executed the request and reported a failure
-    /// (`kind` is one of `protocol`/`deadline`/`illegal`/`sim`/`internal`).
+    /// (`kind` is one of
+    /// `protocol`/`deadline`/`illegal`/`sim`/`session`/`internal`).
     Failed(FailReply),
+    /// The session named in a session request does not exist on the
+    /// server — never opened, already closed, or evicted idle. Distinct
+    /// from [`ClientError::Failed`] so callers can transparently reopen
+    /// instead of pattern-matching error strings.
+    NoSuchSession(NoSuchSessionReply),
     /// The server answered with a response variant that does not match
     /// the request (protocol confusion; should not happen).
     Unexpected(&'static str),
@@ -47,6 +57,9 @@ impl std::fmt::Display for ClientError {
             ),
             ClientError::ShuttingDown => write!(f, "server is shutting down"),
             ClientError::Failed(e) => write!(f, "request failed ({}): {}", e.kind, e.error),
+            ClientError::NoSuchSession(r) => {
+                write!(f, "no such session: {} (closed or evicted?)", r.session_id)
+            }
             ClientError::Unexpected(kind) => write!(f, "unexpected response variant: {kind}"),
         }
     }
@@ -64,6 +77,13 @@ impl ClientError {
     /// Is this a transient refusal worth retrying after a pause?
     pub fn is_busy(&self) -> bool {
         matches!(self, ClientError::Busy(_))
+    }
+
+    /// Did the server report the session as gone? The right recovery is
+    /// to reopen (the session id is dead for good — ids are never
+    /// reused), not to retry.
+    pub fn is_no_such_session(&self) -> bool {
+        matches!(self, ClientError::NoSuchSession(_))
     }
 }
 
@@ -137,6 +157,7 @@ impl Client {
             Response::Busy(b) => Err(ClientError::Busy(b)),
             Response::ShuttingDown => Err(ClientError::ShuttingDown),
             Response::Failed(e) => Err(ClientError::Failed(e)),
+            Response::NoSuchSession(r) => Err(ClientError::NoSuchSession(r)),
             other => Ok(other),
         }
     }
@@ -193,6 +214,62 @@ impl Client {
     pub fn simulate(&mut self, request: SimulateRequest) -> Result<SimulateReply, ClientError> {
         match self.checked(&Request::Simulate(request))? {
             Response::Simulated(r) => Ok(r),
+            other => Err(ClientError::Unexpected(other.kind())),
+        }
+    }
+
+    /// Open a live-mutation session: the server keeps the graph,
+    /// machine, candidate set, and warm tuning state resident under the
+    /// returned session id.
+    pub fn session_open(
+        &mut self,
+        request: SessionOpenRequest,
+    ) -> Result<SessionOpenedReply, ClientError> {
+        match self.checked(&Request::SessionOpen(request))? {
+            Response::SessionOpened(r) => Ok(r),
+            other => Err(ClientError::Unexpected(other.kind())),
+        }
+    }
+
+    /// Apply a batch of graph edits to a session, sealing it (epoch
+    /// stamp + checksum) on the way out. `epoch` must be the session's
+    /// current epoch — the value returned by the previous open/edit
+    /// reply — or the server refuses the whole batch.
+    pub fn session_edit(
+        &mut self,
+        session_id: u64,
+        epoch: u64,
+        edits: Vec<GraphEdit>,
+    ) -> Result<SessionEditedReply, ClientError> {
+        let request = SessionEditRequest::seal(session_id, epoch, edits);
+        match self.checked(&Request::SessionEdit(request))? {
+            Response::SessionEdited(r) => Ok(r),
+            other => Err(ClientError::Unexpected(other.kind())),
+        }
+    }
+
+    /// Re-tune a session warm: candidate costs are repaired from the
+    /// edit stream instead of recomputed, and the winner is
+    /// bit-identical to a cold tune of the current graph.
+    pub fn session_tune(
+        &mut self,
+        session_id: u64,
+        deadline_ms: Option<u64>,
+    ) -> Result<SessionTunedReply, ClientError> {
+        let request = SessionTuneRequest {
+            session_id,
+            deadline_ms,
+        };
+        match self.checked(&Request::SessionTune(request))? {
+            Response::SessionTuned(r) => Ok(*r),
+            other => Err(ClientError::Unexpected(other.kind())),
+        }
+    }
+
+    /// Close a session, releasing its resident state.
+    pub fn session_close(&mut self, session_id: u64) -> Result<SessionClosedReply, ClientError> {
+        match self.checked(&Request::SessionClose(SessionCloseRequest { session_id }))? {
+            Response::SessionClosed(r) => Ok(r),
             other => Err(ClientError::Unexpected(other.kind())),
         }
     }

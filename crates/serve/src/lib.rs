@@ -21,10 +21,17 @@
 //! | `Evaluate` | `Evaluated` | legality + predicted [`CostReport`](fm_core::cost::CostReport) |
 //! | `Simulate` | `Simulated` | cycle-level run, predicted-vs-simulated slowdown |
 //! | `Stats` | `Stats` | live metrics snapshot (never queued) |
+//! | `SessionOpen` | `SessionOpened` | register a live graph + candidate set, get a session id |
+//! | `SessionEdit` | `SessionEdited` | apply a sealed, epoch-stamped edit batch to the session graph |
+//! | `SessionTune` | `SessionTuned` | warm re-tune seeded from repaired candidate costs ([`session`]) |
+//! | `SessionClose` | `SessionClosed` | retire the session, report lifetime tallies |
 //! | `Shutdown` | `ShuttingDown` | drain admitted work, then exit |
 //!
 //! Any work request may instead receive `Busy` (bounded admission
-//! queue is full — retry later) or `Failed` (typed error).
+//! queue is full — retry later) or `Failed` (typed error). Session
+//! requests naming an unknown, closed, or idle-evicted session get the
+//! typed `NoSuchSession` reply, so clients can transparently reopen
+//! instead of pattern-matching error strings.
 //!
 //! ## Production plumbing
 //!
@@ -63,14 +70,20 @@ pub mod fleet;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
+pub mod session;
 
 pub use client::{Client, ClientError};
 pub use fault::{FaultAction, FaultPlan, FaultProxy};
 pub use fleet::{Fleet, FleetConfig};
-pub use metrics::{EndpointStats, FleetStatsReply, LatencyStats, ShardStats, StatsReply};
+pub use metrics::{
+    EndpointStats, FleetStatsReply, LatencyStats, SessionStatsReply, ShardStats, StatsReply,
+};
 pub use protocol::{
-    BusyReply, EvaluateReply, EvaluateRequest, FailReply, Request, Response, ShardReplyFlaw,
+    BusyReply, EvaluateReply, EvaluateRequest, FailReply, NoSuchSessionReply, Request, Response,
+    SessionCloseRequest, SessionClosedReply, SessionEditRequest, SessionEditedReply,
+    SessionOpenRequest, SessionOpenedReply, SessionTuneRequest, SessionTunedReply, ShardReplyFlaw,
     SimulateReply, SimulateRequest, TuneReply, TuneRequest, TuneShardBody, TuneShardReply,
     TuneShardRequest, WireCandidate, WireError, DEFAULT_MAX_FRAME,
 };
 pub use server::{Server, ServerConfig, ServerHandle};
+pub use session::{EditOutcome, SessionRegistry, SessionState, SessionTuneOutcome};

@@ -129,6 +129,17 @@ pub struct Metrics {
     pub evaluate: Endpoint,
     /// `Simulate` endpoint counters.
     pub simulate: Endpoint,
+    /// `SessionOpen` endpoint counters.
+    pub session_open: Endpoint,
+    /// `SessionEdit` endpoint counters.
+    pub session_edit: Endpoint,
+    /// `SessionTune` endpoint counters.
+    pub session_tune: Endpoint,
+    /// `SessionClose` endpoint counters.
+    pub session_close: Endpoint,
+    /// Session-subsystem counters (live graph mutation + warm
+    /// re-tuning).
+    pub sessions: SessionCounters,
     /// `Stats` endpoint counters.
     pub stats: Endpoint,
     /// `Ping` endpoint counters.
@@ -169,6 +180,11 @@ impl Default for Metrics {
             tune_shard: Endpoint::default(),
             evaluate: Endpoint::default(),
             simulate: Endpoint::default(),
+            session_open: Endpoint::default(),
+            session_edit: Endpoint::default(),
+            session_tune: Endpoint::default(),
+            session_close: Endpoint::default(),
+            sessions: SessionCounters::default(),
             stats: Endpoint::default(),
             ping: Endpoint::default(),
             queue_depth: AtomicUsize::new(0),
@@ -195,6 +211,10 @@ impl Metrics {
             "tune_shard" => &self.tune_shard,
             "evaluate" => &self.evaluate,
             "simulate" => &self.simulate,
+            "session_open" => &self.session_open,
+            "session_edit" => &self.session_edit,
+            "session_tune" => &self.session_tune,
+            "session_close" => &self.session_close,
             "stats" => &self.stats,
             _ => &self.ping,
         }
@@ -231,6 +251,11 @@ impl Metrics {
             tune_shard: self.tune_shard.snapshot(),
             evaluate: self.evaluate.snapshot(),
             simulate: self.simulate.snapshot(),
+            session_open: self.session_open.snapshot(),
+            session_edit: self.session_edit.snapshot(),
+            session_tune: self.session_tune.snapshot(),
+            session_close: self.session_close.snapshot(),
+            sessions: self.sessions.snapshot(),
             stats: self.stats.snapshot(),
             ping: self.ping.snapshot(),
             fleet: self.fleet.lock().as_ref().map(|f| f.snapshot()),
@@ -241,6 +266,91 @@ impl Metrics {
     pub fn set_fleet(&self, fleet: Arc<FleetMetrics>) {
         *self.fleet.lock() = Some(fleet);
     }
+}
+
+/// Lock-free counters for the session subsystem (live graph mutation
+/// plus warm incremental re-tuning; see `crate::session`).
+#[derive(Debug, Default)]
+pub struct SessionCounters {
+    /// Sessions currently held (gauge: opened − closed − evicted).
+    pub open: AtomicU64,
+    /// Sessions opened over the server's lifetime.
+    pub opened: AtomicU64,
+    /// Sessions closed by their client.
+    pub closed: AtomicU64,
+    /// Sessions evicted by the idle-TTL sweeper.
+    pub evicted: AtomicU64,
+    /// Typed `NoSuchSession` replies sent (requests naming unknown or
+    /// evicted sessions).
+    pub no_such: AtomicU64,
+    /// Individual edits applied across all sessions.
+    pub edits_applied: AtomicU64,
+    /// Edit batches applied (each bumps one session's epoch).
+    pub edit_batches: AtomicU64,
+    /// Total dirty-cone size across all applied edits — nodes the
+    /// incremental repairer touched. The mean cone
+    /// (`dirty_cone_total / edits_applied`) is the session subsystem's
+    /// headline: how much smaller than O(V + E) an edit really is.
+    pub dirty_cone_total: AtomicU64,
+    /// Session tunes that ran fully warm (every candidate repaired,
+    /// none rebuilt from scratch).
+    pub warm_tunes: AtomicU64,
+    /// Session tunes in which at least one candidate fell back to a
+    /// cold rebuild.
+    pub cold_tunes: AtomicU64,
+    /// Individual candidate cold rebuilds across all session tunes.
+    pub cold_rebuilds: AtomicU64,
+}
+
+impl SessionCounters {
+    fn snapshot(&self) -> SessionStatsReply {
+        let edits = self.edits_applied.load(Ordering::Relaxed);
+        let cone = self.dirty_cone_total.load(Ordering::Relaxed);
+        SessionStatsReply {
+            open: self.open.load(Ordering::Relaxed),
+            opened: self.opened.load(Ordering::Relaxed),
+            closed: self.closed.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+            no_such: self.no_such.load(Ordering::Relaxed),
+            edits_applied: edits,
+            edit_batches: self.edit_batches.load(Ordering::Relaxed),
+            warm_tunes: self.warm_tunes.load(Ordering::Relaxed),
+            cold_tunes: self.cold_tunes.load(Ordering::Relaxed),
+            cold_rebuilds: self.cold_rebuilds.load(Ordering::Relaxed),
+            mean_dirty_cone: if edits == 0 {
+                0.0
+            } else {
+                cone as f64 / edits as f64
+            },
+        }
+    }
+}
+
+/// Wire snapshot of the session subsystem's counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionStatsReply {
+    /// Sessions currently held.
+    pub open: u64,
+    /// Sessions opened over the server's lifetime.
+    pub opened: u64,
+    /// Sessions closed by their client.
+    pub closed: u64,
+    /// Sessions evicted by the idle-TTL sweeper.
+    pub evicted: u64,
+    /// Typed `NoSuchSession` replies sent.
+    pub no_such: u64,
+    /// Individual edits applied.
+    pub edits_applied: u64,
+    /// Edit batches applied.
+    pub edit_batches: u64,
+    /// Tunes that ran fully warm.
+    pub warm_tunes: u64,
+    /// Tunes with at least one cold candidate rebuild.
+    pub cold_tunes: u64,
+    /// Individual candidate cold rebuilds.
+    pub cold_rebuilds: u64,
+    /// Mean dirty-cone size per applied edit (0.0 before any edit).
+    pub mean_dirty_cone: f64,
 }
 
 /// Breaker-state gauge values (stored in [`ShardMetrics::state`]).
@@ -564,6 +674,17 @@ pub struct StatsReply {
     pub evaluate: EndpointStats,
     /// `Simulate` counters.
     pub simulate: EndpointStats,
+    /// `SessionOpen` counters.
+    pub session_open: EndpointStats,
+    /// `SessionEdit` counters.
+    pub session_edit: EndpointStats,
+    /// `SessionTune` counters.
+    pub session_tune: EndpointStats,
+    /// `SessionClose` counters.
+    pub session_close: EndpointStats,
+    /// Session-subsystem counters (open sessions, edits, warm vs cold
+    /// tunes, mean dirty cone).
+    pub sessions: SessionStatsReply,
     /// `Stats` counters.
     pub stats: EndpointStats,
     /// `Ping` counters.

@@ -20,6 +20,7 @@ use fm_core::cost::CostReport;
 use fm_core::dataflow::DataflowGraph;
 use fm_core::machine::MachineConfig;
 use fm_core::mapping::{Mapping, ResolvedMapping};
+use fm_core::mutate::GraphEdit;
 use fm_core::search::FigureOfMerit;
 use fm_core::value::Value;
 
@@ -335,6 +336,176 @@ impl TuneShardPart {
     }
 }
 
+/// `SessionOpen`: start a live-mutation session. The server takes
+/// ownership of a (graph, machine, objective, candidate list) tuple,
+/// cold-derives per-candidate warm state
+/// ([`fm_autotune::WarmCache`]), and answers with
+/// [`Response::SessionOpened`] carrying the session id and the initial
+/// epoch. Subsequent [`SessionEditRequest`] batches mutate the held
+/// graph in place; [`SessionTuneRequest`] re-tunes it warm, seeded
+/// from the repaired state rather than evaluated from scratch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionOpenRequest {
+    /// The graph the session will mutate.
+    pub graph: DataflowGraph,
+    /// The machine it targets (its `tile_bits` is live-resizable).
+    pub machine: MachineConfig,
+    /// The figure of merit every tune in this session minimizes.
+    pub fom: FigureOfMerit,
+    /// Candidate mappings ranked by every tune in this session.
+    pub candidates: Vec<WireCandidate>,
+    /// Evaluate at most this many candidates per tune (deterministic
+    /// prefix), for the session's whole life.
+    pub max_candidates: Option<u64>,
+    /// Early-stop each tune after this many candidates without
+    /// improvement.
+    pub convergence_window: Option<u64>,
+}
+
+/// The answer to a [`SessionOpenRequest`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionOpenedReply {
+    /// Handle for all later requests about this session.
+    pub session_id: u64,
+    /// The session's initial epoch. Every applied edit batch bumps it
+    /// by one; edit requests must quote the current value.
+    pub epoch: u64,
+    /// Candidates the session holds warm state for.
+    pub candidates: u64,
+}
+
+/// `SessionEdit`: apply one batch of structural edits to a session's
+/// graph/machine, atomically — either every edit in the batch applies
+/// (and the epoch bumps by one) or none do. The batch is epoch-stamped
+/// and checksummed exactly like [`TuneShardPart`]: the epoch pins the
+/// graph state the client thinks it is editing, the checksum makes
+/// in-transit corruption of the edit list detectable before any edit
+/// is applied. Answered with [`Response::SessionEdited`], or
+/// [`Response::NoSuchSession`] when the id is unknown or evicted.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionEditRequest {
+    /// Which session to edit.
+    pub session_id: u64,
+    /// The epoch the client believes the session is at. A mismatch
+    /// means concurrent edits or a lost reply: the batch is refused
+    /// (kind `"session"`) and nothing is applied.
+    pub epoch: u64,
+    /// FNV-1a 64 over `epoch` (8 bytes, big-endian) followed by the
+    /// canonical JSON serialization of `edits`.
+    pub checksum: u64,
+    /// The edits, applied in order.
+    pub edits: Vec<GraphEdit>,
+}
+
+impl SessionEditRequest {
+    /// The checksum a well-formed edit batch carries for
+    /// `(epoch, edits)`.
+    pub fn checksum_of(epoch: u64, edits: &[GraphEdit]) -> u64 {
+        let canon = serde_json::to_string(edits).expect("graph edits serialize");
+        let mut bytes = Vec::with_capacity(8 + canon.len());
+        bytes.extend_from_slice(&epoch.to_be_bytes());
+        bytes.extend_from_slice(canon.as_bytes());
+        fnv1a64(&bytes)
+    }
+
+    /// Build a batch with the checksum sealed in.
+    pub fn seal(session_id: u64, epoch: u64, edits: Vec<GraphEdit>) -> SessionEditRequest {
+        SessionEditRequest {
+            session_id,
+            epoch,
+            checksum: Self::checksum_of(epoch, &edits),
+            edits,
+        }
+    }
+
+    /// Does the embedded checksum match the embedded `(epoch, edits)`?
+    /// The server refuses the whole batch when it does not — a flipped
+    /// byte in an edit list must never half-apply.
+    pub fn verify(&self) -> Result<(), u64> {
+        let want = Self::checksum_of(self.epoch, &self.edits);
+        if self.checksum != want {
+            return Err(want);
+        }
+        Ok(())
+    }
+}
+
+/// The answer to a [`SessionEditRequest`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionEditedReply {
+    /// Echo of the session id.
+    pub session_id: u64,
+    /// The epoch *after* the batch (request epoch + 1).
+    pub epoch: u64,
+    /// Edits applied (== the batch length; batches are atomic).
+    pub applied: u64,
+    /// Total dirty-cone size across the batch: nodes the incremental
+    /// repairer actually touched, the session's unit of edit work.
+    pub cone: u64,
+}
+
+/// `SessionTune`: re-tune a session's current graph, seeded from the
+/// warm per-candidate state repaired across all edits so far.
+/// Answered with [`Response::SessionTuned`], or
+/// [`Response::NoSuchSession`] when the id is unknown or evicted.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionTuneRequest {
+    /// Which session to tune.
+    pub session_id: u64,
+    /// Per-request deadline in milliseconds, measured from admission.
+    pub deadline_ms: Option<u64>,
+}
+
+/// The answer to a [`SessionTuneRequest`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionTunedReply {
+    /// Echo of the session id.
+    pub session_id: u64,
+    /// The epoch the tuned graph is at.
+    pub epoch: u64,
+    /// Whether the tune ran fully warm: no candidate fell back to a
+    /// cold from-scratch rebuild during it.
+    pub warm: bool,
+    /// Candidates cold-rebuilt during this tune (0 when `warm`).
+    pub rebuilds: u64,
+    /// The winner and tuner counters, exactly as a cold `Tune` of the
+    /// session's current graph would report them.
+    pub reply: TuneReply,
+}
+
+/// `SessionClose`: retire a session and free its warm state.
+/// Answered with [`Response::SessionClosed`], or
+/// [`Response::NoSuchSession`] when the id is unknown or evicted.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionCloseRequest {
+    /// Which session to close.
+    pub session_id: u64,
+}
+
+/// The answer to a [`SessionCloseRequest`]: the session's lifetime
+/// counters, for clients that account their own edit streams.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionClosedReply {
+    /// Echo of the session id.
+    pub session_id: u64,
+    /// The final epoch (== edit batches applied).
+    pub epoch: u64,
+    /// Individual edits applied over the session's life.
+    pub edits_applied: u64,
+    /// Tunes served over the session's life.
+    pub tunes: u64,
+}
+
+/// Typed refusal for session requests naming an id the server does not
+/// hold — never issued, already closed, or evicted by the idle-TTL
+/// sweeper. Distinct from [`FailReply`] so clients can transparently
+/// reopen instead of treating it as a generic failure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NoSuchSessionReply {
+    /// The id the request named.
+    pub session_id: u64,
+}
+
 /// `Evaluate`: legality-check and analytically cost one resolved
 /// mapping. Answered with [`Response::Evaluated`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -382,6 +553,14 @@ pub enum Request {
     Evaluate(EvaluateRequest),
     /// Cycle-driven simulation of one mapping (see [`SimulateRequest`]).
     Simulate(SimulateRequest),
+    /// Open a live-mutation session (see [`SessionOpenRequest`]).
+    SessionOpen(SessionOpenRequest),
+    /// Apply an edit batch to a session (see [`SessionEditRequest`]).
+    SessionEdit(SessionEditRequest),
+    /// Warm re-tune of a session's graph (see [`SessionTuneRequest`]).
+    SessionTune(SessionTuneRequest),
+    /// Retire a session (see [`SessionCloseRequest`]).
+    SessionClose(SessionCloseRequest),
     /// Metrics snapshot; answered with [`Response::Stats`]. Never
     /// queued, never `Busy` — stats must be readable under saturation.
     Stats,
@@ -399,6 +578,10 @@ impl Request {
             Request::TuneShard(_) => "tune_shard",
             Request::Evaluate(_) => "evaluate",
             Request::Simulate(_) => "simulate",
+            Request::SessionOpen(_) => "session_open",
+            Request::SessionEdit(_) => "session_edit",
+            Request::SessionTune(_) => "session_tune",
+            Request::SessionClose(_) => "session_close",
             Request::Stats => "stats",
             Request::Shutdown => "shutdown",
         }
@@ -473,7 +656,7 @@ pub struct SimulateReply {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FailReply {
     /// Machine-readable category: `"protocol"`, `"deadline"`,
-    /// `"illegal"`, `"sim"`, or `"internal"`.
+    /// `"illegal"`, `"sim"`, `"session"`, or `"internal"`.
     pub kind: String,
     /// Human-readable detail.
     pub error: String,
@@ -507,6 +690,18 @@ pub enum Response {
     Evaluated(EvaluateReply),
     /// Answer to [`Request::Simulate`].
     Simulated(SimulateReply),
+    /// Answer to [`Request::SessionOpen`].
+    SessionOpened(SessionOpenedReply),
+    /// Answer to [`Request::SessionEdit`].
+    SessionEdited(SessionEditedReply),
+    /// Answer to [`Request::SessionTune`].
+    SessionTuned(Box<SessionTunedReply>),
+    /// Answer to [`Request::SessionClose`].
+    SessionClosed(SessionClosedReply),
+    /// A session request named an id this server does not hold (never
+    /// issued, closed, or evicted by the idle-TTL sweeper). Typed so
+    /// clients can transparently reopen.
+    NoSuchSession(NoSuchSessionReply),
     /// Answer to [`Request::Stats`]. Boxed: the snapshot (per-endpoint
     /// histograms plus optional per-shard fleet counters) dwarfs the
     /// other variants.
@@ -530,6 +725,11 @@ impl Response {
             Response::TuneShardPart(_) => "tune-shard-part",
             Response::Evaluated(_) => "evaluated",
             Response::Simulated(_) => "simulated",
+            Response::SessionOpened(_) => "session-opened",
+            Response::SessionEdited(_) => "session-edited",
+            Response::SessionTuned(_) => "session-tuned",
+            Response::SessionClosed(_) => "session-closed",
+            Response::NoSuchSession(_) => "no-such-session",
             Response::Stats(_) => "stats",
             Response::Busy(_) => "busy",
             Response::ShuttingDown => "shutting-down",
@@ -933,6 +1133,111 @@ mod tests {
             }
         }
         assert!(flipped_any, "at least one flip must decode and be caught");
+    }
+
+    #[test]
+    fn session_edit_seal_verifies_and_corruption_is_detected() {
+        let edits = vec![
+            GraphEdit::RemoveNode { id: 4 },
+            GraphEdit::ResizeTile { tile_bits: 2048 },
+        ];
+        let req = SessionEditRequest::seal(17, 3, edits.clone());
+        assert_eq!(req.checksum, SessionEditRequest::checksum_of(3, &edits));
+        assert!(req.verify().is_ok());
+        // An altered edit list under the stale checksum: refused.
+        let mut tampered = req.clone();
+        tampered.edits[0] = GraphEdit::RemoveNode { id: 5 };
+        assert!(tampered.verify().is_err());
+        // A re-stamped epoch also invalidates the checksum: the seal
+        // binds the batch to the graph state it was built against.
+        let mut restamped = req.clone();
+        restamped.epoch = 4;
+        assert!(restamped.verify().is_err());
+    }
+
+    #[test]
+    fn single_digit_flip_in_serialized_edit_batch_fails_verification() {
+        let req = SessionEditRequest::seal(
+            9,
+            12,
+            vec![
+                GraphEdit::RetargetEdge {
+                    node: 31,
+                    slot: 0,
+                    new_dep: 17,
+                },
+                GraphEdit::RemoveNode { id: 40 },
+            ],
+        );
+        let bytes = encode_request(&Request::SessionEdit(req));
+        let mut flipped_any = false;
+        for i in 0..bytes.len() {
+            if !bytes[i].is_ascii_digit() {
+                continue;
+            }
+            let mut forged = bytes.clone();
+            forged[i] = if forged[i] == b'9' {
+                b'1'
+            } else {
+                forged[i] + 1
+            };
+            if let Ok(Request::SessionEdit(r)) = decode_request(&forged) {
+                // A flip inside `session_id` leaves the sealed
+                // (epoch, edits) intact — routing, not content.
+                if r.session_id != 9 {
+                    continue;
+                }
+                assert!(r.verify().is_err(), "undetected flip at byte {i}");
+                flipped_any = true;
+            }
+        }
+        assert!(flipped_any, "at least one flip must decode and be caught");
+    }
+
+    #[test]
+    fn session_requests_and_replies_round_trip() {
+        let open = Request::SessionOpen(SessionOpenRequest {
+            graph: DataflowGraph::new("g", 32),
+            machine: MachineConfig::n5(2, 2),
+            fom: FigureOfMerit::Edp,
+            candidates: vec![],
+            max_candidates: Some(8),
+            convergence_window: None,
+        });
+        assert_eq!(open.endpoint(), "session_open");
+        match decode_request(&encode_request(&open)).unwrap() {
+            Request::SessionOpen(r) => assert_eq!(r.max_candidates, Some(8)),
+            other => panic!("expected SessionOpen, got {}", other.endpoint()),
+        }
+
+        let tune = Request::SessionTune(SessionTuneRequest {
+            session_id: 5,
+            deadline_ms: Some(250),
+        });
+        assert_eq!(tune.endpoint(), "session_tune");
+        let close = Request::SessionClose(SessionCloseRequest { session_id: 5 });
+        assert_eq!(close.endpoint(), "session_close");
+
+        let missing = Response::NoSuchSession(NoSuchSessionReply { session_id: 99 });
+        assert_eq!(missing.kind(), "no-such-session");
+        match decode_response(&encode_response(&missing)).unwrap() {
+            Response::NoSuchSession(r) => assert_eq!(r.session_id, 99),
+            other => panic!("expected NoSuchSession, got {}", other.kind()),
+        }
+
+        let edited = Response::SessionEdited(SessionEditedReply {
+            session_id: 5,
+            epoch: 7,
+            applied: 3,
+            cone: 11,
+        });
+        assert_eq!(edited.kind(), "session-edited");
+        match decode_response(&encode_response(&edited)).unwrap() {
+            Response::SessionEdited(r) => {
+                assert_eq!((r.epoch, r.applied, r.cone), (7, 3, 11));
+            }
+            other => panic!("expected SessionEdited, got {}", other.kind()),
+        }
     }
 
     #[test]

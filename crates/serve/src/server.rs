@@ -49,11 +49,14 @@ use fm_workspan::ThreadPool;
 use crate::fleet::{Fleet, FleetConfig};
 use crate::metrics::{Metrics, StatsReply};
 use crate::protocol::{
-    write_response, BusyReply, EvaluateReply, EvaluateRequest, FailReply, Request, Response,
-    ShardBest, SimulateReply, SimulateRequest, TuneReply, TuneRequest, TuneShardBody,
-    TuneShardPart, TuneShardPartBody, TuneShardReply, TuneShardRequest, WireError,
+    write_response, BusyReply, EvaluateReply, EvaluateRequest, FailReply, NoSuchSessionReply,
+    Request, Response, SessionCloseRequest, SessionClosedReply, SessionEditRequest,
+    SessionEditedReply, SessionOpenRequest, SessionOpenedReply, SessionTuneRequest,
+    SessionTunedReply, ShardBest, SimulateReply, SimulateRequest, TuneReply, TuneRequest,
+    TuneShardBody, TuneShardPart, TuneShardPartBody, TuneShardReply, TuneShardRequest, WireError,
     DEFAULT_MAX_FRAME, READ_CHUNK,
 };
+use crate::session::{EditOutcome, SessionRegistry, SessionState};
 
 /// Server tunables.
 #[derive(Debug, Clone)]
@@ -83,6 +86,10 @@ pub struct ServerConfig {
     /// streaming paths (it models slow compute, not slow frames), so
     /// comparisons between the two stay fair. `None` in production.
     pub straggle_ms_per_candidate: Option<u64>,
+    /// Evict sessions idle for at least this long (no edit, tune, or
+    /// close touched them). `None` keeps sessions until closed — fine
+    /// for trusted clients, a leak under crash-prone ones.
+    pub session_ttl: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -99,6 +106,7 @@ impl Default for ServerConfig {
             max_frame: DEFAULT_MAX_FRAME,
             fleet: None,
             straggle_ms_per_candidate: None,
+            session_ttl: None,
         }
     }
 }
@@ -123,6 +131,7 @@ struct Shared {
     pool: ThreadPool,
     cache: Option<TuningCache>,
     fleet: Option<Arc<Fleet>>,
+    sessions: SessionRegistry,
     queue: Mutex<QueueState>,
     queue_cv: Condvar,
     shutdown: AtomicBool,
@@ -214,6 +223,7 @@ impl Server {
             metrics,
             cache,
             fleet,
+            sessions: SessionRegistry::default(),
             queue: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
                 closed: false,
@@ -225,7 +235,7 @@ impl Server {
             config,
         });
 
-        let workers = (0..shared.config.workers.max(1))
+        let mut workers: Vec<JoinHandle<()>> = (0..shared.config.workers.max(1))
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
@@ -234,6 +244,30 @@ impl Server {
                     .expect("spawn worker")
             })
             .collect();
+
+        // Idle-session sweeper: wakes a few times per TTL (but at
+        // least every 500 ms, so shutdown join is never held hostage
+        // by a long TTL) and evicts sessions untouched for a full TTL.
+        if let Some(ttl) = shared.config.session_ttl {
+            let shared = Arc::clone(&shared);
+            let tick = (ttl / 4).clamp(Duration::from_millis(25), Duration::from_millis(500));
+            workers.push(
+                std::thread::Builder::new()
+                    .name("fm-serve-session-sweeper".to_string())
+                    .spawn(move || {
+                        while !shared.is_shutdown() {
+                            std::thread::sleep(tick);
+                            let evicted = shared.sessions.evict_idle(ttl);
+                            if evicted > 0 {
+                                let s = &shared.metrics.sessions;
+                                s.evicted.fetch_add(evicted, Ordering::Relaxed);
+                                s.open.fetch_sub(evicted, Ordering::Relaxed);
+                            }
+                        }
+                    })
+                    .expect("spawn session sweeper"),
+            );
+        }
 
         let acceptor = {
             let shared = Arc::clone(&shared);
@@ -544,7 +578,11 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
             work @ (Request::Tune(_)
             | Request::TuneShard(_)
             | Request::Evaluate(_)
-            | Request::Simulate(_)) => {
+            | Request::Simulate(_)
+            | Request::SessionOpen(_)
+            | Request::SessionEdit(_)
+            | Request::SessionTune(_)
+            | Request::SessionClose(_)) => {
                 let endpoint = shared.metrics.endpoint(work.endpoint());
                 endpoint.received.fetch_add(1, Ordering::Relaxed);
                 if shared.is_shutdown() {
@@ -552,14 +590,21 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                     return;
                 }
                 let accepted = Instant::now();
+                let default_ms = shared.config.default_deadline_ms;
                 let deadline_ms = match &work {
-                    Request::Tune(t) => t.deadline_ms,
-                    Request::TuneShard(t) => t.deadline_ms,
-                    Request::Evaluate(e) => e.deadline_ms,
-                    Request::Simulate(s) => s.deadline_ms,
+                    Request::Tune(t) => t.deadline_ms.or(default_ms),
+                    Request::TuneShard(t) => t.deadline_ms.or(default_ms),
+                    Request::Evaluate(e) => e.deadline_ms.or(default_ms),
+                    Request::Simulate(s) => s.deadline_ms.or(default_ms),
+                    Request::SessionTune(t) => t.deadline_ms.or(default_ms),
+                    // Open/edit/close are bookkeeping, not searches:
+                    // they run to completion rather than racing a
+                    // default deadline into a half-opened session.
+                    Request::SessionOpen(_)
+                    | Request::SessionEdit(_)
+                    | Request::SessionClose(_) => None,
                     _ => unreachable!("only work requests reach here"),
-                }
-                .or(shared.config.default_deadline_ms);
+                };
                 let deadline = deadline_ms.map(|ms| accepted + Duration::from_millis(ms));
                 let cancel = CancelToken::new();
                 let (tx, rx) = mpsc::channel();
@@ -638,6 +683,10 @@ fn worker_main(shared: &Arc<Shared>) {
             }),
             Request::Evaluate(req) => exec_evaluate(req),
             Request::Simulate(req) => exec_simulate(req),
+            Request::SessionOpen(req) => exec_session_open(shared, req),
+            Request::SessionEdit(req) => exec_session_edit(shared, req),
+            Request::SessionTune(req) => exec_session_tune(shared, req, &cancel, deadline),
+            Request::SessionClose(req) => exec_session_close(shared, req),
             other => Response::Failed(FailReply {
                 kind: "internal".to_string(),
                 error: format!("{} is not a queued request", other.endpoint()),
@@ -732,6 +781,178 @@ fn exec_tune(
         cancelled: report.cancelled,
         wall_ms: report.wall.as_secs_f64() * 1e3,
     })
+}
+
+/// Open a session: build the warm cache once from the initial graph and
+/// register the state. The per-session budget is fixed at open time so
+/// every `SessionTune` against this session searches the same way a
+/// cold `Tune` with these knobs would.
+fn exec_session_open(shared: &Shared, req: SessionOpenRequest) -> Response {
+    let SessionOpenRequest {
+        graph,
+        machine,
+        fom,
+        candidates,
+        max_candidates,
+        convergence_window,
+    } = req;
+    let candidates: Vec<MappingCandidate> = candidates
+        .into_iter()
+        .map(|c| MappingCandidate::new(c.label, c.mapping))
+        .collect();
+    let n = candidates.len() as u64;
+    let mut budget = Budget::unlimited();
+    if let Some(n) = max_candidates {
+        budget.max_candidates = Some(n as usize);
+    }
+    if let Some(w) = convergence_window {
+        budget.convergence_window = Some(w as usize);
+    }
+    let state = SessionState::open(graph, machine, fom, candidates, budget);
+    let session_id = shared.sessions.open(state);
+    shared
+        .metrics
+        .sessions
+        .opened
+        .fetch_add(1, Ordering::Relaxed);
+    shared.metrics.sessions.open.fetch_add(1, Ordering::Relaxed);
+    Response::SessionOpened(SessionOpenedReply {
+        session_id,
+        epoch: 0,
+        candidates: n,
+    })
+}
+
+/// Apply one sealed edit batch to a session. The checksum gate runs
+/// before the session is even looked up — a corrupt batch never
+/// touches state. All batch outcomes short of `Applied` leave the
+/// session exactly as it was (all-or-nothing, see
+/// [`SessionState::apply_batch`]).
+fn exec_session_edit(shared: &Shared, req: SessionEditRequest) -> Response {
+    if let Err(want) = req.verify() {
+        return Response::Failed(FailReply {
+            kind: "session".to_string(),
+            error: format!(
+                "edit batch checksum mismatch: got {:#018x}, recomputed {want:#018x}; \
+                 refusing the whole batch",
+                req.checksum
+            ),
+        });
+    }
+    let Some(slot) = shared.sessions.get(req.session_id) else {
+        shared
+            .metrics
+            .sessions
+            .no_such
+            .fetch_add(1, Ordering::Relaxed);
+        return Response::NoSuchSession(NoSuchSessionReply {
+            session_id: req.session_id,
+        });
+    };
+    let mut state = slot.lock();
+    match state.apply_batch(req.epoch, &req.edits) {
+        EditOutcome::Applied {
+            epoch,
+            applied,
+            cone,
+        } => {
+            let s = &shared.metrics.sessions;
+            s.edit_batches.fetch_add(1, Ordering::Relaxed);
+            s.edits_applied.fetch_add(applied, Ordering::Relaxed);
+            s.dirty_cone_total.fetch_add(cone, Ordering::Relaxed);
+            Response::SessionEdited(SessionEditedReply {
+                session_id: req.session_id,
+                epoch,
+                applied,
+                cone,
+            })
+        }
+        EditOutcome::StaleEpoch { got, expected } => Response::Failed(FailReply {
+            kind: "session".to_string(),
+            error: format!("stale epoch {got} (session is at {expected}); batch not applied"),
+        }),
+        EditOutcome::Rejected { index, error } => Response::Failed(FailReply {
+            kind: "session".to_string(),
+            error: format!("edit {index} refused: {error}; batch not applied"),
+        }),
+    }
+}
+
+/// Re-tune a session from its warm cache. Repaired candidate costs make
+/// this cheap after small edits; the reply says whether the tune ran
+/// fully warm (`rebuilds == 0`) so clients can tell repair apart from
+/// a silent cold rebuild.
+fn exec_session_tune(
+    shared: &Shared,
+    req: SessionTuneRequest,
+    cancel: &CancelToken,
+    deadline: Option<Instant>,
+) -> Response {
+    let Some(slot) = shared.sessions.get(req.session_id) else {
+        shared
+            .metrics
+            .sessions
+            .no_such
+            .fetch_add(1, Ordering::Relaxed);
+        return Response::NoSuchSession(NoSuchSessionReply {
+            session_id: req.session_id,
+        });
+    };
+    let mut state = slot.lock();
+    let out = state.tune(deadline, cancel);
+    let s = &shared.metrics.sessions;
+    if out.warm {
+        s.warm_tunes.fetch_add(1, Ordering::Relaxed);
+    } else {
+        s.cold_tunes.fetch_add(1, Ordering::Relaxed);
+        s.cold_rebuilds.fetch_add(out.rebuilds, Ordering::Relaxed);
+    }
+    let report = out.report;
+    Response::SessionTuned(Box::new(SessionTunedReply {
+        session_id: req.session_id,
+        epoch: out.epoch,
+        warm: out.warm,
+        rebuilds: out.rebuilds,
+        reply: TuneReply {
+            best: report.best,
+            offered: report.offered as u64,
+            evaluated: report.evaluated as u64,
+            pruned: report.pruned as u64,
+            cache: report.cache.to_string(),
+            fell_back: report.fell_back,
+            cancelled: report.cancelled,
+            wall_ms: report.wall.as_secs_f64() * 1e3,
+        },
+    }))
+}
+
+/// Close a session and report its lifetime tallies. Closing an unknown
+/// (or already-evicted) id is the same typed miss as editing one.
+fn exec_session_close(shared: &Shared, req: SessionCloseRequest) -> Response {
+    match shared.sessions.remove(req.session_id) {
+        Some(slot) => {
+            let state = slot.lock();
+            let s = &shared.metrics.sessions;
+            s.closed.fetch_add(1, Ordering::Relaxed);
+            s.open.fetch_sub(1, Ordering::Relaxed);
+            Response::SessionClosed(SessionClosedReply {
+                session_id: req.session_id,
+                epoch: state.epoch,
+                edits_applied: state.edits_applied,
+                tunes: state.tunes,
+            })
+        }
+        None => {
+            shared
+                .metrics
+                .sessions
+                .no_such
+                .fetch_add(1, Ordering::Relaxed);
+            Response::NoSuchSession(NoSuchSessionReply {
+                session_id: req.session_id,
+            })
+        }
+    }
 }
 
 /// Cancellably sleep `n × ms` (the scripted-straggler hook), in small

@@ -1,0 +1,314 @@
+//! End-to-end session tests: a real server on an ephemeral port, real
+//! TCP clients streaming graph edits, warm re-tunes checked
+//! bit-for-bit against cold client-side references, typed
+//! `NoSuchSession` misses, idle eviction, and metrics reconciliation.
+
+use std::time::Duration;
+
+use fm_autotune::Tuner;
+use fm_core::affine::IdxExpr;
+use fm_core::cost::Evaluator;
+use fm_core::dataflow::{CExpr, DataflowGraph};
+use fm_core::machine::MachineConfig;
+use fm_core::mapping::{AffineMap, Mapping, PlaceExpr};
+use fm_core::mutate::{apply_edit, GraphEdit};
+use fm_core::search::{FigureOfMerit, MappingCandidate};
+use fm_core::value::Value;
+use fm_serve::client::{Client, ClientError};
+use fm_serve::protocol::{
+    Request, Response, SessionEditRequest, SessionOpenRequest, WireCandidate,
+};
+use fm_serve::server::{Server, ServerConfig};
+
+fn chain(n: usize) -> DataflowGraph {
+    let mut g = DataflowGraph::new("session-chain", 32);
+    g.add_node(CExpr::konst(Value::ZERO), vec![], vec![0]);
+    for i in 1..n {
+        g.add_node(
+            CExpr::dep(0).add(CExpr::konst(Value::real(1.0))),
+            vec![(i - 1) as u32],
+            vec![i as i64],
+        );
+    }
+    g
+}
+
+/// The candidate set is frozen at `SessionOpen` — a serial table (goes
+/// unresolvable across length changes, exercising the fallback and
+/// rebuild paths) plus an everything-on-PE0 affine schedule (legal on
+/// any chain, any length), so sessions always keep a real winner.
+fn candidates(g: &DataflowGraph) -> Vec<WireCandidate> {
+    vec![
+        WireCandidate {
+            label: "serial".to_string(),
+            mapping: Mapping::serial(g),
+        },
+        WireCandidate {
+            label: "affine0".to_string(),
+            mapping: Mapping::Affine(AffineMap {
+                place: PlaceExpr::row0(IdxExpr::c(0)),
+                time: IdxExpr::i(),
+            }),
+        },
+    ]
+}
+
+fn open_request(g: &DataflowGraph, m: &MachineConfig) -> SessionOpenRequest {
+    SessionOpenRequest {
+        graph: g.clone(),
+        machine: m.clone(),
+        fom: FigureOfMerit::Time,
+        candidates: candidates(g),
+        max_candidates: None,
+        convergence_window: None,
+    }
+}
+
+/// Cold-tune `g` locally with the same defaults the server uses — and
+/// the same *frozen* candidate set the session opened with — and
+/// return the winner's (label, score bits) for comparison.
+fn cold_reference(g: &DataflowGraph, m: &MachineConfig, frozen: &[WireCandidate]) -> (String, u64) {
+    let ev = Evaluator::new(g, m);
+    let cands: Vec<MappingCandidate> = frozen
+        .iter()
+        .map(|c| MappingCandidate::new(c.label.clone(), c.mapping.clone()))
+        .collect();
+    let report = Tuner::new(&ev, g, m, FigureOfMerit::Time).tune(&cands);
+    let best = report.best.expect("cold reference found a winner");
+    (best.label, best.score.to_bits())
+}
+
+fn start(config: ServerConfig) -> fm_serve::server::ServerHandle {
+    Server::start("127.0.0.1:0", config).expect("bind ephemeral port")
+}
+
+#[test]
+fn session_lifecycle_warm_tunes_match_cold_reference() {
+    let mut g = chain(6);
+    let mut m = MachineConfig::linear(4);
+    let handle = start(ServerConfig::default());
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    let frozen = candidates(&g);
+    let opened = client.session_open(open_request(&g, &m)).unwrap();
+    assert_eq!(opened.epoch, 0);
+    assert_eq!(opened.candidates, 2);
+    let sid = opened.session_id;
+
+    // Three edit batches; after each, the warm server-side tune must
+    // land on the same winner as a cold local tune of the mirror.
+    let batches: Vec<Vec<GraphEdit>> = vec![
+        vec![GraphEdit::AddNode {
+            expr: CExpr::dep(0).add(CExpr::konst(Value::real(1.0))),
+            deps: vec![5],
+            index: vec![6],
+            output: false,
+        }],
+        vec![
+            GraphEdit::ResizeTile { tile_bits: 4096 },
+            GraphEdit::RetargetEdge {
+                node: 6,
+                slot: 0,
+                new_dep: 0,
+            },
+        ],
+        vec![GraphEdit::RemoveNode { id: 6 }],
+    ];
+    let mut epoch = 0;
+    let mut total_edits = 0u64;
+    for batch in batches {
+        for edit in &batch {
+            apply_edit(&mut g, &mut m, edit).expect("mirror edit applies");
+        }
+        total_edits += batch.len() as u64;
+        let edited = client.session_edit(sid, epoch, batch).unwrap();
+        assert_eq!(edited.epoch, epoch + 1);
+        epoch = edited.epoch;
+
+        let tuned = client.session_tune(sid, None).unwrap();
+        assert_eq!(tuned.epoch, epoch);
+        assert!(!tuned.reply.fell_back);
+        let best = tuned.reply.best.as_ref().expect("session tune won");
+        let (label, score_bits) = cold_reference(&g, &m, &frozen);
+        assert_eq!(best.label, label);
+        assert_eq!(best.score.to_bits(), score_bits);
+    }
+
+    let closed = client.session_close(sid).unwrap();
+    assert_eq!(closed.epoch, 3);
+    assert_eq!(closed.edits_applied, total_edits);
+    assert_eq!(closed.tunes, 3);
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.sessions.opened, 1);
+    assert_eq!(stats.sessions.closed, 1);
+    assert_eq!(stats.sessions.open, 0);
+    assert_eq!(stats.sessions.edits_applied, total_edits);
+    assert_eq!(stats.sessions.edit_batches, 3);
+    // The length-restoring RemoveNode forces exactly one cold rebuild
+    // of the table candidate; every other tune repairs warm.
+    assert_eq!(stats.sessions.warm_tunes, 2);
+    assert_eq!(stats.sessions.cold_tunes, 1);
+    assert_eq!(stats.sessions.cold_rebuilds, 1);
+    assert!(stats.sessions.mean_dirty_cone > 0.0);
+
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn unknown_stale_and_corrupt_session_requests_are_typed() {
+    let g = chain(4);
+    let m = MachineConfig::linear(4);
+    let handle = start(ServerConfig::default());
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    // A session id that was never issued: typed miss on every endpoint.
+    let resize = vec![GraphEdit::ResizeTile { tile_bits: 512 }];
+    let err = client.session_edit(999, 0, resize.clone()).unwrap_err();
+    assert!(err.is_no_such_session(), "edit: {err}");
+    let err = client.session_tune(999, None).unwrap_err();
+    assert!(err.is_no_such_session(), "tune: {err}");
+    let err = client.session_close(999).unwrap_err();
+    assert!(err.is_no_such_session(), "close: {err}");
+
+    let sid = client
+        .session_open(open_request(&g, &m))
+        .unwrap()
+        .session_id;
+
+    // A stale epoch is a session failure, not a miss.
+    match client.session_edit(sid, 7, resize.clone()).unwrap_err() {
+        ClientError::Failed(f) => {
+            assert_eq!(f.kind, "session");
+            assert!(f.error.contains("stale epoch"), "{}", f.error);
+        }
+        other => panic!("expected Failed(session), got {other}"),
+    }
+
+    // A tampered checksum is refused before any state is touched.
+    let mut sealed = SessionEditRequest::seal(sid, 0, resize);
+    sealed.checksum ^= 1;
+    match client.call(&Request::SessionEdit(sealed)).unwrap() {
+        Response::Failed(f) => {
+            assert_eq!(f.kind, "session");
+            assert!(f.error.contains("checksum"), "{}", f.error);
+        }
+        other => panic!("expected Failed(session), got {}", other.kind()),
+    }
+
+    // Closing twice: the second close sees a dead id (never reused).
+    client.session_close(sid).unwrap();
+    let err = client.session_close(sid).unwrap_err();
+    assert!(err.is_no_such_session(), "double close: {err}");
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.sessions.no_such, 4);
+    assert_eq!(stats.sessions.open, 0);
+    // Neither the stale-epoch nor the corrupt batch applied anything.
+    assert_eq!(stats.sessions.edits_applied, 0);
+
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn idle_sessions_are_evicted_and_counted() {
+    let g = chain(4);
+    let m = MachineConfig::linear(4);
+    let handle = start(ServerConfig {
+        session_ttl: Some(Duration::from_millis(100)),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    let sid = client
+        .session_open(open_request(&g, &m))
+        .unwrap()
+        .session_id;
+
+    // Wait out the ttl (sweeper ticks every ttl/4): the session must be
+    // gone, and the client sees the typed miss it can reopen from.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        std::thread::sleep(Duration::from_millis(50));
+        let stats = client.stats().unwrap();
+        if stats.sessions.evicted >= 1 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "session was never evicted"
+        );
+    }
+    let err = client.session_tune(sid, None).unwrap_err();
+    assert!(err.is_no_such_session(), "{err}");
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.sessions.evicted, 1);
+    assert_eq!(stats.sessions.open, 0);
+    assert_eq!(stats.sessions.closed, 0);
+
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn concurrent_disjoint_sessions_stay_isolated() {
+    const CLIENTS: usize = 2;
+    const ROUNDS: usize = 4;
+
+    let handle = start(ServerConfig::default());
+    let addr = handle.local_addr();
+
+    let threads: Vec<_> = (0..CLIENTS)
+        .map(|t| {
+            std::thread::spawn(move || {
+                // Different sizes per client: a cross-session mixup
+                // would change the winner's score, not just a label.
+                let mut g = chain(5 + 3 * t);
+                let mut m = MachineConfig::linear(4);
+                let frozen = candidates(&g);
+                let mut client = Client::connect(addr).unwrap();
+                let opened = client.session_open(open_request(&g, &m)).unwrap();
+                let sid = opened.session_id;
+                let mut epoch = opened.epoch;
+                for round in 0..ROUNDS {
+                    let id = g.nodes.len() as u32 - 1;
+                    let edit = GraphEdit::AddNode {
+                        expr: CExpr::dep(0).add(CExpr::konst(Value::real(round as f64))),
+                        deps: vec![id],
+                        index: vec![i64::from(id) + 1],
+                        output: false,
+                    };
+                    apply_edit(&mut g, &mut m, &edit).expect("mirror edit applies");
+                    let edited = client.session_edit(sid, epoch, vec![edit]).unwrap();
+                    epoch = edited.epoch;
+                    let tuned = client.session_tune(sid, None).unwrap();
+                    let best = tuned.reply.best.as_ref().expect("winner");
+                    let (label, score_bits) = cold_reference(&g, &m, &frozen);
+                    assert_eq!(best.label, label, "client {t} round {round}");
+                    assert_eq!(best.score.to_bits(), score_bits, "client {t} round {round}");
+                }
+                let closed = client.session_close(sid).unwrap();
+                assert_eq!(closed.epoch, ROUNDS as u64);
+                assert_eq!(closed.edits_applied, ROUNDS as u64);
+                sid
+            })
+        })
+        .collect();
+    let mut sids: Vec<u64> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+    sids.sort_unstable();
+    sids.dedup();
+    assert_eq!(sids.len(), CLIENTS, "session ids must be distinct");
+
+    let mut client = Client::connect(addr).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.sessions.opened, CLIENTS as u64);
+    assert_eq!(stats.sessions.closed, CLIENTS as u64);
+    assert_eq!(stats.sessions.open, 0);
+    assert_eq!(stats.sessions.edits_applied, (CLIENTS * ROUNDS) as u64);
+    assert_eq!(
+        stats.sessions.warm_tunes + stats.sessions.cold_tunes,
+        (CLIENTS * ROUNDS) as u64
+    );
+
+    handle.shutdown_and_join();
+}

@@ -1,0 +1,170 @@
+//! Property tests for the session subsystem's core invariant: after
+//! *any* stream of applied edits, a warm `SessionState::tune` lands on
+//! a winner bit-identical to a cold `Tuner::tune` of the current graph
+//! with the candidate set frozen at open — for every interleaving of
+//! edits and tunes, not just the ones the unit tests chose.
+
+use proptest::prelude::*;
+
+use fm_autotune::{Budget, CancelToken, Tuner};
+use fm_core::affine::IdxExpr;
+use fm_core::cost::Evaluator;
+use fm_core::dataflow::{CExpr, DataflowGraph};
+use fm_core::machine::MachineConfig;
+use fm_core::mapping::{AffineMap, Mapping, PlaceExpr};
+use fm_core::mutate::{apply_edit, GraphEdit};
+use fm_core::search::{FigureOfMerit, MappingCandidate};
+use fm_core::value::Value;
+use fm_serve::session::{EditOutcome, SessionState};
+
+fn chain(n: usize) -> DataflowGraph {
+    let mut g = DataflowGraph::new("session-prop", 32);
+    g.add_node(CExpr::konst(Value::ZERO), vec![], vec![0]);
+    for i in 1..n {
+        g.add_node(
+            CExpr::dep(0).add(CExpr::konst(Value::real(1.0))),
+            vec![(i - 1) as u32],
+            vec![i as i64],
+        );
+    }
+    g
+}
+
+/// A table candidate (invalidated by length changes), an always-legal
+/// PE0 schedule, and a time-0 spread (illegal on any chain): together
+/// they exercise repair, unresolvable, fallback, and rebuild paths.
+fn frozen_candidates(g: &DataflowGraph) -> Vec<MappingCandidate> {
+    vec![
+        MappingCandidate::new("serial", Mapping::serial(g)),
+        MappingCandidate::new(
+            "affine0",
+            Mapping::Affine(AffineMap {
+                place: PlaceExpr::row0(IdxExpr::c(0)),
+                time: IdxExpr::i(),
+            }),
+        ),
+        MappingCandidate::new(
+            "spread",
+            Mapping::Affine(AffineMap {
+                place: PlaceExpr::row0(IdxExpr::i()),
+                time: IdxExpr::c(0),
+            }),
+        ),
+    ]
+}
+
+/// Decode one raw step into a structurally plausible edit. Validity is
+/// decided by rehearsing on mirror clones — an invalid proposal is
+/// simply skipped, so streams stay arbitrary without biasing toward
+/// trivial graphs.
+fn propose(g: &DataflowGraph, op: u8, a: u64, b: u64) -> GraphEdit {
+    let len = g.nodes.len() as u64;
+    match op % 4 {
+        0 => GraphEdit::AddNode {
+            expr: CExpr::dep(0).add(CExpr::konst(Value::real(a as f64))),
+            deps: vec![(a % len) as u32],
+            index: vec![len as i64],
+            output: false,
+        },
+        1 => GraphEdit::RemoveNode {
+            id: (a % len) as u32,
+        },
+        2 => GraphEdit::RetargetEdge {
+            node: (a % len) as u32,
+            slot: 0,
+            new_dep: (b % len) as u32,
+        },
+        _ => GraphEdit::ResizeTile {
+            tile_bits: 64 + (a % 8192),
+        },
+    }
+}
+
+fn assert_tune_matches_cold(
+    state: &mut SessionState,
+    g: &DataflowGraph,
+    m: &MachineConfig,
+    frozen: &[MappingCandidate],
+    step: usize,
+) {
+    let out = state.tune(None, &CancelToken::new());
+    let ev = Evaluator::new(g, m);
+    let cold = Tuner::new(&ev, g, m, FigureOfMerit::Time)
+        .with_budget(Budget::unlimited())
+        .tune(frozen);
+    assert_eq!(out.report.best_index, cold.best_index, "step {step}");
+    assert_eq!(out.report.evaluated, cold.evaluated, "step {step}");
+    assert_eq!(out.report.fell_back, cold.fell_back, "step {step}");
+    match (&out.report.best, &cold.best) {
+        (Some(w), Some(c)) => {
+            assert_eq!(w.label, c.label, "step {step}");
+            assert_eq!(w.score.to_bits(), c.score.to_bits(), "step {step}");
+            assert_eq!(w.resolved, c.resolved, "step {step}");
+        }
+        (None, None) => {}
+        (w, c) => panic!(
+            "step {step}: warm {:?} vs cold {:?}",
+            w.is_some(),
+            c.is_some()
+        ),
+    }
+    for (wt, ct) in out.report.trajectory.iter().zip(cold.trajectory.iter()) {
+        assert_eq!(wt.0, ct.0, "step {step}");
+        assert_eq!(wt.1.to_bits(), ct.1.to_bits(), "step {step}");
+    }
+    assert_eq!(
+        out.report.trajectory.len(),
+        cold.trajectory.len(),
+        "step {step}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn warm_session_tunes_are_bit_identical_to_cold_after_any_edit_stream(
+        n in 3usize..9,
+        steps in proptest::collection::vec(
+            (any::<u8>(), any::<u64>(), any::<u64>(), any::<bool>()),
+            0..14,
+        ),
+    ) {
+        let mut g = chain(n);
+        let mut m = MachineConfig::linear(4);
+        let frozen = frozen_candidates(&g);
+        let mut state = SessionState::open(
+            g.clone(),
+            m.clone(),
+            FigureOfMerit::Time,
+            frozen.clone(),
+            Budget::unlimited(),
+        );
+
+        // The winner of the untouched session already matches cold.
+        assert_tune_matches_cold(&mut state, &g, &m, &frozen, usize::MAX);
+
+        let mut epoch = 0u64;
+        for (step, (op, a, b, tune_here)) in steps.into_iter().enumerate() {
+            let edit = propose(&g, op, a, b);
+            // Rehearse on mirror clones: skip proposals the graph
+            // refuses (removing a producer, retargeting a dep-less
+            // node, ...) — the session would atomically reject them
+            // and leave state untouched, which is tested elsewhere.
+            let (mut g2, mut m2) = (g.clone(), m.clone());
+            if apply_edit(&mut g2, &mut m2, &edit).is_ok() {
+                apply_edit(&mut g, &mut m, &edit).unwrap();
+                match state.apply_batch(epoch, &[edit]) {
+                    EditOutcome::Applied { epoch: e, applied: 1, .. } => epoch = e,
+                    other => panic!("step {step}: rehearsed edit refused: {other:?}"),
+                }
+            }
+            if tune_here {
+                assert_tune_matches_cold(&mut state, &g, &m, &frozen, step);
+            }
+        }
+        // And once more after the stream ends, whatever it was.
+        assert_tune_matches_cold(&mut state, &g, &m, &frozen, usize::MAX - 1);
+        prop_assert_eq!(state.epoch, epoch);
+    }
+}
