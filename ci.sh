@@ -56,6 +56,20 @@ cargo run --release -q -p fm-bench --bin table_e18_session -- --quick --json "$e
 [ -s "$e18_dir/BENCH_e18.json" ] || { echo "session-smoke: E18 emitted no JSON"; exit 1; }
 rm -rf "$e18_dir"
 
+echo "== wire-smoke: protocol negotiation + E19 quick run =="
+# Negotiation matrix over real TCP: new client falls back to JSON
+# against an old server, old (JSON-only) client is served by a new
+# server, pipelined replies complete out of order, and dedup-batched
+# admission collapses duplicate tunes — winners checked bit-for-bit
+# throughout. Then the E19 quick run: blocking JSON vs. pipelined
+# binary sweep plus the four-arm dedup trace, with winner parity and
+# the dedup collapse asserted by the binary itself.
+cargo test --release -q -p fm-serve --test protocol_negotiation
+e19_dir="$(mktemp -d)"
+cargo run --release -q -p fm-bench --bin table_e19_wire -- --quick --json "$e19_dir/BENCH_e19.json" >/dev/null
+[ -s "$e19_dir/BENCH_e19.json" ] || { echo "wire-smoke: E19 emitted no JSON"; exit 1; }
+rm -rf "$e19_dir"
+
 echo "== serve-smoke: daemon + example over the wire =="
 # Launch the real daemon on an ephemeral port, run the example against
 # it (FM_SERVE_SHUTDOWN=1 makes the example request the drain), and

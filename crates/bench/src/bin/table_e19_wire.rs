@@ -1,0 +1,30 @@
+//! Regenerates the E19 tables (blocking JSON vs. pipelined binary
+//! transport, and dedup-batched admission under a duplicate-heavy
+//! trace) and writes `BENCH_e19.json` with the raw rows.
+//!
+//! `--quick` shrinks request counts and the duplicate trace for a fast
+//! smoke run, e.g. from `ci.sh`. `--json PATH` overrides the JSON
+//! output path; `--no-json` suppresses it.
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let no_json = args.iter().any(|a| a == "--no-json");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_e19.json".to_string());
+    let results = fm_bench::e19_wire::run(quick);
+    print!("{}", fm_bench::e19_wire::print(&results));
+    if !no_json {
+        let doc = fm_bench::e19_wire::to_json(&results);
+        match std::fs::write(&json_path, doc) {
+            Ok(()) => println!("\nwrote {json_path}"),
+            Err(e) => {
+                eprintln!("table_e19_wire: cannot write {json_path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

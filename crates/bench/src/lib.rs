@@ -41,3 +41,4 @@ pub mod e15_serve;
 pub mod e16_fleet;
 pub mod e17_stream;
 pub mod e18_session;
+pub mod e19_wire;

@@ -3,7 +3,7 @@
 //! ```text
 //! fm-serve [--addr HOST:PORT] [--workers N] [--threads N] [--queue N]
 //!          [--deadline-ms MS] [--cache DIR] [--max-frame BYTES]
-//!          [--session-ttl SECS]
+//!          [--session-ttl SECS] [--dedup on|off]
 //!          [--fleet HOST:PORT,...] [--fleet-attempts N]
 //!          [--fleet-connect-ms MS] [--fleet-hedge-ms MS]
 //!          [--stream-every K] [--weighted on|off]
@@ -27,7 +27,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: fm-serve [--addr HOST:PORT] [--workers N] [--threads N] [--queue N]\n\
          \x20               [--deadline-ms MS] [--cache DIR] [--max-frame BYTES]\n\
-         \x20               [--session-ttl SECS]\n\
+         \x20               [--session-ttl SECS] [--dedup on|off]\n\
          \x20               [--fleet HOST:PORT,...] [--fleet-attempts N]\n\
          \x20               [--fleet-connect-ms MS] [--fleet-hedge-ms MS]\n\
          \x20               [--stream-every K] [--weighted on|off]\n\
@@ -40,6 +40,8 @@ fn usage() -> ! {
          \x20 --cache DIR        persistent tuning cache directory (default off)\n\
          \x20 --max-frame BYTES  largest accepted frame (default 16 MiB)\n\
          \x20 --session-ttl SECS evict sessions idle this long; 0 = never (default)\n\
+         \x20 --dedup on|off     collapse queued duplicate tunes into one search\n\
+         \x20                    and fan the answer back to every waiter (default on)\n\
          \x20 --fleet A,B,...    coordinate tunes across these shard addresses\n\
          \x20 --fleet-attempts N       attempt waves per sub-range before local\n\
          \x20                          fallback (default 3)\n\
@@ -97,6 +99,14 @@ fn main() -> ExitCode {
                 let secs: u64 = parse_num("--session-ttl", args.next());
                 config.session_ttl = (secs > 0).then(|| Duration::from_secs(secs));
             }
+            "--dedup" => match args.next().as_deref() {
+                Some("on") => config.dedup_tunes = true,
+                Some("off") => config.dedup_tunes = false,
+                _ => {
+                    eprintln!("fm-serve: --dedup needs `on` or `off`");
+                    usage();
+                }
+            },
             "--fleet" => match args.next() {
                 Some(list) => {
                     let shards: Vec<String> = list
@@ -199,6 +209,16 @@ fn main() -> ExitCode {
         stats.sessions.warm_tunes,
         stats.sessions.cold_tunes,
         stats.sessions.evicted
+    );
+    println!(
+        "fm-serve: wire — {} binary connections, {} binary / {} json requests, \
+         pipeline in-flight peak {}, {} dedup batches serving {} extra waiters",
+        stats.binary_connections,
+        stats.binary_requests,
+        stats.json_requests,
+        stats.inflight_peak,
+        stats.dedup_batches,
+        stats.dedup_waiters_served
     );
     ExitCode::SUCCESS
 }

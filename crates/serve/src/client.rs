@@ -1,25 +1,37 @@
 //! Blocking client for the `fm-serve` daemon.
 //!
-//! One [`Client`] wraps one TCP connection and issues one request at a
-//! time (the protocol is strictly request/reply per connection; open
-//! more clients for concurrency — the server multiplexes them onto its
-//! worker pool). Typed helpers ([`Client::tune`], [`Client::evaluate`],
-//! [`Client::simulate`], …) unwrap the expected response variant and
-//! surface everything else as a [`ClientError`]; [`ClientError::Busy`]
-//! is its own variant so load generators can count and back off.
+//! [`Client::connect`] negotiates the wire protocol on connect: it
+//! sends a JSON [`Request::Hello`] and, when the server acknowledges,
+//! switches the connection to the compact binary envelope with
+//! pipelining. A server that predates negotiation answers the unknown
+//! request with a protocol failure (or just closes); the client then
+//! transparently reconnects and speaks classic JSON — old servers and
+//! new clients interoperate, as do old clients and new servers (an
+//! un-negotiated connection is served JSON byte-for-byte as before).
+//! [`Client::connect_json`] skips negotiation outright.
+//!
+//! The typed helpers ([`Client::tune`], [`Client::evaluate`],
+//! [`Client::simulate`], …) are one-at-a-time request/reply in either
+//! encoding. On a negotiated connection [`Client::send_request`] /
+//! [`Client::recv_response`] additionally expose pipelining: queue
+//! many requests, then match completions (which arrive in *completion*
+//! order) by correlation id. [`ClientError::Busy`] is its own variant
+//! so load generators can count and back off.
 
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use fm_core::mutate::GraphEdit;
 
 use crate::metrics::StatsReply;
 use crate::protocol::{
-    read_response, write_request, BusyReply, EvaluateReply, EvaluateRequest, FailReply,
+    decode_response_any, encode_request_binary, read_frame, read_response, write_frame,
+    write_request, BusyReply, EvaluateReply, EvaluateRequest, FailReply, HelloRequest,
     NoSuchSessionReply, Request, Response, SessionCloseRequest, SessionClosedReply,
     SessionEditRequest, SessionEditedReply, SessionOpenRequest, SessionOpenedReply,
     SessionTuneRequest, SessionTunedReply, SimulateReply, SimulateRequest, TuneReply, TuneRequest,
     TuneShardPart, TuneShardReply, TuneShardRequest, WireError, DEFAULT_MAX_FRAME,
+    PROTOCOL_BINARY_VERSION,
 };
 
 /// What went wrong with a request, from the client's point of view.
@@ -91,40 +103,82 @@ impl ClientError {
 pub struct Client {
     stream: TcpStream,
     max_frame: usize,
+    /// Resolved addresses kept for the negotiation-fallback reconnect.
+    addrs: Vec<SocketAddr>,
+    /// Per-address bound used when dialing (`None` = OS default).
+    connect_timeout: Option<Duration>,
+    /// Negotiated: frames carry the binary envelope.
+    binary: bool,
+    /// Negotiated: the server completes this connection's requests
+    /// out of order, matched by correlation id.
+    pipeline: bool,
+    next_corr: u64,
 }
 
 impl Client {
-    /// Connect to a running server.
+    /// Connect to a running server and negotiate the wire protocol
+    /// (binary + pipelining when the server supports it, transparent
+    /// JSON fallback when it predates negotiation).
     ///
     /// Uses the OS-default (blocking, unbounded) connect; callers with
     /// a deadline should use [`Client::connect_timeout`] so a
     /// black-holed address fails fast instead of hanging.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
-        let stream = TcpStream::connect(addr).map_err(WireError::Io)?;
-        let _ = stream.set_nodelay(true);
-        Ok(Client {
-            stream,
-            max_frame: DEFAULT_MAX_FRAME,
-        })
+        Client::connect_json(addr)?.negotiate()
     }
 
     /// Connect with a bounded connect timeout per resolved address —
     /// thread a request deadline here so an unresponsive (SYN-dropping)
     /// server costs at most `timeout` per address instead of the OS
-    /// default, which can be minutes.
+    /// default, which can be minutes. Negotiates like
+    /// [`Client::connect`].
     pub fn connect_timeout(
         addr: impl ToSocketAddrs,
         timeout: Duration,
     ) -> Result<Client, ClientError> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs().map_err(WireError::Io)?.collect();
+        let stream = Client::dial(&addrs, Some(timeout))?;
+        Client {
+            stream,
+            max_frame: DEFAULT_MAX_FRAME,
+            addrs,
+            connect_timeout: Some(timeout),
+            binary: false,
+            pipeline: false,
+            next_corr: 0,
+        }
+        .negotiate()
+    }
+
+    /// Connect *without* negotiating: the connection speaks classic
+    /// length-prefixed JSON, exactly like a client that predates the
+    /// binary protocol. (Also what [`Client::connect`] degrades to
+    /// against an old server.)
+    pub fn connect_json(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs().map_err(WireError::Io)?.collect();
+        let stream = Client::dial(&addrs, None)?;
+        Ok(Client {
+            stream,
+            max_frame: DEFAULT_MAX_FRAME,
+            addrs,
+            connect_timeout: None,
+            binary: false,
+            pipeline: false,
+            next_corr: 0,
+        })
+    }
+
+    fn dial(addrs: &[SocketAddr], timeout: Option<Duration>) -> Result<TcpStream, ClientError> {
         let mut last: Option<std::io::Error> = None;
-        for addr in addr.to_socket_addrs().map_err(WireError::Io)? {
-            match TcpStream::connect_timeout(&addr, timeout) {
+        for addr in addrs {
+            let attempt = match timeout {
+                Some(t) => TcpStream::connect_timeout(addr, t),
+                None => TcpStream::connect(addr),
+            };
+            match attempt {
                 Ok(stream) => {
                     let _ = stream.set_nodelay(true);
-                    return Ok(Client {
-                        stream,
-                        max_frame: DEFAULT_MAX_FRAME,
-                    });
+                    return Ok(stream);
                 }
                 Err(e) => last = Some(e),
             }
@@ -139,16 +193,94 @@ impl Client {
         ))))
     }
 
+    /// Offer the highest version we speak, in JSON (the one encoding
+    /// every server understands). A modern server acks and the
+    /// connection goes binary; an old one answers the unknown request
+    /// with a protocol failure — or just hangs up — and we reconnect
+    /// to speak JSON, which it does understand. Requests are never
+    /// silently lost either way: negotiation happens strictly before
+    /// the first real request.
+    fn negotiate(mut self) -> Result<Client, ClientError> {
+        let hello = Request::Hello(HelloRequest {
+            max_version: PROTOCOL_BINARY_VERSION,
+            pipeline: true,
+        });
+        if write_request(&mut self.stream, &hello).is_err() {
+            return self.fall_back_to_json();
+        }
+        match read_response(&mut self.stream, self.max_frame) {
+            Ok(Response::HelloAck(ack)) => {
+                self.binary = ack.version > 0;
+                self.pipeline = ack.pipeline && self.binary;
+                Ok(self)
+            }
+            Ok(_) | Err(_) => self.fall_back_to_json(),
+        }
+    }
+
+    fn fall_back_to_json(mut self) -> Result<Client, ClientError> {
+        self.binary = false;
+        self.pipeline = false;
+        // The old server closed the connection after the unknown
+        // request; a fresh one starts with clean framing state.
+        self.stream = Client::dial(&self.addrs, self.connect_timeout)?;
+        Ok(self)
+    }
+
+    /// Did negotiation land on the binary envelope?
+    pub fn is_binary(&self) -> bool {
+        self.binary
+    }
+
+    /// Did negotiation enable out-of-order pipelining?
+    pub fn is_pipelined(&self) -> bool {
+        self.pipeline
+    }
+
     /// Cap accepted response frames (mirror of the server-side cap).
     pub fn with_max_frame(mut self, max: usize) -> Client {
         self.max_frame = max;
         self
     }
 
-    /// Send one request and read one response, raw.
+    /// Queue one request without waiting for its reply. On a binary
+    /// connection the returned correlation id names the reply frame
+    /// ([`Client::recv_response`] echoes it); on a JSON connection
+    /// replies come back strictly in request order and the id is
+    /// always 0. Frames queued back-to-back share socket writes — this
+    /// is the client half of pipelining.
+    pub fn send_request(&mut self, request: &Request) -> Result<u64, ClientError> {
+        if self.binary {
+            self.next_corr += 1;
+            let corr = self.next_corr;
+            write_frame(&mut self.stream, &encode_request_binary(corr, request))
+                .map_err(WireError::Io)?;
+            Ok(corr)
+        } else {
+            write_request(&mut self.stream, request).map_err(WireError::Io)?;
+            Ok(0)
+        }
+    }
+
+    /// Read one response frame, whichever in-flight request it
+    /// answers, with its correlation id (0 on JSON connections).
+    pub fn recv_response(&mut self) -> Result<(u64, Response), ClientError> {
+        let payload = read_frame(&mut self.stream, self.max_frame)?;
+        let (corr, resp, _was_binary) = decode_response_any(&payload)?;
+        Ok((corr, resp))
+    }
+
+    /// Send one request and read its response, raw.
     pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
-        write_request(&mut self.stream, request).map_err(WireError::Io)?;
-        Ok(read_response(&mut self.stream, self.max_frame)?)
+        let corr = self.send_request(request)?;
+        loop {
+            let (rcorr, resp) = self.recv_response()?;
+            // Replies to abandoned correlation ids (a pipelined burst
+            // cut short by an error) are drained, not surfaced.
+            if !self.binary || rcorr == corr {
+                return Ok(resp);
+            }
+        }
     }
 
     /// Shared unwrap: split out the refusals every endpoint can get.
@@ -188,10 +320,14 @@ impl Client {
         &mut self,
         request: TuneShardRequest,
     ) -> Result<(Vec<TuneShardPart>, TuneShardReply), ClientError> {
-        write_request(&mut self.stream, &Request::TuneShard(request)).map_err(WireError::Io)?;
+        let corr = self.send_request(&Request::TuneShard(request))?;
         let mut parts = Vec::new();
         loop {
-            match read_response(&mut self.stream, self.max_frame)? {
+            let (rcorr, resp) = self.recv_response()?;
+            if self.binary && rcorr != corr {
+                continue; // stray reply to an abandoned id
+            }
+            match resp {
                 Response::TuneShardPart(part) => parts.push(part),
                 Response::TuneSharded(reply) => return Ok((parts, reply)),
                 Response::Busy(b) => return Err(ClientError::Busy(b)),

@@ -83,9 +83,9 @@ use fm_workspan::ThreadPool;
 use crate::fault::mix64;
 use crate::metrics::{breaker_state, FleetMetrics};
 use crate::protocol::{
-    decode_response, encode_request, Request, Response, ShardBest, ShardReplyFlaw, TuneReply,
-    TuneRequest, TuneShardBody, TuneShardPartBody, TuneShardRequest, WireCandidate,
-    DEFAULT_MAX_FRAME,
+    decode_response_any, encode_request, encode_request_binary, Request, Response, ShardBest,
+    ShardReplyFlaw, TuneReply, TuneRequest, TuneShardBody, TuneShardPartBody, TuneShardRequest,
+    WireCandidate, DEFAULT_MAX_FRAME,
 };
 
 /// Fleet-coordinator tunables. Defaults are production-ish; tests
@@ -133,6 +133,12 @@ pub struct FleetConfig {
     pub stream_every: Option<u64>,
     /// Size ranges by per-shard EWMA throughput instead of equally.
     pub weighted: bool,
+    /// Encode shard-link requests with the compact binary envelope
+    /// (reply frames are sniffed per frame, so shards may answer in
+    /// either encoding). A shard that rejects binary with a protocol
+    /// failure — it predates the envelope — is remembered as JSON-only
+    /// and retried in JSON. The merged winner is encoding-independent.
+    pub binary_links: bool,
 }
 
 impl FleetConfig {
@@ -152,6 +158,7 @@ impl FleetConfig {
             jitter_seed: 0x5EED,
             stream_every: Some(16),
             weighted: true,
+            binary_links: true,
         }
     }
 }
@@ -169,6 +176,11 @@ enum Breaker {
 
 struct ShardState {
     breaker: Mutex<Breaker>,
+    /// Latched when the shard rejected a binary request with a
+    /// protocol failure: it predates the envelope, so every later
+    /// attempt speaks JSON. Never unlatched — a fleet member does not
+    /// upgrade mid-flight.
+    json_only: AtomicBool,
 }
 
 /// The coordinator. One per server, shared across worker threads.
@@ -384,6 +396,7 @@ impl Fleet {
                 breaker: Mutex::new(Breaker::Closed {
                     consecutive_failures: 0,
                 }),
+                json_only: AtomicBool::new(false),
             })
             .collect();
         Arc::new(Fleet {
@@ -1000,7 +1013,14 @@ fn run_attempt(
         fleet.report_failure(shard);
         return AttemptEnd::Failed { saved: 0 };
     };
-    let payload = encode_request(&Request::TuneShard(TuneShardRequest {
+    // Shard links skip the Hello handshake: the envelope is sniffed
+    // per frame on both ends, so the coordinator just speaks binary
+    // (correlation id = epoch) unless this shard is known JSON-only.
+    // Skipping the handshake also keeps reply-frame indices stable for
+    // the frame-indexed fault scripts in the chaos suite.
+    let binary =
+        fleet.config.binary_links && !fleet.shards[shard].json_only.load(Ordering::Acquire);
+    let request = Request::TuneShard(TuneShardRequest {
         graph: range.graph.clone(),
         machine: range.machine.clone(),
         fom: range.fom,
@@ -1011,7 +1031,12 @@ fn run_attempt(
             .deadline
             .map(|d| (d.saturating_duration_since(Instant::now()).as_millis() as u64).max(1)),
         stream_every: range.stream_every,
-    }));
+    });
+    let payload = if binary {
+        encode_request_binary(range.epoch, &request)
+    } else {
+        encode_request(&request)
+    };
     let frame_len = payload.len() as u32;
     if stream
         .write_all(&frame_len.to_be_bytes())
@@ -1041,7 +1066,7 @@ fn run_attempt(
     };
     loop {
         match watch_read(&mut stream, until, cancel, &range.done) {
-            WatchRead::Frame(bytes) => match decode_response(&bytes) {
+            WatchRead::Frame(bytes) => match decode_response_any(&bytes).map(|(_, r, _)| r) {
                 Ok(Response::TuneShardPart(part)) => {
                     if let Err(flaw) = part.verify(range.epoch) {
                         fleet
@@ -1101,6 +1126,13 @@ fn run_attempt(
                         }
                         Err(flaw) => fail(Some(&flaw), saved),
                     };
+                }
+                // A protocol failure for a binary request means the
+                // shard predates the envelope: remember that and let
+                // the retry waves redial it in JSON.
+                Ok(Response::Failed(f)) if binary && f.kind == "protocol" => {
+                    fleet.shards[shard].json_only.store(true, Ordering::Release);
+                    return fail(None, saved);
                 }
                 // Busy, ShuttingDown, Failed, or protocol confusion:
                 // this path is unusable right now.

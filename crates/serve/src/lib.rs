@@ -10,11 +10,19 @@
 //!
 //! ## Protocol
 //!
-//! Length-prefixed JSON: each frame is a 4-byte big-endian length
-//! followed by that many bytes of JSON ([`protocol`]). Requests:
+//! Length-prefixed frames: each frame is a 4-byte big-endian length
+//! followed by that many bytes of payload ([`protocol`]). A payload is
+//! either JSON (the original wire format, still accepted verbatim) or
+//! the compact binary envelope — a `0xB1` magic byte, a codec version,
+//! an 8-byte correlation id, then the varint-packed binary encoding of
+//! the same externally-tagged value tree the JSON form serializes.
+//! Clients opt in per connection with a `Hello` handshake; servers
+//! that predate negotiation answer `Failed{kind:"protocol"}` and the
+//! client transparently falls back to JSON. Requests:
 //!
 //! | request | answer | what it does |
 //! |---|---|---|
+//! | `Hello` | `HelloAck` | negotiate binary framing + pipelining (never queued) |
 //! | `Ping` | `Pong` | liveness |
 //! | `Tune` | `Tuned` | ranked mapping search via the shared tuner + cache |
 //! | `TuneShard` | `TuneSharded` | one sub-range of a fleet tune (checksummed, epoch-stamped) |
@@ -26,6 +34,13 @@
 //! | `SessionTune` | `SessionTuned` | warm re-tune seeded from repaired candidate costs ([`session`]) |
 //! | `SessionClose` | `SessionClosed` | retire the session, report lifetime tallies |
 //! | `Shutdown` | `ShuttingDown` | drain admitted work, then exit |
+//!
+//! On a negotiated pipelined connection the client may keep many
+//! requests in flight; replies carry the request's correlation id and
+//! return in completion order, so a cheap `Ping` overtakes a long
+//! `Tune` queued ahead of it. Queued `Tune` requests with identical
+//! bodies are deduplicated into one search whose answer fans out to
+//! every waiter (`--dedup off` disables this).
 //!
 //! Any work request may instead receive `Busy` (bounded admission
 //! queue is full — retry later) or `Failed` (typed error). Session
@@ -79,11 +94,12 @@ pub use metrics::{
     EndpointStats, FleetStatsReply, LatencyStats, SessionStatsReply, ShardStats, StatsReply,
 };
 pub use protocol::{
-    BusyReply, EvaluateReply, EvaluateRequest, FailReply, NoSuchSessionReply, Request, Response,
-    SessionCloseRequest, SessionClosedReply, SessionEditRequest, SessionEditedReply,
-    SessionOpenRequest, SessionOpenedReply, SessionTuneRequest, SessionTunedReply, ShardReplyFlaw,
-    SimulateReply, SimulateRequest, TuneReply, TuneRequest, TuneShardBody, TuneShardReply,
-    TuneShardRequest, WireCandidate, WireError, DEFAULT_MAX_FRAME,
+    BusyReply, EvaluateReply, EvaluateRequest, FailReply, HelloAckReply, HelloRequest,
+    NoSuchSessionReply, Request, Response, SessionCloseRequest, SessionClosedReply,
+    SessionEditRequest, SessionEditedReply, SessionOpenRequest, SessionOpenedReply,
+    SessionTuneRequest, SessionTunedReply, ShardReplyFlaw, SimulateReply, SimulateRequest,
+    TuneReply, TuneRequest, TuneShardBody, TuneShardReply, TuneShardRequest, WireCandidate,
+    WireError, DEFAULT_MAX_FRAME, PROTOCOL_BINARY_VERSION,
 };
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use session::{EditOutcome, SessionRegistry, SessionState, SessionTuneOutcome};

@@ -164,6 +164,22 @@ pub struct Metrics {
     pub cache_stale: AtomicU64,
     /// Connections accepted over the server's lifetime.
     pub connections: AtomicU64,
+    /// Connections that negotiated the binary pipelined protocol via
+    /// `Hello`/`HelloAck` (the rest stayed on blocking JSON).
+    pub binary_connections: AtomicU64,
+    /// Request frames decoded from JSON text payloads.
+    pub json_requests: AtomicU64,
+    /// Request frames decoded from binary envelopes.
+    pub binary_requests: AtomicU64,
+    /// High-water mark of concurrently in-flight requests on any one
+    /// pipelined connection (admitted or executing, not yet replied).
+    pub inflight_peak: AtomicU64,
+    /// Dedup batches executed: one queued `Tune` ran on behalf of
+    /// itself plus at least one fingerprint-identical waiter.
+    pub dedup_batches: AtomicU64,
+    /// Queued `Tune` requests answered from another request's search
+    /// (the waiters; the requests that never ran their own search).
+    pub dedup_waiters_served: AtomicU64,
     /// Streamed `TuneShardPart` frames this server emitted while
     /// working sub-ranges for a fleet coordinator.
     pub tune_shard_parts: AtomicU64,
@@ -197,6 +213,12 @@ impl Default for Metrics {
             cache_misses: AtomicU64::new(0),
             cache_stale: AtomicU64::new(0),
             connections: AtomicU64::new(0),
+            binary_connections: AtomicU64::new(0),
+            json_requests: AtomicU64::new(0),
+            binary_requests: AtomicU64::new(0),
+            inflight_peak: AtomicU64::new(0),
+            dedup_batches: AtomicU64::new(0),
+            dedup_waiters_served: AtomicU64::new(0),
             tune_shard_parts: AtomicU64::new(0),
             fleet: Mutex::new(None),
         }
@@ -246,6 +268,12 @@ impl Metrics {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             cache_stale: self.cache_stale.load(Ordering::Relaxed),
+            binary_connections: self.binary_connections.load(Ordering::Relaxed),
+            json_requests: self.json_requests.load(Ordering::Relaxed),
+            binary_requests: self.binary_requests.load(Ordering::Relaxed),
+            inflight_peak: self.inflight_peak.load(Ordering::Relaxed),
+            dedup_batches: self.dedup_batches.load(Ordering::Relaxed),
+            dedup_waiters_served: self.dedup_waiters_served.load(Ordering::Relaxed),
             tune_shard_parts: self.tune_shard_parts.load(Ordering::Relaxed),
             tune: self.tune.snapshot(),
             tune_shard: self.tune_shard.snapshot(),
@@ -664,6 +692,19 @@ pub struct StatsReply {
     pub cache_misses: u64,
     /// Tuning-cache stale entries.
     pub cache_stale: u64,
+    /// Connections that negotiated the binary pipelined protocol.
+    pub binary_connections: u64,
+    /// Request frames decoded from JSON text payloads.
+    pub json_requests: u64,
+    /// Request frames decoded from binary envelopes.
+    pub binary_requests: u64,
+    /// Peak concurrently in-flight requests on one pipelined
+    /// connection.
+    pub inflight_peak: u64,
+    /// Dedup batches executed (one search served 2+ identical tunes).
+    pub dedup_batches: u64,
+    /// Queued `Tune` requests answered from another request's search.
+    pub dedup_waiters_served: u64,
     /// Streamed `TuneShardPart` frames emitted (as a fleet backend).
     pub tune_shard_parts: u64,
     /// `Tune` counters.

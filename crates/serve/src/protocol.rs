@@ -1,15 +1,28 @@
-//! The wire protocol: length-prefixed JSON frames.
+//! The wire protocol: length-prefixed frames, JSON or binary payload.
 //!
 //! Every message on the wire is one **frame**: a 4-byte big-endian
-//! payload length followed by that many bytes of UTF-8 JSON. JSON keeps
-//! the protocol debuggable (`nc` + eyeballs) and rides on the same
-//! vendored serde data model the rest of the workspace already
-//! round-trips through; the length prefix makes framing trivial and
-//! lets the receiver reject oversized frames *before* buffering them
-//! (bounded memory, the same discipline as the admission queue).
+//! payload length followed by the payload. The payload comes in two
+//! interchangeable encodings of the *same* serde value tree:
 //!
-//! Malformed input of any kind — truncated frame, oversized length,
-//! garbage bytes, JSON of the wrong shape — surfaces as a
+//! * **JSON text** — the bring-up encoding; debuggable (`nc` +
+//!   eyeballs) and what every client generation speaks.
+//! * **Binary envelope** — a [`BINARY_MAGIC`] byte, a version byte, an
+//!   8-byte correlation id, then a compact tag-prefixed encoding of
+//!   the value tree (varint integers, raw IEEE-754 floats,
+//!   length-prefixed strings). Negotiated with [`Request::Hello`] /
+//!   [`Response::HelloAck`]; the correlation id lets many requests
+//!   ride one connection concurrently and complete out of order.
+//!
+//! The magic byte is a UTF-8 continuation byte, so no JSON payload can
+//! start with it: a receiver sniffs the first byte and accepts either
+//! encoding on any frame, which is what keeps old JSON clients working
+//! byte-for-byte against new servers.
+//!
+//! The length prefix makes framing trivial and lets the receiver
+//! reject oversized frames *before* buffering them (bounded memory,
+//! the same discipline as the admission queue). Malformed input of any
+//! kind — truncated frame, oversized length, garbage bytes, a payload
+//! of the wrong shape in either encoding — surfaces as a
 //! [`WireError`], never a panic and never a hang: the length prefix
 //! bounds every read, and decode errors are ordinary values.
 
@@ -539,9 +552,39 @@ pub struct SimulateRequest {
     pub deadline_ms: Option<u64>,
 }
 
+/// `Hello`: protocol negotiation, sent as the **first** frame on a
+/// connection by clients that speak the binary protocol. Always
+/// JSON-encoded (the one encoding every server generation decodes), so
+/// detection is self-contained: a server that predates negotiation
+/// fails to decode the unknown variant, answers `Failed(protocol)`,
+/// and closes — the client then reconnects and stays JSON. A server
+/// that understands it answers [`Response::HelloAck`] and switches the
+/// connection to binary pipelined framing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HelloRequest {
+    /// Highest binary protocol version the client speaks.
+    pub max_version: u8,
+    /// Whether the client wants pipelined (correlation-id) dispatch.
+    pub pipeline: bool,
+}
+
+/// The answer to a [`HelloRequest`]: the negotiated settings. Every
+/// frame after this reply (in both directions) uses the binary
+/// envelope when `version > 0`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HelloAckReply {
+    /// Binary protocol version the server selected (the minimum of the
+    /// two sides' maxima; never above [`PROTOCOL_BINARY_VERSION`]).
+    pub version: u8,
+    /// Whether pipelined dispatch is active for this connection.
+    pub pipeline: bool,
+}
+
 /// A client request frame.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Request {
+    /// Protocol negotiation (see [`HelloRequest`]). First frame only.
+    Hello(HelloRequest),
     /// Liveness probe; answered with [`Response::Pong`].
     Ping,
     /// Mapping search (see [`TuneRequest`]).
@@ -573,6 +616,7 @@ impl Request {
     /// Wire-level name, as used in metrics and logs.
     pub fn endpoint(&self) -> &'static str {
         match self {
+            Request::Hello(_) => "hello",
             Request::Ping => "ping",
             Request::Tune(_) => "tune",
             Request::TuneShard(_) => "tune_shard",
@@ -676,6 +720,8 @@ pub struct BusyReply {
 /// A server response frame.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum Response {
+    /// Answer to [`Request::Hello`]: negotiation accepted.
+    HelloAck(HelloAckReply),
     /// Answer to [`Request::Ping`].
     Pong,
     /// Answer to [`Request::Tune`].
@@ -719,6 +765,7 @@ impl Response {
     /// Wire-level name (for logs and tests).
     pub fn kind(&self) -> &'static str {
         match self {
+            Response::HelloAck(_) => "hello-ack",
             Response::Pong => "pong",
             Response::Tuned(_) => "tuned",
             Response::TuneSharded(_) => "tune-sharded",
@@ -790,12 +837,19 @@ impl From<std::io::Error> for WireError {
 
 /// Write one frame: 4-byte big-endian length, then the payload.
 pub fn write_frame(w: &mut impl std::io::Write, payload: &[u8]) -> std::io::Result<()> {
+    queue_frame(w, payload)?;
+    w.flush()
+}
+
+/// Write one frame without flushing. The pipelined writer stacks
+/// several frames into one `BufWriter` and flushes once — one syscall
+/// for a whole burst of replies instead of one per frame.
+pub fn queue_frame(w: &mut impl std::io::Write, payload: &[u8]) -> std::io::Result<()> {
     let len = u32::try_from(payload.len()).map_err(|_| {
         std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame exceeds u32 length")
     })?;
     w.write_all(&len.to_be_bytes())?;
-    w.write_all(payload)?;
-    w.flush()
+    w.write_all(payload)
 }
 
 /// Largest single allocation step while reading a frame payload.
@@ -894,6 +948,299 @@ pub fn read_request(r: &mut impl std::io::Read, max: usize) -> Result<Request, W
 /// Read one response frame.
 pub fn read_response(r: &mut impl std::io::Read, max: usize) -> Result<Response, WireError> {
     decode_response(&read_frame(r, max)?)
+}
+
+// ---- binary framing -------------------------------------------------
+//
+// The compact encoding serializes the same `serde::Json` value tree
+// the JSON text encoding renders, so *every* request and response
+// variant — present and future — is covered automatically, and the
+// two encodings are interconvertible losslessly (same data model, two
+// surfaces). A binary payload is an **envelope**:
+//
+//   byte 0      BINARY_MAGIC (0xB1)
+//   byte 1      binary protocol version
+//   bytes 2..10 correlation id, big-endian u64
+//   bytes 10..  the value, tag-prefixed:
+//
+//   0x00 null       0x01 false        0x02 true
+//   0x03 i64        zigzag LEB128 varint
+//   0x04 u64        LEB128 varint
+//   0x05 f64        8 bytes, little-endian IEEE-754 bits
+//   0x06 string     varint byte length + UTF-8 bytes
+//   0x07 array      varint count + elements
+//   0x08 object     varint count + (string key, value) pairs
+//
+// `0xB1` is a UTF-8 continuation byte: no valid JSON text can start
+// with it, so one-byte sniffing distinguishes the encodings per frame
+// and both can share a connection.
+
+/// First byte of every binary envelope. Chosen from the UTF-8
+/// continuation range so it can never collide with the first byte of
+/// a JSON text payload.
+pub const BINARY_MAGIC: u8 = 0xB1;
+
+/// The binary protocol version this build speaks (and the highest a
+/// [`HelloRequest`] from this build advertises).
+pub const PROTOCOL_BINARY_VERSION: u8 = 1;
+
+/// Envelope header length: magic, version, correlation id.
+pub const BINARY_HEADER: usize = 10;
+
+/// Deepest value nesting the binary decoder accepts. Generous for
+/// real traffic (expression trees nest tens deep, not hundreds) while
+/// keeping a hostile `[[[[…` payload from exhausting the stack.
+pub const BINARY_MAX_DEPTH: usize = 512;
+
+/// Does this frame payload carry the binary envelope (vs JSON text)?
+pub fn is_binary(payload: &[u8]) -> bool {
+    payload.first() == Some(&BINARY_MAGIC)
+}
+
+fn put_varint(mut n: u64, out: &mut Vec<u8>) {
+    loop {
+        let byte = (n & 0x7f) as u8;
+        n >>= 7;
+        if n == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn zigzag(n: i64) -> u64 {
+    ((n << 1) ^ (n >> 63)) as u64
+}
+
+fn unzigzag(n: u64) -> i64 {
+    ((n >> 1) as i64) ^ -((n & 1) as i64)
+}
+
+fn put_value(v: &serde::Json, out: &mut Vec<u8>) {
+    use serde::Json;
+    match v {
+        Json::Null => out.push(0x00),
+        Json::Bool(false) => out.push(0x01),
+        Json::Bool(true) => out.push(0x02),
+        Json::I64(n) => {
+            out.push(0x03);
+            put_varint(zigzag(*n), out);
+        }
+        Json::U64(n) => {
+            out.push(0x04);
+            put_varint(*n, out);
+        }
+        Json::F64(f) => {
+            out.push(0x05);
+            out.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        Json::Str(s) => {
+            out.push(0x06);
+            put_varint(s.len() as u64, out);
+            out.extend_from_slice(s.as_bytes());
+        }
+        Json::Arr(items) => {
+            out.push(0x07);
+            put_varint(items.len() as u64, out);
+            for item in items {
+                put_value(item, out);
+            }
+        }
+        Json::Obj(fields) => {
+            out.push(0x08);
+            put_varint(fields.len() as u64, out);
+            for (k, val) in fields {
+                put_varint(k.len() as u64, out);
+                out.extend_from_slice(k.as_bytes());
+                put_value(val, out);
+            }
+        }
+    }
+}
+
+/// Bounds-checked reader over a binary payload. Every accessor
+/// surfaces out-of-bounds input as [`WireError::Malformed`] — the
+/// binary decoder never panics and never reads past the frame.
+struct BinReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BinReader<'a> {
+    fn byte(&mut self) -> Result<u8, WireError> {
+        let b = *self
+            .bytes
+            .get(self.pos)
+            .ok_or_else(|| WireError::Malformed("binary payload ends mid-value".into()))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| WireError::Malformed("binary payload ends mid-value".into()))?;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn varint(&mut self) -> Result<u64, WireError> {
+        let mut n: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let byte = self.byte()?;
+            let bits = (byte & 0x7f) as u64;
+            if shift == 63 && bits > 1 {
+                return Err(WireError::Malformed("varint overflows u64".into()));
+            }
+            n |= bits << shift;
+            if byte & 0x80 == 0 {
+                return Ok(n);
+            }
+        }
+        Err(WireError::Malformed("varint longer than 10 bytes".into()))
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let len = self.varint()? as usize;
+        let raw = self.take(len)?;
+        String::from_utf8(raw.to_vec())
+            .map_err(|e| WireError::Malformed(format!("binary string not UTF-8: {e}")))
+    }
+
+    fn value(&mut self, depth: usize) -> Result<serde::Json, WireError> {
+        use serde::Json;
+        if depth > BINARY_MAX_DEPTH {
+            return Err(WireError::Malformed(format!(
+                "binary value nests deeper than {BINARY_MAX_DEPTH}"
+            )));
+        }
+        match self.byte()? {
+            0x00 => Ok(Json::Null),
+            0x01 => Ok(Json::Bool(false)),
+            0x02 => Ok(Json::Bool(true)),
+            0x03 => Ok(Json::I64(unzigzag(self.varint()?))),
+            0x04 => Ok(Json::U64(self.varint()?)),
+            0x05 => {
+                let raw: [u8; 8] = self.take(8)?.try_into().expect("take returned 8 bytes");
+                Ok(Json::F64(f64::from_bits(u64::from_le_bytes(raw))))
+            }
+            0x06 => Ok(Json::Str(self.string()?)),
+            0x07 => {
+                let count = self.varint()? as usize;
+                // Each element costs ≥ 1 byte: cap the preallocation by
+                // what the frame can actually still hold, so a lying
+                // count cannot balloon memory before the decode fails.
+                let mut items = Vec::with_capacity(count.min(self.remaining()));
+                for _ in 0..count {
+                    items.push(self.value(depth + 1)?);
+                }
+                Ok(Json::Arr(items))
+            }
+            0x08 => {
+                let count = self.varint()? as usize;
+                let mut fields = Vec::with_capacity(count.min(self.remaining() / 2));
+                for _ in 0..count {
+                    let key = self.string()?;
+                    let val = self.value(depth + 1)?;
+                    fields.push((key, val));
+                }
+                Ok(Json::Obj(fields))
+            }
+            tag => Err(WireError::Malformed(format!(
+                "unknown binary value tag {tag:#04x}"
+            ))),
+        }
+    }
+}
+
+fn encode_envelope(corr: u64, v: &serde::Json) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    out.push(BINARY_MAGIC);
+    out.push(PROTOCOL_BINARY_VERSION);
+    out.extend_from_slice(&corr.to_be_bytes());
+    put_value(v, &mut out);
+    out
+}
+
+/// Decode a binary envelope to its correlation id and value tree.
+/// Rejects a wrong magic, an unknown version, truncation anywhere,
+/// and trailing garbage after the value — all as typed
+/// [`WireError::Malformed`] (never a panic, never over-allocation).
+pub fn decode_binary_envelope(payload: &[u8]) -> Result<(u64, serde::Json), WireError> {
+    if payload.len() < BINARY_HEADER {
+        return Err(WireError::Malformed(format!(
+            "binary envelope needs {BINARY_HEADER} header bytes, got {}",
+            payload.len()
+        )));
+    }
+    if payload[0] != BINARY_MAGIC {
+        return Err(WireError::Malformed(format!(
+            "bad binary magic {:#04x}",
+            payload[0]
+        )));
+    }
+    if payload[1] == 0 || payload[1] > PROTOCOL_BINARY_VERSION {
+        return Err(WireError::Malformed(format!(
+            "unsupported binary protocol version {}",
+            payload[1]
+        )));
+    }
+    let corr = u64::from_be_bytes(payload[2..BINARY_HEADER].try_into().expect("8 bytes"));
+    let mut r = BinReader {
+        bytes: payload,
+        pos: BINARY_HEADER,
+    };
+    let value = r.value(0)?;
+    if r.remaining() != 0 {
+        return Err(WireError::Malformed(format!(
+            "{} trailing bytes after binary value",
+            r.remaining()
+        )));
+    }
+    Ok((corr, value))
+}
+
+/// Serialize a request to a binary envelope payload.
+pub fn encode_request_binary(corr: u64, req: &Request) -> Vec<u8> {
+    encode_envelope(corr, &req.to_json())
+}
+
+/// Serialize a response to a binary envelope payload.
+pub fn encode_response_binary(corr: u64, resp: &Response) -> Vec<u8> {
+    encode_envelope(corr, &resp.to_json())
+}
+
+/// Decode a request from either encoding, sniffed by the first byte.
+/// Returns `(correlation id, request, was_binary)`; JSON payloads get
+/// correlation id 0 (the blocking protocol has exactly one in flight).
+pub fn decode_request_any(payload: &[u8]) -> Result<(u64, Request, bool), WireError> {
+    if is_binary(payload) {
+        let (corr, value) = decode_binary_envelope(payload)?;
+        let req = Request::from_json(&value).map_err(|e| WireError::Malformed(e.to_string()))?;
+        Ok((corr, req, true))
+    } else {
+        Ok((0, decode_request(payload)?, false))
+    }
+}
+
+/// Decode a response from either encoding, sniffed by the first byte.
+/// Returns `(correlation id, response, was_binary)`.
+pub fn decode_response_any(payload: &[u8]) -> Result<(u64, Response, bool), WireError> {
+    if is_binary(payload) {
+        let (corr, value) = decode_binary_envelope(payload)?;
+        let resp = Response::from_json(&value).map_err(|e| WireError::Malformed(e.to_string()))?;
+        Ok((corr, resp, true))
+    } else {
+        Ok((0, decode_response(payload)?, false))
+    }
 }
 
 #[cfg(test)]
@@ -1249,5 +1596,196 @@ mod tests {
             read_request(&mut r, DEFAULT_MAX_FRAME).unwrap(),
             Request::Ping
         );
+    }
+
+    #[test]
+    fn binary_envelope_round_trips_requests_with_correlation_ids() {
+        let req = Request::Tune(TuneRequest {
+            graph: DataflowGraph::new("g", 32),
+            machine: MachineConfig::n5(2, 2),
+            fom: FigureOfMerit::Edp,
+            candidates: vec![],
+            deadline_ms: Some(125),
+            max_candidates: None,
+            convergence_window: Some(4),
+            refinement: None,
+            use_cache: true,
+        });
+        let payload = encode_request_binary(0xDEAD_BEEF_0042, &req);
+        assert!(is_binary(&payload));
+        assert_eq!(payload[0], BINARY_MAGIC);
+        assert_eq!(payload[1], PROTOCOL_BINARY_VERSION);
+        let (corr, got, was_binary) = decode_request_any(&payload).unwrap();
+        assert_eq!(corr, 0xDEAD_BEEF_0042);
+        assert!(was_binary);
+        assert_eq!(got, req);
+        // The JSON path still decodes with corr 0 and the same value.
+        let (corr, got, was_binary) = decode_request_any(&encode_request(&req)).unwrap();
+        assert_eq!(corr, 0);
+        assert!(!was_binary);
+        assert_eq!(got, req);
+    }
+
+    #[test]
+    fn binary_and_json_encodings_agree_on_every_scalar_shape() {
+        // One response exercising null, bool, signed, float, string,
+        // array, object — decoded from binary, re-encoded as JSON, it
+        // must be byte-identical to the directly-JSON-encoded original.
+        let resp = Response::Tuned(TuneReply {
+            best: None,
+            offered: 17,
+            evaluated: 12,
+            pruned: 5,
+            cache: "miss".into(),
+            fell_back: false,
+            cancelled: true,
+            wall_ms: 1.5,
+        });
+        let (corr, decoded, _) = decode_response_any(&encode_response_binary(7, &resp)).unwrap();
+        assert_eq!(corr, 7);
+        assert_eq!(encode_response(&decoded), encode_response(&resp));
+    }
+
+    #[test]
+    fn binary_compact_encoding_is_smaller_than_json() {
+        let resp = Response::Stats(Box::new(crate::metrics::Metrics::default().snapshot(64)));
+        let json = encode_response(&resp).len();
+        let binary = encode_response_binary(1, &resp).len();
+        assert!(
+            binary < json,
+            "binary ({binary} bytes) should undercut JSON ({json} bytes)"
+        );
+    }
+
+    #[test]
+    fn truncated_and_malformed_binary_envelopes_are_typed_errors() {
+        let payload = encode_request_binary(3, &Request::Ping);
+        // Every proper prefix must fail Malformed, never panic.
+        for cut in 0..payload.len() {
+            assert!(
+                matches!(
+                    decode_request_any(&payload[..cut]),
+                    Err(WireError::Malformed(_)) | Err(WireError::Closed)
+                ) || cut == 0,
+                "prefix of {cut} bytes not rejected"
+            );
+        }
+        // Unknown version byte.
+        let mut wrong_version = payload.clone();
+        wrong_version[1] = PROTOCOL_BINARY_VERSION + 1;
+        assert!(matches!(
+            decode_request_any(&wrong_version),
+            Err(WireError::Malformed(_))
+        ));
+        // Unknown value tag.
+        let mut bad_tag = payload.clone();
+        bad_tag[BINARY_HEADER] = 0x3F;
+        assert!(matches!(
+            decode_request_any(&bad_tag),
+            Err(WireError::Malformed(_))
+        ));
+        // Trailing garbage after a complete value.
+        let mut trailing = payload.clone();
+        trailing.push(0x00);
+        assert!(matches!(
+            decode_request_any(&trailing),
+            Err(WireError::Malformed(_))
+        ));
+        // A lying array count larger than the frame could hold.
+        let mut lying = Vec::new();
+        lying.push(BINARY_MAGIC);
+        lying.push(PROTOCOL_BINARY_VERSION);
+        lying.extend_from_slice(&0u64.to_be_bytes());
+        lying.push(0x07); // array
+        put_varint(u32::MAX as u64, &mut lying);
+        assert!(matches!(
+            decode_binary_envelope(&lying),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn deeply_nested_binary_values_are_rejected_not_overflowed() {
+        let mut payload = Vec::new();
+        payload.push(BINARY_MAGIC);
+        payload.push(PROTOCOL_BINARY_VERSION);
+        payload.extend_from_slice(&0u64.to_be_bytes());
+        for _ in 0..(BINARY_MAX_DEPTH + 8) {
+            payload.push(0x07); // array of 1 element…
+            payload.push(0x01);
+        }
+        payload.push(0x00); // …bottoming out in a null
+        assert!(matches!(
+            decode_binary_envelope(&payload),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn zigzag_and_varint_cover_the_integer_edges() {
+        for n in [
+            0i64,
+            1,
+            -1,
+            i64::MAX,
+            i64::MIN,
+            1 << 40,
+            -(1 << 40),
+            127,
+            -128,
+        ] {
+            assert_eq!(unzigzag(zigzag(n)), n);
+        }
+        for n in [0u64, 1, 127, 128, u64::MAX, 1 << 63] {
+            let mut buf = Vec::new();
+            put_varint(n, &mut buf);
+            let mut r = BinReader {
+                bytes: &buf,
+                pos: 0,
+            };
+            assert_eq!(r.varint().unwrap(), n);
+            assert_eq!(r.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn hello_negotiation_frames_round_trip_in_both_encodings() {
+        let hello = Request::Hello(HelloRequest {
+            max_version: PROTOCOL_BINARY_VERSION,
+            pipeline: true,
+        });
+        assert_eq!(hello.endpoint(), "hello");
+        // Hello is sent as JSON (the encoding every server decodes)…
+        assert_eq!(decode_request(&encode_request(&hello)).unwrap(), hello);
+        // …but like everything else it also survives the binary path.
+        let (_, got, _) = decode_request_any(&encode_request_binary(0, &hello)).unwrap();
+        assert_eq!(got, hello);
+
+        let ack = Response::HelloAck(HelloAckReply {
+            version: 1,
+            pipeline: true,
+        });
+        assert_eq!(ack.kind(), "hello-ack");
+        match decode_response(&encode_response(&ack)).unwrap() {
+            Response::HelloAck(a) => assert_eq!((a.version, a.pipeline), (1, true)),
+            other => panic!("expected HelloAck, got {}", other.kind()),
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_survive_binary_exactly() {
+        use serde::Json;
+        let v = Json::Arr(vec![
+            Json::F64(f64::NAN),
+            Json::F64(f64::INFINITY),
+            Json::F64(-0.0),
+        ]);
+        let payload = encode_envelope(9, &v);
+        let (corr, got) = decode_binary_envelope(&payload).unwrap();
+        assert_eq!(corr, 9);
+        let items = got.as_arr().unwrap();
+        assert!(matches!(items[0], Json::F64(f) if f.is_nan()));
+        assert!(matches!(items[1], Json::F64(f) if f.is_infinite() && f > 0.0));
+        assert!(matches!(items[2], Json::F64(f) if f == 0.0 && f.is_sign_negative()));
     }
 }

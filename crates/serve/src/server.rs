@@ -27,7 +27,7 @@
 //!   requests run to completion and their replies are delivered before
 //!   any thread exits.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -49,12 +49,13 @@ use fm_workspan::ThreadPool;
 use crate::fleet::{Fleet, FleetConfig};
 use crate::metrics::{Metrics, StatsReply};
 use crate::protocol::{
-    write_response, BusyReply, EvaluateReply, EvaluateRequest, FailReply, NoSuchSessionReply,
+    decode_request_any, encode_response_binary, queue_frame, write_frame, write_response,
+    BusyReply, EvaluateReply, EvaluateRequest, FailReply, HelloAckReply, NoSuchSessionReply,
     Request, Response, SessionCloseRequest, SessionClosedReply, SessionEditRequest,
     SessionEditedReply, SessionOpenRequest, SessionOpenedReply, SessionTuneRequest,
     SessionTunedReply, ShardBest, SimulateReply, SimulateRequest, TuneReply, TuneRequest,
     TuneShardBody, TuneShardPart, TuneShardPartBody, TuneShardReply, TuneShardRequest, WireError,
-    DEFAULT_MAX_FRAME, READ_CHUNK,
+    DEFAULT_MAX_FRAME, PROTOCOL_BINARY_VERSION, READ_CHUNK,
 };
 use crate::session::{EditOutcome, SessionRegistry, SessionState};
 
@@ -90,6 +91,14 @@ pub struct ServerConfig {
     /// close touched them). `None` keeps sessions until closed — fine
     /// for trusted clients, a leak under crash-prone ones.
     pub session_ttl: Option<Duration>,
+    /// Coalesce queued `Tune` requests with identical content (same
+    /// graph, machine, objective, candidates, and search knobs —
+    /// deadlines excluded) into one search whose result fans out to
+    /// every waiter. The search is deterministic, so the waiters get
+    /// bit-identical winners to the searches they skipped. The batch
+    /// runs under the *first* request's cancellation token; a waiter
+    /// disconnecting does not stop it.
+    pub dedup_tunes: bool,
 }
 
 impl Default for ServerConfig {
@@ -107,7 +116,26 @@ impl Default for ServerConfig {
             fleet: None,
             straggle_ms_per_candidate: None,
             session_ttl: None,
+            dedup_tunes: true,
         }
+    }
+}
+
+/// Where a job's responses go: the reply channel of the connection
+/// that admitted it, tagged with the request's correlation id so a
+/// pipelined connection can match out-of-order completions. Blocking
+/// (JSON) connections use a per-request channel and correlation id 0.
+#[derive(Clone)]
+struct Reply {
+    corr: u64,
+    tx: mpsc::Sender<(u64, Response)>,
+}
+
+impl Reply {
+    /// Deliver the response; `false` means the connection side is gone
+    /// (the reply is dropped, never an error for the worker).
+    fn send(&self, resp: Response) -> bool {
+        self.tx.send((self.corr, resp)).is_ok()
     }
 }
 
@@ -117,7 +145,11 @@ struct Job {
     accepted: Instant,
     deadline: Option<Instant>,
     cancel: CancelToken,
-    reply: mpsc::Sender<Response>,
+    /// Dedup key for queued `Tune` coalescing: content hash plus the
+    /// full canonical string (equality is checked on the string, so an
+    /// FNV collision can never merge two different searches).
+    fingerprint: Option<(u64, Arc<String>)>,
+    reply: Reply,
 }
 
 struct QueueState {
@@ -192,6 +224,58 @@ impl Shared {
             self.queue_cv.wait_for(&mut q, Duration::from_millis(100));
         }
     }
+
+    /// Remove every queued job whose dedup fingerprint equals `key`
+    /// (hash *and* canonical string — a hash collision never merges
+    /// two different searches). The caller answers them all from one
+    /// execution.
+    fn take_matching(&self, key: &(u64, Arc<String>)) -> Vec<Job> {
+        let mut taken = Vec::new();
+        let depth = {
+            let mut q = self.queue.lock();
+            let mut kept = VecDeque::with_capacity(q.jobs.len());
+            for job in q.jobs.drain(..) {
+                let dup = job
+                    .fingerprint
+                    .as_ref()
+                    .is_some_and(|(h, s)| *h == key.0 && **s == *key.1);
+                if dup {
+                    taken.push(job);
+                } else {
+                    kept.push_back(job);
+                }
+            }
+            q.jobs = kept;
+            q.jobs.len()
+        };
+        if !taken.is_empty() {
+            self.metrics.queue_popped(depth);
+        }
+        taken
+    }
+}
+
+/// Dedup key for a queued `Tune`: FNV-1a over a canonical rendering of
+/// everything that determines the search result — the same components
+/// the tuning cache fingerprints — plus the admission knobs that shape
+/// the reply. Deadlines are deliberately excluded: two callers asking
+/// the same question with different patience still share one search.
+fn tune_dedup_key(req: &TuneRequest) -> (u64, Arc<String>) {
+    let mut text = String::new();
+    for part in [
+        serde_json::to_string(&req.graph).expect("graph serializes"),
+        serde_json::to_string(&req.machine).expect("machine serializes"),
+        serde_json::to_string(&req.fom).expect("fom serializes"),
+        serde_json::to_string(&req.candidates).expect("candidates serialize"),
+        serde_json::to_string(&req.max_candidates).expect("budget serializes"),
+        serde_json::to_string(&req.convergence_window).expect("budget serializes"),
+        serde_json::to_string(&req.refinement).expect("refinement serializes"),
+        serde_json::to_string(&req.use_cache).expect("flag serializes"),
+    ] {
+        text.push_str(&part);
+        text.push('\u{1}');
+    }
+    (crate::protocol::fnv1a64(text.as_bytes()), Arc::new(text))
 }
 
 /// A running server. Obtain with [`Server::start`]; stop with
@@ -454,6 +538,23 @@ fn peer_gone(stream: &TcpStream) -> bool {
     gone
 }
 
+/// Write one response in the encoding of the request that provoked it:
+/// a binary-framed request gets a binary reply carrying its
+/// correlation id, a JSON request gets classic JSON. Blocking
+/// connections never mix encodings within one request/reply exchange.
+fn write_reply(
+    stream: &mut impl std::io::Write,
+    corr: u64,
+    resp: &Response,
+    binary: bool,
+) -> std::io::Result<()> {
+    if binary {
+        write_frame(stream, &encode_response_binary(corr, resp))
+    } else {
+        write_response(stream, resp)
+    }
+}
+
 /// Wait for the worker's reply while watching the deadline and the
 /// socket. Streamed [`Response::TuneShardPart`] frames are forwarded
 /// to the peer as they arrive; the loop keeps waiting for the terminal
@@ -461,19 +562,20 @@ fn peer_gone(stream: &TcpStream) -> bool {
 /// to reply to); the worker's eventual send then fails harmlessly.
 fn wait_for_reply(
     stream: &TcpStream,
-    rx: &mpsc::Receiver<Response>,
+    rx: &mpsc::Receiver<(u64, Response)>,
     deadline: Option<Instant>,
     cancel: &CancelToken,
     shared: &Shared,
+    binary: bool,
 ) -> Option<Response> {
     loop {
         match rx.recv_timeout(Duration::from_millis(20)) {
-            Ok(part @ Response::TuneShardPart(_)) => {
+            Ok((corr, part @ Response::TuneShardPart(_))) => {
                 // `&TcpStream` is `Write`; the terminal reply is
                 // written by this same thread after the loop, so part
                 // and terminal frames never interleave.
                 let mut w = stream;
-                if write_response(&mut w, &part).is_err() {
+                if write_reply(&mut w, corr, &part, binary).is_err() {
                     if !cancel.is_cancelled() {
                         shared.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
                         cancel.cancel();
@@ -481,7 +583,7 @@ fn wait_for_reply(
                     return None;
                 }
             }
-            Ok(resp) => return Some(resp),
+            Ok((_, resp)) => return Some(resp),
             Err(mpsc::RecvTimeoutError::Timeout) => {
                 if let Some(d) = deadline {
                     if Instant::now() >= d && !cancel.is_cancelled() {
@@ -530,8 +632,8 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                 return; // framing state is unrecoverable; close
             }
         };
-        let request = match crate::protocol::decode_request(&payload) {
-            Ok(r) => r,
+        let (corr, request, was_binary) = match decode_request_any(&payload) {
+            Ok(t) => t,
             Err(e) => {
                 shared
                     .metrics
@@ -547,13 +649,44 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                 return;
             }
         };
+        if was_binary {
+            shared
+                .metrics
+                .binary_requests
+                .fetch_add(1, Ordering::Relaxed);
+        } else {
+            shared.metrics.json_requests.fetch_add(1, Ordering::Relaxed);
+        }
 
         match request {
+            // Version negotiation: meet the client at the highest
+            // version both sides speak. Pipelining needs the binary
+            // envelope (correlation ids live in its header), so a
+            // pipeline request only sticks when a binary version was
+            // agreed.
+            Request::Hello(h) => {
+                let version = h.max_version.min(PROTOCOL_BINARY_VERSION);
+                let pipeline = h.pipeline && version > 0;
+                let ack = Response::HelloAck(HelloAckReply { version, pipeline });
+                if write_reply(&mut stream, corr, &ack, was_binary).is_err() {
+                    return;
+                }
+                if version > 0 {
+                    shared
+                        .metrics
+                        .binary_connections
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                if pipeline {
+                    pipelined_connection(shared, stream);
+                    return;
+                }
+            }
             Request::Ping => {
                 let ep = &shared.metrics.ping;
                 ep.received.fetch_add(1, Ordering::Relaxed);
                 ep.completed.fetch_add(1, Ordering::Relaxed);
-                if write_response(&mut stream, &Response::Pong).is_err() {
+                if write_reply(&mut stream, corr, &Response::Pong, was_binary).is_err() {
                     return;
                 }
             }
@@ -566,12 +699,13 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                 let snap = shared.metrics.snapshot(shared.config.queue_capacity);
                 ep.completed.fetch_add(1, Ordering::Relaxed);
                 ep.latency.record(t0.elapsed());
-                if write_response(&mut stream, &Response::Stats(Box::new(snap))).is_err() {
+                let resp = Response::Stats(Box::new(snap));
+                if write_reply(&mut stream, corr, &resp, was_binary).is_err() {
                     return;
                 }
             }
             Request::Shutdown => {
-                let _ = write_response(&mut stream, &Response::ShuttingDown);
+                let _ = write_reply(&mut stream, corr, &Response::ShuttingDown, was_binary);
                 shared.begin_shutdown();
                 return;
             }
@@ -590,35 +724,26 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                     return;
                 }
                 let accepted = Instant::now();
-                let default_ms = shared.config.default_deadline_ms;
-                let deadline_ms = match &work {
-                    Request::Tune(t) => t.deadline_ms.or(default_ms),
-                    Request::TuneShard(t) => t.deadline_ms.or(default_ms),
-                    Request::Evaluate(e) => e.deadline_ms.or(default_ms),
-                    Request::Simulate(s) => s.deadline_ms.or(default_ms),
-                    Request::SessionTune(t) => t.deadline_ms.or(default_ms),
-                    // Open/edit/close are bookkeeping, not searches:
-                    // they run to completion rather than racing a
-                    // default deadline into a half-opened session.
-                    Request::SessionOpen(_)
-                    | Request::SessionEdit(_)
-                    | Request::SessionClose(_) => None,
-                    _ => unreachable!("only work requests reach here"),
-                };
-                let deadline = deadline_ms.map(|ms| accepted + Duration::from_millis(ms));
+                let deadline = work_deadline_ms(&work, shared.config.default_deadline_ms)
+                    .map(|ms| accepted + Duration::from_millis(ms));
                 let cancel = CancelToken::new();
-                let (tx, rx) = mpsc::channel();
+                let fingerprint = match &work {
+                    Request::Tune(t) if shared.config.dedup_tunes => Some(tune_dedup_key(t)),
+                    _ => None,
+                };
+                let (tx, rx) = mpsc::channel::<(u64, Response)>();
                 let job = Job {
                     request: work,
                     accepted,
                     deadline,
                     cancel: cancel.clone(),
-                    reply: tx,
+                    fingerprint,
+                    reply: Reply { corr, tx },
                 };
                 if shared.try_admit(job) {
-                    match wait_for_reply(&stream, &rx, deadline, &cancel, shared) {
+                    match wait_for_reply(&stream, &rx, deadline, &cancel, shared, was_binary) {
                         Some(resp) => {
-                            if write_response(&mut stream, &resp).is_err() {
+                            if write_reply(&mut stream, corr, &resp, was_binary).is_err() {
                                 return;
                             }
                         }
@@ -637,13 +762,318 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                             queue_capacity: shared.config.queue_capacity as u64,
                         })
                     };
-                    if write_response(&mut stream, &resp).is_err() {
+                    if write_reply(&mut stream, corr, &resp, was_binary).is_err() {
                         return;
                     }
                 }
             }
         }
     }
+}
+
+/// The effective deadline for a work request: its own `deadline_ms` if
+/// present, else the server default. Open/edit/close are bookkeeping,
+/// not searches: they run to completion rather than racing a default
+/// deadline into a half-opened session.
+fn work_deadline_ms(work: &Request, default_ms: Option<u64>) -> Option<u64> {
+    match work {
+        Request::Tune(t) => t.deadline_ms.or(default_ms),
+        Request::TuneShard(t) => t.deadline_ms.or(default_ms),
+        Request::Evaluate(e) => e.deadline_ms.or(default_ms),
+        Request::Simulate(s) => s.deadline_ms.or(default_ms),
+        Request::SessionTune(t) => t.deadline_ms.or(default_ms),
+        Request::SessionOpen(_) | Request::SessionEdit(_) | Request::SessionClose(_) => None,
+        _ => unreachable!("only work requests reach here"),
+    }
+}
+
+/// Pipelined mode, entered when `Hello` negotiates `pipeline = true`.
+///
+/// The connection splits in two: this thread keeps reading frames and
+/// admitting them (so many requests are in flight at once), and a
+/// dedicated writer thread owns the socket's write half, matching
+/// completions back by the correlation id each binary envelope
+/// carries. Replies arrive in *completion* order, not request order.
+///
+/// In-flight requests live in a corr → [`CancelToken`] map shared with
+/// the writer: the reader inserts before admission, the writer removes
+/// when the terminal reply is queued (streamed `TuneShardPart` frames
+/// keep the entry alive). The map is the connection's drain ledger —
+/// on a client disconnect every live token is cancelled; on `Shutdown`
+/// the connection lingers until the map empties so every admitted
+/// request's reply is actually written before the socket closes.
+fn pipelined_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (tx, rx) = mpsc::channel::<(u64, Response)>();
+    let inflight: Arc<Mutex<HashMap<u64, CancelToken>>> = Arc::new(Mutex::new(HashMap::new()));
+    let writer = {
+        let inflight = Arc::clone(&inflight);
+        let shared = Arc::clone(shared);
+        std::thread::Builder::new()
+            .name("fm-serve-pipe-writer".to_string())
+            .spawn(move || pipelined_writer(&shared, write_half, &rx, &inflight))
+            .expect("spawn pipeline writer")
+    };
+
+    let mut draining = false;
+    loop {
+        let payload = match read_frame_polling(&mut stream, shared) {
+            Ok(p) => p,
+            Err(ReadStop::Closed) => break,
+            Err(ReadStop::Shutdown) => {
+                // Server-wide drain: stop reading, but deliver every
+                // admitted reply before closing.
+                draining = true;
+                break;
+            }
+            Err(ReadStop::Protocol(e)) => {
+                shared
+                    .metrics
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                let _ = tx.send((
+                    0,
+                    Response::Failed(FailReply {
+                        kind: "protocol".to_string(),
+                        error: e.to_string(),
+                    }),
+                ));
+                break;
+            }
+        };
+        let (corr, request, was_binary) = match decode_request_any(&payload) {
+            Ok(t) => t,
+            Err(e) => {
+                shared
+                    .metrics
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                let _ = tx.send((
+                    corr_of(&payload),
+                    Response::Failed(FailReply {
+                        kind: "protocol".to_string(),
+                        error: e.to_string(),
+                    }),
+                ));
+                break;
+            }
+        };
+        if was_binary {
+            shared
+                .metrics
+                .binary_requests
+                .fetch_add(1, Ordering::Relaxed);
+        } else {
+            shared.metrics.json_requests.fetch_add(1, Ordering::Relaxed);
+        }
+
+        match request {
+            // A repeated Hello mid-stream is just re-acked; the
+            // connection already committed to binary + pipelining.
+            Request::Hello(h) => {
+                let version = h.max_version.min(PROTOCOL_BINARY_VERSION);
+                let ack = Response::HelloAck(HelloAckReply {
+                    version,
+                    pipeline: h.pipeline && version > 0,
+                });
+                if tx.send((corr, ack)).is_err() {
+                    break;
+                }
+            }
+            Request::Ping => {
+                let ep = &shared.metrics.ping;
+                ep.received.fetch_add(1, Ordering::Relaxed);
+                ep.completed.fetch_add(1, Ordering::Relaxed);
+                if tx.send((corr, Response::Pong)).is_err() {
+                    break;
+                }
+            }
+            Request::Stats => {
+                let t0 = Instant::now();
+                let ep = &shared.metrics.stats;
+                ep.received.fetch_add(1, Ordering::Relaxed);
+                let snap = shared.metrics.snapshot(shared.config.queue_capacity);
+                ep.completed.fetch_add(1, Ordering::Relaxed);
+                ep.latency.record(t0.elapsed());
+                if tx.send((corr, Response::Stats(Box::new(snap)))).is_err() {
+                    break;
+                }
+            }
+            Request::Shutdown => {
+                let _ = tx.send((corr, Response::ShuttingDown));
+                shared.begin_shutdown();
+                draining = true;
+                break;
+            }
+            work @ (Request::Tune(_)
+            | Request::TuneShard(_)
+            | Request::Evaluate(_)
+            | Request::Simulate(_)
+            | Request::SessionOpen(_)
+            | Request::SessionEdit(_)
+            | Request::SessionTune(_)
+            | Request::SessionClose(_)) => {
+                let endpoint = shared.metrics.endpoint(work.endpoint());
+                endpoint.received.fetch_add(1, Ordering::Relaxed);
+                if shared.is_shutdown() {
+                    let _ = tx.send((corr, Response::ShuttingDown));
+                    draining = true;
+                    break;
+                }
+                let accepted = Instant::now();
+                let deadline = work_deadline_ms(&work, shared.config.default_deadline_ms)
+                    .map(|ms| accepted + Duration::from_millis(ms));
+                let cancel = CancelToken::new();
+                let fingerprint = match &work {
+                    Request::Tune(t) if shared.config.dedup_tunes => Some(tune_dedup_key(t)),
+                    _ => None,
+                };
+                let depth = {
+                    let mut map = inflight.lock();
+                    map.insert(corr, cancel.clone());
+                    map.len() as u64
+                };
+                shared
+                    .metrics
+                    .inflight_peak
+                    .fetch_max(depth, Ordering::Relaxed);
+                let job = Job {
+                    request: work,
+                    accepted,
+                    deadline,
+                    cancel,
+                    fingerprint,
+                    reply: Reply {
+                        corr,
+                        tx: tx.clone(),
+                    },
+                };
+                if !shared.try_admit(job) {
+                    inflight.lock().remove(&corr);
+                    shared
+                        .metrics
+                        .busy_rejections
+                        .fetch_add(1, Ordering::Relaxed);
+                    let resp = if shared.is_shutdown() {
+                        Response::ShuttingDown
+                    } else {
+                        Response::Busy(BusyReply {
+                            queue_depth: shared.config.queue_capacity as u64,
+                            queue_capacity: shared.config.queue_capacity as u64,
+                        })
+                    };
+                    if tx.send((corr, resp)).is_err() {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    if draining {
+        // Wait for the writer to deliver every admitted reply. The
+        // writer empties the map itself if the socket dies, so this
+        // cannot wait on a dead connection.
+        while !inflight.lock().is_empty() {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    } else {
+        // Client is gone: stop burning cores on answers nobody reads.
+        let mut map = inflight.lock();
+        for (_, cancel) in map.drain() {
+            if !cancel.is_cancelled() {
+                shared.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+                cancel.cancel();
+            }
+        }
+    }
+    drop(tx); // writer's recv() disconnects once workers finish
+    let _ = writer.join();
+}
+
+/// Best-effort correlation id of a frame that failed to decode, so the
+/// protocol error lands on the right in-flight request when possible.
+fn corr_of(payload: &[u8]) -> u64 {
+    use crate::protocol::{is_binary, BINARY_HEADER};
+    if is_binary(payload) && payload.len() >= BINARY_HEADER {
+        u64::from_be_bytes(payload[2..10].try_into().expect("8 bytes"))
+    } else {
+        0
+    }
+}
+
+/// The write half of a pipelined connection: sole owner of outbound
+/// frames. Bursts of completions are coalesced — every message already
+/// sitting in the channel is queued into one `BufWriter`, then flushed
+/// together — so N small replies cost one syscall, not N.
+fn pipelined_writer(
+    shared: &Shared,
+    stream: TcpStream,
+    rx: &mpsc::Receiver<(u64, Response)>,
+    inflight: &Mutex<HashMap<u64, CancelToken>>,
+) {
+    use std::io::Write as _;
+    let mut w = std::io::BufWriter::with_capacity(64 << 10, &stream);
+    loop {
+        let (corr, resp) = match rx.recv() {
+            Ok(m) => m,
+            Err(_) => {
+                // All senders gone: reader exited and every worker
+                // reply is delivered. Final flush, then done.
+                let _ = w.flush();
+                return;
+            }
+        };
+        let mut ok = write_one(&mut w, corr, &resp, inflight);
+        while ok {
+            match rx.try_recv() {
+                Ok((corr, resp)) => ok = write_one(&mut w, corr, &resp, inflight),
+                Err(_) => break,
+            }
+        }
+        if !ok || w.flush().is_err() {
+            abort_pipeline(shared, &stream, inflight);
+            return;
+        }
+    }
+}
+
+/// Queue one reply frame (no flush) and retire its correlation id —
+/// unless it is a streamed part, which keeps the request in flight.
+fn write_one(
+    w: &mut impl std::io::Write,
+    corr: u64,
+    resp: &Response,
+    inflight: &Mutex<HashMap<u64, CancelToken>>,
+) -> bool {
+    if queue_frame(w, &encode_response_binary(corr, resp)).is_err() {
+        return false;
+    }
+    if !matches!(resp, Response::TuneShardPart(_)) {
+        inflight.lock().remove(&corr);
+    }
+    true
+}
+
+/// The socket died under the writer: cancel everything still in
+/// flight, empty the ledger (so a draining reader can't wait forever),
+/// and slam the read half so the reader wakes promptly.
+fn abort_pipeline(
+    shared: &Shared,
+    stream: &TcpStream,
+    inflight: &Mutex<HashMap<u64, CancelToken>>,
+) {
+    let mut map = inflight.lock();
+    for (_, cancel) in map.drain() {
+        if !cancel.is_cancelled() {
+            shared.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+            cancel.cancel();
+        }
+    }
+    drop(map);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
 }
 
 fn worker_main(shared: &Arc<Shared>) {
@@ -653,6 +1083,7 @@ fn worker_main(shared: &Arc<Shared>) {
             accepted,
             deadline,
             cancel,
+            fingerprint,
             reply,
         } = job;
         let endpoint_name = request.endpoint();
@@ -668,6 +1099,17 @@ fn worker_main(shared: &Arc<Shared>) {
                 .fetch_add(1, Ordering::Relaxed);
             cancel.cancel();
         }
+
+        // Dedup-batched admission: claim every queued Tune asking the
+        // identical question *before* running it, then answer them all
+        // from the one deterministic search. An expired primary skips
+        // the claim — fanning a degraded best-effort fallback out to
+        // waiters whose own deadlines may still be generous would
+        // trade their correctness for speed.
+        let waiters = match (&fingerprint, expired) {
+            (Some(key), false) => shared.take_matching(key),
+            _ => Vec::new(),
+        };
 
         let response = catch_unwind(AssertUnwindSafe(|| match request {
             Request::Tune(req) => match &shared.fleet {
@@ -714,9 +1156,31 @@ fn worker_main(shared: &Arc<Shared>) {
                 endpoint.latency.record(accepted.elapsed());
             }
         }
+        // Fan the one answer out to every coalesced waiter, with full
+        // per-waiter accounting (each was a real admitted request; the
+        // books must reconcile exactly as if each had run).
+        if !waiters.is_empty() {
+            shared.metrics.dedup_batches.fetch_add(1, Ordering::Relaxed);
+            shared
+                .metrics
+                .dedup_waiters_served
+                .fetch_add(waiters.len() as u64, Ordering::Relaxed);
+            for waiter in &waiters {
+                match &response {
+                    Response::Failed(_) => {
+                        endpoint.failed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {
+                        endpoint.completed.fetch_add(1, Ordering::Relaxed);
+                        endpoint.latency.record(waiter.accepted.elapsed());
+                    }
+                }
+                waiter.reply.send(response.clone());
+            }
+        }
         // The connection thread may have left (disconnect) — then the
         // send fails and the result is simply dropped.
-        let _ = reply.send(response);
+        reply.send(response);
     }
 }
 
@@ -998,7 +1462,7 @@ fn exec_tune_shard(
     req: TuneShardRequest,
     cancel: &CancelToken,
     deadline: Option<Instant>,
-    reply: &mpsc::Sender<Response>,
+    reply: &Reply,
 ) -> Response {
     let TuneShardRequest {
         graph,
@@ -1107,7 +1571,7 @@ fn exec_tune_shard(
             .metrics
             .tune_shard_parts
             .fetch_add(1, Ordering::Relaxed);
-        if reply.send(Response::TuneShardPart(part)).is_err() {
+        if !reply.send(Response::TuneShardPart(part)) {
             // Connection thread is gone: nobody will read further
             // frames. Stop burning cores.
             cancel.cancel();

@@ -21,6 +21,14 @@
 //! shared warm state — interleaving them would corrupt it). The
 //! idle-TTL sweeper ([`SessionRegistry::evict_idle`]) uses `try_lock`:
 //! a session whose mutex is held is mid-request, hence not idle.
+//!
+//! Transport note: sealed edit batches checksum their *canonical JSON*
+//! text ([`SessionEditRequest::seal`](crate::protocol::SessionEditRequest::seal)),
+//! and the binary wire envelope encodes the same value tree the JSON
+//! form serializes — so a batch sealed by a JSON client verifies
+//! unchanged when it arrives over a negotiated binary connection, and
+//! vice versa. Session requests are exempt from tune deduplication:
+//! they mutate per-session state, so collapsing them would be wrong.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};

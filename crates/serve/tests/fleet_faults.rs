@@ -20,7 +20,7 @@ use fm_core::value::Value;
 use fm_serve::fault::{FaultAction, FaultPlan, FaultProxy};
 use fm_serve::fleet::FleetConfig;
 use fm_serve::protocol::{
-    decode_request, read_frame, write_request, write_response, Request, Response, TuneRequest,
+    decode_request_any, read_frame, write_request, write_response, Request, Response, TuneRequest,
     TuneShardBody, TuneShardReply, WireCandidate, DEFAULT_MAX_FRAME,
 };
 use fm_serve::server::{Server, ServerConfig, ServerHandle};
@@ -240,7 +240,11 @@ fn corrupt_reply_is_discarded_and_the_range_retried() {
         proxy.local_addr().to_string(),
         shards[1].local_addr().to_string(),
     ];
-    let coord = start_coordinator(fleet_config(addrs));
+    // The corrupting proxy flips an ASCII digit, which assumes JSON
+    // reply text; pin the links to JSON so the fault stays meaningful.
+    let mut config = fleet_config(addrs);
+    config.binary_links = false;
+    let coord = start_coordinator(config);
 
     let mut client = Client::connect(coord.local_addr()).unwrap();
     let reply = client.tune(tune_request(&graph, &machine, 20)).unwrap();
@@ -354,7 +358,7 @@ fn stale_epoch_reply_is_discarded() {
             let Ok(payload) = read_frame(&mut conn, DEFAULT_MAX_FRAME) else {
                 continue;
             };
-            let Ok(Request::TuneShard(req)) = decode_request(&payload) else {
+            let Ok((_, Request::TuneShard(req), _)) = decode_request_any(&payload) else {
                 continue;
             };
             let count = req.candidates.len() as u64;
@@ -510,7 +514,10 @@ fn corrupt_mid_stream_part_is_discarded_without_losing_the_winner() {
         proxy.local_addr().to_string(),
         shards[1].local_addr().to_string(),
     ];
-    let coord = start_coordinator(fleet_config(addrs));
+    // Digit-flip corruption assumes JSON part text; pin the links.
+    let mut config = fleet_config(addrs);
+    config.binary_links = false;
+    let coord = start_coordinator(config);
 
     let mut client = Client::connect(coord.local_addr()).unwrap();
     let reply = client.tune(tune_request(&graph, &machine, 24)).unwrap();
