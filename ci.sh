@@ -70,6 +70,20 @@ cargo run --release -q -p fm-bench --bin table_e19_wire -- --quick --json "$e19_
 [ -s "$e19_dir/BENCH_e19.json" ] || { echo "wire-smoke: E19 emitted no JSON"; exit 1; }
 rm -rf "$e19_dir"
 
+echo "== costmodel-smoke: backend parity proptests + E20 quick run =="
+# Parity first: cold tune, warm tune, and delta repair must agree under
+# every cost backend, and the default (analytic) backend must stay
+# bit-identical to the historical FigureOfMerit scoring — plus the
+# hand-computed roofline fixtures for one FFT and one stencil mapping.
+# Then the E20 quick run: the binary runs the sweep twice and exits
+# non-zero if winner determinism breaks, if an analytic row flips, or
+# if no backend changes any winner.
+cargo test --release -q --test costmodel_backends
+e20_dir="$(mktemp -d)"
+cargo run --release -q -p fm-bench --bin table_e20_costmodels -- --quick --json "$e20_dir/BENCH_e20.json" >/dev/null
+[ -s "$e20_dir/BENCH_e20.json" ] || { echo "costmodel-smoke: E20 emitted no JSON"; exit 1; }
+rm -rf "$e20_dir"
+
 echo "== serve-smoke: daemon + example over the wire =="
 # Launch the real daemon on an ephemeral port, run the example against
 # it (FM_SERVE_SHUTDOWN=1 makes the example request the drain), and

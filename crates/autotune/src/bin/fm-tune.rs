@@ -21,6 +21,7 @@ use fm_core::cost::Evaluator;
 use fm_core::machine::MachineConfig;
 use fm_core::mapping::{InputPlacement, Mapping};
 use fm_core::search::{FigureOfMerit, MappingCandidate};
+use fm_costmodel::CostModelKind;
 use fm_kernels::fft::{fft_graph, FftFamily, FftVariant};
 use fm_workspan::ThreadPool;
 
@@ -33,6 +34,7 @@ struct Args {
     cache_dir: Option<String>,
     budget: Budget,
     refinement: Option<Refinement>,
+    cost_model: CostModelKind,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -47,6 +49,7 @@ fn parse_args() -> Result<Args, String> {
         cache_dir: None,
         budget: Budget::unlimited(),
         refinement: None,
+        cost_model: CostModelKind::Analytic,
     };
     let mut no_cache = false;
     let mut it = std::env::args().skip(1);
@@ -78,6 +81,12 @@ fn parse_args() -> Result<Args, String> {
                 args.workers = val("--workers")?
                     .parse()
                     .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--cost-model" => {
+                let name = val("--cost-model")?;
+                args.cost_model = CostModelKind::from_name(&name).ok_or_else(|| {
+                    format!("unknown cost model {name:?} (try analytic, roofline, or spatial)")
+                })?;
             }
             "--cache-dir" => args.cache_dir = Some(val("--cache-dir")?),
             "--no-cache" => no_cache = true,
@@ -125,7 +134,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "fm-tune [--n N] [--machine P] [--p LIST] [--fom time|energy|edp|footprint]\n        [--workers W] [--cache-dir DIR] [--no-cache]\n        [--max-candidates K] [--deadline-ms T] [--window W]\n        [--chains K] [--anneal-iters I]"
+                    "fm-tune [--n N] [--machine P] [--p LIST] [--fom time|energy|edp|footprint]\n        [--cost-model analytic|roofline|spatial]\n        [--workers W] [--cache-dir DIR] [--no-cache]\n        [--max-candidates K] [--deadline-ms T] [--window W]\n        [--chains K] [--anneal-iters I]"
                 );
                 std::process::exit(0);
             }
@@ -169,14 +178,17 @@ fn main() {
     let graph = fft_graph(args.n, FftVariant::Dit);
     let mut candidates = family.candidates_for(&graph, &machine);
     candidates.push(MappingCandidate::new("serial", Mapping::serial(&graph)));
-    let evaluator = Evaluator::new(&graph, &machine).with_all_inputs(InputPlacement::AtUse);
+    let evaluator = Evaluator::new(&graph, &machine)
+        .with_all_inputs(InputPlacement::AtUse)
+        .with_cost_model(args.cost_model);
 
     println!(
-        "fm-tune: fft n={} on linear({}) machine, {} candidates, objective {:?}",
+        "fm-tune: fft n={} on linear({}) machine, {} candidates, objective {:?}, cost model {}",
         args.n,
         args.machine_p,
         candidates.len(),
-        args.fom
+        args.fom,
+        args.cost_model
     );
 
     let mk_tuner = || {

@@ -11,11 +11,14 @@
 use fm_core::dataflow::DataflowGraph;
 use fm_core::machine::MachineConfig;
 use fm_core::search::{FigureOfMerit, MappingCandidate};
+use fm_costmodel::CostModelKind;
 
 use crate::tuner::Refinement;
 
-/// FNV-1a over a byte string.
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// FNV-1a 64 over a byte string. The one shared FNV in the workspace —
+/// the tuning-cache fingerprints here, and `fm-serve`'s wire checksums
+/// and dedup admission keys, all hash through this implementation.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf29ce484222325;
     for &b in bytes {
         h ^= u64::from(b);
@@ -24,16 +27,39 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Fingerprint a tuning problem. Two problems collide only if their
-/// serialized forms collide under FNV-1a 64 (fine for a cache: a false
-/// hit is caught by the legality re-check, a false miss only costs a
-/// cold search).
+/// Fingerprint a tuning problem under the default (analytic) cost
+/// model. Two problems collide only if their serialized forms collide
+/// under FNV-1a 64 (fine for a cache: a false hit is caught by the
+/// legality re-check, a false miss only costs a cold search).
 pub fn fingerprint(
     graph: &DataflowGraph,
     machine: &MachineConfig,
     fom: FigureOfMerit,
     candidates: &[MappingCandidate],
     refinement: Option<Refinement>,
+) -> u64 {
+    fingerprint_with_model(
+        graph,
+        machine,
+        fom,
+        candidates,
+        refinement,
+        CostModelKind::Analytic,
+    )
+}
+
+/// Fingerprint a tuning problem under a specific cost backend. The
+/// default backend hashes exactly as [`fingerprint`] always has —
+/// pre-backend cache entries stay valid — while any other backend folds
+/// its name in, so searches under different cost models never share a
+/// cache slot.
+pub fn fingerprint_with_model(
+    graph: &DataflowGraph,
+    machine: &MachineConfig,
+    fom: FigureOfMerit,
+    candidates: &[MappingCandidate],
+    refinement: Option<Refinement>,
+    cost_model: CostModelKind,
 ) -> u64 {
     let mut text = String::new();
     text.push_str(&serde_json::to_string(graph).expect("graph serializes"));
@@ -49,7 +75,11 @@ pub fn fingerprint(
         text.push('\u{2}');
         text.push_str(&serde_json::to_string(&c.mapping).expect("mapping serializes"));
     }
-    fnv1a(text.as_bytes())
+    if cost_model != CostModelKind::Analytic {
+        text.push('\u{1}');
+        text.push_str(cost_model.name());
+    }
+    fnv1a64(text.as_bytes())
 }
 
 #[cfg(test)]
@@ -102,6 +132,44 @@ mod tests {
             base,
             fingerprint(&g, &m, FigureOfMerit::Edp, &cands, Some(refined))
         );
+    }
+
+    #[test]
+    fn analytic_model_hashes_like_the_historical_fingerprint() {
+        let g = tiny("a");
+        let m = MachineConfig::linear(4);
+        let cands = vec![MappingCandidate::new("serial", Mapping::serial(&g))];
+        let base = fingerprint(&g, &m, FigureOfMerit::Edp, &cands, None);
+        assert_eq!(
+            base,
+            fingerprint_with_model(
+                &g,
+                &m,
+                FigureOfMerit::Edp,
+                &cands,
+                None,
+                CostModelKind::Analytic
+            )
+        );
+        let roof = fingerprint_with_model(
+            &g,
+            &m,
+            FigureOfMerit::Edp,
+            &cands,
+            None,
+            CostModelKind::Roofline,
+        );
+        let spatial = fingerprint_with_model(
+            &g,
+            &m,
+            FigureOfMerit::Edp,
+            &cands,
+            None,
+            CostModelKind::Spatial,
+        );
+        assert_ne!(base, roof);
+        assert_ne!(base, spatial);
+        assert_ne!(roof, spatial);
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod fingerprint;
 pub mod tuner;
 
 pub use cache::{CacheEntry, TuningCache, CACHE_SCHEMA_VERSION};
-pub use fingerprint::fingerprint;
+pub use fingerprint::{fingerprint, fingerprint_with_model, fnv1a64};
 pub use tuner::{
     Budget, CacheStatus, CancelToken, Refinement, TuneReport, TunedMapping, Tuner, WarmCache,
 };

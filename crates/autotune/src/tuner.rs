@@ -21,7 +21,7 @@ use fm_core::search::{
 use fm_workspan::{par_map, par_map_until_cancel, ThreadPool};
 
 use crate::cache::{CacheEntry, TuningCache, CACHE_SCHEMA_VERSION};
-use crate::fingerprint::fingerprint;
+use crate::fingerprint::fingerprint_with_model;
 
 /// Evaluation budgets. The default is unlimited: every candidate is
 /// evaluated, exactly like [`fm_core::search::search`].
@@ -399,12 +399,13 @@ impl<'a> Tuner<'a> {
         let mut cache_status = CacheStatus::Disabled;
         let mut fp = 0u64;
         if let Some(cache) = &self.cache {
-            fp = fingerprint(
+            fp = fingerprint_with_model(
                 self.graph,
                 self.machine,
                 self.fom,
                 candidates,
                 self.refinement,
+                self.evaluator.cost_model(),
             );
             match cache.load(fp) {
                 Some(entry) if self.replayable(&entry.best.resolved) => {
@@ -689,7 +690,7 @@ impl<'a> Tuner<'a> {
         };
         let mut winner: Option<(usize, f64)> = None;
         for (k, (_, report)) in chains.iter().enumerate() {
-            let score = self.fom.score(report);
+            let score = self.evaluator.score(self.fom, report);
             if winner.is_none_or(|(_, w)| score < w) {
                 winner = Some((k, score));
             }
@@ -722,7 +723,7 @@ impl<'a> Tuner<'a> {
             return None;
         }
         let report = self.evaluator.evaluate(&rm);
-        let score = self.fom.score(&report);
+        let score = self.evaluator.score(self.fom, &report);
         Some(TunedMapping {
             label: "default-mapper (fallback)".to_string(),
             resolved: rm,
@@ -802,6 +803,7 @@ impl WarmCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fingerprint::fingerprint;
     use fm_core::affine::IdxExpr;
     use fm_core::dataflow::CExpr;
     use fm_core::mapping::{AffineMap, Mapping, PlaceExpr};

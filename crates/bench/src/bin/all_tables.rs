@@ -39,5 +39,7 @@ fn main() {
     let rows = fm_bench::e16_fleet::run(false);
     print!("{}\n\n", fm_bench::e16_fleet::print(&rows));
     let rows = fm_bench::e18_session::run(false);
-    println!("{}", fm_bench::e18_session::print(&rows));
+    print!("{}\n\n", fm_bench::e18_session::print(&rows));
+    let rows = fm_bench::e20_costmodels::run(false);
+    println!("{}", fm_bench::e20_costmodels::print(&rows));
 }

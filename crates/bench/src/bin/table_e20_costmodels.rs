@@ -1,0 +1,55 @@
+//! Regenerates the E20 table (winners under the analytic, roofline and
+//! spatial cost backends) and writes `BENCH_e20.json` with the raw rows.
+//!
+//! `--quick` shrinks the kernel sizes for a fast smoke run, e.g. from
+//! `ci.sh`. `--json PATH` overrides the JSON output path; `--no-json`
+//! suppresses it.
+//!
+//! This driver is also the determinism and flip-shape gate: it runs the
+//! whole sweep **twice** and exits non-zero if any winner or score bit
+//! differs between the runs, if an analytic row claims to flip, or if
+//! no backend flips any winner at all (the experiment's whole claim).
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let no_json = args.iter().any(|a| a == "--no-json");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_e20.json".to_string());
+
+    use fm_bench::e20_costmodels as e20;
+    let rows = e20::run(quick);
+    let replay = e20::run(quick);
+    if e20::fingerprint(&rows) != e20::fingerprint(&replay) {
+        eprintln!("table_e20_costmodels: winner determinism broke — two runs disagree");
+        eprintln!("run 1:\n{}", e20::winner_matrix(&rows));
+        eprintln!("run 2:\n{}", e20::winner_matrix(&replay));
+        std::process::exit(1);
+    }
+    if rows.iter().any(|r| r.model == "analytic" && r.flipped) {
+        eprintln!("table_e20_costmodels: an analytic row flipped against itself");
+        std::process::exit(1);
+    }
+    if !rows.iter().any(|r| r.flipped) {
+        eprintln!(
+            "table_e20_costmodels: no backend changed any winner — E20's claim is gone\n{}",
+            e20::winner_matrix(&rows)
+        );
+        std::process::exit(1);
+    }
+
+    print!("{}", e20::print(&rows));
+    if !no_json {
+        let doc = e20::to_json(&rows);
+        match std::fs::write(&json_path, doc) {
+            Ok(()) => println!("\nwrote {json_path}"),
+            Err(e) => {
+                eprintln!("table_e20_costmodels: cannot write {json_path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

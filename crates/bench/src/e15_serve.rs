@@ -137,6 +137,7 @@ pub fn run(quick: bool) -> Vec<Row> {
                                     convergence_window: None,
                                     refinement: None,
                                     use_cache: false,
+                                    cost_model: None,
                                 })
                                 .map(|r| assert!(r.best.is_some()))
                         } else {

@@ -139,6 +139,7 @@ fn drive(
                 convergence_window: None,
                 refinement: None,
                 use_cache: false,
+                cost_model: None,
             })
             .expect("tune");
         lat.push(t.elapsed().as_secs_f64() * 1e3);

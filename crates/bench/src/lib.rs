@@ -42,3 +42,4 @@ pub mod e16_fleet;
 pub mod e17_stream;
 pub mod e18_session;
 pub mod e19_wire;
+pub mod e20_costmodels;

@@ -32,12 +32,16 @@ use std::collections::HashSet;
 
 use serde::{Deserialize, Serialize};
 
-use fm_costmodel::{EnergyLedger, Femtojoules, OpKind, Picoseconds};
+use fm_costmodel::{
+    CostBackend, CostModelKind, EnergyLedger, Femtojoules, MachineCeilings, MappingTotals, OpKind,
+    Picoseconds, RooflinePoint,
+};
 
 use crate::dataflow::{DataflowGraph, InputSpec, NodeId};
 use crate::legality::tile_peaks;
 use crate::machine::MachineConfig;
 use crate::mapping::{InputPlacement, ResolvedMapping};
+use crate::search::FigureOfMerit;
 
 /// One node's contribution to the energy ledger: everything the
 /// evaluator charges that is attributable to a single node — its
@@ -188,6 +192,7 @@ pub struct Evaluator<'a> {
     input_placements: Vec<InputPlacement>,
     writeback_outputs: bool,
     multicast: bool,
+    cost_model: CostModelKind,
 }
 
 impl<'a> Evaluator<'a> {
@@ -201,7 +206,26 @@ impl<'a> Evaluator<'a> {
             input_placements: vec![InputPlacement::Dram; graph.inputs.len()],
             writeback_outputs: false,
             multicast: false,
+            cost_model: CostModelKind::default(),
         }
+    }
+
+    /// Charge and score under a different cost backend. The default
+    /// ([`CostModelKind::Analytic`]) is bit-identical to the historical
+    /// hard-coded model.
+    pub fn with_cost_model(mut self, kind: CostModelKind) -> Self {
+        self.cost_model = kind;
+        self
+    }
+
+    /// Which cost backend this evaluator charges under.
+    pub fn cost_model(&self) -> CostModelKind {
+        self.cost_model
+    }
+
+    /// The active backend instance.
+    pub fn backend(&self) -> &'static dyn CostBackend {
+        self.cost_model.backend()
     }
 
     /// Route def→use traffic as multicast trees (union of X-Y paths,
@@ -257,6 +281,7 @@ impl<'a> Evaluator<'a> {
     ) -> NodeCost {
         let g = self.graph;
         let m = self.machine;
+        let be = self.backend();
         let width = u64::from(g.width_bits);
         let n = &g.nodes[id];
         let mut c = NodeCost::default();
@@ -273,15 +298,15 @@ impl<'a> Evaluator<'a> {
 
         // Compute: expression ops + one tile write for the result.
         for op in n.expr.op_kinds(g.width_bits) {
-            compute(m.tech.op_energy(op), &mut c);
+            compute(be.op_energy(&m.tech, op), &mut c);
         }
-        compute(m.tile_access_energy(width), &mut c);
+        compute(be.tile_access_energy(&m.tech, width), &mut c);
 
         let cons = place[id];
         // Operand reads: one tile access per dependency (the value is
         // local by then — produced here or delivered here).
         for _ in &n.deps {
-            compute(m.tile_access_energy(width), &mut c);
+            compute(be.tile_access_energy(&m.tech, width), &mut c);
         }
 
         // Input reads. DRAM reads are charged in [`Self::offchip_totals`]
@@ -294,15 +319,16 @@ impl<'a> Evaluator<'a> {
                     let idx = unflatten(spec, flat);
                     let home = pexpr.eval(&idx, m.cols);
                     if home == cons {
-                        compute(m.tile_access_energy(width), &mut c);
+                        compute(be.tile_access_energy(&m.tech, width), &mut c);
                     } else {
                         let a = (home.0 as u32, home.1 as u32);
                         let b = (cons.0 as u32, cons.1 as u32);
-                        onchip(m.distance_mm(a, b), m.route_energy(width, a, b), &mut c);
+                        let e = be.wire_energy(&m.tech, width, m.tech.chip.manhattan(a, b));
+                        onchip(m.distance_mm(a, b), e, &mut c);
                     }
                 }
                 InputPlacement::AtUse => {
-                    compute(m.tile_access_energy(width), &mut c);
+                    compute(be.tile_access_energy(&m.tech, width), &mut c);
                 }
             }
         }
@@ -322,15 +348,14 @@ impl<'a> Evaluator<'a> {
             if !pes.is_empty() {
                 let dests: Vec<(u32, u32)> = pes.iter().map(|p| (p.0 as u32, p.1 as u32)).collect();
                 let (mm, _links) = m.multicast_route(a, &dests);
-                let e = m
-                    .tech
-                    .wire_energy(width, fm_costmodel::Millimeters::new(mm));
+                let e = be.wire_energy(&m.tech, width, fm_costmodel::Millimeters::new(mm));
                 onchip(mm, e, &mut c);
             }
         } else {
             for pe in pes {
                 let b = (pe.0 as u32, pe.1 as u32);
-                onchip(m.distance_mm(a, b), m.route_energy(width, a, b), &mut c);
+                let e = be.wire_energy(&m.tech, width, m.tech.chip.manhattan(a, b));
+                onchip(m.distance_mm(a, b), e, &mut c);
             }
         }
         c
@@ -351,8 +376,9 @@ impl<'a> Evaluator<'a> {
             }
         }
         let mut off = OffchipTotals::default();
+        let be = self.backend();
         let charge = |off: &mut OffchipTotals| {
-            off.fj += m.tech.offchip_energy(width).raw();
+            off.fj += be.offchip_energy(&m.tech, width).raw();
             off.transfers += 1;
             off.bits += width;
         };
@@ -390,10 +416,11 @@ impl<'a> Evaluator<'a> {
     /// graph.
     pub(crate) fn offchip_from_count(&self, transfers: u64) -> OffchipTotals {
         let m = self.machine;
+        let be = self.backend();
         let width = u64::from(self.graph.width_bits);
         let mut off = OffchipTotals::default();
         for _ in 0..transfers {
-            off.fj += m.tech.offchip_energy(width).raw();
+            off.fj += be.offchip_energy(&m.tech, width).raw();
             off.transfers += 1;
             off.bits += width;
         }
@@ -439,6 +466,55 @@ impl<'a> Evaluator<'a> {
             utilization,
             elements: g.len() as u64,
         }
+    }
+
+    /// Backend-neutral aggregates of a report, for scoring and
+    /// roofline placement.
+    pub fn totals(&self, r: &CostReport) -> MappingTotals {
+        MappingTotals {
+            compute_ops: r.ledger.compute_ops,
+            onchip_bits: r.ledger.onchip_bits,
+            onchip_bit_mm: r.ledger.onchip_bit_mm,
+            offchip_bits: r.ledger.offchip_bits,
+            energy_fj: r.energy().raw(),
+            time_ps: r.time_ps.raw(),
+            cycles: r.cycles,
+            pes_used: r.pes_used,
+            peak_tile_bits: r.peak_tile_bits,
+        }
+    }
+
+    /// The target machine's roofline ceilings.
+    pub fn ceilings(&self) -> MachineCeilings {
+        self.machine.ceilings()
+    }
+
+    /// Scalar score of a report under the active backend (lower is
+    /// better). For the default backend this is bit-identical to
+    /// [`FigureOfMerit::score`]; other backends may substitute their
+    /// own time/energy axes (`Edp` composes as `time × energy`, which
+    /// matches the historical `energy × time` bit-for-bit).
+    pub fn score(&self, fom: FigureOfMerit, r: &CostReport) -> f64 {
+        if self.cost_model == CostModelKind::Analytic {
+            // Fast path, and the bit-identity anchor: the exact
+            // pre-backend arithmetic.
+            return fom.score(r);
+        }
+        let be = self.backend();
+        let totals = self.totals(r);
+        match fom {
+            FigureOfMerit::Time => be.time_score(&totals, &self.ceilings()),
+            FigureOfMerit::Energy => be.energy_score(&totals),
+            FigureOfMerit::Edp => {
+                be.time_score(&totals, &self.ceilings()) * be.energy_score(&totals)
+            }
+            FigureOfMerit::Footprint => r.peak_tile_bits as f64,
+        }
+    }
+
+    /// Where this report sits under the machine's roofline.
+    pub fn roofline(&self, r: &CostReport) -> RooflinePoint {
+        self.backend().roofline(&self.totals(r), &self.ceilings())
     }
 
     /// Evaluate the mapped function. The mapping is assumed legal; run

@@ -255,9 +255,10 @@ impl<'e, 'a> DeltaEvaluator<'e, 'a> {
     }
 
     /// Score of the current mapping under `fom` (lower is better) —
-    /// identical arithmetic to `fom.score(&self.report())`.
+    /// identical arithmetic to `ev.score(fom, &self.report())` under
+    /// the evaluator's active cost backend.
     pub fn score(&self, fom: FigureOfMerit) -> f64 {
-        fom.score(&self.report())
+        self.ev.score(fom, &self.report())
     }
 
     /// Move `node` to `new_pe` (must be on-grid) and repair all cached
@@ -1307,7 +1308,7 @@ impl DeltaCandidates {
         };
         let off = ev.offchip_from_count(self.dram_refs.len() as u64 + writeback);
         let report = ev.assemble(state.tree.total(), &off, cycles, peak, state.pe_nodes.len());
-        let score = fom.score(&report);
+        let score = ev.score(fom, &report);
         CandidateEval::Legal {
             resolved: ResolvedMapping {
                 place: state.place.clone(),

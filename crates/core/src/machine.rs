@@ -126,6 +126,26 @@ impl MachineConfig {
         self.tech.op_energy(OpKind::sram(bits as u32))
     }
 
+    /// The machine's roofline ceilings, in per-picosecond rates:
+    ///
+    /// * **compute** — every PE can evaluate `issue_width` elements per
+    ///   cycle;
+    /// * **on-chip bandwidth** — every directed NoC link (mesh: two per
+    ///   adjacent PE pair) carries one `link_width_bits` flit per cycle;
+    /// * **off-chip bandwidth** — one memory port of link width per
+    ///   cycle.
+    pub fn ceilings(&self) -> fm_costmodel::MachineCeilings {
+        let clk = self.clock_period().raw();
+        let horizontal = (self.cols.saturating_sub(1)) as u64 * self.rows as u64;
+        let vertical = self.cols as u64 * (self.rows.saturating_sub(1)) as u64;
+        let directed_links = 2 * (horizontal + vertical);
+        fm_costmodel::MachineCeilings {
+            compute_ops_per_ps: (self.pe_count() as f64 * self.issue_width as f64) / clk,
+            onchip_bits_per_ps: directed_links as f64 * self.link_width_bits as f64 / clk,
+            offchip_bits_per_ps: self.link_width_bits as f64 / clk,
+        }
+    }
+
     /// Total wire length in mm of a **multicast tree** from `from` to
     /// every PE in `dests`: the union of the X-Y unicast paths (a
     /// cheap, deterministic Steiner approximation — shared prefixes are

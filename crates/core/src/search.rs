@@ -158,7 +158,7 @@ pub fn evaluate_candidate(
         return CandidateEval::Illegal(rep.total_violations);
     }
     let report = evaluator.evaluate(&rm);
-    let score = fom.score(&report);
+    let score = evaluator.score(fom, &report);
     CandidateEval::Legal {
         resolved: rm,
         report,
@@ -402,7 +402,7 @@ impl Engine<'_, '_> {
 
     fn score(&self, fom: FigureOfMerit) -> f64 {
         match self {
-            Engine::Full { report, .. } => fom.score(report),
+            Engine::Full { ev, report, .. } => ev.score(fom, report),
             Engine::Inc(d) => d.score(fom),
         }
     }

@@ -1,0 +1,446 @@
+//! Pluggable cost backends: who gets to say what an operation costs.
+//!
+//! The evaluator in `fm-core` charges every op, tile access, wire hop,
+//! and off-chip transfer against energy primitives, and every search
+//! ranks mappings by a scalar score derived from the resulting report.
+//! Historically both came straight from [`Technology`] — one hard-coded
+//! cost function. A [`CostBackend`] abstracts both surfaces so the same
+//! mapping search can run under *different* cost models and report
+//! where the winning mapping changes:
+//!
+//! * [`AnalyticBackend`] — the paper's 5 nm analytic model, the
+//!   default. Every method delegates to the exact [`Technology`]
+//!   computation the evaluator used to inline, so winners, scores, and
+//!   reports are **bit-identical** to the pre-backend code.
+//! * [`RooflineBackend`] — an observatory model: energies stay
+//!   analytic, but the *time* score becomes the bandwidth-aware bound
+//!   `max(W/C_peak, Q_on/B_on, Q_off/B_off)` from the mapping's tracked
+//!   communication volume and the machine's ceilings, and every mapping
+//!   gets a [`RooflinePoint`] locating it under both roofs.
+//! * [`SpatialBackend`] — the spatial-computer energy model
+//!   (Gianinazzi et al., "The spatial computer: A model for
+//!   energy-efficient parallel computation"): operations pay a flat
+//!   per-op cost, *local* memory access is free, and communication
+//!   energy is linear in distance — including off-chip transfers, which
+//!   are charged as one span-length on-chip move instead of the
+//!   analytic model's 10× span penalty.
+//!
+//! ## Contract
+//!
+//! The delta engine (`fm-core::delta`) repairs per-node cost
+//! contributions incrementally and relies on two properties every
+//! backend must keep:
+//!
+//! 1. **Locality** — the energy primitives are pure functions of
+//!    `(technology, op/width, distance)`; a node's cost may depend only
+//!    on its own placement and its consumers' placements, never on
+//!    global mapping state. All four primitives here satisfy this by
+//!    construction.
+//! 2. **Determinism** — same inputs, same `f64` bits. No randomness,
+//!    no iteration-order dependence. This is what makes warm re-tunes,
+//!    fleet merges, and cache replays bit-identical per backend.
+//!
+//! Scores must additionally be *monotone composable*: `Edp` is scored
+//! as `time_score × energy_score`, so a backend overriding one axis
+//! composes with the other for free.
+//!
+//! To add a backend: implement [`CostBackend`] (override only the
+//! primitives that differ — defaults are the analytic model), add a
+//! [`CostModelKind`] variant with a wire name, and register it in
+//! [`CostModelKind::backend`]. Everything downstream — tuner, delta
+//! repair, serving, benches — picks it up through the evaluator.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ops::OpKind;
+use crate::technology::Technology;
+use crate::units::{Femtojoules, Millimeters};
+
+/// Which cost backend a search runs under. The wire name (used by
+/// `fm-tune --cost-model` and the `cost_model` request field) is
+/// [`CostModelKind::name`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum CostModelKind {
+    /// The paper's 5 nm analytic model (the default).
+    #[default]
+    Analytic,
+    /// Roofline observatory: analytic energy, bandwidth-bounded time.
+    Roofline,
+    /// Spatial-computer energy model: distance-dependent energy, free
+    /// local access.
+    Spatial,
+}
+
+impl CostModelKind {
+    /// Every kind, in reporting order.
+    pub const ALL: [CostModelKind; 3] = [
+        CostModelKind::Analytic,
+        CostModelKind::Roofline,
+        CostModelKind::Spatial,
+    ];
+
+    /// The wire/CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CostModelKind::Analytic => "analytic",
+            CostModelKind::Roofline => "roofline",
+            CostModelKind::Spatial => "spatial",
+        }
+    }
+
+    /// Parse a wire/CLI name. `None` for unknown names — callers must
+    /// surface that as a typed error, never fall back silently.
+    pub fn from_name(name: &str) -> Option<CostModelKind> {
+        match name {
+            "analytic" => Some(CostModelKind::Analytic),
+            "roofline" => Some(CostModelKind::Roofline),
+            "spatial" => Some(CostModelKind::Spatial),
+            _ => None,
+        }
+    }
+
+    /// The shared backend instance for this kind.
+    pub fn backend(self) -> &'static dyn CostBackend {
+        match self {
+            CostModelKind::Analytic => &ANALYTIC,
+            CostModelKind::Roofline => &ROOFLINE,
+            CostModelKind::Spatial => &SPATIAL,
+        }
+    }
+}
+
+impl std::fmt::Display for CostModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Whole-mapping aggregates a backend scores from. Extracted from a
+/// cost report by the evaluator; neutral so backends need no knowledge
+/// of `fm-core` types.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MappingTotals {
+    /// Compute ops charged.
+    pub compute_ops: u64,
+    /// On-chip bits moved.
+    pub onchip_bits: u64,
+    /// On-chip bit-millimeters moved.
+    pub onchip_bit_mm: f64,
+    /// Off-chip bits moved.
+    pub offchip_bits: u64,
+    /// Total energy under this backend's charging, fJ.
+    pub energy_fj: f64,
+    /// Scheduled makespan, ps.
+    pub time_ps: f64,
+    /// Scheduled makespan, cycles.
+    pub cycles: i64,
+    /// Distinct PEs used.
+    pub pes_used: usize,
+    /// Peak live bits in any one tile.
+    pub peak_tile_bits: u64,
+}
+
+/// The machine's performance ceilings, in per-picosecond units so they
+/// divide directly against [`MappingTotals`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachineCeilings {
+    /// Peak compute: elements the whole grid can evaluate per ps.
+    pub compute_ops_per_ps: f64,
+    /// Aggregate NoC bandwidth: bits every directed link can carry per
+    /// ps, summed.
+    pub onchip_bits_per_ps: f64,
+    /// Off-chip bandwidth: one memory port of link width per cycle.
+    pub offchip_bits_per_ps: f64,
+}
+
+/// One mapping's position under the machine's roofline: operational
+/// intensity against each traffic class, the attainable throughput
+/// under each roof, and what actually binds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RooflinePoint {
+    /// Ops per on-chip bit moved (bits floored at 1 so a
+    /// communication-free mapping stays finite).
+    pub intensity_onchip: f64,
+    /// Ops per off-chip bit moved (same flooring).
+    pub intensity_offchip: f64,
+    /// The compute roof, ops/ps.
+    pub compute_ceiling: f64,
+    /// `min(compute roof, intensity_onchip × on-chip bandwidth)`.
+    pub attainable_onchip: f64,
+    /// `min(compute roof, intensity_offchip × off-chip bandwidth)`.
+    pub attainable_offchip: f64,
+    /// What the mapping actually achieved: ops per scheduled ps.
+    pub achieved: f64,
+    /// Which roof binds overall: `"compute"`, `"onchip-bw"`, or
+    /// `"offchip-bw"`.
+    pub bound: String,
+}
+
+impl RooflinePoint {
+    /// Compute the point for one mapping under one machine.
+    pub fn locate(totals: &MappingTotals, ceilings: &MachineCeilings) -> RooflinePoint {
+        let ops = totals.compute_ops as f64;
+        let intensity_onchip = ops / totals.onchip_bits.max(1) as f64;
+        let intensity_offchip = ops / totals.offchip_bits.max(1) as f64;
+        let attainable_onchip =
+            (intensity_onchip * ceilings.onchip_bits_per_ps).min(ceilings.compute_ops_per_ps);
+        let attainable_offchip =
+            (intensity_offchip * ceilings.offchip_bits_per_ps).min(ceilings.compute_ops_per_ps);
+        // The binding roof is the slowest of the three planned-time
+        // terms; ties break toward compute (the optimistic roof).
+        let t_compute = planned_term(ops, ceilings.compute_ops_per_ps);
+        let t_on = planned_term(totals.onchip_bits as f64, ceilings.onchip_bits_per_ps);
+        let t_off = planned_term(totals.offchip_bits as f64, ceilings.offchip_bits_per_ps);
+        let bound = if t_compute >= t_on && t_compute >= t_off {
+            "compute"
+        } else if t_on >= t_off {
+            "onchip-bw"
+        } else {
+            "offchip-bw"
+        };
+        RooflinePoint {
+            intensity_onchip,
+            intensity_offchip,
+            compute_ceiling: ceilings.compute_ops_per_ps,
+            attainable_onchip,
+            attainable_offchip,
+            achieved: if totals.time_ps > 0.0 {
+                ops / totals.time_ps
+            } else {
+                0.0
+            },
+            bound: bound.to_string(),
+        }
+    }
+}
+
+/// One planned-time term `volume / rate`: zero volume takes zero time
+/// even over a zero-rate channel (a 1-PE machine has no NoC, and no
+/// NoC traffic either).
+fn planned_term(volume: f64, rate_per_ps: f64) -> f64 {
+    if volume == 0.0 {
+        0.0
+    } else {
+        volume / rate_per_ps
+    }
+}
+
+/// A pluggable cost model: energy primitives the evaluator charges
+/// per-node costs through, plus the scalar scores a search ranks by.
+///
+/// Defaults implement the analytic model exactly, so a backend
+/// overrides only what it changes. See the module docs for the
+/// locality/determinism contract the delta engine relies on.
+pub trait CostBackend: std::fmt::Debug + Sync {
+    /// Which kind this backend is (for fingerprints and reporting).
+    fn kind(&self) -> CostModelKind;
+
+    /// Energy of one expression op.
+    fn op_energy(&self, tech: &Technology, op: OpKind) -> Femtojoules {
+        tech.op_energy(op)
+    }
+
+    /// Energy of one local tile (SRAM) access of `bits`.
+    fn tile_access_energy(&self, tech: &Technology, bits: u64) -> Femtojoules {
+        tech.op_energy(OpKind::sram(bits as u32))
+    }
+
+    /// Energy to move `bits` a distance `dist` on chip.
+    fn wire_energy(&self, tech: &Technology, bits: u64, dist: Millimeters) -> Femtojoules {
+        tech.wire_energy(bits, dist)
+    }
+
+    /// Energy to move `bits` off chip (one direction).
+    fn offchip_energy(&self, tech: &Technology, bits: u64) -> Femtojoules {
+        tech.offchip_energy(bits)
+    }
+
+    /// The scalar the `Time` objective minimizes, in ps-like units.
+    fn time_score(&self, totals: &MappingTotals, _ceilings: &MachineCeilings) -> f64 {
+        totals.time_ps
+    }
+
+    /// The scalar the `Energy` objective minimizes, in fJ-like units.
+    fn energy_score(&self, totals: &MappingTotals) -> f64 {
+        totals.energy_fj
+    }
+
+    /// This mapping's roofline position (same computation for every
+    /// backend — the roofline *score* is what [`RooflineBackend`]
+    /// changes).
+    fn roofline(&self, totals: &MappingTotals, ceilings: &MachineCeilings) -> RooflinePoint {
+        RooflinePoint::locate(totals, ceilings)
+    }
+}
+
+/// The paper's 5 nm analytic model: every default, untouched. The
+/// bit-identity reference every parity test compares against.
+#[derive(Debug)]
+pub struct AnalyticBackend;
+
+impl CostBackend for AnalyticBackend {
+    fn kind(&self) -> CostModelKind {
+        CostModelKind::Analytic
+    }
+}
+
+/// Roofline observatory: analytic energies, bandwidth-bounded time.
+///
+/// The time score is the classic roofline execution-time bound
+/// `max(W/C_peak, Q_on/B_on, Q_off/B_off)`: perfect overlap of
+/// compute, NoC traffic, and memory traffic, so whichever resource the
+/// mapping saturates sets its time. A mapping the analytic schedule
+/// calls fast but whose traffic exceeds a bandwidth roof ranks worse
+/// here — that divergence is the observatory's point.
+#[derive(Debug)]
+pub struct RooflineBackend;
+
+impl CostBackend for RooflineBackend {
+    fn kind(&self) -> CostModelKind {
+        CostModelKind::Roofline
+    }
+
+    fn time_score(&self, totals: &MappingTotals, ceilings: &MachineCeilings) -> f64 {
+        let t_compute = planned_term(totals.compute_ops as f64, ceilings.compute_ops_per_ps);
+        let t_on = planned_term(totals.onchip_bits as f64, ceilings.onchip_bits_per_ps);
+        let t_off = planned_term(totals.offchip_bits as f64, ceilings.offchip_bits_per_ps);
+        t_compute.max(t_on).max(t_off)
+    }
+}
+
+/// The spatial-computer energy model (Gianinazzi et al.): flat per-op
+/// energy, free local memory access, communication linear in distance.
+/// Off-chip transfers are charged as one span-length on-chip move —
+/// distance is the *only* cost of communication, with no technology
+/// off-chip penalty factor.
+#[derive(Debug)]
+pub struct SpatialBackend;
+
+impl CostBackend for SpatialBackend {
+    fn kind(&self) -> CostModelKind {
+        CostModelKind::Spatial
+    }
+
+    fn tile_access_energy(&self, _tech: &Technology, _bits: u64) -> Femtojoules {
+        Femtojoules::ZERO
+    }
+
+    fn offchip_energy(&self, tech: &Technology, bits: u64) -> Femtojoules {
+        tech.wire_energy(bits, tech.chip.span())
+    }
+}
+
+/// The shared analytic backend.
+pub static ANALYTIC: AnalyticBackend = AnalyticBackend;
+/// The shared roofline backend.
+pub static ROOFLINE: RooflineBackend = RooflineBackend;
+/// The shared spatial-computer backend.
+pub static SPATIAL: SpatialBackend = SpatialBackend;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn totals() -> MappingTotals {
+        MappingTotals {
+            compute_ops: 1000,
+            onchip_bits: 3200,
+            onchip_bit_mm: 640.0,
+            offchip_bits: 64,
+            energy_fj: 5.0e4,
+            time_ps: 2.0e5,
+            cycles: 100,
+            pes_used: 4,
+            peak_tile_bits: 256,
+        }
+    }
+
+    fn ceilings() -> MachineCeilings {
+        MachineCeilings {
+            compute_ops_per_ps: 0.01,
+            onchip_bits_per_ps: 0.1,
+            offchip_bits_per_ps: 0.001,
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for k in CostModelKind::ALL {
+            assert_eq!(CostModelKind::from_name(k.name()), Some(k));
+            assert_eq!(k.backend().kind(), k);
+        }
+        assert_eq!(CostModelKind::from_name("n5"), None);
+        assert_eq!(CostModelKind::from_name(""), None);
+    }
+
+    #[test]
+    fn analytic_defaults_match_technology() {
+        let t = Technology::n5();
+        assert_eq!(
+            ANALYTIC.op_energy(&t, OpKind::add32()),
+            t.op_energy(OpKind::add32())
+        );
+        assert_eq!(
+            ANALYTIC.tile_access_energy(&t, 32),
+            t.op_energy(OpKind::sram(32))
+        );
+        let d = Millimeters::new(2.5);
+        assert_eq!(ANALYTIC.wire_energy(&t, 32, d), t.wire_energy(32, d));
+        assert_eq!(ANALYTIC.offchip_energy(&t, 32), t.offchip_energy(32));
+        assert_eq!(ANALYTIC.time_score(&totals(), &ceilings()), 2.0e5);
+        assert_eq!(ANALYTIC.energy_score(&totals()), 5.0e4);
+    }
+
+    #[test]
+    fn roofline_time_is_the_binding_term() {
+        // W/C = 1000/0.01 = 1e5; Q_on/B_on = 3200/0.1 = 3.2e4;
+        // Q_off/B_off = 64/0.001 = 6.4e4 → compute binds.
+        let t = ROOFLINE.time_score(&totals(), &ceilings());
+        assert_eq!(t, 1.0e5);
+        // Starve off-chip bandwidth: the memory term takes over.
+        let mut c = ceilings();
+        c.offchip_bits_per_ps = 1e-4;
+        assert_eq!(ROOFLINE.time_score(&totals(), &c), 6.4e5);
+    }
+
+    #[test]
+    fn roofline_zero_volume_terms_are_free() {
+        let mut tot = totals();
+        tot.onchip_bits = 0;
+        tot.offchip_bits = 0;
+        let mut c = ceilings();
+        c.onchip_bits_per_ps = 0.0; // 1-PE machine: no NoC at all
+        let t = ROOFLINE.time_score(&tot, &c);
+        assert_eq!(t, 1.0e5);
+        assert!(t.is_finite());
+    }
+
+    #[test]
+    fn roofline_point_locates_bound() {
+        let p = RooflinePoint::locate(&totals(), &ceilings());
+        assert_eq!(p.bound, "compute");
+        assert!((p.intensity_onchip - 1000.0 / 3200.0).abs() < 1e-12);
+        assert!((p.intensity_offchip - 1000.0 / 64.0).abs() < 1e-12);
+        assert!(p.attainable_onchip <= p.compute_ceiling);
+        assert!(p.attainable_offchip <= p.compute_ceiling);
+        assert!((p.achieved - 1000.0 / 2.0e5).abs() < 1e-15);
+        // Choke the NoC: the on-chip roof takes over.
+        let mut c = ceilings();
+        c.onchip_bits_per_ps = 1e-5;
+        assert_eq!(RooflinePoint::locate(&totals(), &c).bound, "onchip-bw");
+    }
+
+    #[test]
+    fn spatial_local_access_is_free_and_offchip_loses_the_penalty() {
+        let t = Technology::n5();
+        assert_eq!(SPATIAL.tile_access_energy(&t, 32).raw(), 0.0);
+        let span_move = t.wire_energy(32, t.chip.span());
+        assert_eq!(SPATIAL.offchip_energy(&t, 32), span_move);
+        // The analytic model charges `offchip_factor` times that.
+        let ratio = ANALYTIC.offchip_energy(&t, 32).raw() / span_move.raw();
+        assert!((ratio - t.offchip_factor).abs() < 1e-9);
+        // Wires stay distance-linear, same as analytic.
+        let d = Millimeters::new(3.0);
+        assert_eq!(SPATIAL.wire_energy(&t, 32, d), t.wire_energy(32, d));
+    }
+}

@@ -34,6 +34,7 @@
 //!   messages actually traverse links, so the two must agree (and tests
 //!   assert that they do).
 
+pub mod backend;
 pub mod chip;
 pub mod energy;
 pub mod ops;
@@ -41,6 +42,10 @@ pub mod ratios;
 pub mod technology;
 pub mod units;
 
+pub use backend::{
+    AnalyticBackend, CostBackend, CostModelKind, MachineCeilings, MappingTotals, RooflineBackend,
+    RooflinePoint, SpatialBackend,
+};
 pub use chip::ChipGeometry;
 pub use energy::{EnergyBreakdown, EnergyLedger};
 pub use ops::{OpClass, OpKind};

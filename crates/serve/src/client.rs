@@ -53,6 +53,11 @@ pub enum ClientError {
     /// from [`ClientError::Failed`] so callers can transparently reopen
     /// instead of pattern-matching error strings.
     NoSuchSession(NoSuchSessionReply),
+    /// The request named a `cost_model` the server does not implement
+    /// (or one that conflicts with the session's). Typed separately
+    /// from [`ClientError::Failed`] because the right recovery —
+    /// re-send under a supported model — is mechanical, not a retry.
+    UnknownCostModel(FailReply),
     /// The server answered with a response variant that does not match
     /// the request (protocol confusion; should not happen).
     Unexpected(&'static str),
@@ -72,6 +77,7 @@ impl std::fmt::Display for ClientError {
             ClientError::NoSuchSession(r) => {
                 write!(f, "no such session: {} (closed or evicted?)", r.session_id)
             }
+            ClientError::UnknownCostModel(e) => write!(f, "cost model refused: {}", e.error),
             ClientError::Unexpected(kind) => write!(f, "unexpected response variant: {kind}"),
         }
     }
@@ -96,6 +102,11 @@ impl ClientError {
     /// reused), not to retry.
     pub fn is_no_such_session(&self) -> bool {
         matches!(self, ClientError::NoSuchSession(_))
+    }
+
+    /// Did the server refuse the request's `cost_model` name?
+    pub fn is_unknown_cost_model(&self) -> bool {
+        matches!(self, ClientError::UnknownCostModel(_))
     }
 }
 
@@ -288,6 +299,7 @@ impl Client {
         match self.call(request)? {
             Response::Busy(b) => Err(ClientError::Busy(b)),
             Response::ShuttingDown => Err(ClientError::ShuttingDown),
+            Response::Failed(e) if e.kind == "cost-model" => Err(ClientError::UnknownCostModel(e)),
             Response::Failed(e) => Err(ClientError::Failed(e)),
             Response::NoSuchSession(r) => Err(ClientError::NoSuchSession(r)),
             other => Ok(other),
@@ -332,6 +344,9 @@ impl Client {
                 Response::TuneSharded(reply) => return Ok((parts, reply)),
                 Response::Busy(b) => return Err(ClientError::Busy(b)),
                 Response::ShuttingDown => return Err(ClientError::ShuttingDown),
+                Response::Failed(e) if e.kind == "cost-model" => {
+                    return Err(ClientError::UnknownCostModel(e))
+                }
                 Response::Failed(e) => return Err(ClientError::Failed(e)),
                 other => return Err(ClientError::Unexpected(other.kind())),
             }
@@ -395,6 +410,7 @@ impl Client {
         let request = SessionTuneRequest {
             session_id,
             deadline_ms,
+            cost_model: None,
         };
         match self.checked(&Request::SessionTune(request))? {
             Response::SessionTuned(r) => Ok(*r),

@@ -78,6 +78,7 @@ use fm_core::cost::Evaluator;
 use fm_core::dataflow::DataflowGraph;
 use fm_core::machine::MachineConfig;
 use fm_core::search::{FigureOfMerit, MappingCandidate};
+use fm_costmodel::CostModelKind;
 use fm_workspan::ThreadPool;
 
 use crate::fault::mix64;
@@ -223,6 +224,9 @@ struct RangeShared {
     epoch: u64,
     deadline: Option<Instant>,
     stream_every: Option<u64>,
+    /// Cost backend name forwarded verbatim to every shard attempt
+    /// (validated at coordinator admission).
+    cost_model: Option<String>,
     progress: Mutex<Progress>,
     /// Latched once `covered == hi`: every attempt still in flight
     /// abandons (dropping its socket cancels the shard's sub-search).
@@ -526,7 +530,15 @@ impl Fleet {
         let cap = req
             .max_candidates
             .map_or(offered, |n| (n as usize).min(offered));
-        let evaluator = Evaluator::new(&req.graph, &req.machine);
+        // The coordinator's model was validated at admission; local
+        // fallback evaluation must charge the same backend the shards
+        // were asked for, or merged winners would mix scoring rules.
+        let cost_model = req
+            .cost_model
+            .as_deref()
+            .and_then(CostModelKind::from_name)
+            .unwrap_or_default();
+        let evaluator = Evaluator::new(&req.graph, &req.machine).with_cost_model(cost_model);
         let local_candidates: Vec<MappingCandidate> = req.candidates[..cap]
             .iter()
             .map(|c| MappingCandidate::new(c.label.clone(), c.mapping.clone()))
@@ -817,6 +829,7 @@ fn run_range(
         epoch,
         deadline,
         stream_every: fleet.config.stream_every.filter(|&k| k > 0),
+        cost_model: req.cost_model.clone(),
         progress: Mutex::new(Progress {
             covered: lo,
             evaluated: 0,
@@ -1031,6 +1044,7 @@ fn run_attempt(
             .deadline
             .map(|d| (d.saturating_duration_since(Instant::now()).as_millis() as u64).max(1)),
         stream_every: range.stream_every,
+        cost_model: range.cost_model.clone(),
     });
     let payload = if binary {
         encode_request_binary(range.epoch, &request)
@@ -1347,6 +1361,7 @@ mod tests {
             epoch: 1,
             deadline: None,
             stream_every: Some(4),
+            cost_model: None,
             progress: Mutex::new(Progress {
                 covered: 8,
                 evaluated: 0,

@@ -12,6 +12,8 @@ use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use fm_core::cost::CostReport;
+use fm_costmodel::{CostModelKind, RooflinePoint};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
@@ -183,6 +185,9 @@ pub struct Metrics {
     /// Streamed `TuneShardPart` frames this server emitted while
     /// working sub-ranges for a fleet coordinator.
     pub tune_shard_parts: AtomicU64,
+    /// Per-cost-backend observatory: where each backend's winners land
+    /// on the machine roofline, and what they cost.
+    pub cost_models: CostModelObservatory,
     /// Fleet-coordinator counters, present only when this server runs
     /// with `--fleet` (set once at startup).
     pub fleet: Mutex<Option<Arc<FleetMetrics>>>,
@@ -220,6 +225,7 @@ impl Default for Metrics {
             dedup_batches: AtomicU64::new(0),
             dedup_waiters_served: AtomicU64::new(0),
             tune_shard_parts: AtomicU64::new(0),
+            cost_models: CostModelObservatory::default(),
             fleet: Mutex::new(None),
         }
     }
@@ -286,6 +292,7 @@ impl Metrics {
             sessions: self.sessions.snapshot(),
             stats: self.stats.snapshot(),
             ping: self.ping.snapshot(),
+            cost_models: self.cost_models.snapshot(),
             fleet: self.fleet.lock().as_ref().map(|f| f.snapshot()),
         }
     }
@@ -379,6 +386,138 @@ pub struct SessionStatsReply {
     pub cold_rebuilds: u64,
     /// Mean dirty-cone size per applied edit (0.0 before any edit).
     pub mean_dirty_cone: f64,
+}
+
+/// Relaxed atomic add for an `f64` stored as bits. Contended adds
+/// retry; no observation is lost, and the value is never torn.
+fn add_f64(cell: &AtomicU64, v: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(cur) + v).to_bits();
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// Lock-free counters for one cost backend's winning mappings.
+#[derive(Debug, Default)]
+pub struct CostModelCounters {
+    /// Tunes whose winner was charged under this backend.
+    tunes: AtomicU64,
+    /// Winners whose binding roof was the compute ceiling.
+    compute_bound: AtomicU64,
+    /// Winners bound by on-chip (NoC) bandwidth.
+    onchip_bound: AtomicU64,
+    /// Winners bound by off-chip (memory) bandwidth.
+    offchip_bound: AtomicU64,
+    /// Σ off-chip operational intensity (ops/bit), as f64 bits.
+    intensity_offchip_sum: AtomicU64,
+    /// Σ achieved throughput (ops/ps), as f64 bits.
+    achieved_sum: AtomicU64,
+    /// Σ winner energy (fJ), as f64 bits.
+    energy_fj_sum: AtomicU64,
+    /// Σ winner schedule time (ps), as f64 bits.
+    time_ps_sum: AtomicU64,
+}
+
+impl CostModelCounters {
+    fn snapshot(&self, model: CostModelKind) -> CostModelStatsReply {
+        let tunes = self.tunes.load(Ordering::Relaxed);
+        let mean = |bits: &AtomicU64| {
+            if tunes == 0 {
+                0.0
+            } else {
+                f64::from_bits(bits.load(Ordering::Relaxed)) / tunes as f64
+            }
+        };
+        CostModelStatsReply {
+            model: model.name().to_string(),
+            tunes,
+            compute_bound: self.compute_bound.load(Ordering::Relaxed),
+            onchip_bound: self.onchip_bound.load(Ordering::Relaxed),
+            offchip_bound: self.offchip_bound.load(Ordering::Relaxed),
+            mean_intensity_offchip: mean(&self.intensity_offchip_sum),
+            mean_achieved_ops_per_ps: mean(&self.achieved_sum),
+            total_energy_fj: f64::from_bits(self.energy_fj_sum.load(Ordering::Relaxed)),
+            total_time_ps: f64::from_bits(self.time_ps_sum.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// The roofline observatory: one [`CostModelCounters`] per backend.
+///
+/// Every completed tune drops its winner's [`RooflinePoint`] and cost
+/// report here, keyed by the backend that charged it, so `Stats` can
+/// answer "what did each cost model steer searches toward?" — e.g. the
+/// roofline backend's winners skewing compute-bound while analytic
+/// winners sit against the off-chip roof.
+#[derive(Debug, Default)]
+pub struct CostModelObservatory {
+    analytic: CostModelCounters,
+    roofline: CostModelCounters,
+    spatial: CostModelCounters,
+}
+
+impl CostModelObservatory {
+    fn slot(&self, kind: CostModelKind) -> &CostModelCounters {
+        match kind {
+            CostModelKind::Analytic => &self.analytic,
+            CostModelKind::Roofline => &self.roofline,
+            CostModelKind::Spatial => &self.spatial,
+        }
+    }
+
+    /// Record one tune's winning mapping under the backend that scored
+    /// it.
+    pub fn observe(&self, kind: CostModelKind, point: &RooflinePoint, report: &CostReport) {
+        let c = self.slot(kind);
+        c.tunes.fetch_add(1, Ordering::Relaxed);
+        let tally = match point.bound.as_str() {
+            "compute" => &c.compute_bound,
+            "onchip-bw" => &c.onchip_bound,
+            _ => &c.offchip_bound,
+        };
+        tally.fetch_add(1, Ordering::Relaxed);
+        add_f64(&c.intensity_offchip_sum, point.intensity_offchip);
+        add_f64(&c.achieved_sum, point.achieved);
+        add_f64(&c.energy_fj_sum, report.energy().raw());
+        add_f64(&c.time_ps_sum, report.time_ps.raw());
+    }
+
+    /// Snapshot the backends that have observed at least one tune, in
+    /// [`CostModelKind::ALL`] order.
+    pub fn snapshot(&self) -> Vec<CostModelStatsReply> {
+        CostModelKind::ALL
+            .iter()
+            .map(|&k| self.slot(k).snapshot(k))
+            .filter(|s| s.tunes > 0)
+            .collect()
+    }
+}
+
+/// Wire snapshot of one cost backend's observatory counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModelStatsReply {
+    /// Backend name (`"analytic"`, `"roofline"`, `"spatial"`).
+    pub model: String,
+    /// Tunes whose winner was charged under this backend.
+    pub tunes: u64,
+    /// Winners whose binding roof was the compute ceiling.
+    pub compute_bound: u64,
+    /// Winners bound by on-chip (NoC) bandwidth.
+    pub onchip_bound: u64,
+    /// Winners bound by off-chip (memory) bandwidth.
+    pub offchip_bound: u64,
+    /// Mean off-chip operational intensity of winners (ops/bit).
+    pub mean_intensity_offchip: f64,
+    /// Mean achieved throughput of winners (ops/ps).
+    pub mean_achieved_ops_per_ps: f64,
+    /// Total energy across winners (fJ).
+    pub total_energy_fj: f64,
+    /// Total schedule time across winners (ps).
+    pub total_time_ps: f64,
 }
 
 /// Breaker-state gauge values (stored in [`ShardMetrics::state`]).
@@ -730,6 +869,11 @@ pub struct StatsReply {
     pub stats: EndpointStats,
     /// `Ping` counters.
     pub ping: EndpointStats,
+    /// Per-cost-backend observatory rows (only backends that have
+    /// scored at least one tune). Absent on pre-observatory servers —
+    /// decoded as empty.
+    #[serde(default)]
+    pub cost_models: Vec<CostModelStatsReply>,
     /// Fleet-coordinator counters (`None` unless serving with
     /// `--fleet`).
     pub fleet: Option<FleetStatsReply>,
@@ -833,6 +977,63 @@ mod tests {
             s.observe_rate(50, Duration::from_secs(1));
         }
         assert!((s.ewma_rate() - 50.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn cost_model_observatory_tallies_winners() {
+        use fm_costmodel::{EnergyLedger, Picoseconds};
+        let m = Metrics::default();
+        assert!(
+            m.snapshot(8).cost_models.is_empty(),
+            "no rows before any tune"
+        );
+        let report = CostReport {
+            name: "t".into(),
+            cycles: 10,
+            time_ps: Picoseconds::new(2000.0),
+            ledger: EnergyLedger::default(),
+            peak_tile_bits: 0,
+            pes_used: 1,
+            utilization: 1.0,
+            elements: 1,
+        };
+        let point = RooflinePoint {
+            intensity_onchip: 1.0,
+            intensity_offchip: 2.0,
+            compute_ceiling: 4.0,
+            attainable_onchip: 4.0,
+            attainable_offchip: 4.0,
+            achieved: 0.5,
+            bound: "offchip-bw".to_string(),
+        };
+        m.cost_models
+            .observe(CostModelKind::Roofline, &point, &report);
+        m.cost_models
+            .observe(CostModelKind::Roofline, &point, &report);
+        let rows = m.snapshot(8).cost_models;
+        assert_eq!(rows.len(), 1, "only the observed backend appears");
+        assert_eq!(rows[0].model, "roofline");
+        assert_eq!(rows[0].tunes, 2);
+        assert_eq!(rows[0].offchip_bound, 2);
+        assert_eq!(rows[0].compute_bound, 0);
+        assert!((rows[0].mean_intensity_offchip - 2.0).abs() < 1e-12);
+        assert!((rows[0].total_time_ps - 4000.0).abs() < 1e-9);
+        // And the wire snapshot round-trips with the new section.
+        let snap = m.snapshot(8);
+        let text = serde_json::to_string(&snap).unwrap();
+        let back: StatsReply = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, snap);
+        // Old servers omit the section entirely; it decodes as empty.
+        let stripped = text.replace(
+            &format!(
+                "\"cost_models\":{},",
+                serde_json::to_string(&snap.cost_models).unwrap()
+            ),
+            "",
+        );
+        assert_ne!(stripped, text, "test must actually strip the field");
+        let old: StatsReply = serde_json::from_str(&stripped).unwrap();
+        assert!(old.cost_models.is_empty());
     }
 
     #[test]

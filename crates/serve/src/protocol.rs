@@ -82,6 +82,13 @@ pub struct TuneRequest {
     /// Participate in the server's persistent tuning cache (replay hits,
     /// store misses). `false` forces a cold search.
     pub use_cache: bool,
+    /// Cost backend to charge and rank under: `"analytic"` (the
+    /// default, also used when absent), `"roofline"`, or `"spatial"`.
+    /// An unknown name is refused with a typed `Failed` reply (kind
+    /// `"cost-model"`) — never silently defaulted. Old servers ignore
+    /// this field; old clients simply never send it.
+    #[serde(default)]
+    pub cost_model: Option<String>,
 }
 
 /// `TuneShard`: evaluate one contiguous **sub-range** of a larger
@@ -114,6 +121,11 @@ pub struct TuneShardRequest {
     /// straggler's finished prefix incrementally instead of forfeiting
     /// it. `None` (or 0) keeps the classic single blocking reply.
     pub stream_every: Option<u64>,
+    /// Cost backend the coordinator's client asked for; shards must
+    /// score under the same model or the merged winner would be
+    /// meaningless. Unknown names are refused (kind `"cost-model"`).
+    #[serde(default)]
+    pub cost_model: Option<String>,
 }
 
 /// The winning candidate of one shard's sub-range.
@@ -173,15 +185,11 @@ pub struct TuneShardReply {
 
 /// FNV-1a 64-bit. Not cryptographic — but a single flipped byte always
 /// changes it (each step `h = (h ^ b) * PRIME` is bijective in `h` for
-/// a fixed byte, so differing prefixes never re-converge).
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
-}
+/// a fixed byte, so differing prefixes never re-converge). The one
+/// shared workspace implementation lives next to the tuning-cache
+/// fingerprints; this is a re-export so existing
+/// `crate::protocol::fnv1a64` callers keep working.
+pub use fm_autotune::fnv1a64;
 
 impl TuneShardReply {
     /// The checksum a well-formed reply carries for `(epoch, body)`.
@@ -373,6 +381,11 @@ pub struct SessionOpenRequest {
     /// Early-stop each tune after this many candidates without
     /// improvement.
     pub convergence_window: Option<u64>,
+    /// Cost backend every tune in this session charges and ranks
+    /// under, frozen at open like the candidate set. Unknown names are
+    /// refused (kind `"cost-model"`).
+    #[serde(default)]
+    pub cost_model: Option<String>,
 }
 
 /// The answer to a [`SessionOpenRequest`].
@@ -467,6 +480,13 @@ pub struct SessionTuneRequest {
     pub session_id: u64,
     /// Per-request deadline in milliseconds, measured from admission.
     pub deadline_ms: Option<u64>,
+    /// Cost backend to tune under. Sessions bake the backend at open
+    /// ([`SessionOpenRequest::cost_model`]): this field must be absent
+    /// or name the same backend, anything else is refused (kind
+    /// `"cost-model"`) — a mid-session model switch would invalidate
+    /// every warm score.
+    #[serde(default)]
+    pub cost_model: Option<String>,
 }
 
 /// The answer to a [`SessionTuneRequest`].
@@ -700,7 +720,8 @@ pub struct SimulateReply {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FailReply {
     /// Machine-readable category: `"protocol"`, `"deadline"`,
-    /// `"illegal"`, `"sim"`, `"session"`, or `"internal"`.
+    /// `"illegal"`, `"sim"`, `"session"`, `"cost-model"` (unknown or
+    /// mismatched `cost_model` name), or `"internal"`.
     pub kind: String,
     /// Human-readable detail.
     pub error: String,
@@ -1550,16 +1571,21 @@ mod tests {
             candidates: vec![],
             max_candidates: Some(8),
             convergence_window: None,
+            cost_model: Some("spatial".to_string()),
         });
         assert_eq!(open.endpoint(), "session_open");
         match decode_request(&encode_request(&open)).unwrap() {
-            Request::SessionOpen(r) => assert_eq!(r.max_candidates, Some(8)),
+            Request::SessionOpen(r) => {
+                assert_eq!(r.max_candidates, Some(8));
+                assert_eq!(r.cost_model.as_deref(), Some("spatial"));
+            }
             other => panic!("expected SessionOpen, got {}", other.endpoint()),
         }
 
         let tune = Request::SessionTune(SessionTuneRequest {
             session_id: 5,
             deadline_ms: Some(250),
+            cost_model: None,
         });
         assert_eq!(tune.endpoint(), "session_tune");
         let close = Request::SessionClose(SessionCloseRequest { session_id: 5 });
@@ -1610,6 +1636,7 @@ mod tests {
             convergence_window: Some(4),
             refinement: None,
             use_cache: true,
+            cost_model: Some("roofline".to_string()),
         });
         let payload = encode_request_binary(0xDEAD_BEEF_0042, &req);
         assert!(is_binary(&payload));

@@ -43,6 +43,7 @@ use fm_autotune::{Budget, CacheStatus, CancelToken, Tuner, TuningCache};
 use fm_core::cost::Evaluator;
 use fm_core::legality::check;
 use fm_core::search::MappingCandidate;
+use fm_costmodel::CostModelKind;
 use fm_grid::{SimConfig, Simulator};
 use fm_workspan::ThreadPool;
 
@@ -271,11 +272,27 @@ fn tune_dedup_key(req: &TuneRequest) -> (u64, Arc<String>) {
         serde_json::to_string(&req.convergence_window).expect("budget serializes"),
         serde_json::to_string(&req.refinement).expect("refinement serializes"),
         serde_json::to_string(&req.use_cache).expect("flag serializes"),
+        serde_json::to_string(&req.cost_model).expect("cost model serializes"),
     ] {
         text.push_str(&part);
         text.push('\u{1}');
     }
     (crate::protocol::fnv1a64(text.as_bytes()), Arc::new(text))
+}
+
+/// Resolve a request's optional `cost_model` name. Unknown names are a
+/// typed refusal (kind `"cost-model"`), never a silent fall-back to
+/// the default — a client asking for a model this server doesn't
+/// implement must find out, not get analytic numbers labeled as
+/// something else.
+fn parse_cost_model(name: Option<&str>) -> Result<CostModelKind, FailReply> {
+    match name {
+        None => Ok(CostModelKind::Analytic),
+        Some(n) => CostModelKind::from_name(n).ok_or_else(|| FailReply {
+            kind: "cost-model".to_string(),
+            error: format!("unknown cost model {n:?} (expected analytic, roofline, or spatial)"),
+        }),
+    }
 }
 
 /// A running server. Obtain with [`Server::start`]; stop with
@@ -1112,11 +1129,14 @@ fn worker_main(shared: &Arc<Shared>) {
         };
 
         let response = catch_unwind(AssertUnwindSafe(|| match request {
-            Request::Tune(req) => match &shared.fleet {
-                Some(fleet) if fleet.eligible(&req) => {
-                    Response::Tuned(fleet.tune(&req, &cancel, deadline, &shared.pool))
-                }
-                _ => exec_tune(shared, req, &cancel, deadline),
+            Request::Tune(req) => match parse_cost_model(req.cost_model.as_deref()) {
+                Err(refusal) => Response::Failed(refusal),
+                Ok(_) => match &shared.fleet {
+                    Some(fleet) if fleet.eligible(&req) => {
+                        Response::Tuned(fleet.tune(&req, &cancel, deadline, &shared.pool))
+                    }
+                    _ => exec_tune(shared, req, &cancel, deadline),
+                },
             },
             Request::TuneShard(req) => exec_tune_shard(shared, req, &cancel, deadline, &reply),
             Request::Evaluate(_) | Request::Simulate(_) if expired => Response::Failed(FailReply {
@@ -1199,9 +1219,14 @@ fn exec_tune(
         convergence_window,
         refinement,
         use_cache,
+        cost_model,
         ..
     } = req;
-    let evaluator = Evaluator::new(&graph, &machine);
+    let cost_model = match parse_cost_model(cost_model.as_deref()) {
+        Ok(kind) => kind,
+        Err(refusal) => return Response::Failed(refusal),
+    };
+    let evaluator = Evaluator::new(&graph, &machine).with_cost_model(cost_model);
     let candidates: Vec<MappingCandidate> = candidates
         .into_iter()
         .map(|c| MappingCandidate::new(c.label, c.mapping))
@@ -1229,6 +1254,13 @@ fn exec_tune(
         }
     }
     let report = tuner.tune(&candidates);
+    if let Some(best) = &report.best {
+        let point = evaluator.roofline(&best.report);
+        shared
+            .metrics
+            .cost_models
+            .observe(cost_model, &point, &best.report);
+    }
     match report.cache {
         CacheStatus::Hit => shared.metrics.cache_hits.fetch_add(1, Ordering::Relaxed),
         CacheStatus::Miss => shared.metrics.cache_misses.fetch_add(1, Ordering::Relaxed),
@@ -1259,7 +1291,12 @@ fn exec_session_open(shared: &Shared, req: SessionOpenRequest) -> Response {
         candidates,
         max_candidates,
         convergence_window,
+        cost_model,
     } = req;
+    let cost_model = match parse_cost_model(cost_model.as_deref()) {
+        Ok(kind) => kind,
+        Err(refusal) => return Response::Failed(refusal),
+    };
     let candidates: Vec<MappingCandidate> = candidates
         .into_iter()
         .map(|c| MappingCandidate::new(c.label, c.mapping))
@@ -1272,7 +1309,7 @@ fn exec_session_open(shared: &Shared, req: SessionOpenRequest) -> Response {
     if let Some(w) = convergence_window {
         budget.convergence_window = Some(w as usize);
     }
-    let state = SessionState::open(graph, machine, fom, candidates, budget);
+    let state = SessionState::open(graph, machine, fom, candidates, budget, cost_model);
     let session_id = shared.sessions.open(state);
     shared
         .metrics
@@ -1352,6 +1389,10 @@ fn exec_session_tune(
     cancel: &CancelToken,
     deadline: Option<Instant>,
 ) -> Response {
+    let requested = match parse_cost_model(req.cost_model.as_deref()) {
+        Ok(kind) => kind,
+        Err(refusal) => return Response::Failed(refusal),
+    };
     let Some(slot) = shared.sessions.get(req.session_id) else {
         shared
             .metrics
@@ -1363,6 +1404,21 @@ fn exec_session_tune(
         });
     };
     let mut state = slot.lock();
+    // The backend is baked at open: warm per-candidate scores are only
+    // comparable under the model that produced them, so a mid-session
+    // switch is refused rather than silently re-ranked.
+    if req.cost_model.is_some() && requested != state.cost_model() {
+        return Response::Failed(FailReply {
+            kind: "cost-model".to_string(),
+            error: format!(
+                "session {} was opened under cost model {:?} but the tune asked for {:?}; \
+                 open a new session to switch models",
+                req.session_id,
+                state.cost_model().name(),
+                requested.name()
+            ),
+        });
+    }
     let out = state.tune(deadline, cancel);
     let s = &shared.metrics.sessions;
     if out.warm {
@@ -1372,6 +1428,13 @@ fn exec_session_tune(
         s.cold_rebuilds.fetch_add(out.rebuilds, Ordering::Relaxed);
     }
     let report = out.report;
+    if let Some(best) = &report.best {
+        let point = state.roofline(&best.report);
+        shared
+            .metrics
+            .cost_models
+            .observe(state.cost_model(), &point, &best.report);
+    }
     Response::SessionTuned(Box::new(SessionTunedReply {
         session_id: req.session_id,
         epoch: out.epoch,
@@ -1472,9 +1535,14 @@ fn exec_tune_shard(
         start_index,
         epoch,
         stream_every,
+        cost_model,
         ..
     } = req;
-    let evaluator = Evaluator::new(&graph, &machine);
+    let cost_model = match parse_cost_model(cost_model.as_deref()) {
+        Ok(kind) => kind,
+        Err(refusal) => return Response::Failed(refusal),
+    };
+    let evaluator = Evaluator::new(&graph, &machine).with_cost_model(cost_model);
     let candidates: Vec<MappingCandidate> = candidates
         .into_iter()
         .map(|c| MappingCandidate::new(c.label, c.mapping))

@@ -38,11 +38,12 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 
 use fm_autotune::{Budget, CancelToken, TuneReport, Tuner, WarmCache};
-use fm_core::cost::Evaluator;
+use fm_core::cost::{CostReport, Evaluator};
 use fm_core::dataflow::{DataflowGraph, MutationError};
 use fm_core::machine::MachineConfig;
 use fm_core::mutate::{apply_edit, GraphEdit};
 use fm_core::search::{FigureOfMerit, MappingCandidate};
+use fm_costmodel::{CostModelKind, RooflinePoint};
 
 /// One live session: the mutable (graph, machine) pair, the candidate
 /// list, and the warm per-candidate state repaired across edits.
@@ -51,6 +52,7 @@ pub struct SessionState {
     machine: MachineConfig,
     fom: FigureOfMerit,
     budget: Budget,
+    cost_model: CostModelKind,
     warm: WarmCache,
     /// Bumped once per applied edit batch; edit requests must quote it.
     pub epoch: u64,
@@ -112,9 +114,10 @@ impl SessionState {
         fom: FigureOfMerit,
         candidates: Vec<MappingCandidate>,
         budget: Budget,
+        cost_model: CostModelKind,
     ) -> SessionState {
         let warm = {
-            let ev = Evaluator::new(&graph, &machine);
+            let ev = Evaluator::new(&graph, &machine).with_cost_model(cost_model);
             WarmCache::new(&ev, candidates)
         };
         SessionState {
@@ -122,6 +125,7 @@ impl SessionState {
             machine,
             fom,
             budget,
+            cost_model,
             warm,
             epoch: 0,
             edits_applied: 0,
@@ -133,6 +137,19 @@ impl SessionState {
     /// Current number of graph nodes (for smoke checks and logs).
     pub fn graph_len(&self) -> usize {
         self.graph.len()
+    }
+
+    /// The cost backend every tune in this session runs under (baked
+    /// at open).
+    pub fn cost_model(&self) -> CostModelKind {
+        self.cost_model
+    }
+
+    /// Where a report sits under this session's machine roofline.
+    pub fn roofline(&self, report: &CostReport) -> RooflinePoint {
+        Evaluator::new(&self.graph, &self.machine)
+            .with_cost_model(self.cost_model)
+            .roofline(report)
     }
 
     /// Apply one edit batch atomically: every edit applies and the
@@ -160,7 +177,7 @@ impl SessionState {
         for edit in edits {
             let receipt =
                 apply_edit(&mut self.graph, &mut self.machine, edit).expect("batch rehearsed");
-            let ev = Evaluator::new(&self.graph, &self.machine);
+            let ev = Evaluator::new(&self.graph, &self.machine).with_cost_model(self.cost_model);
             cone += self.warm.apply_edit(&ev, &receipt);
         }
         self.epoch += 1;
@@ -186,7 +203,7 @@ impl SessionState {
         }
         let rebuilds_before = self.warm.rebuilds();
         let report = {
-            let ev = Evaluator::new(&self.graph, &self.machine);
+            let ev = Evaluator::new(&self.graph, &self.machine).with_cost_model(self.cost_model);
             let report = Tuner::new(&ev, &self.graph, &self.machine, self.fom)
                 .with_budget(budget)
                 .with_cancel(cancel.clone())
@@ -332,6 +349,7 @@ mod tests {
             FigureOfMerit::Edp,
             cands,
             Budget::unlimited(),
+            CostModelKind::Analytic,
         )
     }
 

@@ -57,6 +57,7 @@ fn tune_request(graph: &DataflowGraph, machine: &MachineConfig, ncand: usize) ->
         convergence_window: None,
         refinement: None,
         use_cache: false,
+        cost_model: None,
     }
 }
 

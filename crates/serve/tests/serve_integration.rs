@@ -59,6 +59,7 @@ fn tune_request(
         convergence_window: None,
         refinement: None,
         use_cache: false,
+        cost_model: None,
     }
 }
 
@@ -295,4 +296,95 @@ fn shutdown_drains_and_refuses_late_work() {
     let stats = handle.join();
     assert_eq!(stats.queue_depth, 0);
     assert_eq!(stats.tune.completed, 1);
+}
+
+#[test]
+fn unknown_cost_model_is_a_typed_refusal_on_both_framings() {
+    let graph = wide(6);
+    let machine = MachineConfig::linear(4);
+    let handle = start(ServerConfig::default());
+
+    let json = Client::connect_json(handle.local_addr()).unwrap();
+    let binary = Client::connect(handle.local_addr()).unwrap();
+    assert!(binary.is_binary(), "new server must negotiate binary");
+    for mut client in [json, binary] {
+        let mut req = tune_request(&graph, &machine, 4, None);
+        req.cost_model = Some("quantum".to_string());
+        let err = client.tune(req).expect_err("unknown model must refuse");
+        assert!(err.is_unknown_cost_model(), "got {err}");
+        match err {
+            ClientError::UnknownCostModel(f) => {
+                assert_eq!(f.kind, "cost-model");
+                assert!(
+                    f.error.contains("quantum"),
+                    "error names the model: {}",
+                    f.error
+                );
+                assert!(
+                    f.error.contains("roofline"),
+                    "error lists the options: {}",
+                    f.error
+                );
+            }
+            other => panic!("expected UnknownCostModel, got {other}"),
+        }
+        // The refusal is a reply, not a protocol error: the connection
+        // survives and the next request is served normally.
+        client
+            .ping()
+            .expect("connection stays usable after refusal");
+        let ok = client
+            .tune(tune_request(&graph, &machine, 4, None))
+            .unwrap();
+        assert!(ok.best.is_some());
+    }
+    let stats = handle.shutdown_and_join();
+    assert_eq!(stats.tune.failed, 2, "one typed failure per framing");
+}
+
+#[test]
+fn named_backends_rank_like_their_direct_evaluators() {
+    let graph = wide(24);
+    let machine = MachineConfig::linear(8);
+    let handle = start(ServerConfig::default());
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    let candidates: Vec<MappingCandidate> = affine_candidates(40, machine.cols)
+        .into_iter()
+        .map(|c| MappingCandidate::new(c.label, c.mapping))
+        .collect();
+    for (name, kind) in [
+        ("analytic", fm_costmodel::CostModelKind::Analytic),
+        ("roofline", fm_costmodel::CostModelKind::Roofline),
+        ("spatial", fm_costmodel::CostModelKind::Spatial),
+    ] {
+        let mut req = tune_request(&graph, &machine, 40, None);
+        req.cost_model = Some(name.to_string());
+        let served = client.tune(req).unwrap().best.expect("winner");
+
+        let evaluator = Evaluator::new(&graph, &machine).with_cost_model(kind);
+        let direct = Tuner::new(&evaluator, &graph, &machine, FigureOfMerit::Time)
+            .tune(&candidates)
+            .best
+            .expect("direct winner");
+        assert_eq!(served.label, direct.label, "winner under {name}");
+        assert_eq!(
+            served.score.to_bits(),
+            direct.score.to_bits(),
+            "score bits under {name}"
+        );
+    }
+
+    // Every backend's winner passed through the roofline observatory.
+    let stats = handle.shutdown_and_join();
+    assert_eq!(stats.cost_models.len(), 3);
+    for row in &stats.cost_models {
+        assert_eq!(row.tunes, 1, "{} saw one tune", row.model);
+        assert_eq!(
+            row.compute_bound + row.onchip_bound + row.offchip_bound,
+            1,
+            "{} winner landed on exactly one roof",
+            row.model
+        );
+    }
 }

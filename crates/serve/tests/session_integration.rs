@@ -16,7 +16,7 @@ use fm_core::search::{FigureOfMerit, MappingCandidate};
 use fm_core::value::Value;
 use fm_serve::client::{Client, ClientError};
 use fm_serve::protocol::{
-    Request, Response, SessionEditRequest, SessionOpenRequest, WireCandidate,
+    Request, Response, SessionEditRequest, SessionOpenRequest, SessionTuneRequest, WireCandidate,
 };
 use fm_serve::server::{Server, ServerConfig};
 
@@ -61,6 +61,7 @@ fn open_request(g: &DataflowGraph, m: &MachineConfig) -> SessionOpenRequest {
         candidates: candidates(g),
         max_candidates: None,
         convergence_window: None,
+        cost_model: None,
     }
 }
 
@@ -311,4 +312,67 @@ fn concurrent_disjoint_sessions_stay_isolated() {
     );
 
     handle.shutdown_and_join();
+}
+
+#[test]
+fn session_cost_model_is_baked_at_open_and_switches_are_refused() {
+    let g = chain(6);
+    let m = MachineConfig::linear(4);
+    let handle = start(ServerConfig::default());
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    // An unknown model at open is the same typed refusal tunes get.
+    let mut bad = open_request(&g, &m);
+    bad.cost_model = Some("quantum".to_string());
+    let err = client.session_open(bad).expect_err("unknown model at open");
+    assert!(err.is_unknown_cost_model(), "got {err}");
+
+    // Open under roofline, then try to tune under spatial: refused
+    // with a typed reply that names both models, and the session is
+    // untouched — the same id still tunes fine afterwards.
+    let mut open = open_request(&g, &m);
+    open.cost_model = Some("roofline".to_string());
+    let opened = client.session_open(open).unwrap();
+    let switch = Request::SessionTune(SessionTuneRequest {
+        session_id: opened.session_id,
+        deadline_ms: None,
+        cost_model: Some("spatial".to_string()),
+    });
+    match client.call(&switch).unwrap() {
+        Response::Failed(f) => {
+            assert_eq!(f.kind, "cost-model");
+            assert!(
+                f.error.contains("roofline") && f.error.contains("spatial"),
+                "refusal names both models: {}",
+                f.error
+            );
+        }
+        other => panic!("expected Failed, got {}", other.kind()),
+    }
+    // Restating the session's own model is not a switch; so is saying
+    // nothing at all.
+    for restated in [Some("roofline".to_string()), None] {
+        let req = Request::SessionTune(SessionTuneRequest {
+            session_id: opened.session_id,
+            deadline_ms: None,
+            cost_model: restated,
+        });
+        match client.call(&req).unwrap() {
+            Response::SessionTuned(r) => assert!(r.reply.best.is_some()),
+            other => panic!("expected SessionTuned, got {}", other.kind()),
+        }
+    }
+
+    let stats = handle.shutdown_and_join();
+    assert_eq!(
+        stats.session_tune.failed, 1,
+        "exactly the switch attempt failed"
+    );
+    // Both successful warm tunes were observed under roofline.
+    let row = stats
+        .cost_models
+        .iter()
+        .find(|r| r.model == "roofline")
+        .expect("roofline row in the observatory");
+    assert_eq!(row.tunes, 2);
 }

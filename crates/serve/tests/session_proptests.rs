@@ -139,6 +139,7 @@ proptest! {
             FigureOfMerit::Time,
             frozen.clone(),
             Budget::unlimited(),
+            fm_costmodel::CostModelKind::Analytic,
         );
 
         // The winner of the untouched session already matches cold.

@@ -145,6 +145,7 @@ proptest! {
                 convergence_window: use_cache.then_some(8),
                 refinement: None,
                 use_cache,
+                cost_model: use_cache.then(|| "roofline".to_string()),
             }),
             Request::Evaluate(EvaluateRequest {
                 graph: graph.clone(),
@@ -238,6 +239,7 @@ proptest! {
             convergence_window: None,
             refinement: None,
             use_cache: false,
+            cost_model: None,
         });
         write_frame(&mut buf, &encode_request(&req)).unwrap();
         let cut = cut.min(buf.len().saturating_sub(1));
@@ -347,6 +349,7 @@ proptest! {
                 convergence_window: use_cache.then_some(8),
                 refinement: None,
                 use_cache,
+                cost_model: use_cache.then(|| "spatial".to_string()),
             }),
             Request::TuneShard(TuneShardRequest {
                 graph: graph.clone(),
@@ -357,6 +360,7 @@ proptest! {
                 epoch,
                 deadline_ms,
                 stream_every: with_deadline.then_some(16),
+                cost_model: use_cache.then(|| "roofline".to_string()),
             }),
             Request::Evaluate(EvaluateRequest {
                 graph: graph.clone(),
@@ -379,9 +383,10 @@ proptest! {
                 candidates: candidates(ncand),
                 max_candidates: with_deadline.then_some(deadline + 1),
                 convergence_window: use_cache.then_some(8),
+                cost_model: use_cache.then(|| "analytic".to_string()),
             }),
             Request::SessionEdit(SessionEditRequest::seal(session_id, epoch, vec![])),
-            Request::SessionTune(SessionTuneRequest { session_id, deadline_ms }),
+            Request::SessionTune(SessionTuneRequest { session_id, deadline_ms, cost_model: None }),
             Request::SessionClose(SessionCloseRequest { session_id }),
             Request::Stats,
             Request::Shutdown,
@@ -525,6 +530,7 @@ proptest! {
             convergence_window: None,
             refinement: None,
             use_cache: false,
+            cost_model: None,
         });
         let mut frame = encode_request_binary(corr, &req);
         let at = flip_at % frame.len();
@@ -555,6 +561,7 @@ proptest! {
                 convergence_window: None,
                 refinement: None,
                 use_cache: false,
+                cost_model: None,
             }),
         );
         // A 4-node tune frame is always far larger than 32 bytes.

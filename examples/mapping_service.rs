@@ -76,6 +76,7 @@ fn main() {
             convergence_window: None,
             refinement: None,
             use_cache: std::env::var("FM_SERVE_UNCACHED").as_deref() != Ok("1"),
+            cost_model: None,
         })
         .expect("tune");
     let best = reply.best.expect("a legal mapping exists");

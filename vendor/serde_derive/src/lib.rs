@@ -8,7 +8,11 @@
 //!   unit structs;
 //! * enums with unit, tuple, and struct variants;
 //! * the `#[serde(skip)]` field attribute (field omitted on
-//!   serialization, filled from `Default` on deserialization).
+//!   serialization, filled from `Default` on deserialization);
+//! * the `#[serde(default)]` field attribute (field serialized
+//!   normally, but a missing key on deserialization falls back to
+//!   `Default::default()` instead of erroring — the wire-compatible
+//!   way to add a field to an existing protocol struct).
 //!
 //! Generic types and other `#[serde(...)]` attributes are rejected
 //! with a compile error rather than silently mis-handled.
@@ -19,6 +23,7 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 struct Field {
     name: String, // named field name, or tuple index as a string
     skip: bool,
+    default: bool,
 }
 
 #[derive(Debug)]
@@ -84,10 +89,11 @@ impl Cursor {
         self.pos >= self.tokens.len()
     }
 
-    /// Consume a run of outer attributes; true if any of them is
-    /// exactly `#[serde(skip)]`.
-    fn skip_attributes(&mut self) -> bool {
+    /// Consume a run of outer attributes; returns `(skip, default)`
+    /// for `#[serde(skip)]` / `#[serde(default)]`.
+    fn skip_attributes(&mut self) -> (bool, bool) {
         let mut has_skip = false;
+        let mut has_default = false;
         loop {
             match self.peek() {
                 Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
@@ -99,16 +105,18 @@ impl Cursor {
                                 body.chars().filter(|c| !c.is_whitespace()).collect();
                             if compact == "serde(skip)" {
                                 has_skip = true;
+                            } else if compact == "serde(default)" {
+                                has_default = true;
                             } else if compact.starts_with("serde(") {
                                 panic!(
-                                    "vendored serde_derive supports only #[serde(skip)], got #[{body}]"
+                                    "vendored serde_derive supports only #[serde(skip)] and #[serde(default)], got #[{body}]"
                                 );
                             }
                         }
                         other => panic!("malformed attribute: expected [...], got {other:?}"),
                     }
                 }
-                _ => return has_skip,
+                _ => return (has_skip, has_default),
             }
         }
     }
@@ -158,7 +166,7 @@ fn parse_named_fields(group: TokenStream) -> Vec<Field> {
     let mut c = Cursor::new(group);
     let mut fields = Vec::new();
     while !c.at_end() {
-        let skip = c.skip_attributes();
+        let (skip, default) = c.skip_attributes();
         if c.at_end() {
             break;
         }
@@ -169,7 +177,11 @@ fn parse_named_fields(group: TokenStream) -> Vec<Field> {
             other => panic!("expected `:` after field `{name}`, got {other:?}"),
         }
         c.skip_type_to_comma();
-        fields.push(Field { name, skip });
+        fields.push(Field {
+            name,
+            skip,
+            default,
+        });
     }
     fields
 }
@@ -179,7 +191,7 @@ fn parse_tuple_fields(group: TokenStream) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut index = 0usize;
     while !c.at_end() {
-        let skip = c.skip_attributes();
+        let (skip, default) = c.skip_attributes();
         if c.at_end() {
             break;
         }
@@ -188,6 +200,7 @@ fn parse_tuple_fields(group: TokenStream) -> Vec<Field> {
         fields.push(Field {
             name: index.to_string(),
             skip,
+            default,
         });
         index += 1;
     }
@@ -378,6 +391,14 @@ fn gen_deserialize(item: &Item) -> String {
                         "{n}: ::std::default::Default::default(),\n",
                         n = f.name
                     ));
+                } else if f.default {
+                    inits.push_str(&format!(
+                        "{n}: match __v.get(\"{n}\") {{\n\
+                         Some(__x) => ::serde::Deserialize::from_json(__x)?,\n\
+                         None => ::std::default::Default::default(),\n\
+                         }},\n",
+                        n = f.name
+                    ));
                 } else {
                     inits.push_str(&format!(
                         "{n}: ::serde::Deserialize::from_json(__v.get(\"{n}\")\
@@ -464,6 +485,14 @@ fn gen_deserialize(item: &Item) -> String {
                             if f.skip {
                                 inits.push_str(&format!(
                                     "{n}: ::std::default::Default::default(),\n",
+                                    n = f.name
+                                ));
+                            } else if f.default {
+                                inits.push_str(&format!(
+                                    "{n}: match __payload.get(\"{n}\") {{\n\
+                                     Some(__x) => ::serde::Deserialize::from_json(__x)?,\n\
+                                     None => ::std::default::Default::default(),\n\
+                                     }},\n",
                                     n = f.name
                                 ));
                             } else {
