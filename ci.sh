@@ -84,6 +84,20 @@ cargo run --release -q -p fm-bench --bin table_e20_costmodels -- --quick --json 
 [ -s "$e20_dir/BENCH_e20.json" ] || { echo "costmodel-smoke: E20 emitted no JSON"; exit 1; }
 rm -rf "$e20_dir"
 
+echo "== churn-smoke: elastic membership chaos + E21 quick run =="
+# Membership chaos first: wire join/leave reshaping a live roster, the
+# throughput-cliff suffix re-dispatch, departure mid-tune, the seeded
+# churn proptest, and — explicitly — a coordinator restarted against a
+# deliberately corrupted weight ledger falling back to cold weights.
+# Then the E21 quick run: the binary asserts winner parity in both
+# arms, a fired cliff detector, persisted weights after the mid-suite
+# restart, zero discarded sealed parts, and the adaptive-vs-static
+# wall-clock bar, exiting non-zero on any violation.
+cargo test --release -q -p fm-serve --test fleet_faults -- \
+    membership_join_and_leave corrupt_ledger_falls_back \
+    persisted_weights_survive throughput_cliff departed_shard seeded_churn
+cargo run --release -q -p fm-bench --bin table_e21_churn -- --quick --no-json >/dev/null
+
 echo "== serve-smoke: daemon + example over the wire =="
 # Launch the real daemon on an ephemeral port, run the example against
 # it (FM_SERVE_SHUTDOWN=1 makes the example request the drain), and

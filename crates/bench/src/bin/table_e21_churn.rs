@@ -1,0 +1,84 @@
+//! Regenerates the E21 table (elastic fleet under churn: throughput
+//! cliff, wire join/leave, mid-suite ledger restart) and writes
+//! `BENCH_e21.json` with the raw rows.
+//!
+//! Validates the experiment's acceptance criteria and exits non-zero
+//! if any fails: bit-identical winner in every tune of both arms, zero
+//! discarded sealed parts, the cliff detector actually fired, the
+//! restarted coordinator came back with *persisted* weights, and the
+//! adaptive arm beat the static arm on wall-clock (≥ 1.3× on full
+//! runs; the bar relaxes to 1.1× under `--quick` — short runs are
+//! noisier).
+//!
+//! `--quick` shrinks the tune count and collapse factor for a fast
+//! smoke run, e.g. from `ci.sh`. `--json PATH` overrides the JSON
+//! output path; `--no-json` suppresses it.
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let no_json = args.iter().any(|a| a == "--no-json");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_e21.json".to_string());
+    let rows = fm_bench::e21_churn::run(quick);
+    print!("{}", fm_bench::e21_churn::print(&rows));
+
+    let mut failures = Vec::new();
+    for r in &rows {
+        if !r.winner_bit_identical {
+            failures.push(format!(
+                "{}: winner diverged from single-machine tune",
+                r.scenario
+            ));
+        }
+        if r.parts_discarded != 0 {
+            failures.push(format!(
+                "{}: {} sealed parts discarded (must be 0)",
+                r.scenario, r.parts_discarded
+            ));
+        }
+    }
+    if let Some(adaptive) = rows.iter().find(|r| r.scenario == "adaptive") {
+        if adaptive.cliff_redispatches == 0 {
+            failures.push("adaptive: cliff detector never fired".to_string());
+        }
+        if adaptive.joins == 0 || adaptive.leaves == 0 {
+            failures.push("adaptive: membership never churned".to_string());
+        }
+        if adaptive.weight_source_after_restart != "persisted" {
+            failures.push(format!(
+                "adaptive: restarted coordinator weights were {:?}, not persisted",
+                adaptive.weight_source_after_restart
+            ));
+        }
+        let bar = if quick { 1.1 } else { 1.3 };
+        if adaptive.speedup_vs_static < bar {
+            failures.push(format!(
+                "adaptive: speedup {:.2}x under the {bar}x bar",
+                adaptive.speedup_vs_static
+            ));
+        }
+    } else {
+        failures.push("missing adaptive row".to_string());
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("table_e21_churn: FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+
+    if !no_json {
+        let doc = fm_bench::e21_churn::to_json(&rows);
+        match std::fs::write(&json_path, doc) {
+            Ok(()) => println!("\nwrote {json_path}"),
+            Err(e) => {
+                eprintln!("table_e21_churn: cannot write {json_path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

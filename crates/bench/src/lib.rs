@@ -43,3 +43,4 @@ pub mod e17_stream;
 pub mod e18_session;
 pub mod e19_wire;
 pub mod e20_costmodels;
+pub mod e21_churn;

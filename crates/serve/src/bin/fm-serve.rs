@@ -7,6 +7,9 @@
 //!          [--fleet HOST:PORT,...] [--fleet-attempts N]
 //!          [--fleet-connect-ms MS] [--fleet-hedge-ms MS]
 //!          [--stream-every K] [--weighted on|off]
+//!          [--fleet-admit HOST:PORT,...] [--fleet-ledger PATH]
+//!          [--weight-decay-tunes N] [--cliff-fraction F]
+//!          [--cliff-stall-ms MS]
 //! ```
 //!
 //! With `--fleet`, this instance becomes a coordinator: eligible
@@ -31,6 +34,9 @@ fn usage() -> ! {
          \x20               [--fleet HOST:PORT,...] [--fleet-attempts N]\n\
          \x20               [--fleet-connect-ms MS] [--fleet-hedge-ms MS]\n\
          \x20               [--stream-every K] [--weighted on|off]\n\
+         \x20               [--fleet-admit HOST:PORT,...] [--fleet-ledger PATH]\n\
+         \x20               [--weight-decay-tunes N] [--cliff-fraction F]\n\
+         \x20               [--cliff-stall-ms MS]\n\
          \n\
          \x20 --addr HOST:PORT   bind address (default 127.0.0.1:7171; port 0 = ephemeral)\n\
          \x20 --workers N        request worker threads (default 2)\n\
@@ -52,7 +58,20 @@ fn usage() -> ! {
          \x20                          evaluated candidates; 0 = classic blocking\n\
          \x20                          replies (default 16)\n\
          \x20 --weighted on|off        size shard ranges by observed per-shard EWMA\n\
-         \x20                          throughput instead of equally (default on)"
+         \x20                          throughput instead of equally (default on)\n\
+         \x20 --fleet-admit A,B,...    additionally admit these shards at startup\n\
+         \x20                          (same as ShardJoin requests; bumps the epoch)\n\
+         \x20 --fleet-ledger PATH      persist per-shard EWMA weights + breaker state\n\
+         \x20                          to this JSON file across coordinator restarts\n\
+         \x20                          (corrupt or stale ledgers fall back to cold)\n\
+         \x20 --weight-decay-tunes N   decay a shard's weight toward uniform after N\n\
+         \x20                          tunes without a fresh sample; 0 = never\n\
+         \x20                          (default 64)\n\
+         \x20 --cliff-fraction F       re-dispatch a range's suffix when its shard's\n\
+         \x20                          throughput falls below F x trailing peak while\n\
+         \x20                          the watermark stalls; 0 disables (default 0.35)\n\
+         \x20 --cliff-stall-ms MS      watermark stall before the cliff check fires\n\
+         \x20                          (default 200)"
     );
     std::process::exit(2);
 }
@@ -76,6 +95,11 @@ fn main() -> ExitCode {
     let mut fleet_hedge_ms: Option<u64> = None;
     let mut stream_every: Option<u64> = None;
     let mut weighted: Option<bool> = None;
+    let mut fleet_admit: Option<Vec<String>> = None;
+    let mut fleet_ledger: Option<String> = None;
+    let mut weight_decay_tunes: Option<u64> = None;
+    let mut cliff_fraction: Option<f64> = None;
+    let mut cliff_stall_ms: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -137,6 +161,31 @@ fn main() -> ExitCode {
                     usage();
                 }
             },
+            "--fleet-admit" => match args.next() {
+                Some(list) => {
+                    let extra: Vec<String> = list
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(str::to_string)
+                        .collect();
+                    if extra.is_empty() {
+                        eprintln!("fm-serve: --fleet-admit needs at least one HOST:PORT");
+                        usage();
+                    }
+                    fleet_admit = Some(extra);
+                }
+                None => usage(),
+            },
+            "--fleet-ledger" => match args.next() {
+                Some(path) => fleet_ledger = Some(path),
+                None => usage(),
+            },
+            "--weight-decay-tunes" => {
+                weight_decay_tunes = Some(parse_num("--weight-decay-tunes", args.next()))
+            }
+            "--cliff-fraction" => cliff_fraction = Some(parse_num("--cliff-fraction", args.next())),
+            "--cliff-stall-ms" => cliff_stall_ms = Some(parse_num("--cliff-stall-ms", args.next())),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("fm-serve: unknown argument {other:?}");
@@ -162,12 +211,36 @@ fn main() -> ExitCode {
         if let Some(w) = weighted {
             fleet.weighted = w;
         }
+        if let Some(extra) = fleet_admit {
+            fleet.admit = extra;
+        }
+        if let Some(path) = fleet_ledger {
+            fleet.weight_ledger = Some(path.into());
+        }
+        if let Some(n) = weight_decay_tunes {
+            fleet.weight_decay_tunes = n;
+        }
+        if let Some(f) = cliff_fraction {
+            if !(0.0..=1.0).contains(&f) {
+                eprintln!("fm-serve: --cliff-fraction needs a value in [0, 1]");
+                usage();
+            }
+            fleet.cliff_fraction = f;
+        }
+        if let Some(ms) = cliff_stall_ms {
+            fleet.cliff_stall = Duration::from_millis(ms.max(1));
+        }
         config.fleet = Some(fleet);
     } else if fleet_attempts.is_some()
         || fleet_connect_ms.is_some()
         || fleet_hedge_ms.is_some()
         || stream_every.is_some()
         || weighted.is_some()
+        || fleet_admit.is_some()
+        || fleet_ledger.is_some()
+        || weight_decay_tunes.is_some()
+        || cliff_fraction.is_some()
+        || cliff_stall_ms.is_some()
     {
         eprintln!("fm-serve: --fleet-* knobs need --fleet HOST:PORT,...");
         usage();
@@ -220,5 +293,29 @@ fn main() -> ExitCode {
         stats.dedup_batches,
         stats.dedup_waiters_served
     );
+    if let Some(fleet) = &stats.fleet {
+        let weights: Vec<String> = fleet
+            .shards
+            .iter()
+            .map(|s| {
+                let mark = if s.departed { "!" } else { "" };
+                format!("{}{}={}", mark, s.addr, s.weight_source)
+            })
+            .collect();
+        println!(
+            "fm-serve: fleet — epoch {}, {} members ({} joins / {} leaves), {} tunes, \
+             {} hedges, {} cliff / {} departed suffix re-dispatches, \
+             weight sources [{}]",
+            fleet.membership_epoch,
+            fleet.members,
+            fleet.joins,
+            fleet.leaves,
+            fleet.fleet_tunes,
+            fleet.hedges,
+            fleet.cliff_redispatches,
+            fleet.departed_redispatches,
+            weights.join(", ")
+        );
+    }
     ExitCode::SUCCESS
 }

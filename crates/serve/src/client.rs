@@ -27,11 +27,11 @@ use crate::metrics::StatsReply;
 use crate::protocol::{
     decode_response_any, encode_request_binary, read_frame, read_response, write_frame,
     write_request, BusyReply, EvaluateReply, EvaluateRequest, FailReply, HelloRequest,
-    NoSuchSessionReply, Request, Response, SessionCloseRequest, SessionClosedReply,
-    SessionEditRequest, SessionEditedReply, SessionOpenRequest, SessionOpenedReply,
-    SessionTuneRequest, SessionTunedReply, SimulateReply, SimulateRequest, TuneReply, TuneRequest,
-    TuneShardPart, TuneShardReply, TuneShardRequest, WireError, DEFAULT_MAX_FRAME,
-    PROTOCOL_BINARY_VERSION,
+    MembershipReply, NoSuchSessionReply, Request, Response, SessionCloseRequest,
+    SessionClosedReply, SessionEditRequest, SessionEditedReply, SessionOpenRequest,
+    SessionOpenedReply, SessionTuneRequest, SessionTunedReply, ShardJoinRequest, ShardLeaveRequest,
+    SimulateReply, SimulateRequest, TuneReply, TuneRequest, TuneShardPart, TuneShardReply,
+    TuneShardRequest, WireError, DEFAULT_MAX_FRAME, PROTOCOL_BINARY_VERSION,
 };
 
 /// What went wrong with a request, from the client's point of view.
@@ -422,6 +422,30 @@ impl Client {
     pub fn session_close(&mut self, session_id: u64) -> Result<SessionClosedReply, ClientError> {
         match self.checked(&Request::SessionClose(SessionCloseRequest { session_id }))? {
             Response::SessionClosed(r) => Ok(r),
+            other => Err(ClientError::Unexpected(other.kind())),
+        }
+    }
+
+    /// Admit a shard into a coordinator's running fleet roster
+    /// (idempotent; answered with the roster after the change).
+    pub fn shard_join(&mut self, addr: &str) -> Result<MembershipReply, ClientError> {
+        let req = Request::ShardJoin(ShardJoinRequest {
+            addr: addr.to_string(),
+        });
+        match self.checked(&req)? {
+            Response::Membership(r) => Ok(r),
+            other => Err(ClientError::Unexpected(other.kind())),
+        }
+    }
+
+    /// Retire a shard from a coordinator's running fleet roster
+    /// (idempotent; in-flight suffixes re-dispatch to survivors).
+    pub fn shard_leave(&mut self, addr: &str) -> Result<MembershipReply, ClientError> {
+        let req = Request::ShardLeave(ShardLeaveRequest {
+            addr: addr.to_string(),
+        });
+        match self.checked(&req)? {
+            Response::Membership(r) => Ok(r),
             other => Err(ClientError::Unexpected(other.kind())),
         }
     }

@@ -25,7 +25,7 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
-use crate::protocol::DEFAULT_MAX_FRAME;
+use crate::protocol::{decode_response_any, Response, DEFAULT_MAX_FRAME};
 
 /// What the proxy does to one proxied connection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +67,21 @@ pub enum FaultAction {
     /// coordinators see one big stall; streaming coordinators watch
     /// the covered watermark crawl and can judge the shard per frame.
     StallBetweenFrames(u64),
+    /// Forward reply frames at full speed until frame `after_frame`
+    /// (0-based); from then on, sleep `ms_per_candidate` milliseconds
+    /// *per candidate the frame covers* before forwarding it. This is
+    /// a throughput collapse, not a failure: the connection stays
+    /// healthy, frames keep arriving, checksums keep passing — only
+    /// the candidates-per-second rate craters. It is the shape the
+    /// coordinator's cliff detector must catch with no disconnect or
+    /// corruption to lean on, and (unlike a flat stall) the penalty
+    /// scales with how much work is still routed to the sick shard.
+    ThroughputCliff {
+        /// First reply frame (0-based) the collapse applies to.
+        after_frame: u32,
+        /// Added latency per candidate in each slowed frame.
+        ms_per_candidate: u64,
+    },
 }
 
 /// splitmix64: the one-shot bit mixer used wherever the fleet needs
@@ -109,7 +124,7 @@ impl FaultPlan {
         let actions = (0..len as u64)
             .map(|i| {
                 let r = mix64(seed ^ mix64(i));
-                match r % 9 {
+                match r % 10 {
                     0 => FaultAction::Pass,
                     1 => FaultAction::Drop,
                     2 => FaultAction::Delay(10 + (r >> 8) % 50),
@@ -118,7 +133,11 @@ impl FaultPlan {
                     5 => FaultAction::DisconnectMidReply,
                     6 => FaultAction::CorruptFrame(((r >> 8) % 4) as u32),
                     7 => FaultAction::TruncateFrame(((r >> 8) % 4) as u32),
-                    _ => FaultAction::StallBetweenFrames(5 + (r >> 8) % 30),
+                    8 => FaultAction::StallBetweenFrames(5 + (r >> 8) % 30),
+                    _ => FaultAction::ThroughputCliff {
+                        after_frame: ((r >> 8) % 4) as u32,
+                        ms_per_candidate: 1 + (r >> 16) % 3,
+                    },
                 }
             })
             .collect();
@@ -413,6 +432,24 @@ fn proxy_connection(
             FaultAction::StallBetweenFrames(ms) => {
                 if !nap(ms, stop) {
                     break;
+                }
+                forward(&mut client, &payload)
+            }
+            FaultAction::ThroughputCliff {
+                after_frame,
+                ms_per_candidate,
+            } => {
+                if frame >= after_frame {
+                    // Charge per candidate the frame carries, so the
+                    // stall tracks the work actually routed here.
+                    let count = match decode_response_any(&payload) {
+                        Ok((_, Response::TuneShardPart(p), _)) => p.body.count,
+                        Ok((_, Response::TuneSharded(t), _)) => t.body.count,
+                        _ => 1,
+                    };
+                    if !nap(count.saturating_mul(ms_per_candidate), stop) {
+                        break;
+                    }
                 }
                 forward(&mut client, &payload)
             }

@@ -67,6 +67,7 @@
 
 use std::io::Write as _;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
@@ -82,6 +83,7 @@ use fm_costmodel::CostModelKind;
 use fm_workspan::ThreadPool;
 
 use crate::fault::mix64;
+use crate::membership::{Breaker, Member, Membership};
 use crate::metrics::{breaker_state, FleetMetrics};
 use crate::protocol::{
     decode_response_any, encode_request, encode_request_binary, Request, Response, ShardBest,
@@ -140,6 +142,26 @@ pub struct FleetConfig {
     /// failure — it predates the envelope — is remembered as JSON-only
     /// and retried in JSON. The merged winner is encoding-independent.
     pub binary_links: bool,
+    /// Throughput-cliff threshold: speculatively re-dispatch a range's
+    /// uncovered suffix when its shard's EWMA throughput drops below
+    /// this fraction of the shard's trailing peak while the range
+    /// watermark stalls. `0.0` disables cliff detection.
+    pub cliff_fraction: f64,
+    /// How long a range's covered watermark must sit still before the
+    /// cliff detector may fire (guards against false positives on a
+    /// shard that is merely between chunks).
+    pub cliff_stall: Duration,
+    /// Fleet tunes without a fresh sample before a member's persisted
+    /// weight decays fully back to cold (`0` disables decay).
+    pub weight_decay_tunes: u64,
+    /// Path of the crash-persistent weight ledger (`None` disables
+    /// persistence). Written after every fleet tune; read once at
+    /// startup with the autotune cache's corrupt-tolerant discipline.
+    pub weight_ledger: Option<PathBuf>,
+    /// Extra shard addresses admitted into the roster right after
+    /// startup (the `--fleet-admit` re-dial list) — equivalent to a
+    /// `ShardJoin` frame per address.
+    pub admit: Vec<String>,
 }
 
 impl FleetConfig {
@@ -160,28 +182,13 @@ impl FleetConfig {
             stream_every: Some(16),
             weighted: true,
             binary_links: true,
+            cliff_fraction: 0.35,
+            cliff_stall: Duration::from_millis(200),
+            weight_decay_tunes: 64,
+            weight_ledger: None,
+            admit: Vec::new(),
         }
     }
-}
-
-/// Circuit-breaker state for one shard.
-#[derive(Debug, Clone, Copy)]
-enum Breaker {
-    /// Requests flow; counts consecutive failures.
-    Closed { consecutive_failures: u32 },
-    /// Quarantined until the cooldown instant.
-    Open { until: Instant },
-    /// One probe is in flight; its outcome decides the next state.
-    HalfOpen,
-}
-
-struct ShardState {
-    breaker: Mutex<Breaker>,
-    /// Latched when the shard rejected a binary request with a
-    /// protocol failure: it predates the envelope, so every later
-    /// attempt speaks JSON. Never unlatched — a fleet member does not
-    /// upgrade mid-flight.
-    json_only: AtomicBool,
 }
 
 /// The coordinator. One per server, shared across worker threads.
@@ -191,7 +198,8 @@ pub struct Fleet {
     /// and echoed (under checksum) by the reply, so a frame answering
     /// an earlier tune can never merge into a later one.
     epoch: AtomicU64,
-    shards: Vec<ShardState>,
+    /// The living shard roster (elastic membership, weight ledger).
+    membership: Membership,
     metrics: Arc<FleetMetrics>,
 }
 
@@ -390,23 +398,25 @@ enum WatchRead {
 }
 
 impl Fleet {
-    /// Build a coordinator over `config.shards`.
+    /// Build a coordinator over `config.shards` (plus `config.admit`),
+    /// seeding weights and breaker state from the ledger when one
+    /// loads.
     pub fn new(config: FleetConfig) -> Arc<Fleet> {
-        let metrics = Arc::new(FleetMetrics::new(&config.shards));
-        let shards = config
-            .shards
-            .iter()
-            .map(|_| ShardState {
-                breaker: Mutex::new(Breaker::Closed {
-                    consecutive_failures: 0,
-                }),
-                json_only: AtomicBool::new(false),
-            })
-            .collect();
+        let metrics = Arc::new(FleetMetrics::new());
+        let membership = Membership::new(
+            &config.shards,
+            Arc::clone(&metrics),
+            config.weight_ledger.clone(),
+            config.weight_decay_tunes,
+            config.breaker_cooldown,
+        );
+        for addr in &config.admit {
+            membership.join(addr);
+        }
         Arc::new(Fleet {
             config,
             epoch: AtomicU64::new(1),
-            shards,
+            membership,
             metrics,
         })
     }
@@ -416,28 +426,54 @@ impl Fleet {
         Arc::clone(&self.metrics)
     }
 
+    /// Admit a shard into the running fleet (`ShardJoin`). Idempotent;
+    /// returns `(membership epoch, changed)`.
+    pub fn admit(&self, addr: &str) -> (u64, bool) {
+        self.membership.join(addr)
+    }
+
+    /// Retire a shard from the running fleet (`ShardLeave`). Its
+    /// in-flight ranges are re-dispatched from their covered watermark
+    /// the moment their attempts notice. Idempotent; returns
+    /// `(membership epoch, changed)`.
+    pub fn retire(&self, addr: &str) -> (u64, bool) {
+        self.membership.leave(addr)
+    }
+
+    /// Live member addresses, in roster order.
+    pub fn members(&self) -> Vec<String> {
+        self.membership.members()
+    }
+
+    /// Current membership epoch.
+    pub fn membership_epoch(&self) -> u64 {
+        self.membership.epoch()
+    }
+
     /// Should this request take the fleet path? Cache users and
     /// convergence-window users stay local (see the module docs); tiny
-    /// candidate lists are not worth the network round-trip.
+    /// candidate lists are not worth the network round-trip. An empty
+    /// roster still takes the fleet path so churn down to zero members
+    /// degrades to coordinator-local evaluation, not a refusal.
     pub fn eligible(&self, req: &TuneRequest) -> bool {
-        !self.shards.is_empty()
-            && req.convergence_window.is_none()
+        req.convergence_window.is_none()
             && !req.use_cache
             && req.candidates.len() >= self.config.min_shard_candidates.max(1) * 2
     }
 
-    /// May an attempt go to shard `idx` right now? Closed passes;
-    /// open passes only once its cooldown elapsed (becoming the
-    /// half-open probe); half-open refuses (a probe is already out).
-    fn try_acquire(&self, idx: usize) -> bool {
-        let mut b = self.shards[idx].breaker.lock();
+    /// May an attempt go to `member` right now? Closed passes; open
+    /// passes only once its cooldown elapsed (becoming the half-open
+    /// probe); half-open refuses (a probe is already out).
+    fn try_acquire(&self, member: &Member) -> bool {
+        let mut b = member.breaker.lock();
         match *b {
             Breaker::Closed { .. } => true,
             Breaker::HalfOpen => false,
             Breaker::Open { until } => {
                 if Instant::now() >= until {
                     *b = Breaker::HalfOpen;
-                    self.metrics.shards[idx]
+                    member
+                        .metrics
                         .state
                         .store(breaker_state::HALF_OPEN, Ordering::Relaxed);
                     true
@@ -448,24 +484,21 @@ impl Fleet {
         }
     }
 
-    fn report_success(&self, idx: usize) {
-        self.metrics.shards[idx]
-            .successes
-            .fetch_add(1, Ordering::Relaxed);
-        let mut b = self.shards[idx].breaker.lock();
+    fn report_success(&self, member: &Member) {
+        member.metrics.successes.fetch_add(1, Ordering::Relaxed);
+        let mut b = member.breaker.lock();
         *b = Breaker::Closed {
             consecutive_failures: 0,
         };
-        self.metrics.shards[idx]
+        member
+            .metrics
             .state
             .store(breaker_state::CLOSED, Ordering::Relaxed);
     }
 
-    fn report_failure(&self, idx: usize) {
-        self.metrics.shards[idx]
-            .failures
-            .fetch_add(1, Ordering::Relaxed);
-        let mut b = self.shards[idx].breaker.lock();
+    fn report_failure(&self, member: &Member) {
+        member.metrics.failures.fetch_add(1, Ordering::Relaxed);
+        let mut b = member.breaker.lock();
         let trip = match *b {
             Breaker::Closed {
                 consecutive_failures,
@@ -487,27 +520,36 @@ impl Fleet {
             *b = Breaker::Open {
                 until: Instant::now() + self.config.breaker_cooldown,
             };
-            self.metrics.shards[idx]
+            member
+                .metrics
                 .state
                 .store(breaker_state::OPEN, Ordering::Relaxed);
-            self.metrics.shards[idx]
-                .breaker_opens
-                .fetch_add(1, Ordering::Relaxed);
+            member.metrics.breaker_opens.fetch_add(1, Ordering::Relaxed);
         }
     }
 
-    /// Next breaker-available shard scanning from `*rotation`,
-    /// skipping `exclude`; advances the rotation past the pick.
-    fn next_available(&self, rotation: &mut usize, exclude: Option<usize>) -> Option<usize> {
-        let n = self.shards.len();
+    /// Next breaker-available member scanning the *live* roster from
+    /// `*rotation`, skipping `exclude`; advances the rotation past the
+    /// pick. Taking a fresh roster snapshot per call is what makes
+    /// newly joined shards eligible for suffix re-dispatch mid-tune.
+    fn next_available(
+        &self,
+        rotation: &mut usize,
+        exclude: Option<&Arc<Member>>,
+    ) -> Option<Arc<Member>> {
+        let roster = self.membership.roster();
+        let n = roster.len();
+        if n == 0 {
+            return None;
+        }
         for step in 0..n {
             let idx = (*rotation + step) % n;
-            if exclude == Some(idx) {
+            if exclude.is_some_and(|e| Arc::ptr_eq(e, &roster[idx])) {
                 continue;
             }
-            if self.try_acquire(idx) {
+            if self.try_acquire(&roster[idx]) {
                 *rotation = idx + 1;
-                return Some(idx);
+                return Some(Arc::clone(&roster[idx]));
             }
         }
         None
@@ -524,6 +566,7 @@ impl Fleet {
     ) -> TuneReply {
         let start = Instant::now();
         self.metrics.fleet_tunes.fetch_add(1, Ordering::Relaxed);
+        self.membership.begin_tune();
         let epoch = self.epoch.fetch_add(1, Ordering::Relaxed);
 
         let offered = req.candidates.len();
@@ -544,33 +587,85 @@ impl Fleet {
             .map(|c| MappingCandidate::new(c.label.clone(), c.mapping.clone()))
             .collect();
 
+        // Freeze the roster for partitioning; attempts inside each
+        // range still consult the live roster, so members joining
+        // mid-tune pick up re-dispatched suffixes.
+        let roster = self.membership.roster();
+        if roster.is_empty() {
+            // Churned down to zero members: coordinator-local
+            // evaluation. Slower, same answer.
+            self.metrics.degraded_tunes.fetch_add(1, Ordering::Relaxed);
+            let mut budget = Budget::unlimited();
+            if let Some(d) = deadline {
+                budget.deadline = Some(d.saturating_duration_since(Instant::now()));
+            }
+            let report = Tuner::new(&evaluator, &req.graph, &req.machine, req.fom)
+                .with_pool(pool)
+                .with_budget(budget)
+                .with_cancel(cancel.clone())
+                .tune(&local_candidates);
+            let mut best = report.best;
+            if let Some(b) = best.as_mut() {
+                if !report.cancelled {
+                    if let Some(r) = req.refinement {
+                        Tuner::new(&evaluator, &req.graph, &req.machine, req.fom)
+                            .with_pool(pool)
+                            .with_refinement(r)
+                            .refine_winner(b);
+                    }
+                }
+            }
+            self.membership.persist();
+            return TuneReply {
+                best,
+                offered: offered as u64,
+                evaluated: report.evaluated as u64,
+                pruned: (offered as u64).saturating_sub(report.evaluated as u64),
+                cache: "disabled".to_string(),
+                fell_back: report.fell_back,
+                cancelled: report.cancelled,
+                wall_ms: start.elapsed().as_secs_f64() * 1e3,
+            };
+        }
         let plan: Vec<(usize, usize, usize)> = if self.config.weighted {
             partition_weighted(
                 cap,
-                self.shards.len(),
+                roster.len(),
                 self.config.min_shard_candidates,
-                &self.metrics.shard_weights(),
+                &self.membership.live_weights(&roster),
             )
         } else {
-            partition(cap, self.shards.len(), self.config.min_shard_candidates)
+            partition(cap, roster.len(), self.config.min_shard_candidates)
                 .into_iter()
                 .enumerate()
-                .map(|(i, (lo, hi))| (lo, hi, i % self.shards.len().max(1)))
+                .map(|(i, (lo, hi))| (lo, hi, i % roster.len().max(1)))
                 .collect()
         };
         let outcomes: Vec<RangeOutcome> = std::thread::scope(|s| {
             let handles: Vec<_> = plan
                 .iter()
                 .enumerate()
-                .map(|(ri, &(lo, hi, preferred))| {
+                .map(|(ri, &(lo, hi, preferred_pos))| {
                     let fleet = Arc::clone(self);
                     let req = &*req;
                     let locals = &local_candidates[lo..hi];
                     let evaluator = &evaluator;
+                    let preferred = Arc::clone(&roster[preferred_pos]);
                     s.spawn(move || {
                         run_range(
-                            &fleet, req, evaluator, locals, lo, hi, ri, preferred, epoch, deadline,
-                            cancel, pool,
+                            &fleet,
+                            req,
+                            evaluator,
+                            locals,
+                            lo,
+                            hi,
+                            ri,
+                            preferred,
+                            preferred_pos,
+                            epoch,
+                            deadline,
+                            cancel,
+                            pool,
                         )
                     })
                 })
@@ -615,6 +710,9 @@ impl Fleet {
         if all_local {
             self.metrics.degraded_tunes.fetch_add(1, Ordering::Relaxed);
         }
+        // Bank what this tune learned about the machines: a restarted
+        // coordinator partitions its first tune weighted, not cold.
+        self.membership.persist();
 
         // Nothing legal anywhere: the same default-mapper fallback a
         // single-machine tune produces.
@@ -800,10 +898,10 @@ fn backoff_with_jitter(config: &FleetConfig, epoch: u64, range: usize, wave: u32
 }
 
 /// Drive one sub-range to a verified result: waves of shard attempts
-/// (with progress-aware hedging inside a wave and backoff between
-/// waves), each dispatching only the still-uncovered suffix, then
-/// local evaluation of whatever remains when the network is out of
-/// options.
+/// (with progress-aware hedging, throughput-cliff re-dispatch, and
+/// departure re-dispatch inside a wave, backoff between waves), each
+/// dispatching only the still-uncovered suffix, then local evaluation
+/// of whatever remains when the network is out of options.
 #[allow(clippy::too_many_arguments)]
 fn run_range(
     fleet: &Arc<Fleet>,
@@ -813,7 +911,8 @@ fn run_range(
     lo: usize,
     hi: usize,
     range_idx: usize,
-    preferred: usize,
+    preferred: Arc<Member>,
+    preferred_pos: usize,
     epoch: u64,
     deadline: Option<Instant>,
     cancel: &CancelToken,
@@ -837,9 +936,9 @@ fn run_range(
         }),
         done: AtomicBool::new(false),
     });
-    let (tx, rx) = mpsc::channel::<(usize, bool, AttemptEnd)>();
+    let (tx, rx) = mpsc::channel::<(Arc<Member>, bool, AttemptEnd)>();
 
-    let spawn_attempt = |shard: usize, hedge: bool, attempt_lo: usize| {
+    let spawn_attempt = |member: Arc<Member>, hedge: bool, attempt_lo: usize| {
         let fleet = Arc::clone(fleet);
         let range = Arc::clone(&range);
         let cancel = cancel.clone();
@@ -853,13 +952,13 @@ fn run_range(
         std::thread::Builder::new()
             .name("fm-fleet-attempt".to_string())
             .spawn(move || {
-                let result = run_attempt(&fleet, shard, &range, attempt_lo, &cancel);
-                let _ = tx.send((shard, hedge, result));
+                let result = run_attempt(&fleet, &member, &range, attempt_lo, &cancel);
+                let _ = tx.send((member, hedge, result));
             })
             .expect("spawn fleet attempt thread");
     };
 
-    let mut rotation = preferred;
+    let mut rotation = preferred_pos;
     let mut wave = 0u32;
     'waves: while wave < fleet.config.attempts.max(1) {
         if cancel.is_cancelled() || range.is_done() {
@@ -872,22 +971,28 @@ fn run_range(
             fleet.metrics.retries.fetch_add(1, Ordering::Relaxed);
         }
         let wave_start = Instant::now();
-        spawn_attempt(primary, false, range.covered());
+        spawn_attempt(Arc::clone(&primary), false, range.covered());
         let mut in_flight = 1u32;
         // Progress-aware hedging: the first hedge fires once the wave
         // is overdue; a further hedge is allowed each time the covered
         // watermark has advanced since the last one (someone is alive
-        // but slow) and another hedge interval has elapsed.
+        // but slow) and another hedge interval has elapsed. Cliff and
+        // departure re-dispatches share the same gate, so one stall
+        // never sprays duplicates.
         let mut last_hedge: Option<Instant> = None;
         let mut covered_at_last_hedge = 0usize;
+        // Cliff detection watches how long the covered watermark has
+        // sat still.
+        let mut covered_last_seen = range.covered();
+        let mut last_advance = Instant::now();
         while in_flight > 0 {
             match rx.recv_timeout(Duration::from_millis(25)) {
-                Ok((shard, was_hedge, AttemptEnd::Covered)) => {
+                Ok((member, was_hedge, AttemptEnd::Covered)) => {
                     range.done.store(true, Ordering::Release);
                     if was_hedge {
                         fleet.metrics.hedge_wins.fetch_add(1, Ordering::Relaxed);
                     }
-                    return range.outcome(false, shard != preferred, false);
+                    return range.outcome(false, !Arc::ptr_eq(&member, &preferred), false);
                 }
                 Ok((_, _, AttemptEnd::Failed { saved })) => {
                     if saved > 0 {
@@ -904,29 +1009,81 @@ fn run_range(
                     }
                     in_flight -= 1;
                 }
-                Ok((_, _, AttemptEnd::Abandoned)) => {
+                Ok((member, _, AttemptEnd::Abandoned)) => {
                     if range.is_done() {
                         return range.outcome(false, false, false);
                     }
                     in_flight -= 1;
+                    // A member that left the roster abandons its
+                    // attempt without blame; pick its uncovered suffix
+                    // up on a healthy member right away instead of
+                    // waiting out the wave.
+                    if member.metrics.is_departed() && !cancel.is_cancelled() {
+                        if let Some(buddy) = fleet.next_available(&mut rotation, Some(&member)) {
+                            fleet
+                                .metrics
+                                .departed_redispatches
+                                .fetch_add(1, Ordering::Relaxed);
+                            let covered_now = range.covered();
+                            spawn_attempt(buddy, true, covered_now);
+                            in_flight += 1;
+                            last_hedge = Some(Instant::now());
+                            covered_at_last_hedge = covered_now;
+                        }
+                    }
                 }
                 Err(mpsc::RecvTimeoutError::Timeout) => {
                     if cancel.is_cancelled() {
                         break 'waves;
                     }
-                    let Some(hedge_after) = fleet.config.hedge_after else {
-                        continue;
-                    };
                     let covered_now = range.covered();
-                    let fire = match last_hedge {
-                        None => wave_start.elapsed() >= hedge_after,
-                        Some(at) => {
-                            covered_now > covered_at_last_hedge && at.elapsed() >= hedge_after
-                        }
+                    if covered_now > covered_last_seen {
+                        covered_last_seen = covered_now;
+                        last_advance = Instant::now();
+                    }
+                    let hedge_fire = match fleet.config.hedge_after {
+                        None => false,
+                        Some(hedge_after) => match last_hedge {
+                            None => wave_start.elapsed() >= hedge_after,
+                            Some(at) => {
+                                covered_now > covered_at_last_hedge && at.elapsed() >= hedge_after
+                            }
+                        },
                     };
-                    if fire {
-                        if let Some(buddy) = fleet.next_available(&mut rotation, Some(primary)) {
-                            fleet.metrics.hedges.fetch_add(1, Ordering::Relaxed);
+                    // Speculative re-partition on throughput collapse:
+                    // the primary's EWMA fell below the configured
+                    // fraction of its trailing peak while the range
+                    // watermark stalled. The stall also *implies* a
+                    // rate bound (one chunk in `stalled` seconds), so a
+                    // shard that simply stopped streaming is caught
+                    // before the slow EWMA catches down to it.
+                    let stalled = last_advance.elapsed();
+                    let fraction = fleet.config.cliff_fraction;
+                    let in_cliff = fraction > 0.0 && stalled >= fleet.config.cliff_stall && {
+                        let m = &preferred.metrics;
+                        let (ewma, peak) = (m.ewma_rate(), m.peak_rate());
+                        let chunk = range.stream_every.unwrap_or((hi - lo) as u64).max(1);
+                        let implied = chunk as f64 / stalled.as_secs_f64();
+                        ewma > 0.0 && peak > 0.0 && ewma.min(implied) < fraction * peak
+                    };
+                    let cliff_fire = in_cliff
+                        && match last_hedge {
+                            None => true,
+                            Some(at) => {
+                                covered_now > covered_at_last_hedge
+                                    && at.elapsed() >= fleet.config.cliff_stall
+                            }
+                        };
+                    if hedge_fire || cliff_fire {
+                        if let Some(buddy) = fleet.next_available(&mut rotation, Some(&primary)) {
+                            if cliff_fire && !hedge_fire {
+                                fleet
+                                    .metrics
+                                    .cliff_redispatches
+                                    .fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                fleet.metrics.hedges.fetch_add(1, Ordering::Relaxed);
+                            }
                             spawn_attempt(buddy, true, covered_now);
                             in_flight += 1;
                             last_hedge = Some(Instant::now());
@@ -983,13 +1140,13 @@ fn run_range(
 /// attempt deadline, trying every resolved address. Every coordinator
 /// → shard connection goes through here — a black-holed shard costs at
 /// most `connect_timeout` per address, never the OS default.
-fn dial(fleet: &Fleet, shard: usize, until: Instant) -> Option<TcpStream> {
+fn dial(fleet: &Fleet, member: &Member, until: Instant) -> Option<TcpStream> {
     let budget = until.saturating_duration_since(Instant::now());
     if budget.is_zero() {
         return None;
     }
     let timeout = fleet.config.connect_timeout.min(budget);
-    for addr in fleet.config.shards[shard].to_socket_addrs().ok()? {
+    for addr in member.addr().to_socket_addrs().ok()? {
         if Instant::now() >= until {
             return None;
         }
@@ -1009,12 +1166,12 @@ fn dial(fleet: &Fleet, shard: usize, until: Instant) -> Option<TcpStream> {
 /// throughput observations, and discard metrics itself.
 fn run_attempt(
     fleet: &Fleet,
-    shard: usize,
+    member: &Arc<Member>,
     range: &RangeShared,
     attempt_lo: usize,
     cancel: &CancelToken,
 ) -> AttemptEnd {
-    let m = &fleet.metrics.shards[shard];
+    let m = &member.metrics;
     m.sends.fetch_add(1, Ordering::Relaxed);
     let frame_deadline = || {
         let cap = Instant::now() + fleet.config.attempt_timeout;
@@ -1022,8 +1179,8 @@ fn run_attempt(
     };
     let mut until = frame_deadline();
 
-    let Some(mut stream) = dial(fleet, shard, until) else {
-        fleet.report_failure(shard);
+    let Some(mut stream) = dial(fleet, member, until) else {
+        fleet.report_failure(member);
         return AttemptEnd::Failed { saved: 0 };
     };
     // Shard links skip the Hello handshake: the envelope is sniffed
@@ -1031,8 +1188,7 @@ fn run_attempt(
     // (correlation id = epoch) unless this shard is known JSON-only.
     // Skipping the handshake also keeps reply-frame indices stable for
     // the frame-indexed fault scripts in the chaos suite.
-    let binary =
-        fleet.config.binary_links && !fleet.shards[shard].json_only.load(Ordering::Acquire);
+    let binary = fleet.config.binary_links && !member.json_only.load(Ordering::Acquire);
     let request = Request::TuneShard(TuneShardRequest {
         graph: range.graph.clone(),
         machine: range.machine.clone(),
@@ -1057,7 +1213,7 @@ fn run_attempt(
         .and_then(|()| stream.write_all(&payload))
         .is_err()
     {
-        fleet.report_failure(shard);
+        fleet.report_failure(member);
         return AttemptEnd::Failed { saved: 0 };
     }
 
@@ -1075,11 +1231,11 @@ fn run_attempt(
             };
             counter.fetch_add(1, Ordering::Relaxed);
         }
-        fleet.report_failure(shard);
+        fleet.report_failure(member);
         AttemptEnd::Failed { saved }
     };
     loop {
-        match watch_read(&mut stream, until, cancel, &range.done) {
+        match watch_read(&mut stream, until, cancel, &range.done, &m.departed) {
             WatchRead::Frame(bytes) => match decode_response_any(&bytes).map(|(_, r, _)| r) {
                 Ok(Response::TuneShardPart(part)) => {
                     if let Err(flaw) = part.verify(range.epoch) {
@@ -1094,10 +1250,11 @@ fn run_attempt(
                             fleet.metrics.parts_merged.fetch_add(1, Ordering::Relaxed);
                             m.parts.fetch_add(1, Ordering::Relaxed);
                             m.observe_rate(part.body.count, last_mark.elapsed());
+                            m.mark_fresh(fleet.membership.generation());
                             last_mark = Instant::now();
                             saved += part.body.count;
                             if range.is_done() {
-                                fleet.report_success(shard);
+                                fleet.report_success(member);
                                 return AttemptEnd::Covered;
                             }
                             until = frame_deadline(); // progress resets the clock
@@ -1126,8 +1283,9 @@ fn run_attempt(
                                 reply.body.count.saturating_sub(saved),
                                 last_mark.elapsed(),
                             );
+                            m.mark_fresh(fleet.membership.generation());
                             range.merge_terminal(&reply.body);
-                            fleet.report_success(shard);
+                            fleet.report_success(member);
                             if range.is_done() {
                                 AttemptEnd::Covered
                             } else {
@@ -1145,7 +1303,7 @@ fn run_attempt(
                 // shard predates the envelope: remember that and let
                 // the retry waves redial it in JSON.
                 Ok(Response::Failed(f)) if binary && f.kind == "protocol" => {
-                    fleet.shards[shard].json_only.store(true, Ordering::Release);
+                    member.json_only.store(true, Ordering::Release);
                     return fail(None, saved);
                 }
                 // Busy, ShuttingDown, Failed, or protocol confusion:
@@ -1163,12 +1321,15 @@ fn run_attempt(
 }
 
 /// Read one reply frame in short timeout slices, watching the frame
-/// deadline, the tune-wide cancel token, and the range's `done` latch.
+/// deadline, the tune-wide cancel token, the range's `done` latch, and
+/// the member's `departed` flag (a `ShardLeave` mid-attempt abandons
+/// the read so the coordinator can re-dispatch the suffix at once).
 fn watch_read(
     stream: &mut TcpStream,
     until: Instant,
     cancel: &CancelToken,
     done: &AtomicBool,
+    departed: &AtomicBool,
 ) -> WatchRead {
     use std::io::Read as _;
 
@@ -1182,7 +1343,8 @@ fn watch_read(
     // length up front (same discipline as `protocol::read_frame`).
     let mut body: Option<(Vec<u8>, usize, usize)> = None;
     loop {
-        if done.load(Ordering::Acquire) || cancel.is_cancelled() {
+        if done.load(Ordering::Acquire) || cancel.is_cancelled() || departed.load(Ordering::Acquire)
+        {
             return WatchRead::Abandoned;
         }
         if Instant::now() >= until {
@@ -1416,27 +1578,62 @@ mod tests {
         config.breaker_threshold = 2;
         config.breaker_cooldown = Duration::from_millis(30);
         let fleet = Fleet::new(config);
-        assert!(fleet.try_acquire(0));
-        fleet.report_failure(0);
-        assert!(fleet.try_acquire(0), "one failure is under the threshold");
-        fleet.report_failure(0);
+        let member = &fleet.membership.roster()[0];
+        assert!(fleet.try_acquire(member));
+        fleet.report_failure(member);
+        assert!(
+            fleet.try_acquire(member),
+            "one failure is under the threshold"
+        );
+        fleet.report_failure(member);
         // Tripped: quarantined until the cooldown.
-        assert!(!fleet.try_acquire(0));
+        assert!(!fleet.try_acquire(member));
         std::thread::sleep(Duration::from_millis(40));
         // Cooldown over: exactly one probe gets through.
-        assert!(fleet.try_acquire(0));
-        assert!(!fleet.try_acquire(0), "second probe refused in half-open");
+        assert!(fleet.try_acquire(member));
+        assert!(
+            !fleet.try_acquire(member),
+            "second probe refused in half-open"
+        );
         // Failed probe: straight back open.
-        fleet.report_failure(0);
-        assert!(!fleet.try_acquire(0));
+        fleet.report_failure(member);
+        assert!(!fleet.try_acquire(member));
         std::thread::sleep(Duration::from_millis(40));
-        assert!(fleet.try_acquire(0));
-        fleet.report_success(0);
+        assert!(fleet.try_acquire(member));
+        fleet.report_success(member);
         // Healed: closed again, acquires freely.
-        assert!(fleet.try_acquire(0));
-        assert!(fleet.try_acquire(0));
+        assert!(fleet.try_acquire(member));
+        assert!(fleet.try_acquire(member));
         let snap = fleet.metrics().snapshot();
         assert_eq!(snap.shards[0].breaker_opens, 2);
         assert_eq!(snap.shards[0].breaker, "closed");
+    }
+
+    #[test]
+    fn admit_and_retire_reshape_the_roster_and_rotation() {
+        let mut config = FleetConfig::new(vec!["127.0.0.1:1".to_string()]);
+        config.admit = vec!["127.0.0.1:2".to_string()];
+        let fleet = Fleet::new(config);
+        assert_eq!(fleet.members(), vec!["127.0.0.1:1", "127.0.0.1:2"]);
+        assert_eq!(fleet.membership_epoch(), 2, "the admit list counts");
+        // next_available sees joiners immediately and honors exclude.
+        let (epoch, changed) = fleet.admit("127.0.0.1:3");
+        assert!(changed);
+        assert_eq!(epoch, 3);
+        let first = &fleet.membership.roster()[0];
+        let mut rotation = 0usize;
+        let pick = fleet.next_available(&mut rotation, Some(first)).unwrap();
+        assert_ne!(pick.addr(), first.addr());
+        // Retiring flags the member departed; a second retire is a
+        // no-op.
+        assert!(fleet.retire("127.0.0.1:2").1);
+        assert!(!fleet.retire("127.0.0.1:2").1);
+        assert_eq!(fleet.members(), vec!["127.0.0.1:1", "127.0.0.1:3"]);
+        let snap = fleet.metrics().snapshot();
+        assert_eq!(snap.members, 2);
+        assert_eq!(snap.joins, 2);
+        assert_eq!(snap.leaves, 1);
+        let row = snap.shards.iter().find(|s| s.addr.ends_with(":2")).unwrap();
+        assert!(row.departed, "retired member's row survives, flagged");
     }
 }

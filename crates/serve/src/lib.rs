@@ -33,6 +33,8 @@
 //! | `SessionEdit` | `SessionEdited` | apply a sealed, epoch-stamped edit batch to the session graph |
 //! | `SessionTune` | `SessionTuned` | warm re-tune seeded from repaired candidate costs ([`session`]) |
 //! | `SessionClose` | `SessionClosed` | retire the session, report lifetime tallies |
+//! | `ShardJoin` | `Membership` | admit a shard into the running fleet roster (never queued) |
+//! | `ShardLeave` | `Membership` | retire a shard; its in-flight suffixes re-dispatch (never queued) |
 //! | `Shutdown` | `ShuttingDown` | drain admitted work, then exit |
 //!
 //! On a negotiated pipelined connection the client may keep many
@@ -62,7 +64,13 @@
 //!   `--fleet host:port,...` partitions each eligible `Tune` across
 //!   backend shards and merges by `(score, index)` — bit-identical to
 //!   a single-machine tune even under dead, slow, or frame-corrupting
-//!   shards (deterministically testable via [`fault`]).
+//!   shards (deterministically testable via [`fault`]),
+//! * elastic membership ([`membership`]): shards join and leave the
+//!   running fleet (`ShardJoin`/`ShardLeave`, `--fleet-admit`), EWMA
+//!   throughput weights persist across coordinator restarts in a
+//!   corrupt-tolerant JSON ledger, and a shard whose throughput falls
+//!   off a cliff mid-tune has its unfinished suffix speculatively
+//!   re-dispatched to healthy members.
 //!
 //! ## Quickstart
 //!
@@ -82,6 +90,7 @@
 pub mod client;
 pub mod fault;
 pub mod fleet;
+pub mod membership;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
@@ -90,16 +99,18 @@ pub mod session;
 pub use client::{Client, ClientError};
 pub use fault::{FaultAction, FaultPlan, FaultProxy};
 pub use fleet::{Fleet, FleetConfig};
+pub use membership::{LedgerDoc, LedgerEntry, Membership, LEDGER_SCHEMA_VERSION};
 pub use metrics::{
     EndpointStats, FleetStatsReply, LatencyStats, SessionStatsReply, ShardStats, StatsReply,
 };
 pub use protocol::{
     BusyReply, EvaluateReply, EvaluateRequest, FailReply, HelloAckReply, HelloRequest,
-    NoSuchSessionReply, Request, Response, SessionCloseRequest, SessionClosedReply,
-    SessionEditRequest, SessionEditedReply, SessionOpenRequest, SessionOpenedReply,
-    SessionTuneRequest, SessionTunedReply, ShardReplyFlaw, SimulateReply, SimulateRequest,
-    TuneReply, TuneRequest, TuneShardBody, TuneShardReply, TuneShardRequest, WireCandidate,
-    WireError, DEFAULT_MAX_FRAME, PROTOCOL_BINARY_VERSION,
+    MembershipReply, NoSuchSessionReply, Request, Response, SessionCloseRequest,
+    SessionClosedReply, SessionEditRequest, SessionEditedReply, SessionOpenRequest,
+    SessionOpenedReply, SessionTuneRequest, SessionTunedReply, ShardJoinRequest, ShardLeaveRequest,
+    ShardReplyFlaw, SimulateReply, SimulateRequest, TuneReply, TuneRequest, TuneShardBody,
+    TuneShardReply, TuneShardRequest, WireCandidate, WireError, DEFAULT_MAX_FRAME,
+    PROTOCOL_BINARY_VERSION,
 };
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use session::{EditOutcome, SessionRegistry, SessionState, SessionTuneOutcome};

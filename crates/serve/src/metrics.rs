@@ -8,7 +8,7 @@
 //! 2× — the right fidelity for tail-latency dashboards, at zero
 //! per-request allocation.
 
-use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -530,6 +530,18 @@ pub mod breaker_state {
     pub const HALF_OPEN: u8 = 2;
 }
 
+/// Where a shard's partitioning weight came from (gauge values stored
+/// in [`ShardMetrics`]; surfaced as a string in [`ShardStats`]).
+pub mod weight_source {
+    /// No throughput information at all.
+    pub const COLD: u8 = 0;
+    /// Seeded from the crash-persistent weight ledger — believed, not
+    /// yet re-confirmed by a live sample.
+    pub const PERSISTED: u8 = 1;
+    /// At least one live throughput sample this process lifetime.
+    pub const MEASURED: u8 = 2;
+}
+
 /// Lock-free counters for one shard in the fleet pool.
 #[derive(Debug)]
 pub struct ShardMetrics {
@@ -547,12 +559,26 @@ pub struct ShardMetrics {
     pub state: AtomicU8,
     /// Streamed parts merged from this shard.
     pub parts: AtomicU64,
+    /// Set while the shard is out of the live roster (`ShardLeave`);
+    /// in-flight attempts watch it and abandon so the coordinator can
+    /// re-dispatch their suffix immediately. Cleared on rejoin.
+    pub departed: AtomicBool,
     /// EWMA of this shard's observed throughput in candidates/second,
     /// stored as `f64` bits so frame-arrival observers stay lock-free.
     /// 0.0 means cold (no observation yet) — the weighted partitioner
     /// then substitutes the warm shards' mean, or an equal split when
     /// every shard is cold.
     ewma_rate_bits: AtomicU64,
+    /// Trailing peak of the EWMA (`f64` bits, monotone via `fetch_max`
+    /// — valid because IEEE ordering equals integer ordering for
+    /// positive floats). The cliff detector compares the live EWMA
+    /// against a configured fraction of this.
+    peak_rate_bits: AtomicU64,
+    /// [`weight_source`] gauge for the current EWMA value.
+    source: AtomicU8,
+    /// Fleet-tune generation of the last *fresh* (live) sample; drives
+    /// staleness decay of persisted weights.
+    last_sample_gen: AtomicU64,
 }
 
 /// EWMA smoothing factor for per-shard throughput: each new
@@ -572,13 +598,18 @@ impl ShardMetrics {
             breaker_opens: AtomicU64::new(0),
             state: AtomicU8::new(breaker_state::CLOSED),
             parts: AtomicU64::new(0),
+            departed: AtomicBool::new(false),
             ewma_rate_bits: AtomicU64::new(0.0f64.to_bits()),
+            peak_rate_bits: AtomicU64::new(0.0f64.to_bits()),
+            source: AtomicU8::new(weight_source::COLD),
+            last_sample_gen: AtomicU64::new(0),
         }
     }
 
     /// Fold one throughput observation (`candidates` evaluated in
     /// `elapsed` of shard wall time) into the EWMA. Observations of
     /// zero duration or zero candidates carry no rate and are ignored.
+    /// Also advances the trailing peak and marks the weight measured.
     pub fn observe_rate(&self, candidates: u64, elapsed: Duration) {
         let secs = elapsed.as_secs_f64();
         if candidates == 0 || secs <= 0.0 {
@@ -596,11 +627,77 @@ impl ShardMetrics {
             EWMA_ALPHA * rate + (1.0 - EWMA_ALPHA) * prev
         };
         self.ewma_rate_bits.store(next.to_bits(), Ordering::Relaxed);
+        // Positive f64 bits order like integers, so fetch_max works.
+        self.peak_rate_bits
+            .fetch_max(next.to_bits(), Ordering::Relaxed);
+        self.source
+            .store(weight_source::MEASURED, Ordering::Relaxed);
     }
 
     /// The current EWMA throughput in candidates/second (0.0 = cold).
     pub fn ewma_rate(&self) -> f64 {
         f64::from_bits(self.ewma_rate_bits.load(Ordering::Relaxed))
+    }
+
+    /// Trailing peak of the EWMA (candidates/second; 0.0 = cold).
+    pub fn peak_rate(&self) -> f64 {
+        f64::from_bits(self.peak_rate_bits.load(Ordering::Relaxed))
+    }
+
+    /// Has this shard's throughput collapsed below `fraction` of its
+    /// trailing peak? False while cold (no peak to collapse from).
+    pub fn in_cliff(&self, fraction: f64) -> bool {
+        let ewma = self.ewma_rate();
+        let peak = self.peak_rate();
+        fraction > 0.0 && ewma > 0.0 && peak > 0.0 && ewma < fraction * peak
+    }
+
+    /// Seed EWMA + peak from a persisted ledger entry (start-up only;
+    /// non-finite or non-positive rates are ignored).
+    pub fn seed_persisted(&self, ewma: f64, peak: f64, generation: u64) {
+        if !ewma.is_finite() || ewma <= 0.0 {
+            return;
+        }
+        self.ewma_rate_bits.store(ewma.to_bits(), Ordering::Relaxed);
+        let peak = if peak.is_finite() {
+            peak.max(ewma)
+        } else {
+            ewma
+        };
+        self.peak_rate_bits.store(peak.to_bits(), Ordering::Relaxed);
+        self.last_sample_gen.store(generation, Ordering::Relaxed);
+        self.source
+            .store(weight_source::PERSISTED, Ordering::Relaxed);
+    }
+
+    /// Record that a fresh (live) sample landed at fleet-tune
+    /// generation `generation`.
+    pub fn mark_fresh(&self, generation: u64) {
+        self.last_sample_gen.store(generation, Ordering::Relaxed);
+    }
+
+    /// Fleet-tune generation of the last fresh sample.
+    pub fn sample_gen(&self) -> u64 {
+        self.last_sample_gen.load(Ordering::Relaxed)
+    }
+
+    /// Whether the shard is currently out of the live roster.
+    pub fn is_departed(&self) -> bool {
+        self.departed.load(Ordering::Acquire)
+    }
+
+    /// Flag the shard departed (true) or revived (false).
+    pub fn set_departed(&self, departed: bool) {
+        self.departed.store(departed, Ordering::Release);
+    }
+
+    /// The weight-source gauge as its wire string.
+    pub fn source_name(&self) -> &'static str {
+        match self.source.load(Ordering::Relaxed) {
+            weight_source::PERSISTED => "persisted",
+            weight_source::MEASURED => "measured",
+            _ => "cold",
+        }
     }
 
     fn snapshot(&self) -> ShardStats {
@@ -618,6 +715,9 @@ impl ShardMetrics {
             .to_string(),
             parts: self.parts.load(Ordering::Relaxed),
             ewma_cands_per_sec: self.ewma_rate(),
+            peak_cands_per_sec: self.peak_rate(),
+            weight_source: self.source_name().to_string(),
+            departed: self.is_departed(),
         }
     }
 }
@@ -625,10 +725,32 @@ impl ShardMetrics {
 /// The fleet coordinator's registry: per-shard counters plus
 /// fleet-wide robustness counters. Shared between the coordinator's
 /// dispatch threads and the `Stats` endpoint.
+///
+/// The shard table is growable: elastic membership registers shards as
+/// they join, and a shard that leaves keeps its row (flagged departed)
+/// so its learned throughput survives a rejoin and the history stays
+/// visible in `Stats`. Rows are keyed by address — rejoining revives
+/// the existing row, so churn cannot grow the table without bound.
 #[derive(Debug)]
 pub struct FleetMetrics {
-    /// Per-shard counters, in configuration order.
-    pub shards: Vec<ShardMetrics>,
+    /// Per-shard counters, in registration order (live and departed).
+    shards: Mutex<Vec<Arc<ShardMetrics>>>,
+    /// Live members of the fleet roster (gauge).
+    pub members: AtomicU64,
+    /// Membership epoch (gauge): bumps on every effective join/leave.
+    pub membership_epoch: AtomicU64,
+    /// Effective `ShardJoin` admissions (idempotent repeats excluded).
+    pub joins: AtomicU64,
+    /// Effective `ShardLeave` retirements (idempotent repeats
+    /// excluded).
+    pub leaves: AtomicU64,
+    /// Suffix re-dispatches fired by the throughput-cliff detector
+    /// (EWMA collapsed below the configured fraction of the trailing
+    /// peak while the range watermark stalled).
+    pub cliff_redispatches: AtomicU64,
+    /// Suffix re-dispatches fired because the attempt's shard left the
+    /// roster mid-range.
+    pub departed_redispatches: AtomicU64,
     /// Tunes routed through the fleet path.
     pub fleet_tunes: AtomicU64,
     /// Sub-range attempts beyond each range's first (per-range retry
@@ -667,13 +789,16 @@ pub struct FleetMetrics {
 }
 
 impl FleetMetrics {
-    /// Fresh counters for a pool of shard addresses.
-    pub fn new(shard_addrs: &[String]) -> FleetMetrics {
+    /// Fresh counters; shards register as membership admits them.
+    pub fn new() -> FleetMetrics {
         FleetMetrics {
-            shards: shard_addrs
-                .iter()
-                .map(|a| ShardMetrics::new(a.clone()))
-                .collect(),
+            shards: Mutex::new(Vec::new()),
+            members: AtomicU64::new(0),
+            membership_epoch: AtomicU64::new(0),
+            joins: AtomicU64::new(0),
+            leaves: AtomicU64::new(0),
+            cliff_redispatches: AtomicU64::new(0),
+            departed_redispatches: AtomicU64::new(0),
             fleet_tunes: AtomicU64::new(0),
             retries: AtomicU64::new(0),
             hedges: AtomicU64::new(0),
@@ -691,10 +816,35 @@ impl FleetMetrics {
         }
     }
 
+    /// The counter row for `addr`, creating (or reviving) it. The row
+    /// is shared: a member built over it sees the history a previous
+    /// incarnation of the same address accumulated.
+    pub fn register(&self, addr: &str) -> Arc<ShardMetrics> {
+        let mut shards = self.shards.lock();
+        if let Some(existing) = shards.iter().find(|s| s.addr == addr) {
+            return Arc::clone(existing);
+        }
+        let fresh = Arc::new(ShardMetrics::new(addr.to_string()));
+        shards.push(Arc::clone(&fresh));
+        fresh
+    }
+
+    /// Every registered shard row (live and departed), in registration
+    /// order.
+    pub fn shard_metrics(&self) -> Vec<Arc<ShardMetrics>> {
+        self.shards.lock().clone()
+    }
+
     /// Snapshot into the wire shape.
     pub fn snapshot(&self) -> FleetStatsReply {
         FleetStatsReply {
-            shards: self.shards.iter().map(ShardMetrics::snapshot).collect(),
+            shards: self.shards.lock().iter().map(|s| s.snapshot()).collect(),
+            members: self.members.load(Ordering::Relaxed),
+            membership_epoch: self.membership_epoch.load(Ordering::Relaxed),
+            joins: self.joins.load(Ordering::Relaxed),
+            leaves: self.leaves.load(Ordering::Relaxed),
+            cliff_redispatches: self.cliff_redispatches.load(Ordering::Relaxed),
+            departed_redispatches: self.departed_redispatches.load(Ordering::Relaxed),
             fleet_tunes: self.fleet_tunes.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
             hedges: self.hedges.load(Ordering::Relaxed),
@@ -711,11 +861,11 @@ impl FleetMetrics {
             prefix_candidates_saved: self.prefix_candidates_saved.load(Ordering::Relaxed),
         }
     }
+}
 
-    /// Current per-shard EWMA throughput weights, in configuration
-    /// order (0.0 = cold shard).
-    pub fn shard_weights(&self) -> Vec<f64> {
-        self.shards.iter().map(ShardMetrics::ewma_rate).collect()
+impl Default for FleetMetrics {
+    fn default() -> Self {
+        FleetMetrics::new()
     }
 }
 
@@ -739,13 +889,50 @@ pub struct ShardStats {
     pub parts: u64,
     /// EWMA throughput in candidates/second (0.0 = cold).
     pub ewma_cands_per_sec: f64,
+    /// Trailing peak of the EWMA (candidates/second). Absent on
+    /// pre-elastic servers — decoded as 0.
+    #[serde(default)]
+    pub peak_cands_per_sec: f64,
+    /// Where the current weight came from: `"cold"`, `"persisted"`
+    /// (ledger-seeded), or `"measured"`. Absent on pre-elastic servers
+    /// — decoded as empty.
+    #[serde(default)]
+    pub weight_source: String,
+    /// Whether the shard is currently out of the live roster. Absent
+    /// on pre-elastic servers — decoded as false.
+    #[serde(default)]
+    pub departed: bool,
 }
 
 /// Wire snapshot of the fleet coordinator's counters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetStatsReply {
-    /// Per-shard counters, in configuration order.
+    /// Per-shard counters, in registration order (live and departed).
     pub shards: Vec<ShardStats>,
+    /// Live members of the fleet roster. Absent on pre-elastic servers
+    /// — decoded as 0.
+    #[serde(default)]
+    pub members: u64,
+    /// Membership epoch (bumps on every effective join/leave). Absent
+    /// on pre-elastic servers — decoded as 0.
+    #[serde(default)]
+    pub membership_epoch: u64,
+    /// Effective `ShardJoin` admissions. Absent on pre-elastic servers
+    /// — decoded as 0.
+    #[serde(default)]
+    pub joins: u64,
+    /// Effective `ShardLeave` retirements. Absent on pre-elastic
+    /// servers — decoded as 0.
+    #[serde(default)]
+    pub leaves: u64,
+    /// Suffix re-dispatches fired by the throughput-cliff detector.
+    /// Absent on pre-elastic servers — decoded as 0.
+    #[serde(default)]
+    pub cliff_redispatches: u64,
+    /// Suffix re-dispatches fired by mid-range shard departure. Absent
+    /// on pre-elastic servers — decoded as 0.
+    #[serde(default)]
+    pub departed_redispatches: u64,
     /// Tunes routed through the fleet path.
     pub fleet_tunes: u64,
     /// Per-range retry attempts, summed.
@@ -977,6 +1164,88 @@ mod tests {
             s.observe_rate(50, Duration::from_secs(1));
         }
         assert!((s.ewma_rate() - 50.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn peak_is_monotone_and_cliff_detector_fires_on_collapse() {
+        let s = ShardMetrics::new("127.0.0.1:1".into());
+        assert!(!s.in_cliff(0.5), "cold shard is never in a cliff");
+        s.observe_rate(1000, Duration::from_secs(1));
+        assert!((s.peak_rate() - 1000.0).abs() < 1e-9);
+        assert!(!s.in_cliff(0.5), "at peak is not a cliff");
+        // Collapse: repeated slow observations drag the EWMA down; the
+        // peak holds, so the detector fires once past the fraction.
+        for _ in 0..16 {
+            s.observe_rate(10, Duration::from_secs(1));
+        }
+        assert!((s.peak_rate() - 1000.0).abs() < 1e-9, "peak is monotone");
+        assert!(s.ewma_rate() < 100.0);
+        assert!(s.in_cliff(0.5));
+        assert!(!s.in_cliff(0.0), "fraction 0 disables detection");
+    }
+
+    #[test]
+    fn fleet_registry_grows_revives_and_strips_for_old_peers() {
+        let f = FleetMetrics::new();
+        assert!(f.shard_metrics().is_empty());
+        let a = f.register("a:1");
+        let a2 = f.register("a:1");
+        assert!(Arc::ptr_eq(&a, &a2), "same address, same row");
+        f.register("b:2");
+        assert_eq!(f.shard_metrics().len(), 2);
+        a.observe_rate(100, Duration::from_secs(1));
+        a.set_departed(true);
+        f.members.store(1, Ordering::Relaxed);
+        f.membership_epoch.store(3, Ordering::Relaxed);
+        f.joins.fetch_add(2, Ordering::Relaxed);
+        let snap = f.snapshot();
+        assert_eq!(snap.shards.len(), 2);
+        assert!(snap.shards[0].departed);
+        assert_eq!(snap.shards[0].weight_source, "measured");
+        assert!(snap.shards[0].peak_cands_per_sec > 0.0);
+        assert_eq!(snap.members, 1);
+        assert_eq!(snap.membership_epoch, 3);
+        assert_eq!(snap.joins, 2);
+        // Wire compat: a pre-elastic peer omits every new field; the
+        // reply still decodes, with defaults.
+        let text = serde_json::to_string(&snap).unwrap();
+        let back: FleetStatsReply = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, snap);
+        let mut stripped = text.clone();
+        for field in [
+            "members",
+            "membership_epoch",
+            "joins",
+            "leaves",
+            "cliff_redispatches",
+            "departed_redispatches",
+        ] {
+            let needle = format!(
+                "\"{field}\":{},",
+                serde_json::to_string(&match field {
+                    "members" => snap.members,
+                    "membership_epoch" => snap.membership_epoch,
+                    "joins" => snap.joins,
+                    "leaves" => snap.leaves,
+                    "cliff_redispatches" => snap.cliff_redispatches,
+                    _ => snap.departed_redispatches,
+                })
+                .unwrap()
+            );
+            let next = stripped.replacen(&needle, "", 1);
+            assert_ne!(next, stripped, "must strip {field}");
+            stripped = next;
+        }
+        stripped = stripped.replace(",\"departed\":true", "");
+        stripped = stripped.replace(",\"departed\":false", "");
+        stripped = stripped.replace(",\"weight_source\":\"measured\"", "");
+        stripped = stripped.replace(",\"weight_source\":\"cold\"", "");
+        let old: FleetStatsReply = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(old.members, 0);
+        assert_eq!(old.membership_epoch, 0);
+        assert_eq!(old.joins, 0);
+        assert!(!old.shards[0].departed);
+        assert_eq!(old.shards[0].weight_source, "");
     }
 
     #[test]

@@ -624,6 +624,14 @@ pub enum Request {
     SessionTune(SessionTuneRequest),
     /// Retire a session (see [`SessionCloseRequest`]).
     SessionClose(SessionCloseRequest),
+    /// Admit a shard into the running fleet roster (see
+    /// [`ShardJoinRequest`]); answered with [`Response::Membership`].
+    /// Never queued — membership changes must land under saturation.
+    ShardJoin(ShardJoinRequest),
+    /// Retire a shard from the running fleet roster (see
+    /// [`ShardLeaveRequest`]); answered with [`Response::Membership`].
+    /// Never queued.
+    ShardLeave(ShardLeaveRequest),
     /// Metrics snapshot; answered with [`Response::Stats`]. Never
     /// queued, never `Busy` — stats must be readable under saturation.
     Stats,
@@ -646,6 +654,8 @@ impl Request {
             Request::SessionEdit(_) => "session_edit",
             Request::SessionTune(_) => "session_tune",
             Request::SessionClose(_) => "session_close",
+            Request::ShardJoin(_) => "shard_join",
+            Request::ShardLeave(_) => "shard_leave",
             Request::Stats => "stats",
             Request::Shutdown => "shutdown",
         }
@@ -738,6 +748,38 @@ pub struct BusyReply {
     pub queue_capacity: u64,
 }
 
+/// `ShardJoin`: admit `addr` into the coordinator's live fleet roster.
+/// Idempotent — joining a live member changes nothing. A returning
+/// member revives its learned throughput history.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardJoinRequest {
+    /// The shard's address (`host:port`), as the coordinator should
+    /// dial it.
+    pub addr: String,
+}
+
+/// `ShardLeave`: retire `addr` from the coordinator's live fleet
+/// roster. Idempotent. In-flight sub-ranges owned by the departing
+/// shard are re-dispatched from their covered watermark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardLeaveRequest {
+    /// The shard's address, as configured.
+    pub addr: String,
+}
+
+/// The answer to [`Request::ShardJoin`] / [`Request::ShardLeave`]: the
+/// roster after the change.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MembershipReply {
+    /// Membership epoch after the request (bumped only when `changed`).
+    pub epoch: u64,
+    /// Live member addresses, in roster order.
+    pub members: Vec<String>,
+    /// Whether the request actually changed the roster (idempotent
+    /// repeats answer `false`).
+    pub changed: bool,
+}
+
 /// A server response frame.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum Response {
@@ -769,6 +811,8 @@ pub enum Response {
     /// issued, closed, or evicted by the idle-TTL sweeper). Typed so
     /// clients can transparently reopen.
     NoSuchSession(NoSuchSessionReply),
+    /// Answer to [`Request::ShardJoin`] and [`Request::ShardLeave`].
+    Membership(MembershipReply),
     /// Answer to [`Request::Stats`]. Boxed: the snapshot (per-endpoint
     /// histograms plus optional per-shard fleet counters) dwarfs the
     /// other variants.
@@ -798,6 +842,7 @@ impl Response {
             Response::SessionTuned(_) => "session-tuned",
             Response::SessionClosed(_) => "session-closed",
             Response::NoSuchSession(_) => "no-such-session",
+            Response::Membership(_) => "membership",
             Response::Stats(_) => "stats",
             Response::Busy(_) => "busy",
             Response::ShuttingDown => "shutting-down",

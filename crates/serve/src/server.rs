@@ -51,12 +51,12 @@ use crate::fleet::{Fleet, FleetConfig};
 use crate::metrics::{Metrics, StatsReply};
 use crate::protocol::{
     decode_request_any, encode_response_binary, queue_frame, write_frame, write_response,
-    BusyReply, EvaluateReply, EvaluateRequest, FailReply, HelloAckReply, NoSuchSessionReply,
-    Request, Response, SessionCloseRequest, SessionClosedReply, SessionEditRequest,
-    SessionEditedReply, SessionOpenRequest, SessionOpenedReply, SessionTuneRequest,
-    SessionTunedReply, ShardBest, SimulateReply, SimulateRequest, TuneReply, TuneRequest,
-    TuneShardBody, TuneShardPart, TuneShardPartBody, TuneShardReply, TuneShardRequest, WireError,
-    DEFAULT_MAX_FRAME, PROTOCOL_BINARY_VERSION, READ_CHUNK,
+    BusyReply, EvaluateReply, EvaluateRequest, FailReply, HelloAckReply, MembershipReply,
+    NoSuchSessionReply, Request, Response, SessionCloseRequest, SessionClosedReply,
+    SessionEditRequest, SessionEditedReply, SessionOpenRequest, SessionOpenedReply,
+    SessionTuneRequest, SessionTunedReply, ShardBest, SimulateReply, SimulateRequest, TuneReply,
+    TuneRequest, TuneShardBody, TuneShardPart, TuneShardPartBody, TuneShardReply, TuneShardRequest,
+    WireError, DEFAULT_MAX_FRAME, PROTOCOL_BINARY_VERSION, READ_CHUNK,
 };
 use crate::session::{EditOutcome, SessionRegistry, SessionState};
 
@@ -293,6 +293,30 @@ fn parse_cost_model(name: Option<&str>) -> Result<CostModelKind, FailReply> {
             error: format!("unknown cost model {n:?} (expected analytic, roofline, or spatial)"),
         }),
     }
+}
+
+/// Apply a `ShardJoin`/`ShardLeave` to the fleet roster. Handled
+/// inline (never queued), like `Stats`: membership changes must land
+/// even — especially — when the admission queue is saturated with work
+/// for the very shard that is leaving. On a non-coordinator server the
+/// request is a typed refusal.
+fn membership_change(shared: &Shared, addr: &str, join: bool) -> Response {
+    let Some(fleet) = &shared.fleet else {
+        return Response::Failed(FailReply {
+            kind: "illegal".to_string(),
+            error: "not a fleet coordinator (start with --fleet)".to_string(),
+        });
+    };
+    let (epoch, changed) = if join {
+        fleet.admit(addr)
+    } else {
+        fleet.retire(addr)
+    };
+    Response::Membership(MembershipReply {
+        epoch,
+        members: fleet.members(),
+        changed,
+    })
 }
 
 /// A running server. Obtain with [`Server::start`]; stop with
@@ -721,6 +745,18 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                     return;
                 }
             }
+            Request::ShardJoin(j) => {
+                let resp = membership_change(shared, &j.addr, true);
+                if write_reply(&mut stream, corr, &resp, was_binary).is_err() {
+                    return;
+                }
+            }
+            Request::ShardLeave(l) => {
+                let resp = membership_change(shared, &l.addr, false);
+                if write_reply(&mut stream, corr, &resp, was_binary).is_err() {
+                    return;
+                }
+            }
             Request::Shutdown => {
                 let _ = write_reply(&mut stream, corr, &Response::ShuttingDown, was_binary);
                 shared.begin_shutdown();
@@ -915,6 +951,18 @@ fn pipelined_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                 ep.completed.fetch_add(1, Ordering::Relaxed);
                 ep.latency.record(t0.elapsed());
                 if tx.send((corr, Response::Stats(Box::new(snap)))).is_err() {
+                    break;
+                }
+            }
+            Request::ShardJoin(j) => {
+                let resp = membership_change(shared, &j.addr, true);
+                if tx.send((corr, resp)).is_err() {
+                    break;
+                }
+            }
+            Request::ShardLeave(l) => {
+                let resp = membership_change(shared, &l.addr, false);
+                if tx.send((corr, resp)).is_err() {
                     break;
                 }
             }

@@ -17,7 +17,7 @@ use fm_core::machine::MachineConfig;
 use fm_core::mapping::{AffineMap, Mapping, PlaceExpr};
 use fm_core::search::{FigureOfMerit, MappingCandidate};
 use fm_core::value::Value;
-use fm_serve::fault::{FaultAction, FaultPlan, FaultProxy};
+use fm_serve::fault::{mix64, FaultAction, FaultPlan, FaultProxy};
 use fm_serve::fleet::FleetConfig;
 use fm_serve::protocol::{
     decode_request_any, read_frame, write_request, write_response, Request, Response, TuneRequest,
@@ -120,6 +120,15 @@ fn start_coordinator(fleet: FleetConfig) -> ServerHandle {
 fn dead_addr() -> String {
     let probe = TcpListener::bind("127.0.0.1:0").unwrap();
     probe.local_addr().unwrap().to_string()
+}
+
+/// A unique throwaway ledger path (the file need not exist yet).
+fn tmp_ledger(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "fm-fleet-ledger-{tag}-{}-{:?}.json",
+        std::process::id(),
+        std::thread::current().id()
+    ))
 }
 
 #[test]
@@ -591,6 +600,310 @@ fn slow_stream_survives_on_per_frame_progress() {
     }
 }
 
+/// Tentpole: shards join and leave a *running* fleet over the wire,
+/// each effective change bumps the membership epoch, and tunes before,
+/// between, and after the churn all match the direct tuner.
+#[test]
+fn membership_join_and_leave_reshape_the_fleet_between_tunes() {
+    let graph = wide(12);
+    let machine = MachineConfig::linear(8);
+    let shards = start_shards(2);
+    let first = shards[0].local_addr().to_string();
+    let second = shards[1].local_addr().to_string();
+    // Coordinator starts knowing only the first shard.
+    let coord = start_coordinator(fleet_config(vec![first.clone()]));
+    let mut client = Client::connect(coord.local_addr()).unwrap();
+
+    let reply = client.tune(tune_request(&graph, &machine, 20)).unwrap();
+    assert_same_winner(
+        &reply.best.expect("single-member fleet found a winner"),
+        &direct_winner(&graph, &machine, 20),
+    );
+
+    // Admit the second shard mid-flight: epoch bumps, roster grows.
+    let joined = client.shard_join(&second).unwrap();
+    assert!(joined.changed);
+    assert_eq!(joined.epoch, 2);
+    assert_eq!(joined.members.len(), 2);
+    // Re-admission is idempotent: same roster, same epoch.
+    let again = client.shard_join(&second).unwrap();
+    assert!(!again.changed);
+    assert_eq!(again.epoch, 2);
+
+    let reply = client.tune(tune_request(&graph, &machine, 24)).unwrap();
+    assert_same_winner(
+        &reply.best.expect("grown fleet found a winner"),
+        &direct_winner(&graph, &machine, 24),
+    );
+    let both_worked = shards
+        .iter()
+        .all(|s| s.stats().tune_shard.received + s.stats().tune.received >= 1);
+    assert!(both_worked, "the admitted shard never saw a sub-range");
+
+    // Retire the founding member; the survivor carries the next tune.
+    let left = client.shard_leave(&first).unwrap();
+    assert!(left.changed);
+    assert_eq!(left.epoch, 3);
+    assert_eq!(left.members, vec![second.clone()]);
+    let reply = client.tune(tune_request(&graph, &machine, 16)).unwrap();
+    assert_same_winner(
+        &reply.best.expect("shrunk fleet found a winner"),
+        &direct_winner(&graph, &machine, 16),
+    );
+
+    let fleet = coord.stats().fleet.unwrap();
+    assert_eq!(fleet.membership_epoch, 3);
+    assert_eq!(fleet.members, 1);
+    assert_eq!(fleet.joins, 1);
+    assert_eq!(fleet.leaves, 1);
+    assert!(fleet.shards.iter().any(|s| s.departed));
+
+    // A plain shard is not a coordinator: membership requests are a
+    // typed illegal-state failure there, not a silent no-op.
+    let mut direct = Client::connect(shards[1].local_addr()).unwrap();
+    match direct.shard_join("127.0.0.1:9") {
+        Err(fm_serve::ClientError::Failed(f)) => assert_eq!(f.kind, "illegal"),
+        other => panic!("expected illegal-state failure, got {other:?}"),
+    }
+
+    coord.shutdown_and_join();
+    for s in shards {
+        s.shutdown_and_join();
+    }
+}
+
+/// Tentpole: a shard whose throughput collapses mid-stream (healthy
+/// connection, crawling watermark) has its unfinished suffix
+/// speculatively re-dispatched to a healthy member — and the winner is
+/// still bit-identical to the direct tuner.
+#[test]
+fn throughput_cliff_redispatches_the_suffix_without_changing_the_winner() {
+    let graph = wide(14);
+    let machine = MachineConfig::linear(8);
+    let shards = start_shards(2);
+    // Shard 0 streams its first part at full speed (establishing a
+    // healthy EWMA and trailing peak), then collapses to 100 ms per
+    // candidate — no disconnect, no corruption, just a cliff.
+    let proxy = FaultProxy::start(
+        shards[0].local_addr(),
+        FaultPlan::script(vec![
+            FaultAction::ThroughputCliff {
+                after_frame: 1,
+                ms_per_candidate: 100,
+            };
+            4
+        ]),
+    )
+    .unwrap();
+    let addrs = vec![
+        proxy.local_addr().to_string(),
+        shards[1].local_addr().to_string(),
+    ];
+    let mut config = fleet_config(addrs);
+    config.hedge_after = None; // isolate the cliff detector
+    config.cliff_fraction = 0.5;
+    config.cliff_stall = Duration::from_millis(100);
+    // Generous per-attempt budget: per-frame progress keeps the sick
+    // attempt alive, so only the cliff detector can rescue the range.
+    config.attempt_timeout = Duration::from_secs(10);
+    let coord = start_coordinator(config);
+
+    let mut client = Client::connect(coord.local_addr()).unwrap();
+    let reply = client.tune(tune_request(&graph, &machine, 32)).unwrap();
+    assert!(!reply.cancelled);
+    assert_eq!(reply.evaluated, 32, "every candidate scored exactly once");
+    assert_same_winner(
+        &reply.best.expect("fleet found a winner"),
+        &direct_winner(&graph, &machine, 32),
+    );
+
+    let fleet = coord.stats().fleet.unwrap();
+    assert!(
+        fleet.cliff_redispatches >= 1,
+        "the collapsed shard's suffix should have been re-dispatched"
+    );
+    assert_eq!(fleet.parts_discarded, 0, "no sealed part was thrown away");
+
+    coord.shutdown_and_join();
+    proxy.stop();
+    for s in shards {
+        s.shutdown_and_join();
+    }
+}
+
+/// Tentpole: retiring a shard *while it owns an in-flight range*
+/// abandons the attempt at its covered watermark and re-dispatches only
+/// the unfinished suffix to a surviving member.
+#[test]
+fn departed_shard_mid_tune_redispatches_from_watermark() {
+    let graph = wide(14);
+    let machine = MachineConfig::linear(8);
+    let shards = start_shards(2);
+    // Shard 0's stream crawls: plenty of wall-clock to retire it while
+    // its range is still in flight.
+    let proxy = FaultProxy::start(
+        shards[0].local_addr(),
+        FaultPlan::script(vec![FaultAction::StallBetweenFrames(120); 8]),
+    )
+    .unwrap();
+    let proxy_addr = proxy.local_addr().to_string();
+    let addrs = vec![proxy_addr.clone(), shards[1].local_addr().to_string()];
+    let mut config = fleet_config(addrs);
+    config.attempt_timeout = Duration::from_secs(10);
+    let coord = start_coordinator(config);
+
+    let coord_addr = coord.local_addr();
+    let tuner_thread = thread::spawn(move || {
+        let graph = wide(14);
+        let machine = MachineConfig::linear(8);
+        let mut client = Client::connect(coord_addr).unwrap();
+        client.tune(tune_request(&graph, &machine, 32)).unwrap()
+    });
+
+    // Wait until the slow shard actually owns a range...
+    let t0 = Instant::now();
+    while shards[0].stats().tune_shard.received == 0 {
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "slow shard never received its sub-range"
+        );
+        thread::sleep(Duration::from_millis(5));
+    }
+    // ...then retire it over the wire, mid-tune. Membership requests
+    // are never queued, so this lands while the tune still runs.
+    let mut admin = Client::connect(coord_addr).unwrap();
+    let left = admin.shard_leave(&proxy_addr).unwrap();
+    assert!(left.changed);
+
+    let reply = tuner_thread.join().expect("tuner thread panicked");
+    assert!(!reply.cancelled);
+    assert_eq!(reply.evaluated, 32);
+    assert_same_winner(
+        &reply.best.expect("fleet found a winner"),
+        &direct_winner(&graph, &machine, 32),
+    );
+
+    let fleet = coord.stats().fleet.unwrap();
+    assert!(
+        fleet.departed_redispatches >= 1,
+        "the retired shard's range should re-dispatch, got {fleet:?}"
+    );
+
+    coord.shutdown_and_join();
+    proxy.stop();
+    for s in shards {
+        s.shutdown_and_join();
+    }
+}
+
+/// Tentpole: per-shard EWMA weights persist in the ledger across a
+/// coordinator restart — the reborn coordinator starts *weighted*, and
+/// its stats say so.
+#[test]
+fn persisted_weights_survive_coordinator_restart() {
+    let graph = wide(12);
+    let machine = MachineConfig::linear(8);
+    let shards = start_shards(2);
+    let addrs: Vec<String> = shards.iter().map(|s| s.local_addr().to_string()).collect();
+    let ledger = tmp_ledger("restart");
+    let _ = std::fs::remove_file(&ledger);
+
+    let mut config = fleet_config(addrs.clone());
+    config.weight_ledger = Some(ledger.clone());
+    let coord = start_coordinator(config);
+    let mut client = Client::connect(coord.local_addr()).unwrap();
+    let reply = client.tune(tune_request(&graph, &machine, 24)).unwrap();
+    assert_same_winner(
+        &reply.best.expect("first life found a winner"),
+        &direct_winner(&graph, &machine, 24),
+    );
+    let fleet = coord.stats().fleet.unwrap();
+    assert!(fleet
+        .shards
+        .iter()
+        .any(|s| s.weight_source == "measured" && s.ewma_cands_per_sec > 0.0));
+    coord.shutdown_and_join();
+
+    // Second life, same ledger: weights are warm before any tune.
+    let mut config = fleet_config(addrs);
+    config.weight_ledger = Some(ledger.clone());
+    let coord = start_coordinator(config);
+    let fleet = coord.stats().fleet.unwrap();
+    assert!(
+        fleet
+            .shards
+            .iter()
+            .all(|s| s.weight_source == "persisted" && s.ewma_cands_per_sec > 0.0),
+        "restarted coordinator should start from the ledger, got {fleet:?}"
+    );
+    // And the warm weights still produce the exact direct-tuner winner.
+    let mut client = Client::connect(coord.local_addr()).unwrap();
+    let reply = client.tune(tune_request(&graph, &machine, 20)).unwrap();
+    assert_same_winner(
+        &reply.best.expect("second life found a winner"),
+        &direct_winner(&graph, &machine, 20),
+    );
+    let fleet = coord.stats().fleet.unwrap();
+    assert!(
+        fleet.shards.iter().any(|s| s.weight_source == "measured"),
+        "fresh samples should overwrite the persisted tag"
+    );
+    coord.shutdown_and_join();
+
+    let _ = std::fs::remove_file(&ledger);
+    for s in shards {
+        s.shutdown_and_join();
+    }
+}
+
+/// Tentpole: a corrupted (or truncated, or wrong-schema) ledger must
+/// never take the coordinator down — it falls back to cold weights,
+/// serves correctly, and heals the ledger on its next persist.
+#[test]
+fn corrupt_ledger_falls_back_to_cold_weights() {
+    let graph = wide(12);
+    let machine = MachineConfig::linear(8);
+    let shards = start_shards(2);
+    let addrs: Vec<String> = shards.iter().map(|s| s.local_addr().to_string()).collect();
+    let ledger = tmp_ledger("corrupt");
+    std::fs::write(&ledger, b"{\"schema\": 1, \"entries\": [trailing garbage").unwrap();
+
+    let mut config = fleet_config(addrs.clone());
+    config.weight_ledger = Some(ledger.clone());
+    let coord = start_coordinator(config);
+    let fleet = coord.stats().fleet.unwrap();
+    assert!(
+        fleet.shards.iter().all(|s| s.weight_source == "cold"),
+        "a corrupt ledger must read as no ledger, got {fleet:?}"
+    );
+
+    let mut client = Client::connect(coord.local_addr()).unwrap();
+    let reply = client.tune(tune_request(&graph, &machine, 20)).unwrap();
+    assert_same_winner(
+        &reply.best.expect("cold-start fleet found a winner"),
+        &direct_winner(&graph, &machine, 20),
+    );
+    coord.shutdown_and_join();
+
+    // The tune's persist overwrote the garbage: the next life is warm.
+    let mut config = fleet_config(addrs);
+    config.weight_ledger = Some(ledger.clone());
+    let coord = start_coordinator(config);
+    assert!(coord
+        .stats()
+        .fleet
+        .unwrap()
+        .shards
+        .iter()
+        .all(|s| s.weight_source == "persisted"));
+    coord.shutdown_and_join();
+
+    let _ = std::fs::remove_file(&ledger);
+    for s in shards {
+        s.shutdown_and_join();
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
@@ -697,6 +1010,105 @@ proptest! {
         }
         prop_assert_eq!(&winners[0].label, &winners[1].label);
 
+        for s in shards {
+            s.shutdown_and_join();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Tentpole: seeded *churn* — joins, leaves, and throughput cliffs
+    /// interleaved with tunes of random sizes — never changes the
+    /// winner and never discards a sealed part. Cliffs here slow the
+    /// stream without corrupting it, so a detector that fires (or
+    /// doesn't — timing is seed-dependent) must make no difference to
+    /// the merged result.
+    #[test]
+    fn seeded_churn_never_changes_the_winner_or_discards_parts(
+        seed in any::<u64>(),
+        ncands in prop::collection::vec(8usize..28, 3),
+    ) {
+        let graph = wide(10);
+        let machine = MachineConfig::linear(8);
+        let shards = start_shards(3);
+        // Shards 0 and 1 sit behind churn-flavored proxies: clean
+        // passes, delays, stalls, and throughput cliffs — no
+        // corruption, so every sealed part must merge.
+        let churn_plan = |salt: u64| {
+            let actions = (0..6u64)
+                .map(|i| {
+                    let r = mix64(seed ^ salt ^ mix64(i));
+                    match r % 4 {
+                        0 => FaultAction::Pass,
+                        1 => FaultAction::Delay(5 + (r >> 8) % 20),
+                        2 => FaultAction::StallBetweenFrames(5 + (r >> 8) % 20),
+                        _ => FaultAction::ThroughputCliff {
+                            after_frame: ((r >> 8) % 2) as u32,
+                            ms_per_candidate: 1 + (r >> 16) % 3,
+                        },
+                    }
+                })
+                .collect();
+            FaultPlan::script(actions)
+        };
+        let proxies: Vec<FaultProxy> = (0..2)
+            .map(|i| FaultProxy::start(shards[i].local_addr(), churn_plan(i as u64)).unwrap())
+            .collect();
+        let third = shards[2].local_addr().to_string();
+        let addrs: Vec<String> = proxies.iter().map(|p| p.local_addr().to_string()).collect();
+        let mut config = fleet_config(addrs.clone());
+        config.cliff_fraction = 0.35;
+        config.cliff_stall = Duration::from_millis(60);
+        let coord = start_coordinator(config);
+
+        let mut client = Client::connect(coord.local_addr()).unwrap();
+        let mut third_in = false;
+        for (round, &ncand) in ncands.iter().enumerate() {
+            // One seeded membership op between tunes: admit the third
+            // shard, retire it, or bounce a proxied founder.
+            let r = mix64(seed ^ 0xC0FF_EE00 ^ round as u64);
+            match r % 3 {
+                0 => {
+                    let rep = client.shard_join(&third).unwrap();
+                    prop_assert_eq!(rep.changed, !third_in);
+                    third_in = true;
+                }
+                1 => {
+                    let rep = client.shard_leave(&third).unwrap();
+                    prop_assert_eq!(rep.changed, third_in);
+                    third_in = false;
+                }
+                _ => {
+                    let bounced = &addrs[(r >> 8) as usize % 2];
+                    prop_assert!(client.shard_leave(bounced).unwrap().changed);
+                    prop_assert!(client.shard_join(bounced).unwrap().changed);
+                }
+            }
+
+            let reply = client.tune(tune_request(&graph, &machine, ncand)).unwrap();
+            let expected = direct_winner(&graph, &machine, ncand);
+            let served = reply.best.expect("churned fleet found a winner");
+            prop_assert!(!reply.cancelled);
+            prop_assert_eq!(reply.evaluated, ncand as u64);
+            prop_assert_eq!(&served.label, &expected.label);
+            prop_assert_eq!(served.score.to_bits(), expected.score.to_bits());
+            prop_assert_eq!(&served.resolved, &expected.resolved);
+
+            let fleet = coord.stats().fleet.unwrap();
+            prop_assert_eq!(fleet.parts_discarded, 0, "churn must not void sealed parts");
+            prop_assert_eq!(fleet.corrupt_discarded, 0);
+        }
+
+        let fleet = coord.stats().fleet.unwrap();
+        prop_assert!(fleet.membership_epoch >= 2, "every round churned the roster");
+        prop_assert_eq!(fleet.joins + fleet.leaves, fleet.membership_epoch - 1);
+
+        coord.shutdown_and_join();
+        for p in proxies {
+            p.stop();
+        }
         for s in shards {
             s.shutdown_and_join();
         }
