@@ -22,6 +22,16 @@ echo "== incremental-engine parity under debug assertions =="
 cargo test -q -p fm-core -- delta:: anneal
 cargo test -q --test proptests incremental
 
+echo "== flat-engine parity under debug assertions =="
+# Debug builds assert every flat evaluation (interned PEs, SoA folds,
+# scratch arenas) bit-identical to the reference path; the proptest
+# drives random graphs/mappings/moves through flat, delta, and
+# reference simultaneously, and the alloc test proves the steady state
+# never touches the heap.
+cargo test -q -p fm-core -- flat::
+cargo test -q --test proptests flat_delta_and_reference
+cargo test -q --test alloc_regression
+
 echo "== table smoke runs (--quick) =="
 cargo run --release -q -p fm-bench --bin table_e4_fft_search -- --quick >/dev/null
 cargo run --release -q -p fm-bench --bin table_e8_default_mapper -- --quick >/dev/null
@@ -97,6 +107,18 @@ cargo test --release -q -p fm-serve --test fleet_faults -- \
     membership_join_and_leave corrupt_ledger_falls_back \
     persisted_weights_survive throughput_cliff departed_shard seeded_churn
 cargo run --release -q -p fm-bench --bin table_e21_churn -- --quick --no-json >/dev/null
+
+echo "== evalperf-smoke: flat-engine parity + E22 quick run =="
+# The E22 binary gates on bit parity before timing anything: every
+# candidate's score bits and the winner index must match between the
+# flat engine and the reference path, and its counting global
+# allocator asserts zero steady-state allocations. The quick run
+# exercises all of that end to end and must emit its BENCH_e22.json
+# rows (scratch dir so a smoke run never clobbers full-run numbers).
+e22_dir="$(mktemp -d)"
+cargo run --release -q -p fm-bench --bin table_e22_evalperf -- --quick --json "$e22_dir/BENCH_e22.json" >/dev/null
+[ -s "$e22_dir/BENCH_e22.json" ] || { echo "evalperf-smoke: E22 emitted no JSON"; exit 1; }
+rm -rf "$e22_dir"
 
 echo "== serve-smoke: daemon + example over the wire =="
 # Launch the real daemon on an ephemeral port, run the example against

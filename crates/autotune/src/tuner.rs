@@ -10,13 +10,14 @@ use serde::{Deserialize, Serialize};
 use fm_core::cost::{CostReport, Evaluator};
 use fm_core::dataflow::DataflowGraph;
 use fm_core::delta::DeltaCandidates;
+use fm_core::flat::BatchEvaluator;
 use fm_core::legality::check;
 use fm_core::machine::MachineConfig;
 use fm_core::mapping::ResolvedMapping;
 use fm_core::mutate::AppliedEdit;
 use fm_core::search::{
-    anneal, assemble_outcome, default_mapper, evaluate_candidate, CandidateEval, FigureOfMerit,
-    MappingCandidate, SearchOutcome,
+    anneal, assemble_outcome, default_mapper, CandidateEval, FigureOfMerit, MappingCandidate,
+    SearchOutcome,
 };
 use fm_workspan::{par_map, par_map_until_cancel, ThreadPool};
 
@@ -440,19 +441,17 @@ impl<'a> Tuner<'a> {
             .as_ref()
             .map(CancelToken::as_atomic)
             .unwrap_or(&never);
+        // One flat-engine context per tune: the consumer lists, cost
+        // prefixes, and off-chip totals shared by every candidate are
+        // hoisted here, and each worker thread checks out a persistent
+        // scratch arena — steady-state candidate evaluation allocates
+        // nothing and matches `evaluate_candidate` bit-for-bit.
+        let batch = BatchEvaluator::new(self.evaluator, self.graph, self.machine, self.fom);
         let evals: Vec<CandidateEval> = match self.pool {
             Some(pool) => par_map_until_cancel(
                 pool,
                 cap,
-                |i| {
-                    evaluate_candidate(
-                        self.evaluator,
-                        self.graph,
-                        self.machine,
-                        &candidates[i],
-                        self.fom,
-                    )
-                },
+                |i| batch.evaluate_candidate(&candidates[i]),
                 |i, eval| frontier.feed(i, eval),
                 cancel_flag,
             ),
@@ -465,13 +464,7 @@ impl<'a> Tuner<'a> {
                     if cancel_flag.load(Ordering::Acquire) {
                         break;
                     }
-                    let eval = evaluate_candidate(
-                        self.evaluator,
-                        self.graph,
-                        self.machine,
-                        cand,
-                        self.fom,
-                    );
+                    let eval = batch.evaluate_candidate(cand);
                     let stop = frontier.feed(i, &eval);
                     evals.push(eval);
                     if stop {

@@ -1,0 +1,83 @@
+//! Regenerates the E22 table (flat evaluation engine: evals/sec and
+//! moves/sec vs the reference path) and writes `BENCH_e22.json`.
+//!
+//! This binary installs a counting global allocator so the timed flat
+//! loop can be audited allocation-free (the `allocs/eval` column; the
+//! bar is 0 and is asserted inside the measurement). `--quick` shrinks
+//! timed rounds for a fast smoke run, e.g. from `ci.sh`. `--json PATH`
+//! overrides the JSON output path; `--no-json` suppresses it.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Forwards to the system allocator, counting every allocation so the
+/// bench can prove the flat engine's steady state never touches the
+/// heap.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn alloc_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let no_json = args.iter().any(|a| a == "--no-json");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_e22.json".to_string());
+    let rows = fm_bench::e22_evalperf::run_with_counter(quick, Some(alloc_count));
+    print!("{}", fm_bench::e22_evalperf::print(&rows));
+    // The headline acceptance bar: ≥2× single-thread evals/sec on the
+    // E4 FFT workload. Only meaningful in release builds — debug
+    // parity asserts make the flat full path intentionally slower.
+    if cfg!(not(debug_assertions)) && !quick {
+        for r in rows.iter().filter(|r| r.kind == "evals") {
+            assert!(
+                r.speedup >= 2.0,
+                "{}: flat engine speedup {:.2}x below the 2x bar",
+                r.workload,
+                r.speedup
+            );
+        }
+    }
+    if !no_json {
+        let doc = fm_bench::e22_evalperf::to_json(&rows);
+        match std::fs::write(&json_path, doc) {
+            Ok(()) => println!("\nwrote {json_path}"),
+            Err(e) => {
+                eprintln!("table_e22_evalperf: cannot write {json_path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -30,6 +30,9 @@ pub struct Row {
     pub edp: f64,
     /// On-chip traffic in bit·mm.
     pub bit_mm: f64,
+    /// Which roofline roof binds this mapping: `"compute"`,
+    /// `"onchip-bw"`, or `"offchip-bw"`.
+    pub bound: String,
     /// On the global time/energy Pareto front?
     pub pareto: bool,
 }
@@ -88,6 +91,7 @@ pub fn run_with_cache(
                 energy_pj: r.report.energy().raw() / 1e3,
                 edp: r.report.edp(),
                 bit_mm: r.report.ledger.onchip_bit_mm,
+                bound: ev.roofline(&r.report).bound,
                 pareto: false,
             });
         }
@@ -119,6 +123,7 @@ pub fn print(n: usize, rows: &[Row]) -> String {
                 table::f(r.energy_pj),
                 table::f(r.edp),
                 table::f(r.bit_mm),
+                r.bound.clone(),
                 if r.pareto { "*" } else { "" }.to_string(),
             ]
         })
@@ -130,6 +135,7 @@ pub fn print(n: usize, rows: &[Row]) -> String {
             "energy pJ",
             "EDP",
             "bit·mm",
+            "bound",
             "pareto",
         ],
         &table_rows,

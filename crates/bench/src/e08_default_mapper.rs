@@ -36,6 +36,9 @@ pub struct Row {
     pub cycles: i64,
     /// Energy in pJ.
     pub energy_pj: f64,
+    /// Which roofline roof binds this mapping: `"compute"`,
+    /// `"onchip-bw"`, or `"offchip-bw"`.
+    pub bound: String,
 }
 
 /// Run the mappers over three kernels on a `cols×rows` machine.
@@ -58,14 +61,14 @@ pub fn run_with_cache(cols: u32, rows_m: u32, cache_dir: Option<&Path>) -> Vec<R
                     machine: &MachineConfig| {
         let rep = check(graph, &rm, machine);
         assert!(rep.is_legal(), "{kernel}/{mapper}");
-        let report = Evaluator::new(graph, machine)
-            .with_all_inputs(InputPlacement::AtUse)
-            .evaluate(&rm);
+        let ev = Evaluator::new(graph, machine).with_all_inputs(InputPlacement::AtUse);
+        let report = ev.evaluate(&rm);
         out.push(Row {
             kernel: kernel.to_string(),
             mapper: mapper.to_string(),
             cycles: report.cycles,
             energy_pj: report.energy().raw() / 1e3,
+            bound: ev.roofline(&report).bound,
         });
     };
 
@@ -182,11 +185,12 @@ pub fn print(rows: &[Row]) -> String {
                 r.mapper.clone(),
                 r.cycles.to_string(),
                 table::f(r.energy_pj),
+                r.bound.clone(),
             ]
         })
         .collect();
     out.push_str(&table::render(
-        &["kernel", "mapper", "cycles", "energy pJ"],
+        &["kernel", "mapper", "cycles", "energy pJ", "bound"],
         &table_rows,
     ));
     out.push_str("\nthe claim under test: default ≤ serial in time, for every kernel.\n");

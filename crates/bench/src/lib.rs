@@ -44,3 +44,4 @@ pub mod e18_session;
 pub mod e19_wire;
 pub mod e20_costmodels;
 pub mod e21_churn;
+pub mod e22_evalperf;

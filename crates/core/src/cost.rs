@@ -65,20 +65,8 @@ pub struct NodeCost {
     pub onchip_bit_mm: f64,
 }
 
-impl NodeCost {
-    fn combine(a: NodeCost, b: NodeCost) -> NodeCost {
-        NodeCost {
-            compute_fj: a.compute_fj + b.compute_fj,
-            compute_ops: a.compute_ops + b.compute_ops,
-            onchip_fj: a.onchip_fj + b.onchip_fj,
-            onchip_messages: a.onchip_messages + b.onchip_messages,
-            onchip_bits: a.onchip_bits + b.onchip_bits,
-            onchip_bit_mm: a.onchip_bit_mm + b.onchip_bit_mm,
-        }
-    }
-}
-
-/// A fixed-shape pairwise-reduction tree over per-node costs.
+/// A fixed-shape pairwise-reduction tree over per-node costs, stored
+/// as a structure of arrays.
 ///
 /// Floating-point addition is not associative, so the *shape* of the
 /// summation decides the bits of the total. Both the full evaluator and
@@ -86,42 +74,141 @@ impl NodeCost {
 /// padded with zeros; `0.0 + x == x` exactly for the non-negative
 /// energies charged here), so a leaf update followed by an `O(log n)`
 /// path refresh reproduces the full sum bit-for-bit.
-#[derive(Debug, Clone)]
+///
+/// The six [`NodeCost`] fields combine independently (field-wise adds),
+/// so the layout is one array per field rather than an array of
+/// structs: a full rebuild ([`CostTree::refresh`]) streams six
+/// contiguous arrays instead of striding through 56-byte structs, and
+/// the tree can be reset in place with zero allocation once it has
+/// grown to a graph's size.
+#[derive(Debug, Clone, Default)]
 pub struct CostTree {
     cap: usize,
-    nodes: Vec<NodeCost>,
+    len: usize,
+    compute_fj: Vec<f64>,
+    compute_ops: Vec<u64>,
+    onchip_fj: Vec<f64>,
+    onchip_messages: Vec<u64>,
+    onchip_bits: Vec<u64>,
+    onchip_bit_mm: Vec<f64>,
 }
 
 impl CostTree {
+    /// An empty tree (all-zero total); grows on first [`Self::reset`].
+    pub fn new() -> CostTree {
+        CostTree::default()
+    }
+
     /// Build from leaves (empty input yields an all-zero total).
     pub fn build(leaves: &[NodeCost]) -> CostTree {
-        let cap = leaves.len().next_power_of_two().max(1);
-        let mut nodes = vec![NodeCost::default(); 2 * cap];
-        nodes[cap..cap + leaves.len()].copy_from_slice(leaves);
-        for i in (1..cap).rev() {
-            nodes[i] = NodeCost::combine(nodes[2 * i], nodes[2 * i + 1]);
+        let mut t = CostTree::default();
+        t.reset(leaves.len());
+        for (i, &v) in leaves.iter().enumerate() {
+            t.set_leaf(i, v);
         }
-        CostTree { cap, nodes }
+        t.refresh();
+        t
+    }
+
+    /// Re-shape for `len` leaves, zeroing every slot. Allocates only
+    /// when the tree grows past any previous capacity, so a scratch
+    /// tree reused across evaluations is allocation-free in steady
+    /// state.
+    pub fn reset(&mut self, len: usize) {
+        let cap = len.next_power_of_two().max(1);
+        self.cap = cap;
+        self.len = len;
+        let n = 2 * cap;
+        fn zero<T: Copy>(v: &mut Vec<T>, n: usize, z: T) {
+            v.clear();
+            v.resize(n, z);
+        }
+        zero(&mut self.compute_fj, n, 0.0);
+        zero(&mut self.compute_ops, n, 0);
+        zero(&mut self.onchip_fj, n, 0.0);
+        zero(&mut self.onchip_messages, n, 0);
+        zero(&mut self.onchip_bits, n, 0);
+        zero(&mut self.onchip_bit_mm, n, 0.0);
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree holds no leaves.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Write leaf `i` without refreshing internal nodes (pair with
+    /// [`Self::refresh`] after a bulk fill).
+    pub fn set_leaf(&mut self, i: usize, v: NodeCost) {
+        let j = self.cap + i;
+        self.compute_fj[j] = v.compute_fj;
+        self.compute_ops[j] = v.compute_ops;
+        self.onchip_fj[j] = v.onchip_fj;
+        self.onchip_messages[j] = v.onchip_messages;
+        self.onchip_bits[j] = v.onchip_bits;
+        self.onchip_bit_mm[j] = v.onchip_bit_mm;
+    }
+
+    /// Recompute every internal node bottom-up, one contiguous pass per
+    /// field. Same combine shape as [`Self::update`]'s path refresh, so
+    /// the total is bit-identical either way.
+    pub fn refresh(&mut self) {
+        fn up_f64(a: &mut [f64], cap: usize) {
+            for i in (1..cap).rev() {
+                a[i] = a[2 * i] + a[2 * i + 1];
+            }
+        }
+        fn up_u64(a: &mut [u64], cap: usize) {
+            for i in (1..cap).rev() {
+                a[i] = a[2 * i] + a[2 * i + 1];
+            }
+        }
+        up_f64(&mut self.compute_fj, self.cap);
+        up_u64(&mut self.compute_ops, self.cap);
+        up_f64(&mut self.onchip_fj, self.cap);
+        up_u64(&mut self.onchip_messages, self.cap);
+        up_u64(&mut self.onchip_bits, self.cap);
+        up_f64(&mut self.onchip_bit_mm, self.cap);
     }
 
     /// Replace leaf `i` and refresh its root path.
     pub fn update(&mut self, i: usize, v: NodeCost) {
+        self.set_leaf(i, v);
         let mut j = self.cap + i;
-        self.nodes[j] = v;
         while j > 1 {
             j /= 2;
-            self.nodes[j] = NodeCost::combine(self.nodes[2 * j], self.nodes[2 * j + 1]);
+            self.compute_fj[j] = self.compute_fj[2 * j] + self.compute_fj[2 * j + 1];
+            self.compute_ops[j] = self.compute_ops[2 * j] + self.compute_ops[2 * j + 1];
+            self.onchip_fj[j] = self.onchip_fj[2 * j] + self.onchip_fj[2 * j + 1];
+            self.onchip_messages[j] = self.onchip_messages[2 * j] + self.onchip_messages[2 * j + 1];
+            self.onchip_bits[j] = self.onchip_bits[2 * j] + self.onchip_bits[2 * j + 1];
+            self.onchip_bit_mm[j] = self.onchip_bit_mm[2 * j] + self.onchip_bit_mm[2 * j + 1];
+        }
+    }
+
+    fn at(&self, j: usize) -> NodeCost {
+        NodeCost {
+            compute_fj: self.compute_fj[j],
+            compute_ops: self.compute_ops[j],
+            onchip_fj: self.onchip_fj[j],
+            onchip_messages: self.onchip_messages[j],
+            onchip_bits: self.onchip_bits[j],
+            onchip_bit_mm: self.onchip_bit_mm[j],
         }
     }
 
     /// Current value of leaf `i`.
     pub fn leaf(&self, i: usize) -> NodeCost {
-        self.nodes[self.cap + i]
+        self.at(self.cap + i)
     }
 
     /// The tree-shaped sum of all leaves.
     pub fn total(&self) -> NodeCost {
-        self.nodes[1]
+        self.at(1)
     }
 }
 
@@ -140,7 +227,7 @@ pub struct OffchipTotals {
 }
 
 /// Unflatten a row-major flat index against a tensor's dims.
-fn unflatten(spec: &InputSpec, flat: u32) -> Vec<i64> {
+pub(crate) fn unflatten(spec: &InputSpec, flat: u32) -> Vec<i64> {
     let mut idx = vec![0i64; spec.dims.len()];
     let mut rem = flat as usize;
     for (k, &d) in spec.dims.iter().enumerate().rev() {
@@ -268,6 +355,16 @@ impl<'a> Evaluator<'a> {
         self.machine
     }
 
+    /// The placement of one input (for the flat engine's precompute).
+    pub(crate) fn input_placement(&self, input: usize) -> &InputPlacement {
+        &self.input_placements[input]
+    }
+
+    /// Whether def→use traffic routes as multicast trees.
+    pub(crate) fn multicast_on(&self) -> bool {
+        self.multicast
+    }
+
     /// The ledger contribution of node `id` under the given placements:
     /// its ops, result write, operand/input reads, and the def→use
     /// messages it produces to its (remote) consumers. Depends only on
@@ -278,6 +375,20 @@ impl<'a> Evaluator<'a> {
         id: usize,
         place: &[(i64, i64)],
         consumers: &[Vec<NodeId>],
+    ) -> NodeCost {
+        self.node_cost_in(id, place, &consumers[id], &mut Vec::new())
+    }
+
+    /// [`Self::node_cost`] with a caller-owned buffer for the distinct
+    /// remote consumer PEs, so hot loops (the incremental evaluator's
+    /// repair path, the warm-tune flush) re-cost nodes without a heap
+    /// allocation per call. `consumers` is node `id`'s consumer list.
+    pub(crate) fn node_cost_in(
+        &self,
+        id: usize,
+        place: &[(i64, i64)],
+        consumers: &[NodeId],
+        pes: &mut Vec<(i64, i64)>,
     ) -> NodeCost {
         let g = self.graph;
         let m = self.machine;
@@ -336,11 +447,13 @@ impl<'a> Evaluator<'a> {
         // Def→use movement this node *produces*: one message per
         // distinct remote consumer PE.
         let prod = place[id];
-        let mut pes: Vec<(i64, i64)> = consumers[id]
-            .iter()
-            .map(|&cn| place[cn as usize])
-            .filter(|&p| p != prod)
-            .collect();
+        pes.clear();
+        pes.extend(
+            consumers
+                .iter()
+                .map(|&cn| place[cn as usize])
+                .filter(|&p| p != prod),
+        );
         pes.sort_unstable();
         pes.dedup();
         let a = (prod.0 as u32, prod.1 as u32);
@@ -352,7 +465,7 @@ impl<'a> Evaluator<'a> {
                 onchip(mm, e, &mut c);
             }
         } else {
-            for pe in pes {
+            for &pe in pes.iter() {
                 let b = (pe.0 as u32, pe.1 as u32);
                 let e = be.wire_energy(&m.tech, width, m.tech.chip.manhattan(a, b));
                 onchip(m.distance_mm(a, b), e, &mut c);
@@ -439,6 +552,29 @@ impl<'a> Evaluator<'a> {
         peak_tile_bits: u64,
         pes_used: usize,
     ) -> CostReport {
+        self.assemble_with_name(
+            self.graph.name.clone(),
+            total,
+            off,
+            cycles,
+            peak_tile_bits,
+            pes_used,
+        )
+    }
+
+    /// [`Self::assemble`] with a caller-supplied name. The flat
+    /// engine's scoring path passes an empty string so assembling a
+    /// report allocates nothing; every numeric field is computed by the
+    /// exact same arithmetic either way.
+    pub(crate) fn assemble_with_name(
+        &self,
+        name: String,
+        total: NodeCost,
+        off: &OffchipTotals,
+        cycles: i64,
+        peak_tile_bits: u64,
+        pes_used: usize,
+    ) -> CostReport {
         let g = self.graph;
         let mut ledger = EnergyLedger::new();
         ledger.energy.compute = Femtojoules::new(total.compute_fj);
@@ -457,7 +593,7 @@ impl<'a> Evaluator<'a> {
             0.0
         };
         CostReport {
-            name: g.name.clone(),
+            name,
             cycles,
             time_ps: self.machine.clock_period() * cycles as f64,
             ledger,
@@ -519,7 +655,39 @@ impl<'a> Evaluator<'a> {
 
     /// Evaluate the mapped function. The mapping is assumed legal; run
     /// [`crate::legality::check`] first.
+    ///
+    /// This runs the flat engine ([`crate::flat`]): PE coordinates are
+    /// interned to dense ids, per-node costs stream into a
+    /// structure-of-arrays [`CostTree`], and all working memory comes
+    /// from a thread-local scratch arena. Mappings with off-grid places
+    /// (possible only for unchecked mappings) fall back to
+    /// [`Self::evaluate_ref`]. Debug builds assert the two paths agree
+    /// bit-for-bit on every call.
     pub fn evaluate(&self, rm: &ResolvedMapping) -> CostReport {
+        let ctx = crate::flat::EvalContext::new(self);
+        let flat = crate::flat::with_thread_scratch(|scratch| {
+            ctx.evaluate_report(self, &rm.place, &rm.time, scratch)
+        });
+        match flat {
+            Some(report) => {
+                debug_assert_eq!(
+                    report,
+                    self.evaluate_ref(rm),
+                    "flat evaluation diverged from the reference path"
+                );
+                report
+            }
+            None => self.evaluate_ref(rm),
+        }
+    }
+
+    /// Reference implementation of [`Self::evaluate`]: the original
+    /// per-call path (consumer lists, leaves and off-chip totals all
+    /// rebuilt here). Kept as the bit-identity anchor the flat engine
+    /// is debug-asserted and benchmarked (E22) against, and as the
+    /// fallback for off-grid places.
+    #[doc(hidden)]
+    pub fn evaluate_ref(&self, rm: &ResolvedMapping) -> CostReport {
         let g = self.graph;
         let consumers = g.consumers();
         let leaves: Vec<NodeCost> = (0..g.len())

@@ -66,6 +66,7 @@ use std::collections::{BTreeMap, BinaryHeap, HashMap};
 
 use crate::cost::{CostReport, CostTree, Evaluator, NodeCost, OffchipTotals};
 use crate::dataflow::{DataflowGraph, Node, NodeId};
+use crate::flat::EvalContext;
 use crate::machine::MachineConfig;
 use crate::mapping::{Mapping, ResolvedMapping};
 use crate::mutate::AppliedEdit;
@@ -82,12 +83,42 @@ const FAR_FUTURE: i64 = i64::MAX / 4;
 #[derive(Debug, Clone, Copy)]
 enum UndoEntry {
     Place { node: usize, pe: (i64, i64) },
-    RemovedFromPe { pe: (i64, i64), id: NodeId },
-    InsertedToPe { pe: (i64, i64), id: NodeId },
+    RemovedFromPe { pe: u32, id: NodeId },
+    InsertedToPe { pe: u32, id: NodeId },
     Time { id: NodeId, t: i64 },
     LastUse { id: NodeId, t: i64 },
-    Peak { pe: (i64, i64), v: Option<u64> },
+    Peak { pe: u32, v: Option<u64> },
     Leaf { id: NodeId, cost: NodeCost },
+}
+
+/// Per-PE occupancy cursor shared across the pops of one move: the
+/// sorted slot multiset of finalized smaller-id same-PE times, extended
+/// as a cursor walks up the PE's membership list.
+#[derive(Debug, Default)]
+struct Occ {
+    cursor: usize,
+    slots: Vec<i64>,
+}
+
+/// Reusable per-move working buffers. Taken out of the evaluator at the
+/// start of [`DeltaEvaluator::apply_move`] (so the borrow checker sees
+/// them as locals) and put back at the end; cleared via epoch stamps and
+/// `clear()`, never freed, so steady-state moves allocate nothing.
+#[derive(Debug, Default)]
+struct MoveScratch {
+    heap: BinaryHeap<Reverse<NodeId>>,
+    /// Dense per-PE occupancy cursors, validated by epoch stamp.
+    occ: Vec<Occ>,
+    occ_epoch: Vec<u64>,
+    epoch: u64,
+    /// Interned ids of PEs whose lifetimes may have moved.
+    dirty_pes: Vec<usize>,
+    /// Live-interval endpoints for one PE's peak re-sweep.
+    events: Vec<(i64, i64)>,
+    /// Distinct remote consumer PEs for one node's re-cost.
+    pes: Vec<(i64, i64)>,
+    /// Multicast destinations (what-if path only).
+    dests: Vec<(u32, u32)>,
 }
 
 fn hist_add<K: Ord>(h: &mut BTreeMap<K, u32>, k: K) {
@@ -116,18 +147,28 @@ pub struct DeltaEvaluator<'e, 'a> {
     ev: &'e Evaluator<'a>,
     graph: &'a DataflowGraph,
     machine: &'a MachineConfig,
-    consumers: Vec<Vec<NodeId>>,
+    /// Shared flat-evaluation state: CSR consumer lists and the
+    /// placement-independent cost prefixes (replaces the old
+    /// `Vec<Vec<NodeId>>` consumer index).
+    ctx: EvalContext,
     place: Vec<(i64, i64)>,
     time: Vec<i64>,
     /// max(own time, consumer times); outputs are *not* extended here —
     /// the sweep substitutes [`FAR_FUTURE`] for them.
     last_use: Vec<i64>,
-    /// Node ids per PE, ascending. No empty lists are kept.
-    pe_nodes: HashMap<(i64, i64), Vec<NodeId>>,
+    /// Grid columns, for interning places to dense PE ids
+    /// (`pe = y·cols + x`; every held place is on-grid by invariant).
+    cols: i64,
+    /// Node ids per PE, ascending, indexed by interned PE id. Empty
+    /// lists mean unoccupied (they stay allocated for reuse).
+    pe_nodes: Vec<Vec<NodeId>>,
+    /// Number of non-empty `pe_nodes` lists — the report's PEs-used.
+    occupied: usize,
     /// Multiset of node times; max key + 1 = makespan.
     time_hist: BTreeMap<i64, u32>,
-    /// Peak live bits per occupied PE.
-    peaks: HashMap<(i64, i64), u64>,
+    /// Peak live bits per PE, indexed by interned PE id; `None` =
+    /// unoccupied.
+    peaks: Vec<Option<u64>>,
     /// Multiset of per-PE peaks; max key = global peak.
     peak_hist: BTreeMap<u64, u32>,
     /// PEs whose peak exceeds `machine.tile_bits`.
@@ -138,6 +179,8 @@ pub struct DeltaEvaluator<'e, 'a> {
     /// Mutations of the most recent [`Self::apply_move`], for
     /// [`Self::undo`]. Cleared at the start of each move.
     journal: Vec<UndoEntry>,
+    /// Reusable per-move buffers (see [`MoveScratch`]).
+    scratch: MoveScratch,
     paranoid: bool,
 }
 
@@ -157,7 +200,7 @@ impl<'e, 'a> DeltaEvaluator<'e, 'a> {
             assert!(machine.contains(x, y), "initial place ({x},{y}) off-grid");
         }
         let rm = crate::search::retime(graph, init_places, machine);
-        let consumers = graph.consumers();
+        let ctx = EvalContext::new(ev);
 
         let mut last_use = rm.time.clone();
         for (id, n) in graph.nodes.iter().enumerate() {
@@ -168,48 +211,69 @@ impl<'e, 'a> DeltaEvaluator<'e, 'a> {
             }
         }
 
-        let mut pe_nodes: HashMap<(i64, i64), Vec<NodeId>> = HashMap::new();
+        let cols = i64::from(machine.cols);
+        let pe_count = machine.cols as usize * machine.rows as usize;
+        let mut pe_nodes: Vec<Vec<NodeId>> = vec![Vec::new(); pe_count];
         for (id, &pe) in rm.place.iter().enumerate() {
-            pe_nodes.entry(pe).or_default().push(id as NodeId);
+            pe_nodes[(pe.1 * cols + pe.0) as usize].push(id as NodeId);
         }
+        let occupied = pe_nodes.iter().filter(|l| !l.is_empty()).count();
 
         let mut time_hist = BTreeMap::new();
         for &t in &rm.time {
             hist_add(&mut time_hist, t);
         }
 
+        let mut pes = Vec::new();
+        let mut dests = Vec::new();
         let leaves: Vec<NodeCost> = (0..graph.len())
-            .map(|id| ev.node_cost(id, &rm.place, &consumers))
+            .map(|id| ctx.node_cost(ev, id, &rm.place, &mut pes, &mut dests))
             .collect();
         let tree = CostTree::build(&leaves);
-        let off = ev.offchip_totals();
+        let off = ctx.offchip();
         let n = graph.len();
 
         let mut this = DeltaEvaluator {
             ev,
             graph,
             machine,
-            consumers,
+            ctx,
             place: rm.place,
             time: rm.time,
             last_use,
+            cols,
             pe_nodes,
+            occupied,
             time_hist,
-            peaks: HashMap::new(),
+            peaks: vec![None; pe_count],
             peak_hist: BTreeMap::new(),
             over_capacity: 0,
             tree,
             off,
             in_heap: vec![false; n],
             journal: Vec::new(),
+            scratch: MoveScratch {
+                pes,
+                dests,
+                ..MoveScratch::default()
+            },
             paranoid: true,
         };
-        let pes: Vec<(i64, i64)> = this.pe_nodes.keys().copied().collect();
-        for pe in pes {
-            this.refresh_peak(pe);
+        let mut events = std::mem::take(&mut this.scratch.events);
+        for pe in 0..pe_count {
+            if !this.pe_nodes[pe].is_empty() {
+                this.refresh_peak(pe, &mut events);
+            }
         }
+        this.scratch.events = events;
         this.journal.clear();
         this
+    }
+
+    /// Interned id of an on-grid place.
+    #[inline]
+    fn pe_id(&self, pe: (i64, i64)) -> usize {
+        (pe.1 * self.cols + pe.0) as usize
     }
 
     /// Disable (or re-enable) the per-move full-parity assertion that
@@ -245,13 +309,8 @@ impl<'e, 'a> DeltaEvaluator<'e, 'a> {
     pub fn report(&self) -> CostReport {
         let cycles = self.time_hist.keys().next_back().map_or(0, |&t| t + 1);
         let peak = self.peak_hist.keys().next_back().copied().unwrap_or(0);
-        self.ev.assemble(
-            self.tree.total(),
-            &self.off,
-            cycles,
-            peak,
-            self.pe_nodes.len(),
-        )
+        self.ev
+            .assemble(self.tree.total(), &self.off, cycles, peak, self.occupied)
     }
 
     /// Score of the current mapping under `fom` (lower is better) —
@@ -279,13 +338,26 @@ impl<'e, 'a> DeltaEvaluator<'e, 'a> {
             return;
         }
         let id = node as NodeId;
+        let old_pid = self.pe_id(old_pe);
+        let new_pid = self.pe_id(new_pe);
+
+        // Check the per-move buffers out of self so the borrow checker
+        // sees them as locals, independent of the cached state.
+        let mut s = std::mem::take(&mut self.scratch);
+        let pe_count = self.pe_nodes.len();
+        if s.occ.len() < pe_count {
+            s.occ.resize_with(pe_count, Occ::default);
+            s.occ_epoch.resize(pe_count, 0);
+        }
+        s.epoch += 1;
+        s.heap.clear();
+        s.dirty_pes.clear();
 
         // Membership: the PE→nodes index drives occupancy, peaks, and
         // the pes_used count.
-        let mut heap: BinaryHeap<Reverse<NodeId>> = BinaryHeap::new();
         {
             let t_old = self.time[node];
-            let list = self.pe_nodes.get_mut(&old_pe).expect("node on its PE");
+            let list = &mut self.pe_nodes[old_pid];
             let pos = list.binary_search(&id).expect("node on its PE");
             list.remove(pos);
             // Later source-PE nodes may now schedule earlier — but only
@@ -294,23 +366,30 @@ impl<'e, 'a> DeltaEvaluator<'e, 'a> {
             for &j in &list[pos..] {
                 if self.time[j as usize] >= t_old {
                     self.in_heap[j as usize] = true;
-                    heap.push(Reverse(j));
+                    s.heap.push(Reverse(j));
                 }
             }
             if list.is_empty() {
-                self.pe_nodes.remove(&old_pe);
+                self.occupied -= 1;
             }
-            self.journal
-                .push(UndoEntry::RemovedFromPe { pe: old_pe, id });
+            self.journal.push(UndoEntry::RemovedFromPe {
+                pe: old_pid as u32,
+                id,
+            });
         }
         {
-            let list = self.pe_nodes.entry(new_pe).or_default();
+            let list = &mut self.pe_nodes[new_pid];
+            if list.is_empty() {
+                self.occupied += 1;
+            }
             let pos = list
                 .binary_search(&id)
                 .expect_err("node cannot already be on target PE");
             list.insert(pos, id);
-            self.journal
-                .push(UndoEntry::InsertedToPe { pe: new_pe, id });
+            self.journal.push(UndoEntry::InsertedToPe {
+                pe: new_pid as u32,
+                id,
+            });
             // Later destination-PE nodes are dirtied when the moved
             // node pops (first, by id order) and its new slot is known
             // — seeding them all here would over-approximate.
@@ -322,12 +401,12 @@ impl<'e, 'a> DeltaEvaluator<'e, 'a> {
         // changed even if its time does not.
         if !self.in_heap[node] {
             self.in_heap[node] = true;
-            heap.push(Reverse(id));
+            s.heap.push(Reverse(id));
         }
-        for &c in &self.consumers[node] {
+        for &c in self.ctx.consumers(node) {
             if !self.in_heap[c as usize] {
                 self.in_heap[c as usize] = true;
-                heap.push(Reverse(c));
+                s.heap.push(Reverse(c));
             }
         }
 
@@ -340,29 +419,30 @@ impl<'e, 'a> DeltaEvaluator<'e, 'a> {
         // in increasing id order (pushes only ever target ids above the
         // current pop), so each PE's slot multiset can be extended with
         // finalized times as a cursor walks up its membership list,
-        // instead of re-collecting and re-sorting per pop.
-        #[derive(Default)]
-        struct Occ {
-            cursor: usize,
-            slots: Vec<i64>,
-        }
-        let mut occ: HashMap<(i64, i64), Occ> = HashMap::new();
-        let mut dirty_pes: Vec<(i64, i64)> = vec![old_pe, new_pe];
-        while let Some(Reverse(i)) = heap.pop() {
+        // instead of re-collecting and re-sorting per pop. The cursors
+        // live in a dense per-PE array validated by epoch stamp.
+        s.dirty_pes.push(old_pid);
+        s.dirty_pes.push(new_pid);
+        while let Some(Reverse(i)) = s.heap.pop() {
             let iu = i as usize;
             self.in_heap[iu] = false;
+            let pid = self.pe_id(self.place[iu]);
             let t_new = {
-                let pe = self.place[iu];
-                let o = occ.entry(pe).or_default();
-                let list = &self.pe_nodes[&pe];
+                let o = &mut s.occ[pid];
+                if s.occ_epoch[pid] != s.epoch {
+                    s.occ_epoch[pid] = s.epoch;
+                    o.cursor = 0;
+                    o.slots.clear();
+                }
+                let list = &self.pe_nodes[pid];
                 while o.cursor < list.len() && list[o.cursor] < i {
-                    let s = self.time[list[o.cursor] as usize];
-                    let p = o.slots.partition_point(|&x| x < s);
+                    let t = self.time[list[o.cursor] as usize];
+                    let p = o.slots.partition_point(|&x| x < t);
                     debug_assert!(
-                        o.slots.get(p) != Some(&s),
+                        o.slots.get(p) != Some(&t),
                         "finalized same-PE times are pairwise distinct"
                     );
-                    o.slots.insert(p, s);
+                    o.slots.insert(p, t);
                     o.cursor += 1;
                 }
                 self.schedule_time_in(iu, &o.slots)
@@ -372,13 +452,12 @@ impl<'e, 'a> DeltaEvaluator<'e, 'a> {
                 // The moved node's slot is new on this PE: later nodes
                 // at or past it must reschedule around it, even when
                 // the moved node's own time did not change.
-                if let Some(list) = self.pe_nodes.get(&self.place[iu]) {
-                    let pos = list.partition_point(|&j| j <= i);
-                    for &j in &list[pos..] {
-                        if self.time[j as usize] >= t_new && !self.in_heap[j as usize] {
-                            self.in_heap[j as usize] = true;
-                            heap.push(Reverse(j));
-                        }
+                let list = &self.pe_nodes[pid];
+                let pos = list.partition_point(|&j| j <= i);
+                for &j in &list[pos..] {
+                    if self.time[j as usize] >= t_new && !self.in_heap[j as usize] {
+                        self.in_heap[j as usize] = true;
+                        s.heap.push(Reverse(j));
                     }
                 }
             }
@@ -389,25 +468,26 @@ impl<'e, 'a> DeltaEvaluator<'e, 'a> {
             hist_add(&mut self.time_hist, t_new);
             self.time[iu] = t_new;
             self.journal.push(UndoEntry::Time { id: i, t: t_old });
-            dirty_pes.push(self.place[iu]);
+            s.dirty_pes.push(pid);
 
             // Ripple: same-PE successors at or past the perturbed slot
             // range (slots above a node's own time are never consulted
             // by its gap scan), and consumers.
             let lo = t_old.min(t_new);
-            if let Some(list) = self.pe_nodes.get(&self.place[iu]) {
+            {
+                let list = &self.pe_nodes[pid];
                 let pos = list.partition_point(|&j| j <= i);
                 for &j in &list[pos..] {
                     if self.time[j as usize] >= lo && !self.in_heap[j as usize] {
                         self.in_heap[j as usize] = true;
-                        heap.push(Reverse(j));
+                        s.heap.push(Reverse(j));
                     }
                 }
             }
-            for &c in &self.consumers[iu] {
+            for &c in self.ctx.consumers(iu) {
                 if !self.in_heap[c as usize] {
                     self.in_heap[c as usize] = true;
-                    heap.push(Reverse(c));
+                    s.heap.push(Reverse(c));
                 }
             }
 
@@ -430,7 +510,7 @@ impl<'e, 'a> DeltaEvaluator<'e, 'a> {
                         t: self.last_use[du],
                     });
                     self.last_use[du] = lu;
-                    dirty_pes.push(self.place[du]);
+                    s.dirty_pes.push(self.pe_id(self.place[du]));
                 }
             }
         }
@@ -441,24 +521,31 @@ impl<'e, 'a> DeltaEvaluator<'e, 'a> {
             id,
             cost: self.tree.leaf(node),
         });
-        self.tree
-            .update(node, self.ev.node_cost(node, &self.place, &self.consumers));
+        let c = self
+            .ctx
+            .node_cost(self.ev, node, &self.place, &mut s.pes, &mut s.dests);
+        self.tree.update(node, c);
         for k in 0..self.graph.nodes[node].deps.len() {
             let du = self.graph.nodes[node].deps[k] as usize;
             self.journal.push(UndoEntry::Leaf {
                 id: du as NodeId,
                 cost: self.tree.leaf(du),
             });
-            self.tree
-                .update(du, self.ev.node_cost(du, &self.place, &self.consumers));
+            let c = self
+                .ctx
+                .node_cost(self.ev, du, &self.place, &mut s.pes, &mut s.dests);
+            self.tree.update(du, c);
         }
 
         // Re-sweep peaks only where lifetimes could have moved.
-        dirty_pes.sort_unstable();
-        dirty_pes.dedup();
-        for pe in dirty_pes {
-            self.refresh_peak(pe);
+        s.dirty_pes.sort_unstable();
+        s.dirty_pes.dedup();
+        let mut events = std::mem::take(&mut s.events);
+        for k in 0..s.dirty_pes.len() {
+            self.refresh_peak(s.dirty_pes[k], &mut events);
         }
+        s.events = events;
+        self.scratch = s;
 
         if cfg!(debug_assertions) && self.paranoid {
             self.assert_parity();
@@ -474,18 +561,21 @@ impl<'e, 'a> DeltaEvaluator<'e, 'a> {
             match e {
                 UndoEntry::Place { node, pe } => self.place[node] = pe,
                 UndoEntry::RemovedFromPe { pe, id } => {
-                    let list = self.pe_nodes.entry(pe).or_default();
+                    let list = &mut self.pe_nodes[pe as usize];
+                    if list.is_empty() {
+                        self.occupied += 1;
+                    }
                     let pos = list
                         .binary_search(&id)
                         .expect_err("undo: node already back on PE");
                     list.insert(pos, id);
                 }
                 UndoEntry::InsertedToPe { pe, id } => {
-                    let list = self.pe_nodes.get_mut(&pe).expect("undo: PE exists");
+                    let list = &mut self.pe_nodes[pe as usize];
                     let pos = list.binary_search(&id).expect("undo: node on PE");
                     list.remove(pos);
                     if list.is_empty() {
-                        self.pe_nodes.remove(&pe);
+                        self.occupied -= 1;
                     }
                 }
                 UndoEntry::Time { id, t } => {
@@ -497,7 +587,7 @@ impl<'e, 'a> DeltaEvaluator<'e, 'a> {
                 UndoEntry::LastUse { id, t } => self.last_use[id as usize] = t,
                 UndoEntry::Peak { pe, v } => {
                     let cap = self.machine.tile_bits;
-                    if let Some(c) = self.peaks.remove(&pe) {
+                    if let Some(c) = self.peaks[pe as usize].take() {
                         hist_remove(&mut self.peak_hist, c);
                         if c > cap {
                             self.over_capacity -= 1;
@@ -508,7 +598,7 @@ impl<'e, 'a> DeltaEvaluator<'e, 'a> {
                         if x > cap {
                             self.over_capacity += 1;
                         }
-                        self.peaks.insert(pe, x);
+                        self.peaks[pe as usize] = Some(x);
                     }
                 }
                 UndoEntry::Leaf { id, cost } => self.tree.update(id as usize, cost),
@@ -553,18 +643,22 @@ impl<'e, 'a> DeltaEvaluator<'e, 'a> {
 
     fn recompute_last_use(&self, id: usize) -> i64 {
         let mut lu = self.time[id];
-        for &c in &self.consumers[id] {
+        for &c in self.ctx.consumers(id) {
             lu = lu.max(self.time[c as usize]);
         }
         lu
     }
 
-    /// Re-sweep one PE's peak live bits and fold the change into the
-    /// peak histogram and the over-capacity count.
-    fn refresh_peak(&mut self, pe: (i64, i64)) {
-        let new = self.pe_nodes.get(&pe).map(|list| {
+    /// Re-sweep one PE's peak live bits (into the reusable `events`
+    /// buffer) and fold the change into the peak histogram and the
+    /// over-capacity count.
+    fn refresh_peak(&mut self, pe: usize, events: &mut Vec<(i64, i64)>) {
+        let list = &self.pe_nodes[pe];
+        let new = if list.is_empty() {
+            None
+        } else {
             let width = u64::from(self.graph.width_bits);
-            let mut events: Vec<(i64, i64)> = Vec::with_capacity(list.len() * 2);
+            events.clear();
             for &j in list {
                 let ju = j as usize;
                 let last = if self.graph.nodes[ju].output {
@@ -578,32 +672,34 @@ impl<'e, 'a> DeltaEvaluator<'e, 'a> {
             events.sort_unstable();
             let mut live = 0i64;
             let mut peak = 0i64;
-            for (_, d) in events {
+            for &(_, d) in events.iter() {
                 live += d;
                 peak = peak.max(live);
             }
-            peak as u64 * width
-        });
-        let old = self.peaks.get(&pe).copied();
+            Some(peak as u64 * width)
+        };
+        let old = self.peaks[pe];
         if old == new {
             return;
         }
-        self.journal.push(UndoEntry::Peak { pe, v: old });
+        self.journal.push(UndoEntry::Peak {
+            pe: pe as u32,
+            v: old,
+        });
         let cap = self.machine.tile_bits;
         if let Some(o) = old {
             hist_remove(&mut self.peak_hist, o);
             if o > cap {
                 self.over_capacity -= 1;
             }
-            self.peaks.remove(&pe);
         }
         if let Some(v) = new {
             hist_add(&mut self.peak_hist, v);
             if v > cap {
                 self.over_capacity += 1;
             }
-            self.peaks.insert(pe, v);
         }
+        self.peaks[pe] = new;
     }
 
     /// Assert bit-exact agreement with the full pipeline: times against
@@ -1033,15 +1129,16 @@ impl CandState {
             .count() as u64;
     }
 
-    /// Recost stale leaves. Called only when the candidate is legal.
-    fn flush(&mut self, ev: &Evaluator<'_>, consumers: &[Vec<NodeId>]) {
+    /// Recost stale leaves, reusing the pool's def→use scratch buffer.
+    /// Called only when the candidate is legal.
+    fn flush(&mut self, ev: &Evaluator<'_>, consumers: &[Vec<NodeId>], pes: &mut Vec<(i64, i64)>) {
         if self.dirty.is_empty() {
             return;
         }
         self.dirty.sort_unstable();
         self.dirty.dedup();
         for idx in std::mem::take(&mut self.dirty) {
-            let c = ev.node_cost(idx, &self.place, consumers);
+            let c = ev.node_cost_in(idx, &self.place, &consumers[idx], pes);
             self.leaves[idx] = c;
             self.tree.update(idx, c);
         }
@@ -1081,6 +1178,10 @@ pub struct DeltaCandidates {
     /// invalidated and awaiting a lazy cold rebuild.
     states: Vec<Option<CandState>>,
     rebuilds: u64,
+    /// Reusable def→use scratch threaded through leaf flushes, so warm
+    /// re-evaluations (the `tune_warm` path) stop allocating per stale
+    /// leaf.
+    pes_scratch: Vec<(i64, i64)>,
 }
 
 impl DeltaCandidates {
@@ -1119,6 +1220,7 @@ impl DeltaCandidates {
             graph_len: graph.len(),
             states,
             rebuilds: 0,
+            pes_scratch: Vec::new(),
         }
     }
 
@@ -1294,7 +1396,7 @@ impl DeltaCandidates {
         if total > 0 {
             return CandidateEval::Illegal(total);
         }
-        state.flush(ev, &self.consumers);
+        state.flush(ev, &self.consumers, &mut self.pes_scratch);
         let cycles = state.time_hist.keys().next_back().map_or(0, |&t| t + 1);
         let peak = state.peak_hist.keys().next_back().copied().unwrap_or(0);
         let writeback = if ev.writeback_on() {

@@ -1,0 +1,801 @@
+//! The flat evaluation engine: interned PE ids, structure-of-arrays
+//! cost folds, and zero-allocation candidate batching.
+//!
+//! The analytic evaluator's promise is *predictable* cost, but the
+//! original hot path spent its cycles in `HashMap<(i64,i64),…>`
+//! lookups and per-candidate `Vec` reallocation rather than in the
+//! cost arithmetic itself. This module restructures evaluation the way
+//! the paper says to restructure computation: make the data layout
+//! explicit and contiguous.
+//!
+//! Three pieces:
+//!
+//! * [`EvalContext`] — everything shared by every candidate of one
+//!   (graph, machine, evaluator) triple, computed **once**: CSR
+//!   consumer lists, the placement-independent prefix of every node's
+//!   cost (expression ops + result write + operand reads — a fixed
+//!   f64 partial sum, so continuing from it reproduces the reference
+//!   accumulation bit-for-bit), per-node input-read homes with the
+//!   unflatten/affine work pre-evaluated, and the off-chip totals.
+//! * [`EvalScratch`] — a reusable arena holding every buffer one
+//!   evaluation needs (resolved places/times, interned PE ids, sweep
+//!   events, the SoA [`CostTree`]). Buffers are cleared, never freed,
+//!   so steady-state evaluation performs **zero heap allocation**.
+//! * [`BatchEvaluator`] — the per-candidate entry point the tuner's
+//!   work-stealing loop calls: resolve into scratch, check legality
+//!   with dense per-PE arrays, cost through the context, score. Its
+//!   result is debug-asserted bit-identical to the reference
+//!   `search::evaluate_candidate` path.
+//!
+//! **Interning rule.** A place `(x, y)` on the `cols × rows` grid
+//! interns to `pe = y * cols + x` as a dense `u32`. Off-grid places
+//! (possible only in unchecked mappings, which are illegal by the
+//! bounds rule anyway) make the flat path bow out: callers fall back
+//! to the reference `HashMap` implementations, so generality is
+//! preserved without taxing the hot path.
+//!
+//! Every number produced here is bit-identical to the reference path:
+//! the pairwise cost tree keeps its exact shape (SoA only changes
+//! *storage*, the six fields fold independently), charge order within
+//! a node is unchanged, and the tile-peak sweep sorts the same event
+//! pairs the `HashMap` version sorts.
+
+use std::cell::RefCell;
+
+use crate::cost::{CostReport, CostTree, Evaluator, NodeCost, OffchipTotals};
+use crate::dataflow::{DataflowGraph, NodeId};
+use crate::legality::check;
+use crate::machine::MachineConfig;
+use crate::mapping::{InputPlacement, ResolvedMapping};
+use crate::search::{evaluate_candidate_ref, CandidateEval, FigureOfMerit, MappingCandidate};
+
+/// One pre-resolved non-DRAM input read of a node.
+#[derive(Debug, Clone, Copy)]
+struct InputRead {
+    /// Home PE for [`InputPlacement::Local`]; ignored for `AtUse`.
+    home: (i64, i64),
+    /// `AtUse` read: always a local tile access, wherever the consumer
+    /// sits.
+    at_use: bool,
+}
+
+/// Shared, placement-independent evaluation state for one
+/// (graph, machine, evaluator) triple. Build once per tune (or per
+/// `Evaluator::evaluate` call), reuse across every candidate.
+#[derive(Debug, Clone)]
+pub struct EvalContext {
+    /// CSR consumer lists: node `id`'s consumers are
+    /// `cons_data[cons_off[id]..cons_off[id+1]]`, ascending — the same
+    /// order `DataflowGraph::consumers` produces.
+    cons_off: Vec<u32>,
+    cons_data: Vec<NodeId>,
+    /// Per-node placement-independent cost prefix: expression ops, the
+    /// result tile write, and one tile access per operand — exactly
+    /// the charges `node_cost` makes before it looks at any place.
+    base: Vec<NodeCost>,
+    /// CSR non-DRAM input reads per node, in expression read order
+    /// (DRAM reads contribute nothing placement-dependent).
+    read_off: Vec<u32>,
+    reads: Vec<InputRead>,
+    /// Hoisted off-chip totals (pure function of graph + placements).
+    off: OffchipTotals,
+    /// One tile access, in femtojoules (every such charge is
+    /// identical).
+    tile_fj: f64,
+    width: u64,
+    cols: i64,
+    rows: i64,
+    pe_count: usize,
+    multicast: bool,
+}
+
+impl EvalContext {
+    /// Precompute the shared state for `ev`'s (graph, machine) pair.
+    pub fn new(ev: &Evaluator<'_>) -> EvalContext {
+        let g = ev.graph();
+        let m = ev.machine();
+        let be = ev.backend();
+        let n = g.len();
+        let width = u64::from(g.width_bits);
+        let tile_fj = be.tile_access_energy(&m.tech, width).raw();
+
+        // CSR consumers: count, prefix, scatter in id order — the
+        // scatter order reproduces `consumers()`'s ascending lists.
+        let mut cons_off = vec![0u32; n + 1];
+        for node in &g.nodes {
+            for &d in &node.deps {
+                cons_off[d as usize + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            cons_off[i + 1] += cons_off[i];
+        }
+        let mut cursor: Vec<u32> = cons_off[..n].to_vec();
+        let mut cons_data = vec![0 as NodeId; cons_off[n] as usize];
+        for (id, node) in g.nodes.iter().enumerate() {
+            for &d in &node.deps {
+                let slot = &mut cursor[d as usize];
+                cons_data[*slot as usize] = id as NodeId;
+                *slot += 1;
+            }
+        }
+
+        // Placement-independent cost prefix + pre-resolved input reads.
+        let mut base = Vec::with_capacity(n);
+        let mut read_off = vec![0u32; n + 1];
+        let mut reads = Vec::new();
+        for (id, node) in g.nodes.iter().enumerate() {
+            let mut c = NodeCost::default();
+            let compute = |e: f64, c: &mut NodeCost| {
+                c.compute_fj += e;
+                c.compute_ops += 1;
+            };
+            for op in node.expr.op_kinds(g.width_bits) {
+                compute(be.op_energy(&m.tech, op).raw(), &mut c);
+            }
+            compute(tile_fj, &mut c);
+            for _ in &node.deps {
+                compute(tile_fj, &mut c);
+            }
+            base.push(c);
+
+            for (input, flat) in node.expr.input_reads() {
+                match ev.input_placement(input as usize) {
+                    InputPlacement::Dram => {}
+                    InputPlacement::Local(pexpr) => {
+                        let spec = &g.inputs[input as usize];
+                        let idx = crate::cost::unflatten(spec, flat);
+                        reads.push(InputRead {
+                            home: pexpr.eval(&idx, m.cols),
+                            at_use: false,
+                        });
+                    }
+                    InputPlacement::AtUse => {
+                        reads.push(InputRead {
+                            home: (0, 0),
+                            at_use: true,
+                        });
+                    }
+                }
+            }
+            read_off[id + 1] = reads.len() as u32;
+        }
+
+        EvalContext {
+            cons_off,
+            cons_data,
+            base,
+            read_off,
+            reads,
+            off: ev.offchip_totals(),
+            tile_fj,
+            width,
+            cols: i64::from(m.cols),
+            rows: i64::from(m.rows),
+            pe_count: m.cols as usize * m.rows as usize,
+            multicast: ev.multicast_on(),
+        }
+    }
+
+    /// Node `id`'s consumers, ascending (CSR view of
+    /// `DataflowGraph::consumers`).
+    pub(crate) fn consumers(&self, id: usize) -> &[NodeId] {
+        &self.cons_data[self.cons_off[id] as usize..self.cons_off[id + 1] as usize]
+    }
+
+    /// The hoisted off-chip totals.
+    pub(crate) fn offchip(&self) -> OffchipTotals {
+        self.off
+    }
+
+    /// Dense PE id for an on-grid place; `None` off grid.
+    #[inline]
+    fn intern(&self, p: (i64, i64)) -> Option<u32> {
+        if p.0 >= 0 && p.1 >= 0 && p.0 < self.cols && p.1 < self.rows {
+            Some((p.1 * self.cols + p.0) as u32)
+        } else {
+            None
+        }
+    }
+
+    /// Node `id`'s full cost under `place`: the precomputed prefix plus
+    /// the placement-dependent input reads and def→use messages,
+    /// charged in exactly the reference `node_cost` order so the f64
+    /// accumulation is bit-identical.
+    pub(crate) fn node_cost(
+        &self,
+        ev: &Evaluator<'_>,
+        id: usize,
+        place: &[(i64, i64)],
+        pes: &mut Vec<(i64, i64)>,
+        dests: &mut Vec<(u32, u32)>,
+    ) -> NodeCost {
+        let m = ev.machine();
+        let be = ev.backend();
+        let width = self.width;
+        let mut c = self.base[id];
+        let cons = place[id];
+        let onchip = |mm: f64, fj: f64, c: &mut NodeCost| {
+            c.onchip_fj += fj;
+            c.onchip_messages += 1;
+            c.onchip_bits += width;
+            c.onchip_bit_mm += width as f64 * mm;
+        };
+
+        for r in &self.reads[self.read_off[id] as usize..self.read_off[id + 1] as usize] {
+            if r.at_use || r.home == cons {
+                c.compute_fj += self.tile_fj;
+                c.compute_ops += 1;
+            } else {
+                let a = (r.home.0 as u32, r.home.1 as u32);
+                let b = (cons.0 as u32, cons.1 as u32);
+                let e = be.wire_energy(&m.tech, width, m.tech.chip.manhattan(a, b));
+                onchip(m.distance_mm(a, b), e.raw(), &mut c);
+            }
+        }
+
+        let prod = cons;
+        pes.clear();
+        pes.extend(
+            self.consumers(id)
+                .iter()
+                .map(|&cn| place[cn as usize])
+                .filter(|&p| p != prod),
+        );
+        pes.sort_unstable();
+        pes.dedup();
+        let a = (prod.0 as u32, prod.1 as u32);
+        if self.multicast {
+            if !pes.is_empty() {
+                dests.clear();
+                dests.extend(pes.iter().map(|p| (p.0 as u32, p.1 as u32)));
+                let (mm, _links) = m.multicast_route(a, dests);
+                let e = be.wire_energy(&m.tech, width, fm_costmodel::Millimeters::new(mm));
+                onchip(mm, e.raw(), &mut c);
+            }
+        } else {
+            for &pe in pes.iter() {
+                let b = (pe.0 as u32, pe.1 as u32);
+                let e = be.wire_energy(&m.tech, width, m.tech.chip.manhattan(a, b));
+                onchip(m.distance_mm(a, b), e.raw(), &mut c);
+            }
+        }
+        c
+    }
+
+    /// Flat cost evaluation of an (assumed-legal) resolved mapping:
+    /// the same report `Evaluator::evaluate_ref` assembles, computed
+    /// through dense arrays and the scratch arena. `None` when any
+    /// place is off grid (caller falls back to the reference path).
+    pub(crate) fn evaluate_report(
+        &self,
+        ev: &Evaluator<'_>,
+        place: &[(i64, i64)],
+        time: &[i64],
+        scratch: &mut EvalScratch,
+    ) -> Option<CostReport> {
+        let buf = &mut scratch.buf;
+        if !self.intern_places(place, buf) {
+            return None;
+        }
+        let cycles = makespan_of(time);
+        let sweep = self.sweep_tiles(ev.graph(), ev.machine(), time, cycles, buf);
+        let total = self.fold_costs(ev, place, buf);
+        Some(ev.assemble(total, &self.off, cycles, sweep.peak, sweep.pes_used))
+    }
+
+    /// Intern every place into `buf.node_pe`; false if any is off
+    /// grid.
+    fn intern_places(&self, place: &[(i64, i64)], buf: &mut ScratchBuf) -> bool {
+        buf.node_pe.clear();
+        for &p in place {
+            match self.intern(p) {
+                Some(pe) => buf.node_pe.push(pe),
+                None => return false,
+            }
+        }
+        true
+    }
+
+    /// Per-node costs → SoA tree → tree-shaped total.
+    fn fold_costs(
+        &self,
+        ev: &Evaluator<'_>,
+        place: &[(i64, i64)],
+        buf: &mut ScratchBuf,
+    ) -> NodeCost {
+        let n = place.len();
+        buf.tree.reset(n);
+        for id in 0..n {
+            let c = self.node_cost(ev, id, place, &mut buf.pes, &mut buf.dests);
+            buf.tree.set_leaf(id, c);
+        }
+        buf.tree.refresh();
+        buf.tree.total()
+    }
+
+    /// The flat tile sweep: last-use relaxation, per-PE event scatter,
+    /// in-place slice sorts and the live/peak sweep — the exact event
+    /// multiset `legality::tile_peaks` sorts, minus the `HashMap`.
+    /// Returns storage violations, the global peak, and the number of
+    /// occupied PEs. Requires `buf.node_pe` to be filled.
+    fn sweep_tiles(
+        &self,
+        g: &DataflowGraph,
+        machine: &MachineConfig,
+        time: &[i64],
+        makespan: i64,
+        buf: &mut ScratchBuf,
+    ) -> TileSweep {
+        let n = time.len();
+        // Last use: own cycle, relaxed over consumers, outputs pinned
+        // to the makespan.
+        buf.last_use.clear();
+        buf.last_use.extend_from_slice(time);
+        for (node, &t) in g.nodes.iter().zip(time) {
+            for &d in &node.deps {
+                if t > buf.last_use[d as usize] {
+                    buf.last_use[d as usize] = t;
+                }
+            }
+        }
+        for (id, node) in g.nodes.iter().enumerate() {
+            if node.output {
+                buf.last_use[id] = makespan;
+            }
+        }
+
+        // Counting scatter: two events per node, grouped by PE.
+        buf.pe_off.clear();
+        buf.pe_off.resize(self.pe_count + 1, 0);
+        for &pe in &buf.node_pe {
+            buf.pe_off[pe as usize + 1] += 2;
+        }
+        for i in 0..self.pe_count {
+            let prev = buf.pe_off[i];
+            buf.pe_off[i + 1] += prev;
+        }
+        buf.events.clear();
+        buf.events.resize(2 * n, (0, 0));
+        buf.pe_cursor.clear();
+        for i in 0..self.pe_count {
+            let off = buf.pe_off[i];
+            buf.pe_cursor.push(off);
+        }
+        for (id, &start) in time.iter().enumerate().take(n) {
+            let pe = buf.node_pe[id] as usize;
+            let at = buf.pe_cursor[pe] as usize;
+            buf.events[at] = (start, 1);
+            buf.events[at + 1] = (buf.last_use[id] + 1, -1);
+            buf.pe_cursor[pe] += 2;
+        }
+
+        // Per-PE sort + sweep.
+        let width = self.width;
+        let mut sweep = TileSweep::default();
+        for pe in 0..self.pe_count {
+            let lo = buf.pe_off[pe] as usize;
+            let hi = buf.pe_off[pe + 1] as usize;
+            if lo == hi {
+                continue;
+            }
+            let ev = &mut buf.events[lo..hi];
+            ev.sort_unstable();
+            let mut live: i64 = 0;
+            let mut peak: i64 = 0;
+            for &(_, delta) in ev.iter() {
+                live += delta;
+                peak = peak.max(live);
+            }
+            let peak_bits = peak as u64 * width;
+            sweep.pes_used += 1;
+            sweep.peak = sweep.peak.max(peak_bits);
+            if peak_bits > machine.tile_bits {
+                sweep.storage_violations += 1;
+            }
+        }
+        sweep
+    }
+
+    /// The flat legality check over interned places: bit-identical
+    /// violation totals to `legality::check` for on-grid mappings
+    /// (callers fall back to `check` when interning fails, which the
+    /// bounds rule makes illegal anyway). Requires `buf.node_pe`.
+    fn violation_total(
+        &self,
+        g: &DataflowGraph,
+        machine: &MachineConfig,
+        time: &[i64],
+        sweep: &TileSweep,
+        buf: &mut ScratchBuf,
+    ) -> u64 {
+        let mut total: u64 = 0;
+
+        // 1. Bounds: places are on-grid by interning; negative times
+        // still count.
+        for &t in time {
+            if t < 0 {
+                total += 1;
+            }
+        }
+
+        // 2. Causality (never skipped here: no out-of-bounds places).
+        for (id, node) in g.nodes.iter().enumerate() {
+            let cons_pe = self.coords(buf.node_pe[id]);
+            for &d in &node.deps {
+                let prod_pe = self.coords(buf.node_pe[d as usize]);
+                let required = machine.required_gap(prod_pe, cons_pe);
+                if time[id] - time[d as usize] < required {
+                    total += 1;
+                }
+            }
+        }
+
+        // 3. Issue width: one violation per (PE, cycle) cell over the
+        // limit.
+        let ScratchBuf { issue, node_pe, .. } = buf;
+        issue.clear();
+        issue.extend(node_pe.iter().zip(time).map(|(&pe, &t)| (pe, t)));
+        issue.sort_unstable();
+        let mut i = 0;
+        while i < issue.len() {
+            let mut j = i + 1;
+            while j < issue.len() && issue[j] == issue[i] {
+                j += 1;
+            }
+            if (j - i) as u32 > machine.issue_width {
+                total += 1;
+            }
+            i = j;
+        }
+
+        // 4. Storage: counted by the tile sweep.
+        total + sweep.storage_violations
+    }
+
+    fn coords(&self, pe: u32) -> (u32, u32) {
+        let pe = pe as i64;
+        ((pe % self.cols) as u32, (pe / self.cols) as u32)
+    }
+}
+
+/// What one tile sweep learned.
+#[derive(Debug, Default, Clone, Copy)]
+struct TileSweep {
+    storage_violations: u64,
+    peak: u64,
+    pes_used: usize,
+}
+
+/// The makespan of a time assignment (latest cycle + 1).
+fn makespan_of(time: &[i64]) -> i64 {
+    time.iter().copied().max().map_or(0, |t| t + 1)
+}
+
+/// A reusable arena holding every buffer one candidate evaluation
+/// needs. Check one out per worker thread ([`with_thread_scratch`]) or
+/// own one (`WarmCache` does); buffers are cleared between uses and
+/// never shrink, so steady-state evaluation allocates nothing.
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    /// Resolved places (the scratch the mapping resolves into).
+    pub(crate) place: Vec<(i64, i64)>,
+    /// Resolved times.
+    pub(crate) time: Vec<i64>,
+    /// Everything else (split out so place/time can be borrowed
+    /// alongside the working buffers).
+    pub(crate) buf: ScratchBuf,
+}
+
+/// The working buffers of an [`EvalScratch`], separate from the
+/// resolved place/time vectors so the borrow checker can see the two
+/// halves are disjoint.
+#[derive(Debug, Default)]
+pub struct ScratchBuf {
+    /// Distinct remote consumer PEs of the node being costed.
+    pub(crate) pes: Vec<(i64, i64)>,
+    /// Multicast destination list (what-if path only).
+    dests: Vec<(u32, u32)>,
+    /// Interned PE id per node.
+    node_pe: Vec<u32>,
+    /// Per-PE event offsets (counting-sort prefix) and cursors.
+    pe_off: Vec<u32>,
+    pe_cursor: Vec<u32>,
+    /// Live-interval endpoints, grouped per PE.
+    events: Vec<(i64, i64)>,
+    /// Last-use cycle per node.
+    last_use: Vec<i64>,
+    /// (PE, cycle) pairs for the issue-width check.
+    issue: Vec<(u32, i64)>,
+    /// The SoA cost tree this evaluation folds through.
+    tree: CostTree,
+}
+
+impl EvalScratch {
+    /// A fresh, empty arena.
+    pub fn new() -> EvalScratch {
+        EvalScratch::default()
+    }
+}
+
+thread_local! {
+    static THREAD_SCRATCH: RefCell<EvalScratch> = RefCell::new(EvalScratch::new());
+}
+
+/// Run `f` with this thread's persistent [`EvalScratch`]. Each worker
+/// thread keeps one arena alive across candidates, which is what makes
+/// the tuner's steady state allocation-free. Re-entrant calls (debug
+/// parity asserts evaluating inside an outer evaluation) get a
+/// temporary arena instead of deadlocking on the `RefCell`.
+pub fn with_thread_scratch<R>(f: impl FnOnce(&mut EvalScratch) -> R) -> R {
+    THREAD_SCRATCH.with(|s| match s.try_borrow_mut() {
+        Ok(mut guard) => f(&mut guard),
+        Err(_) => f(&mut EvalScratch::new()),
+    })
+}
+
+/// A flat evaluation of one candidate, before any result is
+/// materialized: everything the tuner's ranking needs, in registers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RawEval {
+    /// Legal: the figure-of-merit score plus the report aggregates
+    /// benches read.
+    Legal {
+        /// Scalar score (lower is better) — bit-identical to scoring
+        /// the assembled report.
+        score: f64,
+        /// Makespan in cycles.
+        cycles: i64,
+        /// Total energy in femtojoules.
+        energy_fj: f64,
+        /// Peak live bits in any one tile.
+        peak_tile_bits: u64,
+    },
+    /// Illegal, with the exact violation total `legality::check`
+    /// reports.
+    Illegal(u64),
+    /// The mapping does not resolve against the graph.
+    Unresolvable,
+}
+
+/// Batched candidate evaluation: one [`EvalContext`] shared across a
+/// candidate list, per-candidate work done entirely in scratch. This
+/// is what `Tuner::tune` fans out over its thread pool — the context
+/// hoists the parse/lower/consumer work the reference path redid per
+/// candidate.
+#[derive(Debug)]
+pub struct BatchEvaluator<'a> {
+    ev: &'a Evaluator<'a>,
+    graph: &'a DataflowGraph,
+    machine: &'a MachineConfig,
+    fom: FigureOfMerit,
+    ctx: EvalContext,
+}
+
+impl<'a> BatchEvaluator<'a> {
+    /// Precompute the shared context. `graph`/`machine` must be the
+    /// evaluator's own (the same contract `evaluate_candidate` has).
+    pub fn new(
+        ev: &'a Evaluator<'a>,
+        graph: &'a DataflowGraph,
+        machine: &'a MachineConfig,
+        fom: FigureOfMerit,
+    ) -> Self {
+        BatchEvaluator {
+            ev,
+            graph,
+            machine,
+            fom,
+            ctx: EvalContext::new(ev),
+        }
+    }
+
+    /// The shared context (the incremental engine reuses it).
+    pub fn context(&self) -> &EvalContext {
+        &self.ctx
+    }
+
+    /// Evaluate one candidate with this thread's scratch arena.
+    /// Bit-identical to `search::evaluate_candidate` (debug-asserted).
+    pub fn evaluate_candidate(&self, candidate: &MappingCandidate) -> CandidateEval {
+        with_thread_scratch(|scratch| self.evaluate_candidate_in(candidate, scratch))
+    }
+
+    /// [`Self::evaluate_candidate`] with an explicit scratch arena.
+    pub fn evaluate_candidate_in(
+        &self,
+        candidate: &MappingCandidate,
+        scratch: &mut EvalScratch,
+    ) -> CandidateEval {
+        let eval = match self.evaluate_raw_in(candidate, scratch) {
+            RawEval::Unresolvable => CandidateEval::Unresolvable,
+            RawEval::Illegal(total) => CandidateEval::Illegal(total),
+            RawEval::Legal { .. } => {
+                // Materialize the full result: the cost parts are
+                // still in scratch, so re-assemble with the real name
+                // and clone the resolved mapping out of the arena.
+                let EvalScratch { place, time, buf } = scratch;
+                let cycles = makespan_of(time);
+                let sweep = self
+                    .ctx
+                    .sweep_tiles(self.graph, self.machine, time, cycles, buf);
+                let total = self.ctx.fold_costs(self.ev, place, buf);
+                let report =
+                    self.ev
+                        .assemble(total, &self.ctx.off, cycles, sweep.peak, sweep.pes_used);
+                let score = self.ev.score(self.fom, &report);
+                CandidateEval::Legal {
+                    resolved: ResolvedMapping {
+                        place: scratch.place.clone(),
+                        time: scratch.time.clone(),
+                    },
+                    report,
+                    score,
+                }
+            }
+        };
+        debug_assert_eq!(
+            eval,
+            evaluate_candidate_ref(self.ev, self.graph, self.machine, candidate, self.fom),
+            "flat candidate evaluation diverged from the reference path"
+        );
+        eval
+    }
+
+    /// The allocation-free core: resolve into scratch, flat legality,
+    /// flat cost, score — nothing heap-allocated in steady state (the
+    /// report is assembled with an empty name; all other fields are
+    /// plain values). On success `scratch.place`/`scratch.time` hold
+    /// the resolved mapping.
+    pub fn evaluate_raw_in(
+        &self,
+        candidate: &MappingCandidate,
+        scratch: &mut EvalScratch,
+    ) -> RawEval {
+        if candidate
+            .mapping
+            .resolve_into(
+                self.graph,
+                self.machine,
+                &mut scratch.place,
+                &mut scratch.time,
+            )
+            .is_err()
+        {
+            return RawEval::Unresolvable;
+        }
+        let EvalScratch { place, time, buf } = scratch;
+        if !self.ctx.intern_places(place, buf) {
+            // Off-grid place: illegal by the bounds rule. Fall back to
+            // the reference checker for the exact violation total
+            // (this path is never the steady state).
+            let rm = ResolvedMapping {
+                place: place.clone(),
+                time: time.clone(),
+            };
+            return RawEval::Illegal(check(self.graph, &rm, self.machine).total_violations);
+        }
+        let cycles = makespan_of(time);
+        let sweep = self
+            .ctx
+            .sweep_tiles(self.graph, self.machine, time, cycles, buf);
+        let total_violations =
+            self.ctx
+                .violation_total(self.graph, self.machine, time, &sweep, buf);
+        if total_violations > 0 {
+            return RawEval::Illegal(total_violations);
+        }
+        let total = self.ctx.fold_costs(self.ev, place, buf);
+        let report = self.ev.assemble_with_name(
+            String::new(),
+            total,
+            &self.ctx.off,
+            cycles,
+            sweep.peak,
+            sweep.pes_used,
+        );
+        RawEval::Legal {
+            score: self.ev.score(self.fom, &report),
+            cycles,
+            energy_fj: report.energy().raw(),
+            peak_tile_bits: report.peak_tile_bits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::CExpr;
+    use crate::mapping::Mapping;
+    use crate::search::evaluate_candidate;
+    use crate::value::Value;
+
+    fn chain(n: usize) -> DataflowGraph {
+        let mut g = DataflowGraph::new("chain", 32);
+        let mut prev = None;
+        for i in 0..n {
+            let id = match prev {
+                None => g.add_node(CExpr::konst(Value::real(1.0)), vec![], vec![i as i64]),
+                Some(p) => g.add_node(
+                    CExpr::dep(0).add(CExpr::konst(Value::real(2.0))),
+                    vec![p],
+                    vec![i as i64],
+                ),
+            };
+            prev = Some(id);
+        }
+        g.mark_output(prev.unwrap());
+        g
+    }
+
+    #[test]
+    fn flat_matches_reference_on_legal_candidates() {
+        let g = chain(12);
+        let m = MachineConfig::linear(4);
+        let ev = Evaluator::new(&g, &m);
+        let cand = MappingCandidate::new("serial", Mapping::serial(&g));
+        let batch = BatchEvaluator::new(&ev, &g, &m, FigureOfMerit::Edp);
+        let flat = batch.evaluate_candidate(&cand);
+        let reference = evaluate_candidate(&ev, &g, &m, &cand, FigureOfMerit::Edp);
+        assert_eq!(flat, reference);
+    }
+
+    #[test]
+    fn flat_matches_reference_on_illegal_candidates() {
+        let g = chain(6);
+        let m = MachineConfig::linear(4);
+        let ev = Evaluator::new(&g, &m);
+        // Everything at cycle 0 on one PE: causality + issue width
+        // violations.
+        let rm = ResolvedMapping {
+            place: vec![(0, 0); 6],
+            time: vec![0; 6],
+        };
+        let cand = MappingCandidate::new("bad", Mapping::Table(rm));
+        let batch = BatchEvaluator::new(&ev, &g, &m, FigureOfMerit::Time);
+        let flat = batch.evaluate_candidate(&cand);
+        let reference = evaluate_candidate(&ev, &g, &m, &cand, FigureOfMerit::Time);
+        assert_eq!(flat, reference);
+    }
+
+    #[test]
+    fn off_grid_candidate_falls_back_with_exact_total() {
+        let g = chain(3);
+        let m = MachineConfig::linear(2);
+        let ev = Evaluator::new(&g, &m);
+        let rm = ResolvedMapping {
+            place: vec![(-1, 0), (5, 0), (0, 0)],
+            time: vec![0, 1, 2],
+        };
+        let cand = MappingCandidate::new("oob", Mapping::Table(rm));
+        let batch = BatchEvaluator::new(&ev, &g, &m, FigureOfMerit::Time);
+        let flat = batch.evaluate_candidate(&cand);
+        let reference = evaluate_candidate(&ev, &g, &m, &cand, FigureOfMerit::Time);
+        assert_eq!(flat, reference);
+    }
+
+    #[test]
+    fn raw_eval_scores_match_full_eval() {
+        let g = chain(9);
+        let m = MachineConfig::linear(4);
+        let ev = Evaluator::new(&g, &m);
+        let cand = MappingCandidate::new("serial", Mapping::serial(&g));
+        let batch = BatchEvaluator::new(&ev, &g, &m, FigureOfMerit::Edp);
+        let mut scratch = EvalScratch::new();
+        let raw = batch.evaluate_raw_in(&cand, &mut scratch);
+        let full = batch.evaluate_candidate(&cand);
+        match (raw, full) {
+            (
+                RawEval::Legal { score, cycles, .. },
+                CandidateEval::Legal {
+                    report, score: s, ..
+                },
+            ) => {
+                assert_eq!(score.to_bits(), s.to_bits());
+                assert_eq!(cycles, report.cycles);
+            }
+            other => panic!("expected legal/legal, got {other:?}"),
+        }
+    }
+}

@@ -40,6 +40,10 @@
 //! * [`cost`] — the analytic cost evaluator: cycles, picoseconds,
 //!   femtojoules (as an [`fm_costmodel::EnergyLedger`]), footprint,
 //!   utilization. This is the model's core promise: *predictable* cost.
+//! * [`flat`] — the flat evaluation engine: interned PE ids, SoA cost
+//!   folds, and a reusable scratch arena for zero-allocation candidate
+//!   batching (bit-identical to [`cost`], just laid out for the
+//!   machine).
 //! * [`pramcost`] — the unit-cost (PRAM-style) evaluator of the same
 //!   DAG, used to demonstrate ranking inversions (experiment E5).
 //! * [`search`] — systematic mapping search: enumerate an affine
@@ -65,6 +69,7 @@ pub mod cost;
 pub mod dataflow;
 pub mod delta;
 pub mod expr;
+pub mod flat;
 pub mod forall;
 pub mod legality;
 pub mod lower;
@@ -83,6 +88,7 @@ pub use affine::IdxExpr;
 pub use cost::{CostReport, Evaluator};
 pub use dataflow::{DataflowGraph, NodeId};
 pub use expr::{ElemExpr, InputRef};
+pub use flat::{with_thread_scratch, BatchEvaluator, EvalContext, EvalScratch, RawEval};
 pub use legality::{LegalityError, LegalityReport};
 pub use machine::MachineConfig;
 pub use mapping::{InputPlacement, Mapping, Place, ResolvedMapping};

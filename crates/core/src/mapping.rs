@@ -229,10 +229,27 @@ impl Mapping {
         graph: &DataflowGraph,
         machine: &MachineConfig,
     ) -> Result<ResolvedMapping, MappingError> {
+        let mut place = Vec::with_capacity(graph.len());
+        let mut time = Vec::with_capacity(graph.len());
+        self.resolve_into(graph, machine, &mut place, &mut time)?;
+        Ok(ResolvedMapping { place, time })
+    }
+
+    /// [`Self::resolve`] into caller-owned buffers (cleared first), so
+    /// the flat candidate evaluator resolves into scratch with no
+    /// allocation in steady state. Errors in exactly the cases
+    /// `resolve` errors; buffer contents are unspecified on error.
+    pub fn resolve_into(
+        &self,
+        graph: &DataflowGraph,
+        machine: &MachineConfig,
+        place: &mut Vec<(i64, i64)>,
+        time: &mut Vec<i64>,
+    ) -> Result<(), MappingError> {
+        place.clear();
+        time.clear();
         match self {
             Mapping::Affine(am) => {
-                let mut place = Vec::with_capacity(graph.len());
-                let mut time = Vec::with_capacity(graph.len());
                 for (id, n) in graph.nodes.iter().enumerate() {
                     if n.index.is_empty() {
                         return Err(MappingError::MissingIndex { node: id as u32 });
@@ -240,7 +257,7 @@ impl Mapping {
                     place.push(am.place.eval(&n.index, machine.cols));
                     time.push(am.time.eval(&n.index));
                 }
-                Ok(ResolvedMapping { place, time })
+                Ok(())
             }
             Mapping::Table(t) => {
                 if t.place.len() != graph.len() || t.time.len() != graph.len() {
@@ -249,7 +266,9 @@ impl Mapping {
                         graph: graph.len(),
                     });
                 }
-                Ok(t.clone())
+                place.extend_from_slice(&t.place);
+                time.extend_from_slice(&t.time);
+                Ok(())
             }
         }
     }

@@ -121,7 +121,7 @@ impl SearchOutcome {
 /// candidate, exposed so callers (e.g. the `fm-autotune` tuner) can fan
 /// candidates across threads and still assemble a [`SearchOutcome`]
 /// identical to the serial one via [`assemble_outcome`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum CandidateEval {
     /// Legal: the resolved mapping, its cost report, and its score.
     Legal {
@@ -158,6 +158,36 @@ pub fn evaluate_candidate(
         return CandidateEval::Illegal(rep.total_violations);
     }
     let report = evaluator.evaluate(&rm);
+    let score = evaluator.score(fom, &report);
+    CandidateEval::Legal {
+        resolved: rm,
+        report,
+        score,
+    }
+}
+
+/// The reference (pre-flat-engine) candidate evaluation: resolve with
+/// fresh buffers, `HashMap`-based legality, and the per-call
+/// leaf-rebuild cost path (`Evaluator::evaluate_ref`). Kept as the
+/// bit-exactness oracle for the flat engine's debug asserts, parity
+/// tests, and the E22 baseline arm — not a hot path.
+#[doc(hidden)]
+pub fn evaluate_candidate_ref(
+    evaluator: &Evaluator<'_>,
+    graph: &DataflowGraph,
+    machine: &MachineConfig,
+    candidate: &MappingCandidate,
+    fom: FigureOfMerit,
+) -> CandidateEval {
+    let rm = match candidate.mapping.resolve(graph, machine) {
+        Ok(rm) => rm,
+        Err(_) => return CandidateEval::Unresolvable,
+    };
+    let rep = check(graph, &rm, machine);
+    if !rep.is_legal() {
+        return CandidateEval::Illegal(rep.total_violations);
+    }
+    let report = evaluator.evaluate_ref(&rm);
     let score = evaluator.score(fom, &report);
     CandidateEval::Legal {
         resolved: rm,

@@ -305,7 +305,7 @@ fn main() -> ExitCode {
         println!(
             "fm-serve: fleet — epoch {}, {} members ({} joins / {} leaves), {} tunes, \
              {} hedges, {} cliff / {} departed suffix re-dispatches, \
-             weight sources [{}]",
+             {} cliff quarantines, weight sources [{}]",
             fleet.membership_epoch,
             fleet.members,
             fleet.joins,
@@ -314,6 +314,7 @@ fn main() -> ExitCode {
             fleet.hedges,
             fleet.cliff_redispatches,
             fleet.departed_redispatches,
+            fleet.cliff_quarantines,
             weights.join(", ")
         );
     }

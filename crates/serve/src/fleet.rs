@@ -151,6 +151,12 @@ pub struct FleetConfig {
     /// cliff detector may fire (guards against false positives on a
     /// shard that is merely between chunks).
     pub cliff_stall: Duration,
+    /// Quarantine a shard — trip its breaker open for one cooldown —
+    /// once its cliff detector has fired this many times. A shard that
+    /// repeatedly collapses costs a speculative re-dispatch every
+    /// time; quarantining routes primaries elsewhere until the
+    /// half-open probe shows it recovered. `0` disables quarantine.
+    pub cliff_quarantine_trips: u32,
     /// Fleet tunes without a fresh sample before a member's persisted
     /// weight decays fully back to cold (`0` disables decay).
     pub weight_decay_tunes: u64,
@@ -184,6 +190,7 @@ impl FleetConfig {
             binary_links: true,
             cliff_fraction: 0.35,
             cliff_stall: Duration::from_millis(200),
+            cliff_quarantine_trips: 3,
             weight_decay_tunes: 64,
             weight_ledger: None,
             admit: Vec::new(),
@@ -526,6 +533,29 @@ impl Fleet {
                 .store(breaker_state::OPEN, Ordering::Relaxed);
             member.metrics.breaker_opens.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// Quarantine `member`: trip its breaker open for one cooldown,
+    /// regardless of its consecutive-failure count. Fired by the cliff
+    /// detector once a shard has collapsed
+    /// [`FleetConfig::cliff_quarantine_trips`] times — its attempts
+    /// keep *succeeding* (so the failure breaker never trips) but each
+    /// collapse costs a speculative re-dispatch; opening the breaker
+    /// routes primaries elsewhere until the half-open probe shows the
+    /// shard recovered.
+    fn quarantine(&self, member: &Member) {
+        let mut b = member.breaker.lock();
+        *b = Breaker::Open {
+            until: Instant::now() + self.config.breaker_cooldown,
+        };
+        member
+            .metrics
+            .state
+            .store(breaker_state::OPEN, Ordering::Relaxed);
+        member.metrics.breaker_opens.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .cliff_quarantines
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Next breaker-available member scanning the *live* roster from
@@ -1081,6 +1111,23 @@ fn run_range(
                                     .metrics
                                     .cliff_redispatches
                                     .fetch_add(1, Ordering::Relaxed);
+                                // Repeated collapse → quarantine: the
+                                // shard's attempts succeed (the
+                                // failure breaker never sees them),
+                                // so the cliff count is what takes a
+                                // chronically slow shard out of
+                                // rotation.
+                                let trips = preferred
+                                    .metrics
+                                    .cliff_trips
+                                    .fetch_add(1, Ordering::Relaxed)
+                                    + 1;
+                                let quarantine_at = fleet.config.cliff_quarantine_trips;
+                                if quarantine_at > 0
+                                    && trips.is_multiple_of(u64::from(quarantine_at))
+                                {
+                                    fleet.quarantine(&preferred);
+                                }
                             } else {
                                 fleet.metrics.hedges.fetch_add(1, Ordering::Relaxed);
                             }

@@ -366,17 +366,28 @@ impl Membership {
             .collect()
     }
 
-    /// Persist every registered member's weight record (live and
-    /// departed — a departed shard's history is exactly what a restart
-    /// wants when the shard comes back). A write failure loses the
-    /// ledger, never the tune.
+    /// Persist every registered member's weight record — live and
+    /// recently departed (a departed shard's history is exactly what a
+    /// restart wants when the shard comes back). A departed record is
+    /// aged out once it is `decay_after` generations stale: its weight
+    /// would read fully cold by then anyway, so carrying it forward
+    /// only grows the ledger without bound as the fleet churns.
+    /// `decay_after == 0` disables aging (entries live forever). A
+    /// write failure loses the ledger, never the tune.
     pub fn persist(&self) {
         let Some(path) = &self.ledger else { return };
+        let generation = self.generation();
+        let live = self.members();
         let entries: Vec<LedgerEntry> = self
             .metrics
             .shard_metrics()
             .iter()
             .filter(|m| m.ewma_rate() > 0.0)
+            .filter(|m| {
+                self.decay_after == 0
+                    || live.iter().any(|a| a == &m.addr)
+                    || generation.saturating_sub(m.sample_gen()) < self.decay_after
+            })
             .map(|m| LedgerEntry {
                 addr: m.addr.clone(),
                 ewma_cands_per_sec: m.ewma_rate(),
@@ -618,6 +629,63 @@ mod tests {
         assert_eq!(d.entries[0].addr, "a:1");
         assert!((d.entries[0].ewma_cands_per_sec - 80.0).abs() < 1e-9);
         assert_eq!(d.entries[0].generation, gen);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn persist_ages_out_departed_shards_by_generation() {
+        let path = tmp_path("age");
+        let metrics = Arc::new(FleetMetrics::new());
+        let addrs = vec!["a:1".to_string(), "b:2".to_string()];
+        let m = Membership::new(
+            &addrs,
+            Arc::clone(&metrics),
+            Some(path.clone()),
+            2, // decay_after: departed records age out after 2 tunes
+            Duration::from_millis(50),
+        );
+        let gen = m.begin_tune();
+        for addr in ["a:1", "b:2"] {
+            let s = metrics.register(addr);
+            s.observe_rate(80, Duration::from_secs(1));
+            s.mark_fresh(gen);
+        }
+        m.leave("b:2");
+        // One tune later the departed record is still within the decay
+        // horizon: kept, so a quick rejoin restarts warm.
+        m.begin_tune();
+        m.persist();
+        let d = load_ledger(&path).expect("ledger written");
+        assert_eq!(d.entries.len(), 2, "recently departed record kept");
+        // Past the horizon it is aged out; the live member stays no
+        // matter how stale its sample.
+        m.begin_tune();
+        m.persist();
+        let d = load_ledger(&path).expect("ledger written");
+        assert_eq!(d.entries.len(), 1, "stale departed record aged out");
+        assert_eq!(d.entries[0].addr, "a:1");
+        // With aging disabled (decay_after == 0) nothing is dropped.
+        let metrics0 = Arc::new(FleetMetrics::new());
+        let m0 = Membership::new(
+            &addrs,
+            Arc::clone(&metrics0),
+            Some(path.clone()),
+            0,
+            Duration::from_millis(50),
+        );
+        let gen0 = m0.begin_tune();
+        for addr in ["a:1", "b:2"] {
+            let s = metrics0.register(addr);
+            s.observe_rate(80, Duration::from_secs(1));
+            s.mark_fresh(gen0);
+        }
+        m0.leave("b:2");
+        for _ in 0..10 {
+            m0.begin_tune();
+        }
+        m0.persist();
+        let d = load_ledger(&path).expect("ledger written");
+        assert_eq!(d.entries.len(), 2, "decay_after == 0 disables aging");
         let _ = std::fs::remove_file(&path);
     }
 

@@ -555,6 +555,9 @@ pub struct ShardMetrics {
     pub failures: AtomicU64,
     /// Times this shard's breaker transitioned Closed/HalfOpen → Open.
     pub breaker_opens: AtomicU64,
+    /// Times the throughput-cliff detector fired a re-dispatch off
+    /// this shard; drives cliff quarantine.
+    pub cliff_trips: AtomicU64,
     /// Current breaker state gauge (see [`breaker_state`]).
     pub state: AtomicU8,
     /// Streamed parts merged from this shard.
@@ -596,6 +599,7 @@ impl ShardMetrics {
             successes: AtomicU64::new(0),
             failures: AtomicU64::new(0),
             breaker_opens: AtomicU64::new(0),
+            cliff_trips: AtomicU64::new(0),
             state: AtomicU8::new(breaker_state::CLOSED),
             parts: AtomicU64::new(0),
             departed: AtomicBool::new(false),
@@ -707,6 +711,7 @@ impl ShardMetrics {
             successes: self.successes.load(Ordering::Relaxed),
             failures: self.failures.load(Ordering::Relaxed),
             breaker_opens: self.breaker_opens.load(Ordering::Relaxed),
+            cliff_trips: self.cliff_trips.load(Ordering::Relaxed),
             breaker: match self.state.load(Ordering::Relaxed) {
                 breaker_state::OPEN => "open",
                 breaker_state::HALF_OPEN => "half-open",
@@ -748,6 +753,9 @@ pub struct FleetMetrics {
     /// (EWMA collapsed below the configured fraction of the trailing
     /// peak while the range watermark stalled).
     pub cliff_redispatches: AtomicU64,
+    /// Shards quarantined (breaker tripped open) for repeatedly
+    /// firing the cliff detector.
+    pub cliff_quarantines: AtomicU64,
     /// Suffix re-dispatches fired because the attempt's shard left the
     /// roster mid-range.
     pub departed_redispatches: AtomicU64,
@@ -798,6 +806,7 @@ impl FleetMetrics {
             joins: AtomicU64::new(0),
             leaves: AtomicU64::new(0),
             cliff_redispatches: AtomicU64::new(0),
+            cliff_quarantines: AtomicU64::new(0),
             departed_redispatches: AtomicU64::new(0),
             fleet_tunes: AtomicU64::new(0),
             retries: AtomicU64::new(0),
@@ -844,6 +853,7 @@ impl FleetMetrics {
             joins: self.joins.load(Ordering::Relaxed),
             leaves: self.leaves.load(Ordering::Relaxed),
             cliff_redispatches: self.cliff_redispatches.load(Ordering::Relaxed),
+            cliff_quarantines: self.cliff_quarantines.load(Ordering::Relaxed),
             departed_redispatches: self.departed_redispatches.load(Ordering::Relaxed),
             fleet_tunes: self.fleet_tunes.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
@@ -882,6 +892,10 @@ pub struct ShardStats {
     pub failures: u64,
     /// Closed/HalfOpen → Open breaker transitions.
     pub breaker_opens: u64,
+    /// Cliff-detector firings attributed to this shard. Absent on
+    /// pre-quarantine servers — decoded as 0.
+    #[serde(default)]
+    pub cliff_trips: u64,
     /// Breaker state at snapshot time: `"closed"`, `"open"`, or
     /// `"half-open"`.
     pub breaker: String,
@@ -929,6 +943,10 @@ pub struct FleetStatsReply {
     /// Absent on pre-elastic servers — decoded as 0.
     #[serde(default)]
     pub cliff_redispatches: u64,
+    /// Shards quarantined for repeatedly firing the cliff detector.
+    /// Absent on pre-quarantine servers — decoded as 0.
+    #[serde(default)]
+    pub cliff_quarantines: u64,
     /// Suffix re-dispatches fired by mid-range shard departure. Absent
     /// on pre-elastic servers — decoded as 0.
     #[serde(default)]

@@ -731,6 +731,71 @@ fn throughput_cliff_redispatches_the_suffix_without_changing_the_winner() {
     }
 }
 
+/// A shard that repeatedly falls off its throughput cliff is
+/// quarantined: the cliff detector feeds the circuit breaker, so the
+/// chronically collapsing shard's breaker trips open even though none
+/// of its attempts ever *failed* — and the winner is still
+/// bit-identical to the direct tuner.
+#[test]
+fn repeated_cliffs_quarantine_the_shard() {
+    let graph = wide(14);
+    let machine = MachineConfig::linear(8);
+    let shards = start_shards(2);
+    let proxy = FaultProxy::start(
+        shards[0].local_addr(),
+        FaultPlan::script(vec![
+            FaultAction::ThroughputCliff {
+                after_frame: 1,
+                ms_per_candidate: 100,
+            };
+            4
+        ]),
+    )
+    .unwrap();
+    let addrs = vec![
+        proxy.local_addr().to_string(),
+        shards[1].local_addr().to_string(),
+    ];
+    let mut config = fleet_config(addrs);
+    config.hedge_after = None; // isolate the cliff detector
+    config.cliff_fraction = 0.5;
+    config.cliff_stall = Duration::from_millis(100);
+    config.cliff_quarantine_trips = 1; // first collapse quarantines
+    config.attempt_timeout = Duration::from_secs(10);
+    let coord = start_coordinator(config);
+
+    let mut client = Client::connect(coord.local_addr()).unwrap();
+    let reply = client.tune(tune_request(&graph, &machine, 32)).unwrap();
+    assert!(!reply.cancelled);
+    assert_eq!(reply.evaluated, 32, "every candidate scored exactly once");
+    assert_same_winner(
+        &reply.best.expect("fleet found a winner"),
+        &direct_winner(&graph, &machine, 32),
+    );
+
+    let fleet = coord.stats().fleet.unwrap();
+    assert!(fleet.cliff_redispatches >= 1, "the cliff never fired");
+    assert!(
+        fleet.cliff_quarantines >= 1,
+        "the repeat offender was never quarantined"
+    );
+    let sick = fleet
+        .shards
+        .iter()
+        .find(|s| s.cliff_trips >= 1)
+        .expect("the collapsed shard's trip counter should be visible in Stats");
+    assert!(
+        sick.breaker_opens >= 1,
+        "quarantine must trip the breaker open, not just count"
+    );
+
+    coord.shutdown_and_join();
+    proxy.stop();
+    for s in shards {
+        s.shutdown_and_join();
+    }
+}
+
 /// Tentpole: retiring a shard *while it owns an in-flight range*
 /// abandons the attempt at its covered watermark and re-dispatches only
 /// the unfinished suffix to a surviving member.

@@ -7,6 +7,7 @@ use fm_repro::core::affine::IdxExpr;
 use fm_repro::core::cost::Evaluator;
 use fm_repro::core::dataflow::{CExpr, DataflowGraph};
 use fm_repro::core::delta::DeltaEvaluator;
+use fm_repro::core::flat::{BatchEvaluator, EvalScratch, RawEval};
 use fm_repro::core::legality::{check, LegalityError};
 use fm_repro::core::machine::MachineConfig;
 use fm_repro::core::mapping::Mapping;
@@ -317,6 +318,54 @@ proptest! {
             let rm = delta.mapping();
             prop_assert_eq!(&rm, &retime(&g, &rm.place, &machine));
             prop_assert_eq!(delta.report(), ev.evaluate(&rm));
+        }
+    }
+
+    /// The flat engine (interned PE ids, SoA cost folds, scratch
+    /// arena), the incremental delta engine, and the reference
+    /// evaluation path agree to the score *bit* across random graphs,
+    /// random mappings, and random move sequences.
+    #[test]
+    fn flat_delta_and_reference_agree_on_score_bits(
+        spec in prop::collection::vec((0u8..=2, any::<u64>(), any::<u64>()), 1..60),
+        moves_seed in any::<u64>()
+    ) {
+        let g = dag_from_spec(&spec);
+        let machine = MachineConfig::n5(3, 2);
+        let ev = Evaluator::new(&g, &machine);
+        let fom = FigureOfMerit::Edp;
+        let batch = BatchEvaluator::new(&ev, &g, &machine, fom);
+        let mut scratch = EvalScratch::new();
+        let init = default_mapper(&g, &machine);
+        let mut delta = DeltaEvaluator::new(&ev, &init.place).with_paranoia(false);
+        let mut s = moves_seed;
+        for _ in 0..20 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let node = ((s >> 48) as usize) % g.len();
+            let pe = (((s >> 33) % 3) as i64, ((s >> 17) % 2) as i64);
+            delta.apply_move(node, pe);
+            let rm = delta.mapping();
+            let ref_report = ev.evaluate_ref(&rm);
+            // Delta repair path: bit-identical report.
+            prop_assert_eq!(delta.report(), ref_report.clone());
+            // Flat candidate path: bit-identical score (the moves keep
+            // the mapping legal by construction — retimed placements
+            // on an in-bounds grid).
+            let cand = MappingCandidate::new("prop", Mapping::Table(rm.clone()));
+            match batch.evaluate_raw_in(&cand, &mut scratch) {
+                RawEval::Legal { score, cycles, .. } => {
+                    prop_assert_eq!(score.to_bits(), fom.score(&ref_report).to_bits());
+                    prop_assert_eq!(cycles, ref_report.cycles);
+                }
+                RawEval::Illegal(total) => {
+                    // Tile overflow can make a random pile-up illegal;
+                    // the flat violation count must then match the
+                    // full checker's exactly.
+                    prop_assert_eq!(total, check(&g, &rm, &machine).total_violations);
+                    prop_assert!(total > 0);
+                }
+                RawEval::Unresolvable => prop_assert!(false, "table mapping must resolve"),
+            }
         }
     }
 
